@@ -1,0 +1,103 @@
+//! # baselines — the paper's comparison schedulers
+//!
+//! Implementations of every scheduler MLFS is evaluated against
+//! (§4.1, "Comparison methods"), behind the same
+//! [`mlfs::Scheduler`] trait:
+//!
+//! | Name | Paper description (§2) |
+//! |------|-------------------------|
+//! | [`Fifo`] | plain first-in-first-out placement (building block) |
+//! | [`BorgFair`] | "TensorFlow uses the Borg resource manager that aims to achieve fairness of resource allocation among different jobs" |
+//! | [`Slaq`] | "chooses the job with the maximum loss reduction per unit runtime" |
+//! | [`Tiresias`] | 2D least-attained-service with Gittins-style promotion for jobs with known runtimes, plus preemption |
+//! | [`Gandiva`] | FIFO + affinity packing + utilization-driven GPU migration |
+//! | [`Graphene`] | dependency-aware: "troublesome" tasks (many dependents, tough-to-pack demand) first |
+//! | [`HyperSched`] | deadline-bounded accuracy maximisation; pauses jobs with negligible accuracy gain |
+//! | [`RlPlacer`] | Mirhoseini-style RL device placement minimising JCT only (no ML features, no accuracy objective) |
+//!
+//! All baselines intentionally *lack* MLFS's ML-feature priority,
+//! multi-resource overload handling (except Gandiva's GPU-only
+//! variant) and load control — those gaps are what the figures
+//! measure.
+
+pub mod borg;
+pub mod fifo;
+pub mod gandiva;
+pub mod graphene;
+pub mod hypersched;
+pub mod rl_placer;
+pub mod slaq;
+pub mod tiresias;
+pub mod util;
+
+pub use borg::BorgFair;
+pub use fifo::Fifo;
+pub use gandiva::Gandiva;
+pub use graphene::Graphene;
+pub use hypersched::HyperSched;
+pub use rl_placer::RlPlacer;
+pub use slaq::Slaq;
+pub use tiresias::Tiresias;
+
+use mlfs::Scheduler;
+
+/// Every scheduler evaluated in Figs. 4–5, by legend name. `seed`
+/// feeds the RL-based entries.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Scheduler>> {
+    let p = mlfs::Params::default();
+    Some(match name {
+        "MLF-H" => Box::new(mlfs::Mlfs::heuristic(p)),
+        "MLF-RL" => Box::new(mlfs::Mlfs::rl(
+            p,
+            mlfs::MlfRlConfig {
+                seed,
+                ..Default::default()
+            },
+        )),
+        "MLFS" => Box::new(mlfs::Mlfs::full(
+            p,
+            mlfs::MlfRlConfig {
+                seed,
+                ..Default::default()
+            },
+        )),
+        "TensorFlow" => Box::new(BorgFair::new()),
+        "SLAQ" => Box::new(Slaq::new()),
+        "Tiresias" => Box::new(Tiresias::new()),
+        "Gandiva" => Box::new(Gandiva::new()),
+        "Graphene" => Box::new(Graphene::new()),
+        "HyperSched" => Box::new(HyperSched::new()),
+        "RL" => Box::new(RlPlacer::new(seed)),
+        "FIFO" => Box::new(Fifo::new()),
+        _ => return None,
+    })
+}
+
+/// The ten legend names of Figs. 4–5, in the paper's order.
+pub const FIGURE_SCHEDULERS: [&str; 10] = [
+    "MLF-H",
+    "MLF-RL",
+    "MLFS",
+    "TensorFlow",
+    "RL",
+    "Tiresias",
+    "SLAQ",
+    "Graphene",
+    "Gandiva",
+    "HyperSched",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_scheduler_constructs() {
+        for name in FIGURE_SCHEDULERS {
+            let s = by_name(name, 7).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(s.name(), name);
+        }
+        assert!(by_name("nope", 0).is_none());
+        assert_eq!(by_name("FIFO", 0).unwrap().name(), "FIFO");
+    }
+}

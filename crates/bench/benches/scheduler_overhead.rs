@@ -1,0 +1,62 @@
+//! Criterion micro-benchmark for **Fig. 4h / 5h** (scheduler time
+//! overhead): one `schedule()` decision per scheduler on an identical
+//! mid-run cluster snapshot (80 GPUs, 60 active jobs, half the tasks
+//! queued).
+//!
+//! The engine also measures decision time in situ during every figure
+//! run; this bench provides the controlled, repeatable version.
+//!
+//! ```sh
+//! cargo bench -p mlfs-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlfs::{Scheduler, SchedulerContext};
+use simcore::SimTime;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (cluster, jobs, queue) = mlfs_bench::snapshot(60, 7);
+    let mut group = c.benchmark_group("scheduler_overhead");
+    group.sample_size(20);
+
+    for name in baselines::FIGURE_SCHEDULERS {
+        // MLFS variants without warm-up: MLF-RL/MLFS run their policy
+        // path (imitation_rounds = 0) so the measured cost is the RL
+        // decision cost, as in the paper's Fig. 4h.
+        let mut sched: Box<dyn Scheduler> = match name {
+            "MLF-H" => Box::new(mlfs::Mlfs::heuristic(mlfs::Params::default())),
+            "MLF-RL" => Box::new(mlfs::Mlfs::rl(
+                mlfs::Params::default(),
+                mlfs::MlfRlConfig {
+                    imitation_rounds: 0,
+                    explore: false,
+                    ..Default::default()
+                },
+            )),
+            "MLFS" => Box::new(mlfs::Mlfs::full(
+                mlfs::Params::default(),
+                mlfs::MlfRlConfig {
+                    imitation_rounds: 0,
+                    explore: false,
+                    ..Default::default()
+                },
+            )),
+            other => baselines::by_name(other, 7).expect("known scheduler"),
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = SchedulerContext {
+                    now: SimTime::from_mins(30),
+                    jobs: &jobs,
+                    cluster: &cluster,
+                    queue: &queue,
+                };
+                std::hint::black_box(sched.schedule(&ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Extension ablations beyond the paper's figures (its stated future
+//! work, DESIGN.md "Extensions"):
+//!
+//! * `--study progress` — gang vs pipelined progress semantics;
+//! * `--study topology` — flat network vs two-level oversubscribed
+//!   tree (the paper's limitation #3);
+//! * `--study params` — sensitivity sweep over α, γ, p_s and h_r
+//!   (the paper's "we will study the sensitivity of the parameters");
+//! * `--study stragglers` — straggler injection with and without
+//!   replication (§3.3.3 future work).
+//!
+//! ```sh
+//! cargo run --release -p mlfs-bench --bin ablations -- --study params [--x 0.5] [--tf 16]
+//! ```
+
+use cluster::Topology;
+use metrics::Table;
+use mlfs::Params;
+use mlfs_bench::Args;
+use mlfs_sim::engine::StragglerConfig;
+use mlfs_sim::experiments::fig4;
+use mlfs_sim::ProgressModel;
+
+fn main() {
+    let args = Args::parse();
+    let x = args.f64("x", 0.5);
+    let tf = args.f64("tf", 16.0);
+    let seed = args.u64("seed", 42);
+    let study = args.get("study").unwrap_or("params").to_string();
+
+    match study.as_str() {
+        "progress" => progress_study(x, tf, seed),
+        "topology" => topology_study(x, tf, seed),
+        "params" => params_study(x, tf, seed),
+        "stragglers" => straggler_study(x, tf, seed),
+        other => {
+            eprintln!("unknown study '{other}'; use progress|topology|params|stragglers");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_mlfh(e: &mlfs_sim::experiments::Experiment, params: Params) -> metrics::RunMetrics {
+    let mut s = e.scheduler_with_params("MLF-H", 7, params);
+    e.run(s.as_mut())
+}
+
+fn progress_study(x: f64, tf: f64, seed: u64) {
+    println!("Ablation: gang vs pipelined progress semantics (MLF-H)");
+    let mut t = Table::new(&["model", "avg JCT (min)", "deadline %", "avg acc", "bw (TB)"]);
+    for model in [ProgressModel::Pipelined, ProgressModel::Gang] {
+        let mut e = fig4(x, tf, seed);
+        e.sim.progress = model;
+        let m = run_mlfh(&e, Params::default());
+        t.row(vec![
+            format!("{model:?}"),
+            format!("{:.1}", m.avg_jct_mins()),
+            format!("{:.1}", 100.0 * m.deadline_ratio()),
+            format!("{:.3}", m.avg_accuracy()),
+            format!("{:.2}", m.bandwidth_tb()),
+        ]);
+    }
+    println!("{t}");
+    println!("(pipelined partial progress should dominate strict gang synchronisation)");
+}
+
+fn topology_study(x: f64, tf: f64, seed: u64) {
+    println!("Ablation: flat network vs oversubscribed two-level tree (MLF-H)");
+    let mut t = Table::new(&["topology", "avg JCT (min)", "deadline %", "bw (TB)"]);
+    // Link bandwidths scale with time compression, exactly as the
+    // experiment builder does for its default flat topology.
+    let flat = Topology::Flat {
+        inter_mbps: 1250.0 * tf,
+        intra_mbps: 25_000.0 * tf,
+    };
+    let tree = Topology::Tree {
+        rack_size: 5,
+        rack_mbps: 1250.0 * tf,
+        intra_mbps: 25_000.0 * tf,
+        oversubscription: 4.0,
+    };
+    for (name, topo) in [("flat", flat), ("tree 4:1", tree)] {
+        let mut e = fig4(x, tf, seed);
+        e.sim.cluster.topology = topo;
+        let m = run_mlfh(&e, Params::default());
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", m.avg_jct_mins()),
+            format!("{:.1}", 100.0 * m.deadline_ratio()),
+            format!("{:.2}", m.bandwidth_tb()),
+        ]);
+    }
+    println!("{t}");
+    println!("(cross-rack oversubscription slows comm-heavy jobs; the paper lists topology awareness as future work)");
+}
+
+fn params_study(x: f64, tf: f64, seed: u64) {
+    println!("Parameter sensitivity (MLF-H), default α=0.3 γ=0.8 p_s=0.1 h_r=0.9");
+    let e = fig4(x, tf, seed);
+    let mut t = Table::new(&["setting", "avg JCT (min)", "deadline %", "avg acc"]);
+    let base = Params::default();
+    let mut row = |label: String, p: Params| {
+        let m = run_mlfh(&e, p);
+        t.row(vec![
+            label,
+            format!("{:.1}", m.avg_jct_mins()),
+            format!("{:.1}", 100.0 * m.deadline_ratio()),
+            format!("{:.3}", m.avg_accuracy()),
+        ]);
+    };
+    row("default".into(), base);
+    for alpha in [0.0, 0.1, 0.5, 0.7, 1.0] {
+        row(format!("alpha={alpha}"), Params { alpha, ..base });
+    }
+    for gamma in [0.2, 0.5, 0.95] {
+        row(format!("gamma={gamma}"), Params { gamma, ..base });
+    }
+    for p_s in [0.05, 0.3, 1.0] {
+        row(format!("p_s={p_s}"), Params { p_s, ..base });
+    }
+    // h_r below the largest generated task share (0.85) leaves
+    // dedicated-GPU tasks permanently unschedulable — the hard floor
+    // of the paper's "larger h_r helps more fully utilize the
+    // resources" trade-off.
+    for h_r in [0.86, 0.95, 0.98] {
+        row(
+            format!("h_r={h_r}"),
+            Params {
+                h_r,
+                h_s: h_r,
+                ..base
+            },
+        );
+    }
+    println!("{t}");
+}
+
+fn straggler_study(x: f64, tf: f64, seed: u64) {
+    println!("Straggler injection (MLF-H): none vs slowdown vs slowdown+replication");
+    let mut t = Table::new(&["config", "avg JCT (min)", "deadline %", "bw (TB)"]);
+    let configs: [(&str, Option<StragglerConfig>); 3] = [
+        ("no stragglers", None),
+        (
+            "stragglers (0.5/h, 0.3x)",
+            Some(StragglerConfig {
+                probability_per_hour: 0.5,
+                slowdown: 0.3,
+                replicate: false,
+            }),
+        ),
+        (
+            "stragglers + replication",
+            Some(StragglerConfig {
+                probability_per_hour: 0.5,
+                slowdown: 0.3,
+                replicate: true,
+            }),
+        ),
+    ];
+    for (name, sc) in configs {
+        let mut e = fig4(x, tf, seed);
+        e.sim.straggler = sc;
+        let m = run_mlfh(&e, Params::default());
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", m.avg_jct_mins()),
+            format!("{:.1}", 100.0 * m.deadline_ratio()),
+            format!("{:.2}", m.bandwidth_tb()),
+        ]);
+    }
+    println!("{t}");
+    println!("(replication trades bandwidth for JCT, §3.3.3)");
+}

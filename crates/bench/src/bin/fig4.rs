@@ -1,0 +1,38 @@
+//! Regenerate **Figure 4** (overall performance, real-experiment
+//! scale): 20 servers / 80 GPUs, `620·x` jobs, all ten schedulers,
+//! panels (a)–(h).
+//!
+//! ```sh
+//! cargo run --release -p mlfs-bench --bin fig4 -- \
+//!     [--repeats 10] [--xs 0.25,0.5,1] [--tf 16] [--seed 42] [--panel b] [--full] [--json results]
+//! ```
+//!
+//! `--full` uses the paper's x range {0.25, 0.5, 1, 2, 3} — slow.
+
+use mlfs_bench::{dump_json, print_figure_panels, sweep_repeated, Args};
+use mlfs_sim::experiments::fig4;
+
+fn main() {
+    let args = Args::parse();
+    let xs = if args.has("full") {
+        vec![0.25, 0.5, 1.0, 2.0, 3.0]
+    } else {
+        args.f64_list("xs", &[0.25, 0.5, 1.0])
+    };
+    let tf = args.f64("tf", 16.0);
+    let seed = args.u64("seed", 42);
+    let panel = args.get("panel").and_then(|s| s.chars().next());
+    let repeats = args.u64("repeats", 1) as usize;
+
+    println!("Figure 4 — overall performance in real experiments");
+    println!("cluster: 20 servers x 4 GPUs; time compression {tf}x; seed {seed}");
+
+    let names = baselines::FIGURE_SCHEDULERS;
+    let cells = sweep_repeated(&xs, &names, seed, repeats, |x, s| fig4(x, tf, s));
+    print_figure_panels(&cells, &names, &xs, panel);
+
+    if let Some(dir) = args.get("json") {
+        dump_json(&cells, dir, "fig4").expect("write JSON results");
+        println!("\nraw metrics dumped to {dir}/");
+    }
+}

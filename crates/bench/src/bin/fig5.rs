@@ -1,0 +1,45 @@
+//! Regenerate **Figure 5** (overall performance, large-scale
+//! simulation): the Philly-scale cluster (550 servers × `--scale`)
+//! with `117325·x·scale` jobs, all ten schedulers, panels (a)–(h).
+//!
+//! ```sh
+//! cargo run --release -p mlfs-bench --bin fig5 -- \
+//!     [--repeats 10] [--xs 0.5,1,2] [--scale 0.02] [--tf 40] [--seed 42] [--panel b] [--full] [--json results]
+//! ```
+//!
+//! `--full` uses the paper's x range {0.5, 1, 2, 3, 4}. The `--scale`
+//! knob shrinks both the cluster and the job count together, so
+//! offered load per GPU matches the paper at any scale (DESIGN.md's
+//! substitution note; EXPERIMENTS.md records the scale used).
+
+use mlfs_bench::{dump_json, print_figure_panels, sweep_repeated, Args};
+use mlfs_sim::experiments::fig5;
+
+fn main() {
+    let args = Args::parse();
+    let xs = if args.has("full") {
+        vec![0.5, 1.0, 2.0, 3.0, 4.0]
+    } else {
+        args.f64_list("xs", &[0.5, 1.0, 2.0])
+    };
+    let scale = args.f64("scale", 0.02);
+    let tf = args.f64("tf", 40.0);
+    let seed = args.u64("seed", 42);
+    let panel = args.get("panel").and_then(|s| s.chars().next());
+    let repeats = args.u64("repeats", 1) as usize;
+
+    println!("Figure 5 — overall performance in large-scale simulation");
+    println!(
+        "cluster: {} servers (scale {scale}); time compression {tf}x; seed {seed}",
+        ((550.0 * scale).round() as usize).max(1)
+    );
+
+    let names = baselines::FIGURE_SCHEDULERS;
+    let cells = sweep_repeated(&xs, &names, seed, repeats, |x, s| fig5(x, scale, tf, s));
+    print_figure_panels(&cells, &names, &xs, panel);
+
+    if let Some(dir) = args.get("json") {
+        dump_json(&cells, dir, "fig5").expect("write JSON results");
+        println!("\nraw metrics dumped to {dir}/");
+    }
+}

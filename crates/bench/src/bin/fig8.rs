@@ -1,0 +1,95 @@
+//! Regenerate **Figure 8** (effectiveness of task migration):
+//!
+//! * panel (a): number of server-overload occurrences and bandwidth
+//!   cost, with vs without migration — paper: −36–60% overloads at
+//!   +10–14% bandwidth;
+//! * panel (b): average accuracy by deadline and average JCT — paper:
+//!   +8–10% accuracy, −15–24% JCT.
+//!
+//! ```sh
+//! cargo run --release -p mlfs-bench --bin fig8 -- [--panel a|b] [--xs 0.25,0.5,1] [--tf 16] [--seed 42]
+//! ```
+
+use metrics::Table;
+use mlfs::Params;
+use mlfs_bench::Args;
+use mlfs_sim::experiments::ablation;
+
+fn main() {
+    let args = Args::parse();
+    let xs = if args.has("full") {
+        vec![0.25, 0.5, 1.0, 2.0, 3.0]
+    } else {
+        args.f64_list("xs", &[0.25, 0.5, 1.0])
+    };
+    let tf = args.f64("tf", 16.0);
+    let seed = args.u64("seed", 42);
+    let panel = args.get("panel");
+
+    println!("Figure 8 — effectiveness of task migration (MLF-H ablation)");
+    let mut a = Table::new(&[
+        "jobs",
+        "overloads w/",
+        "overloads w/o",
+        "dOverl",
+        "bw w/ (TB)",
+        "bw w/o (TB)",
+        "dBW",
+    ]);
+    let mut b = Table::new(&[
+        "jobs",
+        "acc w/",
+        "acc w/o",
+        "dAcc",
+        "JCT w/ (min)",
+        "JCT w/o (min)",
+        "dJCT",
+    ]);
+    for &x in &xs {
+        let e = ablation("fig8", x, tf, seed);
+        eprintln!("[run] x={} ({} jobs)...", x, e.trace.jobs);
+        let mut with = e.scheduler_with_params("MLF-H", seed, Params::default());
+        let m_with = e.run(with.as_mut());
+        let mut without = e.scheduler_with_params(
+            "MLF-H",
+            seed,
+            Params {
+                use_migration: false,
+                ..Params::default()
+            },
+        );
+        let m_wo = e.run(without.as_mut());
+        let pct = |w: f64, wo: f64| format!("{:+.1}%", 100.0 * (w - wo) / wo.max(1e-9));
+        a.row(vec![
+            format!("{}", e.trace.jobs),
+            format!("{}", m_with.overload_occurrences),
+            format!("{}", m_wo.overload_occurrences),
+            pct(
+                m_with.overload_occurrences as f64,
+                m_wo.overload_occurrences as f64,
+            ),
+            format!("{:.2}", m_with.bandwidth_tb()),
+            format!("{:.2}", m_wo.bandwidth_tb()),
+            pct(m_with.bandwidth_tb(), m_wo.bandwidth_tb()),
+        ]);
+        b.row(vec![
+            format!("{}", e.trace.jobs),
+            format!("{:.3}", m_with.avg_accuracy()),
+            format!("{:.3}", m_wo.avg_accuracy()),
+            pct(m_with.avg_accuracy(), m_wo.avg_accuracy()),
+            format!("{:.1}", m_with.avg_jct_mins()),
+            format!("{:.1}", m_wo.avg_jct_mins()),
+            pct(m_with.avg_jct_mins(), m_wo.avg_jct_mins()),
+        ]);
+    }
+    if panel.is_none() || panel == Some("a") {
+        println!("\n== (a) server overload occurrences & bandwidth cost ==");
+        println!("{a}");
+        println!("(paper: migration reduces overload occurrences by 36-60% and increases bandwidth by 10-14%)");
+    }
+    if panel.is_none() || panel == Some("b") {
+        println!("\n== (b) average accuracy & average JCT ==");
+        println!("{b}");
+        println!("(paper: migration increases accuracy by 8-10% and reduces JCT by 15-24%)");
+    }
+}

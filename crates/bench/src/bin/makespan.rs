@@ -1,0 +1,45 @@
+//! Regenerate the **makespan comparison** reported in §4.2.1's text
+//! ("The makespan is 40-90 hours in MLFS, 51-102 hours in MLF-RL, and
+//! 54-116 hours in MLF-H…"): the min–max makespan across the workload
+//! range, per scheduler.
+//!
+//! ```sh
+//! cargo run --release -p mlfs-bench --bin makespan -- [--xs 0.25,0.5,1] [--tf 16] [--seed 42]
+//! ```
+
+use metrics::Table;
+use mlfs_bench::{sweep, Args};
+use mlfs_sim::experiments::fig4;
+
+fn main() {
+    let args = Args::parse();
+    let xs = if args.has("full") {
+        vec![0.25, 0.5, 1.0, 2.0, 3.0]
+    } else {
+        args.f64_list("xs", &[0.25, 0.5, 1.0])
+    };
+    let tf = args.f64("tf", 16.0);
+    let seed = args.u64("seed", 42);
+
+    println!("Makespan ranges across workloads (§4.2.1 text)");
+    let names = baselines::FIGURE_SCHEDULERS;
+    let cells = sweep(&xs, &names, seed, |x| fig4(x, tf, seed));
+
+    let mut t = Table::new(&["scheduler", "min makespan (h)", "max makespan (h)"]);
+    for name in names {
+        let spans: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.scheduler() == name)
+            .map(|c| c.median(|m| m.makespan_hours))
+            .collect();
+        let lo = spans.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = spans.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        t.row(vec![
+            name.to_string(),
+            format!("{lo:.1}"),
+            format!("{hi:.1}"),
+        ]);
+    }
+    println!("{t}");
+    println!("(paper order: MLFS < MLF-RL < MLF-H < Tiresias < HyperSched < RL < Gandiva < TensorFlow < SLAQ)");
+}

@@ -1,0 +1,77 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! Defined here (the lowest crate that deals with placement) so that
+//! both `workload` and the schedulers can refer to jobs, tasks and
+//! servers without depending on each other.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a job within one simulation run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct JobId(pub u32);
+
+/// Identifies a task as (job, index-within-job).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TaskId {
+    /// The owning job.
+    pub job: JobId,
+    /// Index of this task within the job's task list.
+    pub idx: u16,
+}
+
+/// Identifies a server within the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ServerId(pub u32);
+
+impl TaskId {
+    /// Convenience constructor.
+    pub fn new(job: JobId, idx: u16) -> Self {
+        TaskId { job, idx }
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.t{}", self.job, self.idx)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_orders_by_job_then_index() {
+        let a = TaskId::new(JobId(1), 5);
+        let b = TaskId::new(JobId(2), 0);
+        let c = TaskId::new(JobId(1), 6);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TaskId::new(JobId(3), 2).to_string(), "J3.t2");
+        assert_eq!(ServerId(7).to_string(), "S7");
+    }
+}

@@ -1,0 +1,353 @@
+//! Multi-dimensional resource vectors.
+//!
+//! The paper considers `M` resource types per server: "GPU, CPU,
+//! memory, and bandwidth" (§3.3.2), with utilization vectors
+//! `U_s^t = (u_1, …, u_M)` and Euclidean-distance matching against
+//! ideal points (the RIAL method of \[47\]). [`ResourceVec`] implements
+//! that vector algebra.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Sub, SubAssign};
+
+/// Number of modelled resource dimensions.
+pub const NUM_RESOURCES: usize = 4;
+
+/// The modelled resource types, in vector order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// Aggregate GPU compute (sum over the server's GPUs).
+    GpuCompute = 0,
+    /// CPU cores.
+    Cpu = 1,
+    /// Memory (GB).
+    Memory = 2,
+    /// NIC bandwidth (MB/s of sustained traffic).
+    NetBw = 3,
+}
+
+impl Resource {
+    /// All resources in vector order.
+    pub const ALL: [Resource; NUM_RESOURCES] = [
+        Resource::GpuCompute,
+        Resource::Cpu,
+        Resource::Memory,
+        Resource::NetBw,
+    ];
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Resource::GpuCompute => "gpu",
+            Resource::Cpu => "cpu",
+            Resource::Memory => "mem",
+            Resource::NetBw => "bw",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fixed-size vector over the [`Resource`] dimensions.
+///
+/// Used both for absolute quantities (capacity, load, demand) and for
+/// dimensionless utilizations (load ÷ capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceVec(pub [f64; NUM_RESOURCES]);
+
+impl ResourceVec {
+    /// The zero vector.
+    pub const ZERO: ResourceVec = ResourceVec([0.0; NUM_RESOURCES]);
+
+    /// Construct from named components.
+    pub fn new(gpu: f64, cpu: f64, mem: f64, bw: f64) -> Self {
+        ResourceVec([gpu, cpu, mem, bw])
+    }
+
+    /// All components set to `v`.
+    pub fn splat(v: f64) -> Self {
+        ResourceVec([v; NUM_RESOURCES])
+    }
+
+    /// Component accessor.
+    pub fn get(&self, r: Resource) -> f64 {
+        self.0[r as usize]
+    }
+
+    /// Component mutator.
+    pub fn set(&mut self, r: Resource, v: f64) {
+        self.0[r as usize] = v;
+    }
+
+    /// Euclidean norm — the paper's per-server "overload degree"
+    /// `O_s^t = ||U_s^t||` (§3.5).
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Euclidean distance to `other` — the RIAL matching metric.
+    pub fn distance(&self, other: &ResourceVec) -> f64 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Largest component.
+    pub fn max_component(&self) -> f64 {
+        self.0.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Component-wise division; divisor components of zero yield zero
+    /// (a resource with no capacity is treated as unused rather than
+    /// infinitely loaded — servers without such capacity never receive
+    /// demand on that dimension).
+    pub fn div_elem(&self, denom: &ResourceVec) -> ResourceVec {
+        let mut out = [0.0; NUM_RESOURCES];
+        for i in 0..NUM_RESOURCES {
+            out[i] = if denom.0[i] > 0.0 {
+                self.0[i] / denom.0[i]
+            } else {
+                0.0
+            };
+        }
+        ResourceVec(out)
+    }
+
+    /// Component-wise minimum.
+    pub fn min_elem(&self, other: &ResourceVec) -> ResourceVec {
+        let mut out = [0.0; NUM_RESOURCES];
+        for i in 0..NUM_RESOURCES {
+            out[i] = self.0[i].min(other.0[i]);
+        }
+        ResourceVec(out)
+    }
+
+    /// Component-wise maximum.
+    pub fn max_elem(&self, other: &ResourceVec) -> ResourceVec {
+        let mut out = [0.0; NUM_RESOURCES];
+        for i in 0..NUM_RESOURCES {
+            out[i] = self.0[i].max(other.0[i]);
+        }
+        ResourceVec(out)
+    }
+
+    /// True when every component of `self` is ≤ the matching component
+    /// of `other` (within `eps` slack for float accumulation error).
+    pub fn fits_within(&self, other: &ResourceVec, eps: f64) -> bool {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .all(|(a, b)| *a <= *b + eps)
+    }
+
+    /// Clamp every component to be ≥ 0. Load bookkeeping subtracts
+    /// demands; tiny negative residue from float error is squashed.
+    pub fn clamp_non_negative(&mut self) {
+        for v in &mut self.0 {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// True when all components are finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+
+    /// Sum of components (used by fair-share baselines as a scalar
+    /// "dominant-ish" demand proxy).
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+}
+
+impl Index<Resource> for ResourceVec {
+    type Output = f64;
+    fn index(&self, r: Resource) -> &f64 {
+        &self.0[r as usize]
+    }
+}
+
+impl IndexMut<Resource> for ResourceVec {
+    fn index_mut(&mut self, r: Resource) -> &mut f64 {
+        &mut self.0[r as usize]
+    }
+}
+
+impl Add for ResourceVec {
+    type Output = ResourceVec;
+    fn add(self, rhs: ResourceVec) -> ResourceVec {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for ResourceVec {
+    fn add_assign(&mut self, rhs: ResourceVec) {
+        for i in 0..NUM_RESOURCES {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+impl Sub for ResourceVec {
+    type Output = ResourceVec;
+    fn sub(self, rhs: ResourceVec) -> ResourceVec {
+        let mut out = self;
+        out -= rhs;
+        out
+    }
+}
+
+impl SubAssign for ResourceVec {
+    fn sub_assign(&mut self, rhs: ResourceVec) {
+        for i in 0..NUM_RESOURCES {
+            self.0[i] -= rhs.0[i];
+        }
+    }
+}
+
+impl Mul<f64> for ResourceVec {
+    type Output = ResourceVec;
+    fn mul(self, k: f64) -> ResourceVec {
+        let mut out = self;
+        for v in &mut out.0 {
+            *v *= k;
+        }
+        out
+    }
+}
+
+impl Div<f64> for ResourceVec {
+    type Output = ResourceVec;
+    fn div(self, k: f64) -> ResourceVec {
+        let mut out = self;
+        for v in &mut out.0 {
+            *v /= k;
+        }
+        out
+    }
+}
+
+impl fmt::Display for ResourceVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(gpu {:.2}, cpu {:.2}, mem {:.2}, bw {:.2})",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_distance() {
+        let a = ResourceVec::new(3.0, 4.0, 0.0, 0.0);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        let b = ResourceVec::new(0.0, 0.0, 0.0, 0.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn div_elem_handles_zero_capacity() {
+        let load = ResourceVec::new(2.0, 1.0, 0.0, 4.0);
+        let cap = ResourceVec::new(4.0, 0.0, 8.0, 8.0);
+        let u = load.div_elem(&cap);
+        assert_eq!(u.get(Resource::GpuCompute), 0.5);
+        assert_eq!(u.get(Resource::Cpu), 0.0); // zero capacity -> unused
+        assert_eq!(u.get(Resource::Memory), 0.0);
+        assert_eq!(u.get(Resource::NetBw), 0.5);
+    }
+
+    #[test]
+    fn fits_within_with_eps() {
+        let d = ResourceVec::new(1.0, 1.0, 1.0, 1.0);
+        let c = ResourceVec::new(1.0, 1.0, 1.0, 1.0 - 1e-12);
+        assert!(d.fits_within(&c, 1e-9));
+        let c2 = ResourceVec::new(0.5, 1.0, 1.0, 1.0);
+        assert!(!d.fits_within(&c2, 1e-9));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ResourceVec::new(1.0, 2.0, 3.0, 4.0);
+        let b = ResourceVec::new(0.5, 0.5, 0.5, 0.5);
+        assert_eq!((a + b).get(Resource::Cpu), 2.5);
+        assert_eq!((a - b).get(Resource::NetBw), 3.5);
+        assert_eq!((a * 2.0).get(Resource::GpuCompute), 2.0);
+        assert_eq!((a / 2.0).get(Resource::Memory), 1.5);
+        let mut c = a;
+        c -= a;
+        c.clamp_non_negative();
+        assert_eq!(c, ResourceVec::ZERO);
+    }
+
+    #[test]
+    fn min_max_elem() {
+        let a = ResourceVec::new(1.0, 5.0, 2.0, 8.0);
+        let b = ResourceVec::new(3.0, 1.0, 2.0, 4.0);
+        assert_eq!(a.min_elem(&b), ResourceVec::new(1.0, 1.0, 2.0, 4.0));
+        assert_eq!(a.max_elem(&b), ResourceVec::new(3.0, 5.0, 2.0, 8.0));
+        assert_eq!(a.max_component(), 8.0);
+    }
+
+    #[test]
+    fn clamp_negative_components() {
+        let mut a = ResourceVec::new(-0.1, 2.0, -3.0, 0.0);
+        a.clamp_non_negative();
+        assert_eq!(a, ResourceVec::new(0.0, 2.0, 0.0, 0.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vec_strategy() -> impl Strategy<Value = ResourceVec> {
+        proptest::array::uniform4(0.0f64..1000.0).prop_map(ResourceVec)
+    }
+
+    proptest! {
+        /// Euclidean distance is a metric: symmetric, zero on identity,
+        /// and satisfies the triangle inequality.
+        #[test]
+        fn distance_is_a_metric(a in vec_strategy(), b in vec_strategy(), c in vec_strategy()) {
+            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+            prop_assert!(a.distance(&a) < 1e-12);
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        }
+
+        /// Addition then subtraction round-trips (within float error).
+        #[test]
+        fn add_sub_roundtrip(a in vec_strategy(), b in vec_strategy()) {
+            let r = (a + b) - b;
+            for i in 0..NUM_RESOURCES {
+                prop_assert!((r.0[i] - a.0[i]).abs() < 1e-6);
+            }
+        }
+
+        /// Utilization of load ≤ capacity is ≤ 1 in every component.
+        #[test]
+        fn utilization_bounded(cap in vec_strategy(), frac in proptest::array::uniform4(0.0f64..1.0)) {
+            let load = ResourceVec([
+                cap.0[0] * frac[0], cap.0[1] * frac[1],
+                cap.0[2] * frac[2], cap.0[3] * frac[3],
+            ]);
+            let u = load.div_elem(&cap);
+            for i in 0..NUM_RESOURCES {
+                prop_assert!(u.0[i] <= 1.0 + 1e-9);
+                prop_assert!(u.0[i] >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! A single server: capacity, per-GPU loads, and the tasks placed on it.
+
+use crate::ids::{ServerId, TaskId};
+use crate::resources::{Resource, ResourceVec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where and how a task is placed on a server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskPlacement {
+    /// The task's resource demand (absolute units).
+    pub demand: ResourceVec,
+    /// GPU compute demand, in fractions of one GPU (1.0 = a full GPU).
+    /// This is the slice of `demand`'s GPU dimension that lands on a
+    /// single physical GPU — tasks never span GPUs in this model.
+    pub gpu_share: f64,
+    /// Index of the hosting GPU within the server.
+    pub gpu: usize,
+}
+
+/// One server in the cluster.
+///
+/// Loads are tracked incrementally on placement/removal; the invariant
+/// `load == Σ task demands` is checked by `debug_assert` and by the
+/// property tests in this module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Server {
+    /// This server's identity.
+    pub id: ServerId,
+    /// Absolute capacity per resource dimension. The GPU dimension
+    /// equals `gpu_count × per-GPU capacity`.
+    pub capacity: ResourceVec,
+    /// Compute capacity of each individual GPU (normalized; 1.0 =
+    /// one full V100-class device).
+    pub gpu_capacity: f64,
+    /// Current absolute load per resource dimension.
+    load: ResourceVec,
+    /// Current compute load per GPU.
+    gpu_load: Vec<f64>,
+    /// Tasks currently placed here. BTreeMap for deterministic
+    /// iteration order.
+    tasks: BTreeMap<TaskId, TaskPlacement>,
+}
+
+impl Server {
+    /// Create an empty server with `gpu_count` GPUs of `gpu_capacity`
+    /// each, plus the given CPU / memory / NIC capacities.
+    pub fn new(id: ServerId, gpu_count: usize, gpu_capacity: f64, cpu: f64, mem: f64, bw: f64) -> Self {
+        Server {
+            id,
+            capacity: ResourceVec::new(gpu_count as f64 * gpu_capacity, cpu, mem, bw),
+            gpu_capacity,
+            load: ResourceVec::ZERO,
+            gpu_load: vec![0.0; gpu_count],
+            tasks: BTreeMap::new(),
+        }
+    }
+
+    /// Number of physical GPUs.
+    pub fn gpu_count(&self) -> usize {
+        self.gpu_load.len()
+    }
+
+    /// Absolute load vector.
+    pub fn load(&self) -> ResourceVec {
+        self.load
+    }
+
+    /// Utilization vector `U_s^t = load ÷ capacity`.
+    pub fn utilization(&self) -> ResourceVec {
+        self.load.div_elem(&self.capacity)
+    }
+
+    /// The paper's overload degree `O_s^t = ||U_s^t||`.
+    pub fn overload_degree(&self) -> f64 {
+        self.utilization().norm()
+    }
+
+    /// Compute load on GPU `g`.
+    pub fn gpu_load(&self, g: usize) -> f64 {
+        self.gpu_load[g]
+    }
+
+    /// Utilization of GPU `g`.
+    pub fn gpu_utilization(&self, g: usize) -> f64 {
+        if self.gpu_capacity > 0.0 {
+            self.gpu_load[g] / self.gpu_capacity
+        } else {
+            0.0
+        }
+    }
+
+    /// Index of the least-loaded GPU (ties broken by lowest index, for
+    /// determinism). The paper schedules each task "to the least-loaded
+    /// GPU in the selected server".
+    pub fn least_loaded_gpu(&self) -> usize {
+        let mut best = 0;
+        for g in 1..self.gpu_load.len() {
+            if self.gpu_load[g] < self.gpu_load[best] {
+                best = g;
+            }
+        }
+        best
+    }
+
+    /// GPUs whose utilization exceeds `h_r`.
+    pub fn overloaded_gpus(&self, h_r: f64) -> Vec<usize> {
+        (0..self.gpu_load.len())
+            .filter(|&g| self.gpu_utilization(g) > h_r)
+            .collect()
+    }
+
+    /// True when any resource dimension exceeds `h_r` utilization
+    /// ("when at least one type of resources in a server are
+    /// overloaded, we consider that this server is overloaded").
+    pub fn is_overloaded(&self, h_r: f64) -> bool {
+        let u = self.utilization();
+        Resource::ALL.iter().any(|&r| u.get(r) > h_r)
+            || (0..self.gpu_load.len()).any(|g| self.gpu_utilization(g) > h_r)
+    }
+
+    /// Resource dimensions currently over `h_r`.
+    pub fn overloaded_resources(&self, h_r: f64) -> Vec<Resource> {
+        let u = self.utilization();
+        Resource::ALL
+            .iter()
+            .copied()
+            .filter(|&r| u.get(r) > h_r)
+            .collect()
+    }
+
+    /// Would placing a task with this demand keep every resource and
+    /// the least-loaded GPU at or below `h_r` utilization? Mirrors the
+    /// paper's host-selection constraint ("will not be overloaded (on
+    /// each resource and its least-loaded GPU) by hosting the task").
+    pub fn can_host(&self, demand: &ResourceVec, gpu_share: f64, h_r: f64) -> bool {
+        let budget = self.capacity * h_r;
+        if !(self.load + *demand).fits_within(&budget, 1e-9) {
+            return false;
+        }
+        let g = self.least_loaded_gpu();
+        self.gpu_load[g] + gpu_share <= self.gpu_capacity * h_r + 1e-9
+    }
+
+    /// Place `task` on the least-loaded GPU. Returns the chosen GPU.
+    /// Does not check `can_host` — callers that want admission control
+    /// must check first (overload is a legal, modelled state).
+    pub fn place(&mut self, task: TaskId, demand: ResourceVec, gpu_share: f64) -> usize {
+        let g = self.least_loaded_gpu();
+        self.place_on_gpu(task, demand, gpu_share, g);
+        g
+    }
+
+    /// Place `task` on a specific GPU.
+    ///
+    /// # Panics
+    /// Panics if the task is already placed here or `gpu` is out of
+    /// range — both indicate scheduler bugs.
+    pub fn place_on_gpu(&mut self, task: TaskId, demand: ResourceVec, gpu_share: f64, gpu: usize) {
+        assert!(gpu < self.gpu_load.len(), "GPU index out of range");
+        let prev = self.tasks.insert(
+            task,
+            TaskPlacement {
+                demand,
+                gpu_share,
+                gpu,
+            },
+        );
+        assert!(prev.is_none(), "task {task} placed twice on {}", self.id);
+        self.load += demand;
+        self.gpu_load[gpu] += gpu_share;
+    }
+
+    /// Replace a placed task's demand in place (time-varying
+    /// utilization: real tasks do not draw their mean demand every
+    /// minute). Keeps the task on its GPU.
+    ///
+    /// # Panics
+    /// Panics if the task is not placed here.
+    pub fn update_demand(&mut self, task: TaskId, demand: ResourceVec, gpu_share: f64) {
+        let p = self
+            .tasks
+            .get_mut(&task)
+            .unwrap_or_else(|| panic!("task {task} not on {}", self.id));
+        self.load -= p.demand;
+        self.load += demand;
+        self.load.clamp_non_negative();
+        self.gpu_load[p.gpu] += gpu_share - p.gpu_share;
+        if self.gpu_load[p.gpu] < 0.0 {
+            self.gpu_load[p.gpu] = 0.0;
+        }
+        p.demand = demand;
+        p.gpu_share = gpu_share;
+    }
+
+    /// Remove `task`, returning its placement record.
+    ///
+    /// # Panics
+    /// Panics if the task is not placed here.
+    pub fn remove(&mut self, task: TaskId) -> TaskPlacement {
+        let p = self
+            .tasks
+            .remove(&task)
+            .unwrap_or_else(|| panic!("task {task} not on {}", self.id));
+        self.load -= p.demand;
+        self.load.clamp_non_negative();
+        self.gpu_load[p.gpu] -= p.gpu_share;
+        if self.gpu_load[p.gpu] < 0.0 {
+            self.gpu_load[p.gpu] = 0.0;
+        }
+        p
+    }
+
+    /// The tasks placed on this server, in deterministic (id) order.
+    pub fn tasks(&self) -> impl Iterator<Item = (&TaskId, &TaskPlacement)> {
+        self.tasks.iter()
+    }
+
+    /// Tasks on GPU `g`.
+    pub fn tasks_on_gpu(&self, g: usize) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|(_, p)| p.gpu == g)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Number of tasks placed here.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Placement of a specific task, if present.
+    pub fn placement(&self, task: TaskId) -> Option<&TaskPlacement> {
+        self.tasks.get(&task)
+    }
+
+    /// Contention slowdown factor for GPU `g`: 1.0 when the GPU is at
+    /// or under capacity, otherwise `capacity / load` (< 1). Tasks on a
+    /// 2×-oversubscribed GPU run at half speed.
+    pub fn gpu_speed_factor(&self, g: usize) -> f64 {
+        let load = self.gpu_load[g];
+        if load <= self.gpu_capacity || load <= 0.0 {
+            1.0
+        } else {
+            self.gpu_capacity / load
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::JobId;
+
+    fn tid(j: u32, i: u16) -> TaskId {
+        TaskId::new(JobId(j), i)
+    }
+
+    fn server() -> Server {
+        // 4 GPUs, 32 cores, 244 GB, 1000 MB/s — a p3.8xlarge-like box.
+        Server::new(ServerId(0), 4, 1.0, 32.0, 244.0, 1000.0)
+    }
+
+    #[test]
+    fn placement_updates_load_and_gpu() {
+        let mut s = server();
+        let d = ResourceVec::new(1.0, 4.0, 16.0, 100.0);
+        let g = s.place(tid(1, 0), d, 1.0);
+        assert_eq!(g, 0);
+        assert_eq!(s.load(), d);
+        assert_eq!(s.gpu_load(0), 1.0);
+        assert_eq!(s.task_count(), 1);
+        // Second placement goes to the next least-loaded GPU.
+        let g2 = s.place(tid(1, 1), d, 1.0);
+        assert_eq!(g2, 1);
+    }
+
+    #[test]
+    fn removal_restores_empty_state() {
+        let mut s = server();
+        let d = ResourceVec::new(0.5, 2.0, 8.0, 50.0);
+        s.place(tid(2, 0), d, 0.5);
+        let p = s.remove(tid(2, 0));
+        assert_eq!(p.demand, d);
+        assert_eq!(s.load(), ResourceVec::ZERO);
+        assert_eq!(s.gpu_load(0), 0.0);
+        assert_eq!(s.task_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_placement_panics() {
+        let mut s = server();
+        let d = ResourceVec::splat(0.1);
+        s.place(tid(1, 0), d, 0.1);
+        s.place(tid(1, 0), d, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on")]
+    fn removing_absent_task_panics() {
+        let mut s = server();
+        s.remove(tid(9, 9));
+    }
+
+    #[test]
+    fn overload_detection() {
+        let mut s = server();
+        assert!(!s.is_overloaded(0.9));
+        // Fill CPU past 90%.
+        s.place(tid(1, 0), ResourceVec::new(0.0, 30.0, 0.0, 0.0), 0.0);
+        assert!(s.is_overloaded(0.9));
+        assert_eq!(s.overloaded_resources(0.9), vec![Resource::Cpu]);
+        // GPU overload is detected even when aggregate GPU util is low.
+        let mut s2 = server();
+        s2.place_on_gpu(tid(1, 0), ResourceVec::new(0.95, 0.0, 0.0, 0.0), 0.95, 2);
+        assert!(s2.is_overloaded(0.9));
+        assert_eq!(s2.overloaded_gpus(0.9), vec![2]);
+        assert!(s2.overloaded_resources(0.9).is_empty());
+    }
+
+    #[test]
+    fn can_host_respects_threshold_and_gpu() {
+        let mut s = server();
+        assert!(s.can_host(&ResourceVec::new(1.0, 4.0, 16.0, 100.0), 0.9, 0.9));
+        // Almost fill every GPU.
+        for i in 0..4 {
+            s.place_on_gpu(tid(1, i as u16), ResourceVec::new(0.85, 1.0, 1.0, 1.0), 0.85, i);
+        }
+        // Aggregate resources are fine but no GPU can take 0.2 more
+        // under a 0.9 threshold.
+        assert!(!s.can_host(&ResourceVec::new(0.2, 1.0, 1.0, 1.0), 0.2, 0.9));
+        assert!(s.can_host(&ResourceVec::new(0.05, 1.0, 1.0, 1.0), 0.05, 0.9));
+    }
+
+    #[test]
+    fn speed_factor_models_contention() {
+        let mut s = server();
+        s.place_on_gpu(tid(1, 0), ResourceVec::new(1.0, 0.0, 0.0, 0.0), 1.0, 0);
+        assert_eq!(s.gpu_speed_factor(0), 1.0);
+        s.place_on_gpu(tid(1, 1), ResourceVec::new(1.0, 0.0, 0.0, 0.0), 1.0, 0);
+        assert_eq!(s.gpu_speed_factor(0), 0.5);
+        assert_eq!(s.gpu_speed_factor(1), 1.0);
+    }
+
+    #[test]
+    fn update_demand_adjusts_loads_in_place() {
+        let mut s = server();
+        let d = ResourceVec::new(0.5, 2.0, 8.0, 50.0);
+        s.place(tid(1, 0), d, 0.5);
+        // Surge to 120%.
+        s.update_demand(tid(1, 0), d * 1.2, 0.6);
+        assert!((s.load().get(Resource::Cpu) - 2.4).abs() < 1e-9);
+        assert!((s.gpu_load(0) - 0.6).abs() < 1e-9);
+        // Drop to 50%.
+        s.update_demand(tid(1, 0), d * 0.5, 0.25);
+        assert!((s.load().get(Resource::Memory) - 4.0).abs() < 1e-9);
+        assert!((s.gpu_load(0) - 0.25).abs() < 1e-9);
+        // Removal still restores empty state exactly.
+        s.remove(tid(1, 0));
+        assert_eq!(s.load(), ResourceVec::ZERO);
+        assert_eq!(s.gpu_load(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on")]
+    fn update_demand_unknown_task_panics() {
+        let mut s = server();
+        s.update_demand(tid(5, 5), ResourceVec::ZERO, 0.0);
+    }
+
+    #[test]
+    fn utilization_and_overload_degree() {
+        let mut s = server();
+        s.place(tid(1, 0), ResourceVec::new(2.0, 16.0, 122.0, 500.0), 1.0);
+        let u = s.utilization();
+        assert!((u.get(Resource::GpuCompute) - 0.5).abs() < 1e-12);
+        assert!((u.get(Resource::Cpu) - 0.5).abs() < 1e-12);
+        assert!((u.get(Resource::Memory) - 0.5).abs() < 1e-12);
+        assert!((u.get(Resource::NetBw) - 0.5).abs() < 1e-12);
+        assert!((s.overload_degree() - 1.0).abs() < 1e-12); // ||(.5,.5,.5,.5)|| = 1
+    }
+
+    #[test]
+    fn tasks_on_gpu_filters() {
+        let mut s = server();
+        s.place_on_gpu(tid(1, 0), ResourceVec::splat(0.1), 0.1, 3);
+        s.place_on_gpu(tid(1, 1), ResourceVec::splat(0.1), 0.1, 3);
+        s.place_on_gpu(tid(2, 0), ResourceVec::splat(0.1), 0.1, 1);
+        assert_eq!(s.tasks_on_gpu(3), vec![tid(1, 0), tid(1, 1)]);
+        assert_eq!(s.tasks_on_gpu(0), Vec::<TaskId>::new());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ids::JobId;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Load always equals the sum of placed task demands, under any
+        /// interleaving of placements and removals.
+        #[test]
+        fn load_is_sum_of_demands(ops in proptest::collection::vec((0u16..64, 0.0f64..2.0, any::<bool>()), 1..200)) {
+            let mut s = Server::new(ServerId(0), 8, 1.0, 64.0, 512.0, 2000.0);
+            let mut live: Vec<(TaskId, ResourceVec, f64)> = Vec::new();
+            for (i, (idx, amount, remove)) in ops.into_iter().enumerate() {
+                if remove && !live.is_empty() {
+                    let (t, _, _) = live.remove((idx as usize) % live.len());
+                    s.remove(t);
+                } else {
+                    let t = TaskId::new(JobId(0), i as u16);
+                    let d = ResourceVec::new(amount, amount * 2.0, amount * 4.0, amount * 8.0);
+                    s.place(t, d, amount.min(1.0));
+                    live.push((t, d, amount.min(1.0)));
+                }
+            }
+            let mut expect = ResourceVec::ZERO;
+            let mut expect_gpu = 0.0;
+            for (_, d, g) in &live {
+                expect += *d;
+                expect_gpu += g;
+            }
+            for i in 0..crate::resources::NUM_RESOURCES {
+                prop_assert!((s.load().0[i] - expect.0[i]).abs() < 1e-6);
+            }
+            let total_gpu: f64 = (0..s.gpu_count()).map(|g| s.gpu_load(g)).sum();
+            prop_assert!((total_gpu - expect_gpu).abs() < 1e-6);
+        }
+
+        /// least_loaded_gpu always returns a GPU with the minimal load.
+        #[test]
+        fn least_loaded_is_minimal(loads in proptest::collection::vec(0.0f64..3.0, 1..16)) {
+            let mut s = Server::new(ServerId(0), loads.len(), 1.0, 64.0, 512.0, 2000.0);
+            for (g, l) in loads.iter().enumerate() {
+                if *l > 0.0 {
+                    s.place_on_gpu(TaskId::new(JobId(0), g as u16), ResourceVec::ZERO, *l, g);
+                }
+            }
+            let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!((s.gpu_load(s.least_loaded_gpu()) - min).abs() < 1e-12);
+        }
+    }
+}

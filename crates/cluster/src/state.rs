@@ -1,0 +1,436 @@
+//! Cluster state: the server fleet, the task→server index, transfer
+//! accounting and migration mechanics.
+
+use crate::ids::{ServerId, TaskId};
+use crate::resources::ResourceVec;
+use crate::server::{Server, TaskPlacement};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static description of a homogeneous cluster.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of servers.
+    pub servers: usize,
+    /// GPUs per server.
+    pub gpus_per_server: usize,
+    /// Per-GPU compute capacity (normalized; 1.0 = one device).
+    pub gpu_capacity: f64,
+    /// CPU cores per server.
+    pub cpu_cores: f64,
+    /// Memory per server, GB.
+    pub memory_gb: f64,
+    /// NIC bandwidth per server, MB/s.
+    pub nic_mbps: f64,
+    /// Inter-server topology.
+    pub topology: Topology,
+}
+
+impl ClusterConfig {
+    /// The paper's real testbed: 20 × p3.8xlarge (4 × V100, 32 vCPU,
+    /// 244 GB) — an 80-GPU cluster (§4.1).
+    pub fn paper_testbed() -> Self {
+        ClusterConfig {
+            servers: 20,
+            gpus_per_server: 4,
+            gpu_capacity: 1.0,
+            cpu_cores: 32.0,
+            memory_gb: 244.0,
+            nic_mbps: 1250.0,
+            topology: Topology::default_flat(),
+        }
+    }
+
+    /// The paper's simulated Philly-scale cluster: 550 servers, 2474
+    /// GPUs (≈ 4.5 GPUs/server; we round to the dominant 4-GPU SKU and
+    /// add the remainder via `servers` scaling at call sites).
+    pub fn paper_philly(scale: f64) -> Self {
+        let servers = ((550.0 * scale).round() as usize).max(1);
+        ClusterConfig {
+            servers,
+            gpus_per_server: 4,
+            gpu_capacity: 1.0,
+            cpu_cores: 32.0,
+            memory_gb: 244.0,
+            nic_mbps: 1250.0,
+            topology: Topology::default_flat(),
+        }
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> usize {
+        self.servers * self.gpus_per_server
+    }
+}
+
+/// Error returned by placement operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The task is already placed somewhere.
+    AlreadyPlaced(ServerId),
+    /// The named server does not exist.
+    NoSuchServer,
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::AlreadyPlaced(s) => write!(f, "task already placed on {s}"),
+            PlaceError::NoSuchServer => write!(f, "no such server"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// The live cluster: servers plus global indices and accounting.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    servers: Vec<Server>,
+    topology: Topology,
+    /// Where each placed task lives.
+    index: BTreeMap<TaskId, ServerId>,
+    /// Cumulative inter-server traffic, MB (the `g_3` bandwidth cost).
+    transferred_mb: f64,
+    /// Cumulative bytes moved specifically by task migrations, MB.
+    migration_mb: f64,
+    /// Number of migrations performed.
+    migrations: u64,
+}
+
+impl Cluster {
+    /// Build an idle cluster from a config.
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        let servers = (0..cfg.servers)
+            .map(|i| {
+                Server::new(
+                    ServerId(i as u32),
+                    cfg.gpus_per_server,
+                    cfg.gpu_capacity,
+                    cfg.cpu_cores,
+                    cfg.memory_gb,
+                    cfg.nic_mbps,
+                )
+            })
+            .collect();
+        Cluster {
+            servers,
+            topology: cfg.topology,
+            index: BTreeMap::new(),
+            transferred_mb: 0.0,
+            migration_mb: 0.0,
+            migrations: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Immutable access to a server.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.0 as usize]
+    }
+
+    /// All servers, in id order.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// The inter-server topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Where a task currently runs, if placed.
+    pub fn locate(&self, task: TaskId) -> Option<ServerId> {
+        self.index.get(&task).copied()
+    }
+
+    /// Placement details for a placed task.
+    pub fn placement(&self, task: TaskId) -> Option<(ServerId, TaskPlacement)> {
+        let s = self.locate(task)?;
+        self.server(s).placement(task).map(|p| (s, *p))
+    }
+
+    /// Number of placed tasks.
+    pub fn placed_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Place `task` on `server`'s least-loaded GPU.
+    pub fn place(
+        &mut self,
+        task: TaskId,
+        server: ServerId,
+        demand: ResourceVec,
+        gpu_share: f64,
+    ) -> Result<usize, PlaceError> {
+        if let Some(existing) = self.locate(task) {
+            return Err(PlaceError::AlreadyPlaced(existing));
+        }
+        let s = self
+            .servers
+            .get_mut(server.0 as usize)
+            .ok_or(PlaceError::NoSuchServer)?;
+        let gpu = s.place(task, demand, gpu_share);
+        self.index.insert(task, server);
+        Ok(gpu)
+    }
+
+    /// Place `task` on a specific GPU of `server` (used by schedulers
+    /// that micro-manage GPU assignment, and by tests).
+    pub fn place_on_gpu(
+        &mut self,
+        task: TaskId,
+        server: ServerId,
+        demand: ResourceVec,
+        gpu_share: f64,
+        gpu: usize,
+    ) -> Result<(), PlaceError> {
+        if let Some(existing) = self.locate(task) {
+            return Err(PlaceError::AlreadyPlaced(existing));
+        }
+        let s = self
+            .servers
+            .get_mut(server.0 as usize)
+            .ok_or(PlaceError::NoSuchServer)?;
+        s.place_on_gpu(task, demand, gpu_share, gpu);
+        self.index.insert(task, server);
+        Ok(())
+    }
+
+    /// Remove `task` from wherever it is placed. Returns its former
+    /// server and placement, or `None` if it was not placed.
+    pub fn remove(&mut self, task: TaskId) -> Option<(ServerId, TaskPlacement)> {
+        let server = self.index.remove(&task)?;
+        let p = self.servers[server.0 as usize].remove(task);
+        Some((server, p))
+    }
+
+    /// Migrate a placed task to `dst`, charging `state_mb` of transfer
+    /// (model + optimizer state) to both the bandwidth-cost ledger and
+    /// the migration ledger. Returns the destination GPU.
+    pub fn migrate(
+        &mut self,
+        task: TaskId,
+        dst: ServerId,
+        state_mb: f64,
+    ) -> Result<usize, PlaceError> {
+        let (src, p) = match self.remove(task) {
+            Some(x) => x,
+            None => return Err(PlaceError::NoSuchServer),
+        };
+        if self.topology.is_remote(src, dst) {
+            self.transferred_mb += state_mb;
+            self.migration_mb += state_mb;
+        }
+        self.migrations += 1;
+        let gpu = self.place(task, dst, p.demand, p.gpu_share)?;
+        Ok(gpu)
+    }
+
+    /// Replace a placed task's live demand (time-varying utilization).
+    ///
+    /// # Panics
+    /// Panics if the task is not placed anywhere.
+    pub fn update_demand(&mut self, task: TaskId, demand: ResourceVec, gpu_share: f64) {
+        let server = self
+            .locate(task)
+            .unwrap_or_else(|| panic!("task {task} not placed"));
+        self.servers[server.0 as usize].update_demand(task, demand, gpu_share);
+    }
+
+    /// Record `mb` megabytes moving between two servers. Intra-server
+    /// traffic is free (the paper's `B_{n_i,n_j}` is strictly between
+    /// nodes).
+    pub fn charge_transfer(&mut self, a: ServerId, b: ServerId, mb: f64) {
+        if self.topology.is_remote(a, b) {
+            self.transferred_mb += mb;
+        }
+    }
+
+    /// Cumulative inter-server traffic in MB.
+    pub fn transferred_mb(&self) -> f64 {
+        self.transferred_mb
+    }
+
+    /// Cumulative migration traffic in MB.
+    pub fn migration_mb(&self) -> f64 {
+        self.migration_mb
+    }
+
+    /// Number of migrations performed.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Servers currently overloaded at threshold `h_r`, in id order.
+    pub fn overloaded_servers(&self, h_r: f64) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .filter(|s| s.is_overloaded(h_r))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Servers currently *not* overloaded at threshold `h_r`.
+    pub fn underloaded_servers(&self, h_r: f64) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .filter(|s| !s.is_overloaded(h_r))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// The paper's cluster overload degree
+    /// `O_c^t = (1/|N|) Σ_s ||U_s^t||` (§3.5).
+    pub fn cluster_overload_degree(&self) -> f64 {
+        if self.servers.is_empty() {
+            return 0.0;
+        }
+        self.servers.iter().map(|s| s.overload_degree()).sum::<f64>() / self.servers.len() as f64
+    }
+
+    /// Mean utilization vector across servers (for reporting).
+    pub fn mean_utilization(&self) -> ResourceVec {
+        if self.servers.is_empty() {
+            return ResourceVec::ZERO;
+        }
+        let mut acc = ResourceVec::ZERO;
+        for s in &self.servers {
+            acc += s.utilization();
+        }
+        acc / self.servers.len() as f64
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::JobId;
+
+    fn tid(j: u32, i: u16) -> TaskId {
+        TaskId::new(JobId(j), i)
+    }
+
+    fn small() -> Cluster {
+        Cluster::new(&ClusterConfig {
+            servers: 3,
+            gpus_per_server: 2,
+            gpu_capacity: 1.0,
+            cpu_cores: 8.0,
+            memory_gb: 64.0,
+            nic_mbps: 1000.0,
+            topology: Topology::default_flat(),
+        })
+    }
+
+    #[test]
+    fn place_locate_remove_roundtrip() {
+        let mut c = small();
+        let d = ResourceVec::new(1.0, 2.0, 8.0, 100.0);
+        let gpu = c.place(tid(1, 0), ServerId(1), d, 1.0).unwrap();
+        assert_eq!(gpu, 0);
+        assert_eq!(c.locate(tid(1, 0)), Some(ServerId(1)));
+        assert_eq!(c.placed_count(), 1);
+        let (srv, p) = c.remove(tid(1, 0)).unwrap();
+        assert_eq!(srv, ServerId(1));
+        assert_eq!(p.demand, d);
+        assert_eq!(c.locate(tid(1, 0)), None);
+        assert!(c.remove(tid(1, 0)).is_none());
+    }
+
+    #[test]
+    fn double_place_is_an_error() {
+        let mut c = small();
+        let d = ResourceVec::splat(0.1);
+        c.place(tid(1, 0), ServerId(0), d, 0.1).unwrap();
+        assert_eq!(
+            c.place(tid(1, 0), ServerId(2), d, 0.1),
+            Err(PlaceError::AlreadyPlaced(ServerId(0)))
+        );
+    }
+
+    #[test]
+    fn migration_moves_and_charges() {
+        let mut c = small();
+        let d = ResourceVec::new(0.5, 1.0, 4.0, 50.0);
+        c.place(tid(1, 0), ServerId(0), d, 0.5).unwrap();
+        c.migrate(tid(1, 0), ServerId(2), 120.0).unwrap();
+        assert_eq!(c.locate(tid(1, 0)), Some(ServerId(2)));
+        assert_eq!(c.transferred_mb(), 120.0);
+        assert_eq!(c.migration_mb(), 120.0);
+        assert_eq!(c.migrations(), 1);
+        assert_eq!(c.server(ServerId(0)).task_count(), 0);
+        assert_eq!(c.server(ServerId(2)).task_count(), 1);
+        // Same-server "migration" (GPU rebalance) is free.
+        c.migrate(tid(1, 0), ServerId(2), 120.0).unwrap();
+        assert_eq!(c.transferred_mb(), 120.0);
+        assert_eq!(c.migrations(), 2);
+    }
+
+    #[test]
+    fn transfer_charging_skips_intra_server() {
+        let mut c = small();
+        c.charge_transfer(ServerId(0), ServerId(0), 500.0);
+        assert_eq!(c.transferred_mb(), 0.0);
+        c.charge_transfer(ServerId(0), ServerId(1), 75.0);
+        assert_eq!(c.transferred_mb(), 75.0);
+    }
+
+    #[test]
+    fn overload_partition_is_exhaustive() {
+        let mut c = small();
+        // Overload server 1's memory.
+        c.place(tid(1, 0), ServerId(1), ResourceVec::new(0.0, 0.0, 60.0, 0.0), 0.0)
+            .unwrap();
+        let over = c.overloaded_servers(0.9);
+        let under = c.underloaded_servers(0.9);
+        assert_eq!(over, vec![ServerId(1)]);
+        assert_eq!(under, vec![ServerId(0), ServerId(2)]);
+        assert_eq!(over.len() + under.len(), c.server_count());
+    }
+
+    #[test]
+    fn cluster_overload_degree_averages() {
+        let mut c = small();
+        assert_eq!(c.cluster_overload_degree(), 0.0);
+        // Saturate one server fully: utilization (1,1,1,1), norm 2.
+        c.place(tid(1, 0), ServerId(0), ResourceVec::new(2.0, 8.0, 64.0, 1000.0), 1.0)
+            .unwrap();
+        let deg = c.cluster_overload_degree();
+        assert!((deg - 2.0 / 3.0).abs() < 1e-9, "{deg}");
+    }
+
+    #[test]
+    fn cluster_update_demand_routes_to_the_right_server() {
+        let mut c = small();
+        let d = ResourceVec::new(0.4, 1.0, 4.0, 40.0);
+        c.place(tid(1, 0), ServerId(2), d, 0.4).unwrap();
+        c.update_demand(tid(1, 0), d * 2.0, 0.8);
+        let u = c.server(ServerId(2)).load();
+        assert!((u.get(crate::Resource::NetBw) - 80.0).abs() < 1e-9);
+        assert_eq!(c.server(ServerId(0)).load(), ResourceVec::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "not placed")]
+    fn cluster_update_demand_unplaced_panics() {
+        let mut c = small();
+        c.update_demand(tid(9, 0), ResourceVec::ZERO, 0.0);
+    }
+
+    #[test]
+    fn paper_configs_have_paper_scale() {
+        let t = ClusterConfig::paper_testbed();
+        assert_eq!(t.total_gpus(), 80);
+        let p = ClusterConfig::paper_philly(1.0);
+        assert_eq!(p.servers, 550);
+        let ps = ClusterConfig::paper_philly(0.01);
+        assert!(ps.servers >= 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Inter-server network topology.
+//!
+//! The paper "only considers the bandwidth cost without considering
+//! the cluster network topology" (§5, limitation 3) — its flat model
+//! is [`Topology::Flat`]. We additionally implement the future-work
+//! item: a two-level tree ([`Topology::Tree`]) where cross-rack links
+//! are oversubscribed, so transfers between racks see less bandwidth.
+//! An ablation bench compares the two.
+
+use crate::ids::ServerId;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// How bytes move between servers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every server pair enjoys the same bandwidth. Intra-server
+    /// traffic (same server) moves at `intra_mbps`, which models
+    /// NVLink/PCIe and is effectively free by comparison.
+    Flat {
+        /// Inter-server bandwidth, MB/s.
+        inter_mbps: f64,
+        /// Intra-server (GPU-to-GPU) bandwidth, MB/s.
+        intra_mbps: f64,
+    },
+    /// Two-level tree: servers are grouped into racks of `rack_size`.
+    /// Same-rack pairs get `rack_mbps`; cross-rack pairs get
+    /// `rack_mbps / oversubscription`.
+    Tree {
+        /// Servers per rack.
+        rack_size: usize,
+        /// In-rack bandwidth, MB/s.
+        rack_mbps: f64,
+        /// Intra-server bandwidth, MB/s.
+        intra_mbps: f64,
+        /// Core-link oversubscription factor (≥ 1).
+        oversubscription: f64,
+    },
+}
+
+impl Topology {
+    /// The paper's flat model with defaults calibrated to 10 GbE
+    /// (1250 MB/s) inter-server and NVLink-class intra-server speeds.
+    pub fn default_flat() -> Topology {
+        Topology::Flat {
+            inter_mbps: 1250.0,
+            intra_mbps: 25_000.0,
+        }
+    }
+
+    /// Bandwidth available between two servers, MB/s.
+    pub fn bandwidth_mbps(&self, a: ServerId, b: ServerId) -> f64 {
+        match *self {
+            Topology::Flat {
+                inter_mbps,
+                intra_mbps,
+            } => {
+                if a == b {
+                    intra_mbps
+                } else {
+                    inter_mbps
+                }
+            }
+            Topology::Tree {
+                rack_size,
+                rack_mbps,
+                intra_mbps,
+                oversubscription,
+            } => {
+                if a == b {
+                    intra_mbps
+                } else if (a.0 as usize) / rack_size == (b.0 as usize) / rack_size {
+                    rack_mbps
+                } else {
+                    rack_mbps / oversubscription.max(1.0)
+                }
+            }
+        }
+    }
+
+    /// Time to move `mb` megabytes between the two servers.
+    pub fn transfer_time(&self, a: ServerId, b: ServerId, mb: f64) -> SimDuration {
+        let bw = self.bandwidth_mbps(a, b);
+        if bw <= 0.0 || mb <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(mb / bw)
+    }
+
+    /// True when the pair crosses a server boundary (and therefore
+    /// counts toward the paper's bandwidth-cost objective `g_3`).
+    pub fn is_remote(&self, a: ServerId, b: ServerId) -> bool {
+        a != b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_distinguishes_local_and_remote() {
+        let t = Topology::Flat {
+            inter_mbps: 100.0,
+            intra_mbps: 1000.0,
+        };
+        assert_eq!(t.bandwidth_mbps(ServerId(0), ServerId(0)), 1000.0);
+        assert_eq!(t.bandwidth_mbps(ServerId(0), ServerId(1)), 100.0);
+        assert_eq!(
+            t.transfer_time(ServerId(0), ServerId(1), 50.0),
+            SimDuration::from_secs_f64(0.5)
+        );
+        assert!(!t.is_remote(ServerId(2), ServerId(2)));
+        assert!(t.is_remote(ServerId(2), ServerId(3)));
+    }
+
+    #[test]
+    fn tree_applies_oversubscription_across_racks() {
+        let t = Topology::Tree {
+            rack_size: 4,
+            rack_mbps: 1000.0,
+            intra_mbps: 10_000.0,
+            oversubscription: 4.0,
+        };
+        // Servers 0-3 are rack 0; 4-7 rack 1.
+        assert_eq!(t.bandwidth_mbps(ServerId(0), ServerId(3)), 1000.0);
+        assert_eq!(t.bandwidth_mbps(ServerId(3), ServerId(4)), 250.0);
+        assert_eq!(t.bandwidth_mbps(ServerId(5), ServerId(5)), 10_000.0);
+    }
+
+    #[test]
+    fn zero_transfer_is_instant() {
+        let t = Topology::default_flat();
+        assert_eq!(
+            t.transfer_time(ServerId(0), ServerId(1), 0.0),
+            SimDuration::ZERO
+        );
+    }
+}

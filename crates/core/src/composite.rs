@@ -1,0 +1,190 @@
+//! The composed MLFS scheduler and its evaluated variants.
+//!
+//! The paper evaluates three of its own configurations (Figs. 4–5):
+//!
+//! * **MLF-H** — the heuristic scheduler alone;
+//! * **MLF-RL** — imitation-bootstrapped RL scheduling (no load
+//!   control);
+//! * **MLFS** — MLF-RL plus MLF-C load control ("MLFS improves MLF-RL
+//!   … due to additional MLF-C").
+//!
+//! [`Mlfs`] wraps all three behind one type so the simulation engine
+//! and bench harness treat them uniformly, and threads the ablation
+//! switches in [`crate::Params`] through every component.
+
+use crate::mlfc::MlfC;
+use crate::mlfh::MlfH;
+use crate::mlfrl::{MlfRl, MlfRlConfig};
+use crate::params::Params;
+use crate::scheduler::{Action, RewardComponents, Scheduler, SchedulerContext};
+
+/// Which MLFS configuration to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlfsVariant {
+    /// Heuristic only.
+    H,
+    /// RL (with imitation bootstrap), no load control.
+    Rl,
+    /// Full system: RL + MLF-C.
+    Full,
+}
+
+/// Configuration of the composite scheduler.
+#[derive(Debug, Clone)]
+pub struct MlfsConfig {
+    /// Scheduling parameters and ablation switches.
+    pub params: Params,
+    /// RL hyperparameters (ignored by the `H` variant).
+    pub rl: MlfRlConfig,
+    /// Which variant to run.
+    pub variant: MlfsVariant,
+}
+
+impl Default for MlfsConfig {
+    fn default() -> Self {
+        MlfsConfig {
+            params: Params::default(),
+            rl: MlfRlConfig::default(),
+            variant: MlfsVariant::Full,
+        }
+    }
+}
+
+/// The composed MLFS scheduler.
+pub struct Mlfs {
+    variant: MlfsVariant,
+    h: Option<MlfH>,
+    rl: Option<MlfRl>,
+    c: Option<MlfC>,
+}
+
+impl Mlfs {
+    /// Build the requested variant.
+    pub fn new(cfg: MlfsConfig) -> Self {
+        let (h, rl) = match cfg.variant {
+            MlfsVariant::H => (Some(MlfH::new(cfg.params)), None),
+            MlfsVariant::Rl | MlfsVariant::Full => {
+                (None, Some(MlfRl::new(cfg.params, cfg.rl.clone())))
+            }
+        };
+        let c = if cfg.variant == MlfsVariant::Full {
+            Some(MlfC::new(cfg.params))
+        } else {
+            None
+        };
+        Mlfs {
+            variant: cfg.variant,
+            h,
+            rl,
+            c,
+        }
+    }
+
+    /// Convenience constructors for the three evaluated lines.
+    pub fn heuristic(params: Params) -> Self {
+        Mlfs::new(MlfsConfig {
+            params,
+            variant: MlfsVariant::H,
+            ..Default::default()
+        })
+    }
+
+    /// MLF-RL variant.
+    pub fn rl(params: Params, rl: MlfRlConfig) -> Self {
+        Mlfs::new(MlfsConfig {
+            params,
+            rl,
+            variant: MlfsVariant::Rl,
+        })
+    }
+
+    /// Full MLFS.
+    pub fn full(params: Params, rl: MlfRlConfig) -> Self {
+        Mlfs::new(MlfsConfig {
+            params,
+            rl,
+            variant: MlfsVariant::Full,
+        })
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> MlfsVariant {
+        self.variant
+    }
+
+    /// Mutable access to the RL component (policy transfer), if any.
+    pub fn rl_mut(&mut self) -> Option<&mut MlfRl> {
+        self.rl.as_mut()
+    }
+}
+
+impl Scheduler for Mlfs {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            MlfsVariant::H => "MLF-H",
+            MlfsVariant::Rl => "MLF-RL",
+            MlfsVariant::Full => "MLFS",
+        }
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        // Load control first: stopping a job this round frees capacity
+        // that the engine reflects before the *next* round (the paper's
+        // components also interleave at round granularity).
+        let mut actions = Vec::new();
+        if let Some(c) = &mut self.c {
+            actions.extend(c.control(ctx));
+        }
+        let stopped: Vec<cluster::JobId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::StopJob { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect();
+        let mut placement = match (&mut self.h, &mut self.rl) {
+            (Some(h), _) => h.schedule(ctx),
+            (_, Some(rl)) => rl.schedule(ctx),
+            _ => unreachable!("one scheduling component always exists"),
+        };
+        // Don't place/migrate tasks of jobs MLF-C just stopped.
+        placement.retain(|a| match a {
+            Action::Place { task, .. }
+            | Action::Migrate { task, .. }
+            | Action::Evict { task } => !stopped.contains(&task.job),
+            _ => true,
+        });
+        actions.extend(placement);
+        actions
+    }
+
+    fn observe_reward(&mut self, reward: &RewardComponents) {
+        if let Some(rl) = &mut self.rl {
+            rl.observe_reward(reward);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper_legends() {
+        let p = Params::default();
+        assert_eq!(Mlfs::heuristic(p).name(), "MLF-H");
+        assert_eq!(Mlfs::rl(p, MlfRlConfig::default()).name(), "MLF-RL");
+        assert_eq!(Mlfs::full(p, MlfRlConfig::default()).name(), "MLFS");
+    }
+
+    #[test]
+    fn variants_wire_the_right_components() {
+        let p = Params::default();
+        let h = Mlfs::heuristic(p);
+        assert!(h.h.is_some() && h.rl.is_none() && h.c.is_none());
+        let r = Mlfs::rl(p, MlfRlConfig::default());
+        assert!(r.h.is_none() && r.rl.is_some() && r.c.is_none());
+        let f = Mlfs::full(p, MlfRlConfig::default());
+        assert!(f.h.is_none() && f.rl.is_some() && f.c.is_some());
+    }
+}

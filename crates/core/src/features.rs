@@ -1,0 +1,279 @@
+//! State featurisation for the MLF-RL policy network.
+//!
+//! §3.4 lists the RL state: per-task information (queue/running
+//! status, resource demand, waiting/running time), per-job information
+//! (algorithm, urgency, deadline, iterations, loss reductions, sizes,
+//! dependency graph) and per-server information (utilization per
+//! resource, per GPU, running tasks). We encode each *(task,
+//! destination-candidate)* pair as one fixed-length vector: the shared
+//! policy MLP scores every candidate and the softmax over scores is
+//! the action distribution (see the `rl` crate).
+//!
+//! All features are squashed to roughly [0, 1] — raw hours or MB would
+//! drown the rest.
+
+use crate::params::Params;
+use crate::placement::affinity_mb;
+use cluster::{Cluster, Resource, ServerId, TaskId};
+use simcore::SimTime;
+use workload::JobState;
+
+/// Dimensionality of a candidate feature vector.
+pub const FEATURE_DIM: usize = 21;
+
+/// Squash a non-negative quantity into [0, 1): `x / (1 + x)`.
+fn squash(x: f64) -> f64 {
+    let x = x.max(0.0);
+    x / (1.0 + x)
+}
+
+/// Features describing the task itself (first 12 dims).
+fn task_features(job: &JobState, task_idx: usize, now: SimTime, p: &Params) -> [f64; 12] {
+    let spec = &job.spec;
+    let t = &spec.tasks[task_idx];
+    let slack_h = spec.deadline.since(now).as_hours_f64();
+    [
+        1.0 / job.current_iteration().max(1.0),
+        spec.curve.normalized_delta_loss(job.iterations),
+        spec.normalized_partition(task_idx),
+        spec.urgency as f64 / p.urgency_levels.max(1) as f64,
+        1.0 / (1.0 + slack_h),
+        squash(job.remaining_runtime().as_hours_f64()),
+        squash(job.task_waiting_time(task_idx, now).as_hours_f64()),
+        t.gpu_share,
+        squash(t.demand.get(Resource::Cpu) / 8.0),
+        squash(t.demand.get(Resource::Memory) / 32.0),
+        squash(t.demand.get(Resource::NetBw) / 250.0),
+        if t.is_param_server { 1.0 } else { 0.0 },
+    ]
+}
+
+/// Build the feature vector for placing `task` on `server`
+/// (`None` = the "stay in queue" option).
+/// `heuristic_pick` marks the candidate MLF-H's RIAL rule would choose
+/// (`None` server + `heuristic_pick` marks "RIAL found no host", i.e.
+/// MLF-H would queue the task). Feeding the heuristic's
+/// recommendation to the policy is a standard learned-scheduler
+/// design: imitation converges to MLF-H quickly and policy-gradient
+/// fine-tuning deviates only where the Eq. 7 reward justifies it.
+pub fn candidate_features(
+    cluster: &Cluster,
+    job: &JobState,
+    task: TaskId,
+    server: Option<ServerId>,
+    heuristic_pick: bool,
+    now: SimTime,
+    p: &Params,
+) -> Vec<f64> {
+    let tf = task_features(job, task.idx as usize, now, p);
+    let mut out = Vec::with_capacity(FEATURE_DIM);
+    out.extend_from_slice(&tf);
+    out.push(if heuristic_pick { 1.0 } else { 0.0 });
+    match server {
+        Some(sid) => {
+            let srv = cluster.server(sid);
+            let u = srv.utilization();
+            let spec = &job.spec.tasks[task.idx as usize];
+            let neighbors = crate::placement::comm_neighbors(job, task.idx as usize).len() as f64;
+            let max_affinity = (neighbors * job.spec.comm_mb).max(1.0);
+            out.push(u.get(Resource::GpuCompute));
+            out.push(u.get(Resource::Cpu));
+            out.push(u.get(Resource::Memory));
+            out.push(u.get(Resource::NetBw));
+            out.push(affinity_mb(job, task.idx as usize, sid, cluster) / max_affinity);
+            out.push(if srv.can_host(&spec.demand, spec.gpu_share, p.h_r) {
+                0.0
+            } else {
+                1.0
+            });
+            out.push(srv.gpu_utilization(srv.least_loaded_gpu()));
+            out.push(0.0); // not the queue option
+        }
+        None => {
+            // Queue option: sentinel encoding.
+            out.extend_from_slice(&[0.0; 7]);
+            out.push(1.0);
+        }
+    }
+    debug_assert_eq!(out.len(), FEATURE_DIM);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClusterConfig, JobId, ResourceVec, Topology};
+    use simcore::SimDuration;
+    use workload::dag::{CommStructure, Dag};
+    use workload::job::{JobSpec, StopPolicy, TaskSpec};
+    use workload::{LearningProfile, MlAlgorithm};
+
+    fn setup() -> (Cluster, JobState) {
+        let c = Cluster::new(&ClusterConfig {
+            servers: 2,
+            gpus_per_server: 2,
+            gpu_capacity: 1.0,
+            cpu_cores: 16.0,
+            memory_gb: 128.0,
+            nic_mbps: 1000.0,
+            topology: Topology::default_flat(),
+        });
+        let jid = JobId(1);
+        let tasks = (0..2)
+            .map(|i| TaskSpec {
+                id: TaskId::new(jid, i),
+                partition_mb: 100.0,
+                demand: ResourceVec::new(0.5, 2.0, 8.0, 50.0),
+                gpu_share: 0.5,
+                compute: SimDuration::from_secs(1),
+                is_param_server: false,
+            })
+            .collect();
+        let spec = JobSpec {
+            id: jid,
+            algorithm: MlAlgorithm::Mlp,
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_hours(4),
+            required_accuracy: 0.6,
+            urgency: 7,
+            max_iterations: 200,
+            tasks,
+            dag: Dag::sequential(2),
+            comm: CommStructure::AllReduce,
+            comm_mb: 60.0,
+            model_mb: 200.0,
+            train_data_mb: 300.0,
+            curve: LearningProfile::new(2.0, 0.2, 0.02, 0.9),
+            stop_policy: StopPolicy::MaxIterations,
+            allow_demotion: true,
+            predicted_runtime: SimDuration::from_hours(1),
+            previously_run: true,
+        };
+        (c, JobState::new(spec, SimTime::ZERO))
+    }
+
+    #[test]
+    fn feature_vectors_have_fixed_dim_and_bounded_values() {
+        let (c, job) = setup();
+        let p = Params::default();
+        for server in [Some(ServerId(0)), Some(ServerId(1)), None] {
+            let f = candidate_features(
+                &c,
+                &job,
+                TaskId::new(JobId(1), 0),
+                server,
+                false,
+                SimTime::from_mins(5),
+                &p,
+            );
+            assert_eq!(f.len(), FEATURE_DIM);
+            for (i, v) in f.iter().enumerate() {
+                assert!(v.is_finite(), "dim {i} not finite");
+                assert!((-0.01..=10.01).contains(v), "dim {i} = {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn queue_option_sets_sentinel_flag() {
+        let (c, job) = setup();
+        let p = Params::default();
+        let f = candidate_features(&c, &job, TaskId::new(JobId(1), 0), None, false, SimTime::ZERO, &p);
+        assert_eq!(f[FEATURE_DIM - 1], 1.0);
+        assert!(f[13..FEATURE_DIM - 1].iter().all(|v| *v == 0.0));
+        let g = candidate_features(
+            &c,
+            &job,
+            TaskId::new(JobId(1), 0),
+            Some(ServerId(0)),
+            false,
+            SimTime::ZERO,
+            &p,
+        );
+        assert_eq!(g[FEATURE_DIM - 1], 0.0);
+    }
+
+    #[test]
+    fn loaded_server_shows_in_features() {
+        let (mut c, job) = setup();
+        let p = Params::default();
+        c.place(
+            TaskId::new(JobId(9), 0),
+            ServerId(0),
+            ResourceVec::new(1.0, 8.0, 64.0, 500.0),
+            1.0,
+        )
+        .unwrap();
+        let f0 = candidate_features(
+            &c,
+            &job,
+            TaskId::new(JobId(1), 0),
+            Some(ServerId(0)),
+            false,
+            SimTime::ZERO,
+            &p,
+        );
+        let f1 = candidate_features(
+            &c,
+            &job,
+            TaskId::new(JobId(1), 0),
+            Some(ServerId(1)),
+            false,
+            SimTime::ZERO,
+            &p,
+        );
+        // Utilization dims 13..17 are higher on server 0.
+        for d in 13..17 {
+            assert!(f0[d] > f1[d], "dim {d}");
+        }
+    }
+
+    #[test]
+    fn affinity_dim_reflects_colocated_neighbor() {
+        let (mut c, job) = setup();
+        let p = Params::default();
+        // Place task 0 on server 1; task 1's candidate row for server 1
+        // gets positive affinity.
+        c.place(
+            TaskId::new(JobId(1), 0),
+            ServerId(1),
+            ResourceVec::new(0.5, 2.0, 8.0, 50.0),
+            0.5,
+        )
+        .unwrap();
+        let f1 = candidate_features(
+            &c,
+            &job,
+            TaskId::new(JobId(1), 1),
+            Some(ServerId(1)),
+            false,
+            SimTime::ZERO,
+            &p,
+        );
+        let f0 = candidate_features(
+            &c,
+            &job,
+            TaskId::new(JobId(1), 1),
+            Some(ServerId(0)),
+            false,
+            SimTime::ZERO,
+            &p,
+        );
+        assert!(f1[17] > 0.0);
+        assert_eq!(f0[17], 0.0);
+    }
+
+    #[test]
+    fn urgency_and_iteration_features_move_as_expected() {
+        let (c, mut job) = setup();
+        let p = Params::default();
+        let before =
+            candidate_features(&c, &job, TaskId::new(JobId(1), 0), None, false, SimTime::ZERO, &p);
+        job.advance(100.0);
+        let after =
+            candidate_features(&c, &job, TaskId::new(JobId(1), 0), None, false, SimTime::ZERO, &p);
+        assert!(after[0] < before[0]); // 1/I shrinks
+        assert!(after[1] < before[1]); // normalized δl shrinks
+        assert!((before[3] - 0.7).abs() < 1e-12); // urgency 7 of 10
+    }
+}

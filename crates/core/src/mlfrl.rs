@@ -1,0 +1,643 @@
+//! MLF-RL: the ML-feature-based RL task scheduler (§3.4).
+//!
+//! Lifecycle, as in the paper:
+//!
+//! 1. **Imitation phase** — "MLFS initially runs MLF-H for a certain
+//!    time period and uses the data to train MLF-RL". During this
+//!    phase the scheduler *acts* exactly like MLF-H while training the
+//!    policy network to imitate MLF-H's host choices (cross-entropy).
+//! 2. **RL phase** — once the imitation budget is exhausted, decisions
+//!    come from the policy network and REINFORCE fine-tuning continues
+//!    online with the Eq. 7 reward, discounted by `η` over the
+//!    post-decision window (`observe_reward` is called by the engine
+//!    every scheduling round).
+//!
+//! Victim selection on overloaded servers stays heuristic
+//! (ideal-virtual-task); the policy decides *destinations* — server or
+//! queue — which is where the combinatorial choice lies.
+
+use crate::features::candidate_features;
+use crate::mlfh::MlfH;
+use crate::params::Params;
+use crate::placement::select_victim;
+use crate::scheduler::{Action, RewardComponents, Scheduler, SchedulerContext};
+use cluster::{Cluster, ServerId, TaskId};
+use rl::{Convergence, ReinforceTrainer, ScoringPolicy, Step, TrainerConfig};
+use simcore::SimRng;
+
+/// MLF-RL hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MlfRlConfig {
+    /// Hidden layer sizes of the policy MLP.
+    pub hidden: Vec<usize>,
+    /// Scheduling rounds spent imitating MLF-H before switching
+    /// (the paper trains on the first 50% of the trace; benches set
+    /// this per experiment).
+    pub imitation_rounds: usize,
+    /// Cap on server candidates offered per decision (keeps decision
+    /// cost bounded on large clusters; nearest-by-load servers win).
+    pub max_candidates: usize,
+    /// Rounds per REINFORCE episode.
+    pub train_interval: usize,
+    /// Trainer hyperparameters (η lives here).
+    pub trainer: TrainerConfig,
+    /// Sample actions during RL (exploration) instead of greedy.
+    pub explore: bool,
+    /// RNG seed for the policy init and sampling.
+    pub seed: u64,
+}
+
+impl Default for MlfRlConfig {
+    fn default() -> Self {
+        MlfRlConfig {
+            hidden: vec![64, 32],
+            imitation_rounds: 200,
+            max_candidates: 12,
+            train_interval: 8,
+            trainer: TrainerConfig::default(),
+            explore: true,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// The MLF-RL scheduler.
+pub struct MlfRl {
+    /// Tunables shared with MLF-H.
+    pub params: Params,
+    cfg: MlfRlConfig,
+    inner_h: MlfH,
+    trainer: ReinforceTrainer,
+    convergence: Convergence,
+    rng: SimRng,
+    rounds: usize,
+    /// Steps taken in the round awaiting their reward.
+    pending: Vec<Step>,
+    /// Closed (step, reward) pairs of the current episode.
+    episode: Vec<(Step, f64)>,
+    /// Replay buffer of MLF-H decisions for imitation training.
+    imitation_buffer: Vec<Step>,
+    /// Total REINFORCE episodes trained.
+    pub episodes_trained: usize,
+}
+
+impl MlfRl {
+    /// New MLF-RL scheduler.
+    pub fn new(params: Params, cfg: MlfRlConfig) -> Self {
+        let mut rng = SimRng::new(cfg.seed);
+        let policy = ScoringPolicy::new(crate::features::FEATURE_DIM, &cfg.hidden, &mut rng);
+        let trainer = ReinforceTrainer::new(policy, cfg.trainer);
+        MlfRl {
+            params,
+            inner_h: MlfH::new(params),
+            trainer,
+            convergence: Convergence::new(0.02, 10),
+            rng,
+            rounds: 0,
+            pending: Vec::new(),
+            episode: Vec::new(),
+            imitation_buffer: Vec::new(),
+            episodes_trained: 0,
+            cfg,
+        }
+    }
+
+    /// Still copying MLF-H?
+    pub fn in_imitation_phase(&self) -> bool {
+        self.rounds < self.cfg.imitation_rounds
+    }
+
+    /// Snapshot the trained policy (for transfer into an evaluation
+    /// scheduler after a warm-up run, per §4.1's offline pre-training).
+    pub fn export_policy(&self) -> ScoringPolicy {
+        self.trainer.policy.clone()
+    }
+
+    /// Replace the policy with a pre-trained one and skip imitation:
+    /// the scheduler starts in the RL phase immediately.
+    pub fn import_policy(&mut self, policy: ScoringPolicy) {
+        self.trainer.policy = policy;
+        self.cfg.imitation_rounds = 0;
+    }
+
+    /// Toggle exploration (sampling) vs greedy action selection.
+    pub fn set_explore(&mut self, explore: bool) {
+        self.cfg.explore = explore;
+    }
+
+    /// Has the return EMA stabilised (§3.4's "well trained")?
+    pub fn is_converged(&self) -> bool {
+        self.convergence.is_converged()
+    }
+
+    /// Fraction of buffered MLF-H decisions the current policy would
+    /// reproduce greedily (imitation-quality diagnostic).
+    pub fn imitation_agreement(&self) -> f64 {
+        self.trainer.agreement(&self.imitation_buffer)
+    }
+
+    /// Candidate servers for `task` on the speculative cluster:
+    /// underloaded hosts that fit, capped to the least-loaded
+    /// `max_candidates` (by overload degree).
+    fn candidate_servers(&self, plan: &Cluster, ctx: &SchedulerContext<'_>, task: TaskId) -> Vec<ServerId> {
+        let job = &ctx.jobs[&task.job];
+        let spec = &job.spec.tasks[task.idx as usize];
+        // Softer admission limit than MLF-H's fixed h_r: the paper
+        // motivates MLF-RL by MLF-H's possibly sub-optimal fixed
+        // parameters (§3.4). The policy is shown these riskier hosts
+        // (their utilization features expose the risk) and the Eq. 7
+        // reward arbitrates whether using the headroom pays off.
+        let soft = (self.params.h_r + 0.08).min(0.98);
+        let mut hosts: Vec<(f64, ServerId)> = plan
+            .servers()
+            .iter()
+            .filter(|s| {
+                !s.is_overloaded(soft) && s.can_host(&spec.demand, spec.gpu_share, soft)
+            })
+            .map(|s| (s.overload_degree(), s.id))
+            .collect();
+        hosts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        hosts
+            .into_iter()
+            .take(self.cfg.max_candidates)
+            .map(|(_, s)| s)
+            .collect()
+    }
+
+    /// Imitation round: emit MLF-H's actions and record its decisions
+    /// as supervised examples, replaying them against an evolving plan
+    /// so the features match what the RL phase will later see. Each
+    /// round also trains several minibatches from a replay buffer —
+    /// single-pass imitation underfits badly.
+    fn imitation_round(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        let actions = self.inner_h.schedule(ctx);
+        let mut plan = ctx.cluster.clone();
+        for (task, chosen) in self.inner_h.last_decisions.clone() {
+            let job = &ctx.jobs[&task.job];
+            // Migration decisions move an already-placed task: detach
+            // it first so the plan mirrors MLF-H's speculative state.
+            plan.remove(task);
+            // Candidates exactly as the RL phase generates them.
+            let mut servers = self.candidate_servers(&plan, ctx, task);
+            if !servers.contains(&chosen) {
+                servers.push(chosen);
+            }
+            let action_idx = servers
+                .iter()
+                .position(|&s| s == chosen)
+                .expect("chosen host was just inserted");
+            let mut feats: Vec<Vec<f64>> = servers
+                .iter()
+                .map(|&s| {
+                    candidate_features(
+                        &plan,
+                        job,
+                        task,
+                        Some(s),
+                        s == chosen,
+                        ctx.now,
+                        &self.params,
+                    )
+                })
+                .collect();
+            feats.push(candidate_features(
+                &plan,
+                job,
+                task,
+                None,
+                false,
+                ctx.now,
+                &self.params,
+            ));
+            self.imitation_buffer.push(Step {
+                candidates: feats,
+                action: action_idx,
+            });
+            let spec = &job.spec.tasks[task.idx as usize];
+            plan.place(task, chosen, spec.demand, spec.gpu_share)
+                .expect("speculative placement cannot fail");
+        }
+        // Bound the buffer (drop oldest).
+        const BUFFER_CAP: usize = 50_000;
+        if self.imitation_buffer.len() > BUFFER_CAP {
+            let excess = self.imitation_buffer.len() - BUFFER_CAP;
+            self.imitation_buffer.drain(..excess);
+        }
+        // Replay minibatches.
+        if !self.imitation_buffer.is_empty() {
+            for _ in 0..4 {
+                let batch: Vec<Step> = (0..64.min(self.imitation_buffer.len()))
+                    .map(|_| {
+                        self.imitation_buffer[self.rng.index(self.imitation_buffer.len())]
+                            .clone()
+                    })
+                    .collect();
+                self.trainer.imitate(&batch);
+            }
+        }
+        actions
+    }
+
+    /// RL round: the policy chooses destinations.
+    fn rl_round(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        let p = self.params;
+        let mut actions = Vec::new();
+        let mut plan = ctx.cluster.clone();
+        let priorities = MlfH::all_priorities(ctx, &p);
+
+        // Victims off overloaded servers (heuristic, as in MLF-H).
+        #[derive(Clone, Copy)]
+        enum Origin {
+            Queue,
+            Server(ServerId),
+        }
+        let mut work: Vec<(TaskId, f64, Origin)> = Vec::new();
+        if p.use_migration {
+            for sid in plan.overloaded_servers(p.h_r) {
+                while plan.server(sid).is_overloaded(p.h_r) {
+                    let Some(victim) = select_victim(&plan, ctx.jobs, sid, &priorities, &p) else {
+                        break;
+                    };
+                    plan.remove(victim);
+                    let prio = priorities.get(&victim).copied().unwrap_or(0.0);
+                    work.push((victim, prio, Origin::Server(sid)));
+                }
+            }
+        }
+        for &t in ctx.queue {
+            work.push((t, priorities.get(&t).copied().unwrap_or(0.0), Origin::Queue));
+        }
+        // Job-gang processing, mirroring MLF-H (see mlfh.rs): jobs by
+        // max task priority; victims re-placed individually; waiting
+        // tasks gang (the policy parking any task parks the job).
+        let mut job_key: std::collections::BTreeMap<cluster::JobId, f64> =
+            std::collections::BTreeMap::new();
+        for (t, prio, _) in &work {
+            let e = job_key.entry(t.job).or_insert(f64::NEG_INFINITY);
+            if *prio > *e {
+                *e = *prio;
+            }
+        }
+        let mut job_order: Vec<cluster::JobId> = job_key.keys().copied().collect();
+        job_order.sort_by(|a, b| {
+            job_key[b]
+                .partial_cmp(&job_key[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+
+        for jid in job_order {
+            let mut group: Vec<(TaskId, f64, Origin)> = work
+                .iter()
+                .filter(|(t, _, _)| t.job == jid)
+                .cloned()
+                .collect();
+            group.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            let job = &ctx.jobs[&jid];
+
+            // One policy decision for `task`; returns the chosen host.
+            let decide = |this: &mut Self,
+                              plan: &Cluster,
+                              task: TaskId,
+                              migration_from: Option<ServerId>|
+             -> Option<ServerId> {
+                let mut servers = this.candidate_servers(plan, ctx, task);
+                let rial =
+                    crate::placement::select_host(plan, ctx.jobs, task, migration_from, &p);
+                // RIAL may prefer a loaded server (communication
+                // affinity) outside the least-loaded cap — offer it.
+                if let Some(r) = rial {
+                    if !servers.contains(&r) {
+                        servers.push(r);
+                    }
+                }
+                let mut feats: Vec<Vec<f64>> = servers
+                    .iter()
+                    .map(|&s| {
+                        candidate_features(plan, job, task, Some(s), rial == Some(s), ctx.now, &p)
+                    })
+                    .collect();
+                feats.push(candidate_features(
+                    plan,
+                    job,
+                    task,
+                    None,
+                    rial.is_none(),
+                    ctx.now,
+                    &p,
+                ));
+                let choice = if this.cfg.explore {
+                    this.trainer.policy.sample(&feats, &mut this.rng)
+                } else {
+                    this.trainer.policy.greedy(&feats)
+                };
+                this.pending.push(Step {
+                    candidates: feats,
+                    action: choice,
+                });
+                if choice < servers.len() {
+                    Some(servers[choice])
+                } else {
+                    None
+                }
+            };
+
+            // Victims first. A "queue" decision for a victim leaves it
+            // where it is (matching MLF-H's no-thrash rule).
+            for (task, _, origin) in group.iter() {
+                let Origin::Server(src) = *origin else { continue };
+                match decide(self, &plan, *task, Some(src)) {
+                    Some(host) => {
+                        let spec = &job.spec.tasks[task.idx as usize];
+                        plan.place(*task, host, spec.demand, spec.gpu_share)
+                            .expect("speculative placement cannot fail");
+                        if src != host {
+                            actions.push(Action::Migrate { task: *task, to: host });
+                        }
+                    }
+                    None => {
+                        let spec = &job.spec.tasks[task.idx as usize];
+                        plan.place(*task, src, spec.demand, spec.gpu_share)
+                            .expect("victim slot was just freed");
+                    }
+                }
+            }
+
+            // Waiting tasks: gang with rollback.
+            let waiting: Vec<TaskId> = group
+                .iter()
+                .filter(|(_, _, o)| matches!(o, Origin::Queue))
+                .map(|(t, _, _)| *t)
+                .collect();
+            if waiting.is_empty() {
+                continue;
+            }
+            let mut placed: Vec<(TaskId, ServerId)> = Vec::new();
+            let mut ok = true;
+            for &task in &waiting {
+                match decide(self, &plan, task, None) {
+                    Some(host) => {
+                        let spec = &job.spec.tasks[task.idx as usize];
+                        plan.place(task, host, spec.demand, spec.gpu_share)
+                            .expect("speculative placement cannot fail");
+                        placed.push((task, host));
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                for (task, host) in placed {
+                    actions.push(Action::Place { task, server: host });
+                }
+            } else {
+                for (task, _) in placed {
+                    plan.remove(task);
+                }
+            }
+        }
+        actions
+    }
+}
+
+impl Scheduler for MlfRl {
+    fn name(&self) -> &'static str {
+        "MLF-RL"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        let actions = if self.in_imitation_phase() {
+            self.imitation_round(ctx)
+        } else {
+            self.rl_round(ctx)
+        };
+        self.rounds += 1;
+        actions
+    }
+
+    fn observe_reward(&mut self, reward: &RewardComponents) {
+        // Eq. 7: weighted sum of the five objective components.
+        let r = reward.weighted(&self.params.beta);
+        // Close out the previous round's steps with this reward.
+        for s in self.pending.drain(..) {
+            self.episode.push((s, r));
+        }
+        // Train an episode every `train_interval` rounds' worth of steps.
+        if self.episode.len() >= self.cfg.train_interval {
+            let ep: Vec<(Step, f64)> = self.episode.drain(..).collect();
+            let ret = self.trainer.train_episode(&ep);
+            self.convergence.record(ret);
+            self.episodes_trained += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClusterConfig, JobId, ResourceVec, Topology};
+    use simcore::{SimDuration, SimTime};
+    use std::collections::BTreeMap;
+    use workload::dag::{CommStructure, Dag};
+    use workload::job::{JobSpec, StopPolicy, TaskSpec};
+    use workload::{JobState, LearningProfile, MlAlgorithm};
+
+    fn cluster() -> Cluster {
+        Cluster::new(&ClusterConfig {
+            servers: 4,
+            gpus_per_server: 2,
+            gpu_capacity: 1.0,
+            cpu_cores: 16.0,
+            memory_gb: 128.0,
+            nic_mbps: 1000.0,
+            topology: Topology::default_flat(),
+        })
+    }
+
+    fn job(id: u32, n: usize) -> JobState {
+        let jid = JobId(id);
+        let tasks = (0..n)
+            .map(|i| TaskSpec {
+                id: TaskId::new(jid, i as u16),
+                partition_mb: 50.0,
+                demand: ResourceVec::new(0.5, 2.0, 8.0, 50.0),
+                gpu_share: 0.5,
+                compute: SimDuration::from_secs(1),
+                is_param_server: false,
+            })
+            .collect();
+        let spec = JobSpec {
+            id: jid,
+            algorithm: MlAlgorithm::Mlp,
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_hours(6),
+            required_accuracy: 0.6,
+            urgency: 5,
+            max_iterations: 300,
+            tasks,
+            dag: Dag::sequential(n),
+            comm: CommStructure::AllReduce,
+            comm_mb: 60.0,
+            model_mb: 50.0 * n as f64,
+            train_data_mb: 300.0,
+            curve: LearningProfile::new(2.0, 0.2, 0.01, 0.9),
+            stop_policy: StopPolicy::MaxIterations,
+            allow_demotion: true,
+            predicted_runtime: SimDuration::from_hours(1),
+            previously_run: true,
+        };
+        JobState::new(spec, SimTime::ZERO)
+    }
+
+    #[test]
+    fn imitation_phase_mirrors_mlfh() {
+        let c = cluster();
+        let j = job(1, 3);
+        let queue: Vec<TaskId> = (0..3).map(|i| TaskId::new(JobId(1), i)).collect();
+        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let ctx = SchedulerContext {
+            now: SimTime::from_mins(1),
+            jobs: &jobs,
+            cluster: &c,
+            queue: &queue,
+        };
+        let mut rl = MlfRl::new(
+            Params::default(),
+            MlfRlConfig {
+                imitation_rounds: 5,
+                ..Default::default()
+            },
+        );
+        let mut h = MlfH::new(Params::default());
+        assert!(rl.in_imitation_phase());
+        let a_rl = rl.schedule(&ctx);
+        let a_h = h.schedule(&ctx);
+        assert_eq!(a_rl, a_h);
+    }
+
+    #[test]
+    fn switches_to_rl_after_budget() {
+        let c = cluster();
+        let j = job(1, 2);
+        let queue: Vec<TaskId> = (0..2).map(|i| TaskId::new(JobId(1), i)).collect();
+        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let mut rl = MlfRl::new(
+            Params::default(),
+            MlfRlConfig {
+                imitation_rounds: 3,
+                ..Default::default()
+            },
+        );
+        for round in 0..5 {
+            let ctx = SchedulerContext {
+                now: SimTime::from_mins(round + 1),
+                jobs: &jobs,
+                cluster: &c,
+                queue: &queue,
+            };
+            rl.schedule(&ctx);
+            rl.observe_reward(&RewardComponents { g: [1.0; 5] });
+        }
+        assert!(!rl.in_imitation_phase());
+    }
+
+    #[test]
+    fn rl_phase_emits_valid_actions() {
+        let c = cluster();
+        let j = job(1, 4);
+        let queue: Vec<TaskId> = (0..4).map(|i| TaskId::new(JobId(1), i)).collect();
+        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let mut rl = MlfRl::new(
+            Params::default(),
+            MlfRlConfig {
+                imitation_rounds: 0,
+                explore: false,
+                ..Default::default()
+            },
+        );
+        let ctx = SchedulerContext {
+            now: SimTime::from_mins(1),
+            jobs: &jobs,
+            cluster: &c,
+            queue: &queue,
+        };
+        let actions = rl.schedule(&ctx);
+        // Every emitted placement targets a queued task and an existing
+        // server; no duplicates.
+        let mut placed = Vec::new();
+        for a in &actions {
+            match a {
+                Action::Place { task, server } => {
+                    assert!(queue.contains(task));
+                    assert!((server.0 as usize) < c.server_count());
+                    assert!(!placed.contains(task));
+                    placed.push(*task);
+                }
+                Action::Migrate { .. } | Action::Evict { .. } => {
+                    panic!("no running tasks to migrate/evict: {a:?}")
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn rewards_drive_training() {
+        let c = cluster();
+        let j = job(1, 2);
+        let queue: Vec<TaskId> = (0..2).map(|i| TaskId::new(JobId(1), i)).collect();
+        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let mut rl = MlfRl::new(
+            Params::default(),
+            MlfRlConfig {
+                imitation_rounds: 0,
+                train_interval: 4,
+                ..Default::default()
+            },
+        );
+        for round in 0..16 {
+            let ctx = SchedulerContext {
+                now: SimTime::from_mins(round + 1),
+                jobs: &jobs,
+                cluster: &c,
+                queue: &queue,
+            };
+            rl.schedule(&ctx);
+            rl.observe_reward(&RewardComponents { g: [0.5; 5] });
+        }
+        assert!(rl.episodes_trained >= 2, "{}", rl.episodes_trained);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = cluster();
+        let j = job(1, 4);
+        let queue: Vec<TaskId> = (0..4).map(|i| TaskId::new(JobId(1), i)).collect();
+        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let mk = || {
+            MlfRl::new(
+                Params::default(),
+                MlfRlConfig {
+                    imitation_rounds: 0,
+                    seed: 99,
+                    ..Default::default()
+                },
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let ctx = SchedulerContext {
+            now: SimTime::from_mins(1),
+            jobs: &jobs,
+            cluster: &c,
+            queue: &queue,
+        };
+        assert_eq!(a.schedule(&ctx), b.schedule(&ctx));
+    }
+}

@@ -1,0 +1,95 @@
+//! MLFS tunable parameters with the paper's §4.1 defaults, plus the
+//! ablation switches exercised in Figs. 6–9.
+
+use serde::{Deserialize, Serialize};
+
+/// All MLFS knobs. Field docs quote the paper's interpretation of each.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Eq. 6 weight between ML features and computation features
+    /// ("a larger α means that the ML job features have higher
+    /// weights"). Default 0.3.
+    pub alpha: f64,
+    /// Eq. 3/5 child-priority discount ("a larger γ means a higher
+    /// weight is given to the priorities of a task's children").
+    /// Default 0.8.
+    pub gamma: f64,
+    /// Eq. 4 deadline weight. Default 0.3.
+    pub gamma_d: f64,
+    /// Eq. 4 remaining-time weight. Default 0.3.
+    pub gamma_r: f64,
+    /// Eq. 4 waiting-time weight. Default 0.35.
+    pub gamma_w: f64,
+    /// Number of urgency levels `m` (urgency ∈ [1, m]). Default 10.
+    pub urgency_levels: u8,
+    /// Per-resource overload threshold `h_r` (default 0.9).
+    pub h_r: f64,
+    /// Cluster overload threshold `h_s` on the mean overload degree
+    /// (default 0.9).
+    pub h_s: f64,
+    /// Fraction of lowest-priority tasks eligible for migration when a
+    /// GPU is overloaded, `p_s` (default 0.1).
+    pub p_s: f64,
+    /// Eq. 7 reward weights β₁…β₅ (defaults 0.5, 0.55, 0.25, 0.15,
+    /// 0.15; "larger β₂ means more weights on deadline guarantee").
+    pub beta: [f64; 5],
+    /// Reward discount η (default 0.95).
+    pub eta: f64,
+
+    // ---- ablation switches (each corresponds to one paper figure) ----
+    /// Fig. 6: include the urgency coefficient `L_J` in Eq. 2.
+    pub use_urgency: bool,
+    /// Fig. 6: include the deadline term in Eq. 4.
+    pub use_deadline: bool,
+    /// Fig. 7: include bandwidth terms in the RIAL ideal vectors.
+    pub use_bandwidth: bool,
+    /// Fig. 8: enable overloaded-server task migration.
+    pub use_migration: bool,
+    /// Fig. 9: enable MLF-C load control.
+    pub use_mlfc: bool,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            alpha: 0.3,
+            gamma: 0.8,
+            gamma_d: 0.3,
+            gamma_r: 0.3,
+            gamma_w: 0.35,
+            urgency_levels: 10,
+            h_r: 0.9,
+            h_s: 0.9,
+            p_s: 0.1,
+            beta: [0.5, 0.55, 0.25, 0.15, 0.15],
+            eta: 0.95,
+            use_urgency: true,
+            use_deadline: true,
+            use_bandwidth: true,
+            use_migration: true,
+            use_mlfc: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let p = Params::default();
+        assert_eq!(p.alpha, 0.3);
+        assert_eq!(p.gamma, 0.8);
+        assert_eq!(p.gamma_d, 0.3);
+        assert_eq!(p.gamma_r, 0.3);
+        assert_eq!(p.gamma_w, 0.35);
+        assert_eq!(p.beta, [0.5, 0.55, 0.25, 0.15, 0.15]);
+        assert_eq!(p.eta, 0.95);
+        assert_eq!(p.h_r, 0.9);
+        assert_eq!(p.h_s, 0.9);
+        assert_eq!(p.p_s, 0.1);
+        assert!(p.use_urgency && p.use_deadline && p.use_bandwidth);
+        assert!(p.use_migration && p.use_mlfc);
+    }
+}

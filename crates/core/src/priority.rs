@@ -1,0 +1,298 @@
+//! Task priority determination (§3.3.1, Eqs. 2–6).
+//!
+//! Combines:
+//! * **ML features** (Eq. 2): urgency `L_J`, iteration importance
+//!   `1/I`, normalized loss reduction `δl_{I−1}/Σδl`, and partition
+//!   size `S_k/S_J`; propagated up the dependency graph with discount
+//!   `γ` (Eq. 3);
+//! * **computation features** (Eq. 4): deadline proximity
+//!   `1/(d_{k,J} − t)`, remaining time `1/r_{k,J}` and waiting time
+//!   `w_{k,J}`, propagated identically (Eq. 5);
+//! * a weighted blend `P = α·P^ML + (1−α)·P^C` (Eq. 6).
+//!
+//! Time quantities are expressed in **hours** so the three Eq. 4 terms
+//! share a scale (the paper leaves units unspecified). `1/(d−t)` is
+//! clamped: a task at or past its deadline gets the maximum deadline
+//! urgency rather than a singular or negative value.
+
+use crate::params::Params;
+use simcore::SimTime;
+use workload::JobState;
+
+/// Cap applied to the `1/(d−t)` and `1/r` hyperbolic terms (reached
+/// when the deadline is ≤ 36 s away). Keeps priorities finite.
+const HYPERBOLIC_CAP: f64 = 100.0;
+
+/// Priorities for every task of `job` (workers first, then the
+/// parameter server if present), per Eqs. 2–6.
+pub fn job_task_priorities(job: &JobState, now: SimTime, p: &Params) -> Vec<f64> {
+    let spec = &job.spec;
+    let n_workers = spec.worker_count();
+
+    // ---- ML feature base priorities (Eq. 2) ----
+    let urgency = if p.use_urgency {
+        spec.urgency as f64
+    } else {
+        1.0
+    };
+    let iter_importance = 1.0 / job.current_iteration().max(1.0);
+    let norm_delta = spec.curve.normalized_delta_loss(job.iterations);
+    let temporal = urgency * iter_importance * norm_delta;
+    let base_ml: Vec<f64> = (0..n_workers)
+        .map(|k| temporal * spec.normalized_partition(k))
+        .collect();
+
+    // ---- computation feature base priorities (Eq. 4) ----
+    let remaining_h = job.remaining_runtime().as_hours_f64().max(1e-9);
+    let base_c: Vec<f64> = (0..n_workers)
+        .map(|k| {
+            let deadline_term = if p.use_deadline {
+                let d = spec.task_deadline(k);
+                if now >= d {
+                    // Deadline already missed: the term exists to
+                    // "help meet the job deadline", which is no longer
+                    // possible — a missed-deadline job must not
+                    // outrank jobs that can still make theirs.
+                    0.0
+                } else {
+                    let slack_h = d.since(now).as_hours_f64();
+                    p.gamma_d * (1.0 / slack_h.max(1.0 / HYPERBOLIC_CAP)).min(HYPERBOLIC_CAP)
+                }
+            } else {
+                0.0
+            };
+            let remaining_term = p.gamma_r * (1.0 / remaining_h).min(HYPERBOLIC_CAP);
+            let waiting_term = p.gamma_w * job.task_waiting_time(k, now).as_hours_f64();
+            deadline_term + remaining_term + waiting_term
+        })
+        .collect();
+
+    // ---- child propagation (Eqs. 3 and 5): reverse topological pass ----
+    let order = spec.dag.topological_order();
+    let mut ml = base_ml;
+    let mut comp = base_c;
+    for &k in order.iter().rev() {
+        let k = k as usize;
+        let (mut ml_kids, mut c_kids) = (0.0, 0.0);
+        for &c in spec.dag.children(k) {
+            ml_kids += ml[c as usize];
+            c_kids += comp[c as usize];
+        }
+        ml[k] += p.gamma * ml_kids;
+        comp[k] += p.gamma * c_kids;
+    }
+
+    // ---- blend (Eq. 6) ----
+    let mut out: Vec<f64> = ml
+        .iter()
+        .zip(&comp)
+        .map(|(m, c)| p.alpha * m + (1.0 - p.alpha) * c)
+        .collect();
+
+    // Parameter-server task: "assigned with the highest priority"
+    // (§3.3.1) — rank it above all of this job's workers.
+    if spec.has_param_server() {
+        let max = out.iter().cloned().fold(0.0, f64::max);
+        out.push(max * 1.05 + 1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{JobId, ResourceVec, TaskId};
+    use simcore::SimDuration;
+    use workload::dag::{CommStructure, Dag};
+    use workload::job::{JobSpec, StopPolicy, TaskSpec};
+    use workload::{LearningProfile, MlAlgorithm};
+
+    fn make_job(urgency: u8, with_ps: bool, sizes: &[f64]) -> JobState {
+        let id = JobId(1);
+        let n = sizes.len();
+        let model_mb: f64 = sizes.iter().sum();
+        let mut tasks: Vec<TaskSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| TaskSpec {
+                id: TaskId::new(id, i as u16),
+                partition_mb: s,
+                demand: ResourceVec::splat(0.5),
+                gpu_share: 0.5,
+                compute: SimDuration::from_secs(1),
+                is_param_server: false,
+            })
+            .collect();
+        if with_ps {
+            tasks.push(TaskSpec {
+                id: TaskId::new(id, n as u16),
+                partition_mb: 0.0,
+                demand: ResourceVec::splat(0.1),
+                gpu_share: 0.0,
+                compute: SimDuration::from_secs(1),
+                is_param_server: true,
+            });
+        }
+        let spec = JobSpec {
+            id,
+            algorithm: MlAlgorithm::Mlp,
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_hours(10),
+            required_accuracy: 0.7,
+            urgency,
+            max_iterations: 1000,
+            tasks,
+            dag: Dag::sequential(n),
+            comm: if with_ps {
+                CommStructure::ParameterServer
+            } else {
+                CommStructure::AllReduce
+            },
+            comm_mb: 60.0,
+            model_mb,
+            train_data_mb: 500.0,
+            curve: LearningProfile::new(2.0, 0.2, 0.01, 0.9),
+            stop_policy: StopPolicy::MaxIterations,
+            allow_demotion: true,
+            predicted_runtime: SimDuration::from_hours(2),
+            previously_run: true,
+        };
+        JobState::new(spec, SimTime::ZERO)
+    }
+
+    #[test]
+    fn chain_head_outranks_tail() {
+        // In a sequential chain, earlier tasks accumulate discounted
+        // child priority and must rank higher.
+        let job = make_job(5, false, &[100.0, 100.0, 100.0]);
+        let pr = job_task_priorities(&job, SimTime::from_mins(1), &Params::default());
+        assert!(pr[0] > pr[1] && pr[1] > pr[2], "{pr:?}");
+    }
+
+    #[test]
+    fn early_iterations_outrank_late() {
+        let early = make_job(5, false, &[100.0, 100.0]);
+        let mut late = make_job(5, false, &[100.0, 100.0]);
+        late.advance(500.0);
+        let p = Params::default();
+        let pe = job_task_priorities(&early, SimTime::from_mins(1), &p);
+        let pl = job_task_priorities(&late, SimTime::from_mins(1), &p);
+        // Note: late jobs gain a little from the smaller remaining
+        // time; the ML temporal term must dominate for the default α.
+        assert!(pe[0] > pl[0], "early {} late {}", pe[0], pl[0]);
+    }
+
+    #[test]
+    fn urgency_raises_priority_only_when_enabled() {
+        let meek = make_job(1, false, &[100.0]);
+        let urgent = make_job(10, false, &[100.0]);
+        let p = Params::default();
+        let pm = job_task_priorities(&meek, SimTime::from_mins(1), &p)[0];
+        let pu = job_task_priorities(&urgent, SimTime::from_mins(1), &p)[0];
+        assert!(pu > pm);
+        let p_no = Params {
+            use_urgency: false,
+            ..Params::default()
+        };
+        let pm = job_task_priorities(&meek, SimTime::from_mins(1), &p_no)[0];
+        let pu = job_task_priorities(&urgent, SimTime::from_mins(1), &p_no)[0];
+        assert_eq!(pu, pm);
+    }
+
+    #[test]
+    fn larger_partition_gets_higher_ml_priority() {
+        let job = make_job(5, false, &[50.0, 200.0]);
+        // Use pure-ML weighting to isolate the spatial term; kill the
+        // child propagation contribution by comparing an edgeless pair
+        // via a data-parallel-like check: task 1 is the chain tail so
+        // it has no children — compare base effect via α=1, γ→0.
+        let p = Params {
+            alpha: 1.0,
+            gamma: 1e-9,
+            ..Params::default()
+        };
+        let pr = job_task_priorities(&job, SimTime::from_mins(1), &p);
+        assert!(pr[1] > pr[0], "{pr:?}");
+    }
+
+    #[test]
+    fn near_deadline_tasks_surge_then_drop_when_missed() {
+        let job = make_job(5, false, &[100.0]);
+        let p = Params::default();
+        let far = job_task_priorities(&job, SimTime::from_mins(1), &p)[0];
+        // One minute before the 10-hour deadline: maximal urgency.
+        let near = job_task_priorities(&job, SimTime::from_mins(10 * 60 - 1), &p)[0];
+        assert!(near > far, "near {near} far {far}");
+        // Past the deadline the surge disappears (a missed-deadline
+        // job must not outrank jobs that can still make theirs); what
+        // remains is the slowly-growing waiting term.
+        let past = job_task_priorities(&job, SimTime::from_mins(10 * 60 + 1), &p)[0];
+        assert!(past.is_finite());
+        assert!(past < near, "past {past} should drop below near {near}");
+        let much_later = job_task_priorities(&job, SimTime::from_hours(20), &p)[0];
+        assert!(much_later > past); // waiting keeps accruing
+        assert!(much_later < near); // but never re-surges
+    }
+
+    #[test]
+    fn deadline_ablation_removes_the_surge() {
+        let job = make_job(5, false, &[100.0]);
+        let p = Params {
+            use_deadline: false,
+            ..Params::default()
+        };
+        let far = job_task_priorities(&job, SimTime::from_mins(1), &p)[0];
+        let near = job_task_priorities(&job, SimTime::from_mins(10 * 60 - 1), &p)[0];
+        // Without the deadline term, proximity alone changes nothing
+        // except waiting time, which grows slowly — allow that growth.
+        let waiting_growth = 0.35 * (10.0 - 1.0 / 60.0);
+        assert!((near - far) <= waiting_growth + 1e-6);
+    }
+
+    #[test]
+    fn waiting_time_accrues_priority() {
+        let job = make_job(5, false, &[100.0]);
+        let p = Params::default();
+        let t0 = job_task_priorities(&job, SimTime::from_mins(1), &p)[0];
+        let t1 = job_task_priorities(&job, SimTime::from_hours(2), &p)[0];
+        assert!(t1 > t0);
+    }
+
+    #[test]
+    fn param_server_is_highest_within_job() {
+        let job = make_job(5, true, &[100.0, 100.0, 100.0]);
+        let pr = job_task_priorities(&job, SimTime::from_mins(1), &Params::default());
+        assert_eq!(pr.len(), 4);
+        let ps = pr[3];
+        assert!(pr[..3].iter().all(|&w| ps > w), "{pr:?}");
+    }
+
+    #[test]
+    fn gamma_strengthens_child_propagation() {
+        let job = make_job(5, false, &[100.0, 100.0, 100.0]);
+        let lo = Params {
+            gamma: 0.1,
+            ..Params::default()
+        };
+        let hi = Params {
+            gamma: 0.9,
+            ..Params::default()
+        };
+        let plo = job_task_priorities(&job, SimTime::from_mins(1), &lo);
+        let phi = job_task_priorities(&job, SimTime::from_mins(1), &hi);
+        // Head-vs-tail gap grows with γ.
+        assert!(phi[0] - phi[2] > plo[0] - plo[2]);
+    }
+
+    #[test]
+    fn priorities_are_finite_and_nonnegative() {
+        for urgency in [1, 5, 10] {
+            let mut job = make_job(urgency, true, &[10.0, 500.0, 1.0]);
+            job.advance(999.0);
+            let pr = job_task_priorities(&job, SimTime::from_hours(100), &Params::default());
+            for v in pr {
+                assert!(v.is_finite() && v >= 0.0, "{v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The scheduler interface shared by MLFS and every baseline.
+//!
+//! The simulation engine invokes [`Scheduler::schedule`] once per
+//! scheduling round ("the job scheduler runs every minute", §4.1) with
+//! a read-only [`SchedulerContext`]; the scheduler returns a list of
+//! [`Action`]s which the engine validates and applies. RL schedulers
+//! additionally receive the per-round reward via
+//! [`Scheduler::observe_reward`].
+
+use cluster::{Cluster, JobId, ServerId, TaskId};
+use simcore::SimTime;
+use std::collections::BTreeMap;
+use workload::{JobState, StopPolicy, StopReason};
+
+/// Read-only view handed to a scheduler each round.
+pub struct SchedulerContext<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// All jobs that have arrived and not been garbage-collected,
+    /// keyed by id (deterministic iteration order).
+    pub jobs: &'a BTreeMap<JobId, JobState>,
+    /// The live cluster state.
+    pub cluster: &'a Cluster,
+    /// Tasks currently waiting in the queue (unordered; schedulers
+    /// impose their own order).
+    pub queue: &'a [TaskId],
+}
+
+impl<'a> SchedulerContext<'a> {
+    /// Look up the job owning `task`.
+    pub fn job_of(&self, task: TaskId) -> &JobState {
+        &self.jobs[&task.job]
+    }
+
+    /// Jobs with at least one task running or waiting.
+    pub fn active_jobs(&self) -> impl Iterator<Item = &JobState> {
+        self.jobs.values().filter(|j| !j.is_finished())
+    }
+}
+
+/// A scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Place a waiting task on a server (its least-loaded GPU).
+    Place {
+        /// The waiting task.
+        task: TaskId,
+        /// Destination server.
+        server: ServerId,
+    },
+    /// Move a running task to another server (pays migration traffic).
+    Migrate {
+        /// The running task.
+        task: TaskId,
+        /// Destination server.
+        to: ServerId,
+    },
+    /// Preempt a running task back into the queue.
+    Evict {
+        /// The running task.
+        task: TaskId,
+    },
+    /// Stop a job (MLF-C load control or a baseline's pause-equivalent).
+    StopJob {
+        /// The job to stop.
+        job: JobId,
+        /// Why it stops.
+        reason: StopReason,
+    },
+    /// Change a job's effective stop policy (MLF-C demotion).
+    SetPolicy {
+        /// The affected job.
+        job: JobId,
+        /// The new effective policy.
+        policy: StopPolicy,
+    },
+}
+
+/// Per-round values of the five objective components of Eq. 1,
+/// normalised by the engine to comparable scales. RL schedulers
+/// combine them into a scalar reward (Eq. 7 uses the β weights; the
+/// JCT-only RL baseline uses `g[0]` alone).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RewardComponents {
+    /// `g1` (inverse average JCT), `g2` (deadline satisfaction),
+    /// `g3` (inverse bandwidth cost), `g4` (accuracy satisfaction),
+    /// `g5` (average accuracy).
+    pub g: [f64; 5],
+}
+
+impl RewardComponents {
+    /// Weighted sum `Σ βᵢ·gᵢ` (Eq. 7).
+    pub fn weighted(&self, beta: &[f64; 5]) -> f64 {
+        self.g.iter().zip(beta).map(|(g, b)| g * b).sum()
+    }
+}
+
+/// A cluster job scheduler.
+pub trait Scheduler {
+    /// Short display name (used in figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Produce this round's actions.
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action>;
+
+    /// Objective components earned since the previous round (Eq. 7's
+    /// ingredients). Ignored by non-RL schedulers.
+    fn observe_reward(&mut self, _reward: &RewardComponents) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scheduler that places every queued task on server 0 —
+    /// exercises the trait object plumbing.
+    struct Greedy;
+
+    impl Scheduler for Greedy {
+        fn name(&self) -> &'static str {
+            "greedy"
+        }
+        fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+            ctx.queue
+                .iter()
+                .map(|&task| Action::Place {
+                    task,
+                    server: ServerId(0),
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let cluster = Cluster::new(&cluster::ClusterConfig {
+            servers: 1,
+            gpus_per_server: 1,
+            gpu_capacity: 1.0,
+            cpu_cores: 8.0,
+            memory_gb: 64.0,
+            nic_mbps: 1000.0,
+            topology: cluster::Topology::default_flat(),
+        });
+        let jobs = BTreeMap::new();
+        let queue = vec![TaskId::new(JobId(0), 0)];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            jobs: &jobs,
+            cluster: &cluster,
+            queue: &queue,
+        };
+        let mut s: Box<dyn Scheduler> = Box::new(Greedy);
+        let actions = s.schedule(&ctx);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(s.name(), "greedy");
+        s.observe_reward(&RewardComponents::default()); // default no-op
+    }
+}

@@ -1,0 +1,387 @@
+//! Parametric saturating curve families and their fitting.
+//!
+//! Each family maps an iteration count to a predicted accuracy and is
+//! parameterised by `(a, b, c)` with family-specific meaning. All
+//! families saturate: accuracy approaches `a` as iterations grow,
+//! matching the diminishing-returns shape of ML training curves.
+//! Fitting is deterministic: a coarse grid over parameters followed by
+//! rounds of coordinate-wise golden-section-style refinement.
+
+use serde::{Deserialize, Serialize};
+
+/// The curve families in the ensemble (a practical subset of Domhan et
+/// al.'s eleven).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CurveFamily {
+    /// `a − b·(i+1)^(−c)` — power-law decay toward `a` ("pow3").
+    Pow3,
+    /// `a·(1 − exp(−c·i))` — exponential saturation.
+    ExpSat,
+    /// `a·i^c / (b^c + i^c)` — Hill / sigmoidal saturation.
+    Hill,
+    /// `a − b / ln(i + e)` — logarithmic approach ("log power" kin).
+    LogShift,
+}
+
+impl CurveFamily {
+    /// All families.
+    pub const ALL: [CurveFamily; 4] = [
+        CurveFamily::Pow3,
+        CurveFamily::ExpSat,
+        CurveFamily::Hill,
+        CurveFamily::LogShift,
+    ];
+
+    /// Evaluate the family at iteration `i` with parameters `(a,b,c)`.
+    pub fn eval(self, p: [f64; 3], i: f64) -> f64 {
+        let i = i.max(0.0);
+        let [a, b, c] = p;
+        match self {
+            CurveFamily::Pow3 => a - b * (i + 1.0).powf(-c),
+            CurveFamily::ExpSat => a * (1.0 - (-c * i).exp()),
+            CurveFamily::Hill => {
+                if i <= 0.0 {
+                    0.0
+                } else {
+                    let ic = i.powf(c);
+                    a * ic / (b.powf(c) + ic)
+                }
+            }
+            CurveFamily::LogShift => a - b / (i + std::f64::consts::E).ln(),
+        }
+    }
+
+    /// Asymptotic value as `i → ∞`.
+    pub fn asymptote(self, p: [f64; 3]) -> f64 {
+        match self {
+            CurveFamily::Pow3 | CurveFamily::Hill | CurveFamily::ExpSat => p[0],
+            CurveFamily::LogShift => p[0],
+        }
+    }
+
+}
+
+/// A family with fitted parameters and its fit quality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedCurve {
+    /// Which family.
+    pub family: CurveFamily,
+    /// Fitted `(a, b, c)`.
+    pub params: [f64; 3],
+    /// Mean squared error on the training points.
+    pub mse: f64,
+}
+
+impl FittedCurve {
+    /// Predicted accuracy at iteration `i`, clamped to [0, 1].
+    pub fn predict(&self, i: f64) -> f64 {
+        self.family.eval(self.params, i).clamp(0.0, 1.0)
+    }
+}
+
+fn mse(family: CurveFamily, p: [f64; 3], pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len().max(1) as f64;
+    pts.iter()
+        .map(|&(i, y)| {
+            let e = family.eval(p, i) - y;
+            e * e
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Solve `y ≈ a·u(i) + b·v(i)` for `(a, b)` by 2×2 normal equations.
+/// Returns `None` when the system is singular.
+fn lsq2(pts: &[(f64, f64)], u: impl Fn(f64) -> f64, v: impl Fn(f64) -> f64) -> Option<(f64, f64)> {
+    let (mut suu, mut suv, mut svv, mut suy, mut svy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(i, y) in pts {
+        let (ui, vi) = (u(i), v(i));
+        suu += ui * ui;
+        suv += ui * vi;
+        svv += vi * vi;
+        suy += ui * y;
+        svy += vi * y;
+    }
+    let det = suu * svv - suv * suv;
+    if det.abs() < 1e-12 {
+        return None;
+    }
+    Some(((svv * suy - suv * svy) / det, (suu * svy - suv * suy) / det))
+}
+
+/// Solve `y ≈ a·u(i)` for `a`.
+fn lsq1(pts: &[(f64, f64)], u: impl Fn(f64) -> f64) -> f64 {
+    let (mut suu, mut suy) = (0.0, 0.0);
+    for &(i, y) in pts {
+        let ui = u(i);
+        suu += ui * ui;
+        suy += ui * y;
+    }
+    if suu < 1e-12 {
+        0.0
+    } else {
+        suy / suu
+    }
+}
+
+/// Fit the linear parameters of `family` given the nonlinear ones,
+/// returning the full parameter vector (with the asymptote clamped to
+/// ≤ 1 — accuracy cannot exceed 100%).
+fn fit_linear(family: CurveFamily, nonlin: [f64; 2], pts: &[(f64, f64)]) -> [f64; 3] {
+    match family {
+        CurveFamily::Pow3 => {
+            let c = nonlin[0];
+            let (a, b) = lsq2(pts, |_| 1.0, |i| -((i + 1.0).powf(-c))).unwrap_or((0.5, 0.0));
+            [a.min(1.0), b, c]
+        }
+        CurveFamily::ExpSat => {
+            let c = nonlin[0];
+            let a = lsq1(pts, |i| 1.0 - (-c * i).exp());
+            [a.min(1.0), 0.0, c]
+        }
+        CurveFamily::Hill => {
+            let (b, c) = (nonlin[0], nonlin[1]);
+            let a = lsq1(pts, |i| {
+                if i <= 0.0 {
+                    0.0
+                } else {
+                    let ic = i.powf(c);
+                    ic / (b.powf(c) + ic)
+                }
+            });
+            [a.min(1.0), b, c]
+        }
+        CurveFamily::LogShift => {
+            let (a, b) =
+                lsq2(pts, |_| 1.0, |i| -1.0 / (i + std::f64::consts::E).ln()).unwrap_or((0.5, 0.0));
+            [a.min(1.0), b, 0.0]
+        }
+    }
+}
+
+/// Fit one family to observed `(iteration, accuracy)` points.
+///
+/// Strategy: every family is linear in its scale parameters given its
+/// nonlinear shape parameter(s), so we grid-search the shape
+/// parameter(s) (log-spaced, relative to the observed iteration span),
+/// solve the scale parameters in closed form, then refine the shape
+/// multiplicatively. Deterministic.
+pub fn fit_family(family: CurveFamily, pts: &[(f64, f64)]) -> FittedCurve {
+    assert!(!pts.is_empty(), "cannot fit an empty curve");
+    let span = pts.last().unwrap().0.max(1.0);
+
+    // Candidate nonlinear parameters per family.
+    let log_grid = |lo: f64, hi: f64, n: usize| -> Vec<f64> {
+        (0..n)
+            .map(|k| lo * (hi / lo).powf(k as f64 / (n - 1).max(1) as f64))
+            .collect()
+    };
+    let candidates: Vec<[f64; 2]> = match family {
+        // Pow3 exponent c.
+        CurveFamily::Pow3 => log_grid(0.05, 4.0, 16).into_iter().map(|c| [c, 0.0]).collect(),
+        // ExpSat rate c, scaled to the observation span.
+        CurveFamily::ExpSat => log_grid(0.1 / span, 50.0 / span, 24)
+            .into_iter()
+            .map(|c| [c, 0.0])
+            .collect(),
+        // Hill midpoint b (relative to span) × exponent c.
+        CurveFamily::Hill => {
+            let mut out = Vec::new();
+            for b in log_grid(0.05 * span, 20.0 * span, 10) {
+                for c in [0.6, 1.0, 1.5, 2.5] {
+                    out.push([b, c]);
+                }
+            }
+            out
+        }
+        // LogShift has no nonlinear parameter.
+        CurveFamily::LogShift => vec![[0.0, 0.0]],
+    };
+
+    let mut best = fit_linear(family, candidates[0], pts);
+    let mut best_mse = mse(family, best, pts);
+    for cand in candidates.into_iter().skip(1) {
+        let p = fit_linear(family, cand, pts);
+        let e = mse(family, p, pts);
+        if e < best_mse {
+            best_mse = e;
+            best = p;
+        }
+    }
+
+    // Multiplicative refinement of the nonlinear parameter(s), with
+    // the linear ones re-solved at every probe.
+    let nonlin_dims: &[usize] = match family {
+        CurveFamily::Pow3 | CurveFamily::ExpSat => &[2],
+        CurveFamily::Hill => &[1, 2],
+        CurveFamily::LogShift => &[],
+    };
+    let mut step = 0.4;
+    for _ in 0..30 {
+        let mut improved = false;
+        for &dim in nonlin_dims {
+            for mult in [1.0 + step, 1.0 / (1.0 + step)] {
+                let probe = (best[dim] * mult).clamp(1e-9, 1e9);
+                let cand_nl = match family {
+                    CurveFamily::Hill => {
+                        if dim == 1 {
+                            [probe, best[2]]
+                        } else {
+                            [best[1], probe]
+                        }
+                    }
+                    _ => [probe, 0.0],
+                };
+                let p = fit_linear(family, cand_nl, pts);
+                let e = mse(family, p, pts);
+                if e < best_mse {
+                    best_mse = e;
+                    best = p;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+            if step < 1e-4 {
+                break;
+            }
+        }
+    }
+
+    FittedCurve {
+        family,
+        params: best,
+        mse: best_mse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expsat_points(a: f64, k: f64, n: usize) -> Vec<(f64, f64)> {
+        (1..=n)
+            .map(|i| (i as f64, a * (1.0 - (-k * i as f64).exp())))
+            .collect()
+    }
+
+    #[test]
+    fn expsat_recovers_its_own_curve() {
+        let pts = expsat_points(0.9, 0.02, 60);
+        let fit = fit_family(CurveFamily::ExpSat, &pts);
+        assert!(fit.mse < 1e-5, "mse {}", fit.mse);
+        // Extrapolation near truth at i = 400.
+        let truth = 0.9 * (1.0 - (-0.02f64 * 400.0).exp());
+        assert!((fit.predict(400.0) - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn every_family_fits_a_saturating_curve_reasonably() {
+        let pts = expsat_points(0.8, 0.01, 100);
+        for f in CurveFamily::ALL {
+            let fit = fit_family(f, &pts);
+            assert!(fit.mse < 0.01, "{f:?} mse {}", fit.mse);
+            // Predictions stay in [0,1].
+            for i in [0.0, 1.0, 50.0, 1e4] {
+                let p = fit.predict(i);
+                assert!((0.0..=1.0).contains(&p), "{f:?} at {i}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let pts = expsat_points(0.7, 0.05, 30);
+        let a = fit_family(CurveFamily::Hill, &pts);
+        let b = fit_family(CurveFamily::Hill, &pts);
+        assert_eq!(a.params, b.params);
+    }
+
+    #[test]
+    fn asymptote_is_param_a() {
+        for f in CurveFamily::ALL {
+            assert_eq!(f.asymptote([0.83, 1.0, 1.0]), 0.83);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty curve")]
+    fn empty_fit_panics() {
+        fit_family(CurveFamily::Pow3, &[]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Fitting any saturating exponential prefix keeps MSE low,
+        /// stays deterministic, and predicts within [0, 1].
+        #[test]
+        fn fits_are_sane_on_exponential_data(
+            a in 0.4f64..0.99,
+            k in 0.003f64..0.2,
+            n in 10usize..120,
+        ) {
+            let pts: Vec<(f64, f64)> = (1..=n)
+                .map(|i| (i as f64, a * (1.0 - (-k * i as f64).exp())))
+                .collect();
+            for fam in CurveFamily::ALL {
+                let f1 = fit_family(fam, &pts);
+                let f2 = fit_family(fam, &pts);
+                prop_assert_eq!(f1.params, f2.params);
+                prop_assert!(f1.mse.is_finite() && f1.mse >= 0.0);
+                for i in [0.0, 1.0, n as f64, 10.0 * n as f64] {
+                    let p = f1.predict(i);
+                    prop_assert!((0.0..=1.0).contains(&p), "{fam:?}@{i}: {p}");
+                }
+            }
+            // The matching family must fit nearly perfectly.
+            let exp = fit_family(CurveFamily::ExpSat, &pts);
+            prop_assert!(exp.mse < 1e-6, "ExpSat mse {}", exp.mse);
+        }
+    }
+
+    #[test]
+    fn hill_recovers_its_own_curve() {
+        let pts: Vec<(f64, f64)> = (1..=80)
+            .map(|i| {
+                let i = i as f64;
+                (i, 0.85 * i.powf(1.3) / (40.0f64.powf(1.3) + i.powf(1.3)))
+            })
+            .collect();
+        let fit = fit_family(CurveFamily::Hill, &pts);
+        assert!(fit.mse < 1e-6, "mse {}", fit.mse);
+    }
+
+    #[test]
+    fn pow3_recovers_its_own_curve() {
+        let pts: Vec<(f64, f64)> = (1..=80)
+            .map(|i| {
+                let i = i as f64;
+                (i, 0.9 - 0.6 * (i + 1.0).powf(-0.5))
+            })
+            .collect();
+        let fit = fit_family(CurveFamily::Pow3, &pts);
+        assert!(fit.mse < 1e-6, "mse {}", fit.mse);
+        // Asymptote close to the true 0.9.
+        assert!((fit.params[0] - 0.9).abs() < 0.05, "{:?}", fit.params);
+    }
+
+    #[test]
+    fn eval_handles_edge_iterations() {
+        for f in CurveFamily::ALL {
+            let v0 = f.eval([0.9, 0.5, 0.5], 0.0);
+            assert!(v0.is_finite());
+            let vbig = f.eval([0.9, 0.5, 0.5], 1e9);
+            assert!(vbig.is_finite());
+            // Saturation: the huge-iteration value is near the asymptote.
+            assert!((vbig - f.asymptote([0.9, 0.5, 0.5])).abs() < 0.05, "{f:?}");
+        }
+    }
+}

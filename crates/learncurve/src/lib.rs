@@ -1,0 +1,47 @@
+//! # learncurve — learning-curve extrapolation and early stopping
+//!
+//! Implements the functional core of Domhan et al. \[17\], which the
+//! paper relies on for two assumptions (§3.1, §3.5):
+//!
+//! 1. *Accuracy prediction*: "the accuracy at a certain iteration is
+//!    predicted based on the number of iterations executed and the
+//!    accuracy change for each executed epoch", with ≈ 90% accuracy.
+//! 2. *OptStop*: "first use a weighted probabilistic learning curve
+//!    model to predict the job's accuracy at the specified maximum
+//!    iteration. If the predicted accuracy is less than an accuracy
+//!    threshold, the training stops when the prediction confidence is
+//!    higher than a threshold. Otherwise, the training continues and
+//!    stops when the achieved accuracy reaches the accuracy
+//!    threshold."
+//!
+//! The implementation fits an ensemble of saturating parametric curve
+//! families to the observed `(iteration, accuracy)` prefix by
+//! deterministic grid search with local refinement, weights families
+//! by goodness-of-fit, and reports a confidence derived from the
+//! ensemble spread and residual error.
+
+//! # Example
+//!
+//! Extrapolate a training curve from its observed prefix:
+//!
+//! ```
+//! use learncurve::EnsemblePredictor;
+//!
+//! // Observed accuracy for the first 60 iterations of a job that
+//! // saturates near 0.9.
+//! let history: Vec<(f64, f64)> = (1..=60)
+//!     .map(|i| (i as f64, 0.9 * (1.0 - (-0.03 * i as f64).exp())))
+//!     .collect();
+//! let predictor = EnsemblePredictor::fit(&history).unwrap();
+//! let at_500 = predictor.predict(500.0);
+//! assert!((at_500.accuracy - 0.9).abs() < 0.05);
+//! assert!(at_500.confidence > 0.5);
+//! ```
+
+pub mod ensemble;
+pub mod families;
+pub mod optstop;
+
+pub use ensemble::{EnsemblePredictor, Prediction};
+pub use families::{CurveFamily, FittedCurve};
+pub use optstop::{OptStopDecision, OptStopRule};

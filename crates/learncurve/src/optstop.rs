@@ -1,0 +1,195 @@
+//! The OptStop early-stopping rule (§3.5).
+//!
+//! Faithful to the paper's description: "when a job is running, we
+//! first use a weighted probabilistic learning curve model to predict
+//! the job's accuracy at the specified maximum iteration. If the
+//! predicted accuracy is less than an accuracy threshold, the training
+//! stops when the prediction confidence is higher than a threshold.
+//! Otherwise, the training continues and stops when the achieved
+//! accuracy reaches the accuracy threshold."
+//!
+//! Two thresholds exist depending on the user's option (§3.5):
+//! * option ii (OptStop proper) — the threshold is the job's
+//!   *predicted maximum* accuracy minus a small margin: stop at (near)
+//!   peak accuracy, avoiding wasted iterations;
+//! * option iii — the threshold is the job's *required* accuracy.
+
+use crate::ensemble::EnsemblePredictor;
+use serde::{Deserialize, Serialize};
+
+/// The rule's verdict for a running job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptStopDecision {
+    /// Keep training.
+    Continue,
+    /// The accuracy threshold has been achieved — stop now.
+    StopReached,
+    /// The threshold is predicted unreachable with high confidence —
+    /// stop now and save the resources.
+    StopUnreachable,
+}
+
+/// Configuration of the stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptStopRule {
+    /// Fraction of the predicted maximum accuracy that counts as
+    /// "reached the maximum" for option ii (e.g. 0.99).
+    pub peak_margin: f64,
+    /// Confidence needed before an "unreachable" prediction may stop
+    /// the job.
+    pub confidence_threshold: f64,
+    /// Observations needed before the rule activates at all.
+    pub min_observations: usize,
+}
+
+impl Default for OptStopRule {
+    fn default() -> Self {
+        OptStopRule {
+            peak_margin: 0.99,
+            confidence_threshold: 0.55,
+            min_observations: 10,
+        }
+    }
+}
+
+impl OptStopRule {
+    /// Option ii: stop at (near) maximum accuracy.
+    ///
+    /// `history` is the per-iteration accuracy so far; `max_iterations`
+    /// is the job's iteration budget; `current_accuracy` the live value.
+    pub fn decide_peak(
+        &self,
+        history: &[(f64, f64)],
+        max_iterations: f64,
+        current_accuracy: f64,
+    ) -> OptStopDecision {
+        if history.len() < self.min_observations {
+            return OptStopDecision::Continue;
+        }
+        let Some(e) = EnsemblePredictor::fit(history) else {
+            return OptStopDecision::Continue;
+        };
+        let at_budget = e.predict(max_iterations);
+        let target = at_budget.accuracy * self.peak_margin;
+        if current_accuracy >= target {
+            OptStopDecision::StopReached
+        } else {
+            OptStopDecision::Continue
+        }
+    }
+
+    /// Option iii / overload mode: stop when `required` accuracy is
+    /// achieved, or when it is confidently predicted unreachable by
+    /// the iteration budget.
+    pub fn decide_required(
+        &self,
+        history: &[(f64, f64)],
+        max_iterations: f64,
+        current_accuracy: f64,
+        required: f64,
+    ) -> OptStopDecision {
+        if current_accuracy >= required {
+            return OptStopDecision::StopReached;
+        }
+        if history.len() < self.min_observations {
+            return OptStopDecision::Continue;
+        }
+        let Some(e) = EnsemblePredictor::fit(history) else {
+            return OptStopDecision::Continue;
+        };
+        let p = e.predict(max_iterations);
+        if p.accuracy < required && p.confidence > self.confidence_threshold {
+            OptStopDecision::StopUnreachable
+        } else {
+            OptStopDecision::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history(a: f64, k: f64, upto: usize) -> Vec<(f64, f64)> {
+        (1..=upto)
+            .map(|i| (i as f64, a * (1.0 - (-k * i as f64).exp())))
+            .collect()
+    }
+
+    #[test]
+    fn continues_with_short_history() {
+        let rule = OptStopRule::default();
+        let h = history(0.9, 0.05, 3);
+        assert_eq!(
+            rule.decide_peak(&h, 1000.0, 0.1),
+            OptStopDecision::Continue
+        );
+        assert_eq!(
+            rule.decide_required(&h, 1000.0, 0.1, 0.8),
+            OptStopDecision::Continue
+        );
+    }
+
+    #[test]
+    fn peak_rule_stops_after_saturation() {
+        let rule = OptStopRule::default();
+        // Fast-converging job: by iteration 200 of a 10000 budget it
+        // is flat at ~0.9.
+        let h = history(0.9, 0.05, 200);
+        let current = h.last().unwrap().1;
+        assert_eq!(
+            rule.decide_peak(&h, 10_000.0, current),
+            OptStopDecision::StopReached
+        );
+    }
+
+    #[test]
+    fn peak_rule_continues_while_growing() {
+        let rule = OptStopRule::default();
+        // Slow curve observed early: far below its eventual value.
+        let h = history(0.9, 0.001, 60);
+        let current = h.last().unwrap().1;
+        assert_eq!(
+            rule.decide_peak(&h, 5_000.0, current),
+            OptStopDecision::Continue
+        );
+    }
+
+    #[test]
+    fn required_rule_stops_on_achievement() {
+        let rule = OptStopRule::default();
+        let h = history(0.9, 0.05, 100);
+        let current = h.last().unwrap().1; // ≈ 0.9
+        assert_eq!(
+            rule.decide_required(&h, 1000.0, current, 0.8),
+            OptStopDecision::StopReached
+        );
+    }
+
+    #[test]
+    fn required_rule_detects_unreachable_targets() {
+        let rule = OptStopRule::default();
+        // Job saturating at 0.6 but required 0.95: after enough
+        // observations the ensemble confidently predicts < 0.95.
+        let h = history(0.6, 0.03, 300);
+        let current = h.last().unwrap().1;
+        assert_eq!(
+            rule.decide_required(&h, 10_000.0, current, 0.95),
+            OptStopDecision::StopUnreachable
+        );
+    }
+
+    #[test]
+    fn required_rule_keeps_training_toward_reachable_target() {
+        let rule = OptStopRule::default();
+        // Saturates at 0.9; required 0.8; observed early (accuracy
+        // still ~0.45): should continue, not stop.
+        let h = history(0.9, 0.002, 300);
+        let current = h.last().unwrap().1;
+        assert!(current < 0.8);
+        assert_eq!(
+            rule.decide_required(&h, 50_000.0, current, 0.8),
+            OptStopDecision::Continue
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! # metrics — experiment measurement and reporting
+//!
+//! Collects everything the paper's figures plot:
+//!
+//! * per-job records (JCT, waiting time, deadline/accuracy
+//!   satisfaction, accuracy by deadline) — Figs. 4/5 panels a–f;
+//! * bandwidth cost (panel g) and migration accounting;
+//! * scheduler decision-time overhead (panel h);
+//! * makespan (§4.2.1's text comparison);
+//! * server-overload occurrence counts (Fig. 8a).
+//!
+//! Plus small formatting helpers so the bench binaries print the same
+//! rows/series the paper reports.
+
+pub mod run;
+pub mod table;
+
+pub use run::{JobRecord, RunMetrics, TimelinePoint};
+pub use table::Table;
+
+/// Empirical CDF over `values`; returns `(x, fraction ≤ x)` at each
+/// distinct value, suitable for plotting Figs. 4a/5a.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, v) in sorted.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == *v => last.1 = frac,
+            _ => out.push((*v, frac)),
+        }
+    }
+    out
+}
+
+/// Fraction of `values` at or below `x` (step interpolation of the
+/// empirical CDF).
+pub fn cdf_at(values: &[f64], x: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|v| **v <= x).count() as f64 / values.len() as f64
+}
+
+/// `p`-th percentile (0–100) by nearest-rank. Panics on empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty sample");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let v = vec![3.0, 1.0, 2.0, 2.0, 5.0];
+        let c = cdf(&v);
+        assert_eq!(c.first().unwrap().0, 1.0);
+        assert_eq!(c.last().unwrap(), &(5.0, 1.0));
+        for w in c.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        // Duplicate value collapses into one point with joint mass.
+        let two = c.iter().find(|(x, _)| *x == 2.0).unwrap();
+        assert!((two.1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_at_interpolates_steps() {
+        let v = vec![10.0, 20.0, 30.0];
+        assert_eq!(cdf_at(&v, 5.0), 0.0);
+        assert!((cdf_at(&v, 10.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf_at(&v, 25.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf_at(&v, 100.0), 1.0);
+        assert_eq!(cdf_at(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 99.0), 10.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-run metric records.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// One finished (or deadline-expired) job's measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id (as u32 for serialization friendliness).
+    pub job: u32,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Completion time (None = never finished within the run).
+    pub finished: Option<SimTime>,
+    /// Deadline.
+    pub deadline: SimTime,
+    /// JCT in minutes (None = unfinished).
+    pub jct_mins: Option<f64>,
+    /// Accumulated waiting time, seconds.
+    pub waiting_secs: f64,
+    /// Accuracy credited by the deadline.
+    pub accuracy_by_deadline: f64,
+    /// The job's accuracy requirement.
+    pub required_accuracy: f64,
+    /// The job's urgency coefficient `L_J` (Fig. 6 classifies jobs
+    /// with urgency > 8 as urgent).
+    pub urgency: u8,
+    /// Finished at or before the deadline?
+    pub met_deadline: bool,
+    /// Accuracy requirement satisfied by the deadline?
+    pub met_accuracy: bool,
+}
+
+/// One sampled point of the cluster's state over time (recorded when
+/// `SimConfig::record_timeline` is on; powers utilization plots).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Sample time, minutes since simulation start.
+    pub t_mins: f64,
+    /// Mean utilization per resource (gpu, cpu, mem, bw).
+    pub mean_util: [f64; 4],
+    /// Tasks waiting in the queue.
+    pub queue_len: usize,
+    /// Jobs arrived and not yet finished.
+    pub active_jobs: usize,
+    /// Servers overloaded at h_r.
+    pub overloaded_servers: usize,
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Scheduler legend name.
+    pub scheduler: String,
+    /// Number of jobs submitted.
+    pub jobs_submitted: usize,
+    /// Per-job records.
+    pub jobs: Vec<JobRecord>,
+    /// Total inter-server traffic, MB (Fig. 4g/5g).
+    pub bandwidth_mb: f64,
+    /// Of which migration traffic, MB.
+    pub migration_mb: f64,
+    /// Number of task migrations.
+    pub migrations: u64,
+    /// Makespan: first submission → last completion, hours.
+    pub makespan_hours: f64,
+    /// Scheduler decision times, milliseconds (Fig. 4h/5h).
+    pub decision_times_ms: Vec<f64>,
+    /// Count of (server, round) pairs observed overloaded (Fig. 8a).
+    pub overload_occurrences: u64,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Actions the engine rejected as invalid (scheduler bugs surface
+    /// here instead of corrupting state).
+    pub invalid_actions: u64,
+    /// Tasks still placed on the cluster at the end of the run that
+    /// belong to *finished* jobs — always 0 unless the engine leaks.
+    pub leaked_tasks: usize,
+    /// Per-round cluster state samples (empty unless recording was
+    /// enabled).
+    pub timeline: Vec<TimelinePoint>,
+}
+
+impl RunMetrics {
+    /// JCTs in minutes of finished jobs.
+    pub fn jcts_mins(&self) -> Vec<f64> {
+        self.jobs.iter().filter_map(|j| j.jct_mins).collect()
+    }
+
+    /// Average JCT in minutes over finished jobs (Fig. 4b/5b).
+    pub fn avg_jct_mins(&self) -> f64 {
+        crate::mean(&self.jcts_mins())
+    }
+
+    /// Fraction of submitted jobs that met their deadline (Fig. 4c/5c).
+    pub fn deadline_ratio(&self) -> f64 {
+        if self.jobs_submitted == 0 {
+            return 0.0;
+        }
+        self.jobs.iter().filter(|j| j.met_deadline).count() as f64 / self.jobs_submitted as f64
+    }
+
+    /// Average job waiting time in seconds (Fig. 4d/5d).
+    pub fn avg_waiting_secs(&self) -> f64 {
+        crate::mean(
+            &self
+                .jobs
+                .iter()
+                .map(|j| j.waiting_secs)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Average accuracy by deadline (Fig. 4e/5e).
+    pub fn avg_accuracy(&self) -> f64 {
+        crate::mean(
+            &self
+                .jobs
+                .iter()
+                .map(|j| j.accuracy_by_deadline)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Fraction of submitted jobs whose accuracy requirement was met
+    /// by the deadline (Fig. 4f/5f).
+    pub fn accuracy_ratio(&self) -> f64 {
+        if self.jobs_submitted == 0 {
+            return 0.0;
+        }
+        self.jobs.iter().filter(|j| j.met_accuracy).count() as f64 / self.jobs_submitted as f64
+    }
+
+    /// Mean scheduler decision time, ms (Fig. 4h/5h).
+    pub fn avg_decision_ms(&self) -> f64 {
+        crate::mean(&self.decision_times_ms)
+    }
+
+    /// Fraction of finished jobs with JCT under `mins` minutes (the
+    /// §4.2.1 "jobs with JCTs less than 100 minutes" statistic).
+    pub fn jct_cdf_at(&self, mins: f64) -> f64 {
+        crate::cdf_at(&self.jcts_mins(), mins)
+    }
+
+    /// Bandwidth cost in TB (the Fig. 4g unit).
+    pub fn bandwidth_tb(&self) -> f64 {
+        self.bandwidth_mb / 1024.0 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(jct: Option<f64>, met_d: bool, met_a: bool, acc: f64) -> JobRecord {
+        JobRecord {
+            job: 0,
+            arrival: SimTime::ZERO,
+            finished: jct.map(|m| SimTime::from_mins(m as u64)),
+            deadline: SimTime::from_hours(1),
+            jct_mins: jct,
+            waiting_secs: 30.0,
+            accuracy_by_deadline: acc,
+            required_accuracy: 0.7,
+            urgency: 5,
+            met_deadline: met_d,
+            met_accuracy: met_a,
+        }
+    }
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            scheduler: "test".into(),
+            jobs_submitted: 4,
+            jobs: vec![
+                record(Some(10.0), true, true, 0.9),
+                record(Some(50.0), true, false, 0.5),
+                record(Some(200.0), false, true, 0.8),
+                record(None, false, false, 0.1),
+            ],
+            bandwidth_mb: 2.0 * 1024.0 * 1024.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let m = metrics();
+        assert!((m.avg_jct_mins() - (10.0 + 50.0 + 200.0) / 3.0).abs() < 1e-9);
+        assert_eq!(m.deadline_ratio(), 0.5);
+        assert_eq!(m.accuracy_ratio(), 0.5);
+        assert!((m.avg_accuracy() - 0.575).abs() < 1e-9);
+        assert_eq!(m.avg_waiting_secs(), 30.0);
+        assert_eq!(m.bandwidth_tb(), 2.0);
+        assert!((m.jct_cdf_at(100.0) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeros() {
+        let m = RunMetrics::default();
+        assert_eq!(m.avg_jct_mins(), 0.0);
+        assert_eq!(m.deadline_ratio(), 0.0);
+        assert_eq!(m.accuracy_ratio(), 0.0);
+        assert_eq!(m.avg_decision_ms(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = metrics();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.jobs.len(), 4);
+        assert_eq!(back.scheduler, "test");
+    }
+}

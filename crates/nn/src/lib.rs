@@ -1,0 +1,141 @@
+//! # nn — a minimal pure-Rust neural-network library
+//!
+//! The paper's MLF-RL agent is "a Deep Neural Network … as the agent,
+//! which generates the optimal policy" (§3.4), trained with policy
+//! gradients \[51\]. Mature RL/DL crates are not available offline, so
+//! this crate provides exactly what a policy network needs and nothing
+//! more:
+//!
+//! * [`Matrix`] — a dense row-major matrix with the handful of ops
+//!   backprop requires;
+//! * [`Mlp`] — a multi-layer perceptron with ReLU/tanh hidden layers
+//!   and identity output (logits), with exact reverse-mode gradients;
+//! * [`Adam`] / [`Sgd`] — optimizers over the flattened parameters;
+//! * [`softmax`] / [`log_softmax`] and loss-gradient helpers for
+//!   cross-entropy (imitation) and policy-gradient (REINFORCE)
+//!   training.
+//!
+//! Gradient correctness is enforced by finite-difference property
+//! tests, and an end-to-end test learns XOR.
+
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+pub use matrix::Matrix;
+pub use mlp::{Activation, Gradients, Mlp};
+pub use optim::{Adam, Sgd};
+
+/// Numerically-stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        // Degenerate logits (e.g. all -inf): fall back to uniform.
+        return vec![1.0 / logits.len().max(1) as f64; logits.len()];
+    }
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Numerically-stable log-softmax.
+pub fn log_softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let log_sum: f64 = logits
+        .iter()
+        .map(|&x| (x - max).exp())
+        .sum::<f64>()
+        .ln()
+        + max;
+    logits.iter().map(|&x| x - log_sum).collect()
+}
+
+/// Gradient of cross-entropy (with integrated softmax) w.r.t. logits:
+/// `softmax(logits) − onehot(target)`.
+pub fn cross_entropy_grad(logits: &[f64], target: usize) -> Vec<f64> {
+    let mut g = softmax(logits);
+    g[target] -= 1.0;
+    g
+}
+
+/// Cross-entropy loss value (for monitoring).
+pub fn cross_entropy_loss(logits: &[f64], target: usize) -> f64 {
+    -log_softmax(logits)[target]
+}
+
+/// REINFORCE gradient w.r.t. logits for sampled action `action` with
+/// (baseline-subtracted) `advantage`: `advantage · (softmax − onehot)`.
+/// Minimising with this gradient *increases* the log-probability of
+/// actions with positive advantage.
+pub fn policy_gradient(logits: &[f64], action: usize, advantage: f64) -> Vec<f64> {
+    let mut g = softmax(logits);
+    g[action] -= 1.0;
+    for v in &mut g {
+        *v *= advantage;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let huge = softmax(&[1e308, 1e308]);
+        assert!((huge[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let l = [0.3, -1.2, 2.0, 0.0];
+        let p = softmax(&l);
+        let lp = log_softmax(&l);
+        for (a, b) in p.iter().zip(&lp) {
+            assert!((a.ln() - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_sums_to_zero() {
+        let g = cross_entropy_grad(&[0.5, -0.5, 1.5], 1);
+        assert!((g.iter().sum::<f64>()).abs() < 1e-12);
+        // Target's gradient is negative (we should raise its logit).
+        assert!(g[1] < 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_loss_is_low_when_confident() {
+        assert!(cross_entropy_loss(&[10.0, 0.0], 0) < 0.01);
+        assert!(cross_entropy_loss(&[0.0, 10.0], 0) > 5.0);
+    }
+
+    #[test]
+    fn policy_gradient_scales_with_advantage() {
+        let g_pos = policy_gradient(&[0.0, 0.0], 0, 2.0);
+        let g_neg = policy_gradient(&[0.0, 0.0], 0, -2.0);
+        // Positive advantage pushes the action's logit up (negative
+        // gradient since we minimise), negative advantage the reverse.
+        assert!(g_pos[0] < 0.0);
+        assert!(g_neg[0] > 0.0);
+        assert!((g_pos[0] + g_neg[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_advantage_means_zero_gradient() {
+        let g = policy_gradient(&[1.0, 2.0, 3.0], 1, 0.0);
+        assert!(g.iter().all(|v| *v == 0.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Dense row-major matrices — just the operations backprop needs.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+/// A dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialisation, deterministic from `rng`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut SimRng) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        Matrix::from_fn(rows, cols, |_, _| rng.range_f64(-bound, bound))
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat view of the elements (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `y = self · x` for a column vector `x` (len = cols).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// `y = selfᵀ · x` for a column vector `x` (len = rows).
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let xr = x[r];
+            for (c, a) in row.iter().enumerate() {
+                y[c] += a * xr;
+            }
+        }
+        y
+    }
+
+    /// `self += k · (u ⊗ v)` — rank-one update used for weight
+    /// gradients (`u` len = rows, `v` len = cols).
+    pub fn add_outer(&mut self, u: &[f64], v: &[f64], k: f64) {
+        assert_eq!(u.len(), self.rows);
+        assert_eq!(v.len(), self.cols);
+        for r in 0..self.rows {
+            let ur = u[r] * k;
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, e) in row.iter_mut().enumerate() {
+                *e += ur * v[c];
+            }
+        }
+    }
+
+    /// `self += k · other` (same shape).
+    pub fn add_scaled(&mut self, other: &Matrix, k: f64) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Set every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        // [1 2; 3 4; 5 6] · [1, 10] = [21, 43, 65]
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c + 1) as f64);
+        assert_eq!(m.matvec(&[1.0, 10.0]), vec![21.0, 43.0, 65.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_hand_computation() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c + 1) as f64);
+        // Mᵀ · [1, 1, 1] = column sums = [9, 12]
+        assert_eq!(m.matvec_t(&[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn add_outer_is_rank_one() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0, 5.0], 0.5);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 2), 5.0);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Matrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(2, 2, |_, _| 1.0);
+        a.add_scaled(&b, 2.0);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_deterministic() {
+        let mut r1 = SimRng::new(5);
+        let mut r2 = SimRng::new(5);
+        let a = Matrix::xavier(10, 20, &mut r1);
+        let b = Matrix::xavier(10, 20, &mut r2);
+        assert_eq!(a, b);
+        let bound = (6.0 / 30.0f64).sqrt();
+        assert!(a.as_slice().iter().all(|v| v.abs() <= bound));
+        // Not all equal (actually random).
+        assert!(a.as_slice().iter().any(|v| *v != a.get(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dims() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+}

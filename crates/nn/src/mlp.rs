@@ -1,0 +1,430 @@
+//! Multi-layer perceptron with exact reverse-mode gradients.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+/// Hidden-layer activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// tanh(x)
+    Tanh,
+    /// x (used for the output layer — logits)
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated* output `y`.
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One dense layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Dense {
+    w: Matrix, // out × in
+    b: Vec<f64>,
+    act: Activation,
+}
+
+/// Per-layer parameter gradients, shaped like the network.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    dw: Vec<Matrix>,
+    db: Vec<Vec<f64>>,
+    /// Number of samples accumulated (for averaging).
+    pub samples: usize,
+}
+
+impl Gradients {
+    fn zeros_like(net: &Mlp) -> Self {
+        Gradients {
+            dw: net
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+                .collect(),
+            db: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            samples: 0,
+        }
+    }
+
+    /// Reset to zero, keeping shapes.
+    pub fn clear(&mut self) {
+        for m in &mut self.dw {
+            m.fill_zero();
+        }
+        for v in &mut self.db {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+        self.samples = 0;
+    }
+
+    /// Global L2 norm of the gradient (for clipping).
+    pub fn norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for m in &self.dw {
+            acc += m.as_slice().iter().map(|v| v * v).sum::<f64>();
+        }
+        for v in &self.db {
+            acc += v.iter().map(|x| x * x).sum::<f64>();
+        }
+        acc.sqrt()
+    }
+
+    /// Scale all gradients by `k`.
+    pub fn scale(&mut self, k: f64) {
+        for m in &mut self.dw {
+            for v in m.as_mut_slice() {
+                *v *= k;
+            }
+        }
+        for v in &mut self.db {
+            v.iter_mut().for_each(|x| *x *= k);
+        }
+    }
+}
+
+/// A feed-forward network: dense layers with the configured hidden
+/// activation and identity (logit) output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build from layer sizes, e.g. `&[in, h1, h2, out]`. Hidden
+    /// layers use `hidden_act`; the output layer is identity (logits).
+    pub fn new(sizes: &[usize], hidden_act: Activation, rng: &mut SimRng) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense {
+                w: Matrix::xavier(w[1], w[0], rng),
+                b: vec![0.0; w[1]],
+                act: if i + 2 == sizes.len() {
+                    Activation::Identity
+                } else {
+                    hidden_act
+                },
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(|l| l.w.cols()).unwrap_or(0)
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(|l| l.w.rows()).unwrap_or(0)
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Forward pass: returns the output logits.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        for l in &self.layers {
+            let mut z = l.w.matvec(&h);
+            for (zi, bi) in z.iter_mut().zip(&l.b) {
+                *zi = l.act.apply(*zi + bi);
+            }
+            h = z;
+        }
+        h
+    }
+
+    /// Forward pass retaining every layer's activated output (the
+    /// input is `activations[0]`).
+    fn forward_cached(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for l in &self.layers {
+            let prev = acts.last().unwrap();
+            let mut z = l.w.matvec(prev);
+            for (zi, bi) in z.iter_mut().zip(&l.b) {
+                *zi = l.act.apply(*zi + bi);
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Fresh zero gradients shaped like this network.
+    pub fn zero_grads(&self) -> Gradients {
+        Gradients::zeros_like(self)
+    }
+
+    /// Accumulate gradients of a scalar loss whose gradient w.r.t. the
+    /// output logits is `dloss_dout`, for input `x`. Returns the
+    /// logits produced on the way (handy for loss logging).
+    pub fn backprop(&self, x: &[f64], dloss_dout: &[f64], grads: &mut Gradients) -> Vec<f64> {
+        assert_eq!(dloss_dout.len(), self.output_dim());
+        let acts = self.forward_cached(x);
+        let mut delta = dloss_dout.to_vec();
+        // Walk layers in reverse.
+        for (li, l) in self.layers.iter().enumerate().rev() {
+            let out = &acts[li + 1];
+            let input = &acts[li];
+            // δ ← δ ⊙ act'(out)
+            for (d, y) in delta.iter_mut().zip(out) {
+                *d *= l.act.derivative_from_output(*y);
+            }
+            // dW += δ ⊗ input; db += δ
+            grads.dw[li].add_outer(&delta, input, 1.0);
+            for (g, d) in grads.db[li].iter_mut().zip(&delta) {
+                *g += d;
+            }
+            // Propagate: δ ← Wᵀ δ
+            if li > 0 {
+                delta = l.w.matvec_t(&delta);
+            }
+        }
+        grads.samples += 1;
+        acts.into_iter().last().unwrap()
+    }
+
+    /// Apply a parameter update: `θ += k · g` layer-wise (used by the
+    /// optimizers; `k` is usually `−lr`).
+    pub fn apply_update(&mut self, grads: &Gradients, k: f64) {
+        for (l, (dw, db)) in self.layers.iter_mut().zip(grads.dw.iter().zip(&grads.db)) {
+            l.w.add_scaled(dw, k);
+            for (b, d) in l.b.iter_mut().zip(db) {
+                *b += k * d;
+            }
+        }
+    }
+
+    /// Visit all parameters and matching gradients as flat slices —
+    /// the optimizer hook. Order is stable (layer 0 weights, layer 0
+    /// biases, layer 1 weights, …).
+    pub fn visit_params_mut(
+        &mut self,
+        grads: &Gradients,
+        mut f: impl FnMut(&mut [f64], &[f64]),
+    ) {
+        for (l, (dw, db)) in self.layers.iter_mut().zip(grads.dw.iter().zip(&grads.db)) {
+            f(l.w.as_mut_slice(), dw.as_slice());
+            f(&mut l.b, db);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cross_entropy_grad, cross_entropy_loss, softmax};
+
+    #[test]
+    fn shapes_are_consistent() {
+        let mut rng = SimRng::new(1);
+        let net = Mlp::new(&[7, 16, 8, 3], Activation::Relu, &mut rng);
+        assert_eq!(net.input_dim(), 7);
+        assert_eq!(net.output_dim(), 3);
+        assert_eq!(net.param_count(), 7 * 16 + 16 + 16 * 8 + 8 + 8 * 3 + 3);
+        let y = net.forward(&[0.1; 7]);
+        assert_eq!(y.len(), 3);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    /// Finite-difference gradient check — the canonical backprop test.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SimRng::new(42);
+        let mut net = Mlp::new(&[4, 6, 3], Activation::Tanh, &mut rng);
+        let x = [0.3, -0.7, 0.9, 0.1];
+        let target = 1usize;
+
+        let mut grads = net.zero_grads();
+        net.backprop(&x, &cross_entropy_grad(&net.forward(&x), target), &mut grads);
+
+        let eps = 1e-6;
+        let grads_snapshot = grads;
+        // Flatten analytic gradients in visit order.
+        let mut analytic: Vec<f64> = Vec::new();
+        net.visit_params_mut(&grads_snapshot, |_, g| {
+            analytic.extend_from_slice(g);
+        });
+        // Helper: add `delta` to the k-th parameter in visit order.
+        let mut perturb = |net: &mut Mlp, k: usize, delta: f64| {
+            let mut seen = 0usize;
+            net.visit_params_mut(&grads_snapshot, |p, _| {
+                for v in p.iter_mut() {
+                    if seen == k {
+                        *v += delta;
+                    }
+                    seen += 1;
+                }
+            });
+        };
+        let total = analytic.len();
+        let mut checked = 0;
+        for k in (0..total).step_by(3) {
+            perturb(&mut net, k, eps);
+            let plus = cross_entropy_loss(&net.forward(&x), target);
+            perturb(&mut net, k, -2.0 * eps);
+            let minus = cross_entropy_loss(&net.forward(&x), target);
+            perturb(&mut net, k, eps);
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[k]).abs() < 1e-4,
+                "param {k}: numeric {numeric} vs analytic {}",
+                analytic[k]
+            );
+            checked += 1;
+        }
+        assert!(checked >= 15, "only {checked} parameters checked");
+    }
+
+    /// End-to-end: a tiny MLP learns XOR with plain gradient descent.
+    #[test]
+    fn learns_xor() {
+        let mut rng = SimRng::new(7);
+        let mut net = Mlp::new(&[2, 8, 2], Activation::Tanh, &mut rng);
+        let data: [([f64; 2], usize); 4] = [
+            ([0.0, 0.0], 0),
+            ([0.0, 1.0], 1),
+            ([1.0, 0.0], 1),
+            ([1.0, 1.0], 0),
+        ];
+        let mut grads = net.zero_grads();
+        for _ in 0..2000 {
+            grads.clear();
+            for (x, t) in &data {
+                let logits = net.forward(x);
+                net.backprop(x, &cross_entropy_grad(&logits, *t), &mut grads);
+            }
+            net.apply_update(&grads, -0.5 / data.len() as f64);
+        }
+        for (x, t) in &data {
+            let p = softmax(&net.forward(x));
+            assert!(p[*t] > 0.9, "input {x:?}: p = {p:?}");
+        }
+    }
+
+    #[test]
+    fn gradient_norm_and_scale() {
+        let mut rng = SimRng::new(3);
+        let mut net = Mlp::new(&[2, 4, 2], Activation::Relu, &mut rng);
+        let mut g = net.zero_grads();
+        net.backprop(&[1.0, -1.0], &[1.0, -1.0], &mut g);
+        let n = g.norm();
+        assert!(n > 0.0);
+        g.scale(0.5);
+        assert!((g.norm() - n * 0.5).abs() < 1e-9);
+        g.clear();
+        assert_eq!(g.norm(), 0.0);
+        assert_eq!(g.samples, 0);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_behaviour() {
+        let mut rng = SimRng::new(11);
+        let net = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = [0.2, 0.4, -0.6];
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{cross_entropy_grad, cross_entropy_loss};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Backprop matches central finite differences on randomly
+        /// sized networks, activations, inputs and probed parameters.
+        #[test]
+        fn gradcheck_random_networks(
+            seed in 0u64..10_000,
+            hidden in 1usize..12,
+            inputs in 2usize..6,
+            outputs in 2usize..5,
+            tanh in any::<bool>(),
+            probe_frac in 0.0f64..1.0,
+            target_frac in 0.0f64..1.0,
+        ) {
+            let mut rng = SimRng::new(seed);
+            let act = if tanh { Activation::Tanh } else { Activation::Relu };
+            let mut net = Mlp::new(&[inputs, hidden, outputs], act, &mut rng);
+            let x: Vec<f64> = (0..inputs).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let target = ((target_frac * outputs as f64) as usize).min(outputs - 1);
+
+            let mut grads = net.zero_grads();
+            let logits = net.forward(&x);
+            net.backprop(&x, &cross_entropy_grad(&logits, target), &mut grads);
+            let mut analytic: Vec<f64> = Vec::new();
+            net.visit_params_mut(&grads, |_, g| analytic.extend_from_slice(g));
+
+            let k = ((probe_frac * analytic.len() as f64) as usize).min(analytic.len() - 1);
+            let eps = 1e-6;
+            let mut perturb = |net: &mut Mlp, delta: f64| {
+                let mut seen = 0usize;
+                let snapshot = net.zero_grads();
+                net.visit_params_mut(&snapshot, |p, _| {
+                    for v in p.iter_mut() {
+                        if seen == k {
+                            *v += delta;
+                        }
+                        seen += 1;
+                    }
+                });
+            };
+            perturb(&mut net, eps);
+            let plus = cross_entropy_loss(&net.forward(&x), target);
+            perturb(&mut net, -2.0 * eps);
+            let minus = cross_entropy_loss(&net.forward(&x), target);
+            let numeric = (plus - minus) / (2.0 * eps);
+            // ReLU kinks can make single points non-differentiable;
+            // tolerate a loose bound there and a tight one for tanh.
+            let tol = if tanh { 1e-4 } else { 1e-3 };
+            prop_assert!(
+                (numeric - analytic[k]).abs() < tol,
+                "param {k}: numeric {numeric} vs analytic {}",
+                analytic[k]
+            );
+        }
+
+        /// Forward pass never produces NaN/inf for bounded inputs.
+        #[test]
+        fn forward_is_finite(seed in 0u64..10_000, scale in 0.0f64..100.0) {
+            let mut rng = SimRng::new(seed);
+            let net = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+            let x = [scale, -scale, scale / 2.0, 0.0];
+            prop_assert!(net.forward(&x).iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Optimizers: plain SGD and Adam over the network's flattened
+//! parameters, driven through [`Mlp::visit_params_mut`].
+
+use crate::mlp::{Gradients, Mlp};
+use serde::{Deserialize, Serialize};
+
+/// Stochastic gradient descent with optional gradient clipping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Clip the global gradient norm to this value (0 disables).
+    pub clip_norm: f64,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr, clip_norm: 5.0 }
+    }
+
+    /// One update step. Gradients are averaged over their accumulated
+    /// samples.
+    pub fn step(&self, net: &mut Mlp, grads: &mut Gradients) {
+        if grads.samples == 0 {
+            return;
+        }
+        grads.scale(1.0 / grads.samples as f64);
+        if self.clip_norm > 0.0 {
+            let n = grads.norm();
+            if n > self.clip_norm {
+                grads.scale(self.clip_norm / n);
+            }
+        }
+        net.apply_update(grads, -self.lr);
+        grads.clear();
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and gradient clipping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    /// Clip the global gradient norm to this value (0 disables).
+    pub clip_norm: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// New Adam optimizer with standard betas.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: 5.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// One update step. Gradients are averaged over their accumulated
+    /// samples, clipped, then applied with bias-corrected moments.
+    pub fn step(&mut self, net: &mut Mlp, grads: &mut Gradients) {
+        if grads.samples == 0 {
+            return;
+        }
+        grads.scale(1.0 / grads.samples as f64);
+        if self.clip_norm > 0.0 {
+            let n = grads.norm();
+            if n > self.clip_norm {
+                grads.scale(self.clip_norm / n);
+            }
+        }
+        let total = net.param_count();
+        if self.m.len() != total {
+            self.m = vec![0.0; total];
+            self.v = vec![0.0; total];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (m, v) = (&mut self.m, &mut self.v);
+        let mut offset = 0usize;
+        net.visit_params_mut(grads, |params, g| {
+            for (i, (p, gi)) in params.iter_mut().zip(g).enumerate() {
+                let k = offset + i;
+                m[k] = b1 * m[k] + (1.0 - b1) * gi;
+                v[k] = b2 * v[k] + (1.0 - b2) * gi * gi;
+                let mhat = m[k] / bc1;
+                let vhat = v[k] / bc2;
+                *p -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            offset += params.len();
+        });
+        grads.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Activation;
+    use crate::{cross_entropy_grad, softmax};
+    use simcore::SimRng;
+
+    fn train(optim: &mut dyn FnMut(&mut Mlp, &mut Gradients), seed: u64) -> f64 {
+        // Learn a simple separable classification: sign of x0 + x1.
+        let mut rng = SimRng::new(seed);
+        let mut net = Mlp::new(&[2, 8, 2], Activation::Tanh, &mut rng);
+        let mut grads = net.zero_grads();
+        let mut data_rng = SimRng::new(seed + 1);
+        for _ in 0..400 {
+            grads.clear();
+            for _ in 0..16 {
+                let x = [data_rng.range_f64(-1.0, 1.0), data_rng.range_f64(-1.0, 1.0)];
+                let t = usize::from(x[0] + x[1] > 0.0);
+                let logits = net.forward(&x);
+                net.backprop(&x, &cross_entropy_grad(&logits, t), &mut grads);
+            }
+            optim(&mut net, &mut grads);
+        }
+        // Accuracy on a fresh sample.
+        let mut correct = 0;
+        let n = 500;
+        for _ in 0..n {
+            let x = [data_rng.range_f64(-1.0, 1.0), data_rng.range_f64(-1.0, 1.0)];
+            let t = usize::from(x[0] + x[1] > 0.0);
+            let p = softmax(&net.forward(&x));
+            if (p[1] > 0.5) == (t == 1) {
+                correct += 1;
+            }
+        }
+        correct as f64 / n as f64
+    }
+
+    #[test]
+    fn sgd_learns_linear_boundary() {
+        let sgd = Sgd::new(0.3);
+        let acc = train(&mut |net, g| sgd.step(net, g), 5);
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn adam_learns_linear_boundary() {
+        let mut adam = Adam::new(0.01);
+        let acc = train(&mut |net, g| adam.step(net, g), 6);
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_gradients_are_a_noop() {
+        let mut rng = SimRng::new(1);
+        let mut net = Mlp::new(&[2, 3, 2], Activation::Relu, &mut rng);
+        let before = net.forward(&[0.5, 0.5]);
+        let mut g = net.zero_grads();
+        Sgd::new(0.1).step(&mut net, &mut g);
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut net, &mut g);
+        assert_eq!(net.forward(&[0.5, 0.5]), before);
+    }
+
+    #[test]
+    fn clipping_bounds_the_update() {
+        let mut rng = SimRng::new(2);
+        let mut net = Mlp::new(&[1, 2], Activation::Identity, &mut rng);
+        let mut g = net.zero_grads();
+        // Huge artificial gradient.
+        net.backprop(&[1000.0], &[1e6, -1e6], &mut g);
+        let sgd = Sgd::new(1.0);
+        let before: Vec<f64> = {
+            let mut v = Vec::new();
+            let snapshot = net.zero_grads();
+            net.visit_params_mut(&snapshot, |p, _| v.extend_from_slice(p));
+            v
+        };
+        let mut g2 = g;
+        sgd.step(&mut net, &mut g2);
+        let mut after = Vec::new();
+        let snapshot = net.zero_grads();
+        net.visit_params_mut(&snapshot, |p, _| after.extend_from_slice(p));
+        let delta: f64 = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        // lr × clip_norm = 5.0 bounds the parameter displacement.
+        assert!(delta <= 5.0 + 1e-9, "delta {delta}");
+    }
+}

@@ -1,0 +1,20 @@
+//! # rl — policy-gradient agent with imitation bootstrapping
+//!
+//! Implements the learning machinery of MLF-RL (§3.4): a deep policy
+//! network trained first by *imitation* of the heuristic scheduler
+//! ("MLFS initially runs MLF-H for a certain time period and uses the
+//! data to train MLF-RL"), then fine-tuned with policy gradients \[51\]
+//! on the multi-objective reward of Eq. 7, discounted by `η`.
+//!
+//! Scheduling actions have a *variable* candidate set (one entry per
+//! underloaded server plus "stay in queue"), so the policy is a
+//! *scoring* network: a shared MLP maps each candidate's feature
+//! vector to a scalar logit, and the action distribution is the
+//! softmax over candidate logits. REINFORCE gradients flow through
+//! every candidate's forward pass.
+
+pub mod policy;
+pub mod trainer;
+
+pub use policy::ScoringPolicy;
+pub use trainer::{Convergence, ReinforceTrainer, Step, TrainerConfig};

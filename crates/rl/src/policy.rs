@@ -1,0 +1,157 @@
+//! Candidate-scoring policy network.
+
+use nn::{softmax, Activation, Mlp};
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+/// A policy that scores candidate feature vectors with a shared MLP
+/// and draws actions from the softmax over the scores.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoringPolicy {
+    net: Mlp,
+    input_dim: usize,
+}
+
+impl ScoringPolicy {
+    /// New policy for `input_dim`-dimensional candidate features with
+    /// the given hidden layer sizes.
+    pub fn new(input_dim: usize, hidden: &[usize], rng: &mut SimRng) -> Self {
+        let mut sizes = vec![input_dim];
+        sizes.extend_from_slice(hidden);
+        sizes.push(1);
+        ScoringPolicy {
+            net: Mlp::new(&sizes, Activation::Relu, rng),
+            input_dim,
+        }
+    }
+
+    /// Feature dimensionality this policy expects.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// The underlying network (for the trainer).
+    pub(crate) fn net(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Mutable network access (for the trainer).
+    pub(crate) fn net_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+
+    /// Logit per candidate.
+    pub fn scores(&self, candidates: &[Vec<f64>]) -> Vec<f64> {
+        candidates
+            .iter()
+            .map(|c| {
+                debug_assert_eq!(c.len(), self.input_dim);
+                self.net.forward(c)[0]
+            })
+            .collect()
+    }
+
+    /// Action probabilities (softmax over candidate scores).
+    pub fn probabilities(&self, candidates: &[Vec<f64>]) -> Vec<f64> {
+        softmax(&self.scores(candidates))
+    }
+
+    /// Sample an action index from the policy distribution.
+    ///
+    /// # Panics
+    /// Panics on an empty candidate set — callers must always offer at
+    /// least one option (e.g. "stay in queue").
+    pub fn sample(&self, candidates: &[Vec<f64>], rng: &mut SimRng) -> usize {
+        assert!(!candidates.is_empty(), "no candidates to sample from");
+        let probs = self.probabilities(candidates);
+        let mut x = rng.f64();
+        for (i, p) in probs.iter().enumerate() {
+            if x < *p {
+                return i;
+            }
+            x -= p;
+        }
+        probs.len() - 1
+    }
+
+    /// Highest-scoring action (inference mode).
+    pub fn greedy(&self, candidates: &[Vec<f64>]) -> usize {
+        assert!(!candidates.is_empty(), "no candidates to choose from");
+        let scores = self.scores(candidates);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(n: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..dim).map(|d| (i * dim + d) as f64 * 0.1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn probabilities_form_a_distribution() {
+        let mut rng = SimRng::new(1);
+        let p = ScoringPolicy::new(4, &[8], &mut rng);
+        let probs = p.probabilities(&cands(5, 4));
+        assert_eq!(probs.len(), 5);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(probs.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn greedy_picks_the_max_probability() {
+        let mut rng = SimRng::new(2);
+        let p = ScoringPolicy::new(3, &[6], &mut rng);
+        let c = cands(7, 3);
+        let probs = p.probabilities(&c);
+        let g = p.greedy(&c);
+        let max = probs
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((probs[g] - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut rng = SimRng::new(3);
+        let p = ScoringPolicy::new(2, &[4], &mut rng);
+        let c = cands(3, 2);
+        let probs = p.probabilities(&c);
+        let n = 50_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[p.sample(&c, &mut rng)] += 1;
+        }
+        for i in 0..3 {
+            let emp = counts[i] as f64 / n as f64;
+            assert!((emp - probs[i]).abs() < 0.015, "cand {i}: {emp} vs {}", probs[i]);
+        }
+    }
+
+    #[test]
+    fn single_candidate_is_always_chosen() {
+        let mut rng = SimRng::new(4);
+        let p = ScoringPolicy::new(2, &[4], &mut rng);
+        let c = cands(1, 2);
+        assert_eq!(p.greedy(&c), 0);
+        assert_eq!(p.sample(&c, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidates")]
+    fn empty_candidates_panic() {
+        let mut rng = SimRng::new(5);
+        let p = ScoringPolicy::new(2, &[4], &mut rng);
+        p.greedy(&[]);
+    }
+}

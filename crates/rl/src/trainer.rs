@@ -1,0 +1,422 @@
+//! REINFORCE-with-baseline training and imitation pre-training.
+
+use crate::policy::ScoringPolicy;
+use nn::{softmax, Adam};
+use serde::{Deserialize, Serialize};
+
+/// One recorded decision: the candidate features offered and the index
+/// chosen (by MLF-H during imitation, or by the policy itself during
+/// RL fine-tuning).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Step {
+    /// Feature vector per candidate.
+    pub candidates: Vec<Vec<f64>>,
+    /// Index of the chosen candidate.
+    pub action: usize,
+}
+
+/// Trainer hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Reward discount `η` (paper default 0.95; "a larger η enables
+    /// the RL agent to consider more weights on the future rewards").
+    pub eta: f64,
+    /// EMA factor for the reward baseline.
+    pub baseline_decay: f64,
+    /// Entropy regularisation coefficient (keeps exploration alive
+    /// during fine-tuning).
+    pub entropy_coef: f64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            lr: 1e-2,
+            eta: 0.95,
+            baseline_decay: 0.95,
+            entropy_coef: 1e-3,
+        }
+    }
+}
+
+/// Convergence detector: tracks an EMA of the per-episode return and
+/// declares convergence when its relative change stays small for a
+/// window of episodes ("only after the RL model is well trained (i.e.,
+/// converged), MLFS switches from MLF-H to MLF-RL", §3.4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Convergence {
+    ema: Option<f64>,
+    stable_for: usize,
+    /// Relative-change tolerance.
+    pub tol: f64,
+    /// Episodes the EMA must stay within tolerance.
+    pub window: usize,
+}
+
+impl Convergence {
+    /// New detector.
+    pub fn new(tol: f64, window: usize) -> Self {
+        Convergence {
+            ema: None,
+            stable_for: 0,
+            tol,
+            window,
+        }
+    }
+
+    /// Record an episode return. Returns `true` once converged.
+    pub fn record(&mut self, episode_return: f64) -> bool {
+        match self.ema {
+            None => {
+                self.ema = Some(episode_return);
+                self.stable_for = 0;
+            }
+            Some(prev) => {
+                let ema = 0.9 * prev + 0.1 * episode_return;
+                let denom = prev.abs().max(1e-9);
+                if ((ema - prev) / denom).abs() < self.tol {
+                    self.stable_for += 1;
+                } else {
+                    self.stable_for = 0;
+                }
+                self.ema = Some(ema);
+            }
+        }
+        self.is_converged()
+    }
+
+    /// Whether the return EMA has been stable long enough.
+    pub fn is_converged(&self) -> bool {
+        self.stable_for >= self.window
+    }
+
+    /// Current EMA of returns.
+    pub fn ema(&self) -> Option<f64> {
+        self.ema
+    }
+}
+
+/// REINFORCE trainer with an EMA baseline, plus supervised imitation.
+#[derive(Debug)]
+pub struct ReinforceTrainer {
+    /// The policy being trained.
+    pub policy: ScoringPolicy,
+    cfg: TrainerConfig,
+    optim: Adam,
+    baseline: f64,
+    baseline_ready: bool,
+}
+
+impl ReinforceTrainer {
+    /// Wrap a policy with a trainer.
+    pub fn new(policy: ScoringPolicy, cfg: TrainerConfig) -> Self {
+        let optim = Adam::new(cfg.lr);
+        ReinforceTrainer {
+            policy,
+            cfg,
+            optim,
+            baseline: 0.0,
+            baseline_ready: false,
+        }
+    }
+
+    /// Discounted returns `G_t = Σ_k η^k r_{t+k}` for a reward
+    /// sequence.
+    pub fn discounted_returns(&self, rewards: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; rewards.len()];
+        let mut acc = 0.0;
+        for (i, r) in rewards.iter().enumerate().rev() {
+            acc = r + self.cfg.eta * acc;
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// One REINFORCE update over an episode of `(step, reward)` pairs.
+    /// Returns the (undiscounted) episode return.
+    pub fn train_episode(&mut self, episode: &[(Step, f64)]) -> f64 {
+        if episode.is_empty() {
+            return 0.0;
+        }
+        let rewards: Vec<f64> = episode.iter().map(|(_, r)| *r).collect();
+        let returns = self.discounted_returns(&rewards);
+        // Update the baseline from the episode's mean return.
+        let mean_ret = returns.iter().sum::<f64>() / returns.len() as f64;
+        if self.baseline_ready {
+            self.baseline =
+                self.cfg.baseline_decay * self.baseline + (1.0 - self.cfg.baseline_decay) * mean_ret;
+        } else {
+            self.baseline = mean_ret;
+            self.baseline_ready = true;
+        }
+
+        let mut grads = self.policy.net().zero_grads();
+        for ((step, _), g_t) in episode.iter().zip(&returns) {
+            if step.candidates.len() < 2 {
+                continue; // nothing to learn from a forced choice
+            }
+            let advantage = g_t - self.baseline;
+            let scores = self.policy.scores(&step.candidates);
+            let probs = softmax(&scores);
+            // d(-advantage·log π(a) − β·H(π)) / d logit_i
+            //   = advantage·(π_i − 1[i=a]) + β·π_i·(log π_i + H)
+            let entropy: f64 = probs
+                .iter()
+                .map(|p| if *p > 0.0 { -p * p.ln() } else { 0.0 })
+                .sum();
+            for (i, cand) in step.candidates.iter().enumerate() {
+                let indicator = if i == step.action { 1.0 } else { 0.0 };
+                let mut dlogit = advantage * (probs[i] - indicator);
+                dlogit += self.cfg.entropy_coef * probs[i] * (probs[i].max(1e-12).ln() + entropy);
+                self.policy
+                    .net_mut_internal_backprop(cand, dlogit, &mut grads);
+            }
+        }
+        self.optim.step(self.policy.net_mut(), &mut grads);
+        rewards.iter().sum()
+    }
+
+    /// Supervised imitation: raise the probability of the recorded
+    /// action via cross-entropy over candidate scores. Returns the
+    /// mean cross-entropy loss of the batch.
+    pub fn imitate(&mut self, steps: &[Step]) -> f64 {
+        if steps.is_empty() {
+            return 0.0;
+        }
+        let mut grads = self.policy.net().zero_grads();
+        let mut total_loss = 0.0;
+        let mut counted = 0usize;
+        for step in steps {
+            if step.candidates.len() < 2 {
+                continue;
+            }
+            let scores = self.policy.scores(&step.candidates);
+            let probs = softmax(&scores);
+            total_loss += -probs[step.action].max(1e-12).ln();
+            counted += 1;
+            for (i, cand) in step.candidates.iter().enumerate() {
+                let indicator = if i == step.action { 1.0 } else { 0.0 };
+                let dlogit = probs[i] - indicator;
+                self.policy
+                    .net_mut_internal_backprop(cand, dlogit, &mut grads);
+            }
+        }
+        self.optim.step(self.policy.net_mut(), &mut grads);
+        if counted == 0 {
+            0.0
+        } else {
+            total_loss / counted as f64
+        }
+    }
+
+    /// Fraction of steps where the policy's greedy choice matches the
+    /// recorded action (imitation quality metric).
+    pub fn agreement(&self, steps: &[Step]) -> f64 {
+        if steps.is_empty() {
+            return 1.0;
+        }
+        let hits = steps
+            .iter()
+            .filter(|s| self.policy.greedy(&s.candidates) == s.action)
+            .count();
+        hits as f64 / steps.len() as f64
+    }
+
+    /// The current reward baseline.
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+}
+
+impl ScoringPolicy {
+    /// Backprop helper used by the trainer: accumulate gradient of
+    /// `dlogit · logit(candidate)` into `grads`.
+    fn net_mut_internal_backprop(
+        &mut self,
+        candidate: &[f64],
+        dlogit: f64,
+        grads: &mut nn::Gradients,
+    ) {
+        self.net_mut().backprop(candidate, &[dlogit], grads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimRng;
+
+    /// A contextual bandit: candidate feature [x]; reward 1 when the
+    /// chosen candidate has the largest x, else 0. The optimal policy
+    /// scores candidates by x.
+    fn bandit_episode(policy: &ScoringPolicy, rng: &mut SimRng, steps: usize) -> Vec<(Step, f64)> {
+        let mut out = Vec::new();
+        for _ in 0..steps {
+            let candidates: Vec<Vec<f64>> =
+                (0..4).map(|_| vec![rng.range_f64(-1.0, 1.0)]).collect();
+            let action = policy.sample(&candidates, rng);
+            let best = candidates
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
+                .unwrap()
+                .0;
+            let reward = if action == best { 1.0 } else { 0.0 };
+            out.push((
+                Step {
+                    candidates,
+                    action,
+                },
+                reward,
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn discounted_returns_match_hand_computation() {
+        let t = ReinforceTrainer::new(
+            ScoringPolicy::new(1, &[4], &mut SimRng::new(0)),
+            TrainerConfig {
+                eta: 0.5,
+                ..Default::default()
+            },
+        );
+        let g = t.discounted_returns(&[1.0, 0.0, 4.0]);
+        // G2 = 4, G1 = 0 + .5·4 = 2, G0 = 1 + .5·2 = 2.
+        assert_eq!(g, vec![2.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn reinforce_improves_bandit_reward() {
+        let mut rng = SimRng::new(10);
+        let policy = ScoringPolicy::new(1, &[8], &mut rng);
+        let mut trainer = ReinforceTrainer::new(policy, TrainerConfig::default());
+
+        let mut eval_rng = SimRng::new(99);
+        let before: f64 = bandit_episode(&trainer.policy, &mut eval_rng, 500)
+            .iter()
+            .map(|(_, r)| r)
+            .sum::<f64>()
+            / 500.0;
+
+        for _ in 0..400 {
+            let ep = bandit_episode(&trainer.policy, &mut rng, 32);
+            trainer.train_episode(&ep);
+        }
+
+        let mut eval_rng = SimRng::new(99);
+        let after: f64 = bandit_episode(&trainer.policy, &mut eval_rng, 500)
+            .iter()
+            .map(|(_, r)| r)
+            .sum::<f64>()
+            / 500.0;
+        assert!(
+            after > before + 0.2 && after > 0.7,
+            "before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn imitation_learns_a_max_rule() {
+        let mut rng = SimRng::new(20);
+        let policy = ScoringPolicy::new(2, &[8], &mut rng);
+        let mut trainer = ReinforceTrainer::new(policy, TrainerConfig::default());
+
+        // Teacher: pick the candidate maximising x0 + 2·x1.
+        let make_steps = |rng: &mut SimRng, n: usize| -> Vec<Step> {
+            (0..n)
+                .map(|_| {
+                    let candidates: Vec<Vec<f64>> = (0..5)
+                        .map(|_| vec![rng.range_f64(0.0, 1.0), rng.range_f64(0.0, 1.0)])
+                        .collect();
+                    let action = candidates
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| {
+                            (a.1[0] + 2.0 * a.1[1])
+                                .partial_cmp(&(b.1[0] + 2.0 * b.1[1]))
+                                .unwrap()
+                        })
+                        .unwrap()
+                        .0;
+                    Step {
+                        candidates,
+                        action,
+                    }
+                })
+                .collect()
+        };
+
+        for _ in 0..300 {
+            let batch = make_steps(&mut rng, 32);
+            trainer.imitate(&batch);
+        }
+        let mut test_rng = SimRng::new(77);
+        let test = make_steps(&mut test_rng, 400);
+        let agree = trainer.agreement(&test);
+        assert!(agree > 0.85, "agreement {agree}");
+    }
+
+    #[test]
+    fn imitation_loss_decreases() {
+        let mut rng = SimRng::new(30);
+        let policy = ScoringPolicy::new(1, &[6], &mut rng);
+        let mut trainer = ReinforceTrainer::new(policy, TrainerConfig::default());
+        let steps: Vec<Step> = (0..64)
+            .map(|_| {
+                let candidates: Vec<Vec<f64>> =
+                    (0..3).map(|_| vec![rng.range_f64(0.0, 1.0)]).collect();
+                let action = candidates
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
+                    .unwrap()
+                    .0;
+                Step {
+                    candidates,
+                    action,
+                }
+            })
+            .collect();
+        let first = trainer.imitate(&steps);
+        let mut last = first;
+        for _ in 0..400 {
+            last = trainer.imitate(&steps);
+        }
+        assert!(last < first * 0.5, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn convergence_detector() {
+        let mut c = Convergence::new(0.01, 5);
+        // Wildly varying returns: never converges.
+        for i in 0..20 {
+            c.record(if i % 2 == 0 { 0.0 } else { 100.0 });
+        }
+        assert!(!c.is_converged());
+        // Stable returns: converges after the window.
+        let mut c2 = Convergence::new(0.01, 5);
+        let mut converged_at = None;
+        for i in 0..50 {
+            if c2.record(10.0) && converged_at.is_none() {
+                converged_at = Some(i);
+            }
+        }
+        assert!(converged_at.is_some());
+        assert!(converged_at.unwrap() >= 5);
+    }
+
+    #[test]
+    fn empty_episode_is_harmless() {
+        let mut trainer = ReinforceTrainer::new(
+            ScoringPolicy::new(1, &[4], &mut SimRng::new(0)),
+            TrainerConfig::default(),
+        );
+        assert_eq!(trainer.train_episode(&[]), 0.0);
+        assert_eq!(trainer.imitate(&[]), 0.0);
+        assert_eq!(trainer.agreement(&[]), 1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Developer diagnostic: run all ten figure schedulers on one
+//! fig4-style workload and print a compact comparison table.
+//!
+//! ```sh
+//! cargo run --release -p mlfs-sim --example compare -- [x] [tf]
+//! ```
+use mlfs_sim::experiments::fig4;
+
+fn main() {
+    let x: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let tf: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16.0);
+    let e = fig4(x, tf, 42);
+    println!("{} jobs, {} rounds expected", e.trace.jobs, e.expected_rounds());
+    println!("{:<12} {:>8} {:>7} {:>7} {:>8} {:>7} {:>7} {:>9} {:>7} {:>6}",
+        "scheduler", "avgJCT", "d-rat", "a-rat", "wait(s)", "acc", "bw(GB)", "mkspan(h)", "ms", "unfin");
+    for name in baselines::FIGURE_SCHEDULERS {
+        let mut s = e.trained_scheduler(name, 7);
+        let t0 = std::time::Instant::now();
+        let m = e.run(s.as_mut());
+        let unfin = m.jobs.iter().filter(|j| j.finished.is_none()).count();
+        println!("{:<12} {:>8.1} {:>7.3} {:>7.3} {:>8.1} {:>7.3} {:>7.1} {:>9.1} {:>7.3} {:>6} ({:.1}s wall, {} inval)",
+            name, m.avg_jct_mins(), m.deadline_ratio(), m.accuracy_ratio(),
+            m.avg_waiting_secs(), m.avg_accuracy(), m.bandwidth_mb/1024.0,
+            m.makespan_hours, m.avg_decision_ms(), unfin, t0.elapsed().as_secs_f64(), m.invalid_actions);
+    }
+}

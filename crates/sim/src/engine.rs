@@ -1,0 +1,829 @@
+//! The discrete-event simulation engine.
+//!
+//! Time advances in scheduler rounds ("the job scheduler runs every
+//! minute", §4.1). Between rounds the fluid progress model runs with
+//! *exact* sub-round completion events: when a job will finish before
+//! the next round, the engine advances precisely to that instant,
+//! frees its resources, and recomputes the surviving jobs' rates
+//! (freed GPUs can speed co-located tasks up). Deadline crossings are
+//! interpolated the same way, so "accuracy by deadline" is exact under
+//! the fluid model.
+//!
+//! The engine validates every scheduler action; invalid actions are
+//! counted (`RunMetrics::invalid_actions`) and skipped rather than
+//! corrupting state. Scheduler decision time is measured around each
+//! `schedule` call with a monotonic wall clock (Fig. 4h).
+
+use crate::progress::{job_rate, JobRate, ProgressModel};
+use crate::reward::{components, WindowStats};
+use cluster::{Cluster, ClusterConfig, JobId, TaskId};
+use metrics::{JobRecord, RunMetrics};
+use mlfs::placement::migration_state_mb;
+use mlfs::{Action, Scheduler, SchedulerContext};
+use simcore::{SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+use workload::{JobSpec, JobState, StopReason, TaskRunState};
+
+/// Straggler injection (the paper's §3.3.3 "future work" extension).
+#[derive(Debug, Clone, Copy)]
+pub struct StragglerConfig {
+    /// Probability per running task per simulated hour of becoming a
+    /// straggler.
+    pub probability_per_hour: f64,
+    /// Rate multiplier applied to a job with a straggling task.
+    pub slowdown: f64,
+    /// Replicate stragglers: a replica takes over one round later
+    /// (charging one state transfer), ending the slowdown.
+    pub replicate: bool,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster shape.
+    pub cluster: ClusterConfig,
+    /// Scheduler round period (paper: one minute).
+    pub tick: SimDuration,
+    /// Progress semantics.
+    pub progress: ProgressModel,
+    /// Overload threshold used for the overload-occurrence statistic.
+    pub h_r: f64,
+    /// Hard stop for the simulation clock.
+    pub max_time: SimDuration,
+    /// Optional straggler injection.
+    pub straggler: Option<StragglerConfig>,
+    /// Amplitude of time-varying task utilization (0 disables). Real
+    /// tasks do not draw their mean demand every minute (the Philly
+    /// trace reports per-minute utilization); each placed task's live
+    /// demand oscillates around its mean by up to this fraction, which
+    /// is what makes servers *overload* after admission and gives the
+    /// migration machinery (Fig. 8) something to do.
+    pub utilization_noise: f64,
+    /// Engine RNG seed (stragglers only; everything else is
+    /// deterministic).
+    pub seed: u64,
+    /// Record a per-round cluster timeline into
+    /// `RunMetrics::timeline` (off by default: large runs would carry
+    /// tens of thousands of samples).
+    pub record_timeline: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cluster: ClusterConfig::paper_testbed(),
+            tick: SimDuration::from_secs(60),
+            progress: ProgressModel::Pipelined,
+            h_r: 0.9,
+            max_time: SimDuration::from_hours(24 * 60),
+            straggler: None,
+            utilization_noise: 0.05,
+            seed: 42,
+            record_timeline: false,
+        }
+    }
+}
+
+/// The live simulation.
+pub struct Simulation {
+    cfg: SimConfig,
+    cluster: Cluster,
+    jobs: BTreeMap<JobId, JobState>,
+    queue: Vec<TaskId>,
+    /// Pending arrivals, ascending by arrival time; `next_arrival`
+    /// indexes into it.
+    pending: Vec<JobSpec>,
+    next_arrival: usize,
+    now: SimTime,
+    metrics: RunMetrics,
+    window: WindowStats,
+    stragglers: BTreeSet<TaskId>,
+    rng: SimRng,
+    bandwidth_charged_mb: f64,
+}
+
+impl Simulation {
+    /// Build a simulation over `specs` (any order; sorted internally).
+    pub fn new(cfg: SimConfig, mut specs: Vec<JobSpec>) -> Self {
+        specs.sort_by_key(|s| s.arrival);
+        let cluster = Cluster::new(&cfg.cluster);
+        let metrics = RunMetrics {
+            jobs_submitted: specs.len(),
+            ..Default::default()
+        };
+        let rng = SimRng::new(cfg.seed);
+        Simulation {
+            cfg,
+            cluster,
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            pending: specs,
+            next_arrival: 0,
+            now: SimTime::ZERO,
+            metrics,
+            window: WindowStats::default(),
+            stragglers: BTreeSet::new(),
+            rng,
+            bandwidth_charged_mb: 0.0,
+        }
+    }
+
+    /// Run to completion under `scheduler`, returning the metrics.
+    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> RunMetrics {
+        // Jump to the first arrival.
+        if let Some(first) = self.pending.first() {
+            self.now = first.arrival;
+        }
+        let mut last = self.now;
+        loop {
+            // Advance the world to `now` (arrivals, progress,
+            // completions, deadline freezes).
+            self.advance(last, self.now);
+            last = self.now;
+
+            // Round statistics.
+            self.metrics.rounds += 1;
+            let overloaded = self.cluster.overloaded_servers(self.cfg.h_r).len();
+            self.metrics.overload_occurrences += overloaded as u64;
+            if self.cfg.record_timeline {
+                self.metrics.timeline.push(metrics::TimelinePoint {
+                    t_mins: self.now.as_mins_f64(),
+                    mean_util: self.cluster.mean_utilization().0,
+                    queue_len: self.queue.len(),
+                    active_jobs: self.jobs.values().filter(|j| !j.is_finished()).count(),
+                    overloaded_servers: overloaded,
+                });
+            }
+
+            // Reward for the window just closed.
+            self.window.mean_active_accuracy = self.mean_active_accuracy();
+            let reward = components(&self.window);
+            self.window = WindowStats::default();
+            scheduler.observe_reward(&reward);
+
+            // Time-varying utilization: refresh every placed task's
+            // live demand before the scheduler observes the cluster.
+            self.refresh_utilization();
+
+            // Scheduling round (timed).
+            let ctx = SchedulerContext {
+                now: self.now,
+                jobs: &self.jobs,
+                cluster: &self.cluster,
+                queue: &self.queue,
+            };
+            let started = Instant::now();
+            let actions = scheduler.schedule(&ctx);
+            self.metrics
+                .decision_times_ms
+                .push(started.elapsed().as_secs_f64() * 1000.0);
+            self.apply_actions(actions);
+
+            // Straggler injection happens at round granularity.
+            self.inject_stragglers();
+
+            // Pick the next round time.
+            let active = self.jobs.values().any(|j| !j.is_finished());
+            if !active && self.next_arrival >= self.pending.len() {
+                break;
+            }
+            let next = if active || !self.queue.is_empty() {
+                self.now + self.cfg.tick
+            } else {
+                // Idle: jump to the next arrival.
+                self.pending[self.next_arrival].arrival.max(self.now + self.cfg.tick)
+            };
+            if next.since(SimTime::ZERO) > self.cfg.max_time {
+                // Horizon reached: advance once more then stop.
+                self.advance(last, SimTime::ZERO + self.cfg.max_time);
+                break;
+            }
+            self.now = next;
+        }
+        self.finalize()
+    }
+
+    /// Mean accuracy over active jobs.
+    fn mean_active_accuracy(&self) -> f64 {
+        let accs: Vec<f64> = self
+            .jobs
+            .values()
+            .filter(|j| !j.is_finished())
+            .map(|j| j.accuracy())
+            .collect();
+        metrics::mean(&accs)
+    }
+
+    /// Advance the world from `from` to `to`, sub-stepping at arrivals
+    /// and completions.
+    fn advance(&mut self, from: SimTime, to: SimTime) {
+        let mut t = from;
+        // Admit arrivals at exactly `from` first (e.g. the initial jump).
+        self.admit_arrivals(t);
+        while t < to {
+            // Current rates (with straggler slowdown).
+            let rates: BTreeMap<JobId, JobRate> = self
+                .jobs
+                .iter()
+                .filter(|(_, j)| !j.is_finished())
+                .map(|(id, j)| {
+                    let mut r = job_rate(j, &self.cluster, self.cfg.progress);
+                    if let Some(sc) = self.cfg.straggler {
+                        let straggling = (0..j.spec.task_count())
+                            .any(|i| self.stragglers.contains(&TaskId::new(*id, i as u16)));
+                        if straggling {
+                            r.iters_per_sec *= sc.slowdown;
+                        }
+                    }
+                    (*id, r)
+                })
+                .collect();
+
+            // Earliest event in (t, to]: completion or arrival.
+            let mut t_next = to;
+            for (id, r) in &rates {
+                if r.iters_per_sec <= 0.0 {
+                    continue;
+                }
+                let j = &self.jobs[id];
+                let remaining = j.spec.max_iterations as f64 - j.iterations;
+                if remaining <= 0.0 {
+                    continue;
+                }
+                let t_c = t + SimDuration::from_secs_f64(remaining / r.iters_per_sec);
+                if t_c < t_next {
+                    t_next = t_c;
+                }
+            }
+            if self.next_arrival < self.pending.len() {
+                let a = self.pending[self.next_arrival].arrival;
+                if a > t && a < t_next {
+                    t_next = a;
+                }
+            }
+            if t_next <= t {
+                t_next = to; // numerical floor: never stall
+            }
+            let dt = t_next.since(t);
+            let dt_secs = dt.as_secs_f64();
+
+            // Apply progress, traffic, waiting and deadline freezes.
+            let mut finished_now: Vec<JobId> = Vec::new();
+            for (id, j) in self.jobs.iter_mut() {
+                if j.is_finished() {
+                    continue;
+                }
+                let r = rates.get(id).copied().unwrap_or_default();
+                // Deadline crossing inside (t, t_next]?
+                let d = j.spec.deadline;
+                if j.accuracy_at_deadline.is_none() && d > t && d <= t_next {
+                    let at = j.iterations + r.iters_per_sec * d.since(t).as_secs_f64();
+                    j.accuracy_at_deadline = Some(j.spec.curve.accuracy_at(at));
+                }
+                if r.iters_per_sec > 0.0 {
+                    let delta = r.iters_per_sec * dt_secs;
+                    j.advance(delta);
+                    let mb = r.cross_mb_per_iter * delta;
+                    self.bandwidth_charged_mb += mb;
+                    self.window.transferred_mb += mb;
+                    if j.iterations >= j.spec.max_iterations as f64 - 1e-9 {
+                        finished_now.push(*id);
+                    }
+                } else if j.running_tasks() == 0 {
+                    // Whole job idle: accrue waiting time.
+                    j.waiting += dt;
+                }
+            }
+            for id in finished_now {
+                self.complete_job(id, t_next, StopReason::MaxIterations);
+            }
+            t = t_next;
+            self.admit_arrivals(t);
+        }
+    }
+
+    /// Admit every pending job with `arrival ≤ t`.
+    fn admit_arrivals(&mut self, t: SimTime) {
+        while self.next_arrival < self.pending.len()
+            && self.pending[self.next_arrival].arrival <= t
+        {
+            let spec = self.pending[self.next_arrival].clone();
+            self.next_arrival += 1;
+            let id = spec.id;
+            let state = JobState::new(spec, t);
+            for i in 0..state.spec.task_count() {
+                self.queue.push(TaskId::new(id, i as u16));
+            }
+            let prev = self.jobs.insert(id, state);
+            assert!(prev.is_none(), "duplicate job id {id}");
+        }
+    }
+
+    /// Finish a job: free resources, purge the queue, record metrics.
+    fn complete_job(&mut self, id: JobId, at: SimTime, reason: StopReason) {
+        let job = self.jobs.get_mut(&id).expect("completing unknown job");
+        if job.is_finished() {
+            return;
+        }
+        // Free placed tasks.
+        for (i, st) in job.task_states.clone().iter().enumerate() {
+            if matches!(st, TaskRunState::Running { .. }) {
+                let t = TaskId::new(id, i as u16);
+                self.cluster.remove(t);
+                self.stragglers.remove(&t);
+            }
+        }
+        self.queue.retain(|t| t.job != id);
+        job.finish(at, reason);
+        // By-deadline accuracy freezes at completion if the deadline
+        // is still ahead (the job's final accuracy counts).
+        job.freeze_deadline_accuracy(at.max(job.spec.deadline));
+        // Window bookkeeping for the reward.
+        let jct_mins = job.jct().map(|d| d.as_mins_f64()).unwrap_or(0.0);
+        self.window.completed_jct_mins.push(jct_mins);
+        if job.met_deadline() {
+            self.window.completed_met_deadline += 1;
+        }
+        if job.met_accuracy() {
+            self.window.completed_met_accuracy += 1;
+        }
+    }
+
+    /// Validate and apply a round's actions.
+    fn apply_actions(&mut self, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Place { task, server } => {
+                    let valid = self
+                        .jobs
+                        .get(&task.job)
+                        .map(|j| {
+                            !j.is_finished()
+                                && (task.idx as usize) < j.spec.task_count()
+                                && matches!(
+                                    j.task_states[task.idx as usize],
+                                    TaskRunState::Waiting { .. }
+                                )
+                        })
+                        .unwrap_or(false)
+                        && (server.0 as usize) < self.cluster.server_count();
+                    if !valid {
+                        self.metrics.invalid_actions += 1;
+                        continue;
+                    }
+                    let job = &self.jobs[&task.job];
+                    let spec = &job.spec.tasks[task.idx as usize];
+                    match self
+                        .cluster
+                        .place(task, server, spec.demand, spec.gpu_share)
+                    {
+                        Ok(gpu) => {
+                            self.jobs.get_mut(&task.job).unwrap().task_states
+                                [task.idx as usize] = TaskRunState::Running { server, gpu };
+                            self.queue.retain(|t| *t != task);
+                        }
+                        Err(_) => self.metrics.invalid_actions += 1,
+                    }
+                }
+                Action::Migrate { task, to } => {
+                    let running = self
+                        .jobs
+                        .get(&task.job)
+                        .map(|j| {
+                            !j.is_finished()
+                                && matches!(
+                                    j.task_states[task.idx as usize],
+                                    TaskRunState::Running { .. }
+                                )
+                        })
+                        .unwrap_or(false)
+                        && (to.0 as usize) < self.cluster.server_count();
+                    if !running {
+                        self.metrics.invalid_actions += 1;
+                        continue;
+                    }
+                    let job = &self.jobs[&task.job];
+                    let state_mb = migration_state_mb(job, task.idx as usize);
+                    let was_remote = self.cluster.locate(task) != Some(to);
+                    match self.cluster.migrate(task, to, state_mb) {
+                        Ok(gpu) => {
+                            self.jobs.get_mut(&task.job).unwrap().task_states
+                                [task.idx as usize] =
+                                TaskRunState::Running { server: to, gpu };
+                            self.stragglers.remove(&task);
+                            if was_remote {
+                                self.window.transferred_mb += state_mb;
+                            }
+                        }
+                        Err(_) => self.metrics.invalid_actions += 1,
+                    }
+                }
+                Action::Evict { task } => {
+                    let running = self
+                        .jobs
+                        .get(&task.job)
+                        .map(|j| {
+                            !j.is_finished()
+                                && matches!(
+                                    j.task_states[task.idx as usize],
+                                    TaskRunState::Running { .. }
+                                )
+                        })
+                        .unwrap_or(false);
+                    if !running {
+                        self.metrics.invalid_actions += 1;
+                        continue;
+                    }
+                    self.cluster.remove(task);
+                    self.stragglers.remove(&task);
+                    self.jobs.get_mut(&task.job).unwrap().task_states[task.idx as usize] =
+                        TaskRunState::Waiting { since: self.now };
+                    self.queue.push(task);
+                }
+                Action::StopJob { job, reason } => {
+                    let active = self
+                        .jobs
+                        .get(&job)
+                        .map(|j| !j.is_finished())
+                        .unwrap_or(false);
+                    if !active {
+                        self.metrics.invalid_actions += 1;
+                        continue;
+                    }
+                    self.complete_job(job, self.now, reason);
+                }
+                Action::SetPolicy { job, policy } => {
+                    match self.jobs.get_mut(&job) {
+                        Some(j) if !j.is_finished() => j.effective_policy = policy,
+                        _ => self.metrics.invalid_actions += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Oscillate each placed task's live demand around its mean with a
+    /// deterministic per-task phase/period (utilization noise). The
+    /// mean demand is still what admission control reasons about.
+    fn refresh_utilization(&mut self) {
+        let amp = self.cfg.utilization_noise;
+        if amp <= 0.0 {
+            return;
+        }
+        let t_mins = self.now.as_mins_f64();
+        let updates: Vec<(TaskId, cluster::ResourceVec, f64)> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.is_finished())
+            .flat_map(|(id, j)| {
+                j.task_states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
+                    .map(move |(i, _)| {
+                        let task = TaskId::new(*id, i as u16);
+                        // Deterministic per-task oscillation: hash the
+                        // id into a phase and a 20–60 min period.
+                        let h = (id.0 as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(i as u64 * 0x1000_0000_1B3);
+                        let phase = (h % 1000) as f64 / 1000.0;
+                        let period = 20.0 + (h / 1000 % 41) as f64;
+                        let factor = 1.0
+                            + amp
+                                * (2.0 * std::f64::consts::PI * (t_mins / period + phase)).sin();
+                        let spec = &j.spec.tasks[i];
+                        (task, spec.demand * factor, (spec.gpu_share * factor).min(1.0))
+                    })
+            })
+            .collect();
+        for (task, demand, gpu_share) in updates {
+            self.cluster.update_demand(task, demand, gpu_share);
+        }
+    }
+
+    /// Round-granularity straggler injection.
+    fn inject_stragglers(&mut self) {
+        let Some(sc) = self.cfg.straggler else { return };
+        let p = sc.probability_per_hour * self.cfg.tick.as_hours_f64();
+        // Replication resolves last round's stragglers (replica takes
+        // over; one state transfer each).
+        if sc.replicate {
+            let resolved: Vec<TaskId> = self.stragglers.iter().copied().collect();
+            for t in resolved {
+                if let Some(j) = self.jobs.get(&t.job) {
+                    let mb = migration_state_mb(j, t.idx as usize);
+                    self.bandwidth_charged_mb += mb;
+                    self.window.transferred_mb += mb;
+                }
+                self.stragglers.remove(&t);
+            }
+        }
+        let running: Vec<TaskId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.is_finished())
+            .flat_map(|(id, j)| {
+                j.task_states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
+                    .map(move |(i, _)| TaskId::new(*id, i as u16))
+            })
+            .collect();
+        for t in running {
+            if !self.stragglers.contains(&t) && self.rng.chance(p) {
+                self.stragglers.insert(t);
+            }
+        }
+    }
+
+    /// Close the run: record every job and the cluster ledgers.
+    fn finalize(mut self) -> RunMetrics {
+        let mut first_arrival = SimTime::MAX;
+        let mut last_completion = SimTime::ZERO;
+        for job in self.jobs.values_mut() {
+            // Freeze any remaining deadline accuracies at end state.
+            job.freeze_deadline_accuracy(self.now.max(job.spec.deadline));
+            first_arrival = first_arrival.min(job.spec.arrival);
+            if let Some(f) = job.finished {
+                last_completion = last_completion.max(f);
+            }
+            self.metrics.jobs.push(JobRecord {
+                job: job.spec.id.0,
+                arrival: job.spec.arrival,
+                finished: job.finished,
+                deadline: job.spec.deadline,
+                jct_mins: job.jct().map(|d| d.as_mins_f64()),
+                waiting_secs: job.waiting.as_secs_f64(),
+                accuracy_by_deadline: job.accuracy_by_deadline(),
+                required_accuracy: job.spec.required_accuracy,
+                urgency: job.spec.urgency,
+                met_deadline: job.met_deadline(),
+                met_accuracy: job.met_accuracy(),
+            });
+        }
+        if first_arrival == SimTime::MAX {
+            first_arrival = SimTime::ZERO;
+        }
+        self.metrics.makespan_hours = last_completion.since(first_arrival).as_hours_f64();
+        // Conservation check: every task still on the cluster must
+        // belong to an unfinished job.
+        self.metrics.leaked_tasks = self
+            .cluster
+            .servers()
+            .iter()
+            .flat_map(|s| s.tasks().map(|(t, _)| *t))
+            .filter(|t| {
+                self.jobs
+                    .get(&t.job)
+                    .map(|j| j.is_finished())
+                    .unwrap_or(true)
+            })
+            .count();
+        self.metrics.bandwidth_mb = self.cluster.transferred_mb() + self.bandwidth_charged_mb;
+        self.metrics.migration_mb = self.cluster.migration_mb();
+        self.metrics.migrations = self.cluster.migrations();
+        self.metrics
+    }
+}
+
+/// Run `specs` under `scheduler` with `cfg`, recording the scheduler's
+/// legend name.
+pub fn run(cfg: SimConfig, specs: Vec<JobSpec>, scheduler: &mut dyn Scheduler) -> RunMetrics {
+    let sim = Simulation::new(cfg, specs);
+    let mut m = sim.run(scheduler);
+    m.scheduler = scheduler.name().to_string();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlfs::Params;
+    use workload::{TraceConfig, TraceGenerator};
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig {
+            cluster: ClusterConfig {
+                servers: 4,
+                gpus_per_server: 4,
+                gpu_capacity: 1.0,
+                cpu_cores: 32.0,
+                memory_gb: 244.0,
+                nic_mbps: 1250.0,
+                topology: cluster::Topology::default_flat(),
+            },
+            max_time: SimDuration::from_hours(24 * 14),
+            ..Default::default()
+        }
+    }
+
+    fn tiny_trace(jobs: f64, seed: u64) -> Vec<JobSpec> {
+        TraceGenerator::new(TraceConfig {
+            jobs: jobs as usize,
+            span: SimDuration::from_hours(2),
+            duration_median_mins: 10.0,
+            duration_sigma: 0.8,
+            time_factor: 1.0,
+            gpu_choices: vec![(1, 0.5), (2, 0.3), (4, 0.2)],
+            algorithm_weights: [0.2; 5],
+            param_server_prob: 0.5,
+            previously_run_prob: 0.7,
+            stop_policy: workload::StopPolicy::OptStop,
+            deadline_slack_hours: (0.5, 4.0),
+            seed,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn mlfh_completes_a_small_trace() {
+        let specs = tiny_trace(30.0, 1);
+        let mut sched = mlfs::Mlfs::heuristic(Params::default());
+        let m = run(tiny_cfg(), specs, &mut sched);
+        assert_eq!(m.scheduler, "MLF-H");
+        assert_eq!(m.jobs_submitted, 30);
+        assert_eq!(m.jobs.len(), 30);
+        let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+        assert!(finished >= 28, "only {finished}/30 finished");
+        assert_eq!(m.invalid_actions, 0, "scheduler emitted invalid actions");
+        assert!(m.avg_jct_mins() > 0.0);
+        assert!(m.makespan_hours > 0.0);
+        assert!(m.bandwidth_mb > 0.0, "jobs must move bytes");
+        assert!(!m.decision_times_ms.is_empty());
+    }
+
+    #[test]
+    fn fifo_also_completes_and_runs_are_deterministic() {
+        let specs = tiny_trace(20.0, 2);
+        let m1 = run(tiny_cfg(), specs.clone(), &mut baselines::Fifo::new());
+        let m2 = run(tiny_cfg(), specs, &mut baselines::Fifo::new());
+        assert_eq!(m1.avg_jct_mins(), m2.avg_jct_mins());
+        assert_eq!(m1.bandwidth_mb, m2.bandwidth_mb);
+        assert_eq!(m1.invalid_actions, 0);
+        let finished = m1.jobs.iter().filter(|j| j.finished.is_some()).count();
+        assert!(finished >= 18, "{finished}/20");
+    }
+
+    #[test]
+    fn jct_never_less_than_ideal_runtime() {
+        let specs = tiny_trace(15.0, 3);
+        let ideal: BTreeMap<u32, f64> = specs
+            .iter()
+            .map(|s| {
+                (
+                    s.id.0,
+                    s.ideal_runtime(s.max_iterations).as_mins_f64(),
+                )
+            })
+            .collect();
+        let m = run(tiny_cfg(), specs, &mut mlfs::Mlfs::heuristic(Params::default()));
+        for j in &m.jobs {
+            if let Some(jct) = j.jct_mins {
+                // Fluid model can only be slower than the ideal
+                // communication-free run.
+                assert!(
+                    jct >= ideal[&j.job] * 0.999,
+                    "job {}: jct {jct} < ideal {}",
+                    j.job,
+                    ideal[&j.job]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overloaded_cluster_queues_and_still_finishes_some() {
+        // 1 tiny server, many jobs.
+        let cfg = SimConfig {
+            cluster: ClusterConfig {
+                servers: 1,
+                gpus_per_server: 2,
+                gpu_capacity: 1.0,
+                cpu_cores: 16.0,
+                memory_gb: 64.0,
+                nic_mbps: 1000.0,
+                topology: cluster::Topology::default_flat(),
+            },
+            max_time: SimDuration::from_hours(48),
+            ..Default::default()
+        };
+        let specs = tiny_trace(25.0, 4);
+        let m = run(cfg, specs, &mut mlfs::Mlfs::heuristic(Params::default()));
+        let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+        assert!(finished > 0);
+        // Contention must show up as waiting time.
+        assert!(m.avg_waiting_secs() > 0.0);
+    }
+
+    #[test]
+    fn mlfs_full_pipeline_runs_with_rl_and_mlfc() {
+        let specs = tiny_trace(25.0, 5);
+        let mut sched = mlfs::Mlfs::full(
+            Params::default(),
+            mlfs::MlfRlConfig {
+                imitation_rounds: 10,
+                train_interval: 4,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let m = run(tiny_cfg(), specs, &mut sched);
+        assert_eq!(m.scheduler, "MLFS");
+        let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+        assert!(finished >= 20, "{finished}/25");
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped_not_ticked() {
+        // Two short jobs three simulated days apart: the engine must
+        // jump the gap instead of grinding ~4300 one-minute rounds.
+        let mut specs = tiny_trace(2.0, 8);
+        specs[0].arrival = simcore::SimTime::ZERO;
+        specs[1].arrival = simcore::SimTime::from_hours(72);
+        let mut cfg = tiny_cfg();
+        cfg.max_time = SimDuration::from_hours(24 * 30);
+        let m = run(cfg, specs, &mut mlfs::Mlfs::heuristic(Params::default()));
+        let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+        assert_eq!(finished, 2);
+        assert!(
+            m.rounds < 1000,
+            "engine ticked through the idle gap: {} rounds",
+            m.rounds
+        );
+    }
+
+    #[test]
+    fn utilization_noise_changes_dynamics_deterministically() {
+        let specs = tiny_trace(15.0, 9);
+        let mk = |noise: f64| {
+            let mut cfg = tiny_cfg();
+            cfg.utilization_noise = noise;
+            run(
+                cfg,
+                specs.clone(),
+                &mut mlfs::Mlfs::heuristic(Params::default()),
+            )
+        };
+        let a = mk(0.0);
+        let b = mk(0.3);
+        let b2 = mk(0.3);
+        // Same noise level twice = identical (deterministic).
+        assert_eq!(b.avg_jct_mins(), b2.avg_jct_mins());
+        assert_eq!(b.migrations, b2.migrations);
+        // Noise perturbs the run relative to the noiseless baseline.
+        assert!(
+            (a.avg_jct_mins() - b.avg_jct_mins()).abs() > 1e-9
+                || a.migrations != b.migrations
+                || a.bandwidth_mb != b.bandwidth_mb,
+            "noise had no observable effect"
+        );
+    }
+
+    #[test]
+    fn stragglers_slow_jobs_down() {
+        let specs = tiny_trace(12.0, 6);
+        let base = run(
+            tiny_cfg(),
+            specs.clone(),
+            &mut mlfs::Mlfs::heuristic(Params::default()),
+        );
+        let mut cfg = tiny_cfg();
+        cfg.straggler = Some(StragglerConfig {
+            probability_per_hour: 5.0,
+            slowdown: 0.2,
+            replicate: false,
+        });
+        let slowed = run(cfg, specs, &mut mlfs::Mlfs::heuristic(Params::default()));
+        assert!(
+            slowed.avg_jct_mins() > base.avg_jct_mins(),
+            "stragglers: {} vs {}",
+            slowed.avg_jct_mins(),
+            base.avg_jct_mins()
+        );
+    }
+
+    #[test]
+    fn replication_mitigates_stragglers() {
+        let specs = tiny_trace(12.0, 6);
+        let mk = |replicate| {
+            let mut cfg = tiny_cfg();
+            cfg.straggler = Some(StragglerConfig {
+                probability_per_hour: 5.0,
+                slowdown: 0.2,
+                replicate,
+            });
+            run(cfg, specs.clone(), &mut mlfs::Mlfs::heuristic(Params::default()))
+        };
+        let without = mk(false);
+        let with = mk(true);
+        assert!(
+            with.avg_jct_mins() < without.avg_jct_mins(),
+            "replication: {} vs {}",
+            with.avg_jct_mins(),
+            without.avg_jct_mins()
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Ready-made experiment configurations for every figure.
+//!
+//! Each figure's workload/cluster setup lives here so the bench
+//! binaries, the examples and the integration tests all run the exact
+//! same experiments. Scaling knobs (`time_factor`, `scale`) shrink
+//! runs to laptop budgets while preserving offered load; the values
+//! used for the committed results are recorded in EXPERIMENTS.md.
+
+use crate::engine::{run, SimConfig};
+use crate::progress::ProgressModel;
+use cluster::ClusterConfig;
+use metrics::RunMetrics;
+use mlfs::{MlfRlConfig, Params, Scheduler};
+use simcore::SimDuration;
+use workload::{JobSpec, TraceConfig, TraceGenerator};
+
+/// A fully-specified experiment: cluster + workload.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Identifier (e.g. "fig4-x1").
+    pub name: String,
+    /// Engine configuration.
+    pub sim: SimConfig,
+    /// Trace configuration.
+    pub trace: TraceConfig,
+}
+
+impl Experiment {
+    /// Generate this experiment's job specs.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        TraceGenerator::new(self.trace.clone()).generate()
+    }
+
+    /// Number of scheduler rounds the arrival span covers (used to
+    /// size MLF-RL's imitation phase at 50% of the trace, as in §4.1).
+    pub fn expected_rounds(&self) -> usize {
+        (self.trace.effective_span().as_millis() / self.sim.tick.as_millis().max(1)) as usize
+    }
+
+    /// Run the experiment under `scheduler`.
+    pub fn run(&self, scheduler: &mut dyn Scheduler) -> RunMetrics {
+        run(self.sim.clone(), self.jobs(), scheduler)
+    }
+
+    /// Build one of the figure schedulers by legend name, with the
+    /// MLFS variants' imitation budget sized to half the trace.
+    pub fn scheduler(&self, name: &str, seed: u64) -> Box<dyn Scheduler> {
+        self.scheduler_with_params(name, seed, Params::default())
+    }
+
+    /// Build a figure scheduler the way the paper evaluates it: the
+    /// RL-based MLFS variants are *pre-trained* on a warm-up trace
+    /// drawn from the same distribution ("after the RL processed the
+    /// first 50% data of the real trace, the model is trained",
+    /// §4.1), then evaluated greedily (no exploration noise) with
+    /// online fine-tuning continuing. Other schedulers pass through.
+    pub fn trained_scheduler(&self, name: &str, seed: u64) -> Box<dyn Scheduler> {
+        self.trained_scheduler_with_params(name, seed, Params::default())
+    }
+
+    /// [`Experiment::trained_scheduler`] with explicit params.
+    pub fn trained_scheduler_with_params(
+        &self,
+        name: &str,
+        seed: u64,
+        params: Params,
+    ) -> Box<dyn Scheduler> {
+        if name == "RL" {
+            // The Mirhoseini-style baseline is also a *trained* system:
+            // give it one warm-up run of exploration, then evaluate
+            // greedily (it never gets an imitation bootstrap — §3.4).
+            let mut warm_exp = self.clone();
+            warm_exp.trace.seed = warm_exp.trace.seed.wrapping_add(0x5747_11AA);
+            let mut warm = baselines::RlPlacer::new(seed);
+            warm_exp.run(&mut warm);
+            let policy = warm.export_policy();
+            let mut eval = baselines::RlPlacer::new(seed);
+            eval.import_policy(policy);
+            eval.explore = false;
+            return Box::new(eval);
+        }
+        if name != "MLF-RL" && name != "MLFS" {
+            return self.scheduler_with_params(name, seed, params);
+        }
+        // One warm-up epoch on a shifted-seed trace of the same shape,
+        // imitating MLF-H throughout (the §4.1 offline training).
+        // Exploration-heavy REINFORCE epochs were measured to converge
+        // to the same anchor-following policy while stranding jobs in
+        // the warm-up cluster (grinding the run to its horizon), so
+        // the cheap all-imitation warm-up is used; policy-gradient
+        // fine-tuning still runs online during evaluation.
+        let rl_cfg = MlfRlConfig {
+            imitation_rounds: usize::MAX / 2,
+            explore: false,
+            seed,
+            ..Default::default()
+        };
+        let mut warm_exp = self.clone();
+        warm_exp.trace.seed = warm_exp.trace.seed.wrapping_add(0x5747_11AA);
+        let mut warm = mlfs::Mlfs::rl(params, rl_cfg.clone());
+        warm_exp.run(&mut warm);
+        let policy = warm
+            .rl_mut()
+            .expect("RL variant has an RL component")
+            .export_policy();
+
+        // Evaluation scheduler: trained policy, greedy, no imitation.
+        let mut eval = match name {
+            "MLF-RL" => mlfs::Mlfs::rl(params, rl_cfg),
+            _ => mlfs::Mlfs::full(params, rl_cfg),
+        };
+        {
+            let rl = eval.rl_mut().expect("RL variant has an RL component");
+            rl.import_policy(policy);
+            rl.set_explore(false);
+        }
+        Box::new(eval)
+    }
+
+    /// Like [`Experiment::scheduler`] but with explicit MLFS params
+    /// (ablation switches for Figs. 6–9).
+    pub fn scheduler_with_params(
+        &self,
+        name: &str,
+        seed: u64,
+        params: Params,
+    ) -> Box<dyn Scheduler> {
+        let rl_cfg = MlfRlConfig {
+            imitation_rounds: self.expected_rounds() / 2,
+            seed,
+            ..Default::default()
+        };
+        match name {
+            "MLF-H" => Box::new(mlfs::Mlfs::heuristic(params)),
+            "MLF-RL" => Box::new(mlfs::Mlfs::rl(params, rl_cfg)),
+            "MLFS" => Box::new(mlfs::Mlfs::full(params, rl_cfg)),
+            other => baselines::by_name(other, seed)
+                .unwrap_or_else(|| panic!("unknown scheduler {other}")),
+        }
+    }
+}
+
+/// Simulation horizon: generously past the arrival span so the queue
+/// can drain, but bounded so a pathological scheduler cannot grind a
+/// simulated year of one-minute rounds (its stranded jobs are simply
+/// recorded as unfinished).
+fn horizon(trace: &TraceConfig) -> SimDuration {
+    trace.effective_span().mul_f64(8.0) + SimDuration::from_hours(12)
+}
+
+/// Time compression shrinks compute times by `tf`; transfer *times*
+/// must shrink identically or communication is `tf`× over-weighted
+/// relative to compute. Scaling every link bandwidth by `tf` keeps
+/// transfer times consistent while leaving byte quantities (the
+/// bandwidth-cost metric) at paper scale.
+fn compress_network(cluster: &mut ClusterConfig, tf: f64) {
+    cluster.nic_mbps *= tf;
+    cluster.topology = match cluster.topology {
+        cluster::Topology::Flat {
+            inter_mbps,
+            intra_mbps,
+        } => cluster::Topology::Flat {
+            inter_mbps: inter_mbps * tf,
+            intra_mbps: intra_mbps * tf,
+        },
+        cluster::Topology::Tree {
+            rack_size,
+            rack_mbps,
+            intra_mbps,
+            oversubscription,
+        } => cluster::Topology::Tree {
+            rack_size,
+            rack_mbps: rack_mbps * tf,
+            intra_mbps: intra_mbps * tf,
+            oversubscription,
+        },
+    };
+}
+
+/// Fig. 4 (real-experiment scale): the 20-server / 80-GPU testbed with
+/// `620·x` jobs over one (compressed) week. `x ∈ {¼, ½, 1, 2, 3}` in
+/// the paper.
+pub fn fig4(x: f64, time_factor: f64, seed: u64) -> Experiment {
+    let trace = TraceConfig::paper_real(x, time_factor, seed);
+    let mut cluster = ClusterConfig::paper_testbed();
+    compress_network(&mut cluster, time_factor);
+    Experiment {
+        name: format!("fig4-x{x}"),
+        sim: SimConfig {
+            cluster,
+            tick: SimDuration::from_secs(60),
+            progress: ProgressModel::Pipelined,
+            h_r: 0.9,
+            max_time: horizon(&trace),
+            straggler: None,
+            utilization_noise: 0.05,
+            seed,
+            record_timeline: false,
+        },
+        trace,
+    }
+}
+
+/// Fig. 5 (large-scale simulation): the Philly-scale cluster (550
+/// servers × `scale`) with `117325·x·scale` jobs over 18 (compressed)
+/// weeks. `x ∈ {½, 1, 2, 3, 4}` in the paper.
+pub fn fig5(x: f64, scale: f64, time_factor: f64, seed: u64) -> Experiment {
+    let trace = TraceConfig::paper_sim(x, scale, time_factor, seed);
+    let mut cluster = ClusterConfig::paper_philly(scale);
+    compress_network(&mut cluster, time_factor);
+    // The Philly-scale workload oversubscribes the cluster by design
+    // (as the real Philly did): a weak scheduler strands jobs, so the
+    // Fig. 4 drain-out horizon (8x span) would grind tens of
+    // thousands of one-minute rounds per cell. A 1.5x horizon keeps
+    // every cell bounded; jobs still queued then are recorded as
+    // unfinished - which is the comparison.
+    let fig5_horizon = trace.effective_span().mul_f64(1.5) + SimDuration::from_hours(12);
+    Experiment {
+        name: format!("fig5-x{x}-s{scale}"),
+        sim: SimConfig {
+            cluster,
+            tick: SimDuration::from_secs(60),
+            progress: ProgressModel::Pipelined,
+            h_r: 0.9,
+            max_time: fig5_horizon,
+            straggler: None,
+            utilization_noise: 0.05,
+            seed,
+            record_timeline: false,
+        },
+        trace,
+    }
+}
+
+/// Figs. 6–9 run at Fig. 4's scale with MLF-H / MLFS under modified
+/// [`Params`]; this helper just forwards with a distinct name.
+pub fn ablation(name: &str, x: f64, time_factor: f64, seed: u64) -> Experiment {
+    let mut e = fig4(x, time_factor, seed);
+    e.name = format!("{name}-x{x}");
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_matches_paper_setup() {
+        let e = fig4(0.25, 8.0, 1);
+        assert_eq!(e.sim.cluster.total_gpus(), 80);
+        assert_eq!(e.trace.jobs, 155);
+        assert_eq!(e.sim.tick, SimDuration::from_secs(60));
+        // One week compressed 8× ≈ 21 h ≈ 1260 rounds.
+        let rounds = e.expected_rounds();
+        assert!((1200..=1300).contains(&rounds), "{rounds}");
+    }
+
+    #[test]
+    fn fig5_scales_cluster_and_jobs_together() {
+        let e = fig5(0.5, 0.02, 40.0, 1);
+        assert_eq!(e.sim.cluster.servers, 11);
+        assert_eq!(e.trace.jobs, (117_325.0f64 * 0.5 * 0.02).round() as usize);
+    }
+
+    #[test]
+    fn scheduler_factory_covers_all_legends() {
+        let e = fig4(0.25, 8.0, 1);
+        for name in baselines::FIGURE_SCHEDULERS {
+            let s = e.scheduler(name, 3);
+            assert_eq!(s.name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn unknown_scheduler_panics() {
+        fig4(0.25, 8.0, 1).scheduler("what", 0);
+    }
+}

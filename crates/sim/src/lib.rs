@@ -1,0 +1,55 @@
+//! # mlfs-sim — the experiment engine
+//!
+//! Binds cluster + workload + scheduler into a discrete-event
+//! simulation and measures everything the paper's figures report.
+//!
+//! * [`progress`] — the fluid training-progress model: per-job
+//!   iteration time from compute (with GPU-contention slowdown) and
+//!   cross-server communication along the task DAG, under either
+//!   *gang* semantics (all tasks placed or no progress) or the default
+//!   *pipelined* semantics (an ancestor-closed placed prefix makes
+//!   proportional progress — this is what makes the paper's
+//!   within-DAG task ordering matter).
+//! * [`reward`] — per-round normalisation of the five Eq. 1 objective
+//!   components into [`mlfs::RewardComponents`] for the RL schedulers.
+//! * [`engine`] — the event loop: arrivals, per-minute scheduler
+//!   rounds, sub-round completion events, bandwidth accounting,
+//!   deadline-accuracy freezing, action validation, decision-time
+//!   measurement, and optional straggler injection.
+//! * [`experiments`] — ready-made configurations for every figure of
+//!   the paper (used by the `mlfs-bench` binaries, the examples and
+//!   the integration tests).
+//!
+//! # Example
+//!
+//! Run a small MLFS experiment end to end:
+//!
+//! ```
+//! use mlfs_sim::engine::{run, SimConfig};
+//! use simcore::SimDuration;
+//! use workload::{TraceConfig, TraceGenerator};
+//!
+//! // A tiny workload: 10 jobs over half an hour. Time factor 1 —
+//! // `SimConfig::default()` models the uncompressed network (the
+//! // figure experiments in [`experiments`] compress both together).
+//! let mut trace = TraceConfig::paper_real(1.0, 1.0, 7);
+//! trace.jobs = 10;
+//! trace.span = SimDuration::from_mins(30);
+//! trace.duration_median_mins = 5.0;
+//! let jobs = TraceGenerator::new(trace).generate();
+//!
+//! let mut scheduler = mlfs::Mlfs::heuristic(mlfs::Params::default());
+//! let metrics = run(SimConfig::default(), jobs, &mut scheduler);
+//!
+//! assert_eq!(metrics.jobs_submitted, 10);
+//! assert!(metrics.jobs.iter().all(|j| j.finished.is_some()));
+//! assert!(metrics.avg_jct_mins() > 0.0);
+//! ```
+
+pub mod engine;
+pub mod experiments;
+pub mod progress;
+pub mod reward;
+
+pub use engine::{SimConfig, Simulation, StragglerConfig};
+pub use progress::ProgressModel;

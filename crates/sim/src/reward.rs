@@ -1,0 +1,109 @@
+//! Per-round reward components (Eq. 7 ingredients).
+//!
+//! Eq. 1's five objectives are end-of-run quantities; RL training
+//! needs a per-round signal. Following [35, 37] (and §3.4's windowed
+//! cumulative reward), the engine summarises each inter-round window
+//! into normalised components:
+//!
+//! * `g1` — inverse mean JCT of jobs completed in the window;
+//! * `g2` — fraction of those completions that met their deadline;
+//! * `g3` — inverse bandwidth transferred in the window;
+//! * `g4` — fraction of completions meeting their accuracy target;
+//! * `g5` — mean current accuracy across active and just-completed
+//!   jobs.
+//!
+//! Each is in [0, 1]; the scheduler weights them (β for MLFS, `g1`
+//! alone for the JCT-only RL baseline).
+
+use mlfs::RewardComponents;
+
+/// Raw window measurements collected by the engine.
+#[derive(Debug, Clone, Default)]
+pub struct WindowStats {
+    /// JCTs (minutes) of jobs completed in the window.
+    pub completed_jct_mins: Vec<f64>,
+    /// How many of those met their deadline.
+    pub completed_met_deadline: usize,
+    /// How many met their accuracy requirement.
+    pub completed_met_accuracy: usize,
+    /// MB transferred across servers during the window.
+    pub transferred_mb: f64,
+    /// Mean accuracy over currently active jobs (already averaged).
+    pub mean_active_accuracy: f64,
+}
+
+/// Normalise a window into reward components.
+pub fn components(w: &WindowStats) -> RewardComponents {
+    let n = w.completed_jct_mins.len();
+    let (g1, g2, g4) = if n > 0 {
+        let mean_jct = w.completed_jct_mins.iter().sum::<f64>() / n as f64;
+        (
+            1.0 / (1.0 + mean_jct / 100.0),
+            w.completed_met_deadline as f64 / n as f64,
+            w.completed_met_accuracy as f64 / n as f64,
+        )
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+    let g3 = 1.0 / (1.0 + w.transferred_mb / 10_000.0);
+    let g5 = w.mean_active_accuracy.clamp(0.0, 1.0);
+    RewardComponents {
+        g: [g1, g2, g3, g4, g5],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_mostly_zero() {
+        let c = components(&WindowStats::default());
+        assert_eq!(c.g[0], 0.0);
+        assert_eq!(c.g[1], 0.0);
+        assert_eq!(c.g[2], 1.0); // no traffic = perfect bandwidth score
+        assert_eq!(c.g[3], 0.0);
+        assert_eq!(c.g[4], 0.0);
+    }
+
+    #[test]
+    fn faster_jcts_score_higher() {
+        let fast = components(&WindowStats {
+            completed_jct_mins: vec![10.0],
+            ..Default::default()
+        });
+        let slow = components(&WindowStats {
+            completed_jct_mins: vec![500.0],
+            ..Default::default()
+        });
+        assert!(fast.g[0] > slow.g[0]);
+    }
+
+    #[test]
+    fn ratios_and_bounds() {
+        let c = components(&WindowStats {
+            completed_jct_mins: vec![50.0, 100.0],
+            completed_met_deadline: 1,
+            completed_met_accuracy: 2,
+            transferred_mb: 10_000.0,
+            mean_active_accuracy: 0.8,
+        });
+        assert_eq!(c.g[1], 0.5);
+        assert_eq!(c.g[3], 1.0);
+        assert_eq!(c.g[2], 0.5);
+        assert_eq!(c.g[4], 0.8);
+        for g in c.g {
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn weighted_combination_matches_eq7() {
+        let c = RewardComponents {
+            g: [0.1, 0.2, 0.3, 0.4, 0.5],
+        };
+        let beta = [0.5, 0.55, 0.25, 0.15, 0.15];
+        let expect = 0.05 + 0.11 + 0.075 + 0.06 + 0.075;
+        assert!((c.weighted(&beta) - expect).abs() < 1e-12);
+    }
+}

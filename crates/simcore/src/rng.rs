@@ -1,0 +1,289 @@
+//! Deterministic, seedable RNG for simulation.
+//!
+//! A `xoshiro256**`-style generator wrapped behind convenience sampling
+//! methods. We intentionally do not use `rand::thread_rng` anywhere in
+//! the simulator: every experiment must be reproducible from its seed,
+//! and the bench harness relies on that to compare schedulers on
+//! *identical* workloads.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// A small, fast, seedable PRNG (xoshiro256** core).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed. Two different seeds give independent
+    /// streams for all practical purposes.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derive a child RNG from this one, labelled by `stream`.
+    /// Used to give each job / component its own stream so that adding
+    /// randomness in one place does not perturb another.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // Mix the current state with the stream id through splitmix.
+        let mut seed = self
+            .s
+            .iter()
+            .fold(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15), |a, &b| {
+                a.rotate_left(17) ^ b
+            });
+        SimRng::new(splitmix64(&mut seed))
+    }
+
+    fn next(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform f64 in [lo, hi). Returns `lo` when the range is empty.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform u64 in [lo, hi). Panics when the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        // Rejection-free modulo is fine here: ranges are tiny compared
+        // with 2^64, the bias is negligible for simulation purposes.
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Uniform usize in [0, n). Panics when n == 0.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty range");
+        (self.next() % n as u64) as usize
+    }
+
+    /// Pick a uniformly random element of `items`.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to \[0,1\]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.f64().max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_ms(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.normal()
+    }
+
+    /// Exponential sample with the given rate (events per unit).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        -self.f64().max(f64::MIN_POSITIVE).ln() / rate
+    }
+
+    /// Log-normal sample parameterised by the underlying normal's
+    /// mean `mu` and std `sigma`. Heavy-tailed: used for job durations.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Bounded Pareto sample on \[lo, hi\] with shape `alpha`.
+    /// Used for heavy-tailed job sizes in the trace generator.
+    pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0);
+        let u = self.f64();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SimRng {
+    type Seed = [u8; 8];
+    fn from_seed(seed: Self::Seed) -> Self {
+        SimRng::new(u64::from_le_bytes(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let mut r = SimRng::new(5);
+        for _ in 0..1000 {
+            let x = r.range_f64(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            let y = r.range_u64(10, 20);
+            assert!((10..20).contains(&y));
+        }
+        assert_eq!(r.range_f64(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(13);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(17);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_in_bounds() {
+        let mut r = SimRng::new(19);
+        for _ in 0..10_000 {
+            let x = r.bounded_pareto(1.0, 100.0, 1.2);
+            assert!((1.0..=100.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_parent_use() {
+        // Forking with the same label from an untouched parent gives the
+        // same child stream.
+        let parent = SimRng::new(42);
+        let mut c1 = parent.fork(9);
+        let mut c2 = parent.fork(9);
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // Different labels give different streams.
+        let mut d = parent.fork(10);
+        let same = (0..100)
+            .filter(|_| parent.clone().fork(9).next_u64() == d.next_u64())
+            .count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut w = v.clone();
+        w.sort_unstable();
+        assert_eq!(w, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(29);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-5.0));
+        assert!(r.chance(5.0));
+    }
+}

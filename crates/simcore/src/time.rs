@@ -1,0 +1,283 @@
+//! Simulation time types.
+//!
+//! All simulation time is measured in integer **milliseconds** from the
+//! start of the run. Integer time keeps the event queue totally ordered
+//! without floating-point ties and makes runs reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in milliseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60_000)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3_600_000)
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Fractional minutes since simulation start.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+
+    /// Fractional hours since simulation start.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration; used as "unbounded".
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1000)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60_000)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// millisecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let ms = (secs * 1000.0).round();
+        if ms >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ms as u64)
+        }
+    }
+
+    /// Milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+
+    /// Fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// True when the duration is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by a non-negative scalar, saturating. NaN clamps to zero.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k.max(0.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// The simulation clock. Only the event loop should advance it, and time
+/// never moves backwards.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance to `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the current time — that would mean
+    /// the event queue handed events out of order, which is a bug.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "clock moved backwards: {} -> {}",
+            self.now,
+            t
+        );
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_construction_roundtrips() {
+        assert_eq!(SimTime::from_secs(3).as_millis(), 3000);
+        assert_eq!(SimTime::from_mins(2).as_millis(), 120_000);
+        assert_eq!(SimTime::from_hours(1).as_millis(), 3_600_000);
+        assert_eq!(SimDuration::from_secs(5).as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn duration_from_secs_f64_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_millis(), 1500);
+        assert_eq!(SimDuration::from_secs_f64(1e300), SimDuration::MAX);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let t = SimTime::MAX;
+        assert_eq!(t + SimDuration(10), SimTime::MAX);
+        let d = SimDuration(5);
+        assert_eq!(d - SimDuration(10), SimDuration::ZERO);
+        assert_eq!(SimTime(5).since(SimTime(10)), SimDuration::ZERO);
+        assert_eq!(SimTime(10).since(SimTime(4)), SimDuration(6));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime(100));
+        c.advance_to(SimTime(100));
+        c.advance_to(SimTime(250));
+        assert_eq!(c.now(), SimTime(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn clock_rejects_backwards() {
+        let mut c = Clock::new();
+        c.advance_to(SimTime(100));
+        c.advance_to(SimTime(99));
+    }
+
+    #[test]
+    fn mul_f64_behaviour() {
+        assert_eq!(SimDuration::from_secs(10).mul_f64(0.5).as_millis(), 5000);
+        assert_eq!(SimDuration::from_secs(10).mul_f64(-2.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs(10).mul_f64(f64::NAN), SimDuration::ZERO);
+    }
+}

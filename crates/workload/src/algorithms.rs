@@ -1,0 +1,236 @@
+//! Profiles of the five evaluation workloads (§4.1).
+//!
+//! The paper trains AlexNet, ResNet, MLP, LSTM and SVM (PyTorch on
+//! AWS). We replace real training with parametric profiles that
+//! reproduce the properties the schedulers can observe: model size,
+//! batch size ("1MB for AlexNet and ResNet, and 1.5KB for LSTM, MLP
+//! and SVM"), partitioning style, per-iteration compute, and
+//! loss-curve convergence speed. Ranges rather than constants give
+//! per-job variety, as in a real trace.
+
+use crate::dag::Dag;
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+/// The five ML algorithms in the paper's mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MlAlgorithm {
+    /// CNN; sequential model-parallel partitioning.
+    AlexNet,
+    /// CNN; per-layer (grid) model-parallel partitioning.
+    ResNet,
+    /// Fully-connected; sequential partitioning.
+    Mlp,
+    /// Recurrent; per-layer partitioning.
+    Lstm,
+    /// "SVM did not run in model parallelism because it is hard to
+    /// partition its network model" — data parallelism only.
+    Svm,
+}
+
+impl MlAlgorithm {
+    /// All algorithms, in a fixed order.
+    pub const ALL: [MlAlgorithm; 5] = [
+        MlAlgorithm::AlexNet,
+        MlAlgorithm::ResNet,
+        MlAlgorithm::Mlp,
+        MlAlgorithm::Lstm,
+        MlAlgorithm::Svm,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MlAlgorithm::AlexNet => "AlexNet",
+            MlAlgorithm::ResNet => "ResNet",
+            MlAlgorithm::Mlp => "MLP",
+            MlAlgorithm::Lstm => "LSTM",
+            MlAlgorithm::Svm => "SVM",
+        }
+    }
+
+    /// The static profile for this algorithm.
+    pub fn profile(self) -> AlgorithmProfile {
+        match self {
+            MlAlgorithm::AlexNet => AlgorithmProfile {
+                algorithm: self,
+                batch_mb: 1.0,
+                model_mb: (180.0, 260.0),
+                iter_gpu_secs: (0.8, 2.5),
+                decay_k: (0.002, 0.01),
+                partition: PartitionStyle::Sequential,
+                cpu_cores_per_task: (1.0, 3.0),
+                activation_mem_gb: (2.0, 6.0),
+            },
+            MlAlgorithm::ResNet => AlgorithmProfile {
+                algorithm: self,
+                batch_mb: 1.0,
+                model_mb: (90.0, 180.0),
+                iter_gpu_secs: (1.5, 4.0),
+                decay_k: (0.001, 0.006),
+                partition: PartitionStyle::Layered,
+                cpu_cores_per_task: (1.0, 3.0),
+                activation_mem_gb: (3.0, 8.0),
+            },
+            MlAlgorithm::Mlp => AlgorithmProfile {
+                algorithm: self,
+                batch_mb: 0.0015,
+                model_mb: (10.0, 60.0),
+                iter_gpu_secs: (0.1, 0.6),
+                decay_k: (0.005, 0.03),
+                partition: PartitionStyle::Sequential,
+                cpu_cores_per_task: (0.5, 2.0),
+                activation_mem_gb: (1.0, 3.0),
+            },
+            MlAlgorithm::Lstm => AlgorithmProfile {
+                algorithm: self,
+                batch_mb: 0.0015,
+                model_mb: (40.0, 200.0),
+                iter_gpu_secs: (0.5, 2.0),
+                decay_k: (0.002, 0.012),
+                partition: PartitionStyle::Layered,
+                cpu_cores_per_task: (1.0, 2.5),
+                activation_mem_gb: (2.0, 5.0),
+            },
+            MlAlgorithm::Svm => AlgorithmProfile {
+                algorithm: self,
+                batch_mb: 0.0015,
+                model_mb: (1.0, 10.0),
+                iter_gpu_secs: (0.05, 0.3),
+                decay_k: (0.01, 0.05),
+                partition: PartitionStyle::DataParallel,
+                cpu_cores_per_task: (0.5, 2.0),
+                activation_mem_gb: (0.5, 2.0),
+            },
+        }
+    }
+
+    /// True when the model can be partitioned for model parallelism.
+    pub fn supports_model_parallelism(self) -> bool {
+        !matches!(self, MlAlgorithm::Svm)
+    }
+}
+
+/// How a model is split into partitions (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionStyle {
+    /// A chain of partitions (MLP, AlexNet).
+    Sequential,
+    /// A grid: each layer split into several parts (ResNet, LSTM).
+    Layered,
+    /// Independent replicas, no inter-partition edges (SVM).
+    DataParallel,
+}
+
+/// Static per-algorithm parameters. Tuple fields are `(lo, hi)` ranges
+/// sampled per job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmProfile {
+    /// Which algorithm this profiles.
+    pub algorithm: MlAlgorithm,
+    /// Mini-batch size in MB (paper §4.1).
+    pub batch_mb: f64,
+    /// Total model parameter size range, MB.
+    pub model_mb: (f64, f64),
+    /// GPU-seconds of compute per iteration for the *whole* model on
+    /// one reference GPU.
+    pub iter_gpu_secs: (f64, f64),
+    /// Loss-curve decay rate range (see `curves`).
+    pub decay_k: (f64, f64),
+    /// Partitioning style.
+    pub partition: PartitionStyle,
+    /// CPU cores per task range.
+    pub cpu_cores_per_task: (f64, f64),
+    /// Activation / working-set memory per task range, GB.
+    pub activation_mem_gb: (f64, f64),
+}
+
+impl AlgorithmProfile {
+    /// Build the partition dependency graph for `n` partitions.
+    pub fn build_dag(&self, n: usize) -> Dag {
+        assert!(n >= 1);
+        match self.partition {
+            PartitionStyle::Sequential => Dag::sequential(n),
+            PartitionStyle::Layered => {
+                // Roughly square grid: width ≈ √n.
+                let width = ((n as f64).sqrt().round() as usize).max(1);
+                Dag::layered(n, width)
+            }
+            PartitionStyle::DataParallel => Dag::independent(n),
+        }
+    }
+
+    /// Sample a value from a `(lo, hi)` range.
+    pub fn sample(range: (f64, f64), rng: &mut SimRng) -> f64 {
+        rng.range_f64(range.0, range.1)
+    }
+
+    /// Split the model into `n` partition sizes (MB) that sum to
+    /// `model_mb`. Partitions are uneven (±50%) to exercise the
+    /// paper's partition-size feature `S_k/S_J`.
+    pub fn partition_sizes(&self, model_mb: f64, n: usize, rng: &mut SimRng) -> Vec<f64> {
+        let weights: Vec<f64> = (0..n).map(|_| rng.range_f64(0.5, 1.5)).collect();
+        let total: f64 = weights.iter().sum();
+        weights.iter().map(|w| model_mb * w / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_has_a_profile() {
+        for a in MlAlgorithm::ALL {
+            let p = a.profile();
+            assert_eq!(p.algorithm, a);
+            assert!(p.model_mb.0 < p.model_mb.1);
+            assert!(p.iter_gpu_secs.0 < p.iter_gpu_secs.1);
+            assert!(p.decay_k.0 < p.decay_k.1);
+            assert!(p.batch_mb > 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_batch_sizes() {
+        assert_eq!(MlAlgorithm::AlexNet.profile().batch_mb, 1.0);
+        assert_eq!(MlAlgorithm::ResNet.profile().batch_mb, 1.0);
+        assert!((MlAlgorithm::Lstm.profile().batch_mb - 0.0015).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svm_is_data_parallel_only() {
+        assert!(!MlAlgorithm::Svm.supports_model_parallelism());
+        assert_eq!(
+            MlAlgorithm::Svm.profile().partition,
+            PartitionStyle::DataParallel
+        );
+        let d = MlAlgorithm::Svm.profile().build_dag(8);
+        assert!(d.edges().is_empty());
+    }
+
+    #[test]
+    fn dag_shapes_match_partition_style() {
+        let seq = MlAlgorithm::AlexNet.profile().build_dag(4);
+        assert_eq!(seq.sources().len(), 1);
+        assert_eq!(seq.sinks().len(), 1);
+        let grid = MlAlgorithm::ResNet.profile().build_dag(8);
+        // width = round(sqrt(8)) = 3 → first layer has 3 tasks.
+        assert_eq!(grid.sources().len(), 3);
+        let single = MlAlgorithm::Lstm.profile().build_dag(1);
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn partition_sizes_sum_to_model() {
+        let mut rng = SimRng::new(1);
+        let p = MlAlgorithm::ResNet.profile();
+        for n in [1usize, 2, 7, 32] {
+            let sizes = p.partition_sizes(120.0, n, &mut rng);
+            assert_eq!(sizes.len(), n);
+            let sum: f64 = sizes.iter().sum();
+            assert!((sum - 120.0).abs() < 1e-9);
+            assert!(sizes.iter().all(|s| *s > 0.0));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! `trace_tool` — generate, inspect and export synthetic traces.
+//!
+//! ```sh
+//! # summarise a paper-scale trace
+//! cargo run --release -p workload --bin trace_tool -- stats --jobs 620 --tf 16 --seed 42
+//!
+//! # export to JSON for external tooling
+//! cargo run --release -p workload --bin trace_tool -- export --jobs 155 --out trace.json
+//! ```
+
+use workload::{MlAlgorithm, TraceConfig, TraceGenerator};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("stats");
+    let jobs: usize = flag(&args, "jobs").and_then(|s| s.parse().ok()).unwrap_or(620);
+    let tf: f64 = flag(&args, "tf").and_then(|s| s.parse().ok()).unwrap_or(16.0);
+    let seed: u64 = flag(&args, "seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let mut cfg = TraceConfig::paper_real(1.0, tf, seed);
+    cfg.jobs = jobs;
+    let trace = TraceGenerator::new(cfg).generate();
+
+    match cmd {
+        "export" => {
+            let out = flag(&args, "out").unwrap_or_else(|| "trace.json".into());
+            std::fs::write(&out, serde_json::to_string_pretty(&trace).expect("serialize"))
+                .expect("write trace file");
+            println!("{} jobs written to {out}", trace.len());
+        }
+        "stats" => {
+            println!("jobs               : {}", trace.len());
+            let span_h = trace
+                .last()
+                .map(|j| j.arrival.as_hours_f64())
+                .unwrap_or(0.0);
+            println!("arrival span       : {span_h:.1} h (compressed {tf}x)");
+            println!("\nalgorithm mix:");
+            for a in MlAlgorithm::ALL {
+                let n = trace.iter().filter(|j| j.algorithm == a).count();
+                println!(
+                    "  {:<8} {:>5}  ({:.1}%)",
+                    a.name(),
+                    n,
+                    100.0 * n as f64 / trace.len().max(1) as f64
+                );
+            }
+            println!("\nGPU-count distribution:");
+            for k in [1usize, 2, 4, 8, 16, 32] {
+                let n = trace.iter().filter(|j| j.worker_count() == k).count();
+                println!(
+                    "  {:>2} GPUs  {:>5}  ({:.1}%)",
+                    k,
+                    n,
+                    100.0 * n as f64 / trace.len().max(1) as f64
+                );
+            }
+            let mut runtimes: Vec<f64> = trace
+                .iter()
+                .map(|j| j.predicted_runtime.as_mins_f64())
+                .collect();
+            runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let pct = |p: f64| runtimes[((p / 100.0 * runtimes.len() as f64) as usize).min(runtimes.len() - 1)];
+            println!("\npredicted runtime (compressed minutes):");
+            println!("  p10 {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}", pct(10.0), pct(50.0), pct(90.0), pct(99.0));
+            let ps = trace
+                .iter()
+                .filter(|j| j.has_param_server())
+                .count();
+            println!("\nparameter-server jobs: {:.1}%", 100.0 * ps as f64 / trace.len().max(1) as f64);
+            let iters: Vec<u64> = trace.iter().map(|j| j.max_iterations).collect();
+            println!(
+                "iteration budgets  : min {}  max {}",
+                iters.iter().min().unwrap_or(&0),
+                iters.iter().max().unwrap_or(&0)
+            );
+        }
+        other => {
+            eprintln!("unknown command '{other}' (use stats|export)");
+            std::process::exit(2);
+        }
+    }
+}

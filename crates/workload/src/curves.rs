@@ -1,0 +1,261 @@
+//! Loss and accuracy curves with diminishing returns.
+//!
+//! The paper's *temporal* ML feature: "earlier iterations have higher
+//! impact on the accuracy than later iterations \[58\]" — i.e. loss
+//! reduction per iteration shrinks as training proceeds. We model each
+//! job's loss as an exponential decay toward a floor,
+//!
+//! ```text
+//! loss(i) = floor + (l0 − floor) · exp(−k·i)
+//! ```
+//!
+//! and derive accuracy from normalized loss progress,
+//!
+//! ```text
+//! acc(i) = a_max · (1 − loss(i)/l0)
+//! ```
+//!
+//! so `acc(0) = 0` and `acc(∞) = a_max · (1 − floor/l0)` — the job's
+//! *achievable accuracy*. Closed forms keep the fluid simulation exact
+//! and let schedulers query `δl_{I−1}` and `Σδl` (Eq. 2) at fractional
+//! iteration counts. Per-job parameter draws provide workload variety;
+//! the paper itself notes its formulas "represent the trends of general
+//! ML jobs and can be replaced" (§3.3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// A job's learning curve: loss decay plus the derived accuracy curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearningProfile {
+    /// Initial loss `l0` (> floor).
+    pub l0: f64,
+    /// Asymptotic loss floor (≥ 0).
+    pub floor: f64,
+    /// Decay rate `k` (> 0); larger converges faster.
+    pub k: f64,
+    /// Accuracy scale `a_max` ∈ (0, 1].
+    pub a_max: f64,
+}
+
+impl LearningProfile {
+    /// Construct, validating parameter sanity.
+    ///
+    /// # Panics
+    /// Panics on non-finite or out-of-range parameters — profiles are
+    /// built by the trace generator, so a bad one is a programming bug.
+    pub fn new(l0: f64, floor: f64, k: f64, a_max: f64) -> Self {
+        assert!(l0.is_finite() && floor.is_finite() && k.is_finite() && a_max.is_finite());
+        assert!(l0 > 0.0 && floor >= 0.0 && floor < l0, "need 0 <= floor < l0");
+        assert!(k > 0.0, "decay rate must be positive");
+        assert!(a_max > 0.0 && a_max <= 1.0, "a_max in (0,1]");
+        LearningProfile { l0, floor, k, a_max }
+    }
+
+    /// Loss after `i` (possibly fractional) iterations.
+    pub fn loss_at(&self, i: f64) -> f64 {
+        self.floor + (self.l0 - self.floor) * (-self.k * i.max(0.0)).exp()
+    }
+
+    /// Loss reduction achieved *by* iteration `i`, i.e. `Σ_{j≤i} δl_j`
+    /// in the paper's notation: `l0 − loss(i)`.
+    pub fn cumulative_loss_reduction(&self, i: f64) -> f64 {
+        self.l0 - self.loss_at(i)
+    }
+
+    /// Loss reduction of the most recent completed unit iteration
+    /// ending at `i`: `loss(i−1) − loss(i)` (the paper's `δl_{I−1}`).
+    /// For `i < 1` this is the reduction from 0 to `i`.
+    pub fn last_delta_loss(&self, i: f64) -> f64 {
+        let i = i.max(0.0);
+        let prev = (i - 1.0).max(0.0);
+        self.loss_at(prev) - self.loss_at(i)
+    }
+
+    /// Normalized loss reduction of the most recent iteration:
+    /// `δl_{I−1} / Σ_{j≤I−1} δl_j` (Eq. 2's temporal term). Defined as
+    /// 1.0 at the very start of training (the first iteration carries
+    /// all progress so far).
+    pub fn normalized_delta_loss(&self, i: f64) -> f64 {
+        let total = self.cumulative_loss_reduction(i);
+        if total <= 1e-12 {
+            return 1.0;
+        }
+        (self.last_delta_loss(i) / total).clamp(0.0, 1.0)
+    }
+
+    /// Accuracy after `i` iterations.
+    pub fn accuracy_at(&self, i: f64) -> f64 {
+        self.a_max * (1.0 - self.loss_at(i) / self.l0)
+    }
+
+    /// The accuracy this job converges to with unlimited iterations.
+    pub fn achievable_accuracy(&self) -> f64 {
+        self.a_max * (1.0 - self.floor / self.l0)
+    }
+
+    /// Smallest (fractional) iteration count at which accuracy reaches
+    /// `target`, or `None` if the target exceeds what is achievable.
+    ///
+    /// Solves `a_max (1 − loss(i)/l0) = target` analytically.
+    pub fn iterations_to_accuracy(&self, target: f64) -> Option<f64> {
+        if target <= 0.0 {
+            return Some(0.0);
+        }
+        if target >= self.achievable_accuracy() {
+            return None;
+        }
+        // loss(i) = l0 (1 − target/a_max)
+        let want_loss = self.l0 * (1.0 - target / self.a_max);
+        // floor + (l0-floor) e^{-ki} = want_loss
+        let ratio = (want_loss - self.floor) / (self.l0 - self.floor);
+        if ratio <= 0.0 {
+            return None;
+        }
+        Some(-(ratio.ln()) / self.k)
+    }
+
+    /// Iteration past which one further iteration improves accuracy by
+    /// less than `eps` — the "optimal stopping" point that OptStop
+    /// aims for (§3.5). Always finite for exponential decay.
+    pub fn saturation_iteration(&self, eps: f64) -> f64 {
+        // acc(i+1) − acc(i) = (a_max/l0)(l0−floor) e^{-ki}(1 − e^{-k})
+        let gain0 = (self.a_max / self.l0) * (self.l0 - self.floor) * (1.0 - (-self.k).exp());
+        if gain0 <= eps {
+            return 0.0;
+        }
+        (gain0 / eps).ln() / self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> LearningProfile {
+        LearningProfile::new(2.0, 0.2, 0.01, 0.95)
+    }
+
+    #[test]
+    fn loss_decays_monotonically_to_floor() {
+        let p = profile();
+        assert_eq!(p.loss_at(0.0), 2.0);
+        let mut prev = f64::INFINITY;
+        for i in 0..2000 {
+            let l = p.loss_at(i as f64);
+            assert!(l <= prev);
+            assert!(l >= p.floor);
+            prev = l;
+        }
+        assert!((p.loss_at(1e6) - p.floor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_rises_from_zero_to_achievable() {
+        let p = profile();
+        assert_eq!(p.accuracy_at(0.0), 0.0);
+        let ach = p.achievable_accuracy();
+        assert!((ach - 0.95 * 0.9).abs() < 1e-12);
+        assert!(p.accuracy_at(3000.0) < ach);
+        assert!((p.accuracy_at(1e7) - ach).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_loss_diminishes() {
+        let p = profile();
+        let d10 = p.last_delta_loss(10.0);
+        let d100 = p.last_delta_loss(100.0);
+        let d1000 = p.last_delta_loss(1000.0);
+        assert!(d10 > d100 && d100 > d1000);
+        assert!(d1000 > 0.0);
+    }
+
+    #[test]
+    fn normalized_delta_loss_bounds() {
+        let p = profile();
+        assert_eq!(p.normalized_delta_loss(0.0), 1.0);
+        for i in [1.0, 5.0, 50.0, 500.0, 5000.0] {
+            let v = p.normalized_delta_loss(i);
+            assert!((0.0..=1.0).contains(&v), "i={i} v={v}");
+        }
+        // Strictly decreasing in i: later iterations contribute less.
+        assert!(p.normalized_delta_loss(10.0) > p.normalized_delta_loss(100.0));
+    }
+
+    #[test]
+    fn iterations_to_accuracy_inverts_accuracy_at() {
+        let p = profile();
+        for target in [0.1, 0.3, 0.5, 0.7, 0.8] {
+            let i = p.iterations_to_accuracy(target).unwrap();
+            assert!((p.accuracy_at(i) - target).abs() < 1e-9, "target {target}");
+        }
+        assert_eq!(p.iterations_to_accuracy(0.0), Some(0.0));
+        assert!(p.iterations_to_accuracy(0.9).is_none()); // above achievable (0.855)
+    }
+
+    #[test]
+    fn saturation_iteration_has_small_marginal_gain() {
+        let p = profile();
+        let eps = 1e-4;
+        let i = p.saturation_iteration(eps);
+        let gain = p.accuracy_at(i + 1.0) - p.accuracy_at(i);
+        assert!(gain <= eps * 1.01, "gain {gain}");
+        // Just before saturation, gain exceeds eps.
+        if i > 2.0 {
+            let before = p.accuracy_at(i - 1.0) - p.accuracy_at(i - 2.0);
+            assert!(before > eps);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_floor_above_l0() {
+        LearningProfile::new(1.0, 2.0, 0.1, 0.9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_decay() {
+        LearningProfile::new(1.0, 0.0, 0.0, 0.9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn profiles() -> impl Strategy<Value = LearningProfile> {
+        (0.5f64..5.0, 0.0f64..0.45, 0.001f64..0.5, 0.5f64..1.0).prop_map(|(l0, fr, k, a)| {
+            LearningProfile::new(l0, l0 * fr, k, a)
+        })
+    }
+
+    proptest! {
+        /// Accuracy is monotone non-decreasing and bounded by the
+        /// achievable accuracy for every valid profile.
+        #[test]
+        fn accuracy_monotone_and_bounded(p in profiles(), i in 0.0f64..1e4, j in 0.0f64..1e4) {
+            let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+            prop_assert!(p.accuracy_at(lo) <= p.accuracy_at(hi) + 1e-12);
+            prop_assert!(p.accuracy_at(hi) <= p.achievable_accuracy() + 1e-12);
+            prop_assert!(p.accuracy_at(lo) >= -1e-12);
+        }
+
+        /// Cumulative loss reduction equals the sum of per-iteration
+        /// deltas (telescoping).
+        #[test]
+        fn deltas_telescope(p in profiles(), n in 1usize..200) {
+            let total: f64 = (1..=n).map(|i| p.last_delta_loss(i as f64)).sum();
+            prop_assert!((total - p.cumulative_loss_reduction(n as f64)).abs() < 1e-9);
+        }
+
+        /// iterations_to_accuracy is consistent with accuracy_at.
+        #[test]
+        fn inverse_consistency(p in profiles(), frac in 0.05f64..0.95) {
+            let target = p.achievable_accuracy() * frac;
+            if let Some(i) = p.iterations_to_accuracy(target) {
+                prop_assert!((p.accuracy_at(i) - target).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Task dependency graphs from model partitioning.
+//!
+//! §3.2 of the paper: "a task (running in a worker) computes one model
+//! partition for one mini-batch. The tasks form a task dependency
+//! graph based on the data flow between the tasks." We build three
+//! shapes used in the evaluation (§4.1):
+//!
+//! * **Sequential** — MLP and AlexNet: "because of their sequential
+//!   task dependency graph structures, we partitioned the model
+//!   sequentially into several parts".
+//! * **Layered** — ResNet and LSTM: "we … partitioned each layer into
+//!   several parts", giving a layers × width grid with dense edges
+//!   between adjacent layers.
+//! * **DataParallel** — SVM: "only used data parallelism"; independent
+//!   workers with no inter-partition edges.
+//!
+//! On top of the partition graph sits a [`CommStructure`]: either a
+//! parameter server (an extra task that sinks feed; the paper assigns
+//! it "the highest priority") or all-reduce (sinks exchange parameters
+//! among themselves with no extra task).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameter accumulation structure (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommStructure {
+    /// Dedicated parameter-server task; DAG sinks send results to it.
+    ParameterServer,
+    /// Reducers exchange parameters directly (ring/2D-torus); no extra
+    /// task, but sinks still pay cross-server communication.
+    AllReduce,
+}
+
+/// An immutable DAG over task indices `0..n`.
+///
+/// Edges point parent → child ("child depends on parent" in data-flow
+/// order; the paper's `child(k)` — the *dependent* tasks of `k` — are
+/// the graph children here).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    n: usize,
+    children: Vec<Vec<u16>>,
+    parents: Vec<Vec<u16>>,
+}
+
+impl Dag {
+    /// Build from an edge list. Validates indices and acyclicity.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices, duplicate edges or cycles —
+    /// DAGs are constructed by generators, so these are bugs.
+    pub fn new(n: usize, edges: &[(u16, u16)]) -> Self {
+        let mut children = vec![Vec::new(); n];
+        let mut parents = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge out of range");
+            assert_ne!(a, b, "self-loop");
+            assert!(!children[a as usize].contains(&b), "duplicate edge");
+            children[a as usize].push(b);
+            parents[b as usize].push(a);
+        }
+        let dag = Dag {
+            n,
+            children,
+            parents,
+        };
+        assert!(dag.topological_order().len() == n, "graph has a cycle");
+        dag
+    }
+
+    /// An edgeless DAG of `n` independent tasks.
+    pub fn independent(n: usize) -> Self {
+        Dag::new(n, &[])
+    }
+
+    /// A chain 0 → 1 → … → n−1.
+    pub fn sequential(n: usize) -> Self {
+        let edges: Vec<(u16, u16)> = (1..n).map(|i| ((i - 1) as u16, i as u16)).collect();
+        Dag::new(n, &edges)
+    }
+
+    /// A layered grid: `n` tasks arranged into roughly-square layers;
+    /// every task in layer `l` feeds every task in layer `l+1`.
+    /// `width` tasks per layer (the last layer may be narrower).
+    pub fn layered(n: usize, width: usize) -> Self {
+        assert!(width >= 1);
+        let mut edges = Vec::new();
+        let layers: Vec<Vec<u16>> = (0..n)
+            .map(|i| i as u16)
+            .collect::<Vec<_>>()
+            .chunks(width)
+            .map(|c| c.to_vec())
+            .collect();
+        for w in layers.windows(2) {
+            for &a in &w[0] {
+                for &b in &w[1] {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Dag::new(n, &edges)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Direct children (dependent tasks) of `k`.
+    pub fn children(&self, k: usize) -> &[u16] {
+        &self.children[k]
+    }
+
+    /// Direct parents of `k`.
+    pub fn parents(&self, k: usize) -> &[u16] {
+        &self.parents[k]
+    }
+
+    /// Edge list (parent, child), in parent order.
+    pub fn edges(&self) -> Vec<(u16, u16)> {
+        let mut out = Vec::new();
+        for (a, cs) in self.children.iter().enumerate() {
+            for &b in cs {
+                out.push((a as u16, b));
+            }
+        }
+        out
+    }
+
+    /// Tasks with no parents.
+    pub fn sources(&self) -> Vec<u16> {
+        (0..self.n)
+            .filter(|&i| self.parents[i].is_empty())
+            .map(|i| i as u16)
+            .collect()
+    }
+
+    /// Tasks with no children.
+    pub fn sinks(&self) -> Vec<u16> {
+        (0..self.n)
+            .filter(|&i| self.children[i].is_empty())
+            .map(|i| i as u16)
+            .collect()
+    }
+
+    /// A topological order (Kahn's algorithm, smallest-index-first for
+    /// determinism). Shorter than `n` iff the graph has a cycle.
+    pub fn topological_order(&self) -> Vec<u16> {
+        let mut indeg: Vec<usize> = (0..self.n).map(|i| self.parents[i].len()).collect();
+        let mut ready: Vec<u16> = (0..self.n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| i as u16)
+            .collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(&next) = ready.iter().min() {
+            ready.retain(|&x| x != next);
+            order.push(next);
+            for &c in &self.children[next as usize] {
+                indeg[c as usize] -= 1;
+                if indeg[c as usize] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        order
+    }
+
+    /// Number of transitive descendants of each task (not counting the
+    /// task itself). The paper's spatial feature: "if a task has more
+    /// dependent tasks … it should run earlier".
+    pub fn descendant_counts(&self) -> Vec<usize> {
+        let order = self.topological_order();
+        let mut sets: Vec<std::collections::BTreeSet<u16>> =
+            vec![std::collections::BTreeSet::new(); self.n];
+        for &k in order.iter().rev() {
+            let mut acc = std::collections::BTreeSet::new();
+            for &c in &self.children[k as usize] {
+                acc.insert(c);
+                acc.extend(sets[c as usize].iter().copied());
+            }
+            sets[k as usize] = acc;
+        }
+        sets.into_iter().map(|s| s.len()).collect()
+    }
+
+    /// Longest path length (in edges) from each task to any sink.
+    pub fn height(&self) -> Vec<usize> {
+        let order = self.topological_order();
+        let mut h = vec![0usize; self.n];
+        for &k in order.iter().rev() {
+            h[k as usize] = self.children[k as usize]
+                .iter()
+                .map(|&c| h[c as usize] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        h
+    }
+
+    /// Critical-path weight: the maximum, over root-to-sink paths, of
+    /// the sum of per-task `weight`. This is the synchronous-training
+    /// iteration time when communication is free.
+    pub fn critical_path(&self, weight: &[f64]) -> f64 {
+        assert_eq!(weight.len(), self.n);
+        let order = self.topological_order();
+        let mut best = vec![0.0f64; self.n];
+        let mut max = 0.0f64;
+        for &k in &order {
+            let up = self.parents[k as usize]
+                .iter()
+                .map(|&p| best[p as usize])
+                .fold(0.0, f64::max);
+            best[k as usize] = up + weight[k as usize];
+            max = max.max(best[k as usize]);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_shape() {
+        let d = Dag::sequential(4);
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![3]);
+        assert_eq!(d.children(1), &[2]);
+        assert_eq!(d.parents(2), &[1]);
+        assert_eq!(d.topological_order(), vec![0, 1, 2, 3]);
+        assert_eq!(d.descendant_counts(), vec![3, 2, 1, 0]);
+        assert_eq!(d.height(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn layered_shape() {
+        // 6 tasks, width 2 → layers {0,1},{2,3},{4,5}.
+        let d = Dag::layered(6, 2);
+        assert_eq!(d.sources(), vec![0, 1]);
+        assert_eq!(d.sinks(), vec![4, 5]);
+        assert_eq!(d.children(0), &[2, 3]);
+        assert_eq!(d.parents(5), &[2, 3]);
+        assert_eq!(d.descendant_counts()[0], 4);
+        assert_eq!(d.height(), vec![2, 2, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn independent_shape() {
+        let d = Dag::independent(3);
+        assert_eq!(d.sources(), vec![0, 1, 2]);
+        assert_eq!(d.sinks(), vec![0, 1, 2]);
+        assert!(d.edges().is_empty());
+    }
+
+    #[test]
+    fn critical_path_sums_longest_chain() {
+        let d = Dag::sequential(3);
+        assert_eq!(d.critical_path(&[1.0, 2.0, 3.0]), 6.0);
+        let l = Dag::layered(4, 2); // {0,1} -> {2,3}
+        assert_eq!(l.critical_path(&[1.0, 5.0, 2.0, 1.0]), 7.0);
+        let i = Dag::independent(3);
+        assert_eq!(i.critical_path(&[4.0, 9.0, 2.0]), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn rejects_cycles() {
+        Dag::new(2, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        Dag::new(1, &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_edges() {
+        Dag::new(2, &[(0, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn single_task_dag() {
+        let d = Dag::independent(1);
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![0]);
+        assert_eq!(d.critical_path(&[7.0]), 7.0);
+        assert_eq!(d.descendant_counts(), vec![0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_dag() -> impl Strategy<Value = Dag> {
+        (1usize..24).prop_flat_map(|n| {
+            // Edges only point from lower to higher index → acyclic by
+            // construction.
+            let pairs: Vec<(u16, u16)> = (0..n as u16)
+                .flat_map(|a| ((a + 1)..n as u16).map(move |b| (a, b)))
+                .collect();
+            proptest::sample::subsequence(pairs.clone(), 0..=pairs.len())
+                .prop_map(move |edges| Dag::new(n, &edges))
+        })
+    }
+
+    proptest! {
+        /// Topological order contains each task once and respects every
+        /// edge.
+        #[test]
+        fn topo_order_is_valid(d in random_dag()) {
+            let order = d.topological_order();
+            prop_assert_eq!(order.len(), d.len());
+            let pos: std::collections::HashMap<u16, usize> =
+                order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            for (a, b) in d.edges() {
+                prop_assert!(pos[&a] < pos[&b]);
+            }
+        }
+
+        /// Critical path is at least the heaviest single task and at
+        /// most the total weight.
+        #[test]
+        fn critical_path_bounds(d in random_dag()) {
+            let w: Vec<f64> = (0..d.len()).map(|i| 1.0 + i as f64).collect();
+            let cp = d.critical_path(&w);
+            let max = w.iter().cloned().fold(0.0, f64::max);
+            let sum: f64 = w.iter().sum();
+            prop_assert!(cp >= max - 1e-9);
+            prop_assert!(cp <= sum + 1e-9);
+        }
+
+        /// Descendant counts are consistent with height: a task's
+        /// descendant count is at least its height.
+        #[test]
+        fn descendants_at_least_height(d in random_dag()) {
+            let desc = d.descendant_counts();
+            let h = d.height();
+            for i in 0..d.len() {
+                prop_assert!(desc[i] >= h[i]);
+            }
+        }
+    }
+}

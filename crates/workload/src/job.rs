@@ -1,0 +1,271 @@
+//! Static job and task specifications.
+
+use crate::algorithms::MlAlgorithm;
+use crate::curves::LearningProfile;
+use crate::dag::{CommStructure, Dag};
+use cluster::{JobId, ResourceVec, TaskId};
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// The user's iteration-stopping choice (§3.5):
+///
+/// * option i — run exactly the requested number of iterations;
+/// * option ii — OptStop: stop when accuracy is (close to) its maximum;
+/// * option iii — stop as soon as the required accuracy is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StopPolicy {
+    /// Run `max_iterations` iterations regardless of accuracy.
+    MaxIterations,
+    /// Stop at the near-maximum-accuracy iteration (OptStop, \[17\]).
+    OptStop,
+    /// Stop once the job's required accuracy is achieved.
+    RequiredAccuracy,
+}
+
+impl StopPolicy {
+    /// The next-more-aggressive option MLF-C may demote to under
+    /// overload (users indicate whether the system may switch, §3.5).
+    pub fn demoted(self) -> StopPolicy {
+        match self {
+            StopPolicy::MaxIterations => StopPolicy::OptStop,
+            StopPolicy::OptStop | StopPolicy::RequiredAccuracy => StopPolicy::RequiredAccuracy,
+        }
+    }
+}
+
+/// One task: a model partition processed by one worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task identity.
+    pub id: TaskId,
+    /// Parameter size of this partition, MB (the paper's `S_k`).
+    pub partition_mb: f64,
+    /// Resource demand while running.
+    pub demand: ResourceVec,
+    /// Fraction of one GPU consumed (lands on a single GPU).
+    pub gpu_share: f64,
+    /// Pure compute time for one iteration at full GPU speed.
+    pub compute: SimDuration,
+    /// True for the parameter-server task (receives highest priority
+    /// in MLF-H, §3.3.1).
+    pub is_param_server: bool,
+}
+
+/// A complete, immutable job description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job identity.
+    pub id: JobId,
+    /// Which algorithm this job trains.
+    pub algorithm: MlAlgorithm,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Deadline (`d^r_J`); `max(1.1·t_e, t_r)` in the paper's setup.
+    pub deadline: SimTime,
+    /// Required final accuracy (`a^r_J`), from the trace's completion
+    /// status.
+    pub required_accuracy: f64,
+    /// Urgency coefficient `L_J` ∈ [1, m] (§3.3.1; m = 10 in Fig. 6).
+    pub urgency: u8,
+    /// Maximum iterations (option i's iteration budget).
+    pub max_iterations: u64,
+    /// The tasks, indexed by `TaskId::idx`. If a parameter server is
+    /// present it is the **last** entry and not part of the DAG.
+    pub tasks: Vec<TaskSpec>,
+    /// Dependency graph over the non-PS tasks.
+    pub dag: Dag,
+    /// Communication structure for parameter accumulation.
+    pub comm: CommStructure,
+    /// Data volume per DAG edge per iteration, MB (paper: U\[50,100\]).
+    pub comm_mb: f64,
+    /// Total model size, MB (the paper's `S_J`).
+    pub model_mb: f64,
+    /// Training data size, MB (paper: U\[100,1000\]).
+    pub train_data_mb: f64,
+    /// This job's learning curve.
+    pub curve: LearningProfile,
+    /// The user's stop policy choice.
+    pub stop_policy: StopPolicy,
+    /// Whether the user allows MLF-C to demote the stop policy under
+    /// overload (§3.5).
+    pub allow_demotion: bool,
+    /// Predicted total runtime (Optimus-style, §3.1); used for task
+    /// deadline decomposition and by baselines like Tiresias' Gittins
+    /// mode.
+    pub predicted_runtime: SimDuration,
+    /// Whether the job ran before (predictor accuracy is higher).
+    pub previously_run: bool,
+}
+
+impl JobSpec {
+    /// Number of tasks including any parameter server.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of DAG (worker) tasks, excluding the parameter server.
+    pub fn worker_count(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// True when the job has a dedicated parameter-server task.
+    pub fn has_param_server(&self) -> bool {
+        self.tasks.last().map(|t| t.is_param_server).unwrap_or(false)
+    }
+
+    /// Per-iteration compute-only critical path (no communication).
+    pub fn compute_critical_path(&self) -> SimDuration {
+        let weights: Vec<f64> = (0..self.dag.len())
+            .map(|i| self.tasks[i].compute.as_secs_f64())
+            .collect();
+        SimDuration::from_secs_f64(self.dag.critical_path(&weights))
+    }
+
+    /// Total megabytes exchanged per iteration across DAG edges plus
+    /// parameter accumulation (PS fan-in or all-reduce exchange).
+    pub fn comm_mb_per_iteration(&self) -> f64 {
+        let dag_edges = self.dag.edges().len() as f64;
+        let sync = match self.comm {
+            // Sinks send results to the PS.
+            CommStructure::ParameterServer => self.dag.sinks().len() as f64,
+            // Reducers exchange among themselves (ring: one send each).
+            CommStructure::AllReduce => self.dag.sinks().len() as f64,
+        };
+        (dag_edges + sync) * self.comm_mb
+    }
+
+    /// Ideal (communication-free, uncontended) time for `n` iterations.
+    pub fn ideal_runtime(&self, n: u64) -> SimDuration {
+        self.compute_critical_path().mul_f64(n as f64)
+    }
+
+    /// Normalized partition size `S_k/S_J` of task `idx` (Eq. 2's
+    /// spatial term).
+    pub fn normalized_partition(&self, idx: usize) -> f64 {
+        if self.model_mb <= 0.0 {
+            return 0.0;
+        }
+        self.tasks[idx].partition_mb / self.model_mb
+    }
+
+    /// Task ids of all tasks.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks.iter().map(|t| t.id)
+    }
+
+    /// Decompose the job deadline into per-task deadlines, in
+    /// proportion to the task's position along the DAG (tasks deeper
+    /// in the graph get later deadlines). Mirrors the paper's "the
+    /// deadline of each of its tasks can be calculated based on the
+    /// job's deadline, dependency graph and historical task running
+    /// time" (§3.3.1). The PS task, if any, shares the job deadline.
+    pub fn task_deadline(&self, idx: usize) -> SimTime {
+        if idx >= self.dag.len() {
+            return self.deadline;
+        }
+        let heights = self.dag.height();
+        let max_h = heights.iter().copied().max().unwrap_or(0) as f64;
+        if max_h == 0.0 {
+            return self.deadline;
+        }
+        // A task at height h (h edges above a sink) must finish its
+        // share of the pipeline earlier; sinks get the full deadline.
+        let frac = 1.0 - heights[idx] as f64 / (max_h + 1.0);
+        let span = self.deadline.since(self.arrival);
+        self.arrival + span.mul_f64(frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::MlAlgorithm;
+    use cluster::JobId;
+
+    /// Hand-build a small sequential 3-task job for spec tests.
+    pub(crate) fn tiny_job() -> JobSpec {
+        let id = JobId(1);
+        let dag = Dag::sequential(3);
+        let tasks = (0..3)
+            .map(|i| TaskSpec {
+                id: TaskId::new(id, i as u16),
+                partition_mb: 50.0 + 25.0 * i as f64, // 50, 75, 100 → S_J = 225
+                demand: ResourceVec::new(1.0, 2.0, 8.0, 50.0),
+                gpu_share: 1.0,
+                compute: SimDuration::from_secs(i + 1), // 1s, 2s, 3s
+                is_param_server: false,
+            })
+            .collect();
+        JobSpec {
+            id,
+            algorithm: MlAlgorithm::Mlp,
+            arrival: SimTime::from_secs(100),
+            deadline: SimTime::from_secs(1100),
+            required_accuracy: 0.7,
+            urgency: 5,
+            max_iterations: 100,
+            tasks,
+            dag,
+            comm: CommStructure::ParameterServer,
+            comm_mb: 60.0,
+            model_mb: 225.0,
+            train_data_mb: 500.0,
+            curve: LearningProfile::new(2.0, 0.2, 0.05, 0.9),
+            stop_policy: StopPolicy::MaxIterations,
+            allow_demotion: true,
+            predicted_runtime: SimDuration::from_secs(600),
+            previously_run: true,
+        }
+    }
+
+    #[test]
+    fn critical_path_of_chain_is_sum() {
+        let j = tiny_job();
+        assert_eq!(j.compute_critical_path(), SimDuration::from_secs(6));
+        assert_eq!(j.ideal_runtime(10), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn comm_per_iteration_counts_edges_and_sync() {
+        let j = tiny_job();
+        // 2 DAG edges + 1 sink→PS = 3 links × 60 MB.
+        assert!((j.comm_mb_per_iteration() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_partition_sums_to_one() {
+        let j = tiny_job();
+        let total: f64 = (0..3).map(|i| j.normalized_partition(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(j.normalized_partition(2) > j.normalized_partition(0));
+    }
+
+    #[test]
+    fn task_deadlines_increase_along_the_chain() {
+        let j = tiny_job();
+        let d0 = j.task_deadline(0);
+        let d1 = j.task_deadline(1);
+        let d2 = j.task_deadline(2);
+        assert!(d0 < d1 && d1 < d2);
+        assert!(d2 <= j.deadline);
+        assert!(d0 > j.arrival);
+    }
+
+    #[test]
+    fn stop_policy_demotion_is_monotone() {
+        assert_eq!(StopPolicy::MaxIterations.demoted(), StopPolicy::OptStop);
+        assert_eq!(StopPolicy::OptStop.demoted(), StopPolicy::RequiredAccuracy);
+        assert_eq!(
+            StopPolicy::RequiredAccuracy.demoted(),
+            StopPolicy::RequiredAccuracy
+        );
+    }
+
+    #[test]
+    fn no_param_server_in_tiny_job() {
+        let j = tiny_job();
+        assert!(!j.has_param_server());
+        assert_eq!(j.worker_count(), 3);
+        assert_eq!(j.task_count(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! # workload — ML jobs, tasks, learning curves and traces
+//!
+//! Models everything the paper's schedulers observe about ML training
+//! jobs:
+//!
+//! * [`algorithms`] — profiles of the five paper workloads (AlexNet,
+//!   ResNet, MLP, LSTM, SVM): model size, batch size, partitioning
+//!   style, per-iteration compute, resource demands (§4.1).
+//! * [`dag`] — task dependency graphs produced by model partitioning:
+//!   sequential chains (MLP, AlexNet), layered partitions (ResNet,
+//!   LSTM), data-parallel fan-out (SVM), plus the parameter-server /
+//!   all-reduce communication structures (§3.2, Fig. 2).
+//! * [`curves`] — diminishing-returns loss and accuracy curves: the
+//!   temporal ML feature the paper exploits ("earlier iterations have
+//!   higher impact on the accuracy", §1).
+//! * [`job`] — static job/task specifications ([`JobSpec`],
+//!   [`TaskSpec`]) including deadlines, urgency levels, accuracy
+//!   requirements and stop policies (§3.5 options i/ii/iii).
+//! * [`state`] — dynamic per-job runtime state (iterations completed,
+//!   loss history, task placement status, waiting time) that the
+//!   simulator advances and schedulers read.
+//! * [`predict`] — the Optimus-style runtime predictor assumption
+//!   (89% seen / 70% unseen accuracy, §3.1).
+//! * [`trace`] — a synthetic Philly-like trace generator standing in
+//!   for the proprietary-access Microsoft trace (see DESIGN.md's
+//!   substitution table).
+
+//! # Example
+//!
+//! Generate a quarter-scale paper trace and inspect a job:
+//!
+//! ```
+//! use workload::{TraceConfig, TraceGenerator};
+//!
+//! let trace = TraceGenerator::new(TraceConfig::paper_real(0.25, 16.0, 42)).generate();
+//! assert_eq!(trace.len(), 155); // 620 · ¼ jobs (§4.1)
+//! let job = &trace[0];
+//! assert!(job.deadline > job.arrival);
+//! assert!(job.required_accuracy < job.curve.achievable_accuracy());
+//! assert!([1, 2, 4, 8, 16, 32].contains(&job.worker_count()));
+//! ```
+
+pub mod algorithms;
+pub mod curves;
+pub mod dag;
+pub mod job;
+pub mod predict;
+pub mod state;
+pub mod trace;
+
+pub use algorithms::{AlgorithmProfile, MlAlgorithm};
+pub use curves::LearningProfile;
+pub use dag::{CommStructure, Dag};
+pub use job::{JobSpec, StopPolicy, TaskSpec};
+pub use predict::RuntimePredictor;
+pub use state::{JobState, StopReason, TaskRunState};
+pub use trace::{load_trace, save_trace, TraceConfig, TraceGenerator};

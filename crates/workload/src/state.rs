@@ -1,0 +1,375 @@
+//! Dynamic per-job runtime state.
+//!
+//! [`JobState`] wraps a [`JobSpec`] with everything that changes while
+//! the job runs: fractional iterations completed, task placement
+//! status, accumulated waiting time, and the stop decision. The
+//! simulator advances this state; schedulers read it (and MLF-C
+//! mutates the effective stop policy).
+
+use crate::curves::LearningProfile;
+use crate::job::{JobSpec, StopPolicy};
+use cluster::ServerId;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// Where a task currently is, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaskRunState {
+    /// In the waiting queue since `since`.
+    Waiting {
+        /// When the task entered the queue.
+        since: SimTime,
+    },
+    /// Placed on a server/GPU.
+    Running {
+        /// Hosting server.
+        server: ServerId,
+        /// Hosting GPU index.
+        gpu: usize,
+    },
+    /// The job finished or was stopped; the task no longer exists.
+    Done,
+}
+
+/// Why a job stopped generating iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// Ran its full iteration budget (option i).
+    MaxIterations,
+    /// OptStop decided accuracy had (nearly) saturated (option ii).
+    OptStop,
+    /// Required accuracy reached (option iii).
+    RequiredAccuracy,
+    /// OptStop predicted the accuracy target is unreachable and ended
+    /// training early with confidence (§3.5).
+    PredictedUnreachable,
+}
+
+/// A job's live state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobState {
+    /// The immutable specification.
+    pub spec: JobSpec,
+    /// Iterations completed so far (fractional under the fluid model).
+    pub iterations: f64,
+    /// Per-task run state, indexed like `spec.tasks`.
+    pub task_states: Vec<TaskRunState>,
+    /// The stop policy currently in force (MLF-C may demote it from
+    /// `spec.stop_policy` under overload).
+    pub effective_policy: StopPolicy,
+    /// When the job completed (all work done or stopped), if it has.
+    pub finished: Option<SimTime>,
+    /// Why it stopped, if stopped.
+    pub stop_reason: Option<StopReason>,
+    /// Accumulated time with zero running tasks ("job waiting time",
+    /// Fig. 4d).
+    pub waiting: SimDuration,
+    /// Accuracy measured when the deadline passed (used for the
+    /// "accuracy by deadline" metrics once the deadline is behind us).
+    pub accuracy_at_deadline: Option<f64>,
+    /// Recorded loss-reduction history: `history[i]` = δl of iteration
+    /// i+1. Kept coarse (per whole iteration) for the RL state and the
+    /// learning-curve predictor.
+    pub loss_history: Vec<f64>,
+}
+
+impl JobState {
+    /// Fresh state for a newly arrived job: all tasks waiting.
+    pub fn new(spec: JobSpec, now: SimTime) -> Self {
+        let n = spec.task_count();
+        let effective_policy = spec.stop_policy;
+        JobState {
+            spec,
+            iterations: 0.0,
+            task_states: vec![TaskRunState::Waiting { since: now }; n],
+            effective_policy,
+            finished: None,
+            stop_reason: None,
+            waiting: SimDuration::ZERO,
+            accuracy_at_deadline: None,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// The job's learning curve.
+    pub fn curve(&self) -> &LearningProfile {
+        &self.spec.curve
+    }
+
+    /// Current accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.spec.curve.accuracy_at(self.iterations)
+    }
+
+    /// Accuracy credited "by the deadline": the value frozen when the
+    /// deadline passed, or the live value if the deadline is still
+    /// ahead.
+    pub fn accuracy_by_deadline(&self) -> f64 {
+        self.accuracy_at_deadline.unwrap_or_else(|| self.accuracy())
+    }
+
+    /// Whether the job has completed (stopped or finished).
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// Job completion time, if finished.
+    pub fn jct(&self) -> Option<SimDuration> {
+        self.finished.map(|f| f.since(self.spec.arrival))
+    }
+
+    /// Iterations still to run under the current target.
+    pub fn remaining_iterations(&self) -> f64 {
+        (self.spec.max_iterations as f64 - self.iterations).max(0.0)
+    }
+
+    /// Tasks currently placed (running).
+    pub fn running_tasks(&self) -> usize {
+        self.task_states
+            .iter()
+            .filter(|s| matches!(s, TaskRunState::Running { .. }))
+            .count()
+    }
+
+    /// Tasks currently waiting in the queue.
+    pub fn waiting_tasks(&self) -> usize {
+        self.task_states
+            .iter()
+            .filter(|s| matches!(s, TaskRunState::Waiting { .. }))
+            .count()
+    }
+
+    /// True when every task is placed (the job can make full progress).
+    pub fn fully_placed(&self) -> bool {
+        !self.is_finished() && self.waiting_tasks() == 0 && self.running_tasks() > 0
+    }
+
+    /// The run state of task `idx`.
+    pub fn task_state(&self, idx: usize) -> TaskRunState {
+        self.task_states[idx]
+    }
+
+    /// How long task `idx` has been waiting, or zero if not waiting
+    /// (`w_{k,J}` in Eq. 4).
+    pub fn task_waiting_time(&self, idx: usize, now: SimTime) -> SimDuration {
+        match self.task_states[idx] {
+            TaskRunState::Waiting { since } => now.since(since),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Estimated remaining running time `r_{k,J} = t_{k,J} − p_{k,J}`
+    /// (Eq. 4), computed at job granularity from predicted runtime and
+    /// iteration progress. Floors at one millisecond so the priority's
+    /// `1/r` term stays finite.
+    pub fn remaining_runtime(&self) -> SimDuration {
+        let frac_done = if self.spec.max_iterations == 0 {
+            1.0
+        } else {
+            (self.iterations / self.spec.max_iterations as f64).min(1.0)
+        };
+        let remaining = self
+            .spec
+            .predicted_runtime
+            .mul_f64((1.0 - frac_done).max(0.0));
+        if remaining.is_zero() {
+            SimDuration(1)
+        } else {
+            remaining
+        }
+    }
+
+    /// Record progress of `delta` iterations ending `now`, appending
+    /// whole-iteration loss deltas to the history.
+    pub fn advance(&mut self, delta: f64) {
+        assert!(delta >= 0.0 && delta.is_finite(), "bad progress {delta}");
+        let before = self.iterations;
+        self.iterations += delta;
+        // Append per-iteration deltas for each whole iteration crossed.
+        let mut i = before.floor() as u64 + 1;
+        while (i as f64) <= self.iterations {
+            let d = self.spec.curve.loss_at(i as f64 - 1.0) - self.spec.curve.loss_at(i as f64);
+            self.loss_history.push(d);
+            i += 1;
+        }
+    }
+
+    /// Mark the job finished at `now` for `reason`; all tasks become
+    /// `Done`.
+    pub fn finish(&mut self, now: SimTime, reason: StopReason) {
+        assert!(self.finished.is_none(), "job finished twice");
+        self.finished = Some(now);
+        self.stop_reason = Some(reason);
+        for s in &mut self.task_states {
+            *s = TaskRunState::Done;
+        }
+    }
+
+    /// Freeze the by-deadline accuracy if the deadline has passed and
+    /// it is not yet recorded.
+    pub fn freeze_deadline_accuracy(&mut self, now: SimTime) {
+        if self.accuracy_at_deadline.is_none() && now >= self.spec.deadline {
+            self.accuracy_at_deadline = Some(self.accuracy());
+        }
+    }
+
+    /// Did the job meet its deadline? Only meaningful once finished.
+    pub fn met_deadline(&self) -> bool {
+        match self.finished {
+            Some(f) => f <= self.spec.deadline,
+            None => false,
+        }
+    }
+
+    /// Did the job reach its required accuracy by its deadline?
+    pub fn met_accuracy(&self) -> bool {
+        self.accuracy_by_deadline() >= self.spec.required_accuracy - 1e-12
+    }
+
+    /// The iteration index `I` the paper's Eq. 2 uses: the iteration
+    /// currently being executed (1-based).
+    pub fn current_iteration(&self) -> f64 {
+        self.iterations.floor() + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::MlAlgorithm;
+    use crate::dag::{CommStructure, Dag};
+    use crate::job::TaskSpec;
+    use cluster::{JobId, ResourceVec, TaskId};
+
+    fn spec() -> JobSpec {
+        let id = JobId(7);
+        JobSpec {
+            id,
+            algorithm: MlAlgorithm::Svm,
+            arrival: SimTime::from_secs(10),
+            deadline: SimTime::from_secs(1000),
+            required_accuracy: 0.5,
+            urgency: 3,
+            max_iterations: 50,
+            tasks: (0..2)
+                .map(|i| TaskSpec {
+                    id: TaskId::new(id, i),
+                    partition_mb: 5.0,
+                    demand: ResourceVec::splat(0.1),
+                    gpu_share: 0.5,
+                    compute: SimDuration::from_secs(1),
+                    is_param_server: false,
+                })
+                .collect(),
+            dag: Dag::independent(2),
+            comm: CommStructure::AllReduce,
+            comm_mb: 50.0,
+            model_mb: 10.0,
+            train_data_mb: 100.0,
+            curve: LearningProfile::new(1.0, 0.1, 0.1, 0.8),
+            stop_policy: StopPolicy::OptStop,
+            allow_demotion: true,
+            predicted_runtime: SimDuration::from_secs(100),
+            previously_run: false,
+        }
+    }
+
+    #[test]
+    fn fresh_state_is_all_waiting() {
+        let s = JobState::new(spec(), SimTime::from_secs(10));
+        assert_eq!(s.waiting_tasks(), 2);
+        assert_eq!(s.running_tasks(), 0);
+        assert!(!s.fully_placed());
+        assert!(!s.is_finished());
+        assert_eq!(s.iterations, 0.0);
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.current_iteration(), 1.0);
+    }
+
+    #[test]
+    fn advance_accumulates_loss_history() {
+        let mut s = JobState::new(spec(), SimTime::ZERO);
+        s.advance(0.6);
+        assert!(s.loss_history.is_empty()); // no whole iteration yet
+        s.advance(0.6); // crosses iteration 1
+        assert_eq!(s.loss_history.len(), 1);
+        s.advance(3.0); // crosses 2, 3, 4
+        assert_eq!(s.loss_history.len(), 4);
+        // History deltas shrink (diminishing returns).
+        assert!(s.loss_history[0] > s.loss_history[3]);
+        // History telescopes to cumulative reduction.
+        let sum: f64 = s.loss_history.iter().sum();
+        let expect = s.spec.curve.cumulative_loss_reduction(4.0);
+        assert!((sum - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finish_sets_everything() {
+        let mut s = JobState::new(spec(), SimTime::ZERO);
+        s.advance(50.0);
+        s.finish(SimTime::from_secs(200), StopReason::MaxIterations);
+        assert!(s.is_finished());
+        assert_eq!(s.jct(), Some(SimDuration::from_secs(190))); // 200 − 10 arrival
+        assert_eq!(s.stop_reason, Some(StopReason::MaxIterations));
+        assert_eq!(s.waiting_tasks(), 0);
+        assert!(s.met_deadline());
+    }
+
+    #[test]
+    #[should_panic(expected = "finished twice")]
+    fn double_finish_panics() {
+        let mut s = JobState::new(spec(), SimTime::ZERO);
+        s.finish(SimTime::from_secs(1), StopReason::OptStop);
+        s.finish(SimTime::from_secs(2), StopReason::OptStop);
+    }
+
+    #[test]
+    fn deadline_accuracy_freezes_once() {
+        let mut s = JobState::new(spec(), SimTime::ZERO);
+        s.advance(10.0);
+        s.freeze_deadline_accuracy(SimTime::from_secs(500));
+        assert!(s.accuracy_at_deadline.is_none()); // deadline not passed
+        s.freeze_deadline_accuracy(SimTime::from_secs(1000));
+        let frozen = s.accuracy_at_deadline.unwrap();
+        s.advance(40.0);
+        // Frozen value sticks even as live accuracy grows.
+        assert_eq!(s.accuracy_by_deadline(), frozen);
+        assert!(s.accuracy() > frozen);
+        s.freeze_deadline_accuracy(SimTime::from_secs(2000));
+        assert_eq!(s.accuracy_at_deadline, Some(frozen));
+    }
+
+    #[test]
+    fn remaining_runtime_scales_with_progress() {
+        let mut s = JobState::new(spec(), SimTime::ZERO);
+        assert_eq!(s.remaining_runtime(), SimDuration::from_secs(100));
+        s.advance(25.0); // half of 50 iterations
+        assert_eq!(s.remaining_runtime(), SimDuration::from_secs(50));
+        s.advance(25.0);
+        assert_eq!(s.remaining_runtime(), SimDuration(1)); // floored
+    }
+
+    #[test]
+    fn task_waiting_time_tracks_queue_entry() {
+        let mut s = JobState::new(spec(), SimTime::from_secs(10));
+        let now = SimTime::from_secs(70);
+        assert_eq!(s.task_waiting_time(0, now), SimDuration::from_secs(60));
+        s.task_states[0] = TaskRunState::Running {
+            server: ServerId(0),
+            gpu: 0,
+        };
+        assert_eq!(s.task_waiting_time(0, now), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn met_accuracy_uses_by_deadline_value() {
+        let mut s = JobState::new(spec(), SimTime::ZERO);
+        // Achievable = 0.8 * 0.9 = 0.72 ≥ required 0.5.
+        s.advance(50.0);
+        assert!(s.met_accuracy());
+        let mut s2 = JobState::new(spec(), SimTime::ZERO);
+        s2.advance(1.0);
+        s2.freeze_deadline_accuracy(SimTime::from_secs(1000));
+        assert!(!s2.met_accuracy());
+    }
+}

@@ -1,0 +1,520 @@
+//! Synthetic Philly-like trace generation.
+//!
+//! The paper drives its evaluation with Microsoft's Philly DNN trace
+//! (117,325 jobs over 18 weeks on 550 servers / 2,474 GPUs), using
+//! three fields per job: arrival time, requested GPU count and the
+//! completion accuracy (as the job's accuracy requirement). This
+//! module generates a synthetic trace reproducing those marginals —
+//! see DESIGN.md's substitution table:
+//!
+//! * **arrivals** — Poisson process modulated by a diurnal + weekly
+//!   intensity pattern (busy weekdays, quiet nights), as observed in
+//!   the Philly analysis \[26\];
+//! * **GPU demand** — drawn from {1, 2, 4, 8, 16, 32}, skewed toward
+//!   small jobs (§4.1 draws from exactly this set; the model-partition
+//!   count equals the GPU count);
+//! * **durations** — heavy-tailed log-normal (minutes to days);
+//! * **job mix** — the paper's five algorithms with CNN/LSTM-heavy
+//!   weights;
+//! * **accuracy requirements** — a fraction of each job's achievable
+//!   accuracy, mimicking "the highest accuracy value when the job
+//!   finished".
+//!
+//! A `time_factor` compresses both the arrival span and job durations
+//! by the same factor, preserving offered load while shrinking
+//! simulated wall-clock — the knob EXPERIMENTS.md records for the
+//! scaled-down figure runs.
+
+use crate::algorithms::{AlgorithmProfile, MlAlgorithm};
+use crate::curves::LearningProfile;
+use crate::dag::CommStructure;
+use crate::job::{JobSpec, StopPolicy, TaskSpec};
+use crate::predict::RuntimePredictor;
+use cluster::{JobId, ResourceVec, TaskId};
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// Parameters of a synthetic trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Arrival span (jobs arrive in `[0, span)`).
+    pub span: SimDuration,
+    /// Median job duration, minutes (before `time_factor`).
+    pub duration_median_mins: f64,
+    /// Log-normal sigma of the duration distribution.
+    pub duration_sigma: f64,
+    /// Compression applied to both span and durations (≥ 1 speeds the
+    /// simulation up without changing offered load).
+    pub time_factor: f64,
+    /// GPU-count choices and weights.
+    pub gpu_choices: Vec<(usize, f64)>,
+    /// Algorithm mix weights, indexed like [`MlAlgorithm::ALL`].
+    pub algorithm_weights: [f64; 5],
+    /// Probability that a job uses a parameter server (vs all-reduce).
+    pub param_server_prob: f64,
+    /// Probability a job ran before (better runtime prediction).
+    pub previously_run_prob: f64,
+    /// Stop policy assigned to every job (the paper's MLF-C evaluation
+    /// assumes all jobs use OptStop; schedulers without load control
+    /// ignore it).
+    pub stop_policy: StopPolicy,
+    /// Random `t_r` deadline component range, hours (paper: \[0.5, 24\]).
+    pub deadline_slack_hours: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// The paper's real-experiment setting: `620·x` jobs arriving over
+    /// one week (§4.1 selects one week of the trace), on the 80-GPU
+    /// testbed.
+    pub fn paper_real(x: f64, time_factor: f64, seed: u64) -> Self {
+        TraceConfig {
+            jobs: ((620.0 * x).round() as usize).max(1),
+            span: SimDuration::from_hours(7 * 24),
+            duration_median_mins: 45.0,
+            duration_sigma: 1.3,
+            time_factor,
+            gpu_choices: default_gpu_choices(),
+            algorithm_weights: [0.20, 0.25, 0.15, 0.30, 0.10],
+            param_server_prob: 0.7,
+            previously_run_prob: 0.7,
+            stop_policy: StopPolicy::OptStop,
+            deadline_slack_hours: (0.5, 24.0),
+            seed,
+        }
+    }
+
+    /// The paper's simulation setting: `117325·x` jobs over 18 weeks,
+    /// scaled down by `scale` (both jobs and — at the caller — the
+    /// 550-server cluster) for laptop runs.
+    pub fn paper_sim(x: f64, scale: f64, time_factor: f64, seed: u64) -> Self {
+        TraceConfig {
+            jobs: ((117_325.0 * x * scale).round() as usize).max(1),
+            span: SimDuration::from_hours(18 * 7 * 24),
+            duration_median_mins: 45.0,
+            duration_sigma: 1.3,
+            time_factor,
+            gpu_choices: default_gpu_choices(),
+            algorithm_weights: [0.20, 0.25, 0.15, 0.30, 0.10],
+            param_server_prob: 0.7,
+            previously_run_prob: 0.7,
+            stop_policy: StopPolicy::OptStop,
+            deadline_slack_hours: (0.5, 24.0),
+            seed,
+        }
+    }
+
+    /// Effective arrival span after time compression.
+    pub fn effective_span(&self) -> SimDuration {
+        self.span.mul_f64(1.0 / self.time_factor.max(1e-9))
+    }
+}
+
+/// Write a generated trace to a JSON file (the `trace_tool export`
+/// format).
+pub fn save_trace(jobs: &[JobSpec], path: &std::path::Path) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(jobs)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Load a trace previously written by [`save_trace`] (or by hand —
+/// any JSON array of [`JobSpec`]s, e.g. converted from the real Philly
+/// CSVs). Jobs are re-sorted by arrival; ids must be unique.
+pub fn load_trace(path: &std::path::Path) -> std::io::Result<Vec<JobSpec>> {
+    let data = std::fs::read_to_string(path)?;
+    let mut jobs: Vec<JobSpec> = serde_json::from_str(&data)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    jobs.sort_by_key(|j| j.arrival);
+    let mut seen = std::collections::BTreeSet::new();
+    for j in &jobs {
+        if !seen.insert(j.id) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("duplicate job id {}", j.id),
+            ));
+        }
+    }
+    Ok(jobs)
+}
+
+/// GPU-count distribution: §4.1's choice set, skewed toward small jobs
+/// as in the Philly analysis \[26\].
+fn default_gpu_choices() -> Vec<(usize, f64)> {
+    vec![
+        (1, 0.35),
+        (2, 0.25),
+        (4, 0.18),
+        (8, 0.12),
+        (16, 0.07),
+        (32, 0.03),
+    ]
+}
+
+/// Generates [`JobSpec`]s from a [`TraceConfig`].
+#[derive(Debug)]
+pub struct TraceGenerator {
+    cfg: TraceConfig,
+    predictor: RuntimePredictor,
+}
+
+impl TraceGenerator {
+    /// New generator for `cfg`.
+    pub fn new(cfg: TraceConfig) -> Self {
+        TraceGenerator {
+            cfg,
+            predictor: RuntimePredictor::default(),
+        }
+    }
+
+    /// Generate the full trace, sorted by arrival time, with job ids
+    /// `0..jobs` in arrival order.
+    pub fn generate(&self) -> Vec<JobSpec> {
+        let mut rng = SimRng::new(self.cfg.seed);
+        let mut arrivals = self.sample_arrivals(&mut rng);
+        arrivals.sort_unstable();
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| self.generate_job(JobId(i as u32), arrival, &mut rng))
+            .collect()
+    }
+
+    /// Diurnal + weekly modulated Poisson arrivals (thinning method).
+    fn sample_arrivals(&self, rng: &mut SimRng) -> Vec<SimTime> {
+        let span = self.cfg.effective_span();
+        let span_h = span.as_hours_f64().max(1e-9);
+        let mut out = Vec::with_capacity(self.cfg.jobs);
+        while out.len() < self.cfg.jobs {
+            let t = rng.range_f64(0.0, span_h);
+            // Intensity: day-of-week (weekdays busier) × time-of-day
+            // (office hours busier). Hours are in *compressed* time, so
+            // re-expand to real hours for the pattern.
+            let real_h = t * self.cfg.time_factor;
+            let dow = ((real_h / 24.0) as u64) % 7;
+            let tod = real_h % 24.0;
+            let weekly = if dow < 5 { 1.0 } else { 0.55 };
+            let diurnal = 0.55 + 0.45 * ((tod - 14.0) * std::f64::consts::PI / 12.0).cos();
+            if rng.chance(weekly * diurnal) {
+                out.push(SimTime::from_secs((t * 3600.0) as u64));
+            }
+        }
+        out
+    }
+
+    fn pick_algorithm(&self, rng: &mut SimRng) -> MlAlgorithm {
+        let total: f64 = self.cfg.algorithm_weights.iter().sum();
+        let mut x = rng.range_f64(0.0, total);
+        for (i, w) in self.cfg.algorithm_weights.iter().enumerate() {
+            if x < *w {
+                return MlAlgorithm::ALL[i];
+            }
+            x -= w;
+        }
+        MlAlgorithm::ALL[4]
+    }
+
+    fn pick_gpu_count(&self, rng: &mut SimRng) -> usize {
+        let total: f64 = self.cfg.gpu_choices.iter().map(|(_, w)| w).sum();
+        let mut x = rng.range_f64(0.0, total);
+        for (n, w) in &self.cfg.gpu_choices {
+            if x < *w {
+                return *n;
+            }
+            x -= w;
+        }
+        self.cfg.gpu_choices.last().map(|(n, _)| *n).unwrap_or(1)
+    }
+
+    /// Build one job.
+    fn generate_job(&self, id: JobId, arrival: SimTime, rng: &mut SimRng) -> JobSpec {
+        let algorithm = self.pick_algorithm(rng);
+        let profile = algorithm.profile();
+        let n = self.pick_gpu_count(rng);
+        let dag = profile.build_dag(n);
+
+        let model_mb = AlgorithmProfile::sample(profile.model_mb, rng);
+        let iter_gpu_secs = AlgorithmProfile::sample(profile.iter_gpu_secs, rng);
+        let sizes = profile.partition_sizes(model_mb, n, rng);
+
+        // Duration → iteration budget.
+        let median_secs = self.cfg.duration_median_mins * 60.0 / self.cfg.time_factor;
+        let duration_secs = rng
+            .lognormal(median_secs.ln(), self.cfg.duration_sigma)
+            .clamp(90.0 / self.cfg.time_factor, 7.0 * 24.0 * 3600.0 / self.cfg.time_factor);
+
+        // Per-task compute: the whole model costs iter_gpu_secs per
+        // iteration; each partition takes its proportional share
+        // (compressed by time_factor).
+        let task_computes: Vec<f64> = sizes
+            .iter()
+            .map(|s| (iter_gpu_secs * s / model_mb / self.cfg.time_factor).max(1e-4))
+            .collect();
+        let cp_secs = dag.critical_path(&task_computes);
+
+        let comm_mb = rng.range_f64(50.0, 100.0);
+        // Rough per-iteration time estimate (compute + one inter-server
+        // hop on the critical path) for sizing the iteration budget.
+        // The network is compressed along with compute (see
+        // mlfs-sim's `compress_network`), so the hop shrinks too.
+        let est_iter_secs = cp_secs + comm_mb / (1250.0 * self.cfg.time_factor);
+        let max_iterations = ((duration_secs / est_iter_secs).round() as u64).clamp(20, 50_000);
+
+        // Learning curve: converge to ~99% of achievable at a random
+        // fraction of the iteration budget (k = 4.6 / i*).
+        let sat_frac = rng.range_f64(0.4, 1.5);
+        let k = 4.6 / (max_iterations as f64 * sat_frac);
+        let l0 = rng.range_f64(1.0, 5.0);
+        let floor = l0 * rng.range_f64(0.05, 0.30);
+        let a_max = rng.range_f64(0.75, 0.99);
+        let curve = LearningProfile::new(l0, floor, k, a_max);
+        let required_accuracy = curve.achievable_accuracy() * rng.range_f64(0.85, 0.98);
+
+        // Resource demands per task. Sustained NIC draw is capped: a
+        // task cannot push more than a share of the link, and slower
+        // effective iterations (the stretch is modelled in the
+        // progress engine) bound the true average rate anyway.
+        let iter_secs_for_bw = est_iter_secs.max(1e-3);
+        // Caps scale with time compression, like the NIC itself
+        // (see mlfs-sim's `compress_network`).
+        let worker_bw_cap = 400.0 * self.cfg.time_factor;
+        let ps_bw_cap = 600.0 * self.cfg.time_factor;
+        let mut tasks: Vec<TaskSpec> = (0..n)
+            .map(|i| {
+                let frac = sizes[i] / model_mb;
+                let out_links = dag.children(i).len().max(1) as f64;
+                // gpu_share is *average* utilization: even a
+                // partition sized for a dedicated GPU stalls on
+                // communication, so it never saturates the device.
+                // Capping at 0.85 keeps a dedicated task hostable
+                // under h_r = 0.9 while letting two co-located tasks
+                // overload a GPU (exercising migration).
+                let gpu_share = (0.85 * frac * n as f64).clamp(0.2, 0.85);
+                TaskSpec {
+                    id: TaskId::new(id, i as u16),
+                    partition_mb: sizes[i],
+                    demand: ResourceVec::new(
+                        gpu_share,
+                        AlgorithmProfile::sample(profile.cpu_cores_per_task, rng),
+                        AlgorithmProfile::sample(profile.activation_mem_gb, rng)
+                            + sizes[i] / 1024.0,
+                        (out_links * comm_mb / iter_secs_for_bw).min(worker_bw_cap),
+                    ),
+                    gpu_share,
+                    compute: SimDuration::from_secs_f64(task_computes[i]),
+                    is_param_server: false,
+                }
+            })
+            .collect();
+
+        let comm = if rng.chance(self.cfg.param_server_prob) {
+            CommStructure::ParameterServer
+        } else {
+            CommStructure::AllReduce
+        };
+        if comm == CommStructure::ParameterServer {
+            // The PS task: CPU/NIC heavy, no GPU.
+            let fan_in = dag.sinks().len() as f64;
+            tasks.push(TaskSpec {
+                id: TaskId::new(id, n as u16),
+                partition_mb: 0.0,
+                demand: ResourceVec::new(
+                    0.0,
+                    rng.range_f64(1.0, 3.0),
+                    model_mb / 1024.0 + 0.5,
+                    (fan_in * comm_mb / iter_secs_for_bw).min(ps_bw_cap),
+                ),
+                gpu_share: 0.0,
+                compute: SimDuration::from_secs_f64(0.05 * cp_secs.max(1e-3)),
+                is_param_server: true,
+            });
+        }
+
+        let previously_run = rng.chance(self.cfg.previously_run_prob);
+        let true_runtime = SimDuration::from_secs_f64(est_iter_secs * max_iterations as f64);
+        let predicted_runtime = self.predictor.predict(true_runtime, previously_run, rng);
+
+        // Deadline: max(1.1 t_e, t_r) past arrival (§4.1); t_r is
+        // compressed along with everything else.
+        let (lo_h, hi_h) = self.cfg.deadline_slack_hours;
+        let t_r = SimDuration::from_secs_f64(
+            rng.range_f64(lo_h, hi_h) * 3600.0 / self.cfg.time_factor,
+        );
+        let t_e = predicted_runtime.mul_f64(1.1);
+        let deadline = arrival + if t_e > t_r { t_e } else { t_r };
+
+        JobSpec {
+            id,
+            algorithm,
+            arrival,
+            deadline,
+            required_accuracy,
+            urgency: rng.range_u64(1, 11) as u8,
+            max_iterations,
+            tasks,
+            dag,
+            comm,
+            comm_mb,
+            model_mb,
+            train_data_mb: rng.range_f64(100.0, 1000.0),
+            curve,
+            stop_policy: self.cfg.stop_policy,
+            allow_demotion: true,
+            predicted_runtime,
+            previously_run,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace() -> Vec<JobSpec> {
+        TraceGenerator::new(TraceConfig::paper_real(0.25, 4.0, 42)).generate()
+    }
+
+    #[test]
+    fn generates_requested_count_sorted_by_arrival() {
+        let jobs = small_trace();
+        assert_eq!(jobs.len(), 155);
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        // Ids follow arrival order.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u32));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small_trace();
+        let b = small_trace();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.algorithm, y.algorithm);
+            assert_eq!(x.max_iterations, y.max_iterations);
+            assert_eq!(x.tasks.len(), y.tasks.len());
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = small_trace();
+        let b = TraceGenerator::new(TraceConfig::paper_real(0.25, 4.0, 43)).generate();
+        let same = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.arrival == y.arrival)
+            .count();
+        assert!(same < a.len() / 2);
+    }
+
+    #[test]
+    fn job_invariants_hold() {
+        for j in small_trace() {
+            // GPU count ∈ paper set; worker count matches.
+            assert!([1, 2, 4, 8, 16, 32].contains(&j.worker_count()));
+            // Partition sizes sum to the model.
+            let sum: f64 = (0..j.worker_count()).map(|i| j.tasks[i].partition_mb).sum();
+            assert!((sum - j.model_mb).abs() < 1e-6);
+            // Deadline after arrival; comm in [50,100]; data in [100,1000].
+            assert!(j.deadline > j.arrival);
+            assert!((50.0..=100.0).contains(&j.comm_mb));
+            assert!((100.0..=1000.0).contains(&j.train_data_mb));
+            assert!((1..=10).contains(&j.urgency));
+            assert!(j.max_iterations >= 20);
+            // Required accuracy is attainable.
+            assert!(j.required_accuracy < j.curve.achievable_accuracy());
+            // Demands are sane.
+            for t in &j.tasks {
+                assert!(t.demand.is_finite());
+                assert!((0.0..=1.0).contains(&t.gpu_share));
+                assert!(t.compute.as_millis() > 0 || t.is_param_server);
+            }
+            // SVM jobs have no dependency edges.
+            if j.algorithm == MlAlgorithm::Svm {
+                assert!(j.dag.edges().is_empty());
+            }
+            // PS jobs carry exactly one PS task, last.
+            if j.comm == CommStructure::ParameterServer {
+                assert!(j.has_param_server());
+                assert_eq!(j.task_count(), j.worker_count() + 1);
+            } else {
+                assert!(!j.has_param_server());
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_fit_in_compressed_span() {
+        let cfg = TraceConfig::paper_real(0.25, 4.0, 1);
+        let span = cfg.effective_span();
+        let jobs = TraceGenerator::new(cfg).generate();
+        for j in &jobs {
+            assert!(j.arrival.since(SimTime::ZERO) < span);
+        }
+    }
+
+    #[test]
+    fn deadline_respects_paper_formula() {
+        // deadline − arrival ≥ 1.1 × predicted runtime for every job.
+        for j in small_trace() {
+            let slack = j.deadline.since(j.arrival);
+            assert!(slack.as_millis() >= j.predicted_runtime.mul_f64(1.1).as_millis() - 1);
+        }
+    }
+
+    #[test]
+    fn paper_sim_config_scales() {
+        let cfg = TraceConfig::paper_sim(0.5, 0.01, 20.0, 7);
+        assert_eq!(cfg.jobs, (117_325.0f64 * 0.5 * 0.01).round() as usize);
+        let jobs = TraceGenerator::new(cfg).generate();
+        assert!(!jobs.is_empty());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let jobs = small_trace();
+        let dir = std::env::temp_dir().join("mlfs-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save_trace(&jobs, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(jobs.len(), back.len());
+        for (a, b) in jobs.iter().zip(&back) {
+            assert_eq!(a, b);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_duplicate_ids() {
+        let mut jobs = small_trace();
+        let dup = jobs[0].clone();
+        jobs.push(dup);
+        let dir = std::env::temp_dir().join("mlfs-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dup.json");
+        save_trace(&jobs, &path).unwrap();
+        assert!(load_trace(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn algorithm_mix_covers_all_five() {
+        let jobs = TraceGenerator::new(TraceConfig::paper_real(1.0, 4.0, 3)).generate();
+        for a in MlAlgorithm::ALL {
+            assert!(
+                jobs.iter().any(|j| j.algorithm == a),
+                "no {} in 620-job trace",
+                a.name()
+            );
+        }
+    }
+}

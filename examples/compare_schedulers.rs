@@ -1,0 +1,59 @@
+//! Run every scheduler of Figs. 4–5 on the same workload and print a
+//! comparison table (one row per legend entry).
+//!
+//! ```sh
+//! cargo run --release --example compare_schedulers -- [x] [time_factor]
+//! ```
+//!
+//! `x` scales the job count (155·4x jobs; paper x ∈ {¼,½,1,2,3}), and
+//! `time_factor` compresses simulated time (see DESIGN.md).
+
+use metrics::Table;
+use mlfs_sim::experiments::fig4;
+
+fn main() {
+    let x: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let tf: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16.0);
+    let e = fig4(x, tf, 42);
+    println!(
+        "fig4-style run: {} jobs on {} GPUs, ~{} scheduler rounds\n",
+        e.trace.jobs,
+        e.sim.cluster.total_gpus(),
+        e.expected_rounds()
+    );
+
+    let mut table = Table::new(&[
+        "scheduler",
+        "avg JCT (min)",
+        "deadline %",
+        "accuracy %",
+        "avg acc",
+        "wait (s)",
+        "bw (TB)",
+        "makespan (h)",
+        "sched (ms)",
+    ]);
+    for name in baselines::FIGURE_SCHEDULERS {
+        let mut s = e.trained_scheduler(name, 7);
+        let m = e.run(s.as_mut());
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}", m.avg_jct_mins()),
+            format!("{:.1}", 100.0 * m.deadline_ratio()),
+            format!("{:.1}", 100.0 * m.accuracy_ratio()),
+            format!("{:.3}", m.avg_accuracy()),
+            format!("{:.1}", m.avg_waiting_secs()),
+            format!("{:.2}", m.bandwidth_tb()),
+            format!("{:.1}", m.makespan_hours),
+            format!("{:.3}", m.avg_decision_ms()),
+        ]);
+    }
+    println!("{table}");
+    println!("Expected shape (paper §4.2.1): JCT MLFS < MLF-RL < MLF-H < Graphene < Tiresias ≈ HyperSched ≈ RL ≈ Gandiva < TensorFlow ⪅ SLAQ.");
+}

@@ -1,0 +1,59 @@
+//! MLF-C system load control under overload (§3.5, Fig. 9).
+//!
+//! A deliberately under-provisioned cluster receives a burst of jobs.
+//! We run MLFS with and without MLF-C and show how stop-policy
+//! enforcement (OptStop / required-accuracy stopping, plus demotion
+//! under overload) rescues JCT and the accuracy guarantee ratio.
+//!
+//! ```sh
+//! cargo run --release --example overload_control
+//! ```
+
+use cluster::ClusterConfig;
+use mlfs::{MlfRlConfig, Mlfs, Params};
+use mlfs_sim::engine::{run, SimConfig};
+use workload::{TraceConfig, TraceGenerator};
+
+fn main() {
+    // Five servers only (20 GPUs) but a half-scale week of jobs: the
+    // queue will back up, which is exactly when MLF-C matters.
+    let sim_cfg = SimConfig {
+        cluster: ClusterConfig {
+            servers: 5,
+            ..ClusterConfig::paper_testbed()
+        },
+        ..Default::default()
+    };
+    let jobs = TraceGenerator::new(TraceConfig::paper_real(0.5, 16.0, 21)).generate();
+    println!(
+        "cluster: {} GPUs;  workload: {} jobs (deliberately overloaded)\n",
+        sim_cfg.cluster.total_gpus(),
+        jobs.len()
+    );
+
+    for (label, use_mlfc) in [("MLFS with MLF-C", true), ("MLFS without MLF-C", false)] {
+        let params = Params {
+            use_mlfc,
+            ..Params::default()
+        };
+        let mut sched = Mlfs::full(
+            params,
+            MlfRlConfig {
+                imitation_rounds: 200,
+                ..Default::default()
+            },
+        );
+        let m = run(sim_cfg.clone(), jobs.clone(), &mut sched);
+        println!("{label}:");
+        println!("  average JCT          : {:.1} min", m.avg_jct_mins());
+        println!("  accuracy guarantee   : {:.1} %", 100.0 * m.accuracy_ratio());
+        println!("  deadline guarantee   : {:.1} %", 100.0 * m.deadline_ratio());
+        println!("  average waiting time : {:.0} s", m.avg_waiting_secs());
+        println!(
+            "  finished             : {}/{}\n",
+            m.jobs.iter().filter(|j| j.finished.is_some()).count(),
+            m.jobs_submitted
+        );
+    }
+    println!("(Fig. 9's claim: MLF-C improves the accuracy guarantee ratio by 17–23% and average JCT by 28–42% under overload.)");
+}

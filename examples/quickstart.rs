@@ -1,0 +1,49 @@
+//! Quickstart: simulate an 80-GPU cluster scheduling a mixed ML
+//! workload with MLFS, and print the headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mlfs::{MlfRlConfig, Mlfs, Params};
+use mlfs_sim::engine::{run, SimConfig};
+use workload::{TraceConfig, TraceGenerator};
+
+fn main() {
+    // The paper's real testbed: 20 servers × 4 V100s (§4.1), with a
+    // quarter-size workload (155 jobs over one compressed week).
+    let sim_cfg = SimConfig::default();
+    let trace = TraceConfig::paper_real(0.25, 16.0, 42);
+    println!(
+        "cluster: {} servers / {} GPUs;  workload: {} jobs over {:.1} h (compressed)",
+        sim_cfg.cluster.servers,
+        sim_cfg.cluster.total_gpus(),
+        trace.jobs,
+        trace.effective_span().as_hours_f64(),
+    );
+
+    let jobs = TraceGenerator::new(trace).generate();
+
+    // Full MLFS: RL scheduling (bootstrapped by MLF-H imitation) plus
+    // MLF-C load control, with the paper's default parameters.
+    let mut scheduler = Mlfs::full(
+        Params::default(),
+        MlfRlConfig {
+            imitation_rounds: 300,
+            ..Default::default()
+        },
+    );
+    let m = run(sim_cfg, jobs, &mut scheduler);
+
+    println!("scheduler            : {}", m.scheduler);
+    println!("jobs finished        : {}/{}", m.jobs.iter().filter(|j| j.finished.is_some()).count(), m.jobs_submitted);
+    println!("average JCT          : {:.1} min", m.avg_jct_mins());
+    println!("JCT < 100 min        : {:.0} % of jobs", 100.0 * m.jct_cdf_at(100.0));
+    println!("deadline guarantee   : {:.1} %", 100.0 * m.deadline_ratio());
+    println!("accuracy guarantee   : {:.1} %", 100.0 * m.accuracy_ratio());
+    println!("average accuracy     : {:.3}", m.avg_accuracy());
+    println!("average waiting time : {:.1} s", m.avg_waiting_secs());
+    println!("bandwidth cost       : {:.2} TB", m.bandwidth_tb());
+    println!("makespan             : {:.1} h", m.makespan_hours);
+    println!("scheduler overhead   : {:.3} ms/round over {} rounds", m.avg_decision_ms(), m.rounds);
+}

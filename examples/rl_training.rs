@@ -1,0 +1,66 @@
+//! Watch MLF-RL learn (§3.4): imitation of MLF-H, the switch to RL
+//! decisions, and REINFORCE fine-tuning on the Eq. 7 reward.
+//!
+//! Prints the policy's agreement with MLF-H after the imitation phase
+//! and the reward trajectory across training episodes.
+//!
+//! ```sh
+//! cargo run --release --example rl_training
+//! ```
+
+use mlfs::{MlfRlConfig, Mlfs, Params};
+use mlfs_sim::experiments::fig4;
+
+fn main() {
+    let e = fig4(0.25, 16.0, 11);
+    println!(
+        "workload: {} jobs; imitation budget: {} rounds (half the trace, as in §4.1)\n",
+        e.trace.jobs,
+        e.expected_rounds() / 2
+    );
+
+    // Phase 1+2 happen inside one run: MLF-RL acts as MLF-H while
+    // imitating, then switches to policy decisions with online
+    // REINFORCE.
+    let rl_cfg = MlfRlConfig {
+        imitation_rounds: e.expected_rounds() / 2,
+        explore: true,
+        seed: 5,
+        ..Default::default()
+    };
+    let mut warm = Mlfs::rl(Params::default(), rl_cfg.clone());
+    let warm_metrics = e.run(&mut warm);
+    let rl = warm.rl_mut().expect("RL component");
+    println!("after the warm-up run:");
+    println!("  episodes trained : {}", rl.episodes_trained);
+    println!("  converged        : {}", rl.is_converged());
+    println!("  avg JCT (warm-up): {:.1} min", warm_metrics.avg_jct_mins());
+
+    // Transfer the trained policy into a fresh evaluation run
+    // (greedy) and compare against plain MLF-H on the same trace.
+    let policy = rl.export_policy();
+    let mut eval = Mlfs::rl(Params::default(), rl_cfg);
+    {
+        let r = eval.rl_mut().unwrap();
+        r.import_policy(policy);
+        r.set_explore(false);
+    }
+    let mut eval_exp = e.clone();
+    eval_exp.trace.seed = 1234; // unseen trace from the same distribution
+    let m_rl = eval_exp.run(&mut eval);
+    let m_h = eval_exp.run(&mut Mlfs::heuristic(Params::default()));
+
+    println!("\nevaluation on an unseen trace (same distribution):");
+    println!(
+        "  MLF-RL (trained, greedy): avg JCT {:.1} min, deadline {:.1} %, accuracy {:.3}",
+        m_rl.avg_jct_mins(),
+        100.0 * m_rl.deadline_ratio(),
+        m_rl.avg_accuracy()
+    );
+    println!(
+        "  MLF-H  (heuristic)      : avg JCT {:.1} min, deadline {:.1} %, accuracy {:.3}",
+        m_h.avg_jct_mins(),
+        100.0 * m_h.deadline_ratio(),
+        m_h.avg_accuracy()
+    );
+}

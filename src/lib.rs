@@ -1,0 +1,51 @@
+//! # mlfs-repro — workspace façade
+//!
+//! Re-exports the full MLFS reproduction behind one crate so examples,
+//! integration tests and downstream users can depend on a single
+//! name. See README.md for the architecture and DESIGN.md for the
+//! paper-to-code map.
+//!
+//! ```
+//! use mlfs_repro::prelude::*;
+//!
+//! let jobs = TraceGenerator::new(TraceConfig::paper_real(0.25, 16.0, 1)).generate();
+//! assert_eq!(jobs.len(), 155);
+//! let scheduler = Mlfs::heuristic(Params::default());
+//! assert_eq!(scheduler.name(), "MLF-H");
+//! ```
+
+pub use baselines;
+pub use cluster;
+pub use learncurve;
+pub use metrics;
+pub use mlfs;
+pub use mlfs_sim as sim;
+pub use nn;
+pub use rl;
+pub use simcore;
+pub use workload;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use baselines::{by_name, FIGURE_SCHEDULERS};
+    pub use cluster::{Cluster, ClusterConfig, JobId, ResourceVec, ServerId, TaskId, Topology};
+    pub use metrics::RunMetrics;
+    pub use mlfs::{Action, MlfRlConfig, Mlfs, Params, Scheduler, SchedulerContext};
+    pub use mlfs_sim::engine::{run, SimConfig};
+    pub use mlfs_sim::experiments::{fig4, fig5, Experiment};
+    pub use mlfs_sim::ProgressModel;
+    pub use simcore::{SimDuration, SimRng, SimTime};
+    pub use workload::{JobSpec, JobState, StopPolicy, TraceConfig, TraceGenerator};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_names_resolve() {
+        use crate::prelude::*;
+        let _ = Params::default();
+        let _ = SimConfig::default();
+        assert_eq!(FIGURE_SCHEDULERS.len(), 10);
+        assert_eq!(SimTime::from_mins(2).as_millis(), 120_000);
+    }
+}

@@ -1,0 +1,198 @@
+//! Engine edge cases and failure injection across crates.
+
+use cluster::{ClusterConfig, JobId, ResourceVec, ServerId, TaskId, Topology};
+use mlfs::{Action, Scheduler, SchedulerContext};
+use workload::StopPolicy;
+use mlfs_sim::engine::{run, SimConfig};
+use simcore::{SimDuration, SimTime};
+use workload::dag::{CommStructure, Dag};
+use workload::job::{JobSpec, TaskSpec};
+use workload::{LearningProfile, MlAlgorithm};
+
+fn one_server_cfg() -> SimConfig {
+    SimConfig {
+        cluster: ClusterConfig {
+            servers: 1,
+            gpus_per_server: 2,
+            gpu_capacity: 1.0,
+            cpu_cores: 16.0,
+            memory_gb: 128.0,
+            nic_mbps: 1000.0,
+            topology: Topology::default_flat(),
+        },
+        max_time: SimDuration::from_hours(10),
+        utilization_noise: 0.0,
+        ..Default::default()
+    }
+}
+
+fn tiny_job(id: u32, arrival_secs: u64, iters: u64) -> JobSpec {
+    let jid = JobId(id);
+    JobSpec {
+        id: jid,
+        algorithm: MlAlgorithm::Svm,
+        arrival: SimTime::from_secs(arrival_secs),
+        deadline: SimTime::from_secs(arrival_secs) + SimDuration::from_hours(2),
+        required_accuracy: 0.5,
+        urgency: 5,
+        max_iterations: iters,
+        tasks: vec![TaskSpec {
+            id: TaskId::new(jid, 0),
+            partition_mb: 10.0,
+            demand: ResourceVec::new(0.5, 2.0, 8.0, 50.0),
+            gpu_share: 0.5,
+            compute: SimDuration::from_secs(1),
+            is_param_server: false,
+        }],
+        dag: Dag::independent(1),
+        comm: CommStructure::AllReduce,
+        comm_mb: 50.0,
+        model_mb: 10.0,
+        train_data_mb: 100.0,
+        curve: LearningProfile::new(1.0, 0.1, 0.05, 0.8),
+        stop_policy: StopPolicy::MaxIterations,
+        allow_demotion: true,
+        predicted_runtime: SimDuration::from_secs(iters),
+        previously_run: true,
+    }
+}
+
+/// A scheduler that deliberately emits garbage — the engine must
+/// reject every invalid action and never panic or corrupt state.
+struct Chaos;
+
+impl Scheduler for Chaos {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        // Nonexistent server, nonexistent job, double placement,
+        // migrating a waiting task, evicting a waiting task, stopping
+        // a nonexistent job…
+        if let Some(&t) = ctx.queue.first() {
+            actions.push(Action::Place {
+                task: t,
+                server: ServerId(9999),
+            });
+            actions.push(Action::Place {
+                task: t,
+                server: ServerId(0),
+            });
+            actions.push(Action::Place {
+                task: t,
+                server: ServerId(0),
+            }); // duplicate
+            actions.push(Action::Migrate {
+                task: TaskId::new(JobId(777), 0),
+                to: ServerId(0),
+            });
+        }
+        actions.push(Action::StopJob {
+            job: JobId(888),
+            reason: workload::StopReason::OptStop,
+        });
+        actions.push(Action::Evict {
+            task: TaskId::new(JobId(999), 3),
+        });
+        actions
+    }
+}
+
+#[test]
+fn engine_survives_chaotic_scheduler() {
+    let specs = vec![tiny_job(0, 0, 100), tiny_job(1, 30, 100)];
+    let m = run(one_server_cfg(), specs, &mut Chaos);
+    // The valid placement (second Place) goes through; everything
+    // invalid is counted and skipped.
+    assert!(m.invalid_actions > 0);
+    assert_eq!(m.leaked_tasks, 0);
+    let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+    assert_eq!(finished, 2, "valid placements should still finish jobs");
+}
+
+/// A scheduler that never places anything: jobs must never finish and
+/// must accrue waiting time, with frozen zero accuracy at deadline.
+struct DoNothing;
+
+impl Scheduler for DoNothing {
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+    fn schedule(&mut self, _ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        Vec::new()
+    }
+}
+
+#[test]
+fn unscheduled_jobs_wait_forever_and_miss_deadlines() {
+    let specs = vec![tiny_job(0, 0, 50)];
+    let m = run(one_server_cfg(), specs, &mut DoNothing);
+    let j = &m.jobs[0];
+    assert!(j.finished.is_none());
+    assert!(!j.met_deadline);
+    assert!(!j.met_accuracy);
+    assert_eq!(j.accuracy_by_deadline, 0.0);
+    assert!(j.waiting_secs > 3600.0, "waited {}s", j.waiting_secs);
+}
+
+#[test]
+fn zero_jobs_is_a_clean_noop() {
+    let m = run(one_server_cfg(), Vec::new(), &mut DoNothing);
+    assert_eq!(m.jobs_submitted, 0);
+    assert!(m.jobs.is_empty());
+    assert_eq!(m.makespan_hours, 0.0);
+}
+
+#[test]
+fn simultaneous_arrivals_are_all_admitted() {
+    // 6 identical jobs arriving at the same instant; capacity for 4
+    // concurrent tasks (2 GPUs × 0.5 share × h_r...).
+    let specs: Vec<JobSpec> = (0..6).map(|i| tiny_job(i, 100, 200)).collect();
+    let m = run(
+        one_server_cfg(),
+        specs,
+        &mut mlfs::Mlfs::heuristic(mlfs::Params::default()),
+    );
+    assert_eq!(m.jobs_submitted, 6);
+    let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+    assert_eq!(finished, 6);
+    // Later-scheduled jobs must show queueing delay.
+    assert!(m.avg_waiting_secs() > 0.0);
+}
+
+#[test]
+fn max_time_caps_the_simulation() {
+    let mut cfg = one_server_cfg();
+    cfg.max_time = SimDuration::from_mins(5);
+    // A job needing ~1000 s of compute cannot finish in 5 minutes
+    // (it can — 300 s... make it 10,000 iterations = ~2.8 h).
+    let specs = vec![tiny_job(0, 0, 10_000)];
+    let m = run(cfg, specs, &mut mlfs::Mlfs::heuristic(mlfs::Params::default()));
+    assert!(m.jobs[0].finished.is_none());
+    assert_eq!(m.leaked_tasks, 0);
+}
+
+#[test]
+fn deadline_accuracy_interpolates_mid_round() {
+    // One job whose deadline falls strictly between scheduler rounds:
+    // the frozen accuracy must equal the curve at the deadline-time
+    // iteration count, not at a round boundary.
+    let mut spec = tiny_job(0, 0, 10_000);
+    spec.deadline = SimTime::from_secs(90); // 1.5 rounds in
+    let m = run(
+        one_server_cfg(),
+        vec![spec.clone()],
+        &mut mlfs::Mlfs::heuristic(mlfs::Params::default()),
+    );
+    let j = &m.jobs[0];
+    // Placed at t=0 round, running 1 s/iter: ~90 iterations by the
+    // deadline (placement occurs at the first round, t=0).
+    let expect = spec.curve.accuracy_at(90.0);
+    assert!(
+        (j.accuracy_by_deadline - expect).abs() < spec.curve.accuracy_at(91.0) - spec.curve.accuracy_at(89.0) + 0.02,
+        "frozen {} vs expected ~{}",
+        j.accuracy_by_deadline,
+        expect
+    );
+}

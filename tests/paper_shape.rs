@@ -1,0 +1,135 @@
+//! Directional "shape" tests: the qualitative comparisons the paper's
+//! evaluation reports must hold at smoke-test scale (§4.2.1). These
+//! use a half-size Fig. 4 workload with heavy time compression; the
+//! full sweeps live in the `mlfs-bench` binaries.
+
+use metrics::RunMetrics;
+use mlfs_sim::experiments::fig4;
+use std::collections::BTreeMap;
+
+/// Run once and share across assertions (each run is a whole
+/// simulation; the RL-based entries also pre-train).
+fn results() -> BTreeMap<&'static str, RunMetrics> {
+    let e = fig4(2.0, 16.0, 42);
+    ["MLFS", "MLF-H", "TensorFlow", "SLAQ", "Tiresias", "Gandiva"]
+        .into_iter()
+        .map(|name| {
+            let mut s = e.trained_scheduler(name, 7);
+            (name, e.run(s.as_mut()))
+        })
+        .collect()
+}
+
+#[test]
+fn headline_orderings_hold() {
+    let r = results();
+
+    // JCT: MLFS beats every baseline, decisively vs fair share.
+    assert!(
+        r["MLFS"].avg_jct_mins() < r["MLF-H"].avg_jct_mins(),
+        "MLFS {} vs MLF-H {}",
+        r["MLFS"].avg_jct_mins(),
+        r["MLF-H"].avg_jct_mins()
+    );
+    assert!(
+        r["MLFS"].avg_jct_mins() < 0.6 * r["TensorFlow"].avg_jct_mins(),
+        "MLFS {} vs TensorFlow {}",
+        r["MLFS"].avg_jct_mins(),
+        r["TensorFlow"].avg_jct_mins()
+    );
+    // SLAQ's quality-only objective costs it JCT vs Tiresias.
+    assert!(
+        r["SLAQ"].avg_jct_mins() > r["Tiresias"].avg_jct_mins(),
+        "SLAQ {} vs Tiresias {}",
+        r["SLAQ"].avg_jct_mins(),
+        r["Tiresias"].avg_jct_mins()
+    );
+
+    // Deadline guarantee: MLFS on top; fair share at the bottom.
+    assert!(r["MLFS"].deadline_ratio() > r["MLF-H"].deadline_ratio());
+    assert!(r["MLFS"].deadline_ratio() > r["TensorFlow"].deadline_ratio() + 0.1);
+
+    // Accuracy guarantee ratio: an explicit MLFS objective.
+    assert!(r["MLFS"].accuracy_ratio() > r["TensorFlow"].accuracy_ratio());
+
+    // Bandwidth: MLFS (affinity placement + load control) moves fewer
+    // bytes than comm-oblivious baselines.
+    assert!(
+        r["MLFS"].bandwidth_mb < r["Tiresias"].bandwidth_mb,
+        "MLFS {} vs Tiresias {}",
+        r["MLFS"].bandwidth_mb,
+        r["Tiresias"].bandwidth_mb
+    );
+
+    // Waiting time: MLFS shortest (Fig. 4d).
+    for other in ["MLF-H", "TensorFlow", "SLAQ", "Tiresias", "Gandiva"] {
+        assert!(
+            r["MLFS"].avg_waiting_secs() <= r[other].avg_waiting_secs(),
+            "MLFS {} vs {other} {}",
+            r["MLFS"].avg_waiting_secs(),
+            r[other].avg_waiting_secs()
+        );
+    }
+
+    // Scheduler overhead: MLFS (RL + load control) costs more per
+    // decision than the simple baselines (Fig. 4h's order).
+    assert!(r["MLFS"].avg_decision_ms() > r["Gandiva"].avg_decision_ms());
+}
+
+#[test]
+fn mlfc_ablation_direction_holds() {
+    // Fig. 9's direction: removing MLF-C worsens JCT and the accuracy
+    // guarantee ratio under load.
+    let e = fig4(2.0, 16.0, 7);
+    let mut with = e.trained_scheduler_with_params("MLFS", 3, mlfs::Params::default());
+    let m_with = e.run(with.as_mut());
+    let mut without = e.trained_scheduler_with_params(
+        "MLFS",
+        3,
+        mlfs::Params {
+            use_mlfc: false,
+            ..mlfs::Params::default()
+        },
+    );
+    let m_without = e.run(without.as_mut());
+    assert!(
+        m_with.avg_jct_mins() < m_without.avg_jct_mins(),
+        "with {} vs without {}",
+        m_with.avg_jct_mins(),
+        m_without.avg_jct_mins()
+    );
+    assert!(
+        m_with.accuracy_ratio() >= m_without.accuracy_ratio() - 0.02,
+        "with {} vs without {}",
+        m_with.accuracy_ratio(),
+        m_without.accuracy_ratio()
+    );
+}
+
+#[test]
+fn urgency_ablation_direction_holds() {
+    // Fig. 6's direction: urgency consideration lifts urgent jobs'
+    // deadline guarantee ratio.
+    let e = fig4(2.5, 16.0, 11);
+    let urgent_ratio = |m: &RunMetrics| {
+        let urgent: Vec<_> = m.jobs.iter().filter(|j| j.urgency > 8).collect();
+        urgent.iter().filter(|j| j.met_deadline).count() as f64 / urgent.len().max(1) as f64
+    };
+    let mut with = e.scheduler_with_params("MLF-H", 3, mlfs::Params::default());
+    let m_with = e.run(with.as_mut());
+    let mut without = e.scheduler_with_params(
+        "MLF-H",
+        3,
+        mlfs::Params {
+            use_urgency: false,
+            ..mlfs::Params::default()
+        },
+    );
+    let m_without = e.run(without.as_mut());
+    assert!(
+        urgent_ratio(&m_with) > urgent_ratio(&m_without),
+        "with {} vs without {}",
+        urgent_ratio(&m_with),
+        urgent_ratio(&m_without)
+    );
+}

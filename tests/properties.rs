@@ -1,0 +1,130 @@
+//! Cross-crate property-based tests: the simulation engine must keep
+//! its invariants under arbitrary (valid) workloads and any scheduler.
+
+use cluster::ClusterConfig;
+use mlfs::{Mlfs, Params};
+use mlfs_sim::engine::{run, SimConfig};
+use mlfs_sim::ProgressModel;
+use proptest::prelude::*;
+use simcore::SimDuration;
+use workload::{StopPolicy, TraceConfig, TraceGenerator};
+
+fn cfg(servers: usize, progress: ProgressModel) -> SimConfig {
+    SimConfig {
+        cluster: ClusterConfig {
+            servers,
+            gpus_per_server: 2,
+            gpu_capacity: 1.0,
+            cpu_cores: 16.0,
+            memory_gb: 128.0,
+            nic_mbps: 1250.0,
+            topology: cluster::Topology::default_flat(),
+        },
+        progress,
+        max_time: SimDuration::from_hours(24 * 4),
+        ..Default::default()
+    }
+}
+
+fn trace(jobs: usize, seed: u64) -> Vec<workload::JobSpec> {
+    TraceGenerator::new(TraceConfig {
+        jobs,
+        span: SimDuration::from_mins(45),
+        duration_median_mins: 5.0,
+        duration_sigma: 0.7,
+        time_factor: 1.0,
+        gpu_choices: vec![(1, 0.6), (2, 0.25), (4, 0.15)],
+        algorithm_weights: [0.2; 5],
+        param_server_prob: 0.5,
+        previously_run_prob: 0.7,
+        stop_policy: StopPolicy::OptStop,
+        deadline_slack_hours: (0.5, 3.0),
+        seed,
+    })
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a whole simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// Core conservation invariants hold for any seed, job count,
+    /// cluster size, scheduler and progress model.
+    #[test]
+    fn engine_invariants(
+        seed in 0u64..1000,
+        jobs in 5usize..25,
+        servers in 2usize..6,
+        pipelined in any::<bool>(),
+        sched_idx in 0usize..4,
+    ) {
+        let progress = if pipelined {
+            ProgressModel::Pipelined
+        } else {
+            ProgressModel::Gang
+        };
+        let name = ["MLF-H", "TensorFlow", "Gandiva", "Tiresias"][sched_idx];
+        let mut s = baselines::by_name(name, seed).unwrap();
+        let specs = trace(jobs, seed);
+        let m = run(cfg(servers, progress), specs.clone(), s.as_mut());
+
+        // Every submitted job is recorded exactly once.
+        prop_assert_eq!(m.jobs.len(), jobs);
+        prop_assert_eq!(m.jobs_submitted, jobs);
+        // No finished-job tasks left on the cluster.
+        prop_assert_eq!(m.leaked_tasks, 0);
+        // JCT ≥ ideal runtime for every finished job.
+        for j in &m.jobs {
+            if let Some(jct) = j.jct_mins {
+                let spec = &specs[j.job as usize];
+                let ideal = spec.ideal_runtime(spec.max_iterations).as_mins_f64();
+                prop_assert!(jct >= ideal * 0.999,
+                    "job {} jct {jct} < ideal {ideal}", j.job);
+            }
+            // Accuracy is within the job's achievable range.
+            let spec = &specs[j.job as usize];
+            prop_assert!(j.accuracy_by_deadline >= -1e-12);
+            prop_assert!(
+                j.accuracy_by_deadline <= spec.curve.achievable_accuracy() + 1e-9
+            );
+            // met_accuracy consistent with the recorded values.
+            prop_assert_eq!(
+                j.met_accuracy,
+                j.accuracy_by_deadline >= j.required_accuracy - 1e-12
+            );
+            // met_deadline consistent with finish time.
+            if let Some(f) = j.finished {
+                prop_assert_eq!(j.met_deadline, f <= j.deadline);
+            } else {
+                prop_assert!(!j.met_deadline);
+            }
+        }
+        // Bandwidth and waiting are non-negative and finite.
+        prop_assert!(m.bandwidth_mb.is_finite() && m.bandwidth_mb >= 0.0);
+        prop_assert!(m.avg_waiting_secs().is_finite() && m.avg_waiting_secs() >= 0.0);
+        // Decision times were measured for every round.
+        prop_assert_eq!(m.decision_times_ms.len() as u64, m.rounds);
+    }
+
+    /// Gang progress is never faster than pipelined progress for the
+    /// same workload and scheduler (pipelined dominates by design).
+    #[test]
+    fn gang_is_never_faster_than_pipelined(seed in 0u64..200) {
+        let specs = trace(12, seed);
+        let m_gang = run(
+            cfg(3, ProgressModel::Gang),
+            specs.clone(),
+            &mut Mlfs::heuristic(Params::default()),
+        );
+        let m_pipe = run(
+            cfg(3, ProgressModel::Pipelined),
+            specs,
+            &mut Mlfs::heuristic(Params::default()),
+        );
+        let f_gang = m_gang.jobs.iter().filter(|j| j.finished.is_some()).count();
+        let f_pipe = m_pipe.jobs.iter().filter(|j| j.finished.is_some()).count();
+        prop_assert!(f_pipe >= f_gang);
+    }
+}

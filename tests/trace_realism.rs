@@ -1,0 +1,104 @@
+//! Statistical tests on the synthetic Philly-like trace: the
+//! substitution for the Microsoft trace must reproduce the marginals
+//! the paper relies on (DESIGN.md's substitution table).
+
+use workload::{MlAlgorithm, TraceConfig, TraceGenerator};
+
+fn big_trace(seed: u64) -> Vec<workload::JobSpec> {
+    TraceGenerator::new(TraceConfig::paper_real(3.0, 1.0, seed)).generate()
+}
+
+#[test]
+fn gpu_count_distribution_is_skewed_small() {
+    let jobs = big_trace(1);
+    let n = jobs.len() as f64;
+    let frac = |k: usize| jobs.iter().filter(|j| j.worker_count() == k).count() as f64 / n;
+    // The paper draws from {1,2,4,8,16,32}; Philly-like skew means
+    // most jobs are small.
+    assert!(frac(1) > 0.25, "1-GPU fraction {}", frac(1));
+    assert!(frac(32) < 0.08, "32-GPU fraction {}", frac(32));
+    assert!(frac(1) > frac(4), "distribution must be decreasing");
+    assert!(frac(4) > frac(16));
+    // And nothing outside the choice set.
+    for j in &jobs {
+        assert!([1, 2, 4, 8, 16, 32].contains(&j.worker_count()));
+    }
+}
+
+#[test]
+fn durations_are_heavy_tailed() {
+    let jobs = big_trace(2);
+    let mut runtimes: Vec<f64> = jobs
+        .iter()
+        .map(|j| j.predicted_runtime.as_mins_f64())
+        .collect();
+    runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = runtimes[runtimes.len() / 2];
+    let p99 = runtimes[(runtimes.len() as f64 * 0.99) as usize];
+    // Heavy tail: p99 well above 5× the median (log-normal σ=1.3
+    // implies ~20×), as in DNN cluster traces.
+    assert!(p99 > 5.0 * median, "median {median}, p99 {p99}");
+}
+
+#[test]
+fn arrivals_show_diurnal_pattern() {
+    // With time_factor 1, weekday office hours should receive clearly
+    // more arrivals than night hours.
+    let jobs = big_trace(3);
+    let mut day = 0usize; // 9:00–17:00
+    let mut night = 0usize; // 0:00–8:00
+    for j in &jobs {
+        let hod = j.arrival.as_hours_f64() % 24.0;
+        if (9.0..17.0).contains(&hod) {
+            day += 1;
+        } else if hod < 8.0 {
+            night += 1;
+        }
+    }
+    assert!(
+        day as f64 > night as f64 * 1.2,
+        "day {day} vs night {night}"
+    );
+}
+
+#[test]
+fn mix_covers_all_algorithms_with_requested_weights() {
+    let jobs = big_trace(4);
+    let n = jobs.len() as f64;
+    // Weights [0.20, 0.25, 0.15, 0.30, 0.10] ± 4 points.
+    let expect = [0.20, 0.25, 0.15, 0.30, 0.10];
+    for (i, a) in MlAlgorithm::ALL.iter().enumerate() {
+        let frac = jobs.iter().filter(|j| j.algorithm == *a).count() as f64 / n;
+        assert!(
+            (frac - expect[i]).abs() < 0.04,
+            "{}: {frac} vs {}",
+            a.name(),
+            expect[i]
+        );
+    }
+}
+
+#[test]
+fn accuracy_requirements_are_feasible_but_tight() {
+    for j in big_trace(5) {
+        let achievable = j.curve.achievable_accuracy();
+        assert!(j.required_accuracy < achievable);
+        assert!(
+            j.required_accuracy > achievable * 0.8,
+            "requirement too loose: {} vs {achievable}",
+            j.required_accuracy
+        );
+    }
+}
+
+#[test]
+fn time_factor_compresses_consistently() {
+    // Same seed, different compression: job count identical, spans
+    // scale, iteration budgets stay within sane bounds.
+    let a = TraceGenerator::new(TraceConfig::paper_real(0.5, 1.0, 9)).generate();
+    let b = TraceGenerator::new(TraceConfig::paper_real(0.5, 8.0, 9)).generate();
+    assert_eq!(a.len(), b.len());
+    let last_a = a.last().unwrap().arrival.as_hours_f64();
+    let last_b = b.last().unwrap().arrival.as_hours_f64();
+    assert!(last_a > last_b * 4.0, "span compression: {last_a} vs {last_b}");
+}
