@@ -23,9 +23,7 @@ pub struct Gandiva {
 
 impl Default for Gandiva {
     fn default() -> Self {
-        Gandiva {
-            gpu_threshold: 0.9,
-        }
+        Gandiva { gpu_threshold: 0.9 }
     }
 }
 
@@ -89,13 +87,19 @@ impl Scheduler for Gandiva {
             for g in over {
                 let tasks = plan.server(sid).tasks_on_gpu(g);
                 // Lowest GPU share first.
-                let victim = tasks
-                    .into_iter()
-                    .min_by(|a, b| {
-                        let ga = plan.server(sid).placement(*a).map(|p| p.gpu_share).unwrap_or(0.0);
-                        let gb = plan.server(sid).placement(*b).map(|p| p.gpu_share).unwrap_or(0.0);
-                        ga.partial_cmp(&gb).unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                let victim = tasks.into_iter().min_by(|a, b| {
+                    let ga = plan
+                        .server(sid)
+                        .placement(*a)
+                        .map(|p| p.gpu_share)
+                        .unwrap_or(0.0);
+                    let gb = plan
+                        .server(sid)
+                        .placement(*b)
+                        .map(|p| p.gpu_share)
+                        .unwrap_or(0.0);
+                    ga.partial_cmp(&gb).unwrap_or(std::cmp::Ordering::Equal)
+                });
                 let Some(victim) = victim else { continue };
                 // Destination: server containing the least-loaded GPU.
                 let dest = plan
@@ -195,9 +199,7 @@ mod tests {
         };
         let actions = Gandiva::new().schedule(&ctx);
         assert!(
-            actions
-                .iter()
-                .any(|a| matches!(a, Action::Migrate { .. })),
+            actions.iter().any(|a| matches!(a, Action::Migrate { .. })),
             "{actions:?}"
         );
     }

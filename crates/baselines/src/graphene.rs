@@ -40,12 +40,7 @@ impl Graphene {
         let jct = 1.0 / (1.0 + job.spec.task_count() as f64);
         // Throughput term: average per-task packing toughness (kept
         // normalized — total demand would convoy behind giant jobs).
-        let toughness = job
-            .spec
-            .tasks
-            .iter()
-            .map(|t| t.gpu_share)
-            .sum::<f64>()
+        let toughness = job.spec.tasks.iter().map(|t| t.gpu_share).sum::<f64>()
             / job.spec.task_count().max(1) as f64;
         // Fairness term: jobs with nothing running get a boost.
         let fairness = if job.running_tasks() == 0 { 1.0 } else { 0.0 };

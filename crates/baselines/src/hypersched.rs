@@ -53,8 +53,7 @@ impl HyperSched {
         }
         let iter_h = job.spec.compute_critical_path().as_hours_f64().max(1e-9);
         let doable = (slack_h / iter_h).min(job.remaining_iterations());
-        let potential =
-            job.spec.curve.accuracy_at(job.iterations + doable) - job.accuracy();
+        let potential = job.spec.curve.accuracy_at(job.iterations + doable) - job.accuracy();
         potential / job.remaining_runtime().as_hours_f64().max(1e-3)
     }
 }

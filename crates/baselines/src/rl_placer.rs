@@ -144,8 +144,7 @@ impl Scheduler for RlPlacer {
                     .filter(|s| s.can_host(&spec.demand, spec.gpu_share, FULL))
                     .map(|s| (s.overload_degree(), s.id))
                     .collect();
-                servers
-                    .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                servers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                 let servers: Vec<ServerId> = servers
                     .into_iter()
                     .take(self.max_candidates)

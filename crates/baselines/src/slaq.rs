@@ -27,11 +27,7 @@ impl Slaq {
     fn score(job: &workload::JobState) -> f64 {
         let next = job.iterations + 1.0;
         let dl = job.spec.curve.loss_at(job.iterations) - job.spec.curve.loss_at(next);
-        let iter_secs = job
-            .spec
-            .compute_critical_path()
-            .as_secs_f64()
-            .max(1e-6);
+        let iter_secs = job.spec.compute_critical_path().as_secs_f64().max(1e-6);
         dl / iter_secs
     }
 }

@@ -51,9 +51,7 @@ impl Tiresias {
         let attained = self.attained.get(&job.spec.id).copied().unwrap_or(0.0);
         // Queue thresholds in GPU-seconds (powers of ten).
         let queue = attained.max(1.0).log10().floor().max(0.0);
-        if job.spec.previously_run
-            && job.remaining_runtime().as_secs_f64() < 600.0
-        {
+        if job.spec.previously_run && job.remaining_runtime().as_secs_f64() < 600.0 {
             // Likely to complete in the next epoch: top queue.
             return -1.0;
         }
@@ -109,12 +107,7 @@ impl Scheduler for Tiresias {
         let mut budget = self.preemption_budget;
         let mut evicted_jobs: Vec<JobId> = Vec::new();
         for job in waiting {
-            let tasks: Vec<TaskId> = ctx
-                .queue
-                .iter()
-                .copied()
-                .filter(|t| t.job == job)
-                .collect();
+            let tasks: Vec<TaskId> = ctx.queue.iter().copied().filter(|t| t.job == job).collect();
             if try_gang_place(&mut plan, ctx, &tasks, FULL, &mut actions) {
                 continue;
             }
@@ -127,9 +120,7 @@ impl Scheduler for Tiresias {
             let victim_job = ctx
                 .active_jobs()
                 .filter(|j| {
-                    j.spec.id != job
-                        && j.running_tasks() > 0
-                        && !evicted_jobs.contains(&j.spec.id)
+                    j.spec.id != job && j.running_tasks() > 0 && !evicted_jobs.contains(&j.spec.id)
                 })
                 .max_by(|a, b| {
                     self.rank(a)
@@ -266,9 +257,9 @@ mod tests {
             "{actions:?}"
         );
         assert!(
-            actions.iter().any(
-                |a| matches!(a, Action::Place { task, .. } if task.job == JobId(2))
-            ),
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::Place { task, .. } if task.job == JobId(2))),
             "{actions:?}"
         );
     }

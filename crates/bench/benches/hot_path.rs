@@ -1,0 +1,50 @@
+//! Micro-benchmarks for the two inner-loop pieces of an MLF-H
+//! decision, measured in isolation on the same 60-job snapshot the
+//! `scheduler_overhead` bench uses:
+//!
+//! * `select_host` — one RIAL ideal-point host selection for a queued
+//!   task (candidate filter + affinity map + distance argmin);
+//! * `all_priorities` — Eq. 2–6 priorities for every live task.
+//!
+//! ```sh
+//! cargo bench -p mlfs-bench --bench hot_path
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlfs::SchedulerContext;
+use simcore::SimTime;
+
+fn bench_hot_path(c: &mut Criterion) {
+    let (cluster, jobs, queue) = mlfs_bench::snapshot(60, 7);
+    let params = mlfs::Params::default();
+    let task = *queue.first().expect("snapshot has queued tasks");
+
+    let mut group = c.benchmark_group("hot_path");
+    group.sample_size(30);
+    group.bench_function("select_host", |b| {
+        b.iter(|| {
+            black_box(mlfs::placement::select_host(
+                &cluster,
+                &jobs,
+                black_box(task),
+                None,
+                &params,
+            ))
+        })
+    });
+    group.bench_function("all_priorities", |b| {
+        b.iter(|| {
+            let ctx = SchedulerContext {
+                now: SimTime::from_mins(30),
+                jobs: &jobs,
+                cluster: &cluster,
+                queue: &queue,
+            };
+            black_box(mlfs::MlfH::all_priorities(&ctx, &params))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

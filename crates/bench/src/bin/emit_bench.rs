@@ -1,0 +1,107 @@
+//! Emit `BENCH_scheduler.json` from the criterion snapshot.
+//!
+//! `cargo bench -p mlfs-bench` writes one JSON summary per scheduler
+//! under `target/criterion-mini/scheduler_overhead/`. This binary
+//! folds those medians (ns per `schedule()` decision) into the
+//! checked-in `BENCH_scheduler.json`, preserving the other field so
+//! before/after can be recorded across a change:
+//!
+//! ```sh
+//! cargo bench -p mlfs-bench
+//! cargo run -p mlfs-bench --bin emit_bench            # updates "after"
+//! cargo run -p mlfs-bench --bin emit_bench -- --field before
+//! ```
+//!
+//! Flags: `--snapshot DIR` (default
+//! `target/criterion-mini/scheduler_overhead`), `--out FILE` (default
+//! `BENCH_scheduler.json`), `--field before|after` (default `after`).
+
+use serde_json::Value;
+
+fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn set(map: &mut Vec<(String, Value)>, key: &str, value: Value) {
+    match map.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => map.push((key.to_string(), value)),
+    }
+}
+
+fn median_ns(summary: &Value) -> Option<f64> {
+    match summary.as_map().and_then(|m| get(m, "median_ns"))? {
+        Value::F64(x) => Some(*x),
+        Value::U64(x) => Some(*x as f64),
+        Value::I64(x) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args = mlfs_bench::Args::parse();
+    let snapshot = args
+        .get("snapshot")
+        .unwrap_or("target/criterion-mini/scheduler_overhead")
+        .to_string();
+    let out_path = args
+        .get("out")
+        .unwrap_or("BENCH_scheduler.json")
+        .to_string();
+    let field = args.get("field").unwrap_or("after").to_string();
+    assert!(
+        field == "before" || field == "after",
+        "--field must be 'before' or 'after'"
+    );
+
+    // Collect (scheduler, median ns/decision) from the snapshot dir.
+    let mut measured: Vec<(String, Value)> = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&snapshot)
+        .unwrap_or_else(|e| panic!("read {snapshot}: {e} (run `cargo bench -p mlfs-bench` first)"))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let body = std::fs::read_to_string(&path).expect("readable snapshot file");
+        let v = serde_json::from_str_value(&body).expect("valid snapshot JSON");
+        let Some(m) = v.as_map() else { continue };
+        let Some(Value::Str(bench)) = get(m, "bench") else {
+            continue;
+        };
+        let Some(ns) = median_ns(&v) else { continue };
+        measured.push((bench.clone(), Value::F64(ns)));
+    }
+    assert!(
+        !measured.is_empty(),
+        "no benchmark summaries under {snapshot}"
+    );
+
+    // Merge into the existing file so the other field survives.
+    let mut root: Vec<(String, Value)> = match std::fs::read_to_string(&out_path) {
+        Ok(body) => match serde_json::from_str_value(&body) {
+            Ok(Value::Map(m)) => m,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    set(&mut root, "unit", Value::Str("ns_per_decision".into()));
+    set(
+        &mut root,
+        "bench",
+        Value::Str("scheduler_overhead (60-job snapshot, Fig. 4h)".into()),
+    );
+    set(
+        &mut root,
+        "regenerate",
+        Value::Str("cargo bench -p mlfs-bench && cargo run -p mlfs-bench --bin emit_bench".into()),
+    );
+    set(&mut root, &field, Value::Map(measured));
+    std::fs::write(
+        &out_path,
+        serde_json::value_to_string_pretty(&Value::Map(root)),
+    )
+    .expect("write BENCH_scheduler.json");
+    println!("wrote {out_path} ({field} from {snapshot})");
+}

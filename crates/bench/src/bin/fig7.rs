@@ -54,13 +54,15 @@ fn main() {
             format!("{:.1}", m_wo.avg_jct_mins()),
             format!(
                 "{:+.1}%",
-                100.0 * (m_with.avg_jct_mins() - m_wo.avg_jct_mins()) / m_wo.avg_jct_mins().max(1e-9)
+                100.0 * (m_with.avg_jct_mins() - m_wo.avg_jct_mins())
+                    / m_wo.avg_jct_mins().max(1e-9)
             ),
             format!("{:.2}", m_with.bandwidth_tb()),
             format!("{:.2}", m_wo.bandwidth_tb()),
             format!(
                 "{:+.1}%",
-                100.0 * (m_with.bandwidth_tb() - m_wo.bandwidth_tb()) / m_wo.bandwidth_tb().max(1e-9)
+                100.0 * (m_with.bandwidth_tb() - m_wo.bandwidth_tb())
+                    / m_wo.bandwidth_tb().max(1e-9)
             ),
         ]);
     }

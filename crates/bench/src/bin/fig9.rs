@@ -60,5 +60,7 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("(paper: MLF-C improves the accuracy guarantee ratio by 17-23% and average JCT by 28-42%)");
+    println!(
+        "(paper: MLF-C improves the accuracy guarantee ratio by 17-23% and average JCT by 28-42%)"
+    );
 }

@@ -29,11 +29,11 @@ pub struct Args {
 impl Args {
     /// Parse the process arguments.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_args(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (testable).
-    pub fn from_iter(mut it: impl Iterator<Item = String>) -> Self {
+    pub fn parse_args(mut it: impl Iterator<Item = String>) -> Self {
         let mut flags = BTreeMap::new();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
@@ -51,12 +51,16 @@ impl Args {
 
     /// A parsed numeric flag with default.
     pub fn f64(&self, name: &str, default: f64) -> f64 {
-        self.get(name).and_then(|s| s.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
     }
 
     /// A parsed integer flag with default.
     pub fn u64(&self, name: &str, default: u64) -> u64 {
-        self.get(name).and_then(|s| s.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
     }
 
     /// A boolean presence flag.
@@ -67,10 +71,7 @@ impl Args {
     /// A comma-separated f64 list flag.
     pub fn f64_list(&self, name: &str, default: &[f64]) -> Vec<f64> {
         match self.get(name) {
-            Some(s) => s
-                .split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect(),
+            Some(s) => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
             None => default.to_vec(),
         }
     }
@@ -131,6 +132,29 @@ pub fn sweep_repeated(
     repeats: usize,
     make: impl Fn(f64, u64) -> mlfs_sim::experiments::Experiment + Sync,
 ) -> Vec<Cell> {
+    let threads = std::env::var("MLFS_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    sweep_repeated_with_threads(xs, names, seed, repeats, threads, make)
+}
+
+/// [`sweep_repeated`] with an explicit worker count. Every cell runs
+/// its own deterministic simulation from a per-cell seed, so the
+/// result is bit-identical for any `threads` value (asserted by
+/// `tests/parallel_sweep.rs`).
+pub fn sweep_repeated_with_threads(
+    xs: &[f64],
+    names: &[&str],
+    seed: u64,
+    repeats: usize,
+    threads: usize,
+    make: impl Fn(f64, u64) -> mlfs_sim::experiments::Experiment + Sync,
+) -> Vec<Cell> {
     let repeats = repeats.max(1);
     // Work items: (x index, name index, repetition).
     let mut items: Vec<(usize, usize, usize)> = Vec::new();
@@ -141,24 +165,19 @@ pub fn sweep_repeated(
             }
         }
     }
-    let threads = std::env::var("MLFS_BENCH_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .clamp(1, items.len().max(1));
+    let threads = threads.clamp(1, items.len().max(1));
 
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<(usize, RunMetrics)>>> =
-        (0..items.len()).map(|_| std::sync::Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
+    let results: Vec<std::sync::Mutex<Option<(usize, RunMetrics)>>> = (0..items.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(xi, ni, r)) = items.get(i) else { break };
+                let Some(&(xi, ni, r)) = items.get(i) else {
+                    break;
+                };
                 let run_seed = seed + 1000 * r as u64;
                 let e = make(xs[xi], run_seed);
                 eprintln!(
@@ -170,12 +189,11 @@ pub fn sweep_repeated(
                 *results[i].lock().unwrap() = Some((e.trace.jobs, m));
             });
         }
-    })
-    .expect("bench worker panicked");
+    });
 
     // Reassemble into cells in (x, name) order.
     let mut out = Vec::new();
-    for xi in 0..xs.len() {
+    for (xi, &x) in xs.iter().enumerate() {
         for ni in 0..names.len() {
             let mut runs = Vec::with_capacity(repeats);
             let mut jobs = 0;
@@ -186,11 +204,7 @@ pub fn sweep_repeated(
                     runs.push(m);
                 }
             }
-            out.push(Cell {
-                x: xs[xi],
-                jobs,
-                runs,
-            });
+            out.push(Cell { x, jobs, runs });
         }
     }
     out
@@ -251,7 +265,10 @@ pub fn dump_csv(
                 .iter()
                 .find(|c| c.x == x && c.scheduler() == *name)
                 .map(|c| c.median(&value));
-            out.push_str(&format!(",{}", v.map(|v| v.to_string()).unwrap_or_default()));
+            out.push_str(&format!(
+                ",{}",
+                v.map(|v| v.to_string()).unwrap_or_default()
+            ));
         }
         out.push('\n');
     }
@@ -271,20 +288,14 @@ pub fn print_panel(
     println!("\n== {title} ==");
     let mut header: Vec<String> = vec!["scheduler".into()];
     for &x in xs {
-        let jobs = cells
-            .iter()
-            .find(|c| c.x == x)
-            .map(|c| c.jobs)
-            .unwrap_or(0);
+        let jobs = cells.iter().find(|c| c.x == x).map(|c| c.jobs).unwrap_or(0);
         header.push(format!("{jobs} jobs"));
     }
     let mut table = metrics::Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     for name in names {
         let mut row = vec![name.to_string()];
         for &x in xs {
-            let cell = cells
-                .iter()
-                .find(|c| c.x == x && c.scheduler() == *name);
+            let cell = cells.iter().find(|c| c.x == x && c.scheduler() == *name);
             row.push(match cell {
                 Some(c) if c.runs.len() > 1 => {
                     let (p1, med, p99) = c.spread(&value);
@@ -306,13 +317,8 @@ pub fn print_figure_panels(cells: &[Cell], names: &[&str], xs: &[f64], panel: Op
         // Panel (a): CDF of JCT at the heaviest workload.
         let x_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         println!("\n== (a) CDF of jobs vs JCT (x = {x_max}) ==");
-        let mut t = metrics::Table::new(&[
-            "scheduler",
-            "<1 min",
-            "<10 min",
-            "<100 min",
-            "<1000 min",
-        ]);
+        let mut t =
+            metrics::Table::new(&["scheduler", "<1 min", "<10 min", "<100 min", "<1000 min"]);
         for name in names {
             if let Some(c) = cells
                 .iter()
@@ -330,25 +336,74 @@ pub fn print_figure_panels(cells: &[Cell], names: &[&str], xs: &[f64], panel: Op
         println!("{t}");
     }
     if want('b') {
-        print_panel("(b) average JCT (min)", cells, names, xs, |m| m.avg_jct_mins(), |v| format!("{v:.1}"));
+        print_panel(
+            "(b) average JCT (min)",
+            cells,
+            names,
+            xs,
+            |m| m.avg_jct_mins(),
+            |v| format!("{v:.1}"),
+        );
     }
     if want('c') {
-        print_panel("(c) job deadline guarantee ratio", cells, names, xs, |m| m.deadline_ratio(), |v| format!("{v:.3}"));
+        print_panel(
+            "(c) job deadline guarantee ratio",
+            cells,
+            names,
+            xs,
+            |m| m.deadline_ratio(),
+            |v| format!("{v:.3}"),
+        );
     }
     if want('d') {
-        print_panel("(d) average job waiting time (s)", cells, names, xs, |m| m.avg_waiting_secs(), |v| format!("{v:.1}"));
+        print_panel(
+            "(d) average job waiting time (s)",
+            cells,
+            names,
+            xs,
+            |m| m.avg_waiting_secs(),
+            |v| format!("{v:.1}"),
+        );
     }
     if want('e') {
-        print_panel("(e) average accuracy by deadline", cells, names, xs, |m| m.avg_accuracy(), |v| format!("{v:.3}"));
+        print_panel(
+            "(e) average accuracy by deadline",
+            cells,
+            names,
+            xs,
+            |m| m.avg_accuracy(),
+            |v| format!("{v:.3}"),
+        );
     }
     if want('f') {
-        print_panel("(f) accuracy guarantee ratio", cells, names, xs, |m| m.accuracy_ratio(), |v| format!("{v:.3}"));
+        print_panel(
+            "(f) accuracy guarantee ratio",
+            cells,
+            names,
+            xs,
+            |m| m.accuracy_ratio(),
+            |v| format!("{v:.3}"),
+        );
     }
     if want('g') {
-        print_panel("(g) bandwidth cost (TB)", cells, names, xs, |m| m.bandwidth_tb(), |v| format!("{v:.2}"));
+        print_panel(
+            "(g) bandwidth cost (TB)",
+            cells,
+            names,
+            xs,
+            |m| m.bandwidth_tb(),
+            |v| format!("{v:.2}"),
+        );
     }
     if want('h') {
-        print_panel("(h) scheduler time overhead (ms)", cells, names, xs, |m| m.avg_decision_ms(), |v| format!("{v:.3}"));
+        print_panel(
+            "(h) scheduler time overhead (ms)",
+            cells,
+            names,
+            xs,
+            |m| m.avg_decision_ms(),
+            |v| format!("{v:.3}"),
+        );
     }
 }
 
@@ -423,7 +478,7 @@ mod tests {
 
     #[test]
     fn args_parse_flags_and_lists() {
-        let a = Args::from_iter(
+        let a = Args::parse_args(
             ["--xs", "0.25,0.5", "--tf", "16", "--full"]
                 .iter()
                 .map(|s| s.to_string()),
@@ -437,7 +492,7 @@ mod tests {
 
     #[test]
     fn args_defaults_apply() {
-        let a = Args::from_iter(std::iter::empty());
+        let a = Args::parse_args(std::iter::empty());
         assert_eq!(a.f64_list("xs", &[0.25, 0.5]), vec![0.25, 0.5]);
         assert_eq!(a.f64("tf", 16.0), 16.0);
     }

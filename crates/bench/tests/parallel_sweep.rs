@@ -1,0 +1,37 @@
+//! The parallel sweep must be a pure scheduling optimisation: every
+//! (scheduler, x, repeat) cell owns a deterministic simulation seeded
+//! independently of worker interleaving, so running the sweep on one
+//! thread or many must produce bit-identical `RunMetrics`.
+
+use mlfs_bench::sweep_repeated_with_threads;
+
+fn run_with(threads: usize) -> Vec<String> {
+    let xs = [0.25];
+    let names = ["MLF-H", "Tiresias", "Gandiva"];
+    let cells = sweep_repeated_with_threads(&xs, &names, 42, 2, threads, |x, seed| {
+        let mut e = mlfs_sim::experiments::fig4(x, 64.0, seed);
+        e.trace.jobs = 12; // keep the test cheap; determinism is the point
+        e
+    });
+    cells
+        .iter()
+        .flat_map(|c| c.runs.iter())
+        .map(|m| {
+            // `decision_times_ms` is wall-clock scheduler overhead, not
+            // simulation state — it legitimately varies run to run.
+            let mut m = m.clone();
+            m.decision_times_ms.clear();
+            serde_json::to_string(&m).expect("serializable metrics")
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential() {
+    let sequential = run_with(1);
+    let parallel = run_with(4);
+    assert_eq!(sequential.len(), parallel.len());
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "run {i} diverged between 1 and 4 worker threads");
+    }
+}

@@ -24,9 +24,11 @@ pub mod resources;
 pub mod server;
 pub mod state;
 pub mod topology;
+pub mod view;
 
 pub use ids::{JobId, ServerId, TaskId};
 pub use resources::{Resource, ResourceVec, NUM_RESOURCES};
 pub use server::{Server, TaskPlacement};
-pub use state::{Cluster, ClusterConfig, PlaceError};
+pub use state::{Cluster, ClusterConfig, PlaceError, DEFAULT_OVERLOAD_THRESHOLD};
 pub use topology::Topology;
+pub use view::{ClusterOverlay, ClusterView};

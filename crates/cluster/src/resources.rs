@@ -106,8 +106,8 @@ impl ResourceVec {
     /// demand on that dimension).
     pub fn div_elem(&self, denom: &ResourceVec) -> ResourceVec {
         let mut out = [0.0; NUM_RESOURCES];
-        for i in 0..NUM_RESOURCES {
-            out[i] = if denom.0[i] > 0.0 {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = if denom.0[i] > 0.0 {
                 self.0[i] / denom.0[i]
             } else {
                 0.0
@@ -119,8 +119,8 @@ impl ResourceVec {
     /// Component-wise minimum.
     pub fn min_elem(&self, other: &ResourceVec) -> ResourceVec {
         let mut out = [0.0; NUM_RESOURCES];
-        for i in 0..NUM_RESOURCES {
-            out[i] = self.0[i].min(other.0[i]);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i].min(other.0[i]);
         }
         ResourceVec(out)
     }
@@ -128,8 +128,8 @@ impl ResourceVec {
     /// Component-wise maximum.
     pub fn max_elem(&self, other: &ResourceVec) -> ResourceVec {
         let mut out = [0.0; NUM_RESOURCES];
-        for i in 0..NUM_RESOURCES {
-            out[i] = self.0[i].max(other.0[i]);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i].max(other.0[i]);
         }
         ResourceVec(out)
     }

@@ -22,7 +22,10 @@ pub struct TaskPlacement {
 ///
 /// Loads are tracked incrementally on placement/removal; the invariant
 /// `load == Σ task demands` is checked by `debug_assert` and by the
-/// property tests in this module.
+/// property tests in this module. The utilization vector and the peak
+/// (max over resource dimensions and GPUs) are cached and refreshed on
+/// every mutation, so overload checks on the scheduler hot path are a
+/// single comparison instead of a divide-and-scan.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Server {
     /// This server's identity.
@@ -40,12 +43,24 @@ pub struct Server {
     /// Tasks currently placed here. BTreeMap for deterministic
     /// iteration order.
     tasks: BTreeMap<TaskId, TaskPlacement>,
+    /// Cached `load ÷ capacity`; refreshed on every load mutation.
+    util: ResourceVec,
+    /// Cached max over `util`'s dimensions and all GPU utilizations.
+    /// `is_overloaded(h_r)` is exactly `peak_util > h_r`.
+    peak_util: f64,
 }
 
 impl Server {
     /// Create an empty server with `gpu_count` GPUs of `gpu_capacity`
     /// each, plus the given CPU / memory / NIC capacities.
-    pub fn new(id: ServerId, gpu_count: usize, gpu_capacity: f64, cpu: f64, mem: f64, bw: f64) -> Self {
+    pub fn new(
+        id: ServerId,
+        gpu_count: usize,
+        gpu_capacity: f64,
+        cpu: f64,
+        mem: f64,
+        bw: f64,
+    ) -> Self {
         Server {
             id,
             capacity: ResourceVec::new(gpu_count as f64 * gpu_capacity, cpu, mem, bw),
@@ -53,7 +68,25 @@ impl Server {
             load: ResourceVec::ZERO,
             gpu_load: vec![0.0; gpu_count],
             tasks: BTreeMap::new(),
+            util: ResourceVec::ZERO,
+            peak_util: 0.0,
         }
+    }
+
+    /// Refresh the cached utilization vector and peak after a load
+    /// mutation. O(resources + GPUs), i.e. ~8 ops per mutation.
+    fn refresh_util_cache(&mut self) {
+        self.util = self.load.div_elem(&self.capacity);
+        let mut peak = 0.0f64;
+        for &r in Resource::ALL.iter() {
+            peak = peak.max(self.util.get(r));
+        }
+        if self.gpu_capacity > 0.0 {
+            for &g in &self.gpu_load {
+                peak = peak.max(g / self.gpu_capacity);
+            }
+        }
+        self.peak_util = peak;
     }
 
     /// Number of physical GPUs.
@@ -66,9 +99,15 @@ impl Server {
         self.load
     }
 
-    /// Utilization vector `U_s^t = load ÷ capacity`.
+    /// Utilization vector `U_s^t = load ÷ capacity` (cached).
     pub fn utilization(&self) -> ResourceVec {
-        self.load.div_elem(&self.capacity)
+        self.util
+    }
+
+    /// Max utilization over resource dimensions and GPUs (cached).
+    /// The server is overloaded at `h_r` iff this exceeds `h_r`.
+    pub fn peak_utilization(&self) -> f64 {
+        self.peak_util
     }
 
     /// The paper's overload degree `O_s^t = ||U_s^t||`.
@@ -114,9 +153,7 @@ impl Server {
     /// ("when at least one type of resources in a server are
     /// overloaded, we consider that this server is overloaded").
     pub fn is_overloaded(&self, h_r: f64) -> bool {
-        let u = self.utilization();
-        Resource::ALL.iter().any(|&r| u.get(r) > h_r)
-            || (0..self.gpu_load.len()).any(|g| self.gpu_utilization(g) > h_r)
+        self.peak_util > h_r
     }
 
     /// Resource dimensions currently over `h_r`.
@@ -169,6 +206,7 @@ impl Server {
         assert!(prev.is_none(), "task {task} placed twice on {}", self.id);
         self.load += demand;
         self.gpu_load[gpu] += gpu_share;
+        self.refresh_util_cache();
     }
 
     /// Replace a placed task's demand in place (time-varying
@@ -191,6 +229,7 @@ impl Server {
         }
         p.demand = demand;
         p.gpu_share = gpu_share;
+        self.refresh_util_cache();
     }
 
     /// Remove `task`, returning its placement record.
@@ -208,6 +247,7 @@ impl Server {
         if self.gpu_load[p.gpu] < 0.0 {
             self.gpu_load[p.gpu] = 0.0;
         }
+        self.refresh_util_cache();
         p
     }
 
@@ -326,7 +366,12 @@ mod tests {
         assert!(s.can_host(&ResourceVec::new(1.0, 4.0, 16.0, 100.0), 0.9, 0.9));
         // Almost fill every GPU.
         for i in 0..4 {
-            s.place_on_gpu(tid(1, i as u16), ResourceVec::new(0.85, 1.0, 1.0, 1.0), 0.85, i);
+            s.place_on_gpu(
+                tid(1, i as u16),
+                ResourceVec::new(0.85, 1.0, 1.0, 1.0),
+                0.85,
+                i,
+            );
         }
         // Aggregate resources are fine but no GPU can take 0.2 more
         // under a 0.9 threshold.
@@ -428,6 +473,47 @@ mod proptests {
             }
             let total_gpu: f64 = (0..s.gpu_count()).map(|g| s.gpu_load(g)).sum();
             prop_assert!((total_gpu - expect_gpu).abs() < 1e-6);
+        }
+
+        /// The cached utilization vector and peak always match a
+        /// from-scratch recomputation, under any interleaving of
+        /// placements, demand updates and removals.
+        #[test]
+        fn util_cache_matches_recompute(
+            ops in proptest::collection::vec((0u16..64, 0.0f64..2.0, 0u8..3), 1..200),
+        ) {
+            let mut s = Server::new(ServerId(0), 8, 1.0, 64.0, 512.0, 2000.0);
+            let mut live: Vec<TaskId> = Vec::new();
+            for (i, (idx, amount, op)) in ops.into_iter().enumerate() {
+                match op {
+                    0 if !live.is_empty() => {
+                        let t = live.remove((idx as usize) % live.len());
+                        s.remove(t);
+                    }
+                    1 if !live.is_empty() => {
+                        let t = live[(idx as usize) % live.len()];
+                        let d = ResourceVec::new(amount, amount * 3.0, amount * 5.0, amount * 7.0);
+                        s.update_demand(t, d, amount.min(1.0));
+                    }
+                    _ => {
+                        let t = TaskId::new(JobId(0), i as u16);
+                        let d = ResourceVec::new(amount, amount * 2.0, amount * 4.0, amount * 8.0);
+                        s.place(t, d, amount.min(1.0));
+                        live.push(t);
+                    }
+                }
+                let expect_util = s.load().div_elem(&s.capacity);
+                let mut expect_peak = 0.0f64;
+                for r in 0..crate::resources::NUM_RESOURCES {
+                    prop_assert!((s.utilization().0[r] - expect_util.0[r]).abs() < 1e-12);
+                    expect_peak = expect_peak.max(expect_util.0[r]);
+                }
+                for g in 0..s.gpu_count() {
+                    expect_peak = expect_peak.max(s.gpu_utilization(g));
+                }
+                prop_assert!((s.peak_utilization() - expect_peak).abs() < 1e-12);
+                prop_assert_eq!(s.is_overloaded(0.9), expect_peak > 0.9);
+            }
         }
 
         /// least_loaded_gpu always returns a GPU with the minimal load.

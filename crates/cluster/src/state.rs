@@ -6,7 +6,12 @@ use crate::resources::ResourceVec;
 use crate::server::{Server, TaskPlacement};
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default tracked overload threshold (the paper's `h_r = 0.9`); the
+/// incremental overload index is maintained at this threshold unless
+/// [`Cluster::set_overload_threshold`] retunes it.
+pub const DEFAULT_OVERLOAD_THRESHOLD: f64 = 0.9;
 
 /// Static description of a homogeneous cluster.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -97,6 +102,14 @@ pub struct Cluster {
     migration_mb: f64,
     /// Number of migrations performed.
     migrations: u64,
+    /// Threshold at which `overloaded` is maintained.
+    overload_h_r: f64,
+    /// Incrementally-updated index of servers overloaded at
+    /// `overload_h_r`, kept in id order. Updated on every mutation
+    /// from the touched server's cached peak utilization, so
+    /// overload queries at the tracked threshold are O(|overloaded|)
+    /// instead of a full utilization rescan.
+    overloaded: BTreeSet<ServerId>,
 }
 
 impl Cluster {
@@ -121,7 +134,42 @@ impl Cluster {
             transferred_mb: 0.0,
             migration_mb: 0.0,
             migrations: 0,
+            overload_h_r: DEFAULT_OVERLOAD_THRESHOLD,
+            overloaded: BTreeSet::new(),
         }
+    }
+
+    /// Retune the threshold the incremental overload index tracks.
+    /// Queries at other thresholds still work (they fall back to a
+    /// scan of the cached per-server peaks).
+    pub fn set_overload_threshold(&mut self, h_r: f64) {
+        self.overload_h_r = h_r;
+        self.overloaded = self
+            .servers
+            .iter()
+            .filter(|s| s.is_overloaded(h_r))
+            .map(|s| s.id)
+            .collect();
+    }
+
+    /// The threshold the overload index currently tracks.
+    pub fn tracked_overload_threshold(&self) -> f64 {
+        self.overload_h_r
+    }
+
+    /// Re-index one server after its load changed.
+    fn sync_overload(&mut self, id: ServerId) {
+        if self.servers[id.0 as usize].is_overloaded(self.overload_h_r) {
+            self.overloaded.insert(id);
+        } else {
+            self.overloaded.remove(&id);
+        }
+    }
+
+    /// The maintained overloaded-server set (at the tracked
+    /// threshold), in id order.
+    pub fn overloaded_set(&self) -> &BTreeSet<ServerId> {
+        &self.overloaded
     }
 
     /// Number of servers.
@@ -177,6 +225,7 @@ impl Cluster {
             .ok_or(PlaceError::NoSuchServer)?;
         let gpu = s.place(task, demand, gpu_share);
         self.index.insert(task, server);
+        self.sync_overload(server);
         Ok(gpu)
     }
 
@@ -199,6 +248,7 @@ impl Cluster {
             .ok_or(PlaceError::NoSuchServer)?;
         s.place_on_gpu(task, demand, gpu_share, gpu);
         self.index.insert(task, server);
+        self.sync_overload(server);
         Ok(())
     }
 
@@ -207,6 +257,7 @@ impl Cluster {
     pub fn remove(&mut self, task: TaskId) -> Option<(ServerId, TaskPlacement)> {
         let server = self.index.remove(&task)?;
         let p = self.servers[server.0 as usize].remove(task);
+        self.sync_overload(server);
         Some((server, p))
     }
 
@@ -241,6 +292,7 @@ impl Cluster {
             .locate(task)
             .unwrap_or_else(|| panic!("task {task} not placed"));
         self.servers[server.0 as usize].update_demand(task, demand, gpu_share);
+        self.sync_overload(server);
     }
 
     /// Record `mb` megabytes moving between two servers. Intra-server
@@ -268,12 +320,25 @@ impl Cluster {
     }
 
     /// Servers currently overloaded at threshold `h_r`, in id order.
+    /// At the tracked threshold this reads the incremental index;
+    /// other thresholds scan the cached per-server peaks.
     pub fn overloaded_servers(&self, h_r: f64) -> Vec<ServerId> {
+        if h_r == self.overload_h_r {
+            return self.overloaded.iter().copied().collect();
+        }
         self.servers
             .iter()
             .filter(|s| s.is_overloaded(h_r))
             .map(|s| s.id)
             .collect()
+    }
+
+    /// Number of servers overloaded at `h_r`, without allocating.
+    pub fn overloaded_count(&self, h_r: f64) -> usize {
+        if h_r == self.overload_h_r {
+            return self.overloaded.len();
+        }
+        self.servers.iter().filter(|s| s.is_overloaded(h_r)).count()
     }
 
     /// Servers currently *not* overloaded at threshold `h_r`.
@@ -291,7 +356,11 @@ impl Cluster {
         if self.servers.is_empty() {
             return 0.0;
         }
-        self.servers.iter().map(|s| s.overload_degree()).sum::<f64>() / self.servers.len() as f64
+        self.servers
+            .iter()
+            .map(|s| s.overload_degree())
+            .sum::<f64>()
+            / self.servers.len() as f64
     }
 
     /// Mean utilization vector across servers (for reporting).
@@ -305,7 +374,6 @@ impl Cluster {
         }
         acc / self.servers.len() as f64
     }
-
 }
 
 #[cfg(test)]
@@ -386,8 +454,13 @@ mod tests {
     fn overload_partition_is_exhaustive() {
         let mut c = small();
         // Overload server 1's memory.
-        c.place(tid(1, 0), ServerId(1), ResourceVec::new(0.0, 0.0, 60.0, 0.0), 0.0)
-            .unwrap();
+        c.place(
+            tid(1, 0),
+            ServerId(1),
+            ResourceVec::new(0.0, 0.0, 60.0, 0.0),
+            0.0,
+        )
+        .unwrap();
         let over = c.overloaded_servers(0.9);
         let under = c.underloaded_servers(0.9);
         assert_eq!(over, vec![ServerId(1)]);
@@ -400,8 +473,13 @@ mod tests {
         let mut c = small();
         assert_eq!(c.cluster_overload_degree(), 0.0);
         // Saturate one server fully: utilization (1,1,1,1), norm 2.
-        c.place(tid(1, 0), ServerId(0), ResourceVec::new(2.0, 8.0, 64.0, 1000.0), 1.0)
-            .unwrap();
+        c.place(
+            tid(1, 0),
+            ServerId(0),
+            ResourceVec::new(2.0, 8.0, 64.0, 1000.0),
+            1.0,
+        )
+        .unwrap();
         let deg = c.cluster_overload_degree();
         assert!((deg - 2.0 / 3.0).abs() < 1e-9, "{deg}");
     }
@@ -432,5 +510,123 @@ mod tests {
         assert_eq!(p.servers, 550);
         let ps = ClusterConfig::paper_philly(0.01);
         assert!(ps.servers >= 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ids::JobId;
+    use crate::view::{ClusterOverlay, ClusterView};
+    use proptest::prelude::*;
+
+    fn small() -> Cluster {
+        Cluster::new(&ClusterConfig {
+            servers: 4,
+            gpus_per_server: 2,
+            gpu_capacity: 1.0,
+            cpu_cores: 4.0,
+            memory_gb: 16.0,
+            nic_mbps: 500.0,
+            topology: Topology::default_flat(),
+        })
+    }
+
+    fn scan(c: &Cluster, h_r: f64) -> Vec<ServerId> {
+        c.servers()
+            .iter()
+            .filter(|s| s.is_overloaded(h_r))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    proptest! {
+        /// The incrementally-maintained overload index always matches a
+        /// from-scratch scan, under any interleaving of place, remove,
+        /// migrate and demand updates.
+        #[test]
+        fn overload_index_matches_scan(
+            ops in proptest::collection::vec((0u16..64, 0u8..4, 0.0f64..3.0, 0u32..4), 1..150),
+        ) {
+            let h_r = DEFAULT_OVERLOAD_THRESHOLD;
+            let mut c = small();
+            let mut live: Vec<TaskId> = Vec::new();
+            for (i, (pick, op, amount, srv)) in ops.into_iter().enumerate() {
+                let sid = ServerId(srv % c.server_count() as u32);
+                match op {
+                    0 if !live.is_empty() => {
+                        let t = live.remove((pick as usize) % live.len());
+                        c.remove(t);
+                    }
+                    1 if !live.is_empty() => {
+                        let t = live[(pick as usize) % live.len()];
+                        let d = ResourceVec::new(amount, amount * 2.0, amount * 3.0, amount * 5.0);
+                        c.update_demand(t, d, (amount / 3.0).min(1.0));
+                    }
+                    2 if !live.is_empty() => {
+                        let t = live[(pick as usize) % live.len()];
+                        c.migrate(t, sid, 100.0).unwrap();
+                    }
+                    _ => {
+                        let t = TaskId::new(JobId(0), i as u16);
+                        let d = ResourceVec::new(amount, amount * 2.0, amount * 3.0, amount * 5.0);
+                        c.place(t, sid, d, (amount / 3.0).min(1.0)).unwrap();
+                        live.push(t);
+                    }
+                }
+                prop_assert_eq!(c.overloaded_servers(h_r), scan(&c, h_r));
+                prop_assert_eq!(c.overloaded_count(h_r), scan(&c, h_r).len());
+            }
+        }
+
+        /// A copy-on-write overlay's overload set always matches a
+        /// from-scratch scan of the overlay view, and the base cluster
+        /// is never disturbed by speculative edits.
+        #[test]
+        fn overlay_overload_matches_scan(
+            base_ops in proptest::collection::vec((0.0f64..2.5, 0u32..4), 0..20),
+            spec_ops in proptest::collection::vec((0u16..64, 0u8..3, 0.0f64..2.5, 0u32..4), 1..60),
+        ) {
+            let h_r = DEFAULT_OVERLOAD_THRESHOLD;
+            let mut c = small();
+            for (i, (amount, srv)) in base_ops.into_iter().enumerate() {
+                let sid = ServerId(srv % c.server_count() as u32);
+                let d = ResourceVec::new(amount, amount * 2.0, amount * 3.0, amount * 5.0);
+                c.place(TaskId::new(JobId(0), i as u16), sid, d, (amount / 2.5).min(1.0)).unwrap();
+            }
+            let base_overloaded = c.overloaded_servers(h_r);
+
+            let mut overlay = ClusterOverlay::new(&c, h_r);
+            let mut live: Vec<TaskId> = c.servers()
+                .iter()
+                .flat_map(|s| s.tasks().map(|(t, _)| *t))
+                .collect();
+            for (i, (pick, op, amount, srv)) in spec_ops.into_iter().enumerate() {
+                let sid = ServerId(srv % overlay.server_count() as u32);
+                match op {
+                    0 if !live.is_empty() => {
+                        let t = live.remove((pick as usize) % live.len());
+                        overlay.remove(t);
+                    }
+                    1 if !live.is_empty() => {
+                        let t = live[(pick as usize) % live.len()];
+                        overlay.migrate(t, sid).unwrap();
+                    }
+                    _ => {
+                        let t = TaskId::new(JobId(1), i as u16);
+                        let d = ResourceVec::new(amount, amount * 2.0, amount * 3.0, amount * 5.0);
+                        overlay.place(t, sid, d, (amount / 2.5).min(1.0)).unwrap();
+                        live.push(t);
+                    }
+                }
+                let expect: Vec<ServerId> = (0..overlay.server_count())
+                    .map(|i| ServerId(i as u32))
+                    .filter(|&id| overlay.server(id).is_overloaded(h_r))
+                    .collect();
+                prop_assert_eq!(overlay.overloaded_servers(h_r), expect);
+            }
+            // Speculation never leaks into the base cluster.
+            prop_assert_eq!(c.overloaded_servers(h_r), base_overloaded);
+        }
     }
 }

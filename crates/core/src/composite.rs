@@ -149,9 +149,9 @@ impl Scheduler for Mlfs {
         };
         // Don't place/migrate tasks of jobs MLF-C just stopped.
         placement.retain(|a| match a {
-            Action::Place { task, .. }
-            | Action::Migrate { task, .. }
-            | Action::Evict { task } => !stopped.contains(&task.job),
+            Action::Place { task, .. } | Action::Migrate { task, .. } | Action::Evict { task } => {
+                !stopped.contains(&task.job)
+            }
             _ => true,
         });
         actions.extend(placement);

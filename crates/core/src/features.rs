@@ -14,7 +14,7 @@
 
 use crate::params::Params;
 use crate::placement::affinity_mb;
-use cluster::{Cluster, Resource, ServerId, TaskId};
+use cluster::{ClusterView, Resource, ServerId, TaskId};
 use simcore::SimTime;
 use workload::JobState;
 
@@ -56,8 +56,8 @@ fn task_features(job: &JobState, task_idx: usize, now: SimTime, p: &Params) -> [
 /// recommendation to the policy is a standard learned-scheduler
 /// design: imitation converges to MLF-H quickly and policy-gradient
 /// fine-tuning deviates only where the Eq. 7 reward justifies it.
-pub fn candidate_features(
-    cluster: &Cluster,
+pub fn candidate_features<V: ClusterView>(
+    cluster: &V,
     job: &JobState,
     task: TaskId,
     server: Option<ServerId>,
@@ -74,7 +74,7 @@ pub fn candidate_features(
             let srv = cluster.server(sid);
             let u = srv.utilization();
             let spec = &job.spec.tasks[task.idx as usize];
-            let neighbors = crate::placement::comm_neighbors(job, task.idx as usize).len() as f64;
+            let neighbors = crate::placement::comm_degree(job, task.idx as usize) as f64;
             let max_affinity = (neighbors * job.spec.comm_mb).max(1.0);
             out.push(u.get(Resource::GpuCompute));
             out.push(u.get(Resource::Cpu));
@@ -102,7 +102,7 @@ pub fn candidate_features(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cluster::{ClusterConfig, JobId, ResourceVec, Topology};
+    use cluster::{Cluster, ClusterConfig, JobId, ResourceVec, Topology};
     use simcore::SimDuration;
     use workload::dag::{CommStructure, Dag};
     use workload::job::{JobSpec, StopPolicy, TaskSpec};
@@ -178,7 +178,15 @@ mod tests {
     fn queue_option_sets_sentinel_flag() {
         let (c, job) = setup();
         let p = Params::default();
-        let f = candidate_features(&c, &job, TaskId::new(JobId(1), 0), None, false, SimTime::ZERO, &p);
+        let f = candidate_features(
+            &c,
+            &job,
+            TaskId::new(JobId(1), 0),
+            None,
+            false,
+            SimTime::ZERO,
+            &p,
+        );
         assert_eq!(f[FEATURE_DIM - 1], 1.0);
         assert!(f[13..FEATURE_DIM - 1].iter().all(|v| *v == 0.0));
         let g = candidate_features(
@@ -267,11 +275,25 @@ mod tests {
     fn urgency_and_iteration_features_move_as_expected() {
         let (c, mut job) = setup();
         let p = Params::default();
-        let before =
-            candidate_features(&c, &job, TaskId::new(JobId(1), 0), None, false, SimTime::ZERO, &p);
+        let before = candidate_features(
+            &c,
+            &job,
+            TaskId::new(JobId(1), 0),
+            None,
+            false,
+            SimTime::ZERO,
+            &p,
+        );
         job.advance(100.0);
-        let after =
-            candidate_features(&c, &job, TaskId::new(JobId(1), 0), None, false, SimTime::ZERO, &p);
+        let after = candidate_features(
+            &c,
+            &job,
+            TaskId::new(JobId(1), 0),
+            None,
+            false,
+            SimTime::ZERO,
+            &p,
+        );
         assert!(after[0] < before[0]); // 1/I shrinks
         assert!(after[1] < before[1]); // normalized δl shrinks
         assert!((before[3] - 0.7).abs() < 1e-12); // urgency 7 of 10

@@ -295,8 +295,7 @@ mod tests {
         let c = cluster();
         let j_allow = job(1, StopPolicy::MaxIterations, true, 0.002);
         let j_deny = job(2, StopPolicy::MaxIterations, false, 0.002);
-        let jobs: BTreeMap<JobId, JobState> =
-            [(JobId(1), j_allow), (JobId(2), j_deny)].into();
+        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j_allow), (JobId(2), j_deny)].into();
         let mut mlfc = MlfC::new(Params::default());
         // Not overloaded: no demotion.
         let a = mlfc.control(&ctx(&jobs, &c, &[]));

@@ -18,8 +18,8 @@ use crate::params::Params;
 use crate::placement::{migration_state_mb, select_host, select_victim};
 use crate::priority::job_task_priorities;
 use crate::scheduler::{Action, Scheduler, SchedulerContext};
-use cluster::{Cluster, ServerId, TaskId};
-use std::collections::BTreeMap;
+use cluster::{ClusterOverlay, ClusterView, ServerId, TaskId};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Where a schedulable task currently sits.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +61,36 @@ impl MlfH {
         out
     }
 
+    /// Priorities for exactly the jobs a round can act on: those with
+    /// queued tasks plus those with tasks on a server in `overloaded`.
+    /// The round consumes priorities only to order queued tasks and to
+    /// pick migration victims on overloaded servers, so skipping every
+    /// other job is sound — and most rounds touch a small fraction of
+    /// the active jobs.
+    pub(crate) fn candidate_priorities(
+        ctx: &SchedulerContext<'_>,
+        params: &Params,
+        overloaded: &[ServerId],
+    ) -> BTreeMap<TaskId, f64> {
+        let mut needed: BTreeSet<cluster::JobId> = ctx.queue.iter().map(|t| t.job).collect();
+        for &sid in overloaded {
+            for (t, _) in ctx.cluster.server(sid).tasks() {
+                needed.insert(t.job);
+            }
+        }
+        let mut out = BTreeMap::new();
+        for jid in needed {
+            let Some(job) = ctx.jobs.get(&jid) else {
+                continue;
+            };
+            let pr = job_task_priorities(job, ctx.now, params);
+            for (idx, p) in pr.into_iter().enumerate() {
+                out.insert(TaskId::new(jid, idx as u16), p);
+            }
+        }
+        out
+    }
+
     /// Core of the round: shared verbatim by MLF-RL's imitation phase.
     /// Returns the actions plus the planning cluster used (so callers
     /// can inspect the final speculative state).
@@ -68,13 +98,17 @@ impl MlfH {
         let p = self.params;
         self.last_decisions.clear();
         let mut actions = Vec::new();
-        let mut plan: Cluster = ctx.cluster.clone();
-        let priorities = Self::all_priorities(ctx, &p);
+        // Copy-on-write speculation: reads fall through to the live
+        // cluster, writes copy only the touched servers. Replaces the
+        // seed's full `Cluster::clone()` per round.
+        let mut plan = ClusterOverlay::new(ctx.cluster, p.h_r);
+        let overloaded = plan.overloaded_servers(p.h_r);
+        let priorities = Self::candidate_priorities(ctx, &p, &overloaded);
 
         // -- 1. pick migration candidates off overloaded servers --
         let mut candidates: Vec<(TaskId, f64, Origin)> = Vec::new();
         if p.use_migration {
-            for sid in plan.overloaded_servers(p.h_r) {
+            for sid in overloaded {
                 // Repeatedly remove victims until the server is clean.
                 while plan.server(sid).is_overloaded(p.h_r) {
                     let Some(victim) = select_victim(&plan, ctx.jobs, sid, &priorities, &p) else {
@@ -118,12 +152,12 @@ impl MlfH {
                 .then_with(|| a.cmp(b))
         });
 
+        let mut group: Vec<(TaskId, f64, Origin)> = Vec::new();
+        let mut waiting: Vec<TaskId> = Vec::new();
+        let mut placed: Vec<(TaskId, ServerId)> = Vec::new();
         for jid in job_order {
-            let mut group: Vec<(TaskId, f64, Origin)> = candidates
-                .iter()
-                .filter(|(t, _, _)| t.job == jid)
-                .cloned()
-                .collect();
+            group.clear();
+            group.extend(candidates.iter().filter(|(t, _, _)| t.job == jid).cloned());
             group.sort_by(|a, b| {
                 b.1.partial_cmp(&a.1)
                     .unwrap_or(std::cmp::Ordering::Equal)
@@ -139,7 +173,9 @@ impl MlfH {
             // utilization that turns transient overload into
             // permanent thrash, so we deviate — see DESIGN.md.)
             for (task, _, origin) in group.iter() {
-                let Origin::Server(src) = *origin else { continue };
+                let Origin::Server(src) = *origin else {
+                    continue;
+                };
                 match select_host(&plan, ctx.jobs, *task, Some(src), &p) {
                     Some(host) => {
                         let spec = &job.spec.tasks[task.idx as usize];
@@ -148,7 +184,10 @@ impl MlfH {
                         self.last_decisions.push((*task, host));
                         if src != host {
                             let _ = migration_state_mb(job, task.idx as usize);
-                            actions.push(Action::Migrate { task: *task, to: host });
+                            actions.push(Action::Migrate {
+                                task: *task,
+                                to: host,
+                            });
                         }
                     }
                     None => {
@@ -161,15 +200,17 @@ impl MlfH {
             }
 
             // Waiting tasks: gang placement with rollback.
-            let waiting: Vec<TaskId> = group
-                .iter()
-                .filter(|(_, _, o)| matches!(o, Origin::Queue))
-                .map(|(t, _, _)| *t)
-                .collect();
+            waiting.clear();
+            waiting.extend(
+                group
+                    .iter()
+                    .filter(|(_, _, o)| matches!(o, Origin::Queue))
+                    .map(|(t, _, _)| *t),
+            );
             if waiting.is_empty() {
                 continue;
             }
-            let mut placed: Vec<(TaskId, ServerId)> = Vec::new();
+            placed.clear();
             let mut ok = true;
             for &task in &waiting {
                 match select_host(&plan, ctx.jobs, task, None, &p) {
@@ -186,12 +227,12 @@ impl MlfH {
                 }
             }
             if ok {
-                for (task, host) in placed {
+                for &(task, host) in &placed {
                     self.last_decisions.push((task, host));
                     actions.push(Action::Place { task, server: host });
                 }
             } else {
-                for (task, _) in placed {
+                for &(task, _) in &placed {
                     plan.remove(task);
                 }
             }
@@ -213,7 +254,7 @@ impl Scheduler for MlfH {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cluster::{ClusterConfig, JobId, ResourceVec, Topology};
+    use cluster::{Cluster, ClusterConfig, JobId, ResourceVec, Topology};
     use simcore::{SimDuration, SimTime};
     use workload::dag::{CommStructure, Dag};
     use workload::job::{JobSpec, StopPolicy, TaskSpec};
@@ -266,9 +307,7 @@ mod tests {
         JobState::new(spec, SimTime::ZERO)
     }
 
-    fn ctx_parts(
-        jobs: Vec<JobState>,
-    ) -> (BTreeMap<JobId, JobState>, Vec<TaskId>) {
+    fn ctx_parts(jobs: Vec<JobState>) -> (BTreeMap<JobId, JobState>, Vec<TaskId>) {
         let mut queue = Vec::new();
         let map: BTreeMap<JobId, JobState> = jobs
             .into_iter()
@@ -461,9 +500,7 @@ mod tests {
         };
         let actions = s.schedule(&ctx);
         assert!(
-            actions
-                .iter()
-                .all(|a| !matches!(a, Action::Place { .. })),
+            actions.iter().all(|a| !matches!(a, Action::Place { .. })),
             "{actions:?}"
         );
     }

@@ -21,7 +21,7 @@ use crate::mlfh::MlfH;
 use crate::params::Params;
 use crate::placement::select_victim;
 use crate::scheduler::{Action, RewardComponents, Scheduler, SchedulerContext};
-use cluster::{Cluster, ServerId, TaskId};
+use cluster::{ClusterOverlay, ClusterView, ServerId, TaskId};
 use rl::{Convergence, ReinforceTrainer, ScoringPolicy, Step, TrainerConfig};
 use simcore::SimRng;
 
@@ -139,7 +139,12 @@ impl MlfRl {
     /// Candidate servers for `task` on the speculative cluster:
     /// underloaded hosts that fit, capped to the least-loaded
     /// `max_candidates` (by overload degree).
-    fn candidate_servers(&self, plan: &Cluster, ctx: &SchedulerContext<'_>, task: TaskId) -> Vec<ServerId> {
+    fn candidate_servers<V: ClusterView>(
+        &self,
+        plan: &V,
+        ctx: &SchedulerContext<'_>,
+        task: TaskId,
+    ) -> Vec<ServerId> {
         let job = &ctx.jobs[&task.job];
         let spec = &job.spec.tasks[task.idx as usize];
         // Softer admission limit than MLF-H's fixed h_r: the paper
@@ -148,12 +153,9 @@ impl MlfRl {
         // (their utilization features expose the risk) and the Eq. 7
         // reward arbitrates whether using the headroom pays off.
         let soft = (self.params.h_r + 0.08).min(0.98);
-        let mut hosts: Vec<(f64, ServerId)> = plan
-            .servers()
-            .iter()
-            .filter(|s| {
-                !s.is_overloaded(soft) && s.can_host(&spec.demand, spec.gpu_share, soft)
-            })
+        let mut hosts: Vec<(f64, ServerId)> = (0..plan.server_count())
+            .map(|i| plan.server(ServerId(i as u32)))
+            .filter(|s| !s.is_overloaded(soft) && s.can_host(&spec.demand, spec.gpu_share, soft))
             .map(|s| (s.overload_degree(), s.id))
             .collect();
         hosts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -171,7 +173,7 @@ impl MlfRl {
     /// single-pass imitation underfits badly.
     fn imitation_round(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
         let actions = self.inner_h.schedule(ctx);
-        let mut plan = ctx.cluster.clone();
+        let mut plan = ClusterOverlay::new(ctx.cluster, self.params.h_r);
         for (task, chosen) in self.inner_h.last_decisions.clone() {
             let job = &ctx.jobs[&task.job];
             // Migration decisions move an already-placed task: detach
@@ -228,8 +230,7 @@ impl MlfRl {
             for _ in 0..4 {
                 let batch: Vec<Step> = (0..64.min(self.imitation_buffer.len()))
                     .map(|_| {
-                        self.imitation_buffer[self.rng.index(self.imitation_buffer.len())]
-                            .clone()
+                        self.imitation_buffer[self.rng.index(self.imitation_buffer.len())].clone()
                     })
                     .collect();
                 self.trainer.imitate(&batch);
@@ -242,8 +243,9 @@ impl MlfRl {
     fn rl_round(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
         let p = self.params;
         let mut actions = Vec::new();
-        let mut plan = ctx.cluster.clone();
-        let priorities = MlfH::all_priorities(ctx, &p);
+        let mut plan = ClusterOverlay::new(ctx.cluster, p.h_r);
+        let overloaded = plan.overloaded_servers(p.h_r);
+        let priorities = MlfH::candidate_priorities(ctx, &p, &overloaded);
 
         // Victims off overloaded servers (heuristic, as in MLF-H).
         #[derive(Clone, Copy)]
@@ -253,7 +255,7 @@ impl MlfRl {
         }
         let mut work: Vec<(TaskId, f64, Origin)> = Vec::new();
         if p.use_migration {
-            for sid in plan.overloaded_servers(p.h_r) {
+            for sid in overloaded {
                 while plan.server(sid).is_overloaded(p.h_r) {
                     let Some(victim) = select_victim(&plan, ctx.jobs, sid, &priorities, &p) else {
                         break;
@@ -301,13 +303,12 @@ impl MlfRl {
 
             // One policy decision for `task`; returns the chosen host.
             let decide = |this: &mut Self,
-                              plan: &Cluster,
-                              task: TaskId,
-                              migration_from: Option<ServerId>|
+                          plan: &ClusterOverlay<'_>,
+                          task: TaskId,
+                          migration_from: Option<ServerId>|
              -> Option<ServerId> {
                 let mut servers = this.candidate_servers(plan, ctx, task);
-                let rial =
-                    crate::placement::select_host(plan, ctx.jobs, task, migration_from, &p);
+                let rial = crate::placement::select_host(plan, ctx.jobs, task, migration_from, &p);
                 // RIAL may prefer a loaded server (communication
                 // affinity) outside the least-loaded cap — offer it.
                 if let Some(r) = rial {
@@ -349,14 +350,19 @@ impl MlfRl {
             // Victims first. A "queue" decision for a victim leaves it
             // where it is (matching MLF-H's no-thrash rule).
             for (task, _, origin) in group.iter() {
-                let Origin::Server(src) = *origin else { continue };
+                let Origin::Server(src) = *origin else {
+                    continue;
+                };
                 match decide(self, &plan, *task, Some(src)) {
                     Some(host) => {
                         let spec = &job.spec.tasks[task.idx as usize];
                         plan.place(*task, host, spec.demand, spec.gpu_share)
                             .expect("speculative placement cannot fail");
                         if src != host {
-                            actions.push(Action::Migrate { task: *task, to: host });
+                            actions.push(Action::Migrate {
+                                task: *task,
+                                to: host,
+                            });
                         }
                     }
                     None => {
@@ -441,7 +447,7 @@ impl Scheduler for MlfRl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cluster::{ClusterConfig, JobId, ResourceVec, Topology};
+    use cluster::{Cluster, ClusterConfig, JobId, ResourceVec, Topology};
     use simcore::{SimDuration, SimTime};
     use std::collections::BTreeMap;
     use workload::dag::{CommStructure, Dag};

@@ -15,7 +15,8 @@
 //!   the tasks on the top", §3.3.3).
 
 use crate::params::Params;
-use cluster::{Cluster, JobId, Resource, ServerId, TaskId};
+use cluster::{ClusterView, JobId, Resource, ServerId, TaskId};
+use std::cell::RefCell;
 
 /// Weight of the communication-affinity dimension in the host
 /// ideal-point distance (utilization dims weigh 1 each).
@@ -23,12 +24,13 @@ const AFFINITY_WEIGHT: f64 = 6.0;
 use std::collections::BTreeMap;
 use workload::{CommStructure, JobState};
 
-/// Task indices that communicate directly with task `idx` of `job`
-/// (DAG neighbours plus parameter-accumulation links).
-pub fn comm_neighbors(job: &JobState, idx: usize) -> Vec<u16> {
+/// Append the task indices that communicate directly with task `idx`
+/// of `job` (DAG neighbours plus parameter-accumulation links) to
+/// `out`, clearing it first. Allocation-free once `out` has warmed up.
+pub fn comm_neighbors_into(job: &JobState, idx: usize, out: &mut Vec<u16>) {
     let spec = &job.spec;
     let n = spec.dag.len();
-    let mut out: Vec<u16> = Vec::new();
+    out.clear();
     if idx < n {
         out.extend_from_slice(spec.dag.parents(idx));
         out.extend_from_slice(spec.dag.children(idx));
@@ -48,22 +50,83 @@ pub fn comm_neighbors(job: &JobState, idx: usize) -> Vec<u16> {
         }
     } else {
         // The parameter server talks to every sink.
-        out.extend(spec.dag.sinks());
+        out.extend_from_slice(spec.dag.sinks());
     }
+}
+
+/// Task indices that communicate directly with task `idx` of `job`.
+/// Allocating convenience wrapper around [`comm_neighbors_into`].
+pub fn comm_neighbors(job: &JobState, idx: usize) -> Vec<u16> {
+    let mut out = Vec::new();
+    comm_neighbors_into(job, idx, &mut out);
     out
+}
+
+/// Number of direct communication partners of task `idx`, computed
+/// without materialising the neighbour list.
+pub fn comm_degree(job: &JobState, idx: usize) -> usize {
+    let spec = &job.spec;
+    let n = spec.dag.len();
+    if idx >= n {
+        return spec.dag.sinks().len();
+    }
+    let mut deg = spec.dag.parents(idx).len() + spec.dag.children(idx).len();
+    let sinks = spec.dag.sinks();
+    if sinks.contains(&(idx as u16)) {
+        match spec.comm {
+            CommStructure::ParameterServer => {
+                if spec.has_param_server() {
+                    deg += 1;
+                }
+            }
+            CommStructure::AllReduce => deg += sinks.len() - 1,
+        }
+    }
+    deg
+}
+
+thread_local! {
+    /// Neighbour-index buffer for [`affinity_mb`].
+    static NEIGHBOR_BUF: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+    /// Reusable buffers for [`select_host`].
+    static HOST_SCRATCH: RefCell<HostScratch> = RefCell::new(HostScratch::default());
+    /// Reusable buffers for [`select_victim`].
+    static VICTIM_SCRATCH: RefCell<VictimScratch> = RefCell::new(VictimScratch::default());
 }
 
 /// MB/iteration exchanged between `task` and tasks of the same job
 /// currently placed on `server`.
-pub fn affinity_mb(job: &JobState, task_idx: usize, server: ServerId, cluster: &Cluster) -> f64 {
-    let mut mb = 0.0;
-    for nb in comm_neighbors(job, task_idx) {
-        let nb_id = TaskId::new(job.spec.id, nb);
-        if cluster.locate(nb_id) == Some(server) {
-            mb += job.spec.comm_mb;
+pub fn affinity_mb<V: ClusterView>(
+    job: &JobState,
+    task_idx: usize,
+    server: ServerId,
+    view: &V,
+) -> f64 {
+    NEIGHBOR_BUF.with(|buf| {
+        let buf = &mut *buf.borrow_mut();
+        comm_neighbors_into(job, task_idx, buf);
+        let mut mb = 0.0;
+        for &nb in buf.iter() {
+            let nb_id = TaskId::new(job.spec.id, nb);
+            if view.locate(nb_id) == Some(server) {
+                mb += job.spec.comm_mb;
+            }
         }
-    }
-    mb
+        mb
+    })
+}
+
+/// Reusable buffers for [`select_host`]; lives in a thread-local so
+/// the hot path is allocation-free after warm-up.
+#[derive(Default)]
+struct HostScratch {
+    candidates: Vec<ServerId>,
+    utils: Vec<[f64; cluster::NUM_RESOURCES]>,
+    affinities: Vec<f64>,
+    penalties: Vec<f64>,
+    neighbors: Vec<u16>,
+    /// Per-server accumulated MB of co-located neighbour traffic.
+    affinity_by_server: Vec<(ServerId, f64)>,
 }
 
 /// Select the host server for `task` per the ideal-virtual-host
@@ -71,85 +134,124 @@ pub fn affinity_mb(job: &JobState, task_idx: usize, server: ServerId, cluster: &
 /// `migration_from` marks a task being moved off an overloaded server
 /// (its movement penalty `q` is charged toward every *other* server).
 /// Returns `None` when no underloaded server can host the task.
-pub fn select_host(
-    plan: &Cluster,
+pub fn select_host<V: ClusterView>(
+    plan: &V,
     jobs: &BTreeMap<JobId, JobState>,
     task: TaskId,
     migration_from: Option<ServerId>,
     p: &Params,
 ) -> Option<ServerId> {
+    HOST_SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        select_host_inner(plan, jobs, task, migration_from, p, s)
+    })
+}
+
+fn select_host_inner<V: ClusterView>(
+    plan: &V,
+    jobs: &BTreeMap<JobId, JobState>,
+    task: TaskId,
+    migration_from: Option<ServerId>,
+    p: &Params,
+    s: &mut HostScratch,
+) -> Option<ServerId> {
     let job = &jobs[&task.job];
     let spec = &job.spec.tasks[task.idx as usize];
     // Candidates: underloaded servers that stay under h_r with the task.
-    let candidates: Vec<ServerId> = plan
-        .servers()
-        .iter()
-        .filter(|s| !s.is_overloaded(p.h_r) && s.can_host(&spec.demand, spec.gpu_share, p.h_r))
-        .map(|s| s.id)
-        .collect();
-    if candidates.is_empty() {
+    s.candidates.clear();
+    for i in 0..plan.server_count() {
+        let sid = ServerId(i as u32);
+        let srv = plan.server(sid);
+        if !srv.is_overloaded(p.h_r) && srv.can_host(&spec.demand, spec.gpu_share, p.h_r) {
+            s.candidates.push(sid);
+        }
+    }
+    if s.candidates.is_empty() {
         return None;
     }
 
     // Per-candidate raw dimensions.
-    let utils: Vec<[f64; cluster::NUM_RESOURCES]> = candidates
-        .iter()
-        .map(|&s| plan.server(s).utilization().0)
-        .collect();
-    let affinities: Vec<f64> = if p.use_bandwidth {
-        candidates
+    s.utils.clear();
+    s.utils.extend(
+        s.candidates
             .iter()
-            .map(|&s| affinity_mb(job, task.idx as usize, s, plan))
-            .collect()
-    } else {
-        vec![0.0; candidates.len()]
-    };
-    let max_affinity = affinities.iter().cloned().fold(0.0, f64::max);
-    let penalties: Vec<f64> = match migration_from {
-        Some(src) => candidates
-            .iter()
-            .map(|&s| {
-                if s == src {
-                    0.0
-                } else {
-                    // Movement penalty ∝ state transfer time.
-                    let state_mb = migration_state_mb(job, task.idx as usize);
-                    plan.topology().transfer_time(src, s, state_mb).as_secs_f64()
+            .map(|&sid| plan.server(sid).utilization().0),
+    );
+
+    // Affinity: walk the task's neighbours once, accumulating MB per
+    // hosting server, then look candidates up in that map — O(degree +
+    // candidates) instead of O(degree × candidates).
+    s.affinities.clear();
+    let mut max_affinity = 0.0f64;
+    if p.use_bandwidth {
+        comm_neighbors_into(job, task.idx as usize, &mut s.neighbors);
+        s.affinity_by_server.clear();
+        for &nb in &s.neighbors {
+            let nb_id = TaskId::new(job.spec.id, nb);
+            if let Some(host) = plan.locate(nb_id) {
+                match s.affinity_by_server.iter_mut().find(|(sv, _)| *sv == host) {
+                    Some((_, mb)) => *mb += job.spec.comm_mb,
+                    None => s.affinity_by_server.push((host, job.spec.comm_mb)),
                 }
-            })
-            .collect(),
-        None => vec![0.0; candidates.len()],
-    };
-    let max_penalty = penalties.iter().cloned().fold(0.0, f64::max);
+            }
+        }
+        for &sid in &s.candidates {
+            let mb = s
+                .affinity_by_server
+                .iter()
+                .find(|(sv, _)| *sv == sid)
+                .map_or(0.0, |(_, mb)| *mb);
+            max_affinity = max_affinity.max(mb);
+            s.affinities.push(mb);
+        }
+    }
+
+    s.penalties.clear();
+    let mut max_penalty = 0.0f64;
+    if let Some(src) = migration_from {
+        // Movement penalty ∝ state transfer time.
+        let state_mb = migration_state_mb(job, task.idx as usize);
+        for &sid in &s.candidates {
+            let q = if sid == src {
+                0.0
+            } else {
+                plan.topology()
+                    .transfer_time(src, sid, state_mb)
+                    .as_secs_f64()
+            };
+            max_penalty = max_penalty.max(q);
+            s.penalties.push(q);
+        }
+    }
 
     // Ideal virtual host: minimum utilization on every resource,
     // maximum affinity, zero penalty.
     let mut ideal_util = [f64::INFINITY; cluster::NUM_RESOURCES];
-    for u in &utils {
+    for u in &s.utils {
         for d in 0..cluster::NUM_RESOURCES {
             ideal_util[d] = ideal_util[d].min(u[d]);
         }
     }
 
     let mut best: Option<(f64, ServerId)> = None;
-    for (i, &sid) in candidates.iter().enumerate() {
+    for (i, &sid) in s.candidates.iter().enumerate() {
         let mut d2 = 0.0;
-        for d in 0..cluster::NUM_RESOURCES {
-            let diff = utils[i][d] - ideal_util[d];
+        for (u, ideal) in s.utils[i].iter().zip(&ideal_util) {
+            let diff = u - ideal;
             d2 += diff * diff;
         }
         if max_affinity > 0.0 {
-            let diff = affinities[i] / max_affinity - 1.0; // ideal = max
-            // Communication locality carries more weight than any
-            // single utilization dimension: a cross-server DAG edge
-            // stretches *every* iteration, while a slightly busier
-            // server only raises contention risk. (The paper weights
-            // all dims equally but also reports bandwidth-aware
-            // placement cutting JCT by 5–15% — this is that lever.)
+            let diff = s.affinities[i] / max_affinity - 1.0; // ideal = max
+                                                             // Communication locality carries more weight than any
+                                                             // single utilization dimension: a cross-server DAG edge
+                                                             // stretches *every* iteration, while a slightly busier
+                                                             // server only raises contention risk. (The paper weights
+                                                             // all dims equally but also reports bandwidth-aware
+                                                             // placement cutting JCT by 5–15% — this is that lever.)
             d2 += AFFINITY_WEIGHT * diff * diff;
         }
         if max_penalty > 0.0 {
-            let diff = penalties[i] / max_penalty; // ideal = 0
+            let diff = s.penalties[i] / max_penalty; // ideal = 0
             d2 += diff * diff;
         }
         match best {
@@ -172,15 +274,37 @@ pub fn migration_state_mb(job: &JobState, idx: usize) -> f64 {
     }
 }
 
+/// Reusable buffers for [`select_victim`].
+#[derive(Default)]
+struct VictimScratch {
+    candidates: Vec<TaskId>,
+    utils: Vec<[f64; cluster::NUM_RESOURCES]>,
+    affinities: Vec<f64>,
+}
+
 /// Select the next migration victim on overloaded `server`, or `None`
 /// when the server hosts no tasks. `priorities` must cover every task
 /// on the server.
-pub fn select_victim(
-    plan: &Cluster,
+pub fn select_victim<V: ClusterView>(
+    plan: &V,
     jobs: &BTreeMap<JobId, JobState>,
     server: ServerId,
     priorities: &BTreeMap<TaskId, f64>,
     p: &Params,
+) -> Option<TaskId> {
+    VICTIM_SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        select_victim_inner(plan, jobs, server, priorities, p, s)
+    })
+}
+
+fn select_victim_inner<V: ClusterView>(
+    plan: &V,
+    jobs: &BTreeMap<JobId, JobState>,
+    server: ServerId,
+    priorities: &BTreeMap<TaskId, f64>,
+    p: &Params,
+    s: &mut VictimScratch,
 ) -> Option<TaskId> {
     let srv = plan.server(server);
     if srv.task_count() == 0 {
@@ -191,51 +315,47 @@ pub fn select_victim(
 
     // Candidate set: tasks on overloaded GPUs restricted to the
     // lowest-p_s priority slice, else every task on the server.
-    let candidates: Vec<TaskId> = if !over_gpus.is_empty() {
-        let mut on_over: Vec<TaskId> = over_gpus
-            .iter()
-            .flat_map(|&g| srv.tasks_on_gpu(g))
-            .collect();
-        on_over.sort_by(|a, b| {
+    s.candidates.clear();
+    if !over_gpus.is_empty() {
+        s.candidates
+            .extend(over_gpus.iter().flat_map(|&g| srv.tasks_on_gpu(g)));
+        s.candidates.sort_by(|a, b| {
             let pa = priorities.get(a).copied().unwrap_or(0.0);
             let pb = priorities.get(b).copied().unwrap_or(0.0);
             pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
         });
-        let keep = ((on_over.len() as f64 * p.p_s).ceil() as usize).max(1);
-        on_over.truncate(keep);
-        on_over
+        let keep = ((s.candidates.len() as f64 * p.p_s).ceil() as usize).max(1);
+        s.candidates.truncate(keep);
     } else {
-        srv.tasks().map(|(t, _)| *t).collect()
-    };
-    if candidates.is_empty() {
+        s.candidates.extend(srv.tasks().map(|(t, _)| *t));
+    }
+    if s.candidates.is_empty() {
         return None;
     }
 
     // Per-candidate utilization vectors and co-located affinity.
     let cap = srv.capacity;
-    let utils: Vec<[f64; cluster::NUM_RESOURCES]> = candidates
-        .iter()
-        .map(|t| {
-            srv.placement(*t)
-                .map(|pl| pl.demand.div_elem(&cap).0)
-                .unwrap_or([0.0; cluster::NUM_RESOURCES])
-        })
-        .collect();
-    let affinities: Vec<f64> = if p.use_bandwidth {
-        candidates
-            .iter()
-            .map(|t| affinity_mb(&jobs[&t.job], t.idx as usize, server, plan))
-            .collect()
-    } else {
-        vec![0.0; candidates.len()]
-    };
-    let max_affinity = affinities.iter().cloned().fold(0.0, f64::max);
+    s.utils.clear();
+    s.utils.extend(s.candidates.iter().map(|t| {
+        srv.placement(*t)
+            .map(|pl| pl.demand.div_elem(&cap).0)
+            .unwrap_or([0.0; cluster::NUM_RESOURCES])
+    }));
+    s.affinities.clear();
+    let mut max_affinity = 0.0f64;
+    if p.use_bandwidth {
+        for t in &s.candidates {
+            let mb = affinity_mb(&jobs[&t.job], t.idx as usize, server, plan);
+            max_affinity = max_affinity.max(mb);
+            s.affinities.push(mb);
+        }
+    }
 
     // Ideal virtual task: max utilization on overloaded resources,
     // min on the others, zero co-located communication.
     let mut ideal = [0.0; cluster::NUM_RESOURCES];
     for d in 0..cluster::NUM_RESOURCES {
-        let col = utils.iter().map(|u| u[d]);
+        let col = s.utils.iter().map(|u| u[d]);
         ideal[d] = if over_res.iter().any(|&r| r as usize == d) {
             col.fold(f64::NEG_INFINITY, f64::max)
         } else {
@@ -244,14 +364,14 @@ pub fn select_victim(
     }
 
     let mut best: Option<(f64, TaskId)> = None;
-    for (i, t) in candidates.iter().enumerate() {
+    for (i, t) in s.candidates.iter().enumerate() {
         let mut d2 = 0.0;
-        for d in 0..cluster::NUM_RESOURCES {
-            let diff = utils[i][d] - ideal[d];
+        for (u, id_u) in s.utils[i].iter().zip(&ideal) {
+            let diff = u - id_u;
             d2 += diff * diff;
         }
         if max_affinity > 0.0 {
-            let diff = affinities[i] / max_affinity; // ideal = 0
+            let diff = s.affinities[i] / max_affinity; // ideal = 0
             d2 += diff * diff;
         }
         match best {
@@ -263,14 +383,14 @@ pub fn select_victim(
 }
 
 /// Convenience: is resource `r` of server `s` overloaded? (test hook)
-pub fn resource_overloaded(plan: &Cluster, s: ServerId, r: Resource, h_r: f64) -> bool {
+pub fn resource_overloaded<V: ClusterView>(plan: &V, s: ServerId, r: Resource, h_r: f64) -> bool {
     plan.server(s).utilization().get(r) > h_r
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cluster::{ClusterConfig, ResourceVec, Topology};
+    use cluster::{Cluster, ClusterConfig, ResourceVec, Topology};
     use simcore::{SimDuration, SimTime};
     use workload::dag::Dag;
     use workload::job::{JobSpec, StopPolicy, TaskSpec};
@@ -368,7 +488,12 @@ mod tests {
                 is_param_server: false,
             })
             .collect();
-        job.task_states = vec![workload::TaskRunState::Waiting { since: SimTime::ZERO }; 3];
+        job.task_states = vec![
+            workload::TaskRunState::Waiting {
+                since: SimTime::ZERO
+            };
+            3
+        ];
         let nb = comm_neighbors(&job, 1);
         assert_eq!(nb, vec![0, 2]);
     }
@@ -444,7 +569,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            select_host(&c, &jobs, TaskId::new(JobId(1), 0), None, &Params::default()),
+            select_host(
+                &c,
+                &jobs,
+                TaskId::new(JobId(1), 0),
+                None,
+                &Params::default()
+            ),
             None
         );
     }
@@ -457,16 +588,30 @@ mod tests {
         // Three tasks: one memory hog (job 1 idx 0 mirrors spec), two
         // CPU-light tasks. Overload memory.
         let hog = TaskId::new(JobId(1), 0);
-        c.place(hog, ServerId(0), ResourceVec::new(0.1, 1.0, 120.0, 10.0), 0.1)
-            .unwrap();
+        c.place(
+            hog,
+            ServerId(0),
+            ResourceVec::new(0.1, 1.0, 120.0, 10.0),
+            0.1,
+        )
+        .unwrap();
         let small_a = TaskId::new(JobId(1), 1);
         let small_b = TaskId::new(JobId(1), 2);
-        c.place(small_a, ServerId(0), ResourceVec::new(0.1, 1.0, 4.0, 10.0), 0.1)
-            .unwrap();
-        c.place(small_b, ServerId(0), ResourceVec::new(0.1, 1.0, 4.0, 10.0), 0.1)
-            .unwrap();
-        let priorities: BTreeMap<TaskId, f64> =
-            [(hog, 1.0), (small_a, 1.0), (small_b, 1.0)].into();
+        c.place(
+            small_a,
+            ServerId(0),
+            ResourceVec::new(0.1, 1.0, 4.0, 10.0),
+            0.1,
+        )
+        .unwrap();
+        c.place(
+            small_b,
+            ServerId(0),
+            ResourceVec::new(0.1, 1.0, 4.0, 10.0),
+            0.1,
+        )
+        .unwrap();
+        let priorities: BTreeMap<TaskId, f64> = [(hog, 1.0), (small_a, 1.0), (small_b, 1.0)].into();
         let victim = select_victim(&c, &jobs, ServerId(0), &priorities, &Params::default());
         assert_eq!(victim, Some(hog));
     }
@@ -479,10 +624,22 @@ mod tests {
         // Both tasks on GPU 0, overloading it.
         let a = TaskId::new(JobId(1), 0);
         let b = TaskId::new(JobId(1), 1);
-        c.place_on_gpu(a, ServerId(0), ResourceVec::new(0.6, 1.0, 4.0, 10.0), 0.6, 0)
-            .unwrap();
-        c.place_on_gpu(b, ServerId(0), ResourceVec::new(0.6, 1.0, 4.0, 10.0), 0.6, 0)
-            .unwrap();
+        c.place_on_gpu(
+            a,
+            ServerId(0),
+            ResourceVec::new(0.6, 1.0, 4.0, 10.0),
+            0.6,
+            0,
+        )
+        .unwrap();
+        c.place_on_gpu(
+            b,
+            ServerId(0),
+            ResourceVec::new(0.6, 1.0, 4.0, 10.0),
+            0.6,
+            0,
+        )
+        .unwrap();
         // Task a has much higher priority: the p_s slice (1 task of 2)
         // only contains the low-priority b.
         let priorities: BTreeMap<TaskId, f64> = [(a, 100.0), (b, 1.0)].into();
@@ -539,8 +696,20 @@ mod tests {
     fn select_host_is_deterministic_under_ties() {
         let c = cluster(5);
         let jobs = jobs_map(vec![chain_job(1, 1, false)]);
-        let a = select_host(&c, &jobs, TaskId::new(JobId(1), 0), None, &Params::default());
-        let b = select_host(&c, &jobs, TaskId::new(JobId(1), 0), None, &Params::default());
+        let a = select_host(
+            &c,
+            &jobs,
+            TaskId::new(JobId(1), 0),
+            None,
+            &Params::default(),
+        );
+        let b = select_host(
+            &c,
+            &jobs,
+            TaskId::new(JobId(1), 0),
+            None,
+            &Params::default(),
+        );
         assert_eq!(a, b);
         assert!(a.is_some());
     }

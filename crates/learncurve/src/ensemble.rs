@@ -126,7 +126,11 @@ mod tests {
         let e = EnsemblePredictor::fit(&pts[..80]).unwrap();
         let p = e.predict(500.0);
         let truth = 0.85 * (1.0 - (-0.01f64 * 500.0).exp());
-        assert!((p.accuracy - truth).abs() < 0.05, "pred {} truth {truth}", p.accuracy);
+        assert!(
+            (p.accuracy - truth).abs() < 0.05,
+            "pred {} truth {truth}",
+            p.accuracy
+        );
         assert!(p.confidence > 0.5, "confidence {}", p.confidence);
     }
 
@@ -166,7 +170,12 @@ mod tests {
         let noisy: Vec<(f64, f64)> = clean
             .iter()
             .enumerate()
-            .map(|(i, &(x, y))| (x, (y + if i % 2 == 0 { 0.05 } else { -0.05 }).clamp(0.0, 1.0)))
+            .map(|(i, &(x, y))| {
+                (
+                    x,
+                    (y + if i % 2 == 0 { 0.05 } else { -0.05 }).clamp(0.0, 1.0),
+                )
+            })
             .collect();
         let ce = EnsemblePredictor::fit(&clean).unwrap().predict(200.0);
         let ne = EnsemblePredictor::fit(&noisy).unwrap().predict(200.0);

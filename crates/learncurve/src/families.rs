@@ -58,7 +58,6 @@ impl CurveFamily {
             CurveFamily::LogShift => p[0],
         }
     }
-
 }
 
 /// A family with fitted parameters and its fit quality.
@@ -178,7 +177,10 @@ pub fn fit_family(family: CurveFamily, pts: &[(f64, f64)]) -> FittedCurve {
     };
     let candidates: Vec<[f64; 2]> = match family {
         // Pow3 exponent c.
-        CurveFamily::Pow3 => log_grid(0.05, 4.0, 16).into_iter().map(|c| [c, 0.0]).collect(),
+        CurveFamily::Pow3 => log_grid(0.05, 4.0, 16)
+            .into_iter()
+            .map(|c| [c, 0.0])
+            .collect(),
         // ExpSat rate c, scaled to the observation span.
         CurveFamily::ExpSat => log_grid(0.1 / span, 50.0 / span, 24)
             .into_iter()

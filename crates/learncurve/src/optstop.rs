@@ -120,10 +120,7 @@ mod tests {
     fn continues_with_short_history() {
         let rule = OptStopRule::default();
         let h = history(0.9, 0.05, 3);
-        assert_eq!(
-            rule.decide_peak(&h, 1000.0, 0.1),
-            OptStopDecision::Continue
-        );
+        assert_eq!(rule.decide_peak(&h, 1000.0, 0.1), OptStopDecision::Continue);
         assert_eq!(
             rule.decide_required(&h, 1000.0, 0.1, 0.8),
             OptStopDecision::Continue

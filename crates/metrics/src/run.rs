@@ -102,13 +102,7 @@ impl RunMetrics {
 
     /// Average job waiting time in seconds (Fig. 4d/5d).
     pub fn avg_waiting_secs(&self) -> f64 {
-        crate::mean(
-            &self
-                .jobs
-                .iter()
-                .map(|j| j.waiting_secs)
-                .collect::<Vec<_>>(),
-        )
+        crate::mean(&self.jobs.iter().map(|j| j.waiting_secs).collect::<Vec<_>>())
     }
 
     /// Average accuracy by deadline (Fig. 4e/5e).

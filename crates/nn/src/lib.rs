@@ -41,12 +41,7 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
 /// Numerically-stable log-softmax.
 pub fn log_softmax(logits: &[f64]) -> Vec<f64> {
     let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let log_sum: f64 = logits
-        .iter()
-        .map(|&x| (x - max).exp())
-        .sum::<f64>()
-        .ln()
-        + max;
+    let log_sum: f64 = logits.iter().map(|&x| (x - max).exp()).sum::<f64>().ln() + max;
     logits.iter().map(|&x| x - log_sum).collect()
 }
 

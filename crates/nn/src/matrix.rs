@@ -76,13 +76,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -91,9 +91,8 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &xr) in x.iter().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let xr = x[r];
             for (c, a) in row.iter().enumerate() {
                 y[c] += a * xr;
             }
@@ -106,8 +105,8 @@ impl Matrix {
     pub fn add_outer(&mut self, u: &[f64], v: &[f64], k: f64) {
         assert_eq!(u.len(), self.rows);
         assert_eq!(v.len(), self.cols);
-        for r in 0..self.rows {
-            let ur = u[r] * k;
+        for (r, &ur0) in u.iter().enumerate() {
+            let ur = ur0 * k;
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (c, e) in row.iter_mut().enumerate() {
                 *e += ur * v[c];

@@ -226,11 +226,7 @@ impl Mlp {
     /// Visit all parameters and matching gradients as flat slices —
     /// the optimizer hook. Order is stable (layer 0 weights, layer 0
     /// biases, layer 1 weights, …).
-    pub fn visit_params_mut(
-        &mut self,
-        grads: &Gradients,
-        mut f: impl FnMut(&mut [f64], &[f64]),
-    ) {
+    pub fn visit_params_mut(&mut self, grads: &Gradients, mut f: impl FnMut(&mut [f64], &[f64])) {
         for (l, (dw, db)) in self.layers.iter_mut().zip(grads.dw.iter().zip(&grads.db)) {
             f(l.w.as_mut_slice(), dw.as_slice());
             f(&mut l.b, db);
@@ -264,7 +260,11 @@ mod tests {
         let target = 1usize;
 
         let mut grads = net.zero_grads();
-        net.backprop(&x, &cross_entropy_grad(&net.forward(&x), target), &mut grads);
+        net.backprop(
+            &x,
+            &cross_entropy_grad(&net.forward(&x), target),
+            &mut grads,
+        );
 
         let eps = 1e-6;
         let grads_snapshot = grads;
@@ -274,7 +274,7 @@ mod tests {
             analytic.extend_from_slice(g);
         });
         // Helper: add `delta` to the k-th parameter in visit order.
-        let mut perturb = |net: &mut Mlp, k: usize, delta: f64| {
+        let perturb = |net: &mut Mlp, k: usize, delta: f64| {
             let mut seen = 0usize;
             net.visit_params_mut(&grads_snapshot, |p, _| {
                 for v in p.iter_mut() {
@@ -333,7 +333,7 @@ mod tests {
     #[test]
     fn gradient_norm_and_scale() {
         let mut rng = SimRng::new(3);
-        let mut net = Mlp::new(&[2, 4, 2], Activation::Relu, &mut rng);
+        let net = Mlp::new(&[2, 4, 2], Activation::Relu, &mut rng);
         let mut g = net.zero_grads();
         net.backprop(&[1.0, -1.0], &[1.0, -1.0], &mut g);
         let n = g.norm();
@@ -391,7 +391,7 @@ mod proptests {
 
             let k = ((probe_frac * analytic.len() as f64) as usize).min(analytic.len() - 1);
             let eps = 1e-6;
-            let mut perturb = |net: &mut Mlp, delta: f64| {
+            let perturb = |net: &mut Mlp, delta: f64| {
                 let mut seen = 0usize;
                 let snapshot = net.zero_grads();
                 net.visit_params_mut(&snapshot, |p, _| {

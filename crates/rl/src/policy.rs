@@ -114,10 +114,7 @@ mod tests {
         let c = cands(7, 3);
         let probs = p.probabilities(&c);
         let g = p.greedy(&c);
-        let max = probs
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = probs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!((probs[g] - max).abs() < 1e-12);
     }
 
@@ -134,7 +131,11 @@ mod tests {
         }
         for i in 0..3 {
             let emp = counts[i] as f64 / n as f64;
-            assert!((emp - probs[i]).abs() < 0.015, "cand {i}: {emp} vs {}", probs[i]);
+            assert!(
+                (emp - probs[i]).abs() < 0.015,
+                "cand {i}: {emp} vs {}",
+                probs[i]
+            );
         }
     }
 

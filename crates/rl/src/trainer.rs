@@ -145,8 +145,8 @@ impl ReinforceTrainer {
         // Update the baseline from the episode's mean return.
         let mean_ret = returns.iter().sum::<f64>() / returns.len() as f64;
         if self.baseline_ready {
-            self.baseline =
-                self.cfg.baseline_decay * self.baseline + (1.0 - self.cfg.baseline_decay) * mean_ret;
+            self.baseline = self.cfg.baseline_decay * self.baseline
+                + (1.0 - self.cfg.baseline_decay) * mean_ret;
         } else {
             self.baseline = mean_ret;
             self.baseline_ready = true;
@@ -264,13 +264,7 @@ mod tests {
                 .unwrap()
                 .0;
             let reward = if action == best { 1.0 } else { 0.0 };
-            out.push((
-                Step {
-                    candidates,
-                    action,
-                },
-                reward,
-            ));
+            out.push((Step { candidates, action }, reward));
         }
         out
     }
@@ -342,10 +336,7 @@ mod tests {
                         })
                         .unwrap()
                         .0;
-                    Step {
-                        candidates,
-                        action,
-                    }
+                    Step { candidates, action }
                 })
                 .collect()
         };
@@ -375,10 +366,7 @@ mod tests {
                     .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
                     .unwrap()
                     .0;
-                Step {
-                    candidates,
-                    action,
-                }
+                Step { candidates, action }
             })
             .collect();
         let first = trainer.imitate(&steps);

@@ -7,12 +7,33 @@
 use mlfs_sim::experiments::fig4;
 
 fn main() {
-    let x: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
-    let tf: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16.0);
+    let x: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let tf: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16.0);
     let e = fig4(x, tf, 42);
-    println!("{} jobs, {} rounds expected", e.trace.jobs, e.expected_rounds());
-    println!("{:<12} {:>8} {:>7} {:>7} {:>8} {:>7} {:>7} {:>9} {:>7} {:>6}",
-        "scheduler", "avgJCT", "d-rat", "a-rat", "wait(s)", "acc", "bw(GB)", "mkspan(h)", "ms", "unfin");
+    println!(
+        "{} jobs, {} rounds expected",
+        e.trace.jobs,
+        e.expected_rounds()
+    );
+    println!(
+        "{:<12} {:>8} {:>7} {:>7} {:>8} {:>7} {:>7} {:>9} {:>7} {:>6}",
+        "scheduler",
+        "avgJCT",
+        "d-rat",
+        "a-rat",
+        "wait(s)",
+        "acc",
+        "bw(GB)",
+        "mkspan(h)",
+        "ms",
+        "unfin"
+    );
     for name in baselines::FIGURE_SCHEDULERS {
         let mut s = e.trained_scheduler(name, 7);
         let t0 = std::time::Instant::now();

@@ -5,16 +5,34 @@
 //! cargo run --release -p mlfs-sim --example mlfh_diag -- 2 [0.9]
 //! ```
 
-use mlfs_sim::experiments::fig4;
 use mlfs::{Mlfs, Params};
+use mlfs_sim::experiments::fig4;
 
 fn main() {
-    let x: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let h_r: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.9);
+    let x: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let h_r: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.9);
     let e = fig4(x, 16.0, 42);
     let t0 = std::time::Instant::now();
-    let m = e.run(&mut Mlfs::heuristic(Params { h_r, h_s: h_r, ..Params::default() }));
-    println!("MLF-H x={}: JCT {:.1} d {:.3} acc {:.3} bw {:.1}TB wait {:.0}s mig {} ({:.1}s wall)",
-        x, m.avg_jct_mins(), m.deadline_ratio(), m.avg_accuracy(), m.bandwidth_tb(),
-        m.avg_waiting_secs(), m.migrations, t0.elapsed().as_secs_f64());
+    let m = e.run(&mut Mlfs::heuristic(Params {
+        h_r,
+        h_s: h_r,
+        ..Params::default()
+    }));
+    println!(
+        "MLF-H x={}: JCT {:.1} d {:.3} acc {:.3} bw {:.1}TB wait {:.0}s mig {} ({:.1}s wall)",
+        x,
+        m.avg_jct_mins(),
+        m.deadline_ratio(),
+        m.avg_accuracy(),
+        m.bandwidth_tb(),
+        m.avg_waiting_secs(),
+        m.migrations,
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -15,18 +15,38 @@ fn main() {
     eval_exp.trace.seed = 999;
 
     let m_h = eval_exp.run(&mut Mlfs::heuristic(Params::default()));
-    println!("MLF-H eval: JCT {:.1} d {:.3}", m_h.avg_jct_mins(), m_h.deadline_ratio());
+    println!(
+        "MLF-H eval: JCT {:.1} d {:.3}",
+        m_h.avg_jct_mins(),
+        m_h.deadline_ratio()
+    );
 
-    for (label, imit) in [("imitation-only", rounds + 10), ("imit+RL (half)", rounds / 2)] {
-        let cfg = MlfRlConfig { imitation_rounds: imit, explore: true, seed: 7, ..Default::default() };
+    for (label, imit) in [
+        ("imitation-only", rounds + 10),
+        ("imit+RL (half)", rounds / 2),
+    ] {
+        let cfg = MlfRlConfig {
+            imitation_rounds: imit,
+            explore: true,
+            seed: 7,
+            ..Default::default()
+        };
         let mut warm = Mlfs::rl(Params::default(), cfg.clone());
         e.run(&mut warm);
         let agree = warm.rl_mut().unwrap().imitation_agreement();
         let pol = warm.rl_mut().unwrap().export_policy();
         println!("{label}: imitation agreement {:.3}", agree);
         let mut ev = Mlfs::rl(Params::default(), cfg);
-        { let r = ev.rl_mut().unwrap(); r.import_policy(pol); r.set_explore(false); }
+        {
+            let r = ev.rl_mut().unwrap();
+            r.import_policy(pol);
+            r.set_explore(false);
+        }
         let m = eval_exp.run(&mut ev);
-        println!("{label}: JCT {:.1} d {:.3}", m.avg_jct_mins(), m.deadline_ratio());
+        println!(
+            "{label}: JCT {:.1} d {:.3}",
+            m.avg_jct_mins(),
+            m.deadline_ratio()
+        );
     }
 }

@@ -107,7 +107,10 @@ impl Simulation {
     /// Build a simulation over `specs` (any order; sorted internally).
     pub fn new(cfg: SimConfig, mut specs: Vec<JobSpec>) -> Self {
         specs.sort_by_key(|s| s.arrival);
-        let cluster = Cluster::new(&cfg.cluster);
+        let mut cluster = Cluster::new(&cfg.cluster);
+        // Track the overload index at the engine's threshold so every
+        // per-round overload query is an index read, not a scan.
+        cluster.set_overload_threshold(cfg.h_r);
         let metrics = RunMetrics {
             jobs_submitted: specs.len(),
             ..Default::default()
@@ -144,7 +147,7 @@ impl Simulation {
 
             // Round statistics.
             self.metrics.rounds += 1;
-            let overloaded = self.cluster.overloaded_servers(self.cfg.h_r).len();
+            let overloaded = self.cluster.overloaded_count(self.cfg.h_r);
             self.metrics.overload_occurrences += overloaded as u64;
             if self.cfg.record_timeline {
                 self.metrics.timeline.push(metrics::TimelinePoint {
@@ -192,7 +195,9 @@ impl Simulation {
                 self.now + self.cfg.tick
             } else {
                 // Idle: jump to the next arrival.
-                self.pending[self.next_arrival].arrival.max(self.now + self.cfg.tick)
+                self.pending[self.next_arrival]
+                    .arrival
+                    .max(self.now + self.cfg.tick)
             };
             if next.since(SimTime::ZERO) > self.cfg.max_time {
                 // Horizon reached: advance once more then stop.
@@ -305,8 +310,7 @@ impl Simulation {
 
     /// Admit every pending job with `arrival ≤ t`.
     fn admit_arrivals(&mut self, t: SimTime) {
-        while self.next_arrival < self.pending.len()
-            && self.pending[self.next_arrival].arrival <= t
+        while self.next_arrival < self.pending.len() && self.pending[self.next_arrival].arrival <= t
         {
             let spec = self.pending[self.next_arrival].clone();
             self.next_arrival += 1;
@@ -379,8 +383,8 @@ impl Simulation {
                         .place(task, server, spec.demand, spec.gpu_share)
                     {
                         Ok(gpu) => {
-                            self.jobs.get_mut(&task.job).unwrap().task_states
-                                [task.idx as usize] = TaskRunState::Running { server, gpu };
+                            self.jobs.get_mut(&task.job).unwrap().task_states[task.idx as usize] =
+                                TaskRunState::Running { server, gpu };
                             self.queue.retain(|t| *t != task);
                         }
                         Err(_) => self.metrics.invalid_actions += 1,
@@ -408,8 +412,7 @@ impl Simulation {
                     let was_remote = self.cluster.locate(task) != Some(to);
                     match self.cluster.migrate(task, to, state_mb) {
                         Ok(gpu) => {
-                            self.jobs.get_mut(&task.job).unwrap().task_states
-                                [task.idx as usize] =
+                            self.jobs.get_mut(&task.job).unwrap().task_states[task.idx as usize] =
                                 TaskRunState::Running { server: to, gpu };
                             self.stragglers.remove(&task);
                             if was_remote {
@@ -453,12 +456,10 @@ impl Simulation {
                     }
                     self.complete_job(job, self.now, reason);
                 }
-                Action::SetPolicy { job, policy } => {
-                    match self.jobs.get_mut(&job) {
-                        Some(j) if !j.is_finished() => j.effective_policy = policy,
-                        _ => self.metrics.invalid_actions += 1,
-                    }
-                }
+                Action::SetPolicy { job, policy } => match self.jobs.get_mut(&job) {
+                    Some(j) if !j.is_finished() => j.effective_policy = policy,
+                    _ => self.metrics.invalid_actions += 1,
+                },
             }
         }
     }
@@ -487,14 +488,17 @@ impl Simulation {
                         // id into a phase and a 20–60 min period.
                         let h = (id.0 as u64)
                             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            .wrapping_add(i as u64 * 0x1000_0000_1B3);
+                            .wrapping_add(i as u64 * 0x0010_0000_01B3);
                         let phase = (h % 1000) as f64 / 1000.0;
                         let period = 20.0 + (h / 1000 % 41) as f64;
                         let factor = 1.0
-                            + amp
-                                * (2.0 * std::f64::consts::PI * (t_mins / period + phase)).sin();
+                            + amp * (2.0 * std::f64::consts::PI * (t_mins / period + phase)).sin();
                         let spec = &j.spec.tasks[i];
-                        (task, spec.demand * factor, (spec.gpu_share * factor).min(1.0))
+                        (
+                            task,
+                            spec.demand * factor,
+                            (spec.gpu_share * factor).min(1.0),
+                        )
                     })
             })
             .collect();
@@ -672,14 +676,13 @@ mod tests {
         let specs = tiny_trace(15.0, 3);
         let ideal: BTreeMap<u32, f64> = specs
             .iter()
-            .map(|s| {
-                (
-                    s.id.0,
-                    s.ideal_runtime(s.max_iterations).as_mins_f64(),
-                )
-            })
+            .map(|s| (s.id.0, s.ideal_runtime(s.max_iterations).as_mins_f64()))
             .collect();
-        let m = run(tiny_cfg(), specs, &mut mlfs::Mlfs::heuristic(Params::default()));
+        let m = run(
+            tiny_cfg(),
+            specs,
+            &mut mlfs::Mlfs::heuristic(Params::default()),
+        );
         for j in &m.jobs {
             if let Some(jct) = j.jct_mins {
                 // Fluid model can only be slower than the ideal
@@ -815,7 +818,11 @@ mod tests {
                 slowdown: 0.2,
                 replicate,
             });
-            run(cfg, specs.clone(), &mut mlfs::Mlfs::heuristic(Params::default()))
+            run(
+                cfg,
+                specs.clone(),
+                &mut mlfs::Mlfs::heuristic(Params::default()),
+            )
         };
         let without = mk(false);
         let with = mk(true);

@@ -87,7 +87,7 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
             // placed and all its parents are active.
             let order = spec.dag.topological_order();
             let mut active = vec![false; n];
-            for &k in &order {
+            for &k in order {
                 let k = k as usize;
                 let parents_ok = spec.dag.parents(k).iter().all(|&p| active[p as usize]);
                 active[k] = placed[k].is_some() && parents_ok;
@@ -105,7 +105,7 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
     let mut finish = vec![0.0f64; n];
     let mut cross_mb = 0.0;
     let topology = cluster.topology();
-    for &k in &topo {
+    for &k in topo {
         let k = k as usize;
         if !active[k] {
             continue;
@@ -143,8 +143,8 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
     let sinks: Vec<usize> = spec
         .dag
         .sinks()
-        .into_iter()
-        .map(|s| s as usize)
+        .iter()
+        .map(|s| *s as usize)
         .filter(|&s| active[s])
         .collect();
     match spec.comm {
@@ -175,8 +175,7 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
                     let b = placed[sinks[(w + 1) % sinks.len()]].expect("active").0;
                     if a != b {
                         cross_mb += spec.comm_mb;
-                        sync = sync
-                            .max(topology.transfer_time(a, b, spec.comm_mb).as_secs_f64());
+                        sync = sync.max(topology.transfer_time(a, b, spec.comm_mb).as_secs_f64());
                     }
                 }
             }
@@ -285,7 +284,9 @@ mod tests {
     fn place(c: &mut Cluster, j: &mut JobState, idx: usize, server: u32) {
         let t = TaskId::new(j.spec.id, idx as u16);
         let spec = &j.spec.tasks[idx];
-        let gpu = c.place(t, ServerId(server), spec.demand, spec.gpu_share).unwrap();
+        let gpu = c
+            .place(t, ServerId(server), spec.demand, spec.gpu_share)
+            .unwrap();
         j.task_states[idx] = TaskRunState::Running {
             server: ServerId(server),
             gpu,
@@ -298,10 +299,7 @@ mod tests {
         let j = job(2, false, CommStructure::AllReduce);
         let r = job_rate(&j, &c, ProgressModel::Pipelined);
         assert_eq!(r.iters_per_sec, 0.0);
-        assert_eq!(
-            job_rate(&j, &c, ProgressModel::Gang).iters_per_sec,
-            0.0
-        );
+        assert_eq!(job_rate(&j, &c, ProgressModel::Gang).iters_per_sec, 0.0);
     }
 
     #[test]

@@ -278,6 +278,9 @@ mod tests {
     fn mul_f64_behaviour() {
         assert_eq!(SimDuration::from_secs(10).mul_f64(0.5).as_millis(), 5000);
         assert_eq!(SimDuration::from_secs(10).mul_f64(-2.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs(10).mul_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs(10).mul_f64(f64::NAN),
+            SimDuration::ZERO
+        );
     }
 }

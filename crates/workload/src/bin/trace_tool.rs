@@ -19,9 +19,15 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("stats");
-    let jobs: usize = flag(&args, "jobs").and_then(|s| s.parse().ok()).unwrap_or(620);
-    let tf: f64 = flag(&args, "tf").and_then(|s| s.parse().ok()).unwrap_or(16.0);
-    let seed: u64 = flag(&args, "seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let jobs: usize = flag(&args, "jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(620);
+    let tf: f64 = flag(&args, "tf")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16.0);
+    let seed: u64 = flag(&args, "seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
 
     let mut cfg = TraceConfig::paper_real(1.0, tf, seed);
     cfg.jobs = jobs;
@@ -30,8 +36,11 @@ fn main() {
     match cmd {
         "export" => {
             let out = flag(&args, "out").unwrap_or_else(|| "trace.json".into());
-            std::fs::write(&out, serde_json::to_string_pretty(&trace).expect("serialize"))
-                .expect("write trace file");
+            std::fs::write(
+                &out,
+                serde_json::to_string_pretty(&trace).expect("serialize"),
+            )
+            .expect("write trace file");
             println!("{} jobs written to {out}", trace.len());
         }
         "stats" => {
@@ -66,14 +75,22 @@ fn main() {
                 .map(|j| j.predicted_runtime.as_mins_f64())
                 .collect();
             runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let pct = |p: f64| runtimes[((p / 100.0 * runtimes.len() as f64) as usize).min(runtimes.len() - 1)];
+            let pct = |p: f64| {
+                runtimes[((p / 100.0 * runtimes.len() as f64) as usize).min(runtimes.len() - 1)]
+            };
             println!("\npredicted runtime (compressed minutes):");
-            println!("  p10 {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}", pct(10.0), pct(50.0), pct(90.0), pct(99.0));
-            let ps = trace
-                .iter()
-                .filter(|j| j.has_param_server())
-                .count();
-            println!("\nparameter-server jobs: {:.1}%", 100.0 * ps as f64 / trace.len().max(1) as f64);
+            println!(
+                "  p10 {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}",
+                pct(10.0),
+                pct(50.0),
+                pct(90.0),
+                pct(99.0)
+            );
+            let ps = trace.iter().filter(|j| j.has_param_server()).count();
+            println!(
+                "\nparameter-server jobs: {:.1}%",
+                100.0 * ps as f64 / trace.len().max(1) as f64
+            );
             let iters: Vec<u64> = trace.iter().map(|j| j.max_iterations).collect();
             println!(
                 "iteration budgets  : min {}  max {}",

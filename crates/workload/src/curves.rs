@@ -45,10 +45,18 @@ impl LearningProfile {
     /// built by the trace generator, so a bad one is a programming bug.
     pub fn new(l0: f64, floor: f64, k: f64, a_max: f64) -> Self {
         assert!(l0.is_finite() && floor.is_finite() && k.is_finite() && a_max.is_finite());
-        assert!(l0 > 0.0 && floor >= 0.0 && floor < l0, "need 0 <= floor < l0");
+        assert!(
+            l0 > 0.0 && floor >= 0.0 && floor < l0,
+            "need 0 <= floor < l0"
+        );
         assert!(k > 0.0, "decay rate must be positive");
         assert!(a_max > 0.0 && a_max <= 1.0, "a_max in (0,1]");
-        LearningProfile { l0, floor, k, a_max }
+        LearningProfile {
+            l0,
+            floor,
+            k,
+            a_max,
+        }
     }
 
     /// Loss after `i` (possibly fractional) iterations.
@@ -225,9 +233,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn profiles() -> impl Strategy<Value = LearningProfile> {
-        (0.5f64..5.0, 0.0f64..0.45, 0.001f64..0.5, 0.5f64..1.0).prop_map(|(l0, fr, k, a)| {
-            LearningProfile::new(l0, l0 * fr, k, a)
-        })
+        (0.5f64..5.0, 0.0f64..0.45, 0.001f64..0.5, 0.5f64..1.0)
+            .prop_map(|(l0, fr, k, a)| LearningProfile::new(l0, l0 * fr, k, a))
     }
 
     proptest! {

@@ -41,6 +41,14 @@ pub struct Dag {
     n: usize,
     children: Vec<Vec<u16>>,
     parents: Vec<Vec<u16>>,
+    /// Cached at construction: tasks with no parents.
+    sources: Vec<u16>,
+    /// Cached at construction: tasks with no children. Queried on
+    /// every `comm_neighbors` call in the scheduler hot path.
+    sinks: Vec<u16>,
+    /// Cached at construction: a topological order (Kahn's algorithm,
+    /// smallest-index-first for determinism).
+    topo: Vec<u16>,
 }
 
 impl Dag {
@@ -59,13 +67,24 @@ impl Dag {
             children[a as usize].push(b);
             parents[b as usize].push(a);
         }
-        let dag = Dag {
+        let topo = compute_topo(n, &children, &parents);
+        assert!(topo.len() == n, "graph has a cycle");
+        let sources = (0..n)
+            .filter(|&i| parents[i].is_empty())
+            .map(|i| i as u16)
+            .collect();
+        let sinks = (0..n)
+            .filter(|&i| children[i].is_empty())
+            .map(|i| i as u16)
+            .collect();
+        Dag {
             n,
             children,
             parents,
-        };
-        assert!(dag.topological_order().len() == n, "graph has a cycle");
-        dag
+            sources,
+            sinks,
+            topo,
+        }
     }
 
     /// An edgeless DAG of `n` independent tasks.
@@ -132,42 +151,20 @@ impl Dag {
         out
     }
 
-    /// Tasks with no parents.
-    pub fn sources(&self) -> Vec<u16> {
-        (0..self.n)
-            .filter(|&i| self.parents[i].is_empty())
-            .map(|i| i as u16)
-            .collect()
+    /// Tasks with no parents (cached at construction).
+    pub fn sources(&self) -> &[u16] {
+        &self.sources
     }
 
-    /// Tasks with no children.
-    pub fn sinks(&self) -> Vec<u16> {
-        (0..self.n)
-            .filter(|&i| self.children[i].is_empty())
-            .map(|i| i as u16)
-            .collect()
+    /// Tasks with no children (cached at construction).
+    pub fn sinks(&self) -> &[u16] {
+        &self.sinks
     }
 
-    /// A topological order (Kahn's algorithm, smallest-index-first for
-    /// determinism). Shorter than `n` iff the graph has a cycle.
-    pub fn topological_order(&self) -> Vec<u16> {
-        let mut indeg: Vec<usize> = (0..self.n).map(|i| self.parents[i].len()).collect();
-        let mut ready: Vec<u16> = (0..self.n)
-            .filter(|&i| indeg[i] == 0)
-            .map(|i| i as u16)
-            .collect();
-        let mut order = Vec::with_capacity(self.n);
-        while let Some(&next) = ready.iter().min() {
-            ready.retain(|&x| x != next);
-            order.push(next);
-            for &c in &self.children[next as usize] {
-                indeg[c as usize] -= 1;
-                if indeg[c as usize] == 0 {
-                    ready.push(c);
-                }
-            }
-        }
-        order
+    /// A topological order, cached at construction (Kahn's algorithm,
+    /// smallest-index-first for determinism).
+    pub fn topological_order(&self) -> &[u16] {
+        &self.topo
     }
 
     /// Number of transitive descendants of each task (not counting the
@@ -210,7 +207,7 @@ impl Dag {
         let order = self.topological_order();
         let mut best = vec![0.0f64; self.n];
         let mut max = 0.0f64;
-        for &k in &order {
+        for &k in order {
             let up = self.parents[k as usize]
                 .iter()
                 .map(|&p| best[p as usize])
@@ -220,6 +217,28 @@ impl Dag {
         }
         max
     }
+}
+
+/// Kahn's algorithm over raw adjacency lists, smallest-index-first.
+/// Returns fewer than `n` entries iff the graph has a cycle.
+fn compute_topo(n: usize, children: &[Vec<u16>], parents: &[Vec<u16>]) -> Vec<u16> {
+    let mut indeg: Vec<usize> = (0..n).map(|i| parents[i].len()).collect();
+    let mut ready: Vec<u16> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| i as u16)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&next) = ready.iter().min() {
+        ready.retain(|&x| x != next);
+        order.push(next);
+        for &c in &children[next as usize] {
+            indeg[c as usize] -= 1;
+            if indeg[c as usize] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    order
 }
 
 #[cfg(test)]

@@ -110,7 +110,10 @@ impl JobSpec {
 
     /// True when the job has a dedicated parameter-server task.
     pub fn has_param_server(&self) -> bool {
-        self.tasks.last().map(|t| t.is_param_server).unwrap_or(false)
+        self.tasks
+            .last()
+            .map(|t| t.is_param_server)
+            .unwrap_or(false)
     }
 
     /// Per-iteration compute-only critical path (no communication).

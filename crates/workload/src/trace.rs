@@ -244,7 +244,10 @@ impl TraceGenerator {
         let median_secs = self.cfg.duration_median_mins * 60.0 / self.cfg.time_factor;
         let duration_secs = rng
             .lognormal(median_secs.ln(), self.cfg.duration_sigma)
-            .clamp(90.0 / self.cfg.time_factor, 7.0 * 24.0 * 3600.0 / self.cfg.time_factor);
+            .clamp(
+                90.0 / self.cfg.time_factor,
+                7.0 * 24.0 * 3600.0 / self.cfg.time_factor,
+            );
 
         // Per-task compute: the whole model costs iter_gpu_secs per
         // iteration; each partition takes its proportional share
@@ -340,9 +343,8 @@ impl TraceGenerator {
         // Deadline: max(1.1 t_e, t_r) past arrival (§4.1); t_r is
         // compressed along with everything else.
         let (lo_h, hi_h) = self.cfg.deadline_slack_hours;
-        let t_r = SimDuration::from_secs_f64(
-            rng.range_f64(lo_h, hi_h) * 3600.0 / self.cfg.time_factor,
-        );
+        let t_r =
+            SimDuration::from_secs_f64(rng.range_f64(lo_h, hi_h) * 3600.0 / self.cfg.time_factor);
         let t_e = predicted_runtime.mul_f64(1.1);
         let deadline = arrival + if t_e > t_r { t_e } else { t_r };
 

@@ -46,8 +46,14 @@ fn main() {
         let m = run(sim_cfg.clone(), jobs.clone(), &mut sched);
         println!("{label}:");
         println!("  average JCT          : {:.1} min", m.avg_jct_mins());
-        println!("  accuracy guarantee   : {:.1} %", 100.0 * m.accuracy_ratio());
-        println!("  deadline guarantee   : {:.1} %", 100.0 * m.deadline_ratio());
+        println!(
+            "  accuracy guarantee   : {:.1} %",
+            100.0 * m.accuracy_ratio()
+        );
+        println!(
+            "  deadline guarantee   : {:.1} %",
+            100.0 * m.deadline_ratio()
+        );
         println!("  average waiting time : {:.0} s", m.avg_waiting_secs());
         println!(
             "  finished             : {}/{}\n",

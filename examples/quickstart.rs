@@ -36,14 +36,25 @@ fn main() {
     let m = run(sim_cfg, jobs, &mut scheduler);
 
     println!("scheduler            : {}", m.scheduler);
-    println!("jobs finished        : {}/{}", m.jobs.iter().filter(|j| j.finished.is_some()).count(), m.jobs_submitted);
+    println!(
+        "jobs finished        : {}/{}",
+        m.jobs.iter().filter(|j| j.finished.is_some()).count(),
+        m.jobs_submitted
+    );
     println!("average JCT          : {:.1} min", m.avg_jct_mins());
-    println!("JCT < 100 min        : {:.0} % of jobs", 100.0 * m.jct_cdf_at(100.0));
+    println!(
+        "JCT < 100 min        : {:.0} % of jobs",
+        100.0 * m.jct_cdf_at(100.0)
+    );
     println!("deadline guarantee   : {:.1} %", 100.0 * m.deadline_ratio());
     println!("accuracy guarantee   : {:.1} %", 100.0 * m.accuracy_ratio());
     println!("average accuracy     : {:.3}", m.avg_accuracy());
     println!("average waiting time : {:.1} s", m.avg_waiting_secs());
     println!("bandwidth cost       : {:.2} TB", m.bandwidth_tb());
     println!("makespan             : {:.1} h", m.makespan_hours);
-    println!("scheduler overhead   : {:.3} ms/round over {} rounds", m.avg_decision_ms(), m.rounds);
+    println!(
+        "scheduler overhead   : {:.3} ms/round over {} rounds",
+        m.avg_decision_ms(),
+        m.rounds
+    );
 }

@@ -34,7 +34,10 @@ fn main() {
     println!("after the warm-up run:");
     println!("  episodes trained : {}", rl.episodes_trained);
     println!("  converged        : {}", rl.is_converged());
-    println!("  avg JCT (warm-up): {:.1} min", warm_metrics.avg_jct_mins());
+    println!(
+        "  avg JCT (warm-up): {:.1} min",
+        warm_metrics.avg_jct_mins()
+    );
 
     // Transfer the trained policy into a fresh evaluation run
     // (greedy) and compare against plain MLF-H on the same trace.

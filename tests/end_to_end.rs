@@ -48,10 +48,7 @@ fn every_scheduler_completes_the_workload() {
         assert_eq!(m.jobs_submitted, 25, "{name}");
         assert_eq!(m.jobs.len(), 25, "{name}");
         let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
-        assert!(
-            finished >= 23,
-            "{name}: only {finished}/25 jobs finished"
-        );
+        assert!(finished >= 23, "{name}: only {finished}/25 jobs finished");
         assert_eq!(m.leaked_tasks, 0, "{name} leaked tasks");
         assert!(m.avg_jct_mins() > 0.0, "{name}");
         assert!(m.bandwidth_mb >= 0.0, "{name}");
@@ -85,11 +82,7 @@ fn mlfh_emits_no_invalid_actions() {
     // MLFS components must be internally consistent with the engine's
     // validation (baselines may race stale state; MLF-H must not).
     let (cfg, specs) = small_experiment(17, 30);
-    let m = run(
-        cfg,
-        specs,
-        &mut Mlfs::heuristic(Params::default()),
-    );
+    let m = run(cfg, specs, &mut Mlfs::heuristic(Params::default()));
     assert_eq!(m.invalid_actions, 0);
 }
 
@@ -120,11 +113,7 @@ fn full_mlfs_improves_over_fair_share_under_load() {
     // and deadline ratio.
     let (mut cfg, specs) = small_experiment(23, 60);
     cfg.cluster.servers = 2; // force contention
-    let m_fair = run(
-        cfg.clone(),
-        specs.clone(),
-        &mut baselines::BorgFair::new(),
-    );
+    let m_fair = run(cfg.clone(), specs.clone(), &mut baselines::BorgFair::new());
     let mut mlfs_sched = Mlfs::full(
         Params::default(),
         MlfRlConfig {

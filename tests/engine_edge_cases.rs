@@ -2,11 +2,11 @@
 
 use cluster::{ClusterConfig, JobId, ResourceVec, ServerId, TaskId, Topology};
 use mlfs::{Action, Scheduler, SchedulerContext};
-use workload::StopPolicy;
 use mlfs_sim::engine::{run, SimConfig};
 use simcore::{SimDuration, SimTime};
 use workload::dag::{CommStructure, Dag};
 use workload::job::{JobSpec, TaskSpec};
+use workload::StopPolicy;
 use workload::{LearningProfile, MlAlgorithm};
 
 fn one_server_cfg() -> SimConfig {
@@ -168,7 +168,11 @@ fn max_time_caps_the_simulation() {
     // A job needing ~1000 s of compute cannot finish in 5 minutes
     // (it can — 300 s... make it 10,000 iterations = ~2.8 h).
     let specs = vec![tiny_job(0, 0, 10_000)];
-    let m = run(cfg, specs, &mut mlfs::Mlfs::heuristic(mlfs::Params::default()));
+    let m = run(
+        cfg,
+        specs,
+        &mut mlfs::Mlfs::heuristic(mlfs::Params::default()),
+    );
     assert!(m.jobs[0].finished.is_none());
     assert_eq!(m.leaked_tasks, 0);
 }
@@ -190,7 +194,8 @@ fn deadline_accuracy_interpolates_mid_round() {
     // deadline (placement occurs at the first round, t=0).
     let expect = spec.curve.accuracy_at(90.0);
     assert!(
-        (j.accuracy_by_deadline - expect).abs() < spec.curve.accuracy_at(91.0) - spec.curve.accuracy_at(89.0) + 0.02,
+        (j.accuracy_by_deadline - expect).abs()
+            < spec.curve.accuracy_at(91.0) - spec.curve.accuracy_at(89.0) + 0.02,
         "frozen {} vs expected ~{}",
         j.accuracy_by_deadline,
         expect

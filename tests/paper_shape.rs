@@ -109,27 +109,33 @@ fn mlfc_ablation_direction_holds() {
 #[test]
 fn urgency_ablation_direction_holds() {
     // Fig. 6's direction: urgency consideration lifts urgent jobs'
-    // deadline guarantee ratio.
-    let e = fig4(2.5, 16.0, 11);
-    let urgent_ratio = |m: &RunMetrics| {
-        let urgent: Vec<_> = m.jobs.iter().filter(|j| j.urgency > 8).collect();
-        urgent.iter().filter(|j| j.met_deadline).count() as f64 / urgent.len().max(1) as f64
+    // deadline guarantee ratio. Any single seed is noisy (the effect
+    // is a few percentage points), so pool urgent-job outcomes over
+    // several seeds and compare aggregate counts.
+    let urgent_met = |m: &RunMetrics| {
+        m.jobs
+            .iter()
+            .filter(|j| j.urgency > 8 && j.met_deadline)
+            .count()
     };
-    let mut with = e.scheduler_with_params("MLF-H", 3, mlfs::Params::default());
-    let m_with = e.run(with.as_mut());
-    let mut without = e.scheduler_with_params(
-        "MLF-H",
-        3,
-        mlfs::Params {
-            use_urgency: false,
-            ..mlfs::Params::default()
-        },
-    );
-    let m_without = e.run(without.as_mut());
+    let mut met_with = 0;
+    let mut met_without = 0;
+    for seed in [9, 11, 13] {
+        let e = fig4(2.5, 16.0, seed);
+        let mut with = e.scheduler_with_params("MLF-H", 3, mlfs::Params::default());
+        met_with += urgent_met(&e.run(with.as_mut()));
+        let mut without = e.scheduler_with_params(
+            "MLF-H",
+            3,
+            mlfs::Params {
+                use_urgency: false,
+                ..mlfs::Params::default()
+            },
+        );
+        met_without += urgent_met(&e.run(without.as_mut()));
+    }
     assert!(
-        urgent_ratio(&m_with) > urgent_ratio(&m_without),
-        "with {} vs without {}",
-        urgent_ratio(&m_with),
-        urgent_ratio(&m_without)
+        met_with > met_without,
+        "with {met_with} vs without {met_without}"
     );
 }

@@ -100,5 +100,8 @@ fn time_factor_compresses_consistently() {
     assert_eq!(a.len(), b.len());
     let last_a = a.last().unwrap().arrival.as_hours_f64();
     let last_b = b.last().unwrap().arrival.as_hours_f64();
-    assert!(last_a > last_b * 4.0, "span compression: {last_a} vs {last_b}");
+    assert!(
+        last_a > last_b * 4.0,
+        "span compression: {last_a} vs {last_b}"
+    );
 }

@@ -1,0 +1,248 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses.
+//!
+//! Benches run with the same shape as real criterion (`cargo bench`
+//! with `harness = false`, `criterion_group!`/`criterion_main!`,
+//! groups, `Bencher::iter`) but a simpler engine: per sample the
+//! closure runs enough iterations to cover a minimum window, and the
+//! reported statistic is the median ns/iteration over all samples.
+//!
+//! Every measurement is also written to
+//! `target/criterion-mini/<group>/<bench>.json` so tooling (the
+//! `BENCH_scheduler.json` emitter in `mlfs-bench`) can consume a
+//! machine-readable snapshot.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 50;
+/// Minimum measured wall time per sample; keeps timer overhead < 1%.
+const MIN_SAMPLE_WINDOW: Duration = Duration::from_millis(5);
+
+/// Locate `<workspace>/target/criterion-mini` by walking up from the
+/// bench executable (which lives in `target/<profile>/deps/`).
+fn out_root() -> PathBuf {
+    if let Some(dir) = std::env::var_os("CRITERION_MINI_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut p = exe.as_path();
+        while let Some(parent) = p.parent() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                return p.join("criterion-mini");
+            }
+            p = parent;
+        }
+    }
+    PathBuf::from("target").join("criterion-mini")
+}
+
+/// One benchmark's measurement summary, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility with generated runner code.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_bench("standalone", id, sample_size, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&self.name, id, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters_per_sample: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters_per_sample` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_sample(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench(group: &str, id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // covers the minimum window (also serves as warm-up).
+    let mut iters: u64 = 1;
+    loop {
+        let t = run_sample(&mut f, iters);
+        if t >= MIN_SAMPLE_WINDOW || iters >= (1 << 30) {
+            break;
+        }
+        // Aim directly for the window with 2x headroom.
+        let target = MIN_SAMPLE_WINDOW.as_secs_f64() * 2.0;
+        let per_iter = (t.as_secs_f64() / iters as f64).max(1e-9);
+        iters = ((target / per_iter).ceil() as u64).clamp(iters + 1, iters * 100);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..sample_size.max(2))
+        .map(|_| run_sample(&mut f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+    let n = per_iter_ns.len();
+    let median_ns = if n % 2 == 1 {
+        per_iter_ns[n / 2]
+    } else {
+        0.5 * (per_iter_ns[n / 2 - 1] + per_iter_ns[n / 2])
+    };
+    let summary = Summary {
+        median_ns,
+        mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
+        min_ns: per_iter_ns[0],
+        max_ns: per_iter_ns[n - 1],
+        samples: n,
+    };
+
+    println!(
+        "{group}/{id}  time: [{} {} {}]  ({} samples, {iters} iters/sample)",
+        fmt_ns(summary.min_ns),
+        fmt_ns(summary.median_ns),
+        fmt_ns(summary.max_ns),
+        summary.samples,
+    );
+    write_snapshot(group, id, &summary);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn write_snapshot(group: &str, id: &str, s: &Summary) {
+    let dir = out_root().join(sanitize(group));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let json = format!(
+        "{{\n  \"group\": \"{}\",\n  \"bench\": \"{}\",\n  \"median_ns\": {},\n  \
+         \"mean_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"samples\": {}\n}}\n",
+        group, id, s.median_ns, s.mean_ns, s.min_ns, s.max_ns, s.samples
+    );
+    let _ = std::fs::write(dir.join(format!("{}.json", sanitize(id))), json);
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_snapshots() {
+        let tmp = std::env::temp_dir().join("criterion-mini-selftest");
+        std::env::set_var("CRITERION_MINI_DIR", &tmp);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+        let written = tmp.join("selftest").join("sum.json");
+        let body = std::fs::read_to_string(&written).expect("snapshot written");
+        assert!(body.contains("\"median_ns\""));
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

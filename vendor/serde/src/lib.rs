@@ -1,0 +1,785 @@
+//! Offline stand-in for the slice of `serde` this workspace uses.
+//!
+//! The workspace only ever (a) derives `Serialize`/`Deserialize` with
+//! no field attributes and (b) round-trips values through JSON text
+//! via `serde_json`. That lets us collapse serde's zero-copy visitor
+//! architecture into a simple tree model: serialization produces a
+//! [`Value`], deserialization consumes one, and `serde_json` renders
+//! `Value` to/from text. The derive macros live in `serde_derive`
+//! (re-exported here) and generate code against this `Value` API.
+//!
+//! Formats match real `serde_json` conventions so traces written by
+//! this stub stay loadable by the real crates (and vice versa):
+//! externally tagged enums, `null` for `None`, arrays for tuples, and
+//! stringified keys for non-string maps.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree (the union of everything JSON can say).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (struct fields keep declaration order).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(u) => Some(u as f64),
+            Value::I64(i) => Some(i as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error (shared with `serde_json`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::msg(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::U64(u) => <$t>::try_from(u)
+                        .map_err(|_| Error::msg(format!("{u} out of range"))),
+                    Value::I64(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::msg(format!("{i} out of range"))),
+                    _ => Err(Error::expected("unsigned integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::U64(i as u64) } else { Value::I64(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::U64(u) => <$t>::try_from(u)
+                        .map_err(|_| Error::msg(format!("{u} out of range"))),
+                    Value::I64(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::msg(format!("{i} out of range"))),
+                    _ => Err(Error::expected("integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-char string", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", v))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::msg(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| Error::expected("tuple", v))?;
+                let expect = [$(stringify!($i)),+].len();
+                if seq.len() != expect {
+                    return Err(Error::msg(format!(
+                        "expected tuple of {expect}, found {}", seq.len(),
+                    )));
+                }
+                Ok(($($t::deserialize_value(&seq[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Maps and sets
+// ---------------------------------------------------------------------------
+
+/// Encode a map key as a string, matching `serde_json`: string keys
+/// pass through, everything else becomes its compact JSON encoding.
+fn encode_key<K: Serialize>(key: &K) -> String {
+    match key.serialize_value() {
+        Value::Str(s) => s,
+        other => crate::text::render(&other, None),
+    }
+}
+
+/// Decode a map key from its string form: first as a plain string
+/// (covers `String` keys that happen to look numeric), then as JSON.
+fn decode_key<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize_value(&Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    let v = crate::text::parse(key)?;
+    K::deserialize_value(&v)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (encode_key(k), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", v))?
+            .iter()
+            .map(|(k, val)| Ok((decode_key(k)?, V::deserialize_value(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", v))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive support
+// ---------------------------------------------------------------------------
+
+/// Look up a struct field by name; a missing key deserializes as
+/// `Null` so `Option` fields tolerate hand-written JSON that omits
+/// them (everything else reports the missing field).
+pub fn field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::deserialize_value(v).map_err(|e| Error::msg(format!("field `{key}`: {e}")))
+        }
+        None => T::deserialize_value(&Value::Null)
+            .map_err(|_| Error::msg(format!("missing field `{key}`"))),
+    }
+}
+
+/// JSON text rendering/parsing shared with `serde_json` (kept here so
+/// map-key encoding and the JSON crate agree exactly).
+pub mod text {
+    use super::{Error, Value};
+
+    /// Render a value as JSON. `indent = None` is compact,
+    /// `Some(step)` pretty-prints with `step`-space indentation.
+    pub fn render(v: &Value, indent: Option<usize>) -> String {
+        let mut out = String::new();
+        write_value(&mut out, v, indent, 0);
+        out
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::U64(u) => out.push_str(&u.to_string()),
+            Value::I64(i) => out.push_str(&i.to_string()),
+            Value::F64(f) => write_f64(out, *f),
+            Value::Str(s) => write_string(out, s),
+            Value::Seq(items) => {
+                write_compound(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    write_value(out, &items[i], indent, depth + 1)
+                })
+            }
+            Value::Map(entries) => {
+                write_compound(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, val) = &entries[i];
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, depth + 1)
+                })
+            }
+        }
+    }
+
+    fn write_compound(
+        out: &mut String,
+        indent: Option<usize>,
+        depth: usize,
+        open: char,
+        close: char,
+        len: usize,
+        mut write_item: impl FnMut(&mut String, usize),
+    ) {
+        out.push(open);
+        if len == 0 {
+            out.push(close);
+            return;
+        }
+        for i in 0..len {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(step) = indent {
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+            }
+            write_item(out, i);
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * depth));
+        }
+        out.push(close);
+    }
+
+    /// Rust's shortest-roundtrip float formatting, with serde_json's
+    /// conventions: non-finite numbers render as `null`, and integral
+    /// floats keep a `.0` so they re-read as floats.
+    fn write_f64(out: &mut String, f: f64) {
+        if !f.is_finite() {
+            out.push_str("null");
+            return;
+        }
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parse JSON text into a [`Value`].
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error::msg(format!(
+                    "expected `{}` at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::Str),
+                Some(b'[') => self.seq(),
+                Some(b'{') => self.map(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(Error::msg(format!("unexpected byte at {}", self.pos))),
+            }
+        }
+
+        fn seq(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `]` at {}", self.pos))),
+                }
+            }
+        }
+
+        fn map(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                entries.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `}}` at {}", self.pos))),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("bad \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| Error::msg("bad \\u escape"))?;
+                                // Surrogate pairs are not needed for
+                                // this workspace's ASCII field names.
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error::msg("bad \\u codepoint"))?,
+                                );
+                                self.pos += 4;
+                            }
+                            _ => return Err(Error::msg("bad escape")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character.
+                        let rest = &self.bytes[self.pos..];
+                        let s =
+                            std::str::from_utf8(rest).map_err(|_| Error::msg("invalid utf-8"))?;
+                        let c = s.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                    None => return Err(Error::msg("unterminated string")),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            if self.peek() == Some(b'.') {
+                is_float = true;
+                self.pos += 1;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                is_float = true;
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            if !is_float {
+                if let Ok(u) = text.parse::<u64>() {
+                    return Ok(Value::U64(u));
+                }
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::I64(i));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::msg(format!("bad number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_value() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Seq(vec![Value::U64(1), Value::F64(2.5)])),
+            ("b".into(), Value::Str("x\"y\n".into())),
+            ("c".into(), Value::Null),
+            ("d".into(), Value::I64(-3)),
+            ("e".into(), Value::Bool(true)),
+        ]);
+        let compact = text::render(&v, None);
+        assert_eq!(text::parse(&compact).unwrap(), v);
+        let pretty = text::render(&v, Some(2));
+        assert_eq!(text::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_keep_roundtrip_precision() {
+        let f = 0.1f64 + 0.2;
+        let s = text::render(&Value::F64(f), None);
+        match text::parse(&s).unwrap() {
+            Value::F64(g) => assert_eq!(f, g),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integral_floats_reparse_as_floats() {
+        let s = text::render(&Value::F64(3.0), None);
+        assert_eq!(s, "3.0");
+        assert_eq!(text::parse(&s).unwrap(), Value::F64(3.0));
+    }
+
+    #[test]
+    fn map_keys_encode_non_strings() {
+        let mut m = BTreeMap::new();
+        m.insert(7u32, "x".to_string());
+        let v = m.serialize_value();
+        assert_eq!(v, Value::Map(vec![("7".into(), Value::Str("x".into()))]));
+        let back: BTreeMap<u32, String> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn string_keys_that_look_numeric_survive() {
+        let mut m = BTreeMap::new();
+        m.insert("42".to_string(), 1u8);
+        let back: BTreeMap<String, u8> =
+            Deserialize::deserialize_value(&m.serialize_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Some(5);
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::deserialize_value(&some.serialize_value()).unwrap(),
+            some
+        );
+        assert_eq!(
+            Option::<u32>::deserialize_value(&none.serialize_value()).unwrap(),
+            none
+        );
+    }
+}

@@ -1,0 +1,444 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! The workspace derives on plain structs and enums only — no
+//! generics, no `#[serde(...)]` attributes — so the macro parses the
+//! item shape directly from the token stream (no `syn`/`quote`,
+//! which are unavailable offline) and emits impls of the tree-model
+//! traits in the vendored `serde` crate. Field types never need to be
+//! parsed: generated code leans on inference through constructors.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn peek_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    /// Skip any number of `#[...]` / `#![...]` attributes (doc
+    /// comments arrive in this form too).
+    fn skip_attrs(&mut self) {
+        while self.peek_punct('#') {
+            self.next();
+            if self.peek_punct('!') {
+                self.next();
+            }
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("expected attribute body, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skip `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Skip one type (or discriminant expression): everything up to a
+    /// comma at angle-bracket depth 0. Parens/brackets/braces arrive
+    /// as single `Group` tokens, so only `<`/`>` need depth tracking.
+    /// Returns how many tokens were consumed.
+    fn skip_until_toplevel_comma(&mut self) -> usize {
+        let mut depth = 0i32;
+        let mut consumed = 0;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            self.next();
+            consumed += 1;
+        }
+        consumed
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if c.peek_punct('<') {
+        panic!("serde derive stub: generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g = g.stream();
+                    c.next();
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let g = g.stream();
+                    c.next();
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body: {other:?}"),
+            };
+            Item {
+                name,
+                shape: Shape::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Item {
+                name,
+                shape: Shape::Enum(parse_variants(body)),
+            }
+        }
+        other => panic!("serde derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        names.push(c.expect_ident());
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        c.skip_until_toplevel_comma();
+        if c.peek_punct(',') {
+            c.next();
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        if c.skip_until_toplevel_comma() > 0 {
+            count += 1;
+        }
+        if c.peek_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                c.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                c.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Explicit discriminant (`= expr`).
+        if c.peek_punct('=') {
+            c.next();
+            c.skip_until_toplevel_comma();
+        }
+        if c.peek_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const SER: &str = "::serde::Serialize::serialize_value";
+const DE: &str = "::serde::Deserialize::deserialize_value";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(::std::string::String::from(\"{f}\"), {SER}(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => format!("{SER}(&self.0)"),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("{SER}(&self.{i})")).collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    let tag = format!("::std::string::String::from(\"{vn}\")");
+    match &v.fields {
+        Fields::Unit => format!("{name}::{vn} => ::serde::Value::Str({tag}),"),
+        Fields::Tuple(1) => {
+            format!("{name}::{vn}(x0) => ::serde::Value::Map(vec![({tag}, {SER}(x0))]),")
+        }
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+            let items: Vec<String> = binds.iter().map(|b| format!("{SER}({b})")).collect();
+            format!(
+                "{name}::{vn}({}) => ::serde::Value::Map(vec![({tag}, \
+                 ::serde::Value::Seq(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(::std::string::String::from(\"{f}\"), {SER}({f}))"))
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![({tag}, \
+                 ::serde::Value::Map(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, \"{f}\")?"))
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| \
+                     ::serde::Error::expected(\"struct {name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}({DE}(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("{DE}(&seq[{i}])?")).collect();
+            format!(
+                "let seq = v.as_seq().ok_or_else(|| \
+                     ::serde::Error::expected(\"tuple struct {name}\", v))?;\n\
+                 if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::msg(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| de_variant_arm(name, v))
+        .collect();
+    let unknown = format!(
+        "other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` of {name}\")))"
+    );
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{ {unit} {unknown} }},\n\
+             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{ {tagged} {unknown} }}\n\
+             }}\n\
+             _ => ::std::result::Result::Err(::serde::Error::expected(\"enum {name}\", v)),\n\
+         }}",
+        unit = unit_arms.join(" "),
+        tagged = tagged_arms.join(" "),
+    )
+}
+
+fn de_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        Fields::Unit => unreachable!("unit variants handled in the string arm"),
+        Fields::Tuple(1) => {
+            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({DE}(inner)?)),")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("{DE}(&seq[{i}])?")).collect();
+            format!(
+                "\"{vn}\" => {{\n\
+                     let seq = inner.as_seq().ok_or_else(|| \
+                         ::serde::Error::expected(\"variant {name}::{vn}\", inner))?;\n\
+                     if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::msg(\"wrong arity for {name}::{vn}\")); }}\n\
+                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, \"{f}\")?"))
+                .collect();
+            format!(
+                "\"{vn}\" => {{\n\
+                     let m = inner.as_map().ok_or_else(|| \
+                         ::serde::Error::expected(\"variant {name}::{vn}\", inner))?;\n\
+                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+    }
+}

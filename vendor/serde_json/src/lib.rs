@@ -1,0 +1,139 @@
+//! Offline stand-in for the slice of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`] and [`from_str`]. Rendering and
+//! parsing live in the vendored `serde` crate (shared with its map-key
+//! encoding); this crate adapts them to the familiar API.
+
+pub use serde::Error;
+pub use serde::Value;
+
+/// Serialize `value` to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::text::render(&value.serialize_value(), None))
+}
+
+/// Serialize `value` to pretty-printed JSON (2-space indent, like the
+/// real `serde_json`).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::text::render(&value.serialize_value(), Some(2)))
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::deserialize_value(&serde::text::parse(s)?)
+}
+
+/// Parse JSON text into an untyped [`Value`] tree.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    serde::text::parse(s)
+}
+
+/// Render an untyped [`Value`] tree as pretty-printed JSON.
+pub fn value_to_string_pretty(v: &Value) -> String {
+    serde::text::render(v, Some(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Inner(u32);
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Plain,
+        Weighted { w: f64, tag: String },
+        Pair(i32, i32),
+        Wrapped(Inner),
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Record {
+        name: String,
+        score: f64,
+        kinds: Vec<Kind>,
+        lookup: BTreeMap<Inner, u8>,
+        maybe: Option<u64>,
+        pair: (f64, f64),
+        arr: [f64; 3],
+    }
+
+    fn sample() -> Record {
+        let mut lookup = BTreeMap::new();
+        lookup.insert(Inner(3), 9);
+        Record {
+            name: "job-1".into(),
+            score: 0.125,
+            kinds: vec![
+                Kind::Plain,
+                Kind::Weighted {
+                    w: -1.5,
+                    tag: "x".into(),
+                },
+                Kind::Pair(-2, 7),
+                Kind::Wrapped(Inner(4)),
+            ],
+            lookup,
+            maybe: None,
+            pair: (1.0, 2.5),
+            arr: [0.0, 1.0, 2.0],
+        }
+    }
+
+    impl PartialOrd for Inner {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Eq for Inner {}
+    impl Ord for Inner {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.cmp(&other.0)
+        }
+    }
+
+    #[test]
+    fn derive_roundtrip_compact_and_pretty() {
+        let r = sample();
+        let compact = crate::to_string(&r).unwrap();
+        assert_eq!(crate::from_str::<Record>(&compact).unwrap(), r);
+        let pretty = crate::to_string_pretty(&r).unwrap();
+        assert_eq!(crate::from_str::<Record>(&pretty).unwrap(), r);
+    }
+
+    #[test]
+    fn externally_tagged_enum_format() {
+        assert_eq!(crate::to_string(&Kind::Plain).unwrap(), "\"Plain\"");
+        assert_eq!(
+            crate::to_string(&Kind::Pair(1, 2)).unwrap(),
+            "{\"Pair\":[1,2]}"
+        );
+        assert_eq!(
+            crate::to_string(&Kind::Wrapped(Inner(5))).unwrap(),
+            "{\"Wrapped\":5}"
+        );
+        assert_eq!(
+            crate::to_string(&Kind::Weighted {
+                w: 2.0,
+                tag: "t".into()
+            })
+            .unwrap(),
+            "{\"Weighted\":{\"w\":2.0,\"tag\":\"t\"}}"
+        );
+    }
+
+    #[test]
+    fn missing_optional_field_defaults_to_none() {
+        let json = r#"{"name":"n","score":1.5,"kinds":[],"lookup":{},
+                       "pair":[0.5,0.5],"arr":[1.0,2.0,3.0]}"#;
+        let r: Record = crate::from_str(json).unwrap();
+        assert_eq!(r.maybe, None);
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        let json = r#"{"name":"n"}"#;
+        assert!(crate::from_str::<Record>(json).is_err());
+    }
+}
