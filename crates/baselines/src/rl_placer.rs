@@ -15,7 +15,7 @@
 use crate::util::FULL;
 use cluster::{Cluster, Resource, ServerId, TaskId};
 use mlfs::{Action, RewardComponents, Scheduler, SchedulerContext};
-use rl::{ReinforceTrainer, ScoringPolicy, Step, TrainerConfig};
+use rl::{FeatureBatch, ReinforceTrainer, ScoringPolicy, Step, TrainerConfig};
 use simcore::SimRng;
 use workload::JobState;
 
@@ -27,45 +27,41 @@ fn squash(x: f64) -> f64 {
     x / (1.0 + x)
 }
 
-fn features(
+fn features_into(
     cluster: &Cluster,
     job: &JobState,
     task: TaskId,
     server: Option<ServerId>,
     now: simcore::SimTime,
-) -> Vec<f64> {
+    out: &mut FeatureBatch,
+) {
     let t = &job.spec.tasks[task.idx as usize];
-    let mut out = vec![
-        squash(job.remaining_runtime().as_hours_f64()),
-        squash(job.task_waiting_time(task.idx as usize, now).as_hours_f64()),
-        t.gpu_share,
-        squash(t.demand.get(Resource::Cpu) / 8.0),
-        squash(t.demand.get(Resource::Memory) / 32.0),
-        squash(t.demand.get(Resource::NetBw) / 250.0),
-    ];
+    let row = out.push_row();
+    row[0] = squash(job.remaining_runtime().as_hours_f64());
+    row[1] = squash(job.task_waiting_time(task.idx as usize, now).as_hours_f64());
+    row[2] = t.gpu_share;
+    row[3] = squash(t.demand.get(Resource::Cpu) / 8.0);
+    row[4] = squash(t.demand.get(Resource::Memory) / 32.0);
+    row[5] = squash(t.demand.get(Resource::NetBw) / 250.0);
     match server {
         Some(sid) => {
-            let u = cluster.server(sid).utilization();
-            out.extend_from_slice(&[
-                u.get(Resource::GpuCompute),
-                u.get(Resource::Cpu),
-                u.get(Resource::Memory),
-                u.get(Resource::NetBw),
-                cluster
-                    .server(sid)
-                    .gpu_utilization(cluster.server(sid).least_loaded_gpu()),
-                if cluster.server(sid).can_host(&t.demand, t.gpu_share, FULL) {
-                    0.0
-                } else {
-                    1.0
-                },
-                0.0,
-            ]);
+            let srv = cluster.server(sid);
+            let u = srv.utilization();
+            row[6] = u.get(Resource::GpuCompute);
+            row[7] = u.get(Resource::Cpu);
+            row[8] = u.get(Resource::Memory);
+            row[9] = u.get(Resource::NetBw);
+            row[10] = srv.gpu_utilization(srv.least_loaded_gpu());
+            row[11] = if srv.can_host(&t.demand, t.gpu_share, FULL) {
+                0.0
+            } else {
+                1.0
+            };
+            row[12] = 0.0;
         }
-        None => out.extend_from_slice(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]),
+        // Queue option: dims 6..12 stay zero, sentinel flag set.
+        None => row[12] = 1.0,
     }
-    debug_assert_eq!(out.len(), DIM);
-    out
 }
 
 /// The JCT-only RL placement baseline.
@@ -150,11 +146,11 @@ impl Scheduler for RlPlacer {
                     .take(self.max_candidates)
                     .map(|(_, s)| s)
                     .collect();
-                let mut feats: Vec<Vec<f64>> = servers
-                    .iter()
-                    .map(|&s| features(&plan, job, task, Some(s), ctx.now))
-                    .collect();
-                feats.push(features(&plan, job, task, None, ctx.now));
+                let mut feats = FeatureBatch::with_capacity(DIM, servers.len() + 1);
+                for &s in &servers {
+                    features_into(&plan, job, task, Some(s), ctx.now, &mut feats);
+                }
+                features_into(&plan, job, task, None, ctx.now, &mut feats);
                 let choice = if self.explore {
                     self.trainer.policy.sample(&feats, &mut self.rng)
                 } else {

@@ -1,18 +1,24 @@
-//! Micro-benchmarks for the two inner-loop pieces of an MLF-H
+//! Micro-benchmarks for the inner-loop pieces of a scheduling
 //! decision, measured in isolation on the same 60-job snapshot the
 //! `scheduler_overhead` bench uses:
 //!
 //! * `select_host` — one RIAL ideal-point host selection for a queued
 //!   task (candidate filter + affinity map + distance argmin);
-//! * `all_priorities` — Eq. 2–6 priorities for every live task.
+//! * `all_priorities` — Eq. 2–6 priorities for every live task;
+//! * `scores_batch` — one batched policy forward over a full
+//!   candidate set (the MLF-RL inference primitive);
+//! * `mlfrl_decision` — one complete MLF-RL scheduling round (greedy
+//!   policy, no imitation warm-up), the number the ≤200µs/decision
+//!   target tracks.
 //!
 //! ```sh
 //! cargo bench -p mlfs-bench --bench hot_path
 //! ```
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mlfs::SchedulerContext;
-use simcore::SimTime;
+use mlfs::{Scheduler, SchedulerContext};
+use rl::{FeatureBatch, ScoringPolicy};
+use simcore::{SimRng, SimTime};
 
 fn bench_hot_path(c: &mut Criterion) {
     let (cluster, jobs, queue) = mlfs_bench::snapshot(60, 7);
@@ -41,6 +47,47 @@ fn bench_hot_path(c: &mut Criterion) {
                 queue: &queue,
             };
             black_box(mlfs::MlfH::all_priorities(&ctx, &params))
+        })
+    });
+
+    // Batched candidate scoring at MLF-RL's production shape: the
+    // default 12-candidate cap plus the queue option, through the
+    // default 64-32 policy network.
+    let mut rng = SimRng::new(7);
+    let policy = ScoringPolicy::new(mlfs::features::FEATURE_DIM, &[64, 32], &mut rng);
+    let mut batch = FeatureBatch::new(mlfs::features::FEATURE_DIM);
+    for _ in 0..13 {
+        let row = batch.push_row();
+        for v in row.iter_mut() {
+            *v = rng.range_f64(0.0, 1.0);
+        }
+    }
+    let mut scores = Vec::new();
+    group.bench_function("scores_batch", |b| {
+        b.iter(|| {
+            policy.scores_into(black_box(&batch), &mut scores);
+            black_box(scores.last().copied())
+        })
+    });
+
+    // One full MLF-RL decision round (greedy inference, as evaluated).
+    let mut rl_sched = mlfs::Mlfs::rl(
+        mlfs::Params::default(),
+        mlfs::MlfRlConfig {
+            imitation_rounds: 0,
+            explore: false,
+            ..Default::default()
+        },
+    );
+    group.bench_function("mlfrl_decision", |b| {
+        b.iter(|| {
+            let ctx = SchedulerContext {
+                now: SimTime::from_mins(30),
+                jobs: &jobs,
+                cluster: &cluster,
+                queue: &queue,
+            };
+            black_box(rl_sched.schedule(&ctx))
         })
     });
     group.finish();

@@ -12,9 +12,17 @@
 //! cargo run -p mlfs-bench --bin emit_bench -- --field before
 //! ```
 //!
+//! When a `hot_path` snapshot directory is present (written by
+//! `cargo bench -p mlfs-bench --bench hot_path`), its medians are
+//! folded into a `hot_path.{before,after}` section the same way, so
+//! the inner-loop numbers (`scores_batch`, `mlfrl_decision`, …) are
+//! tracked alongside the per-scheduler decision times.
+//!
 //! Flags: `--snapshot DIR` (default
-//! `target/criterion-mini/scheduler_overhead`), `--out FILE` (default
-//! `BENCH_scheduler.json`), `--field before|after` (default `after`).
+//! `target/criterion-mini/scheduler_overhead`), `--hot-path DIR`
+//! (default `target/criterion-mini/hot_path`, skipped when absent),
+//! `--out FILE` (default `BENCH_scheduler.json`), `--field
+//! before|after` (default `after`).
 
 use serde_json::Value;
 
@@ -38,6 +46,32 @@ fn median_ns(summary: &Value) -> Option<f64> {
     }
 }
 
+/// Read every `<bench>.json` summary under `dir` into sorted
+/// `(bench, median_ns)` pairs; empty when the directory is absent.
+fn read_medians(dir: &str) -> Vec<(String, Value)> {
+    let mut measured: Vec<(String, Value)> = Vec::new();
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return measured;
+    };
+    let mut entries: Vec<_> = rd
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let body = std::fs::read_to_string(&path).expect("readable snapshot file");
+        let v = serde_json::from_str_value(&body).expect("valid snapshot JSON");
+        let Some(m) = v.as_map() else { continue };
+        let Some(Value::Str(bench)) = get(m, "bench") else {
+            continue;
+        };
+        let Some(ns) = median_ns(&v) else { continue };
+        measured.push((bench.clone(), Value::F64(ns)));
+    }
+    measured
+}
+
 fn main() {
     let args = mlfs_bench::Args::parse();
     let snapshot = args
@@ -55,27 +89,10 @@ fn main() {
     );
 
     // Collect (scheduler, median ns/decision) from the snapshot dir.
-    let mut measured: Vec<(String, Value)> = Vec::new();
-    let mut entries: Vec<_> = std::fs::read_dir(&snapshot)
-        .unwrap_or_else(|e| panic!("read {snapshot}: {e} (run `cargo bench -p mlfs-bench` first)"))
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|x| x == "json"))
-        .collect();
-    entries.sort();
-    for path in entries {
-        let body = std::fs::read_to_string(&path).expect("readable snapshot file");
-        let v = serde_json::from_str_value(&body).expect("valid snapshot JSON");
-        let Some(m) = v.as_map() else { continue };
-        let Some(Value::Str(bench)) = get(m, "bench") else {
-            continue;
-        };
-        let Some(ns) = median_ns(&v) else { continue };
-        measured.push((bench.clone(), Value::F64(ns)));
-    }
+    let measured = read_medians(&snapshot);
     assert!(
         !measured.is_empty(),
-        "no benchmark summaries under {snapshot}"
+        "no benchmark summaries under {snapshot} (run `cargo bench -p mlfs-bench` first)"
     );
 
     // Merge into the existing file so the other field survives.
@@ -98,6 +115,22 @@ fn main() {
         Value::Str("cargo bench -p mlfs-bench && cargo run -p mlfs-bench --bin emit_bench".into()),
     );
     set(&mut root, &field, Value::Map(measured));
+
+    // Inner-loop medians (optional: only when the hot_path bench ran).
+    let hot_snapshot = args
+        .get("hot-path")
+        .unwrap_or("target/criterion-mini/hot_path")
+        .to_string();
+    let hot = read_medians(&hot_snapshot);
+    if !hot.is_empty() {
+        let mut section: Vec<(String, Value)> = match get(&root, "hot_path") {
+            Some(Value::Map(m)) => m.clone(),
+            _ => Vec::new(),
+        };
+        set(&mut section, &field, Value::Map(hot));
+        set(&mut root, "hot_path", Value::Map(section));
+    }
+
     std::fs::write(
         &out_path,
         serde_json::value_to_string_pretty(&Value::Map(root)),

@@ -144,9 +144,16 @@ impl Server {
 
     /// GPUs whose utilization exceeds `h_r`.
     pub fn overloaded_gpus(&self, h_r: f64) -> Vec<usize> {
-        (0..self.gpu_load.len())
-            .filter(|&g| self.gpu_utilization(g) > h_r)
-            .collect()
+        let mut out = Vec::new();
+        self.overloaded_gpus_into(h_r, &mut out);
+        out
+    }
+
+    /// [`Server::overloaded_gpus`] into a reused buffer (cleared
+    /// first) — the allocation-free variant for scheduler hot paths.
+    pub fn overloaded_gpus_into(&self, h_r: f64, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((0..self.gpu_load.len()).filter(|&g| self.gpu_utilization(g) > h_r));
     }
 
     /// True when any resource dimension exceeds `h_r` utilization
@@ -158,12 +165,17 @@ impl Server {
 
     /// Resource dimensions currently over `h_r`.
     pub fn overloaded_resources(&self, h_r: f64) -> Vec<Resource> {
+        let mut out = Vec::new();
+        self.overloaded_resources_into(h_r, &mut out);
+        out
+    }
+
+    /// [`Server::overloaded_resources`] into a reused buffer (cleared
+    /// first) — the allocation-free variant for scheduler hot paths.
+    pub fn overloaded_resources_into(&self, h_r: f64, out: &mut Vec<Resource>) {
+        out.clear();
         let u = self.utilization();
-        Resource::ALL
-            .iter()
-            .copied()
-            .filter(|&r| u.get(r) > h_r)
-            .collect()
+        out.extend(Resource::ALL.iter().copied().filter(|&r| u.get(r) > h_r));
     }
 
     /// Would placing a task with this demand keep every resource and
@@ -258,11 +270,21 @@ impl Server {
 
     /// Tasks on GPU `g`.
     pub fn tasks_on_gpu(&self, g: usize) -> Vec<TaskId> {
-        self.tasks
-            .iter()
-            .filter(|(_, p)| p.gpu == g)
-            .map(|(t, _)| *t)
-            .collect()
+        let mut out = Vec::new();
+        self.tasks_on_gpu_into(g, &mut out);
+        out
+    }
+
+    /// Append the tasks on GPU `g` (in id order) to `out` — appends
+    /// rather than clears so callers can gather several GPUs into one
+    /// reused buffer.
+    pub fn tasks_on_gpu_into(&self, g: usize, out: &mut Vec<TaskId>) {
+        out.extend(
+            self.tasks
+                .iter()
+                .filter(|(_, p)| p.gpu == g)
+                .map(|(t, _)| *t),
+        );
     }
 
     /// Number of tasks placed here.

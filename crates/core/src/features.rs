@@ -15,6 +15,7 @@
 use crate::params::Params;
 use crate::placement::affinity_mb;
 use cluster::{ClusterView, Resource, ServerId, TaskId};
+use rl::FeatureBatch;
 use simcore::SimTime;
 use workload::JobState;
 
@@ -65,10 +66,41 @@ pub fn candidate_features<V: ClusterView>(
     now: SimTime,
     p: &Params,
 ) -> Vec<f64> {
+    let mut batch = FeatureBatch::new(FEATURE_DIM);
+    candidate_features_into(
+        cluster,
+        job,
+        task,
+        server,
+        heuristic_pick,
+        now,
+        p,
+        &mut batch,
+    );
+    batch.row(0).to_vec()
+}
+
+/// Append the candidate's feature vector as a new row of `out` — the
+/// allocation-free variant ([`candidate_features`] wraps it). The row
+/// is written in place into the batch's flat buffer, so building a
+/// full candidate set touches the heap only while the batch grows to
+/// its high-water capacity.
+#[allow(clippy::too_many_arguments)]
+pub fn candidate_features_into<V: ClusterView>(
+    cluster: &V,
+    job: &JobState,
+    task: TaskId,
+    server: Option<ServerId>,
+    heuristic_pick: bool,
+    now: SimTime,
+    p: &Params,
+    out: &mut FeatureBatch,
+) {
+    debug_assert_eq!(out.dim(), FEATURE_DIM);
     let tf = task_features(job, task.idx as usize, now, p);
-    let mut out = Vec::with_capacity(FEATURE_DIM);
-    out.extend_from_slice(&tf);
-    out.push(if heuristic_pick { 1.0 } else { 0.0 });
+    let row = out.push_row();
+    row[..12].copy_from_slice(&tf);
+    row[12] = if heuristic_pick { 1.0 } else { 0.0 };
     match server {
         Some(sid) => {
             let srv = cluster.server(sid);
@@ -76,27 +108,25 @@ pub fn candidate_features<V: ClusterView>(
             let spec = &job.spec.tasks[task.idx as usize];
             let neighbors = crate::placement::comm_degree(job, task.idx as usize) as f64;
             let max_affinity = (neighbors * job.spec.comm_mb).max(1.0);
-            out.push(u.get(Resource::GpuCompute));
-            out.push(u.get(Resource::Cpu));
-            out.push(u.get(Resource::Memory));
-            out.push(u.get(Resource::NetBw));
-            out.push(affinity_mb(job, task.idx as usize, sid, cluster) / max_affinity);
-            out.push(if srv.can_host(&spec.demand, spec.gpu_share, p.h_r) {
+            row[13] = u.get(Resource::GpuCompute);
+            row[14] = u.get(Resource::Cpu);
+            row[15] = u.get(Resource::Memory);
+            row[16] = u.get(Resource::NetBw);
+            row[17] = affinity_mb(job, task.idx as usize, sid, cluster) / max_affinity;
+            row[18] = if srv.can_host(&spec.demand, spec.gpu_share, p.h_r) {
                 0.0
             } else {
                 1.0
-            });
-            out.push(srv.gpu_utilization(srv.least_loaded_gpu()));
-            out.push(0.0); // not the queue option
+            };
+            row[19] = srv.gpu_utilization(srv.least_loaded_gpu());
+            row[20] = 0.0; // not the queue option
         }
         None => {
-            // Queue option: sentinel encoding.
-            out.extend_from_slice(&[0.0; 7]);
-            out.push(1.0);
+            // Queue option: rows are pushed zero-filled, so dims
+            // 13..20 already hold the sentinel zeros.
+            row[20] = 1.0;
         }
     }
-    debug_assert_eq!(out.len(), FEATURE_DIM);
-    out
 }
 
 #[cfg(test)]
@@ -269,6 +299,54 @@ mod tests {
         );
         assert!(f1[17] > 0.0);
         assert_eq!(f0[17], 0.0);
+    }
+
+    #[test]
+    fn batch_rows_match_single_candidate_vectors() {
+        let (c, job) = setup();
+        let p = Params::default();
+        let options = [Some(ServerId(0)), Some(ServerId(1)), None];
+        let mut batch = FeatureBatch::new(FEATURE_DIM);
+        for (i, server) in options.iter().enumerate() {
+            candidate_features_into(
+                &c,
+                &job,
+                TaskId::new(JobId(1), 0),
+                *server,
+                i == 1,
+                SimTime::from_mins(5),
+                &p,
+                &mut batch,
+            );
+        }
+        assert_eq!(batch.rows(), 3);
+        for (i, server) in options.iter().enumerate() {
+            let single = candidate_features(
+                &c,
+                &job,
+                TaskId::new(JobId(1), 0),
+                *server,
+                i == 1,
+                SimTime::from_mins(5),
+                &p,
+            );
+            assert_eq!(batch.row(i), single.as_slice(), "candidate {i}");
+        }
+        // Pooled reuse: clearing keeps capacity and rows rebuild
+        // identically.
+        let before = batch.row(0).to_vec();
+        batch.clear();
+        candidate_features_into(
+            &c,
+            &job,
+            TaskId::new(JobId(1), 0),
+            Some(ServerId(0)),
+            false,
+            SimTime::from_mins(5),
+            &p,
+            &mut batch,
+        );
+        assert_eq!(batch.row(0), before.as_slice());
     }
 
     #[test]

@@ -16,10 +16,12 @@
 
 use crate::params::Params;
 use crate::placement::{migration_state_mb, select_host, select_victim};
-use crate::priority::job_task_priorities;
+use crate::priority::{
+    job_task_priorities, job_task_priorities_into, PriorityMap, PriorityScratch,
+};
 use crate::scheduler::{Action, Scheduler, SchedulerContext};
 use cluster::{ClusterOverlay, ClusterView, ServerId, TaskId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Where a schedulable task currently sits.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,21 +73,26 @@ impl MlfH {
         ctx: &SchedulerContext<'_>,
         params: &Params,
         overloaded: &[ServerId],
-    ) -> BTreeMap<TaskId, f64> {
-        let mut needed: BTreeSet<cluster::JobId> = ctx.queue.iter().map(|t| t.job).collect();
+    ) -> PriorityMap {
+        // Sorted-dedup job list (replaces a BTreeSet: one Vec, no
+        // node churn) — iteration stays in ascending JobId order.
+        let mut needed: Vec<cluster::JobId> = ctx.queue.iter().map(|t| t.job).collect();
         for &sid in overloaded {
             for (t, _) in ctx.cluster.server(sid).tasks() {
-                needed.insert(t.job);
+                needed.push(t.job);
             }
         }
-        let mut out = BTreeMap::new();
+        needed.sort_unstable();
+        needed.dedup();
+        let mut out = PriorityMap::with_capacity(needed.len() * 4);
+        let mut scratch = PriorityScratch::default();
         for jid in needed {
             let Some(job) = ctx.jobs.get(&jid) else {
                 continue;
             };
-            let pr = job_task_priorities(job, ctx.now, params);
-            for (idx, p) in pr.into_iter().enumerate() {
-                out.insert(TaskId::new(jid, idx as u16), p);
+            job_task_priorities_into(job, ctx.now, params, &mut scratch);
+            for (idx, &p) in scratch.out.iter().enumerate() {
+                out.push(TaskId::new(jid, idx as u16), p);
             }
         }
         out
@@ -115,7 +122,7 @@ impl MlfH {
                         break;
                     };
                     plan.remove(victim);
-                    let prio = priorities.get(&victim).copied().unwrap_or(0.0);
+                    let prio = priorities.get(&victim).unwrap_or(0.0);
                     candidates.push((victim, prio, Origin::Server(sid)));
                 }
             }
@@ -123,7 +130,7 @@ impl MlfH {
 
         // -- 2. queued tasks --
         for &t in ctx.queue {
-            let prio = priorities.get(&t).copied().unwrap_or(0.0);
+            let prio = priorities.get(&t).unwrap_or(0.0);
             candidates.push((t, prio, Origin::Queue));
         }
 

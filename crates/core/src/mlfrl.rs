@@ -16,13 +16,13 @@
 //! (ideal-virtual-task); the policy decides *destinations* — server or
 //! queue — which is where the combinatorial choice lies.
 
-use crate::features::candidate_features;
+use crate::features::{candidate_features_into, FEATURE_DIM};
 use crate::mlfh::MlfH;
 use crate::params::Params;
 use crate::placement::select_victim;
 use crate::scheduler::{Action, RewardComponents, Scheduler, SchedulerContext};
 use cluster::{ClusterOverlay, ClusterView, ServerId, TaskId};
-use rl::{Convergence, ReinforceTrainer, ScoringPolicy, Step, TrainerConfig};
+use rl::{Convergence, FeatureBatch, ReinforceTrainer, ScoringPolicy, Step, TrainerConfig};
 use simcore::SimRng;
 
 /// MLF-RL hyperparameters.
@@ -61,6 +61,26 @@ impl Default for MlfRlConfig {
     }
 }
 
+/// Reusable decision-loop buffers, mirroring the `HostScratch`
+/// pattern in `placement.rs`: the steady-state hot path draws from
+/// these instead of the allocator.
+#[derive(Default)]
+struct RlScratch {
+    /// `(overload_degree, id)` ranking buffer for candidate selection.
+    ranked: Vec<(f64, ServerId)>,
+    /// Selected candidate hosts for the current decision.
+    servers: Vec<ServerId>,
+    /// Recycled candidate batches: decisions pop a cleared batch here
+    /// and trained/expired `Step`s push theirs back.
+    batch_pool: Vec<FeatureBatch>,
+    /// Replay-minibatch index buffer for `imitate_indices`.
+    minibatch_idx: Vec<usize>,
+}
+
+/// Retained `FeatureBatch` allocations; decisions churn through
+/// batches far faster than the pool grows, so a small cap suffices.
+const BATCH_POOL_CAP: usize = 64;
+
 /// The MLF-RL scheduler.
 pub struct MlfRl {
     /// Tunables shared with MLF-H.
@@ -79,6 +99,7 @@ pub struct MlfRl {
     imitation_buffer: Vec<Step>,
     /// Total REINFORCE episodes trained.
     pub episodes_trained: usize,
+    scratch: RlScratch,
 }
 
 impl MlfRl {
@@ -98,7 +119,25 @@ impl MlfRl {
             episode: Vec::new(),
             imitation_buffer: Vec::new(),
             episodes_trained: 0,
+            scratch: RlScratch::default(),
             cfg,
+        }
+    }
+
+    /// Pop a cleared candidate batch from the pool (or allocate the
+    /// pool's first few).
+    fn take_batch(&mut self) -> FeatureBatch {
+        self.scratch
+            .batch_pool
+            .pop()
+            .unwrap_or_else(|| FeatureBatch::new(FEATURE_DIM))
+    }
+
+    /// Return a batch to the pool once its `Step` is done.
+    fn recycle_batch(&mut self, mut batch: FeatureBatch) {
+        if self.scratch.batch_pool.len() < BATCH_POOL_CAP {
+            batch.clear();
+            self.scratch.batch_pool.push(batch);
         }
     }
 
@@ -138,13 +177,22 @@ impl MlfRl {
 
     /// Candidate servers for `task` on the speculative cluster:
     /// underloaded hosts that fit, capped to the least-loaded
-    /// `max_candidates` (by overload degree).
-    fn candidate_servers<V: ClusterView>(
-        &self,
+    /// `max_candidates` (by overload degree). Writes into
+    /// caller-provided buffers and only partially sorts: hosts beyond
+    /// the cap are discarded by `select_nth_unstable_by` without ever
+    /// being ordered. The `(degree, id)` key is a total order that
+    /// reproduces the old full stable sort's sequence exactly (equal
+    /// degrees tie-break by id, which is the insertion order a stable
+    /// sort preserved), so selections are unchanged.
+    fn candidate_servers_into<V: ClusterView>(
+        params: &Params,
+        max_candidates: usize,
         plan: &V,
         ctx: &SchedulerContext<'_>,
         task: TaskId,
-    ) -> Vec<ServerId> {
+        ranked: &mut Vec<(f64, ServerId)>,
+        out: &mut Vec<ServerId>,
+    ) {
         let job = &ctx.jobs[&task.job];
         let spec = &job.spec.tasks[task.idx as usize];
         // Softer admission limit than MLF-H's fixed h_r: the paper
@@ -152,18 +200,29 @@ impl MlfRl {
         // parameters (§3.4). The policy is shown these riskier hosts
         // (their utilization features expose the risk) and the Eq. 7
         // reward arbitrates whether using the headroom pays off.
-        let soft = (self.params.h_r + 0.08).min(0.98);
-        let mut hosts: Vec<(f64, ServerId)> = (0..plan.server_count())
-            .map(|i| plan.server(ServerId(i as u32)))
-            .filter(|s| !s.is_overloaded(soft) && s.can_host(&spec.demand, spec.gpu_share, soft))
-            .map(|s| (s.overload_degree(), s.id))
-            .collect();
-        hosts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        hosts
-            .into_iter()
-            .take(self.cfg.max_candidates)
-            .map(|(_, s)| s)
-            .collect()
+        let soft = (params.h_r + 0.08).min(0.98);
+        ranked.clear();
+        ranked.extend(
+            (0..plan.server_count())
+                .map(|i| plan.server(ServerId(i as u32)))
+                .filter(|s| {
+                    !s.is_overloaded(soft) && s.can_host(&spec.demand, spec.gpu_share, soft)
+                })
+                .map(|s| (s.overload_degree(), s.id)),
+        );
+        let key = |a: &(f64, ServerId), b: &(f64, ServerId)| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        };
+        let k = max_candidates.min(ranked.len());
+        if k > 0 && k < ranked.len() {
+            ranked.select_nth_unstable_by(k - 1, key);
+            ranked.truncate(k);
+        }
+        ranked.sort_unstable_by(key);
+        out.clear();
+        out.extend(ranked.iter().map(|&(_, s)| s));
     }
 
     /// Imitation round: emit MLF-H's actions and record its decisions
@@ -174,13 +233,27 @@ impl MlfRl {
     fn imitation_round(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
         let actions = self.inner_h.schedule(ctx);
         let mut plan = ClusterOverlay::new(ctx.cluster, self.params.h_r);
-        for (task, chosen) in self.inner_h.last_decisions.clone() {
+        // Borrow-split: the decision list is moved out (and restored
+        // below) so the loop can mutate `self` without cloning it.
+        let decisions = std::mem::take(&mut self.inner_h.last_decisions);
+        for &(task, chosen) in &decisions {
             let job = &ctx.jobs[&task.job];
             // Migration decisions move an already-placed task: detach
             // it first so the plan mirrors MLF-H's speculative state.
             plan.remove(task);
             // Candidates exactly as the RL phase generates them.
-            let mut servers = self.candidate_servers(&plan, ctx, task);
+            let mut servers = std::mem::take(&mut self.scratch.servers);
+            let mut ranked = std::mem::take(&mut self.scratch.ranked);
+            Self::candidate_servers_into(
+                &self.params,
+                self.cfg.max_candidates,
+                &plan,
+                ctx,
+                task,
+                &mut ranked,
+                &mut servers,
+            );
+            self.scratch.ranked = ranked;
             if !servers.contains(&chosen) {
                 servers.push(chosen);
             }
@@ -188,21 +261,20 @@ impl MlfRl {
                 .iter()
                 .position(|&s| s == chosen)
                 .expect("chosen host was just inserted");
-            let mut feats: Vec<Vec<f64>> = servers
-                .iter()
-                .map(|&s| {
-                    candidate_features(
-                        &plan,
-                        job,
-                        task,
-                        Some(s),
-                        s == chosen,
-                        ctx.now,
-                        &self.params,
-                    )
-                })
-                .collect();
-            feats.push(candidate_features(
+            let mut feats = self.take_batch();
+            for &s in &servers {
+                candidate_features_into(
+                    &plan,
+                    job,
+                    task,
+                    Some(s),
+                    s == chosen,
+                    ctx.now,
+                    &self.params,
+                    &mut feats,
+                );
+            }
+            candidate_features_into(
                 &plan,
                 job,
                 task,
@@ -210,30 +282,40 @@ impl MlfRl {
                 false,
                 ctx.now,
                 &self.params,
-            ));
+                &mut feats,
+            );
             self.imitation_buffer.push(Step {
                 candidates: feats,
                 action: action_idx,
             });
+            servers.clear();
+            self.scratch.servers = servers;
             let spec = &job.spec.tasks[task.idx as usize];
             plan.place(task, chosen, spec.demand, spec.gpu_share)
                 .expect("speculative placement cannot fail");
         }
-        // Bound the buffer (drop oldest).
+        self.inner_h.last_decisions = decisions;
+        // Bound the buffer (drop oldest, recycling their batches).
         const BUFFER_CAP: usize = 50_000;
         if self.imitation_buffer.len() > BUFFER_CAP {
             let excess = self.imitation_buffer.len() - BUFFER_CAP;
-            self.imitation_buffer.drain(..excess);
+            let expired: Vec<Step> = self.imitation_buffer.drain(..excess).collect();
+            for s in expired {
+                self.recycle_batch(s.candidates);
+            }
         }
-        // Replay minibatches.
+        // Replay minibatches, resampled by index — the `Step`s (and
+        // their feature batches) stay in the buffer uncloned.
         if !self.imitation_buffer.is_empty() {
             for _ in 0..4 {
-                let batch: Vec<Step> = (0..64.min(self.imitation_buffer.len()))
-                    .map(|_| {
-                        self.imitation_buffer[self.rng.index(self.imitation_buffer.len())].clone()
-                    })
-                    .collect();
-                self.trainer.imitate(&batch);
+                let n = 64.min(self.imitation_buffer.len());
+                self.scratch.minibatch_idx.clear();
+                for _ in 0..n {
+                    let i = self.rng.index(self.imitation_buffer.len());
+                    self.scratch.minibatch_idx.push(i);
+                }
+                self.trainer
+                    .imitate_indices(&self.imitation_buffer, &self.scratch.minibatch_idx);
             }
         }
         actions
@@ -261,44 +343,50 @@ impl MlfRl {
                         break;
                     };
                     plan.remove(victim);
-                    let prio = priorities.get(&victim).copied().unwrap_or(0.0);
+                    let prio = priorities.get(&victim).unwrap_or(0.0);
                     work.push((victim, prio, Origin::Server(sid)));
                 }
             }
         }
         for &t in ctx.queue {
-            work.push((t, priorities.get(&t).copied().unwrap_or(0.0), Origin::Queue));
+            work.push((t, priorities.get(&t).unwrap_or(0.0), Origin::Queue));
         }
         // Job-gang processing, mirroring MLF-H (see mlfh.rs): jobs by
         // max task priority; victims re-placed individually; waiting
         // tasks gang (the policy parking any task parks the job).
-        let mut job_key: std::collections::BTreeMap<cluster::JobId, f64> =
-            std::collections::BTreeMap::new();
-        for (t, prio, _) in &work {
-            let e = job_key.entry(t.job).or_insert(f64::NEG_INFINITY);
-            if *prio > *e {
-                *e = *prio;
+        //
+        // One global sort by (job, priority desc, task) replaces the
+        // former per-job filter-and-sort passes (O(jobs × work) scans
+        // plus a BTreeMap of per-job maxima). Within each job run the
+        // order matches the old per-job sort exactly, and the run head
+        // carries the job's maximum priority — so ordering runs by
+        // (head priority desc, job asc) reproduces the old job order,
+        // decision for decision.
+        work.sort_by(|a, b| {
+            a.0.job
+                .cmp(&b.0.job)
+                .then_with(|| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0;
+        for i in 1..=work.len() {
+            if i == work.len() || work[i].0.job != work[start].0.job {
+                runs.push((start, i));
+                start = i;
             }
         }
-        let mut job_order: Vec<cluster::JobId> = job_key.keys().copied().collect();
-        job_order.sort_by(|a, b| {
-            job_key[b]
-                .partial_cmp(&job_key[a])
+        runs.sort_by(|a, b| {
+            work[b.0]
+                .1
+                .partial_cmp(&work[a.0].1)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.cmp(b))
+                .then_with(|| work[a.0].0.job.cmp(&work[b.0].0.job))
         });
 
-        for jid in job_order {
-            let mut group: Vec<(TaskId, f64, Origin)> = work
-                .iter()
-                .filter(|(t, _, _)| t.job == jid)
-                .cloned()
-                .collect();
-            group.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
-            });
+        for &(lo, hi) in &runs {
+            let group = &work[lo..hi];
+            let jid = group[0].0.job;
             let job = &ctx.jobs[&jid];
 
             // One policy decision for `task`; returns the chosen host.
@@ -307,7 +395,18 @@ impl MlfRl {
                           task: TaskId,
                           migration_from: Option<ServerId>|
              -> Option<ServerId> {
-                let mut servers = this.candidate_servers(plan, ctx, task);
+                let mut servers = std::mem::take(&mut this.scratch.servers);
+                let mut ranked = std::mem::take(&mut this.scratch.ranked);
+                Self::candidate_servers_into(
+                    &this.params,
+                    this.cfg.max_candidates,
+                    plan,
+                    ctx,
+                    task,
+                    &mut ranked,
+                    &mut servers,
+                );
+                this.scratch.ranked = ranked;
                 let rial = crate::placement::select_host(plan, ctx.jobs, task, migration_from, &p);
                 // RIAL may prefer a loaded server (communication
                 // affinity) outside the least-loaded cap — offer it.
@@ -316,13 +415,20 @@ impl MlfRl {
                         servers.push(r);
                     }
                 }
-                let mut feats: Vec<Vec<f64>> = servers
-                    .iter()
-                    .map(|&s| {
-                        candidate_features(plan, job, task, Some(s), rial == Some(s), ctx.now, &p)
-                    })
-                    .collect();
-                feats.push(candidate_features(
+                let mut feats = this.take_batch();
+                for &s in &servers {
+                    candidate_features_into(
+                        plan,
+                        job,
+                        task,
+                        Some(s),
+                        rial == Some(s),
+                        ctx.now,
+                        &p,
+                        &mut feats,
+                    );
+                }
+                candidate_features_into(
                     plan,
                     job,
                     task,
@@ -330,21 +436,25 @@ impl MlfRl {
                     rial.is_none(),
                     ctx.now,
                     &p,
-                ));
+                    &mut feats,
+                );
                 let choice = if this.cfg.explore {
                     this.trainer.policy.sample(&feats, &mut this.rng)
                 } else {
                     this.trainer.policy.greedy(&feats)
                 };
+                let host = if choice < servers.len() {
+                    Some(servers[choice])
+                } else {
+                    None
+                };
+                servers.clear();
+                this.scratch.servers = servers;
                 this.pending.push(Step {
                     candidates: feats,
                     action: choice,
                 });
-                if choice < servers.len() {
-                    Some(servers[choice])
-                } else {
-                    None
-                }
+                host
             };
 
             // Victims first. A "queue" decision for a victim leaves it
@@ -434,12 +544,16 @@ impl Scheduler for MlfRl {
         for s in self.pending.drain(..) {
             self.episode.push((s, r));
         }
-        // Train an episode every `train_interval` rounds' worth of steps.
+        // Train an episode every `train_interval` rounds' worth of
+        // steps. The episode is borrowed in place (trainer and episode
+        // are disjoint fields) and its batches recycled afterwards.
         if self.episode.len() >= self.cfg.train_interval {
-            let ep: Vec<(Step, f64)> = self.episode.drain(..).collect();
-            let ret = self.trainer.train_episode(&ep);
+            let ret = self.trainer.train_episode(&self.episode);
             self.convergence.record(ret);
             self.episodes_trained += 1;
+            while let Some((s, _)) = self.episode.pop() {
+                self.recycle_batch(s.candidates);
+            }
         }
     }
 }

@@ -15,6 +15,7 @@
 //!   the tasks on the top", §3.3.3).
 
 use crate::params::Params;
+use crate::priority::PriorityMap;
 use cluster::{ClusterView, JobId, Resource, ServerId, TaskId};
 use std::cell::RefCell;
 
@@ -280,6 +281,8 @@ struct VictimScratch {
     candidates: Vec<TaskId>,
     utils: Vec<[f64; cluster::NUM_RESOURCES]>,
     affinities: Vec<f64>,
+    over_res: Vec<Resource>,
+    over_gpus: Vec<usize>,
 }
 
 /// Select the next migration victim on overloaded `server`, or `None`
@@ -289,7 +292,7 @@ pub fn select_victim<V: ClusterView>(
     plan: &V,
     jobs: &BTreeMap<JobId, JobState>,
     server: ServerId,
-    priorities: &BTreeMap<TaskId, f64>,
+    priorities: &PriorityMap,
     p: &Params,
 ) -> Option<TaskId> {
     VICTIM_SCRATCH.with(|s| {
@@ -302,7 +305,7 @@ fn select_victim_inner<V: ClusterView>(
     plan: &V,
     jobs: &BTreeMap<JobId, JobState>,
     server: ServerId,
-    priorities: &BTreeMap<TaskId, f64>,
+    priorities: &PriorityMap,
     p: &Params,
     s: &mut VictimScratch,
 ) -> Option<TaskId> {
@@ -310,18 +313,22 @@ fn select_victim_inner<V: ClusterView>(
     if srv.task_count() == 0 {
         return None;
     }
-    let over_res = srv.overloaded_resources(p.h_r);
-    let over_gpus = srv.overloaded_gpus(p.h_r);
+    srv.overloaded_resources_into(p.h_r, &mut s.over_res);
+    srv.overloaded_gpus_into(p.h_r, &mut s.over_gpus);
 
     // Candidate set: tasks on overloaded GPUs restricted to the
     // lowest-p_s priority slice, else every task on the server.
+    // Per-GPU gathering (GPUs ascending, tasks in id order within
+    // each) is load-bearing: it fixes the pre-sort order and hence
+    // the stable sort's tie-breaking.
     s.candidates.clear();
-    if !over_gpus.is_empty() {
-        s.candidates
-            .extend(over_gpus.iter().flat_map(|&g| srv.tasks_on_gpu(g)));
+    if !s.over_gpus.is_empty() {
+        for &g in &s.over_gpus {
+            srv.tasks_on_gpu_into(g, &mut s.candidates);
+        }
         s.candidates.sort_by(|a, b| {
-            let pa = priorities.get(a).copied().unwrap_or(0.0);
-            let pb = priorities.get(b).copied().unwrap_or(0.0);
+            let pa = priorities.get(a).unwrap_or(0.0);
+            let pb = priorities.get(b).unwrap_or(0.0);
             pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
         });
         let keep = ((s.candidates.len() as f64 * p.p_s).ceil() as usize).max(1);
@@ -356,7 +363,7 @@ fn select_victim_inner<V: ClusterView>(
     let mut ideal = [0.0; cluster::NUM_RESOURCES];
     for d in 0..cluster::NUM_RESOURCES {
         let col = s.utils.iter().map(|u| u[d]);
-        ideal[d] = if over_res.iter().any(|&r| r as usize == d) {
+        ideal[d] = if s.over_res.iter().any(|&r| r as usize == d) {
             col.fold(f64::NEG_INFINITY, f64::max)
         } else {
             col.fold(f64::INFINITY, f64::min)
@@ -611,7 +618,9 @@ mod tests {
             0.1,
         )
         .unwrap();
-        let priorities: BTreeMap<TaskId, f64> = [(hog, 1.0), (small_a, 1.0), (small_b, 1.0)].into();
+        let priorities: PriorityMap = [(hog, 1.0), (small_a, 1.0), (small_b, 1.0)]
+            .into_iter()
+            .collect();
         let victim = select_victim(&c, &jobs, ServerId(0), &priorities, &Params::default());
         assert_eq!(victim, Some(hog));
     }
@@ -642,7 +651,7 @@ mod tests {
         .unwrap();
         // Task a has much higher priority: the p_s slice (1 task of 2)
         // only contains the low-priority b.
-        let priorities: BTreeMap<TaskId, f64> = [(a, 100.0), (b, 1.0)].into();
+        let priorities: PriorityMap = [(a, 100.0), (b, 1.0)].into_iter().collect();
         let victim = select_victim(&c, &jobs, ServerId(0), &priorities, &Params::default());
         assert_eq!(victim, Some(b));
     }
@@ -652,7 +661,13 @@ mod tests {
         let c = cluster(1);
         let jobs = jobs_map(vec![chain_job(1, 1, false)]);
         assert_eq!(
-            select_victim(&c, &jobs, ServerId(0), &BTreeMap::new(), &Params::default()),
+            select_victim(
+                &c,
+                &jobs,
+                ServerId(0),
+                &PriorityMap::default(),
+                &Params::default()
+            ),
             None
         );
     }

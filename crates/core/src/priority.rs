@@ -16,6 +16,7 @@
 //! urgency rather than a singular or negative value.
 
 use crate::params::Params;
+use cluster::TaskId;
 use simcore::SimTime;
 use workload::JobState;
 
@@ -23,9 +24,31 @@ use workload::JobState;
 /// when the deadline is ≤ 36 s away). Keeps priorities finite.
 const HYPERBOLIC_CAP: f64 = 100.0;
 
+/// Reusable buffers for [`job_task_priorities_into`] — one set serves
+/// every job in a scheduling round, so the hot path performs no
+/// per-job allocation.
+#[derive(Debug, Default)]
+pub struct PriorityScratch {
+    ml: Vec<f64>,
+    comp: Vec<f64>,
+    /// Blended Eq. 6 priorities for the last job processed (workers
+    /// first, then the parameter server if present).
+    pub out: Vec<f64>,
+}
+
 /// Priorities for every task of `job` (workers first, then the
 /// parameter server if present), per Eqs. 2–6.
 pub fn job_task_priorities(job: &JobState, now: SimTime, p: &Params) -> Vec<f64> {
+    let mut s = PriorityScratch::default();
+    job_task_priorities_into(job, now, p, &mut s);
+    s.out
+}
+
+/// [`job_task_priorities`] into reusable scratch (results in
+/// `s.out`). Identical numerics — the per-task terms, the reverse
+/// topological propagation and the Eq. 6 blend run in the same order,
+/// so values are bit-identical to the allocating form.
+pub fn job_task_priorities_into(job: &JobState, now: SimTime, p: &Params, s: &mut PriorityScratch) {
     let spec = &job.spec;
     let n_workers = spec.worker_count();
 
@@ -38,39 +61,36 @@ pub fn job_task_priorities(job: &JobState, now: SimTime, p: &Params) -> Vec<f64>
     let iter_importance = 1.0 / job.current_iteration().max(1.0);
     let norm_delta = spec.curve.normalized_delta_loss(job.iterations);
     let temporal = urgency * iter_importance * norm_delta;
-    let base_ml: Vec<f64> = (0..n_workers)
-        .map(|k| temporal * spec.normalized_partition(k))
-        .collect();
+    s.ml.clear();
+    s.ml.extend((0..n_workers).map(|k| temporal * spec.normalized_partition(k)));
 
     // ---- computation feature base priorities (Eq. 4) ----
     let remaining_h = job.remaining_runtime().as_hours_f64().max(1e-9);
-    let base_c: Vec<f64> = (0..n_workers)
-        .map(|k| {
-            let deadline_term = if p.use_deadline {
-                let d = spec.task_deadline(k);
-                if now >= d {
-                    // Deadline already missed: the term exists to
-                    // "help meet the job deadline", which is no longer
-                    // possible — a missed-deadline job must not
-                    // outrank jobs that can still make theirs.
-                    0.0
-                } else {
-                    let slack_h = d.since(now).as_hours_f64();
-                    p.gamma_d * (1.0 / slack_h.max(1.0 / HYPERBOLIC_CAP)).min(HYPERBOLIC_CAP)
-                }
-            } else {
+    s.comp.clear();
+    s.comp.extend((0..n_workers).map(|k| {
+        let deadline_term = if p.use_deadline {
+            let d = spec.task_deadline(k);
+            if now >= d {
+                // Deadline already missed: the term exists to
+                // "help meet the job deadline", which is no longer
+                // possible — a missed-deadline job must not
+                // outrank jobs that can still make theirs.
                 0.0
-            };
-            let remaining_term = p.gamma_r * (1.0 / remaining_h).min(HYPERBOLIC_CAP);
-            let waiting_term = p.gamma_w * job.task_waiting_time(k, now).as_hours_f64();
-            deadline_term + remaining_term + waiting_term
-        })
-        .collect();
+            } else {
+                let slack_h = d.since(now).as_hours_f64();
+                p.gamma_d * (1.0 / slack_h.max(1.0 / HYPERBOLIC_CAP)).min(HYPERBOLIC_CAP)
+            }
+        } else {
+            0.0
+        };
+        let remaining_term = p.gamma_r * (1.0 / remaining_h).min(HYPERBOLIC_CAP);
+        let waiting_term = p.gamma_w * job.task_waiting_time(k, now).as_hours_f64();
+        deadline_term + remaining_term + waiting_term
+    }));
 
     // ---- child propagation (Eqs. 3 and 5): reverse topological pass ----
     let order = spec.dag.topological_order();
-    let mut ml = base_ml;
-    let mut comp = base_c;
+    let (ml, comp) = (&mut s.ml, &mut s.comp);
     for &k in order.iter().rev() {
         let k = k as usize;
         let (mut ml_kids, mut c_kids) = (0.0, 0.0);
@@ -83,19 +103,78 @@ pub fn job_task_priorities(job: &JobState, now: SimTime, p: &Params) -> Vec<f64>
     }
 
     // ---- blend (Eq. 6) ----
-    let mut out: Vec<f64> = ml
-        .iter()
-        .zip(&comp)
-        .map(|(m, c)| p.alpha * m + (1.0 - p.alpha) * c)
-        .collect();
+    s.out.clear();
+    s.out.extend(
+        ml.iter()
+            .zip(comp.iter())
+            .map(|(m, c)| p.alpha * m + (1.0 - p.alpha) * c),
+    );
 
     // Parameter-server task: "assigned with the highest priority"
     // (§3.3.1) — rank it above all of this job's workers.
     if spec.has_param_server() {
-        let max = out.iter().cloned().fold(0.0, f64::max);
-        out.push(max * 1.05 + 1.0);
+        let max = s.out.iter().cloned().fold(0.0, f64::max);
+        s.out.push(max * 1.05 + 1.0);
     }
-    out
+}
+
+/// Task-priority lookup table backed by a flat sorted vector.
+///
+/// The schedulers only ever *point-look-up* priorities (ordering comes
+/// from sorting the round's work list), so a binary-searched
+/// `Vec<(TaskId, f64)>` replaces the former `BTreeMap<TaskId, f64>`:
+/// one contiguous allocation instead of a node per task, and
+/// cache-friendly lookups.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityMap {
+    entries: Vec<(TaskId, f64)>,
+}
+
+impl PriorityMap {
+    /// Empty map with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        PriorityMap {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append an entry. Keys must arrive in strictly ascending
+    /// `TaskId` order (the builders iterate jobs in id order and tasks
+    /// in index order, which is exactly that).
+    pub fn push(&mut self, task: TaskId, prio: f64) {
+        debug_assert!(
+            self.entries.last().is_none_or(|(last, _)| *last < task),
+            "PriorityMap keys must be pushed in ascending order"
+        );
+        self.entries.push((task, prio));
+    }
+
+    /// The priority recorded for `task`, if any.
+    pub fn get(&self, task: &TaskId) -> Option<f64> {
+        self.entries
+            .binary_search_by(|(t, _)| t.cmp(task))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(TaskId, f64)> for PriorityMap {
+    /// Build from unordered pairs (test convenience) — sorts by key.
+    fn from_iter<I: IntoIterator<Item = (TaskId, f64)>>(iter: I) -> Self {
+        let mut entries: Vec<(TaskId, f64)> = iter.into_iter().collect();
+        entries.sort_by_key(|e| e.0);
+        PriorityMap { entries }
+    }
 }
 
 #[cfg(test)]

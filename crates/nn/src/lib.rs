@@ -18,12 +18,14 @@
 //! Gradient correctness is enforced by finite-difference property
 //! tests, and an end-to-end test learns XOR.
 
+pub mod batch;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
 
+pub use batch::{FeatureBatch, Workspace};
 pub use matrix::Matrix;
-pub use mlp::{Activation, Gradients, Mlp};
+pub use mlp::{Activation, Gradients, Mlp, TransposedWeights};
 pub use optim::{Adam, Sgd};
 
 /// Numerically-stable softmax.
@@ -36,6 +38,24 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
         return vec![1.0 / logits.len().max(1) as f64; logits.len()];
     }
     exps.iter().map(|&e| e / sum).collect()
+}
+
+/// In-place [`softmax`]: identical numerics (same max-shift, same
+/// exp/sum order, same degenerate-input fallback) without the output
+/// allocation — the hot-path variant for reused buffers.
+pub fn softmax_in_place(logits: &mut [f64]) {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for x in logits.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum <= 0.0 || !sum.is_finite() {
+        let uniform = 1.0 / logits.len().max(1) as f64;
+        logits.iter_mut().for_each(|x| *x = uniform);
+        return;
+    }
+    logits.iter_mut().for_each(|x| *x /= sum);
 }
 
 /// Numerically-stable log-softmax.
@@ -91,6 +111,21 @@ mod tests {
         }
         let huge = softmax(&[1e308, 1e308]);
         assert!((huge[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_in_place_matches_softmax() {
+        for logits in [
+            vec![1.0, 2.0, 3.0],
+            vec![0.0],
+            vec![-1e3, 1e3, 0.5, 0.5],
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY],
+        ] {
+            let reference = softmax(&logits);
+            let mut buf = logits.clone();
+            softmax_in_place(&mut buf);
+            assert_eq!(buf, reference, "input {logits:?}");
+        }
     }
 
     #[test]

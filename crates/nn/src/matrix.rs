@@ -100,6 +100,88 @@ impl Matrix {
         y
     }
 
+    /// Batched `matvec`: `out = X · selfᵀ` for a row-major batch `x`
+    /// of `rows` vectors (each `cols` long); `out` must hold
+    /// `rows × self.rows` elements. Each output element accumulates
+    /// its products in the exact ascending-column order
+    /// [`Matrix::matvec`] uses, so results are bit-identical to `rows`
+    /// independent `matvec` calls. The speedup: 4 output elements are
+    /// computed per pass, giving 4 independent accumulation chains
+    /// that hide FP-add latency — `matvec`'s single chain serialises
+    /// on it — while `out` is a caller-reused buffer, so the hot path
+    /// never allocates.
+    pub fn matmul_into(&self, x: &[f64], rows: usize, out: &mut [f64]) {
+        assert_eq!(x.len(), rows * self.cols, "matmul_into input mismatch");
+        assert_eq!(out.len(), rows * self.rows, "matmul_into output mismatch");
+        let (out_dim, cols) = (self.rows, self.cols);
+        for r in 0..rows {
+            let xr = &x[r * cols..(r + 1) * cols];
+            let out_row = &mut out[r * out_dim..(r + 1) * out_dim];
+            let mut o = 0;
+            while o + 4 <= out_dim {
+                let w0 = &self.data[o * cols..(o + 1) * cols];
+                let w1 = &self.data[(o + 1) * cols..(o + 2) * cols];
+                let w2 = &self.data[(o + 2) * cols..(o + 3) * cols];
+                let w3 = &self.data[(o + 3) * cols..(o + 4) * cols];
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                for (c, &xc) in xr.iter().enumerate() {
+                    a0 += w0[c] * xc;
+                    a1 += w1[c] * xc;
+                    a2 += w2[c] * xc;
+                    a3 += w3[c] * xc;
+                }
+                out_row[o] = a0;
+                out_row[o + 1] = a1;
+                out_row[o + 2] = a2;
+                out_row[o + 3] = a3;
+                o += 4;
+            }
+            for y in &mut out_row[o..] {
+                let w_row = &self.data[o * cols..(o + 1) * cols];
+                let mut acc = 0.0;
+                for (a, b) in w_row.iter().zip(xr) {
+                    acc += a * b;
+                }
+                *y = acc;
+                o += 1;
+            }
+        }
+    }
+
+    /// Batched `matvec_t`: `out = X · self` for a row-major batch `x`
+    /// of `rows` vectors (each `self.rows` long); `out` must hold
+    /// `rows × self.cols` elements. Accumulation order per output
+    /// element matches [`Matrix::matvec_t`] exactly (weight rows in
+    /// ascending order), so results are bit-identical.
+    pub fn matmul_t_into(&self, x: &[f64], rows: usize, out: &mut [f64]) {
+        assert_eq!(x.len(), rows * self.rows, "matmul_t_into input mismatch");
+        assert_eq!(out.len(), rows * self.cols, "matmul_t_into output mismatch");
+        for r in 0..rows {
+            let xr = &x[r * self.rows..(r + 1) * self.rows];
+            let out_row = &mut out[r * self.cols..(r + 1) * self.cols];
+            out_row.iter_mut().for_each(|v| *v = 0.0);
+            for (o, &xo) in xr.iter().enumerate() {
+                let w_row = &self.data[o * self.cols..(o + 1) * self.cols];
+                for (y, a) in out_row.iter_mut().zip(w_row) {
+                    *y += a * xo;
+                }
+            }
+        }
+    }
+
+    /// Write this matrix column-major into `out` (`out[c * rows + r] =
+    /// self[r][c]`) — the layout [`matmul_pretransposed`] consumes.
+    pub(crate) fn transpose_into(&self, out: &mut Vec<f64>) {
+        let (rows, cols) = (self.rows, self.cols);
+        out.clear();
+        out.resize(rows * cols, 0.0);
+        for (r, w_row) in self.data.chunks_exact(cols).enumerate() {
+            for (c, &w) in w_row.iter().enumerate() {
+                out[c * rows + r] = w;
+            }
+        }
+    }
+
     /// `self += k · (u ⊗ v)` — rank-one update used for weight
     /// gradients (`u` len = rows, `v` len = cols).
     pub fn add_outer(&mut self, u: &[f64], v: &[f64], k: f64) {
@@ -139,6 +221,61 @@ impl Matrix {
     }
 }
 
+/// Batched `matvec` against a pre-transposed (column-major) weight
+/// matrix `wt` (`in_dim × out_dim`, as written by
+/// [`Matrix::transpose_into`]): `out[r][o] = epilogue(o, Σ_c
+/// wt[c][o]·x[r][c])` for a row-major batch `x` of `rows` vectors.
+/// Each output element accumulates its products in the exact
+/// ascending-column order [`Matrix::matvec`] uses, so with an
+/// identity epilogue results are bit-identical to per-sample calls
+/// (an `act(z + bias)` epilogue likewise replays the per-sample
+/// order, fused into the tile store instead of a second pass over
+/// the batch). This is the fastest inference kernel: 8 outputs are
+/// carried per pass in a register-resident accumulator tile, and the
+/// column-major layout makes the weight reads contiguous, so the
+/// inner loop vectorises — but it needs the transposed copy, which
+/// callers should cache across calls (see `TransposedWeights` in
+/// `mlp`).
+pub(crate) fn matmul_pretransposed(
+    wt: &[f64],
+    in_dim: usize,
+    out_dim: usize,
+    x: &[f64],
+    rows: usize,
+    out: &mut [f64],
+    mut epilogue: impl FnMut(usize, f64) -> f64,
+) {
+    assert_eq!(wt.len(), in_dim * out_dim, "transposed weight shape");
+    assert_eq!(x.len(), rows * in_dim, "input batch shape");
+    assert_eq!(out.len(), rows * out_dim, "output batch shape");
+    for r in 0..rows {
+        let xr = &x[r * in_dim..(r + 1) * in_dim];
+        let out_row = &mut out[r * out_dim..(r + 1) * out_dim];
+        let mut o = 0;
+        while o + 8 <= out_dim {
+            let mut acc = [0.0f64; 8];
+            for (c, &xc) in xr.iter().enumerate() {
+                let w = &wt[c * out_dim + o..c * out_dim + o + 8];
+                for (a, &wv) in acc.iter_mut().zip(w) {
+                    *a += wv * xc;
+                }
+            }
+            for (j, &a) in acc.iter().enumerate() {
+                out_row[o + j] = epilogue(o + j, a);
+            }
+            o += 8;
+        }
+        while o < out_dim {
+            let mut a = 0.0;
+            for (c, &xc) in xr.iter().enumerate() {
+                a += wt[c * out_dim + o] * xc;
+            }
+            out_row[o] = epilogue(o, a);
+            o += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +309,48 @@ mod tests {
         a.add_scaled(&b, 2.0);
         assert_eq!(a.get(0, 0), 2.0);
         assert_eq!(a.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn matmul_into_matches_per_row_matvec() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c + 1) as f64);
+        let x = [1.0, 10.0, -2.0, 0.5];
+        let mut out = vec![0.0; 2 * 3];
+        m.matmul_into(&x, 2, &mut out);
+        assert_eq!(&out[..3], m.matvec(&x[..2]).as_slice());
+        assert_eq!(&out[3..], m.matvec(&x[2..]).as_slice());
+    }
+
+    #[test]
+    fn matmul_t_into_matches_per_row_matvec_t() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c + 1) as f64);
+        let x = [1.0, 1.0, 1.0, 0.5, -1.0, 2.0];
+        let mut out = vec![0.0; 2 * 2];
+        m.matmul_t_into(&x, 2, &mut out);
+        assert_eq!(&out[..2], m.matvec_t(&x[..3]).as_slice());
+        assert_eq!(&out[2..], m.matvec_t(&x[3..]).as_slice());
+    }
+
+    #[test]
+    fn matmul_pretransposed_matches_per_row_matvec() {
+        let mut rng = SimRng::new(31);
+        // Width > 8 exercises both the 8-wide tile and the remainder.
+        let m = Matrix::xavier(11, 5, &mut rng);
+        let x: Vec<f64> = (0..3 * 5).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let mut wt = Vec::new();
+        m.transpose_into(&mut wt);
+        let mut out = vec![0.0; 3 * 11];
+        matmul_pretransposed(&wt, 5, 11, &x, 3, &mut out, |_, v| v);
+        for r in 0..3 {
+            let reference = m.matvec(&x[r * 5..(r + 1) * 5]);
+            assert_eq!(&out[r * 11..(r + 1) * 11], reference.as_slice());
+        }
+        // The epilogue is applied per element with its output index.
+        let mut shifted = vec![0.0; 3 * 11];
+        matmul_pretransposed(&wt, 5, 11, &x, 3, &mut shifted, |o, v| v + o as f64);
+        for (i, (s, p)) in shifted.iter().zip(&out).enumerate() {
+            assert_eq!(*s, p + (i % 11) as f64);
+        }
     }
 
     #[test]

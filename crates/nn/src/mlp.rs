@@ -1,8 +1,41 @@
 //! Multi-layer perceptron with exact reverse-mode gradients.
 
-use crate::matrix::Matrix;
+use crate::batch::{FeatureBatch, Workspace};
+use crate::matrix::{matmul_pretransposed, Matrix};
 use serde::{Deserialize, Serialize};
 use simcore::SimRng;
+
+/// Cached column-major copies of an [`Mlp`]'s weight matrices, the
+/// layout [`Mlp::forward_batch_cached`] consumes. Building the copy
+/// costs one pass over the parameters, so holders cache it across
+/// forward calls and re-derive it only after the weights change
+/// (call [`TransposedWeights::invalidate`] on every mutation; the
+/// cache starts invalid). Keeping the cache *outside* the network —
+/// rather than as dual storage inside [`Mlp`] — leaves `Mlp`'s
+/// serialization, equality and clone semantics untouched.
+#[derive(Debug, Clone, Default)]
+pub struct TransposedWeights {
+    /// Layer `l`'s weights, column-major (`in_dim × out_dim`).
+    layers: Vec<Vec<f64>>,
+    valid: bool,
+}
+
+impl TransposedWeights {
+    /// Empty (invalid) cache; filled by [`Mlp::refresh_transposed`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark stale — the next cached forward must refresh first.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// True when the cache holds a current transposed copy.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+}
 
 /// Hidden-layer activation functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -183,6 +216,159 @@ impl Mlp {
         Gradients::zeros_like(self)
     }
 
+    /// Batched forward pass over all rows of `batch`, caching every
+    /// layer's activated output in `ws` (required by
+    /// [`Mlp::backprop_batch`]). Returns the output logits, row-major
+    /// (`rows × output_dim`), borrowed from the workspace.
+    ///
+    /// Each row's arithmetic replays [`Mlp::forward`] exactly (same
+    /// dot-product accumulation order, same bias/activation fusion),
+    /// so the logits are bit-identical to per-sample calls — the win
+    /// is zero steady-state allocation and one dense weight walk per
+    /// layer instead of per candidate.
+    pub fn forward_batch<'w>(&self, batch: &FeatureBatch, ws: &'w mut Workspace) -> &'w [f64] {
+        assert_eq!(batch.dim(), self.input_dim(), "batch dim mismatch");
+        let rows = batch.rows();
+        ws.ensure_layers(self.layers.len());
+        ws.rows = rows;
+        for (li, l) in self.layers.iter().enumerate() {
+            let (done, rest) = ws.acts.split_at_mut(li);
+            let input: &[f64] = if li == 0 {
+                batch.as_slice()
+            } else {
+                &done[li - 1]
+            };
+            let out_dim = l.w.rows();
+            let cur = &mut rest[0];
+            cur.resize(rows * out_dim, 0.0);
+            l.w.matmul_into(input, rows, cur);
+            for row in cur.chunks_exact_mut(out_dim) {
+                for (z, b) in row.iter_mut().zip(&l.b) {
+                    *z = l.act.apply(*z + b);
+                }
+            }
+        }
+        let n = self.layers.len();
+        assert!(n > 0, "Mlp has no layers");
+        &ws.acts[n - 1]
+    }
+
+    /// Rebuild `tw` as a column-major copy of this network's weights
+    /// and mark it valid.
+    pub fn refresh_transposed(&self, tw: &mut TransposedWeights) {
+        tw.layers.resize_with(self.layers.len(), Vec::new);
+        for (l, t) in self.layers.iter().zip(&mut tw.layers) {
+            l.w.transpose_into(t);
+        }
+        tw.valid = true;
+    }
+
+    /// [`Mlp::forward_batch`] reading weights from a cached transposed
+    /// copy (see [`TransposedWeights`]): same activations cached in
+    /// `ws`, same bit-identical logits, but the GEMM inner loop reads
+    /// weights contiguously and vectorises — roughly twice as fast at
+    /// inference shapes. Callers must keep `tw` in sync with the
+    /// weights (refresh after any mutation); passing a stale or
+    /// foreign cache panics on shape mismatch but silently computes
+    /// with old weights otherwise — hence the `is_valid` discipline.
+    pub fn forward_batch_cached<'w>(
+        &self,
+        batch: &FeatureBatch,
+        ws: &'w mut Workspace,
+        tw: &TransposedWeights,
+    ) -> &'w [f64] {
+        assert!(tw.valid, "transposed-weight cache is stale");
+        assert_eq!(tw.layers.len(), self.layers.len(), "cache layer count");
+        assert_eq!(batch.dim(), self.input_dim(), "batch dim mismatch");
+        let rows = batch.rows();
+        ws.ensure_layers(self.layers.len());
+        ws.rows = rows;
+        for (li, l) in self.layers.iter().enumerate() {
+            let (done, rest) = ws.acts.split_at_mut(li);
+            let input: &[f64] = if li == 0 {
+                batch.as_slice()
+            } else {
+                &done[li - 1]
+            };
+            let out_dim = l.w.rows();
+            let cur = &mut rest[0];
+            cur.resize(rows * out_dim, 0.0);
+            // Bias + activation fused into the kernel's tile store —
+            // same per-element `act(z + b)` as the uncached path, one
+            // less pass over the activation buffer.
+            matmul_pretransposed(
+                &tw.layers[li],
+                l.w.cols(),
+                out_dim,
+                input,
+                rows,
+                cur,
+                |o, z| l.act.apply(z + l.b[o]),
+            );
+        }
+        let n = self.layers.len();
+        assert!(n > 0, "Mlp has no layers");
+        &ws.acts[n - 1]
+    }
+
+    /// Batched backward pass: accumulate gradients for every row of
+    /// `batch`, given `dloss_dout` (row-major `rows × output_dim`)
+    /// w.r.t. the logits. Must directly follow a
+    /// [`Mlp::forward_batch`] for the same batch on the same
+    /// workspace — the cached per-layer activations are consumed here.
+    ///
+    /// Per-element accumulation into `grads` happens in row order, the
+    /// same order `rows` sequential [`Mlp::backprop`] calls would use,
+    /// so the resulting gradients are bit-identical to the per-sample
+    /// path. `grads.samples` grows by `rows`.
+    pub fn backprop_batch(
+        &self,
+        batch: &FeatureBatch,
+        dloss_dout: &[f64],
+        grads: &mut Gradients,
+        ws: &mut Workspace,
+    ) {
+        let rows = batch.rows();
+        assert_eq!(ws.rows, rows, "workspace holds a different batch");
+        assert_eq!(dloss_dout.len(), rows * self.output_dim(), "dloss shape");
+        if rows == 0 {
+            return;
+        }
+        ws.delta.clear();
+        ws.delta.extend_from_slice(dloss_dout);
+        for (li, l) in self.layers.iter().enumerate().rev() {
+            let out_dim = l.w.rows();
+            let in_dim = l.w.cols();
+            let out_acts = &ws.acts[li];
+            // δ ← δ ⊙ act'(out), row by row.
+            for (d, y) in ws.delta.iter_mut().zip(out_acts) {
+                *d *= l.act.derivative_from_output(*y);
+            }
+            // dW += δ_r ⊗ input_r and db += δ_r, in row order (the
+            // per-sample accumulation order).
+            let input: &[f64] = if li == 0 {
+                batch.as_slice()
+            } else {
+                &ws.acts[li - 1]
+            };
+            for r in 0..rows {
+                let d_row = &ws.delta[r * out_dim..(r + 1) * out_dim];
+                let in_row = &input[r * in_dim..(r + 1) * in_dim];
+                grads.dw[li].add_outer(d_row, in_row, 1.0);
+                for (g, d) in grads.db[li].iter_mut().zip(d_row) {
+                    *g += d;
+                }
+            }
+            // Propagate: δ ← δ · W (= Wᵀδ per row).
+            if li > 0 {
+                ws.delta_next.resize(rows * in_dim, 0.0);
+                l.w.matmul_t_into(&ws.delta, rows, &mut ws.delta_next);
+                std::mem::swap(&mut ws.delta, &mut ws.delta_next);
+            }
+        }
+        grads.samples += rows;
+    }
+
     /// Accumulate gradients of a scalar loss whose gradient w.r.t. the
     /// output logits is `dloss_dout`, for input `x`. Returns the
     /// logits produced on the way (handy for loss logging).
@@ -346,6 +532,122 @@ mod tests {
     }
 
     #[test]
+    fn forward_batch_is_bit_identical_to_per_sample() {
+        let mut rng = SimRng::new(9);
+        let net = Mlp::new(&[5, 12, 7, 2], Activation::Relu, &mut rng);
+        let mut batch = FeatureBatch::new(5);
+        for i in 0..6 {
+            let row: Vec<f64> = (0..5).map(|d| ((i * 5 + d) as f64).sin()).collect();
+            batch.push(&row);
+        }
+        let mut ws = Workspace::new();
+        let logits = net.forward_batch(&batch, &mut ws).to_vec();
+        for r in 0..batch.rows() {
+            let per_sample = net.forward(batch.row(r));
+            // Same op order per row ⇒ exactly equal, not just close.
+            assert_eq!(&logits[r * 2..(r + 1) * 2], per_sample.as_slice());
+        }
+    }
+
+    #[test]
+    fn backprop_batch_is_bit_identical_to_per_sample() {
+        let mut rng = SimRng::new(13);
+        let net = Mlp::new(&[4, 9, 3], Activation::Tanh, &mut rng);
+        let mut batch = FeatureBatch::new(4);
+        let mut dloss = Vec::new();
+        for i in 0..5 {
+            let row: Vec<f64> = (0..4).map(|d| ((i * 4 + d) as f64 * 0.3).cos()).collect();
+            batch.push(&row);
+            dloss.extend((0..3).map(|d| ((i * 3 + d) as f64 * 0.7).sin()));
+        }
+        let mut g_batch = net.zero_grads();
+        let mut ws = Workspace::new();
+        net.forward_batch(&batch, &mut ws);
+        net.backprop_batch(&batch, &dloss, &mut g_batch, &mut ws);
+        let mut g_ref = net.zero_grads();
+        for r in 0..batch.rows() {
+            net.backprop(batch.row(r), &dloss[r * 3..(r + 1) * 3], &mut g_ref);
+        }
+        assert_eq!(g_batch.samples, g_ref.samples);
+        for (a, b) in g_batch.dw.iter().zip(&g_ref.dw) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        for (a, b) in g_batch.db.iter().zip(&g_ref.db) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn forward_batch_cached_is_bit_identical_and_tracks_updates() {
+        let mut rng = SimRng::new(27);
+        let mut net = Mlp::new(&[5, 12, 7, 2], Activation::Relu, &mut rng);
+        let mut batch = FeatureBatch::new(5);
+        for i in 0..6 {
+            let row: Vec<f64> = (0..5).map(|d| ((i * 5 + d) as f64).sin()).collect();
+            batch.push(&row);
+        }
+        let mut ws = Workspace::new();
+        let mut tw = TransposedWeights::new();
+        assert!(!tw.is_valid());
+        net.refresh_transposed(&mut tw);
+        assert!(tw.is_valid());
+        let cached = net.forward_batch_cached(&batch, &mut ws, &tw).to_vec();
+        let direct = net.forward_batch(&batch, &mut ws).to_vec();
+        assert_eq!(cached, direct);
+        // After a weight update the refreshed cache must track it.
+        let mut g = net.zero_grads();
+        net.backprop(batch.row(0), &[0.3, -0.2], &mut g);
+        net.apply_update(&g, -0.05);
+        tw.invalidate();
+        net.refresh_transposed(&mut tw);
+        let cached2 = net.forward_batch_cached(&batch, &mut ws, &tw).to_vec();
+        let direct2 = net.forward_batch(&batch, &mut ws).to_vec();
+        assert_eq!(cached2, direct2);
+        assert_ne!(cached, cached2, "update must change the logits");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn forward_batch_cached_rejects_stale_cache() {
+        let mut rng = SimRng::new(28);
+        let net = Mlp::new(&[2, 3, 1], Activation::Relu, &mut rng);
+        let batch = FeatureBatch::from_rows(2, &[vec![0.1, 0.2]]);
+        let mut ws = Workspace::new();
+        net.forward_batch_cached(&batch, &mut ws, &TransposedWeights::new());
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_shapes() {
+        let mut rng = SimRng::new(21);
+        let small = Mlp::new(&[3, 4, 1], Activation::Relu, &mut rng);
+        let big = Mlp::new(&[6, 16, 8, 2], Activation::Tanh, &mut rng);
+        let mut ws = Workspace::new();
+        let b1 = FeatureBatch::from_rows(3, &[vec![0.1, 0.2, 0.3]]);
+        let b2 = FeatureBatch::from_rows(
+            6,
+            &(0..9).map(|i| vec![i as f64 * 0.1; 6]).collect::<Vec<_>>(),
+        );
+        let s1 = small.forward_batch(&b1, &mut ws).to_vec();
+        let s2 = big.forward_batch(&b2, &mut ws).to_vec();
+        let s1_again = small.forward_batch(&b1, &mut ws).to_vec();
+        assert_eq!(s1, s1_again);
+        assert_eq!(s2.len(), 9 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different batch")]
+    fn backprop_batch_requires_matching_forward() {
+        let mut rng = SimRng::new(22);
+        let net = Mlp::new(&[2, 3, 1], Activation::Relu, &mut rng);
+        let b1 = FeatureBatch::from_rows(2, &[vec![0.1, 0.2], vec![0.3, 0.4]]);
+        let b2 = FeatureBatch::from_rows(2, &[vec![0.5, 0.6]]);
+        let mut ws = Workspace::new();
+        net.forward_batch(&b1, &mut ws);
+        let mut g = net.zero_grads();
+        net.backprop_batch(&b2, &[1.0], &mut g, &mut ws);
+    }
+
+    #[test]
     fn serde_roundtrip_preserves_behaviour() {
         let mut rng = SimRng::new(11);
         let net = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng);
@@ -416,6 +718,76 @@ mod proptests {
                 "param {k}: numeric {numeric} vs analytic {}",
                 analytic[k]
             );
+        }
+
+        /// Batched forward matches per-sample forward on random
+        /// shapes, activations and batch sizes (tentpole invariant:
+        /// the GEMM path may not change a single decision).
+        #[test]
+        fn forward_batch_matches_per_sample(
+            seed in 0u64..10_000,
+            hidden in 1usize..16,
+            inputs in 1usize..8,
+            outputs in 1usize..5,
+            rows in 1usize..9,
+            tanh in any::<bool>(),
+        ) {
+            let mut rng = SimRng::new(seed);
+            let act = if tanh { Activation::Tanh } else { Activation::Relu };
+            let net = Mlp::new(&[inputs, hidden, outputs], act, &mut rng);
+            let mut batch = FeatureBatch::new(inputs);
+            for _ in 0..rows {
+                let row: Vec<f64> = (0..inputs).map(|_| rng.range_f64(-2.0, 2.0)).collect();
+                batch.push(&row);
+            }
+            let mut ws = Workspace::new();
+            let logits = net.forward_batch(&batch, &mut ws).to_vec();
+            for r in 0..rows {
+                let reference = net.forward(batch.row(r));
+                for (a, b) in logits[r * outputs..(r + 1) * outputs].iter().zip(&reference) {
+                    prop_assert!((a - b).abs() <= 1e-12, "row {r}: {a} vs {b}");
+                }
+            }
+        }
+
+        /// Batched backprop accumulates the same gradients as N
+        /// per-sample backprops, on random shapes.
+        #[test]
+        fn backprop_batch_matches_per_sample(
+            seed in 0u64..10_000,
+            hidden in 1usize..12,
+            inputs in 1usize..6,
+            outputs in 1usize..4,
+            rows in 1usize..7,
+            tanh in any::<bool>(),
+        ) {
+            let mut rng = SimRng::new(seed);
+            let act = if tanh { Activation::Tanh } else { Activation::Relu };
+            let net = Mlp::new(&[inputs, hidden, outputs], act, &mut rng);
+            let mut batch = FeatureBatch::new(inputs);
+            let mut dloss = Vec::new();
+            for _ in 0..rows {
+                let row: Vec<f64> = (0..inputs).map(|_| rng.range_f64(-2.0, 2.0)).collect();
+                batch.push(&row);
+                dloss.extend((0..outputs).map(|_| rng.range_f64(-1.0, 1.0)));
+            }
+            let mut ws = Workspace::new();
+            net.forward_batch(&batch, &mut ws);
+            let mut g_batch = net.zero_grads();
+            net.backprop_batch(&batch, &dloss, &mut g_batch, &mut ws);
+            let mut g_ref = net.zero_grads();
+            for r in 0..rows {
+                net.backprop(batch.row(r), &dloss[r * outputs..(r + 1) * outputs], &mut g_ref);
+            }
+            prop_assert_eq!(g_batch.samples, g_ref.samples);
+            let mut flat_batch: Vec<f64> = Vec::new();
+            let mut flat_ref: Vec<f64> = Vec::new();
+            let mut probe = net.clone();
+            probe.visit_params_mut(&g_batch, |_, g| flat_batch.extend_from_slice(g));
+            probe.visit_params_mut(&g_ref, |_, g| flat_ref.extend_from_slice(g));
+            for (k, (a, b)) in flat_batch.iter().zip(&flat_ref).enumerate() {
+                prop_assert!((a - b).abs() <= 1e-12, "param {k}: {a} vs {b}");
+            }
         }
 
         /// Forward pass never produces NaN/inf for bounded inputs.

@@ -12,9 +12,16 @@
 //! vector to a scalar logit, and the action distribution is the
 //! softmax over candidate logits. REINFORCE gradients flow through
 //! every candidate's forward pass.
+//!
+//! Candidates travel as flat row-major [`FeatureBatch`]es: one batched
+//! forward scores the whole candidate set against a reusable
+//! [`Workspace`], so inference and training are allocation-free on the
+//! steady-state hot path while staying bit-identical to the
+//! per-candidate formulation.
 
 pub mod policy;
 pub mod trainer;
 
+pub use nn::{FeatureBatch, Workspace};
 pub use policy::ScoringPolicy;
 pub use trainer::{Convergence, ReinforceTrainer, Step, TrainerConfig};

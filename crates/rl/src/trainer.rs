@@ -1,7 +1,7 @@
 //! REINFORCE-with-baseline training and imitation pre-training.
 
 use crate::policy::ScoringPolicy;
-use nn::{softmax, Adam};
+use nn::{softmax_in_place, Adam, FeatureBatch, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// One recorded decision: the candidate features offered and the index
@@ -9,8 +9,8 @@ use serde::{Deserialize, Serialize};
 /// RL fine-tuning).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Step {
-    /// Feature vector per candidate.
-    pub candidates: Vec<Vec<f64>>,
+    /// Feature batch, one row per candidate.
+    pub candidates: FeatureBatch,
     /// Index of the chosen candidate.
     pub action: usize,
 }
@@ -99,6 +99,12 @@ impl Convergence {
 }
 
 /// REINFORCE trainer with an EMA baseline, plus supervised imitation.
+///
+/// Each recorded step is trained with one batched forward and one
+/// batched backward pass over its candidate rows (instead of one
+/// forward/backward per candidate); the trainer owns the [`Workspace`]
+/// and scratch buffers, so steady-state training allocates only the
+/// per-update gradient set.
 #[derive(Debug)]
 pub struct ReinforceTrainer {
     /// The policy being trained.
@@ -107,6 +113,9 @@ pub struct ReinforceTrainer {
     optim: Adam,
     baseline: f64,
     baseline_ready: bool,
+    ws: Workspace,
+    probs: Vec<f64>,
+    dlogits: Vec<f64>,
 }
 
 impl ReinforceTrainer {
@@ -119,6 +128,9 @@ impl ReinforceTrainer {
             optim,
             baseline: 0.0,
             baseline_ready: false,
+            ws: Workspace::new(),
+            probs: Vec::new(),
+            dlogits: Vec::new(),
         }
     }
 
@@ -132,6 +144,21 @@ impl ReinforceTrainer {
             out[i] = acc;
         }
         out
+    }
+
+    /// Batched forward over a step's candidates, leaving the softmax
+    /// distribution in `self.probs` and the layer activations in
+    /// `self.ws` (ready for `backprop_batch`).
+    fn forward_step_probs(
+        policy: &ScoringPolicy,
+        ws: &mut Workspace,
+        probs: &mut Vec<f64>,
+        step: &Step,
+    ) {
+        let logits = policy.net().forward_batch(&step.candidates, ws);
+        probs.clear();
+        probs.extend_from_slice(logits);
+        softmax_in_place(probs);
     }
 
     /// One REINFORCE update over an episode of `(step, reward)` pairs.
@@ -154,25 +181,31 @@ impl ReinforceTrainer {
 
         let mut grads = self.policy.net().zero_grads();
         for ((step, _), g_t) in episode.iter().zip(&returns) {
-            if step.candidates.len() < 2 {
+            if step.candidates.rows() < 2 {
                 continue; // nothing to learn from a forced choice
             }
             let advantage = g_t - self.baseline;
-            let scores = self.policy.scores(&step.candidates);
-            let probs = softmax(&scores);
+            Self::forward_step_probs(&self.policy, &mut self.ws, &mut self.probs, step);
             // d(-advantage·log π(a) − β·H(π)) / d logit_i
             //   = advantage·(π_i − 1[i=a]) + β·π_i·(log π_i + H)
-            let entropy: f64 = probs
+            let entropy: f64 = self
+                .probs
                 .iter()
                 .map(|p| if *p > 0.0 { -p * p.ln() } else { 0.0 })
                 .sum();
-            for (i, cand) in step.candidates.iter().enumerate() {
+            self.dlogits.clear();
+            for (i, p) in self.probs.iter().enumerate() {
                 let indicator = if i == step.action { 1.0 } else { 0.0 };
-                let mut dlogit = advantage * (probs[i] - indicator);
-                dlogit += self.cfg.entropy_coef * probs[i] * (probs[i].max(1e-12).ln() + entropy);
-                self.policy
-                    .net_mut_internal_backprop(cand, dlogit, &mut grads);
+                let mut dlogit = advantage * (p - indicator);
+                dlogit += self.cfg.entropy_coef * p * (p.max(1e-12).ln() + entropy);
+                self.dlogits.push(dlogit);
             }
+            self.policy.net().backprop_batch(
+                &step.candidates,
+                &self.dlogits,
+                &mut grads,
+                &mut self.ws,
+            );
         }
         self.optim.step(self.policy.net_mut(), &mut grads);
         rewards.iter().sum()
@@ -185,23 +218,48 @@ impl ReinforceTrainer {
         if steps.is_empty() {
             return 0.0;
         }
+        self.imitate_inner(steps, None)
+    }
+
+    /// [`ReinforceTrainer::imitate`] over a minibatch selected by
+    /// index — lets replay buffers resample without cloning `Step`s.
+    pub fn imitate_indices(&mut self, steps: &[Step], indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        self.imitate_inner(steps, Some(indices))
+    }
+
+    /// Shared imitation update; `indices = None` walks `steps` in
+    /// order, `Some(idx)` visits `steps[i]` for each `i` (repeats
+    /// allowed).
+    fn imitate_inner(&mut self, steps: &[Step], indices: Option<&[usize]>) -> f64 {
         let mut grads = self.policy.net().zero_grads();
         let mut total_loss = 0.0;
         let mut counted = 0usize;
-        for step in steps {
-            if step.candidates.len() < 2 {
+        let n = indices.map_or(steps.len(), <[usize]>::len);
+        for k in 0..n {
+            let step = match indices {
+                Some(idx) => &steps[idx[k]],
+                None => &steps[k],
+            };
+            if step.candidates.rows() < 2 {
                 continue;
             }
-            let scores = self.policy.scores(&step.candidates);
-            let probs = softmax(&scores);
-            total_loss += -probs[step.action].max(1e-12).ln();
+            Self::forward_step_probs(&self.policy, &mut self.ws, &mut self.probs, step);
+            total_loss += -self.probs[step.action].max(1e-12).ln();
             counted += 1;
-            for (i, cand) in step.candidates.iter().enumerate() {
+            self.dlogits.clear();
+            for (i, p) in self.probs.iter().enumerate() {
                 let indicator = if i == step.action { 1.0 } else { 0.0 };
-                let dlogit = probs[i] - indicator;
-                self.policy
-                    .net_mut_internal_backprop(cand, dlogit, &mut grads);
+                self.dlogits.push(p - indicator);
             }
+            self.policy.net().backprop_batch(
+                &step.candidates,
+                &self.dlogits,
+                &mut grads,
+                &mut self.ws,
+            );
         }
         self.optim.step(self.policy.net_mut(), &mut grads);
         if counted == 0 {
@@ -230,19 +288,6 @@ impl ReinforceTrainer {
     }
 }
 
-impl ScoringPolicy {
-    /// Backprop helper used by the trainer: accumulate gradient of
-    /// `dlogit · logit(candidate)` into `grads`.
-    fn net_mut_internal_backprop(
-        &mut self,
-        candidate: &[f64],
-        dlogit: f64,
-        grads: &mut nn::Gradients,
-    ) {
-        self.net_mut().backprop(candidate, &[dlogit], grads);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,15 +299,18 @@ mod tests {
     fn bandit_episode(policy: &ScoringPolicy, rng: &mut SimRng, steps: usize) -> Vec<(Step, f64)> {
         let mut out = Vec::new();
         for _ in 0..steps {
-            let candidates: Vec<Vec<f64>> =
-                (0..4).map(|_| vec![rng.range_f64(-1.0, 1.0)]).collect();
+            let mut candidates = FeatureBatch::new(1);
+            for _ in 0..4 {
+                candidates.push(&[rng.range_f64(-1.0, 1.0)]);
+            }
             let action = policy.sample(&candidates, rng);
-            let best = candidates
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
-                .unwrap()
-                .0;
+            let best = (0..candidates.rows())
+                .max_by(|a, b| {
+                    candidates.row(*a)[0]
+                        .partial_cmp(&candidates.row(*b)[0])
+                        .unwrap()
+                })
+                .unwrap();
             let reward = if action == best { 1.0 } else { 0.0 };
             out.push((Step { candidates, action }, reward));
         }
@@ -323,19 +371,19 @@ mod tests {
         let make_steps = |rng: &mut SimRng, n: usize| -> Vec<Step> {
             (0..n)
                 .map(|_| {
-                    let candidates: Vec<Vec<f64>> = (0..5)
-                        .map(|_| vec![rng.range_f64(0.0, 1.0), rng.range_f64(0.0, 1.0)])
-                        .collect();
-                    let action = candidates
-                        .iter()
-                        .enumerate()
+                    let mut candidates = FeatureBatch::new(2);
+                    for _ in 0..5 {
+                        candidates.push(&[rng.range_f64(0.0, 1.0), rng.range_f64(0.0, 1.0)]);
+                    }
+                    let action = (0..candidates.rows())
                         .max_by(|a, b| {
-                            (a.1[0] + 2.0 * a.1[1])
-                                .partial_cmp(&(b.1[0] + 2.0 * b.1[1]))
+                            let sa = candidates.row(*a);
+                            let sb = candidates.row(*b);
+                            (sa[0] + 2.0 * sa[1])
+                                .partial_cmp(&(sb[0] + 2.0 * sb[1]))
                                 .unwrap()
                         })
-                        .unwrap()
-                        .0;
+                        .unwrap();
                     Step { candidates, action }
                 })
                 .collect()
@@ -358,14 +406,17 @@ mod tests {
         let mut trainer = ReinforceTrainer::new(policy, TrainerConfig::default());
         let steps: Vec<Step> = (0..64)
             .map(|_| {
-                let candidates: Vec<Vec<f64>> =
-                    (0..3).map(|_| vec![rng.range_f64(0.0, 1.0)]).collect();
-                let action = candidates
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
-                    .unwrap()
-                    .0;
+                let mut candidates = FeatureBatch::new(1);
+                for _ in 0..3 {
+                    candidates.push(&[rng.range_f64(0.0, 1.0)]);
+                }
+                let action = (0..candidates.rows())
+                    .max_by(|a, b| {
+                        candidates.row(*a)[0]
+                            .partial_cmp(&candidates.row(*b)[0])
+                            .unwrap()
+                    })
+                    .unwrap();
                 Step { candidates, action }
             })
             .collect();
@@ -375,6 +426,52 @@ mod tests {
             last = trainer.imitate(&steps);
         }
         assert!(last < first * 0.5, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn imitate_indices_matches_imitate_on_identity_permutation() {
+        // Two identical trainers: one fed the steps directly, the
+        // other the same steps through the index path. Parameters must
+        // stay bit-identical — this is the invariant that lets the
+        // replay buffer resample without cloning Steps.
+        let mk = || {
+            let mut rng = SimRng::new(40);
+            let policy = ScoringPolicy::new(2, &[6], &mut rng);
+            ReinforceTrainer::new(policy, TrainerConfig::default())
+        };
+        let mut rng = SimRng::new(41);
+        let steps: Vec<Step> = (0..16)
+            .map(|_| {
+                let mut candidates = FeatureBatch::new(2);
+                for _ in 0..4 {
+                    candidates.push(&[rng.range_f64(0.0, 1.0), rng.range_f64(0.0, 1.0)]);
+                }
+                Step {
+                    candidates,
+                    action: 1,
+                }
+            })
+            .collect();
+        let idx: Vec<usize> = (0..steps.len()).collect();
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..5 {
+            let la = a.imitate(&steps);
+            let lb = b.imitate_indices(&steps, &idx);
+            assert_eq!(la, lb);
+        }
+        let extract = |t: &mut ReinforceTrainer| {
+            let mut params = Vec::new();
+            let g = t.policy.net().zero_grads();
+            t.policy
+                .net_mut()
+                .visit_params_mut(&g, |p: &mut [f64], _| params.extend_from_slice(p));
+            params
+        };
+        assert_eq!(extract(&mut a), extract(&mut b));
+        // Repeated indices are allowed (replay-style resampling).
+        let resample = [0usize, 0, 3, 15, 3];
+        b.imitate_indices(&steps, &resample);
     }
 
     #[test]
@@ -405,6 +502,7 @@ mod tests {
         );
         assert_eq!(trainer.train_episode(&[]), 0.0);
         assert_eq!(trainer.imitate(&[]), 0.0);
+        assert_eq!(trainer.imitate_indices(&[], &[]), 0.0);
         assert_eq!(trainer.agreement(&[]), 1.0);
     }
 }

@@ -127,6 +127,19 @@ fn run_sample(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
     b.elapsed
 }
 
+/// Sample-count override for quick smoke runs (e.g. CI): setting
+/// `CRITERION_MINI_SAMPLES=1` runs every bench with a single sample,
+/// exercising the full bench path in a fraction of the time. Values
+/// below 1 are ignored; without the variable the per-group
+/// `sample_size` applies (min 2).
+fn sample_override() -> Option<usize> {
+    std::env::var("CRITERION_MINI_SAMPLES")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .filter(|n| *n >= 1)
+}
+
 fn run_bench(group: &str, id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
     // Calibrate: grow the per-sample iteration count until one sample
     // covers the minimum window (also serves as warm-up).
@@ -142,7 +155,8 @@ fn run_bench(group: &str, id: &str, sample_size: usize, mut f: impl FnMut(&mut B
         iters = ((target / per_iter).ceil() as u64).clamp(iters + 1, iters * 100);
     }
 
-    let mut per_iter_ns: Vec<f64> = (0..sample_size.max(2))
+    let samples = sample_override().unwrap_or_else(|| sample_size.max(2));
+    let mut per_iter_ns: Vec<f64> = (0..samples)
         .map(|_| run_sample(&mut f, iters).as_nanos() as f64 / iters as f64)
         .collect();
     per_iter_ns.sort_by(|a, b| a.total_cmp(b));
@@ -243,6 +257,17 @@ mod tests {
         let written = tmp.join("selftest").join("sum.json");
         let body = std::fs::read_to_string(&written).expect("snapshot written");
         assert!(body.contains("\"median_ns\""));
+
+        // Quick-mode override: a single sample per bench (same test fn
+        // as above — env vars are process-global, so keep sequential).
+        std::env::set_var("CRITERION_MINI_SAMPLES", "1");
+        let mut group = c.benchmark_group("selftest");
+        group.bench_function("sum1", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+        std::env::remove_var("CRITERION_MINI_SAMPLES");
+        let body = std::fs::read_to_string(tmp.join("selftest").join("sum1.json"))
+            .expect("override snapshot written");
+        assert!(body.contains("\"samples\": 1"));
         std::fs::remove_dir_all(&tmp).ok();
     }
 }
