@@ -160,12 +160,15 @@ impl Scheduler for RlPlacer {
                     candidates: feats,
                     action: choice,
                 });
-                if choice < servers.len() {
-                    let host = servers[choice];
-                    plan.place(task, host, spec.demand, spec.gpu_share)
-                        .expect("speculative placement cannot fail");
-                    placed.push((task, host));
+                if choice < servers.len()
+                    && plan
+                        .place(task, servers[choice], spec.demand, spec.gpu_share)
+                        .is_ok()
+                {
+                    placed.push((task, servers[choice]));
                 } else {
+                    // Queue chosen, or the host refused (went down
+                    // mid-round): the gang fails and rolls back.
                     complete = false;
                     break;
                 }

@@ -30,7 +30,8 @@ pub fn least_loaded_host(
 }
 
 /// Speculatively place `task` on `server` in `plan` and record the
-/// corresponding action.
+/// corresponding action. A refusal (the server went down mid-round)
+/// simply drops the placement — the task stays queued for next round.
 pub fn commit_place(
     plan: &mut Cluster,
     ctx: &SchedulerContext<'_>,
@@ -40,9 +41,12 @@ pub fn commit_place(
 ) {
     let job = &ctx.jobs[&task.job];
     let spec = &job.spec.tasks[task.idx as usize];
-    plan.place(task, server, spec.demand, spec.gpu_share)
-        .expect("speculative placement cannot fail");
-    actions.push(Action::Place { task, server });
+    if plan
+        .place(task, server, spec.demand, spec.gpu_share)
+        .is_ok()
+    {
+        actions.push(Action::Place { task, server });
+    }
 }
 
 /// Place queue tasks in the given order with **gang semantics**: all
@@ -73,14 +77,18 @@ pub fn place_in_order_gang(
         let mut placed: Vec<(TaskId, ServerId)> = Vec::new();
         let mut ok = true;
         for &task in &tasks {
+            let spec = &ctx.jobs[&task.job].spec.tasks[task.idx as usize];
             match pick_host(&plan, ctx, task) {
-                Some(server) => {
-                    let spec = &ctx.jobs[&task.job].spec.tasks[task.idx as usize];
-                    plan.place(task, server, spec.demand, spec.gpu_share)
-                        .expect("speculative placement cannot fail");
+                Some(server)
+                    if plan
+                        .place(task, server, spec.demand, spec.gpu_share)
+                        .is_ok() =>
+                {
                     placed.push((task, server));
                 }
-                None => {
+                // No host, or the picked host refused (went down
+                // mid-round): the gang fails and rolls back.
+                _ => {
                     ok = false;
                     break;
                 }
@@ -111,25 +119,28 @@ pub fn try_gang_place(
     limit: f64,
     actions: &mut Vec<Action>,
 ) -> bool {
-    let mut placed: Vec<TaskId> = Vec::new();
+    let mut placed: Vec<(TaskId, ServerId)> = Vec::new();
     for &task in tasks {
+        let spec = &ctx.jobs[&task.job].spec.tasks[task.idx as usize];
         match least_loaded_host(plan, ctx, task, limit) {
-            Some(server) => {
-                let spec = &ctx.jobs[&task.job].spec.tasks[task.idx as usize];
-                plan.place(task, server, spec.demand, spec.gpu_share)
-                    .expect("speculative placement cannot fail");
-                placed.push(task);
+            Some(server)
+                if plan
+                    .place(task, server, spec.demand, spec.gpu_share)
+                    .is_ok() =>
+            {
+                placed.push((task, server));
             }
-            None => {
-                for t in placed {
+            // No host, or the picked host refused (went down
+            // mid-round): roll the partial gang back.
+            _ => {
+                for (t, _) in placed {
                     plan.remove(t);
                 }
                 return false;
             }
         }
     }
-    for task in placed {
-        let server = plan.locate(task).expect("just placed");
+    for (task, server) in placed {
         actions.push(Action::Place { task, server });
     }
     true

@@ -1,0 +1,62 @@
+//! Fault injection must be invisible when disabled and reproducible
+//! when enabled. The fault process draws from a forked RNG stream, so
+//! a `fault: None` run and a zero-rate `FaultConfig` run must be
+//! *bit-identical* (same serialized `RunMetrics`), and a crashy run
+//! must replay exactly under the same seed.
+
+use mlfs::Params;
+use mlfs_sim::FaultConfig;
+
+fn run_once(seed: u64, fault: Option<FaultConfig>) -> String {
+    let mut e = mlfs_sim::experiments::fig4(0.25, 64.0, seed);
+    e.trace.jobs = 10;
+    e.sim.fault = fault;
+    let mut scheduler = mlfs::Mlfs::heuristic(Params::default());
+    let mut m = e.run(&mut scheduler);
+    // Wall-clock decision times legitimately vary run to run.
+    m.decision_times_ms.clear();
+    serde_json::to_string(&m).expect("serializable metrics")
+}
+
+#[test]
+fn disabled_faults_leave_runs_bit_identical() {
+    let baseline = run_once(77, None);
+    let again = run_once(77, None);
+    assert_eq!(baseline, again, "fault-free runs diverged");
+
+    // A present-but-inert FaultConfig (no random process, no schedule)
+    // must not perturb a single bit either.
+    let inert = run_once(
+        77,
+        Some(FaultConfig {
+            mtbf_hours: 0.0,
+            mttr_hours: 0.0,
+            schedule: Vec::new(),
+            checkpoint_iters: 100,
+        }),
+    );
+    assert_eq!(baseline, inert, "inert FaultConfig perturbed the run");
+
+    // And the fault counters stay at their zero defaults.
+    assert!(baseline.contains("\"server_failures\":0"));
+    assert!(baseline.contains("\"task_restarts\":0"));
+    assert!(baseline.contains("\"lost_gpu_hours\":0"));
+}
+
+#[test]
+fn seeded_faulty_runs_are_reproducible() {
+    let crashy = || {
+        run_once(
+            77,
+            Some(FaultConfig {
+                mtbf_hours: 2.0,
+                mttr_hours: 0.5,
+                schedule: Vec::new(),
+                checkpoint_iters: 20,
+            }),
+        )
+    };
+    let a = crashy();
+    let b = crashy();
+    assert_eq!(a, b, "seeded faulty runs diverged");
+}

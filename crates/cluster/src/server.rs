@@ -3,7 +3,28 @@
 use crate::ids::{ServerId, TaskId};
 use crate::resources::{Resource, ResourceVec};
 use serde::{Deserialize, Serialize};
+use simcore::SimTime;
 use std::collections::BTreeMap;
+
+/// Availability of a server. Schedulers only ever place onto `Up`
+/// servers: `can_host` returns false for the other states, which
+/// gates every placement path (RIAL host selection, RL candidate
+/// generation and all baselines admit through `can_host`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Healthy and accepting placements.
+    #[default]
+    Up,
+    /// Crashed: all placements were evicted; no new placements until
+    /// recovery (expected at `until` when known).
+    Down {
+        /// Expected recovery time, if the fault process knows it.
+        until: Option<SimTime>,
+    },
+    /// Administratively draining: existing tasks keep running but no
+    /// new placements are admitted.
+    Draining,
+}
 
 /// Where and how a task is placed on a server.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,6 +69,8 @@ pub struct Server {
     /// Cached max over `util`'s dimensions and all GPU utilizations.
     /// `is_overloaded(h_r)` is exactly `peak_util > h_r`.
     peak_util: f64,
+    /// Availability; `can_host` is false unless `Up`.
+    health: HealthState,
 }
 
 impl Server {
@@ -70,7 +93,25 @@ impl Server {
             tasks: BTreeMap::new(),
             util: ResourceVec::ZERO,
             peak_util: 0.0,
+            health: HealthState::Up,
         }
+    }
+
+    /// Current availability.
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    /// Set availability. Does not touch placements — eviction on
+    /// failure is the cluster's job ([`crate::Cluster::fail_server`]).
+    pub fn set_health(&mut self, health: HealthState) {
+        self.health = health;
+    }
+
+    /// True when the server is `Up` (the only state accepting new
+    /// placements).
+    pub fn is_up(&self) -> bool {
+        matches!(self.health, HealthState::Up)
     }
 
     /// Refresh the cached utilization vector and peak after a load
@@ -182,7 +223,11 @@ impl Server {
     /// the least-loaded GPU at or below `h_r` utilization? Mirrors the
     /// paper's host-selection constraint ("will not be overloaded (on
     /// each resource and its least-loaded GPU) by hosting the task").
+    /// Down or draining servers never host new tasks.
     pub fn can_host(&self, demand: &ResourceVec, gpu_share: f64, h_r: f64) -> bool {
+        if !self.is_up() {
+            return false;
+        }
         let budget = self.capacity * h_r;
         if !(self.load + *demand).fits_within(&budget, 1e-9) {
             return false;
@@ -447,6 +492,20 @@ mod tests {
         assert!((u.get(Resource::Memory) - 0.5).abs() < 1e-12);
         assert!((u.get(Resource::NetBw) - 0.5).abs() < 1e-12);
         assert!((s.overload_degree() - 1.0).abs() < 1e-12); // ||(.5,.5,.5,.5)|| = 1
+    }
+
+    #[test]
+    fn down_or_draining_servers_refuse_new_tasks() {
+        let mut s = server();
+        let d = ResourceVec::new(0.5, 4.0, 16.0, 100.0);
+        assert!(s.can_host(&d, 0.5, 0.9));
+        s.set_health(HealthState::Down { until: None });
+        assert!(!s.is_up());
+        assert!(!s.can_host(&d, 0.5, 0.9));
+        s.set_health(HealthState::Draining);
+        assert!(!s.can_host(&d, 0.5, 0.9));
+        s.set_health(HealthState::Up);
+        assert!(s.can_host(&d, 0.5, 0.9));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::ids::{ServerId, TaskId};
 use crate::resources::ResourceVec;
-use crate::server::{Server, TaskPlacement};
+use crate::server::{HealthState, Server, TaskPlacement};
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -76,6 +76,9 @@ pub enum PlaceError {
     AlreadyPlaced(ServerId),
     /// The named server does not exist.
     NoSuchServer,
+    /// The named server is down or draining and accepts no new
+    /// placements.
+    ServerDown,
 }
 
 impl std::fmt::Display for PlaceError {
@@ -83,6 +86,7 @@ impl std::fmt::Display for PlaceError {
         match self {
             PlaceError::AlreadyPlaced(s) => write!(f, "task already placed on {s}"),
             PlaceError::NoSuchServer => write!(f, "no such server"),
+            PlaceError::ServerDown => write!(f, "server is down or draining"),
         }
     }
 }
@@ -223,6 +227,9 @@ impl Cluster {
             .servers
             .get_mut(server.0 as usize)
             .ok_or(PlaceError::NoSuchServer)?;
+        if !s.is_up() {
+            return Err(PlaceError::ServerDown);
+        }
         let gpu = s.place(task, demand, gpu_share);
         self.index.insert(task, server);
         self.sync_overload(server);
@@ -246,6 +253,9 @@ impl Cluster {
             .servers
             .get_mut(server.0 as usize)
             .ok_or(PlaceError::NoSuchServer)?;
+        if !s.is_up() {
+            return Err(PlaceError::ServerDown);
+        }
         s.place_on_gpu(task, demand, gpu_share, gpu);
         self.index.insert(task, server);
         self.sync_overload(server);
@@ -270,6 +280,14 @@ impl Cluster {
         dst: ServerId,
         state_mb: f64,
     ) -> Result<usize, PlaceError> {
+        // Validate the destination before touching the source so a
+        // refused migration (unknown or down server) leaves the task
+        // exactly where it was, with nothing charged.
+        match self.servers.get(dst.0 as usize) {
+            None => return Err(PlaceError::NoSuchServer),
+            Some(s) if !s.is_up() => return Err(PlaceError::ServerDown),
+            Some(_) => {}
+        }
         let (src, p) = match self.remove(task) {
             Some(x) => x,
             None => return Err(PlaceError::NoSuchServer),
@@ -279,8 +297,54 @@ impl Cluster {
             self.migration_mb += state_mb;
         }
         self.migrations += 1;
-        let gpu = self.place(task, dst, p.demand, p.gpu_share)?;
+        let gpu = self
+            .place(task, dst, p.demand, p.gpu_share)
+            .expect("destination was validated and the task just removed");
         Ok(gpu)
+    }
+
+    /// Mark `server` as crashed (down until `until`, when known),
+    /// evicting every placement on it. Returns the evicted tasks with
+    /// their placement records; the overload index stays consistent
+    /// (an empty down server is never overloaded). No transfer is
+    /// charged — a crash loses state rather than moving it.
+    pub fn fail_server(
+        &mut self,
+        server: ServerId,
+        until: Option<simcore::SimTime>,
+    ) -> Vec<(TaskId, TaskPlacement)> {
+        let s = &mut self.servers[server.0 as usize];
+        s.set_health(HealthState::Down { until });
+        let evicted: Vec<(TaskId, TaskPlacement)> = s.tasks().map(|(t, p)| (*t, *p)).collect();
+        for (t, _) in &evicted {
+            self.servers[server.0 as usize].remove(*t);
+            self.index.remove(t);
+        }
+        self.sync_overload(server);
+        evicted
+    }
+
+    /// Bring a server back into service. Its load is zero until the
+    /// scheduler places something on it again.
+    pub fn recover_server(&mut self, server: ServerId) {
+        self.servers[server.0 as usize].set_health(HealthState::Up);
+        self.sync_overload(server);
+    }
+
+    /// Administratively drain a server: existing tasks keep running,
+    /// but no new placements are admitted until recovery.
+    pub fn drain_server(&mut self, server: ServerId) {
+        self.servers[server.0 as usize].set_health(HealthState::Draining);
+    }
+
+    /// A server's current health.
+    pub fn server_health(&self, server: ServerId) -> HealthState {
+        self.servers[server.0 as usize].health()
+    }
+
+    /// Number of servers currently `Up`.
+    pub fn up_server_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_up()).count()
     }
 
     /// Replace a placed task's live demand (time-varying utilization).
@@ -503,6 +567,80 @@ mod tests {
     }
 
     #[test]
+    fn fail_server_evicts_everything_and_blocks_placement() {
+        let mut c = small();
+        let d = ResourceVec::new(0.5, 1.0, 4.0, 50.0);
+        c.place(tid(1, 0), ServerId(1), d, 0.5).unwrap();
+        c.place(tid(1, 1), ServerId(1), d, 0.5).unwrap();
+        c.place(tid(2, 0), ServerId(0), d, 0.5).unwrap();
+        let evicted = c.fail_server(ServerId(1), None);
+        assert_eq!(
+            evicted.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![tid(1, 0), tid(1, 1)]
+        );
+        assert_eq!(c.server(ServerId(1)).task_count(), 0);
+        assert_eq!(c.server(ServerId(1)).load(), ResourceVec::ZERO);
+        assert_eq!(c.locate(tid(1, 0)), None);
+        assert_eq!(c.locate(tid(2, 0)), Some(ServerId(0)));
+        assert_eq!(c.up_server_count(), 2);
+        assert_eq!(
+            c.place(tid(3, 0), ServerId(1), d, 0.5),
+            Err(PlaceError::ServerDown)
+        );
+        // Recovery re-admits placements; load starts from zero.
+        c.recover_server(ServerId(1));
+        assert_eq!(c.server(ServerId(1)).load(), ResourceVec::ZERO);
+        c.place(tid(3, 0), ServerId(1), d, 0.5).unwrap();
+    }
+
+    #[test]
+    fn failing_an_overloaded_server_clears_it_from_the_index() {
+        let mut c = small();
+        c.place(
+            tid(1, 0),
+            ServerId(2),
+            ResourceVec::new(0.0, 0.0, 60.0, 0.0),
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(c.overloaded_servers(0.9), vec![ServerId(2)]);
+        c.fail_server(ServerId(2), None);
+        assert!(c.overloaded_servers(0.9).is_empty());
+        assert_eq!(c.overloaded_count(0.9), 0);
+    }
+
+    #[test]
+    fn draining_keeps_tasks_but_refuses_new_ones() {
+        let mut c = small();
+        let d = ResourceVec::splat(0.1);
+        c.place(tid(1, 0), ServerId(0), d, 0.1).unwrap();
+        c.drain_server(ServerId(0));
+        assert_eq!(c.server(ServerId(0)).task_count(), 1);
+        assert_eq!(c.locate(tid(1, 0)), Some(ServerId(0)));
+        assert_eq!(
+            c.place(tid(1, 1), ServerId(0), d, 0.1),
+            Err(PlaceError::ServerDown)
+        );
+        assert_eq!(c.server_health(ServerId(0)), HealthState::Draining);
+    }
+
+    #[test]
+    fn migrating_to_a_down_server_keeps_the_task_on_its_source() {
+        let mut c = small();
+        let d = ResourceVec::new(0.5, 1.0, 4.0, 50.0);
+        c.place(tid(1, 0), ServerId(0), d, 0.5).unwrap();
+        c.fail_server(ServerId(2), None);
+        assert_eq!(
+            c.migrate(tid(1, 0), ServerId(2), 120.0),
+            Err(PlaceError::ServerDown)
+        );
+        // Nothing moved and nothing was charged.
+        assert_eq!(c.locate(tid(1, 0)), Some(ServerId(0)));
+        assert_eq!(c.transferred_mb(), 0.0);
+        assert_eq!(c.migrations(), 0);
+    }
+
+    #[test]
     fn paper_configs_have_paper_scale() {
         let t = ClusterConfig::paper_testbed();
         assert_eq!(t.total_gpus(), 80);
@@ -627,6 +765,86 @@ mod proptests {
             }
             // Speculation never leaks into the base cluster.
             prop_assert_eq!(c.overloaded_servers(h_r), base_overloaded);
+        }
+
+        /// Under any interleaving of place / remove / migrate /
+        /// fail / recover, resource accounting never leaks: every
+        /// server's load is exactly the sum of its surviving tasks'
+        /// demands, evicted tasks are never still locatable, the
+        /// overload index matches a scan, and a recovered server
+        /// reports zero load until something is placed on it again.
+        #[test]
+        fn fault_interleavings_never_leak(
+            ops in proptest::collection::vec((0u16..64, 0u8..6, 0.0f64..3.0, 0u32..4), 1..150),
+        ) {
+            let h_r = DEFAULT_OVERLOAD_THRESHOLD;
+            let mut c = small();
+            let mut live: Vec<(TaskId, ResourceVec, f64)> = Vec::new();
+            for (i, (pick, op, amount, srv)) in ops.into_iter().enumerate() {
+                let sid = ServerId(srv % c.server_count() as u32);
+                match op {
+                    0 if !live.is_empty() => {
+                        let (t, _, _) = live.remove((pick as usize) % live.len());
+                        c.remove(t);
+                    }
+                    1 if !live.is_empty() => {
+                        let (t, _, _) = live[(pick as usize) % live.len()];
+                        match c.migrate(t, sid, 100.0) {
+                            Ok(_) => prop_assert_eq!(c.locate(t), Some(sid)),
+                            // A refused migration must leave the task
+                            // on its source.
+                            Err(PlaceError::ServerDown) => {
+                                prop_assert!(!c.server(sid).is_up());
+                                prop_assert!(c.locate(t).is_some());
+                            }
+                            Err(e) => prop_assert!(false, "unexpected migrate error {e}"),
+                        }
+                    }
+                    2 => {
+                        let evicted = c.fail_server(sid, None);
+                        for (t, _) in &evicted {
+                            prop_assert!(c.locate(*t).is_none());
+                            live.retain(|(l, _, _)| l != t);
+                        }
+                        prop_assert_eq!(c.server(sid).task_count(), 0);
+                        prop_assert!(c.server(sid).load().norm() < 1e-9);
+                    }
+                    3 => {
+                        let was_down = !c.server(sid).is_up();
+                        c.recover_server(sid);
+                        prop_assert!(c.server(sid).is_up());
+                        if was_down {
+                            prop_assert!(c.server(sid).load().norm() < 1e-9);
+                            prop_assert_eq!(c.server(sid).task_count(), 0);
+                        }
+                    }
+                    _ => {
+                        let t = TaskId::new(JobId(0), i as u16);
+                        let d = ResourceVec::new(amount, amount * 2.0, amount * 3.0, amount * 5.0);
+                        let g = (amount / 3.0).min(1.0);
+                        match c.place(t, sid, d, g) {
+                            Ok(_) => live.push((t, d, g)),
+                            Err(PlaceError::ServerDown) => prop_assert!(!c.server(sid).is_up()),
+                            Err(e) => prop_assert!(false, "unexpected place error {e}"),
+                        }
+                    }
+                }
+                // Global conservation: per-server load equals the sum
+                // of the demands of the tasks placed there.
+                for s in c.servers() {
+                    let mut expect = ResourceVec::ZERO;
+                    for (t, _) in s.tasks() {
+                        let d = live.iter().find(|(l, _, _)| l == t).map(|(_, d, _)| *d);
+                        prop_assert!(d.is_some(), "cluster holds a task the model evicted");
+                        expect += d.unwrap();
+                    }
+                    for r in 0..crate::resources::NUM_RESOURCES {
+                        prop_assert!((s.load().0[r] - expect.0[r]).abs() < 1e-6);
+                    }
+                }
+                prop_assert_eq!(c.placed_count(), live.len());
+                prop_assert_eq!(c.overloaded_servers(h_r), scan(&c, h_r));
+            }
         }
     }
 }

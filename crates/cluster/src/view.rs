@@ -160,6 +160,9 @@ impl<'a> ClusterOverlay<'a> {
         if server.0 as usize >= self.base.server_count() {
             return Err(PlaceError::NoSuchServer);
         }
+        if !self.server(server).is_up() {
+            return Err(PlaceError::ServerDown);
+        }
         let gpu = self.server_mut(server).place(task, demand, gpu_share);
         self.index_add.insert(task, server);
         self.index_del.remove(&task);
@@ -183,10 +186,18 @@ impl<'a> ClusterOverlay<'a> {
 
     /// Speculatively move a placed task to `dst` (keeping its demand).
     /// Transfer accounting is the real cluster's job; the overlay only
-    /// models state.
+    /// models state. A refused move (unknown or down destination)
+    /// leaves the task where it was.
     pub fn migrate(&mut self, task: TaskId, dst: ServerId) -> Result<usize, PlaceError> {
-        let (_, p) = self.remove(task).ok_or(PlaceError::NoSuchServer)?;
-        self.place(task, dst, p.demand, p.gpu_share)
+        let (src, p) = self.remove(task).ok_or(PlaceError::NoSuchServer)?;
+        match self.place(task, dst, p.demand, p.gpu_share) {
+            Ok(gpu) => Ok(gpu),
+            Err(e) => {
+                self.place(task, src, p.demand, p.gpu_share)
+                    .expect("source slot was just freed");
+                Err(e)
+            }
+        }
     }
 }
 
@@ -373,6 +384,24 @@ mod tests {
         v.remove(tid(1, 0)).unwrap();
         assert_eq!(v.locate(tid(1, 0)), None);
         assert_eq!(c.locate(tid(1, 0)), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn overlay_refuses_down_servers_and_restores_failed_migrations() {
+        let mut c = base();
+        c.fail_server(ServerId(3), None);
+        let mut v = ClusterOverlay::new(&c, 0.9);
+        assert_eq!(
+            v.place(tid(5, 0), ServerId(3), ResourceVec::splat(0.1), 0.1),
+            Err(PlaceError::ServerDown)
+        );
+        // A migration to the down server keeps the task on its source.
+        assert_eq!(
+            v.migrate(tid(1, 0), ServerId(3)),
+            Err(PlaceError::ServerDown)
+        );
+        assert_eq!(v.locate(tid(1, 0)), Some(ServerId(0)));
+        assert_eq!(v.server(ServerId(0)).task_count(), 1);
     }
 
     #[test]

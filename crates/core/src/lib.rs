@@ -38,6 +38,7 @@
 //! assert_eq!(full.name(), "MLFS");
 //! ```
 
+pub mod blacklist;
 pub mod composite;
 pub mod features;
 pub mod mlfc;
@@ -48,6 +49,7 @@ pub mod placement;
 pub mod priority;
 pub mod scheduler;
 
+pub use blacklist::ServerBlacklist;
 pub use composite::{Mlfs, MlfsConfig, MlfsVariant};
 pub use mlfc::MlfC;
 pub use mlfh::MlfH;

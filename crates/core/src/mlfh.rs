@@ -14,8 +14,9 @@
 //!    Migration candidates that found no destination are evicted back
 //!    to the queue ("moved back to the queue").
 
+use crate::blacklist::ServerBlacklist;
 use crate::params::Params;
-use crate::placement::{migration_state_mb, select_host, select_victim};
+use crate::placement::{migration_state_mb, select_host, select_host_filtered, select_victim};
 use crate::priority::{
     job_task_priorities, job_task_priorities_into, PriorityMap, PriorityScratch,
 };
@@ -40,6 +41,9 @@ pub struct MlfH {
     /// Recorded (for MLF-RL imitation): the placements made last
     /// round, in decision order, as (task, chosen server) pairs.
     pub last_decisions: Vec<(TaskId, ServerId)>,
+    /// Crash history: recently-failed servers are avoided with
+    /// exponential backoff (soft — ignored when nothing else fits).
+    blacklist: ServerBlacklist,
 }
 
 impl MlfH {
@@ -48,6 +52,7 @@ impl MlfH {
         MlfH {
             params,
             last_decisions: Vec::new(),
+            blacklist: ServerBlacklist::default(),
         }
     }
 
@@ -104,6 +109,22 @@ impl MlfH {
     fn plan(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
         let p = self.params;
         self.last_decisions.clear();
+        self.blacklist.observe(ctx.cluster);
+        let bl = &self.blacklist;
+        // Host selection avoiding recently-crashed servers; falls back
+        // to the unfiltered pick so bans never stall the queue. With no
+        // crash history this is `select_host` exactly.
+        let pick = |plan: &ClusterOverlay<'_>, task: TaskId, from: Option<ServerId>| {
+            select_host_filtered(plan, ctx.jobs, task, from, &p, |sid| bl.is_banned(sid)).or_else(
+                || {
+                    if bl.any_banned() {
+                        select_host(plan, ctx.jobs, task, from, &p)
+                    } else {
+                        None
+                    }
+                },
+            )
+        };
         let mut actions = Vec::new();
         // Copy-on-write speculation: reads fall through to the live
         // cluster, writes copy only the touched servers. Replaces the
@@ -183,11 +204,9 @@ impl MlfH {
                 let Origin::Server(src) = *origin else {
                     continue;
                 };
-                match select_host(&plan, ctx.jobs, *task, Some(src), &p) {
-                    Some(host) => {
-                        let spec = &job.spec.tasks[task.idx as usize];
-                        plan.place(*task, host, spec.demand, spec.gpu_share)
-                            .expect("speculative placement cannot fail");
+                let spec = &job.spec.tasks[task.idx as usize];
+                match pick(&plan, *task, Some(src)) {
+                    Some(host) if plan.place(*task, host, spec.demand, spec.gpu_share).is_ok() => {
                         self.last_decisions.push((*task, host));
                         if src != host {
                             let _ = migration_state_mb(job, task.idx as usize);
@@ -197,11 +216,14 @@ impl MlfH {
                             });
                         }
                     }
-                    None => {
-                        // Put it back in the speculative plan.
-                        let spec = &job.spec.tasks[task.idx as usize];
-                        plan.place(*task, src, spec.demand, spec.gpu_share)
-                            .expect("victim slot was just freed");
+                    _ => {
+                        // No destination (or the chosen host refused,
+                        // e.g. it went down this round): put the victim
+                        // back in the speculative plan. If even the
+                        // source refuses (it is draining), leave the
+                        // plan under-counting it — the task keeps
+                        // running live and no action is emitted.
+                        let _ = plan.place(*task, src, spec.demand, spec.gpu_share);
                     }
                 }
             }
@@ -220,14 +242,12 @@ impl MlfH {
             placed.clear();
             let mut ok = true;
             for &task in &waiting {
-                match select_host(&plan, ctx.jobs, task, None, &p) {
-                    Some(host) => {
-                        let spec = &job.spec.tasks[task.idx as usize];
-                        plan.place(task, host, spec.demand, spec.gpu_share)
-                            .expect("speculative placement cannot fail");
+                let spec = &job.spec.tasks[task.idx as usize];
+                match pick(&plan, task, None) {
+                    Some(host) if plan.place(task, host, spec.demand, spec.gpu_share).is_ok() => {
                         placed.push((task, host));
                     }
-                    None => {
+                    _ => {
                         ok = false;
                         break;
                     }

@@ -16,10 +16,11 @@
 //! (ideal-virtual-task); the policy decides *destinations* — server or
 //! queue — which is where the combinatorial choice lies.
 
+use crate::blacklist::ServerBlacklist;
 use crate::features::{candidate_features_into, FEATURE_DIM};
 use crate::mlfh::MlfH;
 use crate::params::Params;
-use crate::placement::select_victim;
+use crate::placement::{select_host, select_host_filtered, select_victim};
 use crate::scheduler::{Action, RewardComponents, Scheduler, SchedulerContext};
 use cluster::{ClusterOverlay, ClusterView, ServerId, TaskId};
 use rl::{Convergence, FeatureBatch, ReinforceTrainer, ScoringPolicy, Step, TrainerConfig};
@@ -100,6 +101,10 @@ pub struct MlfRl {
     /// Total REINFORCE episodes trained.
     pub episodes_trained: usize,
     scratch: RlScratch,
+    /// Crash history: recently-failed servers are dropped from the
+    /// candidate set with exponential backoff (the RIAL fallback pick
+    /// ignores the ban when nothing else fits, so no round stalls).
+    blacklist: ServerBlacklist,
 }
 
 impl MlfRl {
@@ -120,6 +125,7 @@ impl MlfRl {
             imitation_buffer: Vec::new(),
             episodes_trained: 0,
             scratch: RlScratch::default(),
+            blacklist: ServerBlacklist::default(),
             cfg,
         }
     }
@@ -184,12 +190,14 @@ impl MlfRl {
     /// reproduces the old full stable sort's sequence exactly (equal
     /// degrees tie-break by id, which is the insertion order a stable
     /// sort preserved), so selections are unchanged.
+    #[allow(clippy::too_many_arguments)]
     fn candidate_servers_into<V: ClusterView>(
         params: &Params,
         max_candidates: usize,
         plan: &V,
         ctx: &SchedulerContext<'_>,
         task: TaskId,
+        blacklist: &ServerBlacklist,
         ranked: &mut Vec<(f64, ServerId)>,
         out: &mut Vec<ServerId>,
     ) {
@@ -200,13 +208,17 @@ impl MlfRl {
         // parameters (§3.4). The policy is shown these riskier hosts
         // (their utilization features expose the risk) and the Eq. 7
         // reward arbitrates whether using the headroom pays off.
+        // Recently-crashed servers are dropped entirely (an empty
+        // candidate set still leaves the RIAL pick and the queue).
         let soft = (params.h_r + 0.08).min(0.98);
         ranked.clear();
         ranked.extend(
             (0..plan.server_count())
                 .map(|i| plan.server(ServerId(i as u32)))
                 .filter(|s| {
-                    !s.is_overloaded(soft) && s.can_host(&spec.demand, spec.gpu_share, soft)
+                    !blacklist.is_banned(s.id)
+                        && !s.is_overloaded(soft)
+                        && s.can_host(&spec.demand, spec.gpu_share, soft)
                 })
                 .map(|s| (s.overload_degree(), s.id)),
         );
@@ -250,6 +262,7 @@ impl MlfRl {
                 &plan,
                 ctx,
                 task,
+                &self.blacklist,
                 &mut ranked,
                 &mut servers,
             );
@@ -291,8 +304,10 @@ impl MlfRl {
             servers.clear();
             self.scratch.servers = servers;
             let spec = &job.spec.tasks[task.idx as usize];
-            plan.place(task, chosen, spec.demand, spec.gpu_share)
-                .expect("speculative placement cannot fail");
+            // MLF-H already committed to this placement on its own
+            // overlay; if the replay overlay still refuses (the host
+            // failed mid-round), the features simply under-count it.
+            let _ = plan.place(task, chosen, spec.demand, spec.gpu_share);
         }
         self.inner_h.last_decisions = decisions;
         // Bound the buffer (drop oldest, recycling their batches).
@@ -403,11 +418,22 @@ impl MlfRl {
                     plan,
                     ctx,
                     task,
+                    &this.blacklist,
                     &mut ranked,
                     &mut servers,
                 );
                 this.scratch.ranked = ranked;
-                let rial = crate::placement::select_host(plan, ctx.jobs, task, migration_from, &p);
+                let bl = &this.blacklist;
+                let rial = select_host_filtered(plan, ctx.jobs, task, migration_from, &p, |sid| {
+                    bl.is_banned(sid)
+                })
+                .or_else(|| {
+                    if bl.any_banned() {
+                        select_host(plan, ctx.jobs, task, migration_from, &p)
+                    } else {
+                        None
+                    }
+                });
                 // RIAL may prefer a loaded server (communication
                 // affinity) outside the least-loaded cap — offer it.
                 if let Some(r) = rial {
@@ -463,11 +489,9 @@ impl MlfRl {
                 let Origin::Server(src) = *origin else {
                     continue;
                 };
+                let spec = &job.spec.tasks[task.idx as usize];
                 match decide(self, &plan, *task, Some(src)) {
-                    Some(host) => {
-                        let spec = &job.spec.tasks[task.idx as usize];
-                        plan.place(*task, host, spec.demand, spec.gpu_share)
-                            .expect("speculative placement cannot fail");
+                    Some(host) if plan.place(*task, host, spec.demand, spec.gpu_share).is_ok() => {
                         if src != host {
                             actions.push(Action::Migrate {
                                 task: *task,
@@ -475,10 +499,12 @@ impl MlfRl {
                             });
                         }
                     }
-                    None => {
-                        let spec = &job.spec.tasks[task.idx as usize];
-                        plan.place(*task, src, spec.demand, spec.gpu_share)
-                            .expect("victim slot was just freed");
+                    _ => {
+                        // No destination (or the chosen host refused):
+                        // put the victim back; if even the source
+                        // refuses (it is draining), the plan just
+                        // under-counts it and no action is emitted.
+                        let _ = plan.place(*task, src, spec.demand, spec.gpu_share);
                     }
                 }
             }
@@ -495,14 +521,12 @@ impl MlfRl {
             let mut placed: Vec<(TaskId, ServerId)> = Vec::new();
             let mut ok = true;
             for &task in &waiting {
+                let spec = &job.spec.tasks[task.idx as usize];
                 match decide(self, &plan, task, None) {
-                    Some(host) => {
-                        let spec = &job.spec.tasks[task.idx as usize];
-                        plan.place(task, host, spec.demand, spec.gpu_share)
-                            .expect("speculative placement cannot fail");
+                    Some(host) if plan.place(task, host, spec.demand, spec.gpu_share).is_ok() => {
                         placed.push((task, host));
                     }
-                    None => {
+                    _ => {
                         ok = false;
                         break;
                     }
@@ -528,6 +552,7 @@ impl Scheduler for MlfRl {
     }
 
     fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        self.blacklist.observe(ctx.cluster);
         let actions = if self.in_imitation_phase() {
             self.imitation_round(ctx)
         } else {

@@ -142,18 +142,33 @@ pub fn select_host<V: ClusterView>(
     migration_from: Option<ServerId>,
     p: &Params,
 ) -> Option<ServerId> {
-    HOST_SCRATCH.with(|s| {
-        let s = &mut *s.borrow_mut();
-        select_host_inner(plan, jobs, task, migration_from, p, s)
-    })
+    select_host_filtered(plan, jobs, task, migration_from, p, |_| false)
 }
 
-fn select_host_inner<V: ClusterView>(
+/// [`select_host`] with an extra `deny` predicate excluding servers
+/// from candidacy (the flaky-server blacklist hook). `deny` returning
+/// false everywhere reduces to `select_host` exactly.
+pub fn select_host_filtered<V: ClusterView, F: Fn(ServerId) -> bool>(
     plan: &V,
     jobs: &BTreeMap<JobId, JobState>,
     task: TaskId,
     migration_from: Option<ServerId>,
     p: &Params,
+    deny: F,
+) -> Option<ServerId> {
+    HOST_SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        select_host_inner(plan, jobs, task, migration_from, p, deny, s)
+    })
+}
+
+fn select_host_inner<V: ClusterView, F: Fn(ServerId) -> bool>(
+    plan: &V,
+    jobs: &BTreeMap<JobId, JobState>,
+    task: TaskId,
+    migration_from: Option<ServerId>,
+    p: &Params,
+    deny: F,
     s: &mut HostScratch,
 ) -> Option<ServerId> {
     let job = &jobs[&task.job];
@@ -163,7 +178,10 @@ fn select_host_inner<V: ClusterView>(
     for i in 0..plan.server_count() {
         let sid = ServerId(i as u32);
         let srv = plan.server(sid);
-        if !srv.is_overloaded(p.h_r) && srv.can_host(&spec.demand, spec.gpu_share, p.h_r) {
+        if !srv.is_overloaded(p.h_r)
+            && !deny(sid)
+            && srv.can_host(&spec.demand, spec.gpu_share, p.h_r)
+        {
             s.candidates.push(sid);
         }
     }

@@ -15,7 +15,7 @@
 pub mod run;
 pub mod table;
 
-pub use run::{JobRecord, RunMetrics, TimelinePoint};
+pub use run::{FaultRecord, JobRecord, RunMetrics, TimelinePoint};
 pub use table::Table;
 
 /// Empirical CDF over `values`; returns `(x, fraction ≤ x)` at each

@@ -76,9 +76,36 @@ pub struct RunMetrics {
     /// Tasks still placed on the cluster at the end of the run that
     /// belong to *finished* jobs — always 0 unless the engine leaks.
     pub leaked_tasks: usize,
+    /// Server crash events injected by the fault subsystem (0 when
+    /// fault injection is off).
+    pub server_failures: u64,
+    /// Tasks evicted by a crash and re-enqueued to restart from their
+    /// job's last checkpoint.
+    pub task_restarts: u64,
+    /// GPU-hours of training progress destroyed by checkpoint
+    /// rollbacks (work past the last checkpoint when a server died).
+    pub lost_gpu_hours: f64,
+    /// Total GPU-hours consumed by running tasks over the run
+    /// (throughput; includes work later lost to rollbacks).
+    pub gpu_hours_total: f64,
+    /// Crash / recovery event log (empty unless faults were injected).
+    pub fault_events: Vec<FaultRecord>,
     /// Per-round cluster state samples (empty unless recording was
     /// enabled).
     pub timeline: Vec<TimelinePoint>,
+}
+
+/// One fault-injection event: a server crash or recovery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Event time, minutes since simulation start.
+    pub t_mins: f64,
+    /// The affected server.
+    pub server: u32,
+    /// True for a crash, false for a recovery.
+    pub crash: bool,
+    /// Number of tasks evicted (crashes only; 0 for recoveries).
+    pub evicted: usize,
 }
 
 impl RunMetrics {
@@ -140,6 +167,24 @@ impl RunMetrics {
     pub fn bandwidth_tb(&self) -> f64 {
         self.bandwidth_mb / 1024.0 / 1024.0
     }
+
+    /// Goodput in GPU-hours: total GPU time spent minus the share
+    /// destroyed by checkpoint rollbacks. With faults off this equals
+    /// `gpu_hours_total`.
+    pub fn goodput_gpu_hours(&self) -> f64 {
+        (self.gpu_hours_total - self.lost_gpu_hours).max(0.0)
+    }
+
+    /// Goodput ÷ throughput: the fraction of consumed GPU time that
+    /// produced surviving training progress. 1.0 when nothing ran or
+    /// nothing was lost.
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.gpu_hours_total <= 0.0 {
+            1.0
+        } else {
+            self.goodput_gpu_hours() / self.gpu_hours_total
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +241,22 @@ mod tests {
         assert_eq!(m.deadline_ratio(), 0.0);
         assert_eq!(m.accuracy_ratio(), 0.0);
         assert_eq!(m.avg_decision_ms(), 0.0);
+    }
+
+    #[test]
+    fn goodput_subtracts_lost_work() {
+        let mut m = RunMetrics::default();
+        // Nothing ran: goodput ratio is vacuously 1.
+        assert_eq!(m.goodput_ratio(), 1.0);
+        m.gpu_hours_total = 100.0;
+        assert_eq!(m.goodput_gpu_hours(), 100.0);
+        assert_eq!(m.goodput_ratio(), 1.0);
+        m.lost_gpu_hours = 25.0;
+        assert_eq!(m.goodput_gpu_hours(), 75.0);
+        assert!((m.goodput_ratio() - 0.75).abs() < 1e-12);
+        // Lost work can never drive goodput negative.
+        m.lost_gpu_hours = 150.0;
+        assert_eq!(m.goodput_gpu_hours(), 0.0);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 
 use crate::progress::{job_rate, JobRate, ProgressModel};
 use crate::reward::{components, WindowStats};
-use cluster::{Cluster, ClusterConfig, JobId, TaskId};
-use metrics::{JobRecord, RunMetrics};
+use cluster::{Cluster, ClusterConfig, JobId, ServerId, TaskId};
+use metrics::{FaultRecord, JobRecord, RunMetrics};
 use mlfs::placement::migration_state_mb;
 use mlfs::{Action, Scheduler, SchedulerContext};
 use simcore::{SimDuration, SimRng, SimTime};
@@ -38,6 +38,43 @@ pub struct StragglerConfig {
     pub replicate: bool,
 }
 
+/// One trace-driven server failure.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEvent {
+    /// When the server crashes.
+    pub at: SimTime,
+    /// Which server crashes.
+    pub server: ServerId,
+    /// How long it stays down before recovering.
+    pub down_for: SimDuration,
+}
+
+/// Fault injection: a seeded server crash/recovery process plus
+/// checkpointed task recovery. On a crash every task on the server is
+/// evicted and re-enqueued, and each affected job rolls back to its
+/// last checkpoint boundary (the work since then is lost and charged
+/// to `RunMetrics::lost_gpu_hours`).
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Mean time between failures per server, in simulated hours
+    /// (memoryless: each up server crashes with probability
+    /// `tick/MTBF` per round). `<= 0` disables the random process —
+    /// only `schedule` events fire.
+    pub mtbf_hours: f64,
+    /// Mean time to recovery in hours for randomly crashed servers
+    /// (exponential holdoff, at least one round). `<= 0` means one
+    /// round of downtime.
+    pub mttr_hours: f64,
+    /// Trace-driven failures applied in addition to the random
+    /// process (sorted internally by time).
+    pub schedule: Vec<FaultEvent>,
+    /// Checkpoint interval in whole iterations: a crashed job resumes
+    /// from the last multiple of this. `0` behaves as `1` (per-
+    /// iteration checkpointing — nothing is ever lost but the
+    /// eviction itself).
+    pub checkpoint_iters: u64,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -53,6 +90,10 @@ pub struct SimConfig {
     pub max_time: SimDuration,
     /// Optional straggler injection.
     pub straggler: Option<StragglerConfig>,
+    /// Optional fault injection (server crashes + checkpointed
+    /// recovery). `None` leaves every run bit-identical to an engine
+    /// without the fault subsystem.
+    pub fault: Option<FaultConfig>,
     /// Amplitude of time-varying task utilization (0 disables). Real
     /// tasks do not draw their mean demand every minute (the Philly
     /// trace reports per-minute utilization); each placed task's live
@@ -60,8 +101,10 @@ pub struct SimConfig {
     /// is what makes servers *overload* after admission and gives the
     /// migration machinery (Fig. 8) something to do.
     pub utilization_noise: f64,
-    /// Engine RNG seed (stragglers only; everything else is
-    /// deterministic).
+    /// Engine RNG seed. It drives straggler injection directly and
+    /// fault injection through a forked stream (so enabling one never
+    /// perturbs the other); utilization noise is hash-based and
+    /// everything else is deterministic.
     pub seed: u64,
     /// Record a per-round cluster timeline into
     /// `RunMetrics::timeline` (off by default: large runs would carry
@@ -78,6 +121,7 @@ impl Default for SimConfig {
             h_r: 0.9,
             max_time: SimDuration::from_hours(24 * 60),
             straggler: None,
+            fault: None,
             utilization_noise: 0.05,
             seed: 42,
             record_timeline: false,
@@ -101,12 +145,25 @@ pub struct Simulation {
     stragglers: BTreeSet<TaskId>,
     rng: SimRng,
     bandwidth_charged_mb: f64,
+    /// Independent RNG stream for fault injection, forked from the
+    /// seed so enabling faults never perturbs straggler sampling.
+    fault_rng: SimRng,
+    /// Next unfired entry of the (time-sorted) trace-driven schedule.
+    next_scheduled_fault: usize,
+    /// Pending recoveries `(when, server)`, kept sorted ascending.
+    recoveries: Vec<(SimTime, ServerId)>,
 }
+
+/// Stream label for the fault-injection RNG fork.
+const FAULT_RNG_STREAM: u64 = 0xFA17;
 
 impl Simulation {
     /// Build a simulation over `specs` (any order; sorted internally).
-    pub fn new(cfg: SimConfig, mut specs: Vec<JobSpec>) -> Self {
+    pub fn new(mut cfg: SimConfig, mut specs: Vec<JobSpec>) -> Self {
         specs.sort_by_key(|s| s.arrival);
+        if let Some(fc) = &mut cfg.fault {
+            fc.schedule.sort_by_key(|e| (e.at, e.server.0));
+        }
         let mut cluster = Cluster::new(&cfg.cluster);
         // Track the overload index at the engine's threshold so every
         // per-round overload query is an index read, not a scan.
@@ -116,6 +173,7 @@ impl Simulation {
             ..Default::default()
         };
         let rng = SimRng::new(cfg.seed);
+        let fault_rng = rng.fork(FAULT_RNG_STREAM);
         Simulation {
             cfg,
             cluster,
@@ -129,6 +187,9 @@ impl Simulation {
             stragglers: BTreeSet::new(),
             rng,
             bandwidth_charged_mb: 0.0,
+            fault_rng,
+            next_scheduled_fault: 0,
+            recoveries: Vec::new(),
         }
     }
 
@@ -144,6 +205,11 @@ impl Simulation {
             // completions, deadline freezes).
             self.advance(last, self.now);
             last = self.now;
+
+            // Fault injection (recoveries, then crashes) happens
+            // before the scheduler observes the cluster, so it sees
+            // down servers and evicted tasks the same round.
+            self.inject_faults();
 
             // Round statistics.
             self.metrics.rounds += 1;
@@ -286,6 +352,16 @@ impl Simulation {
                     let at = j.iterations + r.iters_per_sec * d.since(t).as_secs_f64();
                     j.accuracy_at_deadline = Some(j.spec.curve.accuracy_at(at));
                 }
+                // Throughput ledger: GPU time consumed by placed
+                // tasks (whether or not the job makes progress).
+                let gpu_share: f64 = j
+                    .task_states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
+                    .map(|(i, _)| j.spec.tasks[i].gpu_share)
+                    .sum();
+                self.metrics.gpu_hours_total += gpu_share * dt_secs / 3600.0;
                 if r.iters_per_sec > 0.0 {
                     let delta = r.iters_per_sec * dt_secs;
                     j.advance(delta);
@@ -504,6 +580,130 @@ impl Simulation {
             .collect();
         for (task, demand, gpu_share) in updates {
             self.cluster.update_demand(task, demand, gpu_share);
+        }
+    }
+
+    /// Round-granularity fault injection: bring due servers back up,
+    /// then fire scheduled and random crashes.
+    fn inject_faults(&mut self) {
+        let Some(fc) = self.cfg.fault.clone() else {
+            return;
+        };
+        // Recoveries due at or before now (sorted ascending).
+        while let Some(&(when, sid)) = self.recoveries.first() {
+            if when > self.now {
+                break;
+            }
+            self.recoveries.remove(0);
+            self.cluster.recover_server(sid);
+            self.metrics.fault_events.push(FaultRecord {
+                t_mins: self.now.as_mins_f64(),
+                server: sid.0,
+                crash: false,
+                evicted: 0,
+            });
+        }
+        // Trace-driven crashes due this round.
+        while self.next_scheduled_fault < fc.schedule.len()
+            && fc.schedule[self.next_scheduled_fault].at <= self.now
+        {
+            let ev = fc.schedule[self.next_scheduled_fault];
+            self.next_scheduled_fault += 1;
+            self.crash_server(ev.server, self.now + ev.down_for, fc.checkpoint_iters);
+        }
+        // Memoryless random crash process over the up servers.
+        if fc.mtbf_hours > 0.0 {
+            let p = self.cfg.tick.as_hours_f64() / fc.mtbf_hours;
+            for i in 0..self.cluster.server_count() {
+                let sid = ServerId(i as u32);
+                if self.cluster.server(sid).is_up() && self.fault_rng.chance(p) {
+                    let down_hours = if fc.mttr_hours > 0.0 {
+                        self.fault_rng.exponential(1.0 / fc.mttr_hours)
+                    } else {
+                        self.cfg.tick.as_hours_f64()
+                    };
+                    let down_for =
+                        SimDuration::from_secs_f64(down_hours * 3600.0).max(self.cfg.tick);
+                    self.crash_server(sid, self.now + down_for, fc.checkpoint_iters);
+                }
+            }
+        }
+    }
+
+    /// Crash one server: evict its tasks back to the queue, roll each
+    /// affected job to its last checkpoint (charging the lost GPU
+    /// time), and suspend jobs whose surviving tasks can no longer
+    /// make progress (a broken gang holds resources without
+    /// producing anything).
+    fn crash_server(&mut self, sid: ServerId, until: SimTime, checkpoint_iters: u64) {
+        if !self.cluster.server(sid).is_up() {
+            return; // already down or draining; nothing to crash
+        }
+        let evicted = self.cluster.fail_server(sid, Some(until));
+        self.metrics.server_failures += 1;
+        self.metrics.fault_events.push(FaultRecord {
+            t_mins: self.now.as_mins_f64(),
+            server: sid.0,
+            crash: true,
+            evicted: evicted.len(),
+        });
+        let pos = self
+            .recoveries
+            .partition_point(|&(w, s)| (w, s.0) <= (until, sid.0));
+        self.recoveries.insert(pos, (until, sid));
+
+        let mut affected: Vec<JobId> = Vec::new();
+        for (t, _) in &evicted {
+            let Some(job) = self.jobs.get_mut(&t.job) else {
+                continue;
+            };
+            debug_assert!(!job.is_finished(), "finished job still placed");
+            job.task_states[t.idx as usize] = TaskRunState::Waiting { since: self.now };
+            self.queue.push(*t);
+            self.stragglers.remove(t);
+            self.metrics.task_restarts += 1;
+            if !affected.contains(&t.job) {
+                affected.push(t.job);
+            }
+        }
+        let interval = checkpoint_iters.max(1) as f64;
+        for id in affected {
+            // Checkpoint rollback: progress past the last multiple of
+            // the checkpoint interval is destroyed and its GPU time
+            // (at the job's ideal per-iteration rate, over all its
+            // tasks' GPU shares) is charged as lost.
+            let job = self.jobs.get_mut(&id).expect("affected job exists");
+            let floor = (job.iterations / interval).floor() * interval;
+            let lost_iters = job.iterations - floor;
+            if lost_iters > 0.0 {
+                job.rollback_to(floor);
+                let total_share: f64 = job.spec.tasks.iter().map(|t| t.gpu_share).sum();
+                let per_iter_hours = job.spec.ideal_runtime(1).as_secs_f64() / 3600.0;
+                self.metrics.lost_gpu_hours += lost_iters * per_iter_hours * total_share;
+            }
+            // Gang suspension: if the survivors make zero progress
+            // (e.g. a worker of an all-reduce gang died), release
+            // them to the queue so the scheduler can re-place the
+            // gang atomically instead of letting it stall in place.
+            let job = &self.jobs[&id];
+            if job.running_tasks() > 0
+                && job_rate(job, &self.cluster, self.cfg.progress).iters_per_sec <= 0.0
+            {
+                let suspend: Vec<TaskId> = job
+                    .task_states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
+                    .map(|(i, _)| TaskId::new(id, i as u16))
+                    .collect();
+                for t in suspend {
+                    self.cluster.remove(t);
+                    self.stragglers.remove(&t);
+                    self.jobs.get_mut(&id).unwrap().task_states[t.idx as usize] =
+                        TaskRunState::Waiting { since: self.now };
+                    self.queue.push(t);
+                }
+            }
         }
     }
 
@@ -806,6 +1006,149 @@ mod tests {
             slowed.avg_jct_mins(),
             base.avg_jct_mins()
         );
+    }
+
+    #[test]
+    fn replicated_straggler_resolves_next_round_with_one_transfer() {
+        // Deterministic micro-check of `StragglerConfig::replicate`:
+        // a straggling task keeps its slowdown for the round it was
+        // marked in, the replica takes over at the *next* injection
+        // round, and exactly one state transfer is charged for it.
+        let mut cfg = tiny_cfg();
+        cfg.straggler = Some(StragglerConfig {
+            probability_per_hour: 0.0, // no new stragglers: isolate resolution
+            slowdown: 0.2,
+            replicate: true,
+        });
+        let specs = tiny_trace(1.0, 7);
+        let spec = specs[0].clone();
+        let jid = spec.id;
+        let task = TaskId::new(jid, 0);
+        let mut sim = Simulation::new(cfg, specs);
+        let tspec = spec.tasks[0].clone();
+        let gpu = sim
+            .cluster
+            .place(task, ServerId(0), tspec.demand, tspec.gpu_share)
+            .unwrap();
+        let mut job = JobState::new(spec, SimTime::ZERO);
+        job.task_states[0] = TaskRunState::Running {
+            server: ServerId(0),
+            gpu,
+        };
+        sim.jobs.insert(jid, job);
+        sim.stragglers.insert(task);
+
+        sim.inject_stragglers();
+        let expected = migration_state_mb(&sim.jobs[&jid], 0);
+        assert!(expected > 0.0);
+        assert!(
+            sim.stragglers.is_empty(),
+            "replica must take over at the next round"
+        );
+        assert!(
+            (sim.bandwidth_charged_mb - expected).abs() < 1e-9,
+            "exactly one state transfer: charged {} vs {}",
+            sim.bandwidth_charged_mb,
+            expected
+        );
+
+        // Resolved stragglers stay resolved: no further transfers.
+        sim.inject_stragglers();
+        assert!((sim.bandwidth_charged_mb - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduled_crash_evicts_restarts_and_recovers() {
+        let specs = tiny_trace(12.0, 6);
+        let mut cfg = tiny_cfg();
+        cfg.fault = Some(FaultConfig {
+            mtbf_hours: 0.0, // trace-driven only
+            mttr_hours: 0.0,
+            schedule: vec![
+                FaultEvent {
+                    at: SimTime::from_mins(30),
+                    server: ServerId(0),
+                    down_for: SimDuration::from_mins(45),
+                },
+                FaultEvent {
+                    at: SimTime::from_mins(60),
+                    server: ServerId(1),
+                    down_for: SimDuration::from_mins(20),
+                },
+            ],
+            checkpoint_iters: 50,
+        });
+        let m = run(cfg, specs, &mut mlfs::Mlfs::heuristic(Params::default()));
+        assert_eq!(m.server_failures, 2);
+        assert!(m.task_restarts > 0, "crashes must evict running tasks");
+        assert!(m.lost_gpu_hours > 0.0, "rollback must charge lost work");
+        assert!(m.gpu_hours_total > 0.0);
+        assert!(m.goodput_ratio() < 1.0 && m.goodput_ratio() > 0.0);
+        // Both crash and recovery events are recorded.
+        assert_eq!(m.fault_events.iter().filter(|e| e.crash).count(), 2);
+        assert_eq!(m.fault_events.iter().filter(|e| !e.crash).count(), 2);
+        assert_eq!(m.leaked_tasks, 0);
+        // Every evicted task either restarted and ran to completion or
+        // its job terminated with a recorded outcome.
+        assert_eq!(m.jobs.len(), 12);
+        let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+        assert!(finished >= 10, "{finished}/12 finished");
+    }
+
+    #[test]
+    fn random_faults_are_deterministic_and_survivable() {
+        let specs = tiny_trace(12.0, 6);
+        let mk = || {
+            let mut cfg = tiny_cfg();
+            cfg.fault = Some(FaultConfig {
+                mtbf_hours: 1.0, // very flaky: ~4 crashes/hour cluster-wide
+                mttr_hours: 0.25,
+                schedule: Vec::new(),
+                checkpoint_iters: 20,
+            });
+            run(
+                cfg,
+                specs.clone(),
+                &mut mlfs::Mlfs::heuristic(Params::default()),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert!(a.server_failures > 0);
+        assert!(a.task_restarts > 0);
+        assert_eq!(a.leaked_tasks, 0);
+        assert_eq!(a.server_failures, b.server_failures);
+        assert_eq!(a.task_restarts, b.task_restarts);
+        assert_eq!(a.avg_jct_mins(), b.avg_jct_mins());
+        assert_eq!(a.lost_gpu_hours, b.lost_gpu_hours);
+    }
+
+    #[test]
+    fn faults_do_not_perturb_fault_free_runs() {
+        // `fault: None` and a zero-rate FaultConfig take the same
+        // code path outcomes: identical metrics, zero fault counters.
+        let specs = tiny_trace(10.0, 11);
+        let base = run(
+            tiny_cfg(),
+            specs.clone(),
+            &mut mlfs::Mlfs::heuristic(Params::default()),
+        );
+        let mut cfg = tiny_cfg();
+        cfg.fault = Some(FaultConfig {
+            mtbf_hours: 0.0,
+            mttr_hours: 0.0,
+            schedule: Vec::new(),
+            checkpoint_iters: 100,
+        });
+        let inert = run(cfg, specs, &mut mlfs::Mlfs::heuristic(Params::default()));
+        assert_eq!(base.server_failures, 0);
+        assert_eq!(base.task_restarts, 0);
+        assert_eq!(base.lost_gpu_hours, 0.0);
+        assert!(base.fault_events.is_empty());
+        assert_eq!(base.goodput_ratio(), 1.0);
+        assert_eq!(base.avg_jct_mins(), inert.avg_jct_mins());
+        assert_eq!(base.bandwidth_mb, inert.bandwidth_mb);
+        assert_eq!(base.gpu_hours_total, inert.gpu_hours_total);
     }
 
     #[test]

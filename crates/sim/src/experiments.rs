@@ -6,7 +6,7 @@
 //! runs to laptop budgets while preserving offered load; the values
 //! used for the committed results are recorded in EXPERIMENTS.md.
 
-use crate::engine::{run, SimConfig};
+use crate::engine::{run, FaultConfig, SimConfig};
 use crate::progress::ProgressModel;
 use cluster::ClusterConfig;
 use metrics::RunMetrics;
@@ -193,6 +193,7 @@ pub fn fig4(x: f64, time_factor: f64, seed: u64) -> Experiment {
             h_r: 0.9,
             max_time: horizon(&trace),
             straggler: None,
+            fault: None,
             utilization_noise: 0.05,
             seed,
             record_timeline: false,
@@ -224,6 +225,7 @@ pub fn fig5(x: f64, scale: f64, time_factor: f64, seed: u64) -> Experiment {
             h_r: 0.9,
             max_time: fig5_horizon,
             straggler: None,
+            fault: None,
             utilization_noise: 0.05,
             seed,
             record_timeline: false,
@@ -237,6 +239,35 @@ pub fn fig5(x: f64, scale: f64, time_factor: f64, seed: u64) -> Experiment {
 pub fn ablation(name: &str, x: f64, time_factor: f64, seed: u64) -> Experiment {
     let mut e = fig4(x, time_factor, seed);
     e.name = format!("{name}-x{x}");
+    e
+}
+
+/// Schedulers compared in the fault sweep (robustness study): the
+/// full MLFS pipeline against the strongest preemptive baseline and
+/// the no-frills queue.
+pub const FAULT_SWEEP_SCHEDULERS: [&str; 3] = ["MLFS", "Tiresias", "FIFO"];
+
+/// Fault sweep (no paper counterpart; robustness extension): Fig. 4's
+/// testbed workload with seeded random server crashes at the given
+/// per-server MTBF (simulated hours). Jobs checkpoint every
+/// `checkpoint_iters` iterations; crashed servers return after an
+/// exponential ~30-minute MTTR. `mtbf_hours = 0` gives the no-fault
+/// control cell.
+pub fn fault_sweep(
+    x: f64,
+    time_factor: f64,
+    mtbf_hours: f64,
+    checkpoint_iters: u64,
+    seed: u64,
+) -> Experiment {
+    let mut e = fig4(x, time_factor, seed);
+    e.name = format!("fault-mtbf{mtbf_hours}-x{x}");
+    e.sim.fault = Some(FaultConfig {
+        mtbf_hours,
+        mttr_hours: 0.5,
+        schedule: Vec::new(),
+        checkpoint_iters,
+    });
     e
 }
 
@@ -275,5 +306,18 @@ mod tests {
     #[should_panic(expected = "unknown scheduler")]
     fn unknown_scheduler_panics() {
         fig4(0.25, 8.0, 1).scheduler("what", 0);
+    }
+
+    #[test]
+    fn fault_sweep_attaches_fault_config() {
+        let e = fault_sweep(0.25, 8.0, 6.0, 50, 1);
+        let fc = e.sim.fault.as_ref().expect("fault config attached");
+        assert_eq!(fc.mtbf_hours, 6.0);
+        assert_eq!(fc.checkpoint_iters, 50);
+        assert!(e.name.contains("fault"));
+        // The sweep's scheduler set resolves through the factory.
+        for name in FAULT_SWEEP_SCHEDULERS {
+            assert_eq!(e.scheduler(name, 3).name(), name);
+        }
     }
 }

@@ -51,5 +51,5 @@ pub mod experiments;
 pub mod progress;
 pub mod reward;
 
-pub use engine::{SimConfig, Simulation, StragglerConfig};
+pub use engine::{FaultConfig, FaultEvent, SimConfig, Simulation, StragglerConfig};
 pub use progress::ProgressModel;

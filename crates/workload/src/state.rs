@@ -194,6 +194,21 @@ impl JobState {
         }
     }
 
+    /// Roll training back to `target` iterations (a checkpoint
+    /// boundary ≤ current progress), truncating the recorded loss
+    /// history to the whole iterations retained. Accuracy is derived
+    /// from `iterations`, so it rolls back with it. Used by fault
+    /// recovery: work past the last checkpoint is lost on a crash.
+    pub fn rollback_to(&mut self, target: f64) {
+        assert!(
+            target >= 0.0 && target <= self.iterations + 1e-9,
+            "rollback target {target} outside [0, {}]",
+            self.iterations
+        );
+        self.iterations = target.min(self.iterations);
+        self.loss_history.truncate(self.iterations.floor() as usize);
+    }
+
     /// Mark the job finished at `now` for `reason`; all tasks become
     /// `Done`.
     pub fn finish(&mut self, now: SimTime, reason: StopReason) {
@@ -300,6 +315,29 @@ mod tests {
         // History telescopes to cumulative reduction.
         let sum: f64 = s.loss_history.iter().sum();
         let expect = s.spec.curve.cumulative_loss_reduction(4.0);
+        assert!((sum - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rollback_truncates_progress_and_history() {
+        let mut s = JobState::new(spec(), SimTime::ZERO);
+        s.advance(7.4);
+        assert_eq!(s.loss_history.len(), 7);
+        let acc_at_5 = {
+            let mut probe = JobState::new(spec(), SimTime::ZERO);
+            probe.advance(5.0);
+            probe.accuracy()
+        };
+        s.rollback_to(5.0);
+        assert_eq!(s.iterations, 5.0);
+        assert_eq!(s.loss_history.len(), 5);
+        assert!((s.accuracy() - acc_at_5).abs() < 1e-12);
+        // Advancing again from the checkpoint re-records the same
+        // iterations (history telescopes as before).
+        s.advance(2.0);
+        assert_eq!(s.loss_history.len(), 7);
+        let sum: f64 = s.loss_history.iter().sum();
+        let expect = s.spec.curve.cumulative_loss_reduction(7.0);
         assert!((sum - expect).abs() < 1e-9);
     }
 

@@ -1,0 +1,91 @@
+//! Fault sweep: goodput vs throughput under server crashes.
+//!
+//! Runs the fault-sweep schedulers (MLFS, Tiresias, FIFO) across a
+//! range of per-server MTBF values and prints, per cell, the goodput
+//! ratio, restart/failure counts and lost GPU-hours — the robustness
+//! study behind the "Fault tolerance" section of DESIGN.md.
+//!
+//! ```sh
+//! cargo run --release --example fault_sweep -- [x] [time_factor]
+//! cargo run --release --example fault_sweep -- --smoke
+//! ```
+//!
+//! `--smoke` runs one tiny crash-heavy cell and asserts the fault
+//! machinery actually fired (used by CI).
+
+use metrics::Table;
+use mlfs_sim::experiments::{fault_sweep, FAULT_SWEEP_SCHEDULERS};
+
+/// Checkpoint interval for every cell: prime, so rollbacks rarely
+/// land exactly on a checkpoint boundary (many jobs advance an
+/// exact-integer iteration count per round).
+const CHECKPOINT_ITERS: u64 = 499;
+
+fn smoke() {
+    let mut e = fault_sweep(1.0, 16.0, 0.25, 17, 3);
+    e.trace.jobs = 16;
+    let mut s = e.scheduler("MLFS", 3);
+    let m = e.run(s.as_mut());
+    assert!(
+        m.server_failures > 0,
+        "smoke: the fault process never fired"
+    );
+    assert!(m.task_restarts > 0, "smoke: no task was ever restarted");
+    assert_eq!(m.leaked_tasks, 0, "smoke: placements leaked");
+    let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+    assert!(finished > 0, "smoke: nothing finished under faults");
+    println!(
+        "fault smoke ok: {} failures, {} restarts, {:.3} lost GPU-h, {}/{} jobs finished",
+        m.server_failures,
+        m.task_restarts,
+        m.lost_gpu_hours,
+        finished,
+        m.jobs.len()
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let x: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let tf: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16.0);
+
+    let mut table = Table::new(&[
+        "scheduler",
+        "MTBF (h)",
+        "failures",
+        "restarts",
+        "lost GPU-h",
+        "goodput %",
+        "avg JCT (min)",
+        "finished",
+    ]);
+    // MTBF 0 = fault-free control; then increasingly flaky clusters.
+    for mtbf in [0.0, 500.0, 100.0, 24.0, 8.0] {
+        let e = fault_sweep(x, tf, mtbf, CHECKPOINT_ITERS, 42);
+        for name in FAULT_SWEEP_SCHEDULERS {
+            let mut s = e.scheduler(name, 7);
+            let m = e.run(s.as_mut());
+            let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+            table.row(vec![
+                name.to_string(),
+                format!("{mtbf:.0}"),
+                format!("{}", m.server_failures),
+                format!("{}", m.task_restarts),
+                format!("{:.2}", m.lost_gpu_hours),
+                format!("{:.2}", 100.0 * m.goodput_ratio()),
+                format!("{:.1}", m.avg_jct_mins()),
+                format!("{}/{}", finished, m.jobs.len()),
+            ]);
+        }
+    }
+    println!("{table}");
+}

@@ -1,0 +1,77 @@
+//! Fault-injection integration tests: every figure scheduler must
+//! survive server crashes — no panics, no leaked placements, every
+//! evicted task either restarted or its job terminated with a
+//! recorded outcome.
+
+use mlfs_sim::{experiments, FaultConfig};
+
+/// A small crash-heavy experiment: jobs arrive over a compressed span
+/// while servers fail roughly hourly and take ~15 minutes to return.
+fn crashy_experiment(seed: u64) -> experiments::Experiment {
+    let mut e = experiments::fig4(1.0, 16.0, seed);
+    e.name = format!("fault-smoke-{seed}");
+    e.trace.jobs = 12;
+    e.sim.fault = Some(FaultConfig {
+        mtbf_hours: 0.25,
+        mttr_hours: 0.25,
+        schedule: Vec::new(),
+        // Prime, so rollbacks rarely land exactly on a checkpoint
+        // (many jobs advance an exact-integer iteration count per
+        // round, and a divisor-of-that interval can lose zero work).
+        checkpoint_iters: 17,
+    });
+    e
+}
+
+#[test]
+fn every_scheduler_survives_server_crashes() {
+    for name in baselines::FIGURE_SCHEDULERS {
+        let e = crashy_experiment(3);
+        let mut scheduler = e.scheduler(name, 3);
+        let m = e.run(scheduler.as_mut());
+        assert_eq!(m.jobs.len(), 12, "{name}: job records missing");
+        assert_eq!(
+            m.leaked_tasks, 0,
+            "{name}: tasks left placed for finished jobs"
+        );
+        assert!(
+            m.server_failures > 0,
+            "{name}: the fault process never fired"
+        );
+        // Goodput accounting stays coherent under faults.
+        assert!(m.gpu_hours_total > 0.0, "{name}: no GPU time accrued");
+        assert!(
+            m.goodput_gpu_hours() <= m.gpu_hours_total,
+            "{name}: goodput exceeds gross GPU time"
+        );
+        // Every job's terminal state is recorded: finished jobs carry a
+        // completion time; unfinished ones are still accounted for in
+        // the records (stranded by the horizon, not lost).
+        let finished = m.jobs.iter().filter(|j| j.finished.is_some()).count();
+        assert!(finished > 0, "{name}: nothing finished under faults");
+    }
+}
+
+#[test]
+fn crashes_cost_throughput_but_not_correctness() {
+    // Same workload with and without faults, MLFS end to end: faults
+    // must surface as restarts/lost work, never as corruption.
+    let seed = 5;
+    let mut clean = experiments::fig4(1.0, 16.0, seed);
+    clean.trace.jobs = 12;
+    let faulty = crashy_experiment(seed);
+
+    let mut s1 = clean.scheduler("MLFS", seed);
+    let m_clean = clean.run(s1.as_mut());
+    let mut s2 = faulty.scheduler("MLFS", seed);
+    let m_faulty = faulty.run(s2.as_mut());
+
+    assert_eq!(m_clean.server_failures, 0);
+    assert_eq!(m_clean.task_restarts, 0);
+    assert!(m_faulty.server_failures > 0);
+    assert!(m_faulty.task_restarts > 0);
+    assert!(m_faulty.lost_gpu_hours > 0.0);
+    assert!(m_faulty.goodput_ratio() < 1.0);
+    assert_eq!(m_faulty.leaked_tasks, 0);
+    assert_eq!(m_clean.goodput_ratio(), 1.0);
+}
