@@ -20,6 +20,10 @@
 //! variant) and load control — those gaps are what the figures
 //! measure.
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod borg;
 pub mod fifo;
 pub mod gandiva;

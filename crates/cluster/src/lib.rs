@@ -19,6 +19,10 @@
 //! [`TaskId`]s and resource demand vectors. The `workload` crate maps
 //! ML tasks onto these.
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ids;
 pub mod resources;
 pub mod server;

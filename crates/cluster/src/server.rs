@@ -268,15 +268,13 @@ impl Server {
 
     /// Replace a placed task's demand in place (time-varying
     /// utilization: real tasks do not draw their mean demand every
-    /// minute). Keeps the task on its GPU.
-    ///
-    /// # Panics
-    /// Panics if the task is not placed here.
-    pub fn update_demand(&mut self, task: TaskId, demand: ResourceVec, gpu_share: f64) {
-        let p = self
-            .tasks
-            .get_mut(&task)
-            .unwrap_or_else(|| panic!("task {task} not on {}", self.id));
+    /// minute). Keeps the task on its GPU. Returns `false` (and
+    /// changes nothing) if the task is not placed here — a stale
+    /// update must never abort a simulation.
+    pub fn update_demand(&mut self, task: TaskId, demand: ResourceVec, gpu_share: f64) -> bool {
+        let Some(p) = self.tasks.get_mut(&task) else {
+            return false;
+        };
         self.load -= p.demand;
         self.load += demand;
         self.load.clamp_non_negative();
@@ -287,17 +285,13 @@ impl Server {
         p.demand = demand;
         p.gpu_share = gpu_share;
         self.refresh_util_cache();
+        true
     }
 
-    /// Remove `task`, returning its placement record.
-    ///
-    /// # Panics
-    /// Panics if the task is not placed here.
-    pub fn remove(&mut self, task: TaskId) -> TaskPlacement {
-        let p = self
-            .tasks
-            .remove(&task)
-            .unwrap_or_else(|| panic!("task {task} not on {}", self.id));
+    /// Remove `task`, returning its placement record, or `None` (a
+    /// no-op) if it was not placed here.
+    pub fn remove(&mut self, task: TaskId) -> Option<TaskPlacement> {
+        let p = self.tasks.remove(&task)?;
         self.load -= p.demand;
         self.load.clamp_non_negative();
         self.gpu_load[p.gpu] -= p.gpu_share;
@@ -305,7 +299,7 @@ impl Server {
             self.gpu_load[p.gpu] = 0.0;
         }
         self.refresh_util_cache();
-        p
+        Some(p)
     }
 
     /// The tasks placed on this server, in deterministic (id) order.
@@ -388,7 +382,7 @@ mod tests {
         let mut s = server();
         let d = ResourceVec::new(0.5, 2.0, 8.0, 50.0);
         s.place(tid(2, 0), d, 0.5);
-        let p = s.remove(tid(2, 0));
+        let p = s.remove(tid(2, 0)).unwrap();
         assert_eq!(p.demand, d);
         assert_eq!(s.load(), ResourceVec::ZERO);
         assert_eq!(s.gpu_load(0), 0.0);
@@ -405,10 +399,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not on")]
-    fn removing_absent_task_panics() {
+    fn removing_absent_task_is_a_noop() {
         let mut s = server();
-        s.remove(tid(9, 9));
+        assert!(s.remove(tid(9, 9)).is_none());
+        assert_eq!(s.load(), ResourceVec::ZERO);
     }
 
     #[test]
@@ -476,10 +470,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not on")]
-    fn update_demand_unknown_task_panics() {
+    fn update_demand_unknown_task_is_a_noop() {
         let mut s = server();
-        s.update_demand(tid(5, 5), ResourceVec::ZERO, 0.0);
+        assert!(!s.update_demand(tid(5, 5), ResourceVec::ZERO, 0.0));
+        assert_eq!(s.load(), ResourceVec::ZERO);
     }
 
     #[test]

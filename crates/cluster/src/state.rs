@@ -266,7 +266,9 @@ impl Cluster {
     /// server and placement, or `None` if it was not placed.
     pub fn remove(&mut self, task: TaskId) -> Option<(ServerId, TaskPlacement)> {
         let server = self.index.remove(&task)?;
-        let p = self.servers[server.0 as usize].remove(task);
+        // A `None` here means the index was stale; dropping the entry
+        // above is the right cleanup either way.
+        let p = self.servers.get_mut(server.0 as usize)?.remove(task)?;
         self.sync_overload(server);
         Some((server, p))
     }
@@ -297,10 +299,23 @@ impl Cluster {
             self.migration_mb += state_mb;
         }
         self.migrations += 1;
-        let gpu = self
-            .place(task, dst, p.demand, p.gpu_share)
-            .expect("destination was validated and the task just removed");
-        Ok(gpu)
+        match self.place(task, dst, p.demand, p.gpu_share) {
+            Ok(gpu) => Ok(gpu),
+            Err(e) => {
+                // The destination was validated above and nothing ran
+                // in between, so this arm is unreachable in practice —
+                // but if it ever fires, unwind the ledgers and put the
+                // task back on the source it just vacated instead of
+                // aborting the simulation.
+                self.migrations -= 1;
+                if self.topology.is_remote(src, dst) {
+                    self.transferred_mb -= state_mb;
+                    self.migration_mb -= state_mb;
+                }
+                let _ = self.place(task, src, p.demand, p.gpu_share);
+                Err(e)
+            }
+        }
     }
 
     /// Mark `server` as crashed (down until `until`, when known),
@@ -348,15 +363,20 @@ impl Cluster {
     }
 
     /// Replace a placed task's live demand (time-varying utilization).
-    ///
-    /// # Panics
-    /// Panics if the task is not placed anywhere.
-    pub fn update_demand(&mut self, task: TaskId, demand: ResourceVec, gpu_share: f64) {
-        let server = self
-            .locate(task)
-            .unwrap_or_else(|| panic!("task {task} not placed"));
-        self.servers[server.0 as usize].update_demand(task, demand, gpu_share);
+    /// Returns `false` (and changes nothing) if the task is not placed
+    /// anywhere — a stale update must never abort a simulation.
+    pub fn update_demand(&mut self, task: TaskId, demand: ResourceVec, gpu_share: f64) -> bool {
+        let Some(server) = self.locate(task) else {
+            return false;
+        };
+        let Some(s) = self.servers.get_mut(server.0 as usize) else {
+            return false;
+        };
+        if !s.update_demand(task, demand, gpu_share) {
+            return false;
+        }
         self.sync_overload(server);
+        true
     }
 
     /// Record `mb` megabytes moving between two servers. Intra-server
@@ -560,10 +580,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not placed")]
-    fn cluster_update_demand_unplaced_panics() {
+    fn cluster_update_demand_unplaced_is_a_noop() {
         let mut c = small();
-        c.update_demand(tid(9, 0), ResourceVec::ZERO, 0.0);
+        assert!(!c.update_demand(tid(9, 0), ResourceVec::ZERO, 0.0));
+        assert_eq!(c.server(ServerId(0)).load(), ResourceVec::ZERO);
     }
 
     #[test]

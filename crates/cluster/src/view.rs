@@ -173,7 +173,7 @@ impl<'a> ClusterOverlay<'a> {
     /// Speculatively remove `task` from wherever the view has it.
     pub fn remove(&mut self, task: TaskId) -> Option<(ServerId, TaskPlacement)> {
         let server = self.locate(task)?;
-        let p = self.server_mut(server).remove(task);
+        let p = self.server_mut(server).remove(task)?;
         self.index_add.remove(&task);
         if self.base.locate(task).is_some() {
             // The base also places this task (directly, or before a
@@ -193,8 +193,11 @@ impl<'a> ClusterOverlay<'a> {
         match self.place(task, dst, p.demand, p.gpu_share) {
             Ok(gpu) => Ok(gpu),
             Err(e) => {
-                self.place(task, src, p.demand, p.gpu_share)
-                    .expect("source slot was just freed");
+                // The source slot was freed by the remove above, so
+                // the restore cannot be refused; the overlay is
+                // speculative, so even a refusal must surface as the
+                // original error rather than abort.
+                let _ = self.place(task, src, p.demand, p.gpu_share);
                 Err(e)
             }
         }

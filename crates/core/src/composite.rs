@@ -145,7 +145,10 @@ impl Scheduler for Mlfs {
         let mut placement = match (&mut self.h, &mut self.rl) {
             (Some(h), _) => h.schedule(ctx),
             (_, Some(rl)) => rl.schedule(ctx),
-            _ => unreachable!("one scheduling component always exists"),
+            // Constructors always install a scheduling component; if
+            // none exists, an idle round is strictly better than
+            // aborting the simulation.
+            _ => Vec::new(),
         };
         // Don't place/migrate tasks of jobs MLF-C just stopped.
         placement.retain(|a| match a {

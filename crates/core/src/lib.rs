@@ -38,6 +38,10 @@
 //! assert_eq!(full.name(), "MLFS");
 //! ```
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod blacklist;
 pub mod composite;
 pub mod features;

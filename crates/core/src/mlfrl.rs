@@ -267,13 +267,13 @@ impl MlfRl {
                 &mut servers,
             );
             self.scratch.ranked = ranked;
-            if !servers.contains(&chosen) {
-                servers.push(chosen);
-            }
-            let action_idx = servers
-                .iter()
-                .position(|&s| s == chosen)
-                .expect("chosen host was just inserted");
+            let action_idx = match servers.iter().position(|&s| s == chosen) {
+                Some(i) => i,
+                None => {
+                    servers.push(chosen);
+                    servers.len() - 1
+                }
+            };
             let mut feats = self.take_batch();
             for &s in &servers {
                 candidate_features_into(

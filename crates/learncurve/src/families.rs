@@ -167,7 +167,7 @@ fn fit_linear(family: CurveFamily, nonlin: [f64; 2], pts: &[(f64, f64)]) -> [f64
 /// multiplicatively. Deterministic.
 pub fn fit_family(family: CurveFamily, pts: &[(f64, f64)]) -> FittedCurve {
     assert!(!pts.is_empty(), "cannot fit an empty curve");
-    let span = pts.last().unwrap().0.max(1.0);
+    let span = pts.last().map_or(1.0, |p| p.0).max(1.0);
 
     // Candidate nonlinear parameters per family.
     let log_grid = |lo: f64, hi: f64, n: usize| -> Vec<f64> {

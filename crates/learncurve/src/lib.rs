@@ -38,6 +38,10 @@
 //! assert!(at_500.confidence > 0.5);
 //! ```
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ensemble;
 pub mod families;
 pub mod optstop;

@@ -1,0 +1,124 @@
+//! `mlfs-lint` CLI.
+//!
+//! ```text
+//! cargo run -p mlfs-lint --release [-- [--json] [--root DIR]
+//!     [--baseline FILE] [--write-baseline] [--strict]]
+//! ```
+//!
+//! Exit codes: 0 = clean (nothing above baseline), 1 = new violations,
+//! 2 = usage or I/O error.
+
+use mlfs_lint::{render_json, render_text, scan_workspace, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Opts {
+    root: PathBuf,
+    baseline_path: PathBuf,
+    json: bool,
+    write_baseline: bool,
+    /// Ignore the baseline entirely: report every finding.
+    strict: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: mlfs-lint [--json] [--root DIR] [--baseline FILE] \
+     [--write-baseline] [--strict]\n\
+     \n\
+     --json            emit the machine-readable report on stdout\n\
+     --root DIR        workspace root (default: auto-detected)\n\
+     --baseline FILE   baseline file (default: <root>/lint-baseline.toml)\n\
+     --write-baseline  accept all current findings into the baseline\n\
+     --strict          ignore the baseline; report every finding"
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    // `cargo run -p mlfs-lint` sets the manifest dir to `crates/lint`;
+    // the workspace root is two levels up. Fall back to the cwd for a
+    // bare binary invocation.
+    let default_root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut opts = Opts {
+        root: default_root,
+        baseline_path: PathBuf::new(),
+        json: false,
+        write_baseline: false,
+        strict: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--strict" => opts.strict = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--baseline" => {
+                opts.baseline_path = PathBuf::from(args.next().ok_or("--baseline needs a value")?);
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.baseline_path.as_os_str().is_empty() {
+        opts.baseline_path = opts.root.join("lint-baseline.toml");
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_opts()?;
+    let started = Instant::now();
+
+    let baseline = if opts.strict || opts.write_baseline {
+        Baseline::empty()
+    } else if opts.baseline_path.exists() {
+        let text = std::fs::read_to_string(&opts.baseline_path)
+            .map_err(|e| format!("reading {}: {e}", opts.baseline_path.display()))?;
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", opts.baseline_path.display()))?
+    } else {
+        Baseline::empty()
+    };
+
+    let report = scan_workspace(&opts.root, &baseline)
+        .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
+
+    if opts.write_baseline {
+        let b = Baseline::from_findings(&report.findings);
+        std::fs::write(&opts.baseline_path, b.render())
+            .map_err(|e| format!("writing {}: {e}", opts.baseline_path.display()))?;
+        eprintln!(
+            "mlfs-lint: wrote {} entries ({} findings) to {}",
+            b.counts.len(),
+            report.findings.len(),
+            opts.baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    if opts.json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+    eprintln!(
+        "mlfs-lint: scanned {} files in {:.0?}",
+        report.files_scanned,
+        started.elapsed()
+    );
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-crate tier policy: which rule families apply where.
+//!
+//! * **Deterministic tier** — every crate whose code can influence a
+//!   scheduling decision or a recorded metric. Bit-identical replay
+//!   (the PR 3 determinism tests) requires that nothing here observes
+//!   hash-iteration order, wall clocks, or ambient randomness.
+//! * **Hot-path tier** — the crates on the per-round scheduling path
+//!   (`core` schedulers, `cluster` placement/overlay, the `sim`
+//!   engine). A panic here aborts a whole simulation, so `unwrap`/
+//!   `expect`/panicking macros/indexing are banned outside tests; the
+//!   audited `// lint:allow(<rule>) reason="…"` escape hatch covers
+//!   the provably-unreachable remainder.
+//!
+//! Test modules (`#[cfg(test)]`, `#[test]`), `tests/`, `benches/`,
+//! `examples/` and `src/bin/` targets are exempt from both tiers:
+//! determinism and panic-freedom are properties of the library code
+//! the simulator runs, not of assertions about it.
+
+/// Crates in the deterministic tier (directory names under `crates/`).
+pub const DETERMINISTIC_TIER: &[&str] = &[
+    "core",
+    "cluster",
+    "sim",
+    "simcore",
+    "rl",
+    "nn",
+    "workload",
+    "learncurve",
+    "baselines",
+    "metrics",
+];
+
+/// Crates in the scheduler hot-path tier.
+pub const HOT_PATH_TIER: &[&str] = &["core", "cluster", "sim"];
+
+/// Rule families that apply to one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilePolicy {
+    pub deterministic: bool,
+    pub hot_path: bool,
+}
+
+impl FilePolicy {
+    pub const NONE: FilePolicy = FilePolicy {
+        deterministic: false,
+        hot_path: false,
+    };
+    pub const ALL: FilePolicy = FilePolicy {
+        deterministic: true,
+        hot_path: true,
+    };
+}
+
+/// Tier membership of a crate directory name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    Deterministic,
+    HotPath,
+}
+
+/// Policy for a workspace-relative path such as
+/// `crates/core/src/mlfh.rs`. Non-library targets (tests, benches,
+/// examples, bin) and non-tier crates get [`FilePolicy::NONE`].
+pub fn policy_for(rel_path: &str) -> FilePolicy {
+    let p = rel_path.replace('\\', "/");
+    // Only library code inside `crates/<name>/src/` is in scope, and
+    // `src/bin/` CLI targets are not library code.
+    let Some(rest) = p.strip_prefix("crates/") else {
+        return FilePolicy::NONE;
+    };
+    let Some((krate, tail)) = rest.split_once('/') else {
+        return FilePolicy::NONE;
+    };
+    if !tail.starts_with("src/") || tail.starts_with("src/bin/") {
+        return FilePolicy::NONE;
+    }
+    FilePolicy {
+        deterministic: DETERMINISTIC_TIER.contains(&krate),
+        hot_path: HOT_PATH_TIER.contains(&krate),
+    }
+}

@@ -1,0 +1,169 @@
+//! Rendering: rustc-style text diagnostics and a `--json` report for
+//! CI artifact diffing. JSON is emitted by hand — the linter is
+//! dependency-free by design (see the crate docs).
+
+use crate::rules::Finding;
+use crate::workspace::WorkspaceReport;
+use std::fmt::Write as _;
+
+/// Render the human-readable report (new findings + summary).
+pub fn render_text(report: &WorkspaceReport) -> String {
+    let mut out = String::new();
+    for f in &report.new_findings {
+        let _ = writeln!(
+            out,
+            "error[{}]: {}\n  --> {}:{}:{}",
+            f.rule, f.message, f.file, f.line, f.col
+        );
+    }
+    for (key, allowed, found) in &report.exceeded {
+        if *allowed > 0 {
+            let _ = writeln!(
+                out,
+                "note: `{key}` exceeds its baseline ({found} found, {allowed} \
+                 accepted) — all {found} occurrences are shown above"
+            );
+        }
+    }
+    for (key, allowed, found) in &report.stale {
+        let _ = writeln!(
+            out,
+            "note: baseline entry `{key}` is stale ({allowed} accepted, only \
+             {found} remain) — regenerate with --write-baseline to ratchet down"
+        );
+    }
+    for (line, rules) in &report.stats.allows_unused {
+        let _ = writeln!(
+            out,
+            "note: unused lint:allow({rules}) at line {line} suppresses nothing \
+             — remove it"
+        );
+    }
+    let allows_fired: usize = report.stats.allows_used.values().sum();
+    let _ = writeln!(
+        out,
+        "mlfs-lint: {} files scanned, {} new finding(s), {} baselined, \
+         {} lint:allow annotation(s) ({} fired)",
+        report.files_scanned,
+        report.new_findings.len(),
+        report.baselined,
+        report.stats.allows_total,
+        allows_fired,
+    );
+    if report.is_clean() {
+        let _ = writeln!(out, "mlfs-lint: clean (no violations above baseline)");
+    }
+    out
+}
+
+/// Render the machine-readable report.
+pub fn render_json(report: &WorkspaceReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"clean\": {},", report.is_clean());
+    let _ = writeln!(out, "  \"baselined\": {},", report.baselined);
+
+    out.push_str("  \"new_findings\": [\n");
+    push_findings(&mut out, &report.new_findings);
+    out.push_str("  ],\n");
+
+    out.push_str("  \"all_findings\": [\n");
+    push_findings(&mut out, &report.findings);
+    out.push_str("  ],\n");
+
+    out.push_str("  \"exceeded\": [");
+    push_triples(&mut out, &report.exceeded);
+    out.push_str("],\n");
+
+    out.push_str("  \"stale_baseline\": [");
+    push_triples(&mut out, &report.stale);
+    out.push_str("],\n");
+
+    out.push_str("  \"allows\": {\n");
+    let _ = writeln!(out, "    \"total\": {},", report.stats.allows_total);
+    out.push_str("    \"used\": {");
+    for (i, (rule, n)) in report.stats.allows_used.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_str(rule), n);
+    }
+    out.push_str("},\n");
+    out.push_str("    \"unused\": [");
+    for (i, (line, rules)) in report.stats.allows_unused.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"line\": {line}, \"rules\": {}}}", json_str(rules));
+    }
+    out.push_str("]\n  }\n}\n");
+    out
+}
+
+fn push_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \
+             \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.message)
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+}
+
+fn push_triples(out: &mut String, triples: &[(String, usize, usize)]) {
+    for (i, (key, allowed, found)) in triples.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"key\": {}, \"accepted\": {allowed}, \"found\": {found}}}",
+            json_str(key)
+        );
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_is_clean_json() {
+        let report = WorkspaceReport::default();
+        let json = render_json(&report);
+        assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("\"new_findings\": [\n  ]"));
+    }
+}

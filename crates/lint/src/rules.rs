@@ -1,0 +1,526 @@
+//! The rule engine: token-level checks with tier policies, test-code
+//! exemption, and the audited `lint:allow` escape hatch.
+
+use crate::policy::FilePolicy;
+use crate::tokenizer::{tokenize, Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Stable rule identifiers. Keep in sync with DESIGN.md §"Static
+/// analysis & invariants".
+pub const ALL_RULES: &[&str] = &[
+    // Determinism tier.
+    "det-hash-collection",
+    "det-wall-clock",
+    "det-ambient-rng",
+    "det-float-ord",
+    // Hot-path tier.
+    "panic-unwrap",
+    "panic-macro",
+    "panic-slice-index",
+    // Config rules.
+    "cfg-std-time",
+    "cfg-registry-dep",
+    // Meta rules (violations of the escape hatch itself).
+    "lint-allow-missing-reason",
+    "lint-allow-unknown-rule",
+];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Per-file statistics about the escape hatch.
+#[derive(Debug, Default, Clone)]
+pub struct ScanStats {
+    /// Total `lint:allow` annotations seen.
+    pub allows_total: usize,
+    /// Suppressions that actually fired, per rule.
+    pub allows_used: BTreeMap<String, usize>,
+    /// `(line, rule)` of annotations that suppressed nothing.
+    pub allows_unused: Vec<(u32, String)>,
+}
+
+impl ScanStats {
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.allows_total += other.allows_total;
+        for (r, n) in &other.allows_used {
+            *self.allows_used.entry(r.clone()).or_insert(0) += n;
+        }
+        self.allows_unused
+            .extend(other.allows_unused.iter().cloned());
+    }
+}
+
+struct Allow {
+    rules: Vec<String>,
+    has_reason: bool,
+    /// Line the annotation applies to (own line for trailing comments,
+    /// next code line for standalone ones).
+    target_line: u32,
+    /// Line of the comment itself (for meta diagnostics).
+    at_line: u32,
+    used: bool,
+}
+
+/// Scan one source file under `policy`. Returns diagnostics plus
+/// escape-hatch statistics.
+pub fn scan_source(file: &str, src: &str, policy: FilePolicy) -> (Vec<Finding>, ScanStats) {
+    let stream = tokenize(src);
+    let mut allows = collect_allows(&stream.comments, &stream.tokens);
+    let toks = non_test_tokens(&stream.tokens);
+    let uses = use_ranges(&toks);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if policy.deterministic {
+        determinism_rules(file, &toks, &uses, &mut raw);
+    }
+    if policy.hot_path {
+        panic_rules(file, &toks, &mut raw);
+    }
+
+    // Apply suppressions.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut stats = ScanStats {
+        allows_total: allows.len(),
+        ..ScanStats::default()
+    };
+    for f in raw {
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.target_line == f.line && a.rules.iter().any(|r| r == f.rule) {
+                a.used = true;
+                *stats.allows_used.entry(f.rule.to_string()).or_insert(0) += 1;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+
+    // Meta diagnostics about the annotations themselves; these cannot
+    // be self-suppressed. Out-of-tier files (docs, fixtures, the
+    // linter's own sources) may *mention* the annotation grammar
+    // without being held to it.
+    if policy == FilePolicy::NONE {
+        return (findings, ScanStats::default());
+    }
+    for a in &allows {
+        for r in &a.rules {
+            if !ALL_RULES.contains(&r.as_str()) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: a.at_line,
+                    col: 1,
+                    rule: "lint-allow-unknown-rule",
+                    message: format!("lint:allow names unknown rule `{r}`"),
+                });
+            }
+        }
+        if !a.has_reason {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.at_line,
+                col: 1,
+                rule: "lint-allow-missing-reason",
+                message: "lint:allow requires reason=\"...\" explaining why the \
+                          exception is sound"
+                    .to_string(),
+            });
+        }
+        if !a.used {
+            stats.allows_unused.push((a.at_line, a.rules.join(",")));
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    (findings, stats)
+}
+
+/// Parse `lint:allow(rule-a, rule-b) reason="..."` annotations out of
+/// comments and resolve the line each one targets.
+fn collect_allows(comments: &[crate::tokenizer::Comment], tokens: &[Tok]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(start) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let after = &c.text[start + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let tail = &after[close + 1..];
+        let has_reason = tail
+            .find("reason=\"")
+            .map(|i| {
+                let rest = &tail[i + "reason=\"".len()..];
+                rest.find('"').map(|j| j > 0).unwrap_or(false)
+            })
+            .unwrap_or(false);
+        let target_line = if c.standalone {
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line)
+        } else {
+            c.line
+        };
+        out.push(Allow {
+            rules,
+            has_reason,
+            target_line,
+            at_line: c.line,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Drop tokens belonging to test-only items: any item annotated
+/// `#[test]` or `#[cfg(test)]` (typically the `mod tests { … }`
+/// block). Inner attributes (`#![…]`) and `#[cfg(not(test))]` /
+/// `#[cfg_attr(…)]` do not gate items out.
+fn non_test_tokens(tokens: &[Tok]) -> Vec<Tok> {
+    let mut keep = vec![true; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && i + 1 < tokens.len()) {
+            i += 1;
+            continue;
+        }
+        // Inner attribute `#![…]`: skip its tokens, gate nothing.
+        if tokens[i + 1].is_punct('!') {
+            i += 2;
+            continue;
+        }
+        if !tokens[i + 1].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = parse_attr(tokens, i + 1);
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Gate out the attribute, any stacked attributes, and the item.
+        let mut j = attr_end + 1;
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            let (e, _) = parse_attr(tokens, j + 1);
+            j = e + 1;
+        }
+        // Consume the item: to the matching `}` of its first brace, or
+        // to a top-level `;`, whichever comes first.
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth <= 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            k += 1;
+        }
+        let end = k.min(tokens.len().saturating_sub(1));
+        for slot in keep.iter_mut().take(end + 1).skip(i) {
+            *slot = false;
+        }
+        i = end + 1;
+    }
+    tokens
+        .iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(t, _)| t.clone())
+        .collect()
+}
+
+/// Parse an attribute starting at its `[` token; returns the index of
+/// the closing `]` and whether the attribute gates test-only code.
+fn parse_attr(tokens: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut end = open;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                end = k;
+                break;
+            }
+        }
+        end = k;
+    }
+    let body = &tokens[open + 1..end.min(tokens.len())];
+    let first_ident = body.iter().find(|t| t.kind == TokKind::Ident);
+    let is_test = match first_ident {
+        Some(t) if t.text == "test" => true,
+        Some(t) if t.text == "cfg" => cfg_mentions_test(body),
+        _ => false,
+    };
+    (end, is_test)
+}
+
+/// Does a `cfg(...)` predicate require `test` (i.e. mention it outside
+/// a `not(...)`)?
+fn cfg_mentions_test(body: &[Tok]) -> bool {
+    for (k, t) in body.iter().enumerate() {
+        if t.is_ident("test") {
+            let negated = k >= 2 && body[k - 2].is_ident("not") && body[k - 1].is_punct('(');
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Token index ranges (inclusive) covered by `use …;` statements.
+fn use_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            let start = i;
+            while i < toks.len() && !toks[i].is_punct(';') {
+                i += 1;
+            }
+            out.push((start, i.min(toks.len() - 1)));
+        }
+        i += 1;
+    }
+    out
+}
+
+fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    ranges.iter().any(|&(a, b)| i >= a && i <= b)
+}
+
+fn mk(file: &str, t: &Tok, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+    }
+}
+
+const AMBIENT_RNG: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "from_os_rng",
+];
+
+fn determinism_rules(file: &str, toks: &[Tok], uses: &[(usize, usize)], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // Hash collections have observable, seed-dependent
+            // iteration order; the deterministic tier must use
+            // BTreeMap/BTreeSet or sorted vectors instead.
+            "HashMap" | "HashSet" => out.push(mk(
+                file,
+                t,
+                "det-hash-collection",
+                format!(
+                    "`{}` is banned in the deterministic tier (iteration order is \
+                     not reproducible); use BTreeMap/BTreeSet or a sorted Vec",
+                    t.text
+                ),
+            )),
+            "Instant" | "SystemTime" if !in_ranges(uses, i) => out.push(mk(
+                file,
+                t,
+                "det-wall-clock",
+                format!(
+                    "`{}` reads the wall clock; deterministic-tier code must use \
+                     simulated time (simcore::SimTime)",
+                    t.text
+                ),
+            )),
+            s if AMBIENT_RNG.contains(&s) => out.push(mk(
+                file,
+                t,
+                "det-ambient-rng",
+                format!(
+                    "`{s}` draws ambient (OS-seeded) randomness; use the seeded \
+                     simcore RNG streams"
+                ),
+            )),
+            "random"
+                if i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("rand") =>
+            {
+                out.push(mk(
+                    file,
+                    t,
+                    "det-ambient-rng",
+                    "`rand::random` draws ambient randomness; use the seeded \
+                     simcore RNG streams"
+                        .to_string(),
+                ))
+            }
+            "partial_cmp" => {
+                if let Some(f) = float_ord_finding(file, toks, i) {
+                    out.push(f);
+                }
+            }
+            _ => {}
+        }
+    }
+    // `use std::time::{Instant, SystemTime, *}` imports a clock type.
+    for &(a, b) in uses {
+        let body = &toks[a..=b.min(toks.len() - 1)];
+        let has_std_time = body
+            .windows(4)
+            .any(|w| w[0].is_ident("std") && w[1].is_punct(':') && w[3].is_ident("time"));
+        let has_clock = body
+            .iter()
+            .any(|t| t.is_ident("Instant") || t.is_ident("SystemTime") || t.is_punct('*'));
+        if has_std_time && has_clock {
+            out.push(mk(
+                file,
+                &toks[a],
+                "cfg-std-time",
+                "non-test deterministic-tier module imports a wall-clock type \
+                 from std::time"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `partial_cmp(…).unwrap()` / `.expect(…)` — NaN panics at runtime
+/// and, worse, NaN-dependent ordering is not reproducible across
+/// refactors. Matches the call's closing paren, then a direct
+/// `.unwrap`/`.expect`. `unwrap_or(Ordering::Equal)` is the sanctioned
+/// spelling and does not match.
+fn float_ord_finding(file: &str, toks: &[Tok], i: usize) -> Option<Finding> {
+    let open = i + 1;
+    if !toks.get(open)?.is_punct('(') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut close = open;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                close = k;
+                break;
+            }
+        }
+    }
+    let dot = toks.get(close + 1)?;
+    let method = toks.get(close + 2)?;
+    if dot.is_punct('.') && (method.is_ident("unwrap") || method.is_ident("expect")) {
+        Some(mk(
+            file,
+            &toks[i],
+            "det-float-ord",
+            format!(
+                "`partial_cmp(..).{}()` panics on NaN; use total_cmp or \
+                 `partial_cmp(..).unwrap_or(Ordering::Equal)`",
+                method.text
+            ),
+        ))
+    } else {
+        None
+    }
+}
+
+/// Rust keywords that can directly precede `[` without forming an
+/// index expression (slice patterns, `for x in [..]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "break", "continue",
+    "while", "loop", "for", "where", "use", "pub", "crate", "dyn", "impl", "fn", "unsafe",
+    "static", "const", "enum", "struct", "trait", "type", "mod", "await", "yield", "box", "do",
+];
+
+fn panic_rules(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        // `.unwrap()` / `.expect(`
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+        {
+            out.push(mk(
+                file,
+                t,
+                "panic-unwrap",
+                format!(
+                    "`.{}()` can panic on the scheduler hot path; degrade \
+                     gracefully (skip-and-requeue / Result) or justify with \
+                     lint:allow",
+                    t.text
+                ),
+            ));
+        }
+        // panic!/unreachable!/todo!/unimplemented!
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && toks.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false)
+        {
+            out.push(mk(
+                file,
+                t,
+                "panic-macro",
+                format!("`{}!` aborts a whole simulation from the hot path", t.text),
+            ));
+        }
+        // Index expressions `expr[...]` (bounds panics). Array
+        // literals, attributes, types and slice patterns don't match
+        // because their `[` never follows an identifier, `)` or `]`.
+        if t.is_punct('[') && i >= 1 {
+            let p = &toks[i - 1];
+            let indexes = match p.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                TokKind::Punct => p.is_punct(')') || p.is_punct(']'),
+                _ => false,
+            };
+            if indexes {
+                out.push(mk(
+                    file,
+                    t,
+                    "panic-slice-index",
+                    "indexing can panic out-of-bounds on the hot path; prefer \
+                     .get()/.get_mut() or iterate"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

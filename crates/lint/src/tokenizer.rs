@@ -1,0 +1,350 @@
+//! A minimal Rust lexer: just enough structure for rule matching.
+//!
+//! The goal is *not* full fidelity with rustc — it is to never confuse
+//! the rule engine about what is code and what is not. Comments (line,
+//! doc, nested block), string literals (plain, raw `r#"…"#`, byte),
+//! char literals, and lifetimes are all recognised so that a rule
+//! token such as `HashMap` inside a doc comment or a format string is
+//! never reported as a violation. Everything that survives is emitted
+//! as a flat token stream with 1-based line/column positions.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `unwrap`, …).
+    Ident,
+    /// Single punctuation character (`.`, `[`, `!`, `:`, …).
+    Punct,
+    /// String/char/number literal (contents are never rule-matched).
+    Literal,
+    /// Lifetime (`'a`) — kept distinct so `'a` is never a char literal.
+    Lifetime,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment, captured verbatim (without the `//` / `/*` markers) so
+/// the rule engine can parse `lint:allow(...)` annotations out of it.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+    /// True when no code token precedes the comment on its line — a
+    /// standalone `// lint:allow` applies to the next code line, a
+    /// trailing one to its own line.
+    pub standalone: bool,
+}
+
+/// Tokenizer output: the code token stream plus captured comments.
+#[derive(Debug, Default)]
+pub struct TokenStream {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Line of the most recently emitted token (for `standalone`).
+    last_tok_line: u32,
+    out: TokenStream,
+}
+
+pub fn tokenize(src: &str) -> TokenStream {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        last_tok_line: 0,
+        out: TokenStream::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn emit(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.last_tok_line = line;
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line, col),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal(line, col);
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line, col),
+                'r' if self.peek(1) == Some('#') && ident_start(self.peek(2)) => {
+                    // Raw identifier r#type — emit without the prefix.
+                    self.bump();
+                    self.bump();
+                    self.ident(line, col);
+                }
+                '\'' => self.quote(line, col),
+                c if ident_start(Some(c)) => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.emit(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+    }
+
+    /// `r"…"`, `r#"…"#`, `br#"…"#` — a raw-string opener at `pos`?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 0;
+        if self.peek(0) == Some('b') {
+            i = 1;
+        }
+        if self.peek(i) != Some('r') {
+            return false;
+        }
+        i += 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let standalone = self.last_tok_line != line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            standalone,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let standalone = self.last_tok_line != line;
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            standalone,
+        });
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.emit(TokKind::Literal, String::new(), line, col);
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    // Close only on `"` followed by exactly `hashes` #s.
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    self.bump();
+                    if ok {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        self.emit(TokKind::Literal, String::new(), line, col);
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'a'`,
+    /// `'\n'`). Escape → char literal; ident-run followed by a closing
+    /// quote → char literal; otherwise lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal.
+            self.bump(); // '
+            self.bump(); // \
+            self.bump(); // escaped char
+            while let Some(c) = self.peek(0) {
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.emit(TokKind::Literal, String::new(), line, col);
+            return;
+        }
+        // Measure the ident-ish run after the quote.
+        let mut i = 1;
+        while ident_continue(self.peek(i)) {
+            i += 1;
+        }
+        if i > 1 && self.peek(i) == Some('\'') {
+            // 'a' / 'word'? (only single chars are valid, but be lax)
+            for _ in 0..=i {
+                self.bump();
+            }
+            self.emit(TokKind::Literal, String::new(), line, col);
+        } else if i == 1 && self.peek(1).is_some() && self.peek(2) == Some('\'') {
+            // Non-ident single char like '+' or ' '.
+            self.bump();
+            self.bump();
+            self.bump();
+            self.emit(TokKind::Literal, String::new(), line, col);
+        } else {
+            // Lifetime.
+            self.bump(); // '
+            let mut name = String::new();
+            while ident_continue(self.peek(0)) {
+                name.push(self.bump().unwrap_or('_'));
+            }
+            self.emit(TokKind::Lifetime, name, line, col);
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while ident_continue(self.peek(0)) {
+            match self.bump() {
+                Some(c) => text.push(c),
+                None => break,
+            }
+        }
+        self.emit(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        // Digits, `_`, alphanumerics (hex, type suffixes), one `.`
+        // only when followed by a digit (so `0..n` stays a range).
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false))
+                || ((c == '+' || c == '-')
+                    && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some('e' | 'E')));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        self.emit(TokKind::Literal, String::new(), line, col);
+    }
+}
+
+fn ident_start(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c.is_alphabetic() || c == '_')
+}
+
+fn ident_continue(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c.is_alphanumeric() || c == '_')
+}

@@ -1,0 +1,264 @@
+//! Fixture tests: one positive and one negative case per rule, plus
+//! the tricky tokenizer cases (rule tokens inside string literals, doc
+//! comments, raw strings, and macro bodies) and the `lint:allow`
+//! escape-hatch grammar.
+
+use mlfs_lint::rules::{scan_source, Finding};
+use mlfs_lint::workspace::check_cargo_toml;
+use mlfs_lint::FilePolicy;
+
+const DET: FilePolicy = FilePolicy {
+    deterministic: true,
+    hot_path: false,
+};
+const HOT: FilePolicy = FilePolicy {
+    deterministic: false,
+    hot_path: true,
+};
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn scan(src: &str, policy: FilePolicy) -> Vec<Finding> {
+    scan_source("fixture.rs", src, policy).0
+}
+
+// ---------------------------------------------------------------- det
+
+#[test]
+fn det_hash_collection_positive() {
+    let f = scan("fn f() { let m: HashMap<u32, u32> = HashMap::new(); }", DET);
+    assert_eq!(rules_of(&f), ["det-hash-collection", "det-hash-collection"]);
+    assert_eq!((f[0].line, f[0].col), (1, 17));
+    let f = scan("fn f(s: &HashSet<u8>) {}", DET);
+    assert_eq!(rules_of(&f), ["det-hash-collection"]);
+}
+
+#[test]
+fn det_hash_collection_negative() {
+    // BTreeMap is the sanctioned container; HashMap inside strings,
+    // doc comments, raw strings and char-adjacent positions is text,
+    // not code.
+    for src in [
+        "fn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }",
+        r#"fn f() { let s = "HashMap::iter is banned"; }"#,
+        "/// Use BTreeMap, never HashMap.\nfn f() {}",
+        r##"fn f() { let s = r#"HashMap"#; }"##,
+        "//! HashMap is discussed here only.\nfn f() {}",
+    ] {
+        assert!(scan(src, DET).is_empty(), "false positive on {src:?}");
+    }
+}
+
+#[test]
+fn det_wall_clock_positive() {
+    let f = scan("fn f() { let t = Instant::now(); }", DET);
+    assert_eq!(rules_of(&f), ["det-wall-clock"]);
+    let f = scan("fn f() { let t = SystemTime::now(); }", DET);
+    assert_eq!(rules_of(&f), ["det-wall-clock"]);
+}
+
+#[test]
+fn det_wall_clock_negative_and_import_rule() {
+    // A use-statement import is reported once, as cfg-std-time, not
+    // as a wall-clock read.
+    let f = scan("use std::time::Instant;\nfn f() {}", DET);
+    assert_eq!(rules_of(&f), ["cfg-std-time"]);
+    // Duration is simulated-time-safe.
+    assert!(scan("use std::time::Duration;\nfn f() {}", DET).is_empty());
+    // `Instant` in a macro body string is text.
+    assert!(scan(r#"fn f() { println!("Instant::now"); }"#, DET).is_empty());
+}
+
+#[test]
+fn det_ambient_rng_positive() {
+    let f = scan("fn f() { let r = thread_rng(); }", DET);
+    assert_eq!(rules_of(&f), ["det-ambient-rng"]);
+    let f = scan("fn f() -> f64 { rand::random() }", DET);
+    assert_eq!(rules_of(&f), ["det-ambient-rng"]);
+    let f = scan("fn f() { let r = StdRng::from_entropy(); }", DET);
+    assert_eq!(rules_of(&f), ["det-ambient-rng"]);
+}
+
+#[test]
+fn det_ambient_rng_negative() {
+    // Seeded streams are the sanctioned source.
+    assert!(scan("fn f() { let r = SimRng::seed_from(7); }", DET).is_empty());
+    // `random` without the `rand::` path is someone's own function.
+    assert!(scan("fn f() { let x = self.random(); }", DET).is_empty());
+}
+
+#[test]
+fn det_float_ord_positive() {
+    let f = scan("fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }", DET);
+    assert_eq!(rules_of(&f), ["det-float-ord"]);
+    let f = scan(
+        "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).expect(\"no NaN\")); }",
+        DET,
+    );
+    assert_eq!(rules_of(&f), ["det-float-ord"]);
+}
+
+#[test]
+fn det_float_ord_negative() {
+    // unwrap_or(Ordering::Equal) and total_cmp are the sanctioned
+    // spellings.
+    for src in [
+        "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap_or(Ordering::Equal); }",
+        "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }",
+    ] {
+        assert!(scan(src, DET).is_empty(), "false positive on {src:?}");
+    }
+}
+
+// ---------------------------------------------------------------- hot
+
+#[test]
+fn panic_unwrap_positive() {
+    let f = scan("fn f(x: Option<u32>) -> u32 { x.unwrap() }", HOT);
+    assert_eq!(rules_of(&f), ["panic-unwrap"]);
+    let f = scan("fn f(x: Option<u32>) -> u32 { x.expect(\"present\") }", HOT);
+    assert_eq!(rules_of(&f), ["panic-unwrap"]);
+}
+
+#[test]
+fn panic_unwrap_negative() {
+    for src in [
+        "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }",
+        // Free function named unwrap is not a method call.
+        "fn unwrap() {} fn f() { unwrap(); }",
+        r#"fn f() { let s = "please .unwrap() me"; }"#,
+        "/// Call `.unwrap()` at your peril.\nfn f() {}",
+    ] {
+        assert!(scan(src, HOT).is_empty(), "false positive on {src:?}");
+    }
+}
+
+#[test]
+fn panic_unwrap_exempt_in_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(scan(src, HOT).is_empty());
+    // #[cfg(not(test))] is NOT test code.
+    let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    assert_eq!(rules_of(&scan(src, HOT)), ["panic-unwrap"]);
+}
+
+#[test]
+fn panic_macro_positive() {
+    for (src, _) in [
+        ("fn f() { panic!(\"boom\"); }", "panic"),
+        ("fn f() { unreachable!(); }", "unreachable"),
+        ("fn f() { todo!(); }", "todo"),
+        ("fn f() { unimplemented!(); }", "unimplemented"),
+    ] {
+        assert_eq!(rules_of(&scan(src, HOT)), ["panic-macro"], "on {src:?}");
+    }
+}
+
+#[test]
+fn panic_macro_negative() {
+    for src in [
+        // The word inside a macro-body string literal is text.
+        r#"fn f() { log(format!("do not panic! stay calm")); }"#,
+        // A function named panic is not the macro.
+        "fn panic() {} fn f() { panic(); }",
+        "// panic! is discussed in this comment only\nfn f() {}",
+    ] {
+        assert!(scan(src, HOT).is_empty(), "false positive on {src:?}");
+    }
+}
+
+#[test]
+fn panic_slice_index_positive() {
+    let f = scan("fn f(v: &[u32], i: usize) -> u32 { v[i] }", HOT);
+    assert_eq!(rules_of(&f), ["panic-slice-index"]);
+    // Chained: call result indexed.
+    let f = scan("fn f() -> u32 { g()[0] }", HOT);
+    assert_eq!(rules_of(&f), ["panic-slice-index"]);
+}
+
+#[test]
+fn panic_slice_index_negative() {
+    for src in [
+        // Array literal, attribute, slice pattern, iterator.
+        "fn f() { let a = [1, 2, 3]; }",
+        "#[derive(Clone)]\nstruct S;",
+        "fn f(v: &[u32]) -> Option<&u32> { v.get(0) }",
+        "fn f() { for x in [1, 2] { let _ = x; } }",
+        "fn f(s: &[u32]) { if let [a, b] = s { let _ = (a, b); } }",
+    ] {
+        assert!(scan(src, HOT).is_empty(), "false positive on {src:?}");
+    }
+}
+
+// ------------------------------------------------------------- config
+
+#[test]
+fn cfg_registry_dep_fixtures() {
+    let bad = "[dependencies]\nrand = \"0.8\"\n";
+    let f = check_cargo_toml("crates/x/Cargo.toml", bad);
+    assert_eq!(rules_of(&f), ["cfg-registry-dep"]);
+    assert_eq!(f[0].line, 2);
+    let good = "[dependencies]\nrand = { path = \"vendor/rand\" }\nsimcore.workspace = true\n";
+    assert!(check_cargo_toml("crates/x/Cargo.toml", good).is_empty());
+}
+
+// --------------------------------------------------------- lint:allow
+
+#[test]
+fn lint_allow_suppresses_on_its_line() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(panic-unwrap) reason=\"fixture\"\n";
+    let (f, stats) = scan_source("fixture.rs", src, HOT);
+    assert!(f.is_empty());
+    assert_eq!(stats.allows_used.get("panic-unwrap"), Some(&1));
+}
+
+#[test]
+fn lint_allow_standalone_targets_next_line() {
+    let src = "// lint:allow(panic-unwrap) reason=\"fixture\"\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let (f, _) = scan_source("fixture.rs", src, HOT);
+    assert!(f.is_empty());
+}
+
+#[test]
+fn lint_allow_wrong_rule_does_not_suppress() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(det-wall-clock) reason=\"wrong rule\"\n";
+    let (f, stats) = scan_source("fixture.rs", src, HOT);
+    assert_eq!(rules_of(&f), ["panic-unwrap"]);
+    assert_eq!(stats.allows_unused.len(), 1);
+}
+
+#[test]
+fn lint_allow_requires_reason() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(panic-unwrap)\n";
+    let (f, _) = scan_source("fixture.rs", src, HOT);
+    assert_eq!(rules_of(&f), ["lint-allow-missing-reason"]);
+}
+
+#[test]
+fn lint_allow_unknown_rule_flagged() {
+    let src = "fn f() {} // lint:allow(no-such-rule) reason=\"typo\"\n";
+    let (f, _) = scan_source("fixture.rs", src, HOT);
+    assert!(rules_of(&f).contains(&"lint-allow-unknown-rule"));
+}
+
+#[test]
+fn lint_allow_multiple_rules() {
+    let src = "fn f(v: &[u32], i: usize) -> u32 { v[i].clone().max(0) } // lint:allow(panic-slice-index, panic-unwrap) reason=\"fixture\"\n";
+    let (f, stats) = scan_source("fixture.rs", src, HOT);
+    assert!(f.is_empty());
+    assert_eq!(stats.allows_used.get("panic-slice-index"), Some(&1));
+}
+
+// ------------------------------------------------------- out of tier
+
+#[test]
+fn out_of_tier_files_are_silent() {
+    let src = "fn f() { let m = HashMap::new(); Some(1).unwrap(); panic!(); }";
+    let (f, stats) = scan_source("fixture.rs", src, FilePolicy::NONE);
+    assert!(f.is_empty());
+    assert_eq!(stats.allows_total, 0);
+}

@@ -1,0 +1,64 @@
+//! The linter applied to its own workspace: the committed tree must be
+//! clean against the committed `lint-baseline.toml`, and the scan must
+//! be deterministic.
+
+use mlfs_lint::{scan_workspace, Baseline};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = workspace_root();
+    let baseline_path = root.join("lint-baseline.toml");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", baseline_path.display()));
+    let baseline = Baseline::parse(&text).expect("committed baseline parses");
+    let report = scan_workspace(&root, &baseline).expect("workspace scans");
+
+    assert!(report.files_scanned > 100, "walker found the workspace");
+    assert!(
+        report.is_clean(),
+        "workspace has findings above the committed baseline:\n{}",
+        mlfs_lint::render_text(&report)
+    );
+    // The baseline must not be stale either: every accepted count is
+    // still fully used, so burn-down progress is always locked in.
+    assert!(
+        report.stale.is_empty(),
+        "stale baseline entries (regenerate with --write-baseline): {:?}",
+        report.stale
+    );
+    // Every lint:allow annotation in the tree must still suppress
+    // something — the escape hatch is audited, not decorative.
+    assert!(
+        report.stats.allows_unused.is_empty(),
+        "unused lint:allow annotations: {:?}",
+        report.stats.allows_unused
+    );
+}
+
+#[test]
+fn scan_is_deterministic() {
+    let root = workspace_root();
+    let a = scan_workspace(&root, &Baseline::empty()).expect("scan");
+    let b = scan_workspace(&root, &Baseline::empty()).expect("scan");
+    assert_eq!(a.findings, b.findings);
+    assert_eq!(a.files_scanned, b.files_scanned);
+}
+
+#[test]
+fn deterministic_tier_has_no_determinism_findings() {
+    // The determinism rules hold with zero baseline entries: only
+    // panic-slice-index (hot-path tier) is currently baselined.
+    let root = workspace_root();
+    let report = scan_workspace(&root, &Baseline::empty()).expect("scan");
+    let det: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule.starts_with("det-") || f.rule.starts_with("cfg-"))
+        .collect();
+    assert!(det.is_empty(), "determinism/config findings: {det:?}");
+}

@@ -12,6 +12,10 @@
 //! Plus small formatting helpers so the bench binaries print the same
 //! rows/series the paper reports.
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod run;
 pub mod table;
 

@@ -18,6 +18,10 @@
 //! Gradient correctness is enforced by finite-difference property
 //! tests, and an end-to-end test learns XOR.
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod batch;
 pub mod matrix;
 pub mod mlp;

@@ -201,7 +201,9 @@ impl Mlp {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(x.to_vec());
         for l in &self.layers {
-            let prev = acts.last().unwrap();
+            let Some(prev) = acts.last() else {
+                break; // non-empty by construction: pushed above
+            };
             let mut z = l.w.matvec(prev);
             for (zi, bi) in z.iter_mut().zip(&l.b) {
                 *zi = l.act.apply(*zi + bi);
@@ -395,7 +397,8 @@ impl Mlp {
             }
         }
         grads.samples += 1;
-        acts.into_iter().last().unwrap()
+        // Non-empty: forward_cached always pushes the input layer.
+        acts.into_iter().last().unwrap_or_default()
     }
 
     /// Apply a parameter update: `θ += k · g` layer-wise (used by the

@@ -19,6 +19,10 @@
 //! steady-state hot path while staying bit-identical to the
 //! per-candidate formulation.
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod policy;
 pub mod trainer;
 

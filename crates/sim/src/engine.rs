@@ -22,7 +22,7 @@ use mlfs::placement::migration_state_mb;
 use mlfs::{Action, Scheduler, SchedulerContext};
 use simcore::{SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
+use std::time::Instant; // lint:allow(cfg-std-time) reason="wall-time decision-latency metrics only; never feeds simulated time or scheduling state"
 use workload::{JobSpec, JobState, StopReason, TaskRunState};
 
 /// Straggler injection (the paper's §3.3.3 "future work" extension).
@@ -242,7 +242,10 @@ impl Simulation {
                 cluster: &self.cluster,
                 queue: &self.queue,
             };
-            let started = Instant::now();
+            // Wall-clock timing of the scheduler call itself, recorded
+            // as an observability metric (decision_times_ms); it never
+            // influences simulated time or any scheduling decision.
+            let started = Instant::now(); // lint:allow(det-wall-clock) reason="measures real decision latency for BENCH_scheduler.json; scheduler-invisible"
             let actions = scheduler.schedule(&ctx);
             self.metrics
                 .decision_times_ms
@@ -402,7 +405,10 @@ impl Simulation {
 
     /// Finish a job: free resources, purge the queue, record metrics.
     fn complete_job(&mut self, id: JobId, at: SimTime, reason: StopReason) {
-        let job = self.jobs.get_mut(&id).expect("completing unknown job");
+        // An unknown or already-finished job makes completion a no-op.
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
         if job.is_finished() {
             return;
         }
@@ -452,15 +458,23 @@ impl Simulation {
                         self.metrics.invalid_actions += 1;
                         continue;
                     }
-                    let job = &self.jobs[&task.job];
-                    let spec = &job.spec.tasks[task.idx as usize];
-                    match self
-                        .cluster
-                        .place(task, server, spec.demand, spec.gpu_share)
+                    let (demand, gpu_share) = match self
+                        .jobs
+                        .get(&task.job)
+                        .and_then(|j| j.spec.tasks.get(task.idx as usize))
                     {
+                        Some(spec) => (spec.demand, spec.gpu_share),
+                        None => {
+                            self.metrics.invalid_actions += 1;
+                            continue;
+                        }
+                    };
+                    match self.cluster.place(task, server, demand, gpu_share) {
                         Ok(gpu) => {
-                            self.jobs.get_mut(&task.job).unwrap().task_states[task.idx as usize] =
-                                TaskRunState::Running { server, gpu };
+                            if let Some(j) = self.jobs.get_mut(&task.job) {
+                                j.task_states[task.idx as usize] =
+                                    TaskRunState::Running { server, gpu };
+                            }
                             self.queue.retain(|t| *t != task);
                         }
                         Err(_) => self.metrics.invalid_actions += 1,
@@ -483,13 +497,20 @@ impl Simulation {
                         self.metrics.invalid_actions += 1;
                         continue;
                     }
-                    let job = &self.jobs[&task.job];
-                    let state_mb = migration_state_mb(job, task.idx as usize);
+                    let state_mb = match self.jobs.get(&task.job) {
+                        Some(job) => migration_state_mb(job, task.idx as usize),
+                        None => {
+                            self.metrics.invalid_actions += 1;
+                            continue;
+                        }
+                    };
                     let was_remote = self.cluster.locate(task) != Some(to);
                     match self.cluster.migrate(task, to, state_mb) {
                         Ok(gpu) => {
-                            self.jobs.get_mut(&task.job).unwrap().task_states[task.idx as usize] =
-                                TaskRunState::Running { server: to, gpu };
+                            if let Some(j) = self.jobs.get_mut(&task.job) {
+                                j.task_states[task.idx as usize] =
+                                    TaskRunState::Running { server: to, gpu };
+                            }
                             self.stragglers.remove(&task);
                             if was_remote {
                                 self.window.transferred_mb += state_mb;
@@ -516,8 +537,10 @@ impl Simulation {
                     }
                     self.cluster.remove(task);
                     self.stragglers.remove(&task);
-                    self.jobs.get_mut(&task.job).unwrap().task_states[task.idx as usize] =
-                        TaskRunState::Waiting { since: self.now };
+                    if let Some(j) = self.jobs.get_mut(&task.job) {
+                        j.task_states[task.idx as usize] =
+                            TaskRunState::Waiting { since: self.now };
+                    }
                     self.queue.push(task);
                 }
                 Action::StopJob { job, reason } => {
@@ -672,7 +695,9 @@ impl Simulation {
             // the checkpoint interval is destroyed and its GPU time
             // (at the job's ideal per-iteration rate, over all its
             // tasks' GPU shares) is charged as lost.
-            let job = self.jobs.get_mut(&id).expect("affected job exists");
+            let Some(job) = self.jobs.get_mut(&id) else {
+                continue;
+            };
             let floor = (job.iterations / interval).floor() * interval;
             let lost_iters = job.iterations - floor;
             if lost_iters > 0.0 {
@@ -699,8 +724,9 @@ impl Simulation {
                 for t in suspend {
                     self.cluster.remove(t);
                     self.stragglers.remove(&t);
-                    self.jobs.get_mut(&id).unwrap().task_states[t.idx as usize] =
-                        TaskRunState::Waiting { since: self.now };
+                    if let Some(j) = self.jobs.get_mut(&id) {
+                        j.task_states[t.idx as usize] = TaskRunState::Waiting { since: self.now };
+                    }
                     self.queue.push(t);
                 }
             }

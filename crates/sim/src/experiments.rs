@@ -99,18 +99,16 @@ impl Experiment {
         warm_exp.trace.seed = warm_exp.trace.seed.wrapping_add(0x5747_11AA);
         let mut warm = mlfs::Mlfs::rl(params, rl_cfg.clone());
         warm_exp.run(&mut warm);
-        let policy = warm
-            .rl_mut()
-            .expect("RL variant has an RL component")
-            .export_policy();
+        // `Mlfs::rl` always carries an RL component; if it ever does
+        // not, evaluate untrained rather than abort the experiment.
+        let policy = warm.rl_mut().map(|rl| rl.export_policy());
 
         // Evaluation scheduler: trained policy, greedy, no imitation.
         let mut eval = match name {
             "MLF-RL" => mlfs::Mlfs::rl(params, rl_cfg),
             _ => mlfs::Mlfs::full(params, rl_cfg),
         };
-        {
-            let rl = eval.rl_mut().expect("RL variant has an RL component");
+        if let (Some(rl), Some(policy)) = (eval.rl_mut(), policy) {
             rl.import_policy(policy);
             rl.set_explore(false);
         }
@@ -134,8 +132,10 @@ impl Experiment {
             "MLF-H" => Box::new(mlfs::Mlfs::heuristic(params)),
             "MLF-RL" => Box::new(mlfs::Mlfs::rl(params, rl_cfg)),
             "MLFS" => Box::new(mlfs::Mlfs::full(params, rl_cfg)),
+            // Config-time validation of a caller-supplied name, before
+            // any simulation starts — failing fast here is correct.
             other => baselines::by_name(other, seed)
-                .unwrap_or_else(|| panic!("unknown scheduler {other}")),
+                .unwrap_or_else(|| panic!("unknown scheduler {other}")), // lint:allow(panic-macro) reason="experiment-setup validation of a user-supplied scheduler name; no simulation is running yet"
         }
     }
 }

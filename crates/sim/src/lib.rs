@@ -46,6 +46,10 @@
 //! assert!(metrics.avg_jct_mins() > 0.0);
 //! ```
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod engine;
 pub mod experiments;
 pub mod progress;

@@ -110,7 +110,10 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
         if !active[k] {
             continue;
         }
-        let (server, gpu) = placed[k].expect("active tasks are placed");
+        // Active implies placed by construction; skip, never panic.
+        let Some((server, gpu)) = placed[k] else {
+            continue;
+        };
         let speed = cluster.server(server).gpu_speed_factor(gpu);
         let compute = spec.tasks[k].compute.as_secs_f64() / speed.max(1e-6);
         let mut start: f64 = 0.0;
@@ -119,7 +122,9 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
             if !active[p] {
                 continue;
             }
-            let (pserver, _) = placed[p].expect("active tasks are placed");
+            let Some((pserver, _)) = placed[p] else {
+                continue;
+            };
             let link = if pserver == server {
                 0.0
             } else {
@@ -149,12 +154,17 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
         .collect();
     match spec.comm {
         CommStructure::ParameterServer => {
-            let (ps_server, ps_gpu) = placed[n].expect("checked above");
+            // Guarded by the has_param_server early return above.
+            let Some((ps_server, ps_gpu)) = placed[n] else {
+                return JobRate::default();
+            };
             let ps_speed = cluster.server(ps_server).gpu_speed_factor(ps_gpu);
             let ps_compute = spec.tasks[n].compute.as_secs_f64() / ps_speed.max(1e-6);
             let mut sync: f64 = 0.0;
             for &s in &sinks {
-                let (sserver, _) = placed[s].expect("active tasks are placed");
+                let Some((sserver, _)) = placed[s] else {
+                    continue;
+                };
                 if sserver != ps_server {
                     cross_mb += spec.comm_mb;
                     sync = sync.max(
@@ -171,8 +181,11 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
             let mut sync: f64 = 0.0;
             if sinks.len() > 1 {
                 for w in 0..sinks.len() {
-                    let a = placed[sinks[w]].expect("active").0;
-                    let b = placed[sinks[(w + 1) % sinks.len()]].expect("active").0;
+                    let (Some((a, _)), Some((b, _))) =
+                        (placed[sinks[w]], placed[sinks[(w + 1) % sinks.len()]])
+                    else {
+                        continue;
+                    };
                     if a != b {
                         cross_mb += spec.comm_mb;
                         sync = sync.max(topology.transfer_time(a, b, spec.comm_mb).as_secs_f64());

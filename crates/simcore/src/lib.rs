@@ -16,6 +16,10 @@
 //! The engine itself is generic over the event payload; the `sim` crate
 //! instantiates it with cluster events (arrivals, ticks, completions).
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod queue;
 pub mod rng;
 pub mod time;

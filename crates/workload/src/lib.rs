@@ -40,6 +40,10 @@
 //! assert!([1, 2, 4, 8, 16, 32].contains(&job.worker_count()));
 //! ```
 
+// Panic-freedom is machine-checked twice: crate-wide here (clippy,
+// non-test code only) and structurally by `cargo run -p mlfs-lint`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod algorithms;
 pub mod curves;
 pub mod dag;
