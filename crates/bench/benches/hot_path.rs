@@ -9,7 +9,9 @@
 //!   candidate set (the MLF-RL inference primitive);
 //! * `mlfrl_decision` — one complete MLF-RL scheduling round (greedy
 //!   policy, no imitation warm-up), the number the ≤200µs/decision
-//!   target tracks.
+//!   target tracks;
+//! * `mlfrl_decision_traced` — the same round with a disabled-sink
+//!   tracer attached, guarding the ≤2% no-op observability budget.
 //!
 //! ```sh
 //! cargo bench -p mlfs-bench --bench hot_path
@@ -88,6 +90,30 @@ fn bench_hot_path(c: &mut Criterion) {
                 queue: &queue,
             };
             black_box(rl_sched.schedule(&ctx))
+        })
+    });
+
+    // Identical round with a no-op tracer attached: counters tick but
+    // no sink runs. The delta against `mlfrl_decision` is the
+    // observability tax, budgeted at ≤2%.
+    let mut traced_sched = mlfs::Mlfs::rl(
+        mlfs::Params::default(),
+        mlfs::MlfRlConfig {
+            imitation_rounds: 0,
+            explore: false,
+            ..Default::default()
+        },
+    );
+    traced_sched.attach_tracer(std::sync::Arc::new(obs::Tracer::disabled()));
+    group.bench_function("mlfrl_decision_traced", |b| {
+        b.iter(|| {
+            let ctx = SchedulerContext {
+                now: SimTime::from_mins(30),
+                jobs: &jobs,
+                cluster: &cluster,
+                queue: &queue,
+            };
+            black_box(traced_sched.schedule(&ctx))
         })
     });
     group.finish();

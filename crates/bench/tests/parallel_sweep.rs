@@ -17,10 +17,10 @@ fn run_with(threads: usize) -> Vec<String> {
         .iter()
         .flat_map(|c| c.runs.iter())
         .map(|m| {
-            // `decision_times_ms` is wall-clock scheduler overhead, not
-            // simulation state — it legitimately varies run to run.
+            // Wall-clock timing fields are scheduler overhead, not
+            // simulation state — they legitimately vary run to run.
             let mut m = m.clone();
-            m.decision_times_ms.clear();
+            m.clear_wall_clock();
             serde_json::to_string(&m).expect("serializable metrics")
         })
         .collect()

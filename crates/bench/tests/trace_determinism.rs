@@ -1,0 +1,71 @@
+//! The obs layer must be a pure observer: attaching a JSONL trace
+//! sink may not change a single scheduling decision. Every figure
+//! scheduler runs the same seeded experiment twice — tracing disabled
+//! and tracing to a file — and the serialized `RunMetrics` (minus the
+//! wall-clock timing fields) must be bit-identical. The emitted trace
+//! itself must be non-empty, line-parseable JSONL.
+
+use baselines::FIGURE_SCHEDULERS;
+
+fn run_once(name: &str, trace: obs::TraceConfig) -> String {
+    let mut e = mlfs_sim::experiments::fig4(0.25, 64.0, 7);
+    e.trace.jobs = 8; // cheap: determinism, not statistics, is the point
+    e.sim.trace = trace;
+    let mut scheduler = e.scheduler(name, 7);
+    let mut m = e.run(scheduler.as_mut());
+    m.clear_wall_clock();
+    serde_json::to_string(&m).expect("serializable metrics")
+}
+
+#[test]
+fn jsonl_tracing_never_perturbs_scheduling() {
+    for name in FIGURE_SCHEDULERS {
+        let off = run_once(name, obs::TraceConfig::Disabled);
+        let slug: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = std::env::temp_dir().join(format!("mlfs_trace_det_{slug}.jsonl"));
+        let on = run_once(name, obs::TraceConfig::Jsonl { path: path.clone() });
+        assert_eq!(off, on, "{name}: enabling the trace sink perturbed the run");
+
+        let text = std::fs::read_to_string(&path).expect("trace file written");
+        std::fs::remove_file(&path).ok();
+        // Round/span events flow for every scheduler, instrumented or
+        // not, and each line must survive the round-trip parser.
+        assert!(
+            text.lines().count() > 0,
+            "{name}: trace file came out empty"
+        );
+        for line in text.lines() {
+            assert!(
+                obs::TraceEvent::from_json_line(line).is_some(),
+                "{name}: unparseable trace line: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_sink_retains_the_newest_events() {
+    let mut e = mlfs_sim::experiments::fig4(0.25, 64.0, 7);
+    e.trace.jobs = 8;
+    e.sim.trace = obs::TraceConfig::Ring { capacity: 64 };
+    let sim = mlfs_sim::engine::Simulation::new(e.sim.clone(), e.jobs());
+    let tracer = sim.tracer();
+    let mut scheduler = e.scheduler("MLF-H", 7);
+    let m = sim.run(scheduler.as_mut());
+    let events = tracer.buffered();
+    assert_eq!(events.len(), 64, "ring must fill to capacity");
+    // The newest retained events cover the final rounds of the run.
+    let last_round = events
+        .iter()
+        .filter_map(|ev| match ev {
+            obs::TraceEvent::RoundEnd { round, .. } => Some(*round),
+            _ => None,
+        })
+        .max();
+    assert_eq!(last_round, Some(m.rounds));
+    // Counters made it into the metrics too.
+    assert!(m.telemetry.placements > 0);
+}

@@ -35,6 +35,9 @@ pub struct ServerBlacklist {
     max_rounds: u64,
     round: u64,
     entries: BTreeMap<ServerId, Entry>,
+    /// Strikes registered by the most recent `observe` call, as
+    /// `(server, total strikes)` — consumed by telemetry.
+    new_strikes: Vec<(ServerId, u32)>,
 }
 
 impl Default for ServerBlacklist {
@@ -44,15 +47,19 @@ impl Default for ServerBlacklist {
             max_rounds: 120,
             round: 0,
             entries: BTreeMap::new(),
+            new_strikes: Vec::new(),
         }
     }
 }
 
 impl ServerBlacklist {
     /// Advance one scheduler round and fold in the current health of
-    /// every server. Call exactly once per `plan()`.
-    pub fn observe<V: ClusterView>(&mut self, view: &V) {
+    /// every server. Call exactly once per `plan()`. Returns the
+    /// number of *new* strikes (crash edges) seen this round;
+    /// [`ServerBlacklist::recent_strikes`] lists them.
+    pub fn observe<V: ClusterView>(&mut self, view: &V) -> u32 {
         self.round += 1;
+        self.new_strikes.clear();
         for i in 0..view.server_count() {
             let sid = ServerId(i as u32);
             let down = matches!(view.server(sid).health(), HealthState::Down { .. });
@@ -60,6 +67,7 @@ impl ServerBlacklist {
             if down && !e.down {
                 // Crash edge: one strike per distinct outage.
                 e.strikes += 1;
+                self.new_strikes.push((sid, e.strikes));
             } else if !down && e.down {
                 // Recovery edge: start the backoff window.
                 let shift = e.strikes.min(20).saturating_sub(1);
@@ -71,6 +79,13 @@ impl ServerBlacklist {
             }
             e.down = down;
         }
+        self.new_strikes.len() as u32
+    }
+
+    /// The `(server, total strikes)` pairs struck by the most recent
+    /// `observe` call (crash edges only; empty on healthy rounds).
+    pub fn recent_strikes(&self) -> &[(ServerId, u32)] {
+        &self.new_strikes
     }
 
     /// Whether placement should avoid `server` this round.
@@ -140,6 +155,20 @@ mod tests {
         }
         assert!(!bl.is_banned(sid));
         assert!(!bl.any_banned());
+    }
+
+    #[test]
+    fn observe_reports_new_strikes() {
+        let mut c = cluster();
+        let mut bl = ServerBlacklist::default();
+        assert_eq!(bl.observe(&c), 0);
+        c.fail_server(ServerId(0), None);
+        c.fail_server(ServerId(2), None);
+        assert_eq!(bl.observe(&c), 2);
+        assert_eq!(bl.recent_strikes(), &[(ServerId(0), 1), (ServerId(2), 1)]);
+        // Staying down is not a new strike.
+        assert_eq!(bl.observe(&c), 0);
+        assert!(bl.recent_strikes().is_empty());
     }
 
     #[test]

@@ -166,6 +166,17 @@ impl Scheduler for Mlfs {
             rl.observe_reward(reward);
         }
     }
+
+    fn attach_tracer(&mut self, tracer: std::sync::Arc<obs::Tracer>) {
+        // MLF-C stop decisions surface as engine-side `JobStopped`
+        // events, so only the placement components take the handle.
+        if let Some(h) = &mut self.h {
+            h.attach_tracer(tracer.clone());
+        }
+        if let Some(rl) = &mut self.rl {
+            rl.attach_tracer(tracer);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,9 @@ fn squash(x: f64) -> f64 {
 /// Features describing the task itself (first 12 dims).
 fn task_features(job: &JobState, task_idx: usize, now: SimTime, p: &Params) -> [f64; 12] {
     let spec = &job.spec;
-    let t = &spec.tasks[task_idx];
+    let Some(t) = spec.tasks.get(task_idx) else {
+        return [0.0; 12];
+    };
     let slack_h = spec.deadline.since(now).as_hours_f64();
     [
         1.0 / job.current_iteration().max(1.0),
@@ -98,34 +100,40 @@ pub fn candidate_features_into<V: ClusterView>(
 ) {
     debug_assert_eq!(out.dim(), FEATURE_DIM);
     let tf = task_features(job, task.idx as usize, now, p);
-    let row = out.push_row();
-    row[..12].copy_from_slice(&tf);
-    row[12] = if heuristic_pick { 1.0 } else { 0.0 };
-    match server {
-        Some(sid) => {
+    let hp = if heuristic_pick { 1.0 } else { 0.0 };
+    // Dims 12..=20: heuristic-pick flag, four utilizations, affinity,
+    // no-fit flag, least-loaded-GPU utilization, queue-option flag.
+    // The queue option keeps the sentinel zeros everywhere but dim 20.
+    let tail: [f64; 9] = match (server, job.spec.tasks.get(task.idx as usize)) {
+        (Some(sid), Some(spec)) => {
             let srv = cluster.server(sid);
             let u = srv.utilization();
-            let spec = &job.spec.tasks[task.idx as usize];
             let neighbors = crate::placement::comm_degree(job, task.idx as usize) as f64;
             let max_affinity = (neighbors * job.spec.comm_mb).max(1.0);
-            row[13] = u.get(Resource::GpuCompute);
-            row[14] = u.get(Resource::Cpu);
-            row[15] = u.get(Resource::Memory);
-            row[16] = u.get(Resource::NetBw);
-            row[17] = affinity_mb(job, task.idx as usize, sid, cluster) / max_affinity;
-            row[18] = if srv.can_host(&spec.demand, spec.gpu_share, p.h_r) {
-                0.0
-            } else {
-                1.0
-            };
-            row[19] = srv.gpu_utilization(srv.least_loaded_gpu());
-            row[20] = 0.0; // not the queue option
+            [
+                hp,
+                u.get(Resource::GpuCompute),
+                u.get(Resource::Cpu),
+                u.get(Resource::Memory),
+                u.get(Resource::NetBw),
+                affinity_mb(job, task.idx as usize, sid, cluster) / max_affinity,
+                if srv.can_host(&spec.demand, spec.gpu_share, p.h_r) {
+                    0.0
+                } else {
+                    1.0
+                },
+                srv.gpu_utilization(srv.least_loaded_gpu()),
+                0.0, // not the queue option
+            ]
         }
-        None => {
-            // Queue option: rows are pushed zero-filled, so dims
-            // 13..20 already hold the sentinel zeros.
-            row[20] = 1.0;
+        (s, _) => {
+            let queue_flag = if s.is_none() { 1.0 } else { 0.0 };
+            [hp, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, queue_flag]
         }
+    };
+    let row = out.push_row();
+    for (slot, v) in row.iter_mut().zip(tf.into_iter().chain(tail)) {
+        *slot = v;
     }
 }
 

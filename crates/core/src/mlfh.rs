@@ -44,6 +44,8 @@ pub struct MlfH {
     /// Crash history: recently-failed servers are avoided with
     /// exponential backoff (soft — ignored when nothing else fits).
     blacklist: ServerBlacklist,
+    /// Telemetry hub (attached by the engine; `None` in bare use).
+    tracer: Option<std::sync::Arc<obs::Tracer>>,
 }
 
 impl MlfH {
@@ -53,6 +55,7 @@ impl MlfH {
             params,
             last_decisions: Vec::new(),
             blacklist: ServerBlacklist::default(),
+            tracer: None,
         }
     }
 
@@ -108,8 +111,28 @@ impl MlfH {
     /// can inspect the final speculative state).
     fn plan(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
         let p = self.params;
+        let now_mins = ctx.now.as_mins_f64();
+        // Cloning the Arc (when attached) keeps the span guard's
+        // borrow off `self`, which the loop below mutates.
+        let tracer = self.tracer.clone();
+        let _plan_span = tracer.as_ref().map(|t| obs::span!(t, mlfh_plan));
         self.last_decisions.clear();
-        self.blacklist.observe(ctx.cluster);
+        let strikes = self.blacklist.observe(ctx.cluster);
+        if let Some(t) = tracer.as_deref() {
+            if strikes > 0 {
+                t.add(obs::Counter::BlacklistStrikes, strikes as u64);
+                for &(sid, total) in self.blacklist.recent_strikes() {
+                    obs::event!(
+                        t,
+                        BlacklistStrike {
+                            t: now_mins,
+                            server: sid.0,
+                            strikes: total,
+                        }
+                    );
+                }
+            }
+        }
         let bl = &self.blacklist;
         // Host selection avoiding recently-crashed servers; falls back
         // to the unfiltered pick so bans never stall the queue. With no
@@ -173,9 +196,10 @@ impl MlfH {
             }
         }
         let mut job_order: Vec<cluster::JobId> = job_key.keys().copied().collect();
+        let key_of = |j: &cluster::JobId| job_key.get(j).copied().unwrap_or(f64::NEG_INFINITY);
         job_order.sort_by(|a, b| {
-            job_key[b]
-                .partial_cmp(&job_key[a])
+            key_of(b)
+                .partial_cmp(&key_of(a))
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.cmp(b))
         });
@@ -191,7 +215,9 @@ impl MlfH {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.0.cmp(&b.0))
             });
-            let job = &ctx.jobs[&jid];
+            let Some(job) = ctx.jobs.get(&jid) else {
+                continue;
+            };
 
             // Migration victims: individual re-placement. When no
             // underloaded server can host a victim, it stays where it
@@ -204,12 +230,26 @@ impl MlfH {
                 let Origin::Server(src) = *origin else {
                     continue;
                 };
-                let spec = &job.spec.tasks[task.idx as usize];
+                let Some(spec) = job.spec.tasks.get(task.idx as usize) else {
+                    continue;
+                };
                 match pick(&plan, *task, Some(src)) {
                     Some(host) if plan.place(*task, host, spec.demand, spec.gpu_share).is_ok() => {
                         self.last_decisions.push((*task, host));
                         if src != host {
-                            let _ = migration_state_mb(job, task.idx as usize);
+                            if let Some(t) = tracer.as_deref() {
+                                obs::event!(
+                                    t,
+                                    Migration {
+                                        t: now_mins,
+                                        job: task.job.0,
+                                        task: task.idx as u32,
+                                        from: src.0,
+                                        to: host.0,
+                                        state_mb: migration_state_mb(job, task.idx as usize),
+                                    }
+                                );
+                            }
                             actions.push(Action::Migrate {
                                 task: *task,
                                 to: host,
@@ -242,7 +282,10 @@ impl MlfH {
             placed.clear();
             let mut ok = true;
             for &task in &waiting {
-                let spec = &job.spec.tasks[task.idx as usize];
+                let Some(spec) = job.spec.tasks.get(task.idx as usize) else {
+                    ok = false;
+                    break;
+                };
                 match pick(&plan, task, None) {
                     Some(host) if plan.place(task, host, spec.demand, spec.gpu_share).is_ok() => {
                         placed.push((task, host));
@@ -256,6 +299,18 @@ impl MlfH {
             if ok {
                 for &(task, host) in &placed {
                     self.last_decisions.push((task, host));
+                    if let Some(t) = tracer.as_deref() {
+                        obs::event!(
+                            t,
+                            Placement {
+                                t: now_mins,
+                                job: task.job.0,
+                                task: task.idx as u32,
+                                server: host.0,
+                                score: priorities.get(&task).unwrap_or(0.0),
+                            }
+                        );
+                    }
                     actions.push(Action::Place { task, server: host });
                 }
             } else {
@@ -275,6 +330,10 @@ impl Scheduler for MlfH {
 
     fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
         self.plan(ctx)
+    }
+
+    fn attach_tracer(&mut self, tracer: std::sync::Arc<obs::Tracer>) {
+        self.tracer = Some(tracer);
     }
 }
 

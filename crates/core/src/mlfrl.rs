@@ -105,6 +105,8 @@ pub struct MlfRl {
     /// candidate set with exponential backoff (the RIAL fallback pick
     /// ignores the ban when nothing else fits, so no round stalls).
     blacklist: ServerBlacklist,
+    /// Telemetry hub (attached by the engine; `None` in bare use).
+    tracer: Option<std::sync::Arc<obs::Tracer>>,
 }
 
 impl MlfRl {
@@ -126,6 +128,7 @@ impl MlfRl {
             episodes_trained: 0,
             scratch: RlScratch::default(),
             blacklist: ServerBlacklist::default(),
+            tracer: None,
             cfg,
         }
     }
@@ -201,8 +204,14 @@ impl MlfRl {
         ranked: &mut Vec<(f64, ServerId)>,
         out: &mut Vec<ServerId>,
     ) {
-        let job = &ctx.jobs[&task.job];
-        let spec = &job.spec.tasks[task.idx as usize];
+        out.clear();
+        let Some(spec) = ctx
+            .jobs
+            .get(&task.job)
+            .and_then(|job| job.spec.tasks.get(task.idx as usize))
+        else {
+            return;
+        };
         // Softer admission limit than MLF-H's fixed h_r: the paper
         // motivates MLF-RL by MLF-H's possibly sub-optimal fixed
         // parameters (§3.4). The policy is shown these riskier hosts
@@ -249,7 +258,9 @@ impl MlfRl {
         // below) so the loop can mutate `self` without cloning it.
         let decisions = std::mem::take(&mut self.inner_h.last_decisions);
         for &(task, chosen) in &decisions {
-            let job = &ctx.jobs[&task.job];
+            let Some(job) = ctx.jobs.get(&task.job) else {
+                continue;
+            };
             // Migration decisions move an already-placed task: detach
             // it first so the plan mirrors MLF-H's speculative state.
             plan.remove(task);
@@ -297,17 +308,21 @@ impl MlfRl {
                 &self.params,
                 &mut feats,
             );
+            if let Some(t) = self.tracer.as_deref() {
+                t.add(obs::Counter::CandidatesScored, feats.rows() as u64);
+            }
             self.imitation_buffer.push(Step {
                 candidates: feats,
                 action: action_idx,
             });
             servers.clear();
             self.scratch.servers = servers;
-            let spec = &job.spec.tasks[task.idx as usize];
             // MLF-H already committed to this placement on its own
             // overlay; if the replay overlay still refuses (the host
             // failed mid-round), the features simply under-count it.
-            let _ = plan.place(task, chosen, spec.demand, spec.gpu_share);
+            if let Some(spec) = job.spec.tasks.get(task.idx as usize) {
+                let _ = plan.place(task, chosen, spec.demand, spec.gpu_share);
+            }
         }
         self.inner_h.last_decisions = decisions;
         // Bound the buffer (drop oldest, recycling their batches).
@@ -386,23 +401,40 @@ impl MlfRl {
         let mut runs: Vec<(usize, usize)> = Vec::new();
         let mut start = 0;
         for i in 1..=work.len() {
-            if i == work.len() || work[i].0.job != work[start].0.job {
+            let boundary = match (work.get(i), work.get(start)) {
+                (Some(a), Some(b)) => a.0.job != b.0.job,
+                _ => true,
+            };
+            if boundary {
                 runs.push((start, i));
                 start = i;
             }
         }
+        // Run heads carry each job's max priority; missing indices
+        // (impossible — runs index into `work`) sink to the end.
+        let head = |r: &(usize, usize)| {
+            work.get(r.0)
+                .map(|w| (w.1, w.0.job))
+                .unwrap_or((f64::NEG_INFINITY, cluster::JobId(u32::MAX)))
+        };
         runs.sort_by(|a, b| {
-            work[b.0]
-                .1
-                .partial_cmp(&work[a.0].1)
+            let (pa, ja) = head(a);
+            let (pb, jb) = head(b);
+            pb.partial_cmp(&pa)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| work[a.0].0.job.cmp(&work[b.0].0.job))
+                .then_with(|| ja.cmp(&jb))
         });
 
         for &(lo, hi) in &runs {
-            let group = &work[lo..hi];
-            let jid = group[0].0.job;
-            let job = &ctx.jobs[&jid];
+            let Some(group) = work.get(lo..hi) else {
+                continue;
+            };
+            let Some(jid) = group.first().map(|g| g.0.job) else {
+                continue;
+            };
+            let Some(job) = ctx.jobs.get(&jid) else {
+                continue;
+            };
 
             // One policy decision for `task`; returns the chosen host.
             let decide = |this: &mut Self,
@@ -469,11 +501,21 @@ impl MlfRl {
                 } else {
                     this.trainer.policy.greedy(&feats)
                 };
-                let host = if choice < servers.len() {
-                    Some(servers[choice])
-                } else {
-                    None
-                };
+                let host = servers.get(choice).copied();
+                if let Some(t) = this.tracer.as_deref() {
+                    t.add(obs::Counter::CandidatesScored, feats.rows() as u64);
+                    obs::event!(
+                        t,
+                        PolicyDecision {
+                            t: ctx.now.as_mins_f64(),
+                            job: task.job.0,
+                            task: task.idx as u32,
+                            candidates: feats.rows() as u32,
+                            chosen: choice as u32,
+                            queued: host.is_none(),
+                        }
+                    );
+                }
                 servers.clear();
                 this.scratch.servers = servers;
                 this.pending.push(Step {
@@ -489,7 +531,9 @@ impl MlfRl {
                 let Origin::Server(src) = *origin else {
                     continue;
                 };
-                let spec = &job.spec.tasks[task.idx as usize];
+                let Some(spec) = job.spec.tasks.get(task.idx as usize) else {
+                    continue;
+                };
                 match decide(self, &plan, *task, Some(src)) {
                     Some(host) if plan.place(*task, host, spec.demand, spec.gpu_share).is_ok() => {
                         if src != host {
@@ -521,7 +565,10 @@ impl MlfRl {
             let mut placed: Vec<(TaskId, ServerId)> = Vec::new();
             let mut ok = true;
             for &task in &waiting {
-                let spec = &job.spec.tasks[task.idx as usize];
+                let Some(spec) = job.spec.tasks.get(task.idx as usize) else {
+                    ok = false;
+                    break;
+                };
                 match decide(self, &plan, task, None) {
                     Some(host) if plan.place(task, host, spec.demand, spec.gpu_share).is_ok() => {
                         placed.push((task, host));
@@ -534,6 +581,18 @@ impl MlfRl {
             }
             if ok {
                 for (task, host) in placed {
+                    if let Some(t) = self.tracer.as_deref() {
+                        obs::event!(
+                            t,
+                            Placement {
+                                t: ctx.now.as_mins_f64(),
+                                job: task.job.0,
+                                task: task.idx as u32,
+                                server: host.0,
+                                score: priorities.get(&task).unwrap_or(0.0),
+                            }
+                        );
+                    }
                     actions.push(Action::Place { task, server: host });
                 }
             } else {
@@ -552,10 +611,33 @@ impl Scheduler for MlfRl {
     }
 
     fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
-        self.blacklist.observe(ctx.cluster);
+        let strikes = self.blacklist.observe(ctx.cluster);
+        // Cloning the Arc keeps the span guard's borrow off `self`
+        // (the round below takes `&mut self`).
+        let tracer = self.tracer.clone();
+        // Imitation rounds delegate to the inner MLF-H, whose own
+        // blacklist observes the same cluster and reports the same
+        // strikes — skip ours there to avoid double-counting.
+        if let Some(t) = tracer.as_deref().filter(|_| !self.in_imitation_phase()) {
+            if strikes > 0 {
+                t.add(obs::Counter::BlacklistStrikes, strikes as u64);
+                for &(sid, total) in self.blacklist.recent_strikes() {
+                    obs::event!(
+                        t,
+                        BlacklistStrike {
+                            t: ctx.now.as_mins_f64(),
+                            server: sid.0,
+                            strikes: total,
+                        }
+                    );
+                }
+            }
+        }
         let actions = if self.in_imitation_phase() {
+            let _span = tracer.as_ref().map(|t| obs::span!(t, imitation_round));
             self.imitation_round(ctx)
         } else {
+            let _span = tracer.as_ref().map(|t| obs::span!(t, rl_round));
             self.rl_round(ctx)
         };
         self.rounds += 1;
@@ -580,6 +662,13 @@ impl Scheduler for MlfRl {
                 self.recycle_batch(s.candidates);
             }
         }
+    }
+
+    fn attach_tracer(&mut self, tracer: std::sync::Arc<obs::Tracer>) {
+        // The imitation phase delegates whole rounds to the inner
+        // MLF-H, which then emits the placement/migration events.
+        self.inner_h.attach_tracer(tracer.clone());
+        self.tracer = Some(tracer);
     }
 }
 

@@ -106,6 +106,12 @@ pub trait Scheduler {
     /// Objective components earned since the previous round (Eq. 7's
     /// ingredients). Ignored by non-RL schedulers.
     fn observe_reward(&mut self, _reward: &RewardComponents) {}
+
+    /// Attach the run's telemetry hub (see the `obs` crate). The
+    /// engine calls this once before the first round; schedulers that
+    /// emit trace events or bump counters store the handle. Default:
+    /// ignore it (baselines are not instrumented).
+    fn attach_tracer(&mut self, _tracer: std::sync::Arc<obs::Tracer>) {}
 }
 
 #[cfg(test)]

@@ -28,10 +28,13 @@ pub const DETERMINISTIC_TIER: &[&str] = &[
     "learncurve",
     "baselines",
     "metrics",
+    // obs runs inside `schedule()` via the span/event macros; a
+    // nondeterministic tracer would leak into decision traces.
+    "obs",
 ];
 
 /// Crates in the scheduler hot-path tier.
-pub const HOT_PATH_TIER: &[&str] = &["core", "cluster", "sim"];
+pub const HOT_PATH_TIER: &[&str] = &["core", "cluster", "sim", "obs"];
 
 /// Rule families that apply to one file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -253,6 +253,23 @@ fn lint_allow_multiple_rules() {
     assert_eq!(stats.allows_used.get("panic-slice-index"), Some(&1));
 }
 
+// --------------------------------------------------------- tier map
+
+#[test]
+fn obs_crate_is_in_both_tiers() {
+    // The tracer runs inside `schedule()`: it must stay deterministic
+    // and panic-free like the schedulers it observes.
+    let p = mlfs_lint::policy::policy_for("crates/obs/src/lib.rs");
+    assert_eq!(p, FilePolicy::ALL);
+    let p = mlfs_lint::policy::policy_for("crates/obs/src/event.rs");
+    assert!(p.deterministic && p.hot_path);
+    // Non-library obs targets stay out of scope like everywhere else.
+    assert_eq!(
+        mlfs_lint::policy::policy_for("crates/obs/tests/api.rs"),
+        FilePolicy::NONE
+    );
+}
+
 // ------------------------------------------------------- out of tier
 
 #[test]

@@ -7,7 +7,10 @@
 //! * bandwidth cost (panel g) and migration accounting;
 //! * scheduler decision-time overhead (panel h);
 //! * makespan (§4.2.1's text comparison);
-//! * server-overload occurrence counts (Fig. 8a).
+//! * server-overload occurrence counts (Fig. 8a);
+//! * the [`RoundTelemetry`] section: obs-layer counters (placements,
+//!   migrations, requeues, candidates scored) and the wall-clock
+//!   decision-latency histogram, folded in by the sim engine.
 //!
 //! Plus small formatting helpers so the bench binaries print the same
 //! rows/series the paper reports.
@@ -19,7 +22,7 @@
 pub mod run;
 pub mod table;
 
-pub use run::{FaultRecord, JobRecord, RunMetrics, TimelinePoint};
+pub use run::{FaultRecord, JobRecord, RoundTelemetry, RunMetrics, TimelinePoint};
 pub use table::Table;
 
 /// Empirical CDF over `values`; returns `(x, fraction ≤ x)` at each

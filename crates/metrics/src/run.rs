@@ -93,6 +93,72 @@ pub struct RunMetrics {
     /// Per-round cluster state samples (empty unless recording was
     /// enabled).
     pub timeline: Vec<TimelinePoint>,
+    /// Aggregated scheduler telemetry (obs counters + latency
+    /// histogram), folded in by the engine at end of run.
+    pub telemetry: RoundTelemetry,
+}
+
+/// Aggregated per-round scheduler telemetry, mirrored from the `obs`
+/// tracer's counters at end of run (this crate stays observability-
+/// agnostic: plain data only).
+///
+/// Every field except `decision_ns_histogram` is deterministic — a
+/// pure function of the run's seed, identical whether tracing is
+/// enabled or not. The histogram is wall-clock and must be cleared
+/// (see [`RunMetrics::clear_wall_clock`]) before byte-comparing runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundTelemetry {
+    /// Candidate feature rows scored by the MLF-RL policy network.
+    pub candidates_scored: u64,
+    /// Placement actions applied by the engine.
+    pub placements: u64,
+    /// Migration actions applied by the engine.
+    pub migrations: u64,
+    /// Eviction actions applied by the engine.
+    pub evictions: u64,
+    /// Tasks returned to the waiting queue (evictions + crash
+    /// restarts).
+    pub requeues: u64,
+    /// New crash strikes registered by scheduler blacklists.
+    pub blacklist_strikes: u64,
+    /// Wall-clock decision-latency histogram: bucket `i` counts rounds
+    /// whose `schedule()` call took `[2^i, 2^{i+1})` ns.
+    pub decision_ns_histogram: Vec<u64>,
+}
+
+impl RoundTelemetry {
+    /// `(label, value)` pairs of the deterministic counters, in
+    /// rendering order.
+    pub fn counter_rows(&self) -> [(&'static str, u64); 6] {
+        [
+            ("candidates scored", self.candidates_scored),
+            ("placements", self.placements),
+            ("migrations", self.migrations),
+            ("evictions", self.evictions),
+            ("requeues", self.requeues),
+            ("blacklist strikes", self.blacklist_strikes),
+        ]
+    }
+
+    /// Median decision latency in microseconds estimated from the
+    /// log₂ histogram (geometric bucket midpoint), or `None` when
+    /// nothing was recorded.
+    pub fn median_decision_us(&self) -> Option<f64> {
+        let total: u64 = self.decision_ns_histogram.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.decision_ns_histogram.iter().enumerate() {
+            seen += n;
+            if seen * 2 >= total {
+                // Geometric midpoint of [2^i, 2^{i+1}).
+                let mid = 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+                return Some(mid / 1_000.0);
+            }
+        }
+        None
+    }
 }
 
 /// One fault-injection event: a server crash or recovery.
@@ -185,6 +251,39 @@ impl RunMetrics {
             self.goodput_gpu_hours() / self.gpu_hours_total
         }
     }
+
+    /// Clear every wall-clock-derived field. Runs of the same seed are
+    /// byte-identical *after* this call — decision timings legitimately
+    /// vary between otherwise-identical runs. Determinism tests
+    /// serialize-and-compare through here.
+    pub fn clear_wall_clock(&mut self) {
+        self.decision_times_ms.clear();
+        self.telemetry.decision_ns_histogram.clear();
+    }
+
+    /// Render the telemetry section as an aligned text table (the
+    /// `metrics::table` dump used by `examples/trace_run.rs` and the
+    /// bench binaries): one row per counter with its per-round rate,
+    /// plus the decision-latency median when timings were recorded.
+    pub fn telemetry_table(&self) -> crate::Table {
+        let mut t = crate::Table::new(&["telemetry", "total", "per round"]);
+        let rounds = self.rounds.max(1) as f64;
+        for (label, value) in self.telemetry.counter_rows() {
+            t.row(vec![
+                label.to_string(),
+                value.to_string(),
+                format!("{:.3}", value as f64 / rounds),
+            ]);
+        }
+        if let Some(us) = self.telemetry.median_decision_us() {
+            t.row(vec![
+                "decision median (µs)".to_string(),
+                format!("{us:.1}"),
+                String::new(),
+            ]);
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -261,10 +360,48 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let m = metrics();
+        let mut m = metrics();
+        m.telemetry.placements = 17;
+        m.telemetry.decision_ns_histogram = vec![0, 3, 1];
         let json = serde_json::to_string(&m).unwrap();
         let back: RunMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back.jobs.len(), 4);
         assert_eq!(back.scheduler, "test");
+        assert_eq!(back.telemetry, m.telemetry);
+    }
+
+    #[test]
+    fn clear_wall_clock_strips_only_timing_fields() {
+        let mut m = metrics();
+        m.decision_times_ms = vec![0.1, 0.2];
+        m.telemetry.placements = 9;
+        m.telemetry.decision_ns_histogram = vec![1, 2];
+        m.clear_wall_clock();
+        assert!(m.decision_times_ms.is_empty());
+        assert!(m.telemetry.decision_ns_histogram.is_empty());
+        assert_eq!(m.telemetry.placements, 9); // deterministic part kept
+    }
+
+    #[test]
+    fn telemetry_table_lists_counters_and_median() {
+        let mut m = metrics();
+        m.rounds = 10;
+        m.telemetry.placements = 25;
+        m.telemetry.migrations = 5;
+        // 4 decisions in bucket 17 (~131 µs) → median ≈ 185 µs midpoint.
+        let mut hist = vec![0u64; 32];
+        if let Some(b) = hist.get_mut(17) {
+            *b = 4;
+        }
+        m.telemetry.decision_ns_histogram = hist;
+        let rendered = m.telemetry_table().render();
+        assert!(rendered.contains("placements"), "{rendered}");
+        assert!(rendered.contains("2.500"), "{rendered}"); // 25 / 10 rounds
+        assert!(rendered.contains("decision median"), "{rendered}");
+        let med = m.telemetry.median_decision_us().unwrap();
+        assert!((100.0..400.0).contains(&med), "{med}");
+        // Empty histogram → no median row.
+        m.telemetry.decision_ns_histogram.clear();
+        assert!(m.telemetry.median_decision_us().is_none());
     }
 }

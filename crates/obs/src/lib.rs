@@ -1,0 +1,488 @@
+//! # obs — structured tracing and telemetry for the MLFS reproduction
+//!
+//! Dependency-free observability layer shared by the sim engine and
+//! the schedulers. Three concerns, three mechanisms:
+//!
+//! 1. **Structured trace events** ([`TraceEvent`]): typed records of
+//!    what the scheduler did and why — placements with their Eq. 6
+//!    priority, migrations off overloaded servers, MLF-RL policy
+//!    decisions with their candidate counts, fault-pipeline crashes
+//!    and recoveries. Events flow into a pluggable [`TraceSink`]
+//!    (no-op, bounded in-memory ring, or JSONL file), selected by
+//!    [`TraceConfig`] at `SimConfig` level.
+//! 2. **Deterministic counters** ([`Counter`]): per-run tallies
+//!    (placements, migrations, requeues, candidates scored, blacklist
+//!    strikes) that are **always on**, independent of whether event
+//!    emission is enabled. This is what keeps `RunMetrics` bit-identical
+//!    between a traced and an untraced run of the same seed: the
+//!    counters never depend on the sink, and the sink never feeds back
+//!    into scheduling.
+//! 3. **Wall-clock span timing** ([`Tracer::span`] / [`span!`]):
+//!    scoped timers that aggregate into flamegraph-compatible folded
+//!    stacks (`scripts/profile.sh`) and a log₂ decision-latency
+//!    histogram. Wall-clock readings are the *only* nondeterministic
+//!    output and are confined to duration fields — they never
+//!    influence control flow, and determinism tests clear them via
+//!    `RunMetrics::clear_wall_clock` before comparing runs.
+//!
+//! ## Invariants
+//!
+//! * **Zero-cost when disabled**: with [`TraceConfig::Disabled`],
+//!   [`Tracer::emit`] is one relaxed atomic load (the event closure is
+//!   never invoked) and [`Tracer::span`] returns an inert guard. The
+//!   `hot_path` bench's `mlfrl_decision_traced` entry guards the ≤2%
+//!   overhead budget.
+//! * **No feedback**: nothing a sink or counter records may alter a
+//!   scheduling decision. The tracer hands out no state to read back
+//!   except via [`Tracer::snapshot`] at end of run.
+//! * **Panic-free, `BTreeMap`-only**: the crate is in both `mlfs-lint`
+//!   tiers (deterministic + hot-path); mutex poisoning is absorbed
+//!   with `into_inner`, and the wall-clock exception is carried by
+//!   explicit audited `det-wall-clock` lint escapes below.
+//!
+//! See `docs/OBSERVABILITY.md` for the trace schema, span taxonomy,
+//! and the profiling walkthrough.
+
+pub mod event;
+pub mod sink;
+
+pub use event::{parse_flat_json, JsonVal, TraceEvent};
+pub use sink::{JsonlSink, NoopSink, RingSink, TraceSink};
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+// lint:allow(cfg-std-time) reason="obs owns the one sanctioned wall-clock read; readings feed only duration fields, never scheduling decisions"
+use std::time::Instant;
+
+/// Opaque wall-clock stamp. All clock reads in the workspace's
+/// deterministic tier funnel through this wrapper so the exception is
+/// auditable in one place.
+#[derive(Debug, Clone, Copy)]
+// lint:allow(det-wall-clock) reason="the sanctioned wall-clock wrapper itself; see module docs"
+struct Stamp(Instant);
+
+impl Stamp {
+    fn now() -> Stamp {
+        // lint:allow(det-wall-clock) reason="span timing is observability output only; cleared by RunMetrics::clear_wall_clock in determinism tests"
+        Stamp(Instant::now())
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        let nanos = self.0.elapsed().as_nanos();
+        u64::try_from(nanos).unwrap_or(u64::MAX)
+    }
+}
+
+/// How a simulation's tracer is configured (a `SimConfig` field).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceConfig {
+    /// No event emission, no span timing. Counters still accumulate.
+    #[default]
+    Disabled,
+    /// Keep the newest `capacity` events in memory
+    /// ([`Tracer::buffered`] reads them back).
+    Ring { capacity: usize },
+    /// Append every event as one JSON line to `path`.
+    Jsonl { path: PathBuf },
+}
+
+/// Deterministic counters, one slot each. The enum discriminant is
+/// the slot index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Candidate feature rows scored by the MLF-RL policy network.
+    CandidatesScored = 0,
+    /// `Action::Place` applied by the engine.
+    Placements = 1,
+    /// `Action::Migrate` applied by the engine.
+    Migrations = 2,
+    /// `Action::Evict` applied by the engine.
+    Evictions = 3,
+    /// Tasks returned to the waiting queue (evictions + crash requeues).
+    Requeues = 4,
+    /// New crash strikes registered by scheduler blacklists.
+    BlacklistStrikes = 5,
+}
+
+impl Counter {
+    /// Every counter, in slot order (for table rendering).
+    pub const ALL: [Counter; 6] = [
+        Counter::CandidatesScored,
+        Counter::Placements,
+        Counter::Migrations,
+        Counter::Evictions,
+        Counter::Requeues,
+        Counter::BlacklistStrikes,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Counter::CandidatesScored => "candidates scored",
+            Counter::Placements => "placements",
+            Counter::Migrations => "migrations",
+            Counter::Evictions => "evictions",
+            Counter::Requeues => "requeues",
+            Counter::BlacklistStrikes => "blacklist strikes",
+        }
+    }
+}
+
+const COUNTERS: usize = Counter::ALL.len();
+
+/// Log₂ buckets of the decision-latency histogram: bucket `i` counts
+/// decisions whose wall-clock cost was in `[2^i, 2^{i+1})` ns.
+pub const HIST_BUCKETS: usize = 32;
+
+/// End-of-run view of the tracer's accumulated state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Deterministic counters, indexed by [`Counter`] slot.
+    pub counts: Vec<u64>,
+    /// Wall-clock decision-latency histogram ([`HIST_BUCKETS`] log₂
+    /// buckets); nondeterministic by nature.
+    pub decision_ns: Vec<u64>,
+}
+
+impl TelemetrySnapshot {
+    /// Value of one counter (0 when the snapshot is empty).
+    pub fn count(&self, c: Counter) -> u64 {
+        self.counts.get(c as usize).copied().unwrap_or(0)
+    }
+}
+
+/// Mutex-protected mutable half of the tracer.
+struct TraceState {
+    sink: Box<dyn TraceSink>,
+    /// Open spans, outermost first.
+    stack: Vec<&'static str>,
+    /// Folded-stack aggregation: `;`-joined span path → total ns.
+    folded: BTreeMap<String, u64>,
+}
+
+/// Per-simulation telemetry hub. One tracer exists per
+/// `Simulation`; schedulers hold an `Arc` to the same instance, so a
+/// run's counters, spans, and events all land in one place.
+pub struct Tracer {
+    /// Gates event emission and span timing (not the counters).
+    enabled: AtomicBool,
+    counters: [AtomicU64; COUNTERS],
+    decision_ns: [AtomicU64; HIST_BUCKETS],
+    state: Mutex<TraceState>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("counts", &self.snapshot().counts)
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    fn with_sink(enabled: bool, sink: Box<dyn TraceSink>) -> Tracer {
+        Tracer {
+            enabled: AtomicBool::new(enabled),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            decision_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            state: Mutex::new(TraceState {
+                sink,
+                stack: Vec::new(),
+                folded: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// A tracer that emits nothing (counters still work).
+    pub fn disabled() -> Tracer {
+        Tracer::with_sink(false, Box::new(NoopSink))
+    }
+
+    /// Build a tracer for the given configuration. The only fallible
+    /// case is opening the JSONL file.
+    pub fn from_config(cfg: &TraceConfig) -> io::Result<Tracer> {
+        Ok(match cfg {
+            TraceConfig::Disabled => Tracer::disabled(),
+            TraceConfig::Ring { capacity } => {
+                Tracer::with_sink(true, Box::new(RingSink::new(*capacity)))
+            }
+            TraceConfig::Jsonl { path } => {
+                Tracer::with_sink(true, Box::new(JsonlSink::create(path)?))
+            }
+        })
+    }
+
+    /// Is event emission / span timing on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// A mutex poisoned by a panicking holder still contains valid
+    /// telemetry — absorb the poison instead of propagating a panic
+    /// out of an observability call.
+    fn lock_state(&self) -> MutexGuard<'_, TraceState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Bump a deterministic counter. Always active.
+    pub fn add(&self, c: Counter, n: u64) {
+        if let Some(slot) = self.counters.get(c as usize) {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one wall-clock decision latency into the log₂ histogram.
+    pub fn record_decision_ns(&self, ns: u64) {
+        let bucket = (ns.max(1).ilog2() as usize).min(HIST_BUCKETS - 1);
+        if let Some(slot) = self.decision_ns.get(bucket) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Emit one event. When disabled this is a single relaxed atomic
+    /// load — the closure is never invoked, so event construction
+    /// costs nothing on the hot path.
+    pub fn emit<F: FnOnce() -> TraceEvent>(&self, build: F) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ev = build();
+        self.lock_state().sink.record(&ev);
+    }
+
+    /// Open a timed span; the returned guard closes it on drop,
+    /// folding the duration into the span-path aggregation and
+    /// emitting a `span` event. Inert when disabled.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard {
+                tracer: None,
+                start: None,
+            };
+        }
+        self.lock_state().stack.push(name);
+        SpanGuard {
+            tracer: Some(self),
+            start: Some(Stamp::now()),
+        }
+    }
+
+    /// Deterministic counters + latency histogram, for folding into
+    /// `RunMetrics::telemetry` at end of run.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counts: self
+                .counters
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            decision_ns: self
+                .decision_ns
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Folded-stack rendering of all closed spans: one
+    /// `path ns` line per unique span path, `;`-joined ancestry,
+    /// ready for `flamegraph.pl` / `inferno-flamegraph`.
+    pub fn folded_stacks(&self) -> String {
+        let st = self.lock_state();
+        let mut out = String::new();
+        for (path, ns) in &st.folded {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Events retained by a ring sink (empty for other sinks).
+    pub fn buffered(&self) -> Vec<TraceEvent> {
+        self.lock_state().sink.buffered()
+    }
+
+    /// Flush the sink (end of run; JSONL buffers otherwise).
+    pub fn flush(&self) {
+        self.lock_state().sink.flush();
+    }
+}
+
+/// Guard returned by [`Tracer::span`]; closes the span on drop.
+pub struct SpanGuard<'a> {
+    tracer: Option<&'a Tracer>,
+    start: Option<Stamp>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let (Some(tracer), Some(start)) = (self.tracer, self.start.take()) else {
+            return;
+        };
+        let dur_ns = start.elapsed_ns();
+        let mut st = tracer.lock_state();
+        let path = st.stack.join(";");
+        let name = st.stack.pop().unwrap_or("span");
+        *st.folded.entry(path.clone()).or_insert(0) += dur_ns;
+        st.sink.record(&TraceEvent::SpanEnd { name, path, dur_ns });
+    }
+}
+
+/// Open a named span on a [`Tracer`]: `span!(tracer, round)`.
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $name:ident) => {
+        $tracer.span(stringify!($name))
+    };
+}
+
+/// Emit a typed event on a [`Tracer`]:
+/// `event!(tracer, Placement { t: 1.0, job: 3, task: 0, server: 2, score: 0.8 })`.
+/// The struct body is only evaluated when tracing is enabled.
+#[macro_export]
+macro_rules! event {
+    ($tracer:expr, $variant:ident { $($field:ident : $value:expr),* $(,)? }) => {
+        $tracer.emit(|| $crate::TraceEvent::$variant { $($field: $value),* })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_regardless_of_enablement() {
+        let off = Tracer::disabled();
+        let on = Tracer::from_config(&TraceConfig::Ring { capacity: 8 }).unwrap();
+        for t in [&off, &on] {
+            t.add(Counter::Placements, 3);
+            t.add(Counter::Migrations, 1);
+            t.add(Counter::Placements, 2);
+        }
+        assert_eq!(off.snapshot().counts, on.snapshot().counts);
+        assert_eq!(off.snapshot().count(Counter::Placements), 5);
+        assert_eq!(off.snapshot().count(Counter::Migrations), 1);
+        assert_eq!(off.snapshot().count(Counter::Evictions), 0);
+    }
+
+    #[test]
+    fn disabled_tracer_never_invokes_the_event_closure() {
+        let t = Tracer::disabled();
+        let mut called = false;
+        t.emit(|| {
+            called = true;
+            TraceEvent::ServerRecovery { t: 0.0, server: 0 }
+        });
+        assert!(!called);
+        assert!(t.buffered().is_empty());
+    }
+
+    #[test]
+    fn ring_tracer_records_macro_events() {
+        let t = Tracer::from_config(&TraceConfig::Ring { capacity: 4 }).unwrap();
+        event!(
+            t,
+            Placement {
+                t: 1.0,
+                job: 1,
+                task: 0,
+                server: 2,
+                score: 0.75,
+            }
+        );
+        let buf = t.buffered();
+        assert_eq!(buf.len(), 1);
+        assert!(matches!(
+            buf.first(),
+            Some(TraceEvent::Placement { server: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn spans_fold_into_nested_paths() {
+        let t = Tracer::from_config(&TraceConfig::Ring { capacity: 64 }).unwrap();
+        {
+            let _outer = span!(t, round);
+            let _inner = span!(t, schedule);
+        }
+        {
+            let _outer = span!(t, round);
+        }
+        let folded = t.folded_stacks();
+        assert!(folded.contains("round;schedule "), "{folded}");
+        assert!(folded.lines().any(|l| l.starts_with("round ")), "{folded}");
+        // Both spans also reached the sink as events.
+        let spans = t
+            .buffered()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SpanEnd { .. }))
+            .count();
+        assert_eq!(spans, 3);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let t = Tracer::disabled();
+        {
+            let _g = span!(t, round);
+        }
+        assert!(t.folded_stacks().is_empty());
+    }
+
+    #[test]
+    fn decision_latency_lands_in_log2_buckets() {
+        let t = Tracer::disabled();
+        t.record_decision_ns(0); // clamps to bucket 0
+        t.record_decision_ns(1);
+        t.record_decision_ns(1024);
+        t.record_decision_ns(1500);
+        let hist = t.snapshot().decision_ns;
+        assert_eq!(hist.len(), HIST_BUCKETS);
+        assert_eq!(hist.first().copied(), Some(2));
+        assert_eq!(hist.get(10).copied(), Some(2)); // 2^10 ≤ 1024,1500 < 2^11
+    }
+
+    #[test]
+    fn jsonl_config_writes_a_replayable_file() {
+        let path = std::env::temp_dir().join("obs_tracer_test.jsonl");
+        let t = Tracer::from_config(&TraceConfig::Jsonl { path: path.clone() }).unwrap();
+        event!(
+            t,
+            ServerCrash {
+                t: 5.0,
+                server: 1,
+                evicted: 2
+            }
+        );
+        t.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .filter_map(TraceEvent::from_json_line)
+            .collect();
+        assert_eq!(
+            events,
+            vec![TraceEvent::ServerCrash {
+                t: 5.0,
+                server: 1,
+                evicted: 2
+            }]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

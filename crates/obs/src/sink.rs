@@ -1,0 +1,164 @@
+//! Trace sinks: where emitted events go.
+//!
+//! Three implementations cover the intended operating points:
+//!
+//! * [`NoopSink`] — discard everything. Combined with the tracer's
+//!   disabled flag this is the zero-cost default.
+//! * [`RingSink`] — keep the last `capacity` events in memory, for
+//!   tests and in-process inspection (crash-dump style "what just
+//!   happened" queries).
+//! * [`JsonlSink`] — append one JSON object per event to a file, for
+//!   offline replay (`examples/trace_run.rs`, docs/OBSERVABILITY.md).
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Destination for emitted [`TraceEvent`]s. Implementations must be
+/// `Send`: one tracer (and sink) exists per simulation, and parallel
+/// sweeps move whole simulations across worker threads.
+pub trait TraceSink: Send {
+    /// Record one event. Called only while tracing is enabled.
+    fn record(&mut self, event: &TraceEvent);
+    /// Flush buffered output (end of run). Default: nothing to do.
+    fn flush(&mut self) {}
+    /// The buffered events, newest last, for sinks that retain them
+    /// (the ring sink). File-backed and no-op sinks return nothing.
+    fn buffered(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Bounded in-memory ring: keeps the newest `capacity` events.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl RingSink {
+    /// New ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+    }
+
+    fn buffered(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+/// Appends one JSON line per event to a file.
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    /// First write error, if any — reported once via `flush`'s eprintln
+    /// rather than panicking mid-simulation.
+    failed: bool,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and return a sink writing to it.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+            failed: false,
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.failed {
+            return;
+        }
+        let line = event.to_json_line();
+        if writeln!(self.out, "{line}").is_err() {
+            self.failed = true;
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(server: u32) -> TraceEvent {
+        TraceEvent::ServerRecovery { t: 1.0, server }
+    }
+
+    #[test]
+    fn ring_keeps_newest_events() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.record(&ev(i));
+        }
+        let kept = ring.buffered();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept.first(), Some(&ev(2)));
+        assert_eq!(kept.last(), Some(&ev(4)));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("obs_sink_test.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.record(&ev(7));
+            sink.record(&TraceEvent::Placement {
+                t: 0.5,
+                job: 1,
+                task: 0,
+                server: 2,
+                score: 0.5,
+            });
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .filter_map(TraceEvent::from_json_line)
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events.first(), Some(&ev(7)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn noop_sink_buffers_nothing() {
+        let mut s = NoopSink;
+        s.record(&ev(0));
+        assert!(s.buffered().is_empty());
+    }
+}

@@ -110,6 +110,11 @@ pub struct SimConfig {
     /// `RunMetrics::timeline` (off by default: large runs would carry
     /// tens of thousands of samples).
     pub record_timeline: bool,
+    /// Trace sink for the obs layer. `Disabled` (the default) reduces
+    /// every event site to one relaxed atomic load; the deterministic
+    /// telemetry counters accumulate either way, so enabling a sink
+    /// never changes `RunMetrics` beyond wall-clock fields.
+    pub trace: obs::TraceConfig,
 }
 
 impl Default for SimConfig {
@@ -125,6 +130,7 @@ impl Default for SimConfig {
             utilization_noise: 0.05,
             seed: 42,
             record_timeline: false,
+            trace: obs::TraceConfig::default(),
         }
     }
 }
@@ -152,6 +158,10 @@ pub struct Simulation {
     next_scheduled_fault: usize,
     /// Pending recoveries `(when, server)`, kept sorted ascending.
     recoveries: Vec<(SimTime, ServerId)>,
+    /// The run's telemetry hub; shared with the scheduler via
+    /// `attach_tracer` and readable by callers through
+    /// [`Simulation::tracer`].
+    tracer: std::sync::Arc<obs::Tracer>,
 }
 
 /// Stream label for the fault-injection RNG fork.
@@ -174,6 +184,12 @@ impl Simulation {
         };
         let rng = SimRng::new(cfg.seed);
         let fault_rng = rng.fork(FAULT_RNG_STREAM);
+        // A sink that fails to open (JSONL path) degrades to the
+        // disabled tracer rather than aborting the run: tracing is an
+        // observability concern and must never take the science down.
+        let tracer = std::sync::Arc::new(
+            obs::Tracer::from_config(&cfg.trace).unwrap_or_else(|_| obs::Tracer::disabled()),
+        );
         Simulation {
             cfg,
             cluster,
@@ -190,17 +206,36 @@ impl Simulation {
             fault_rng,
             next_scheduled_fault: 0,
             recoveries: Vec::new(),
+            tracer,
         }
+    }
+
+    /// Handle to the run's telemetry hub. Clone it before `run` (which
+    /// consumes the simulation) to read folded span stacks, ring-
+    /// buffered events, or counter snapshots afterwards.
+    pub fn tracer(&self) -> std::sync::Arc<obs::Tracer> {
+        self.tracer.clone()
     }
 
     /// Run to completion under `scheduler`, returning the metrics.
     pub fn run(mut self, scheduler: &mut dyn Scheduler) -> RunMetrics {
+        scheduler.attach_tracer(self.tracer.clone());
         // Jump to the first arrival.
         if let Some(first) = self.pending.first() {
             self.now = first.arrival;
         }
         let mut last = self.now;
         loop {
+            let tracer = self.tracer.clone();
+            let _round_span = obs::span!(tracer, round);
+            obs::event!(
+                tracer,
+                RoundStart {
+                    round: self.metrics.rounds + 1,
+                    t: self.now.as_mins_f64(),
+                    queued: self.queue.len() as u32,
+                }
+            );
             // Advance the world to `now` (arrivals, progress,
             // completions, deadline freezes).
             self.advance(last, self.now);
@@ -215,6 +250,21 @@ impl Simulation {
             self.metrics.rounds += 1;
             let overloaded = self.cluster.overloaded_count(self.cfg.h_r);
             self.metrics.overload_occurrences += overloaded as u64;
+            if tracer.is_enabled() && overloaded > 0 {
+                for i in 0..self.cluster.server_count() {
+                    let srv = self.cluster.server(ServerId(i as u32));
+                    if srv.is_overloaded(self.cfg.h_r) {
+                        obs::event!(
+                            tracer,
+                            Overload {
+                                t: self.now.as_mins_f64(),
+                                server: i as u32,
+                                degree: srv.overload_degree(),
+                            }
+                        );
+                    }
+                }
+            }
             if self.cfg.record_timeline {
                 self.metrics.timeline.push(metrics::TimelinePoint {
                     t_mins: self.now.as_mins_f64(),
@@ -247,10 +297,22 @@ impl Simulation {
             // influences simulated time or any scheduling decision.
             let started = Instant::now(); // lint:allow(det-wall-clock) reason="measures real decision latency for BENCH_scheduler.json; scheduler-invisible"
             let actions = scheduler.schedule(&ctx);
+            let elapsed = started.elapsed();
             self.metrics
                 .decision_times_ms
-                .push(started.elapsed().as_secs_f64() * 1000.0);
+                .push(elapsed.as_secs_f64() * 1000.0);
+            self.tracer.record_decision_ns(elapsed.as_nanos() as u64);
+            let n_actions = actions.len();
             self.apply_actions(actions);
+            obs::event!(
+                tracer,
+                RoundEnd {
+                    round: self.metrics.rounds,
+                    t: self.now.as_mins_f64(),
+                    actions: n_actions as u32,
+                    decision_ns: elapsed.as_nanos() as u64,
+                }
+            );
 
             // Straggler injection happens at round granularity.
             self.inject_stragglers();
@@ -471,6 +533,7 @@ impl Simulation {
                     };
                     match self.cluster.place(task, server, demand, gpu_share) {
                         Ok(gpu) => {
+                            self.tracer.add(obs::Counter::Placements, 1);
                             if let Some(j) = self.jobs.get_mut(&task.job) {
                                 j.task_states[task.idx as usize] =
                                     TaskRunState::Running { server, gpu };
@@ -507,6 +570,7 @@ impl Simulation {
                     let was_remote = self.cluster.locate(task) != Some(to);
                     match self.cluster.migrate(task, to, state_mb) {
                         Ok(gpu) => {
+                            self.tracer.add(obs::Counter::Migrations, 1);
                             if let Some(j) = self.jobs.get_mut(&task.job) {
                                 j.task_states[task.idx as usize] =
                                     TaskRunState::Running { server: to, gpu };
@@ -535,6 +599,30 @@ impl Simulation {
                         self.metrics.invalid_actions += 1;
                         continue;
                     }
+                    self.tracer.add(obs::Counter::Evictions, 1);
+                    self.tracer.add(obs::Counter::Requeues, 1);
+                    if self.tracer.is_enabled() {
+                        let sid = self.cluster.locate(task).map(|s| s.0).unwrap_or(u32::MAX);
+                        let t_mins = self.now.as_mins_f64();
+                        obs::event!(
+                            self.tracer,
+                            Eviction {
+                                t: t_mins,
+                                job: task.job.0,
+                                task: task.idx as u32,
+                                server: sid,
+                            }
+                        );
+                        obs::event!(
+                            self.tracer,
+                            Requeue {
+                                t: t_mins,
+                                job: task.job.0,
+                                task: task.idx as u32,
+                                reason: "evicted",
+                            }
+                        );
+                    }
                     self.cluster.remove(task);
                     self.stragglers.remove(&task);
                     if let Some(j) = self.jobs.get_mut(&task.job) {
@@ -553,6 +641,14 @@ impl Simulation {
                         self.metrics.invalid_actions += 1;
                         continue;
                     }
+                    obs::event!(
+                        self.tracer,
+                        JobStopped {
+                            t: self.now.as_mins_f64(),
+                            job: job.0,
+                            reason: stop_reason_label(reason),
+                        }
+                    );
                     self.complete_job(job, self.now, reason);
                 }
                 Action::SetPolicy { job, policy } => match self.jobs.get_mut(&job) {
@@ -619,6 +715,13 @@ impl Simulation {
             }
             self.recoveries.remove(0);
             self.cluster.recover_server(sid);
+            obs::event!(
+                self.tracer,
+                ServerRecovery {
+                    t: self.now.as_mins_f64(),
+                    server: sid.0,
+                }
+            );
             self.metrics.fault_events.push(FaultRecord {
                 t_mins: self.now.as_mins_f64(),
                 server: sid.0,
@@ -664,6 +767,14 @@ impl Simulation {
         }
         let evicted = self.cluster.fail_server(sid, Some(until));
         self.metrics.server_failures += 1;
+        obs::event!(
+            self.tracer,
+            ServerCrash {
+                t: self.now.as_mins_f64(),
+                server: sid.0,
+                evicted: evicted.len() as u32,
+            }
+        );
         self.metrics.fault_events.push(FaultRecord {
             t_mins: self.now.as_mins_f64(),
             server: sid.0,
@@ -684,6 +795,16 @@ impl Simulation {
             job.task_states[t.idx as usize] = TaskRunState::Waiting { since: self.now };
             self.queue.push(*t);
             self.stragglers.remove(t);
+            self.tracer.add(obs::Counter::Requeues, 1);
+            obs::event!(
+                self.tracer,
+                Requeue {
+                    t: self.now.as_mins_f64(),
+                    job: t.job.0,
+                    task: t.idx as u32,
+                    reason: "crash",
+                }
+            );
             self.metrics.task_restarts += 1;
             if !affected.contains(&t.job) {
                 affected.push(t.job);
@@ -728,6 +849,16 @@ impl Simulation {
                         j.task_states[t.idx as usize] = TaskRunState::Waiting { since: self.now };
                     }
                     self.queue.push(t);
+                    self.tracer.add(obs::Counter::Requeues, 1);
+                    obs::event!(
+                        self.tracer,
+                        Requeue {
+                            t: self.now.as_mins_f64(),
+                            job: t.job.0,
+                            task: t.idx as u32,
+                            reason: "crash",
+                        }
+                    );
                 }
             }
         }
@@ -815,7 +946,33 @@ impl Simulation {
         self.metrics.bandwidth_mb = self.cluster.transferred_mb() + self.bandwidth_charged_mb;
         self.metrics.migration_mb = self.cluster.migration_mb();
         self.metrics.migrations = self.cluster.migrations();
+        // Fold the obs-layer counters into the metrics. The counters
+        // are identical whether or not a sink is attached; only the
+        // histogram carries wall-clock values (and is stripped by
+        // `RunMetrics::clear_wall_clock` for determinism checks).
+        let snap = self.tracer.snapshot();
+        self.metrics.telemetry = metrics::RoundTelemetry {
+            candidates_scored: snap.count(obs::Counter::CandidatesScored),
+            placements: snap.count(obs::Counter::Placements),
+            migrations: snap.count(obs::Counter::Migrations),
+            evictions: snap.count(obs::Counter::Evictions),
+            requeues: snap.count(obs::Counter::Requeues),
+            blacklist_strikes: snap.count(obs::Counter::BlacklistStrikes),
+            decision_ns_histogram: snap.decision_ns.clone(),
+        };
+        self.tracer.flush();
         self.metrics
+    }
+}
+
+/// Closed-set label for a [`StopReason`] in `JobStopped` events (see
+/// `obs::intern_reason`).
+fn stop_reason_label(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::MaxIterations => "budget",
+        StopReason::OptStop => "policy",
+        StopReason::RequiredAccuracy => "accuracy",
+        StopReason::PredictedUnreachable => "other",
     }
 }
 

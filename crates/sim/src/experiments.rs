@@ -197,6 +197,7 @@ pub fn fig4(x: f64, time_factor: f64, seed: u64) -> Experiment {
             utilization_noise: 0.05,
             seed,
             record_timeline: false,
+            trace: obs::TraceConfig::default(),
         },
         trace,
     }
@@ -229,6 +230,7 @@ pub fn fig5(x: f64, scale: f64, time_factor: f64, seed: u64) -> Experiment {
             utilization_noise: 0.05,
             seed,
             record_timeline: false,
+            trace: obs::TraceConfig::default(),
         },
         trace,
     }

@@ -1,0 +1,96 @@
+//! End-to-end observability demo: run one fig. 4 cell with a JSONL
+//! trace sink attached, then inspect the run three ways —
+//!
+//! 1. the aggregated `RoundTelemetry` table folded into `RunMetrics`,
+//! 2. a replay of the JSONL trace into per-event counts, and
+//! 3. the span timings as flamegraph-compatible folded stacks.
+//!
+//! ```sh
+//! cargo run --release --example trace_run [SCHEDULER]
+//! # trace   -> target/trace/trace_run.jsonl
+//! # stacks  -> target/trace/trace_run.folded
+//! ```
+//!
+//! `SCHEDULER` is any figure-scheduler name (default `MLFS`); see
+//! `baselines::FIGURE_SCHEDULERS`. The folded file feeds straight into
+//! `flamegraph.pl` / `inferno-flamegraph`; `scripts/profile.sh` wraps
+//! this binary into the documented profiling workflow
+//! (docs/OBSERVABILITY.md).
+
+use mlfs_repro::obs;
+use mlfs_sim::engine::Simulation;
+use std::collections::BTreeMap;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "MLFS".into());
+    if !baselines::FIGURE_SCHEDULERS.contains(&name.as_str()) {
+        eprintln!(
+            "unknown scheduler {name:?}; pick one of {:?}",
+            baselines::FIGURE_SCHEDULERS
+        );
+        std::process::exit(1);
+    }
+
+    let out_dir = std::path::Path::new("target/trace");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    let trace_path = out_dir.join("trace_run.jsonl");
+    let folded_path = out_dir.join("trace_run.folded");
+
+    // A small fig. 4 cell: x = 0.25 week of jobs on the paper testbed.
+    let mut e = mlfs_sim::experiments::fig4(0.25, 64.0, 7);
+    e.trace.jobs = 20;
+    e.sim.trace = obs::TraceConfig::Jsonl {
+        path: trace_path.clone(),
+    };
+
+    // Keep a handle on the tracer before `run` consumes the
+    // simulation: folded span stacks live there, not in the metrics.
+    let sim = Simulation::new(e.sim.clone(), e.jobs());
+    let tracer = sim.tracer();
+    let mut scheduler = e.scheduler(&name, 7);
+    println!("running {name} on a 20-job fig. 4 cell (seed 7)...\n");
+    let m = sim.run(scheduler.as_mut());
+
+    // 1. Aggregated per-round telemetry (always on, even untraced).
+    println!("{}", m.telemetry_table());
+
+    // 2. Replay the JSONL trace into per-event counts.
+    let text = std::fs::read_to_string(&trace_path).unwrap_or_default();
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut skipped = 0u64;
+    for line in text.lines() {
+        match obs::TraceEvent::from_json_line(line) {
+            Some(ev) => *counts.entry(ev.tag()).or_insert(0) += 1,
+            None => skipped += 1,
+        }
+    }
+    let mut t = metrics::Table::new(&["trace event", "count"]);
+    for (tag, n) in &counts {
+        t.row(vec![tag.to_string(), n.to_string()]);
+    }
+    println!("{t}");
+    if skipped > 0 {
+        println!("({skipped} unparseable lines skipped)");
+    }
+
+    // 3. Folded span stacks for flamegraph tooling.
+    let folded = tracer.folded_stacks();
+    if let Err(e) = std::fs::write(&folded_path, &folded) {
+        eprintln!("cannot write {}: {e}", folded_path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "rounds: {}   avg JCT: {:.1} min   trace: {}   folded stacks: {}",
+        m.rounds,
+        m.avg_jct_mins(),
+        trace_path.display(),
+        folded_path.display()
+    );
+    println!(
+        "render: flamegraph.pl {} > flame.svg",
+        folded_path.display()
+    );
+}

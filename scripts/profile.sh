@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Profiling workflow (docs/OBSERVABILITY.md): run one traced fig. 4
+# cell and emit flamegraph-compatible folded stacks from the obs span
+# timings, plus the JSONL event trace for replay.
+#
+#   scripts/profile.sh [SCHEDULER]      # default MLFS
+#
+# Outputs:
+#   target/trace/trace_run.jsonl   one JSON object per trace event
+#   target/trace/trace_run.folded  "path count" folded span stacks
+#
+# Render the folded file with any stackcollapse consumer, e.g.
+#   flamegraph.pl target/trace/trace_run.folded > flame.svg
+#   inferno-flamegraph < target/trace/trace_run.folded > flame.svg
+# (neither tool ships in this repo; the folded format is the
+# interchange point).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCHEDULER="${1:-MLFS}"
+
+cargo build --release --example trace_run
+./target/release/examples/trace_run "$SCHEDULER"
+
+echo
+echo "--- top folded stacks (self ns) ---"
+sort -t' ' -k2 -rn target/trace/trace_run.folded | head -n 10

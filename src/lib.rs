@@ -21,6 +21,9 @@ pub use metrics;
 pub use mlfs;
 pub use mlfs_sim as sim;
 pub use nn;
+// `obs::TraceConfig` stays namespaced (the prelude already exports
+// `workload::TraceConfig`); reach it as `mlfs_repro::obs::TraceConfig`.
+pub use obs;
 pub use rl;
 pub use simcore;
 pub use workload;
