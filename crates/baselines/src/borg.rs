@@ -52,8 +52,7 @@ mod tests {
     use super::*;
     use cluster::{JobId, ServerId};
     use simcore::SimTime;
-    use std::collections::BTreeMap;
-    use workload::{JobState, TaskRunState};
+    use workload::{JobArena, TaskRunState};
 
     #[test]
     fn starved_job_goes_first() {
@@ -72,7 +71,7 @@ mod tests {
             server: ServerId(0),
             gpu: 0,
         };
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j1), (JobId(2), j2)].into();
+        let jobs: JobArena = [(JobId(1), j1), (JobId(2), j2)].into();
         // Job 1's remaining task queued before job 2's tasks.
         let queue = vec![
             TaskId::new(JobId(1), 1),

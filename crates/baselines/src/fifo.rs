@@ -31,15 +31,14 @@ mod tests {
     use super::*;
     use cluster::{JobId, TaskId};
     use simcore::SimTime;
-    use std::collections::BTreeMap;
-    use workload::JobState;
+    use workload::JobArena;
 
     #[test]
     fn preserves_queue_order() {
         let c = crate::util::tests::test_cluster(4);
         let j1 = crate::util::tests::test_job(1, 2);
         let j2 = crate::util::tests::test_job(2, 2);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j1), (JobId(2), j2)].into();
+        let jobs: JobArena = [(JobId(1), j1), (JobId(2), j2)].into();
         // Queue with job 2 first — FIFO must respect that.
         let queue = vec![
             TaskId::new(JobId(2), 0),

@@ -131,8 +131,7 @@ mod tests {
     use super::*;
     use cluster::{JobId, ResourceVec};
     use simcore::SimTime;
-    use std::collections::BTreeMap;
-    use workload::{JobState, TaskRunState};
+    use workload::{JobArena, TaskRunState};
 
     #[test]
     fn packs_affinity_jobs_together() {
@@ -153,7 +152,7 @@ mod tests {
         // Another 2-GPU job arrives (affinity match), and an 8-GPU-class
         // single-task job for contrast.
         let newcomer = crate::util::tests::test_job(2, 2);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), resident), (JobId(2), newcomer)].into();
+        let jobs: JobArena = [(JobId(1), resident), (JobId(2), newcomer)].into();
         let queue = vec![TaskId::new(JobId(2), 0)];
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
@@ -190,7 +189,7 @@ mod tests {
                 gpu: 0,
             };
         }
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), job)].into();
+        let jobs: JobArena = [(JobId(1), job)].into();
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             jobs: &jobs,

@@ -97,12 +97,13 @@ impl Scheduler for Graphene {
 mod tests {
     use super::*;
     use simcore::SimTime;
+    use workload::JobArena;
 
     #[test]
     fn troublesome_tasks_first_within_a_job() {
         let c = crate::util::tests::test_cluster(4);
         let job = crate::util::tests::test_job(1, 4); // chain 0→1→2→3
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), job)].into();
+        let jobs: JobArena = [(JobId(1), job)].into();
         // Queue in reverse order; Graphene must re-order by dependents.
         let queue: Vec<TaskId> = (0..4).rev().map(|i| TaskId::new(JobId(1), i)).collect();
         let ctx = SchedulerContext {
@@ -129,7 +130,7 @@ mod tests {
         let mut long = crate::util::tests::test_job(2, 1);
         short.spec.predicted_runtime = simcore::SimDuration::from_mins(5);
         long.spec.predicted_runtime = simcore::SimDuration::from_hours(10);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), short), (JobId(2), long)].into();
+        let jobs: JobArena = [(JobId(1), short), (JobId(2), long)].into();
         let queue = vec![TaskId::new(JobId(2), 0), TaskId::new(JobId(1), 0)];
         let ctx = SchedulerContext {
             now: SimTime::ZERO,

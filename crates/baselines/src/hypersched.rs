@@ -158,6 +158,7 @@ impl Scheduler for HyperSched {
 mod tests {
     use super::*;
     use simcore::SimTime;
+    use workload::JobArena;
 
     #[test]
     fn high_potential_job_places_first() {
@@ -165,7 +166,7 @@ mod tests {
         let fresh = crate::util::tests::test_job(1, 1);
         let mut nearly_done = crate::util::tests::test_job(2, 1);
         nearly_done.advance(250.0); // little accuracy left to gain
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), fresh), (JobId(2), nearly_done)].into();
+        let jobs: JobArena = [(JobId(1), fresh), (JobId(2), nearly_done)].into();
         let queue = vec![TaskId::new(JobId(2), 0), TaskId::new(JobId(1), 0)];
         let ctx = SchedulerContext {
             now: SimTime::from_mins(1),
@@ -210,7 +211,7 @@ mod tests {
             gpu: 0,
         };
         let hungry = crate::util::tests::test_job(2, 1);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), saturated), (JobId(2), hungry)].into();
+        let jobs: JobArena = [(JobId(1), saturated), (JobId(2), hungry)].into();
         let queue = vec![TaskId::new(JobId(2), 0)];
         let ctx = SchedulerContext {
             now: SimTime::from_mins(1),

@@ -204,14 +204,14 @@ mod tests {
     use super::*;
     use cluster::JobId;
     use simcore::SimTime;
-    use std::collections::BTreeMap;
+    use workload::JobArena;
 
     #[test]
     fn emits_valid_placements_and_trains() {
         let c = crate::util::tests::test_cluster(3);
         let job = crate::util::tests::test_job(1, 4);
         let queue: Vec<TaskId> = (0..4).map(|i| TaskId::new(JobId(1), i)).collect();
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), job)].into();
+        let jobs: JobArena = [(JobId(1), job)].into();
         let mut s = RlPlacer::new(3);
         s.train_interval = 2;
         for round in 0..4 {
@@ -242,7 +242,7 @@ mod tests {
         let c = crate::util::tests::test_cluster(3);
         let job = crate::util::tests::test_job(1, 3);
         let queue: Vec<TaskId> = (0..3).map(|i| TaskId::new(JobId(1), i)).collect();
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), job)].into();
+        let jobs: JobArena = [(JobId(1), job)].into();
         let ctx = SchedulerContext {
             now: SimTime::from_mins(1),
             jobs: &jobs,

@@ -94,7 +94,7 @@ mod tests {
     use super::*;
     use cluster::JobId;
     use simcore::SimTime;
-    use workload::JobState;
+    use workload::JobArena;
 
     #[test]
     fn fresh_job_outranks_converged_job() {
@@ -102,7 +102,7 @@ mod tests {
         let fresh = crate::util::tests::test_job(1, 1);
         let mut converged = crate::util::tests::test_job(2, 1);
         converged.advance(280.0); // deep into diminishing returns
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), fresh), (JobId(2), converged)].into();
+        let jobs: JobArena = [(JobId(1), fresh), (JobId(2), converged)].into();
         let queue = vec![TaskId::new(JobId(2), 0), TaskId::new(JobId(1), 0)];
         let ctx = SchedulerContext {
             now: SimTime::ZERO,

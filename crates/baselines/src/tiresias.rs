@@ -152,6 +152,7 @@ impl Scheduler for Tiresias {
 mod tests {
     use super::*;
     use cluster::{ResourceVec, ServerId};
+    use workload::JobArena;
 
     #[test]
     fn least_attained_service_runs_first() {
@@ -160,7 +161,7 @@ mod tests {
         let mut rookie = crate::util::tests::test_job(2, 1);
         veteran.spec.previously_run = false;
         rookie.spec.previously_run = false;
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), veteran), (JobId(2), rookie)].into();
+        let jobs: JobArena = [(JobId(1), veteran), (JobId(2), rookie)].into();
         let queue = vec![TaskId::new(JobId(1), 0), TaskId::new(JobId(2), 0)];
         let mut t = Tiresias::new();
         // Pre-load attained service for the veteran.
@@ -189,7 +190,7 @@ mod tests {
         let mut short = crate::util::tests::test_job(2, 1);
         long.spec.predicted_runtime = simcore::SimDuration::from_hours(10);
         short.spec.predicted_runtime = simcore::SimDuration::from_mins(5);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), long), (JobId(2), short)].into();
+        let jobs: JobArena = [(JobId(1), long), (JobId(2), short)].into();
         let queue = vec![TaskId::new(JobId(1), 0), TaskId::new(JobId(2), 0)];
         let mut t = Tiresias::new();
         let ctx = SchedulerContext {
@@ -240,7 +241,7 @@ mod tests {
         short.spec.predicted_runtime = simcore::SimDuration::from_mins(2);
         short.spec.tasks[0].demand = ResourceVec::new(1.0, 4.0, 16.0, 100.0);
         short.spec.tasks[0].gpu_share = 1.0;
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), long), (JobId(2), short)].into();
+        let jobs: JobArena = [(JobId(1), long), (JobId(2), short)].into();
         let queue = vec![TaskId::new(JobId(2), 0)];
         let mut t = Tiresias::new();
         let ctx = SchedulerContext {

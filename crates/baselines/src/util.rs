@@ -173,10 +173,9 @@ pub(crate) mod tests {
     use super::*;
     use cluster::{ClusterConfig, JobId, ResourceVec, Topology};
     use simcore::{SimDuration, SimTime};
-    use std::collections::BTreeMap;
     use workload::dag::{CommStructure, Dag};
     use workload::job::{JobSpec, StopPolicy, TaskSpec};
-    use workload::{JobState, LearningProfile, MlAlgorithm};
+    use workload::{JobArena, JobState, LearningProfile, MlAlgorithm};
 
     pub(crate) fn test_cluster(servers: usize) -> Cluster {
         Cluster::new(&ClusterConfig {
@@ -236,7 +235,7 @@ pub(crate) mod tests {
         )
         .unwrap();
         let job = test_job(1, 1);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), job)].into();
+        let jobs: JobArena = [(JobId(1), job)].into();
         let ctx = SchedulerContext {
             now: SimTime::ZERO,
             jobs: &jobs,
@@ -257,7 +256,7 @@ pub(crate) mod tests {
         let big = test_job(1, 16);
         // A 4-task job fits exactly: all 4 place.
         let small = test_job(2, 4);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), big), (JobId(2), small)].into();
+        let jobs: JobArena = [(JobId(1), big), (JobId(2), small)].into();
         let queue: Vec<TaskId> = (0..16)
             .map(|i| TaskId::new(JobId(1), i))
             .chain((0..4).map(|i| TaskId::new(JobId(2), i)))

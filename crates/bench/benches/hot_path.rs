@@ -11,7 +11,13 @@
 //!   policy, no imitation warm-up), the number the ≤200µs/decision
 //!   target tracks;
 //! * `mlfrl_decision_traced` — the same round with a disabled-sink
-//!   tracer attached, guarding the ≤2% no-op observability budget.
+//!   tracer attached, guarding the ≤2% no-op observability budget;
+//! * `event_calendar` — steady-state pop/push on the deadline
+//!   calendar the event-driven engine advances through (one window's
+//!   worth of eager pops plus re-arms at 1k pending events);
+//! * `arena_job_row` — one SoA hot-row read per queued task (the
+//!   arena lookup the engine and gang-feasibility checks lean on),
+//!   against the `BTreeMap`-era cost this column layout replaced.
 //!
 //! ```sh
 //! cargo bench -p mlfs-bench --bench hot_path
@@ -114,6 +120,41 @@ fn bench_hot_path(c: &mut Criterion) {
                 queue: &queue,
             };
             black_box(traced_sched.schedule(&ctx))
+        })
+    });
+
+    // Deadline-calendar churn at paper-scale occupancy: pop the eight
+    // earliest events of a window and re-arm each one later, the way
+    // `advance_event` consumes and the admitter refills the calendar.
+    group.bench_function("event_calendar", |b| {
+        let mut cal: simcore::EventQueue<cluster::JobId> = simcore::EventQueue::new();
+        let mut rng = SimRng::new(11);
+        for i in 0..1000u32 {
+            cal.push(SimTime(rng.range_u64(0, 1 << 30)), cluster::JobId(i));
+        }
+        b.iter(|| {
+            let mut last = SimTime::ZERO;
+            for _ in 0..8 {
+                if let Some(entry) = cal.pop() {
+                    last = entry.at;
+                    cal.push(entry.at + simcore::SimDuration::from_hours(1), entry.event);
+                }
+            }
+            black_box(last)
+        })
+    });
+
+    // One hot-row read per queued task: the SoA column fetch that
+    // replaced pulling whole `JobState`s through the old `BTreeMap`.
+    group.bench_function("arena_job_row", |b| {
+        b.iter(|| {
+            let mut gpu = 0.0f64;
+            for t in &queue {
+                if let Some(row) = jobs.hot(&t.job) {
+                    gpu += row.max_task_gpu_share + row.task_count as f64;
+                }
+            }
+            black_box(gpu)
         })
     });
     group.finish();

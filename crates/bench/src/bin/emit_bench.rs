@@ -18,6 +18,10 @@
 //! the inner-loop numbers (`scores_batch`, `mlfrl_decision`, …) are
 //! tracked alongside the per-scheduler decision times.
 //!
+//! Each emit also stamps `meta.{before,after}_commit` with the git
+//! commit the snapshot was captured at, so checked-in numbers stay
+//! attributable across a change.
+//!
 //! Flags: `--snapshot DIR` (default
 //! `target/criterion-mini/scheduler_overhead`), `--hot-path DIR`
 //! (default `target/criterion-mini/hot_path`, skipped when absent),
@@ -115,6 +119,22 @@ fn main() {
         Value::Str("cargo bench -p mlfs-bench && cargo run -p mlfs-bench --bin emit_bench".into()),
     );
     set(&mut root, &field, Value::Map(measured));
+
+    // Record which commit each snapshot was captured at, so a
+    // checked-in before/after pair is attributable after the fact.
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut meta: Vec<(String, Value)> = match get(&root, "meta") {
+        Some(Value::Map(m)) => m.clone(),
+        _ => Vec::new(),
+    };
+    set(&mut meta, &format!("{field}_commit"), Value::Str(commit));
+    set(&mut root, "meta", Value::Map(meta));
 
     // Inner-loop medians (optional: only when the hot_path bench ran).
     let hot_snapshot = args

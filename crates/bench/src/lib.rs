@@ -414,11 +414,7 @@ pub fn print_figure_panels(cells: &[Cell], names: &[&str], xs: &[f64], panel: Op
 pub fn snapshot(
     n_jobs: usize,
     seed: u64,
-) -> (
-    cluster::Cluster,
-    std::collections::BTreeMap<cluster::JobId, workload::JobState>,
-    Vec<cluster::TaskId>,
-) {
+) -> (cluster::Cluster, workload::JobArena, Vec<cluster::TaskId>) {
     use cluster::TaskId;
     use simcore::SimTime;
     use workload::TaskRunState;
@@ -427,7 +423,7 @@ pub fn snapshot(
     trace.jobs = n_jobs;
     let specs = workload::TraceGenerator::new(trace).generate();
     let mut cluster = cluster::Cluster::new(&cluster::ClusterConfig::paper_testbed());
-    let mut jobs = std::collections::BTreeMap::new();
+    let mut jobs = workload::JobArena::new();
     let mut queue = Vec::new();
     for (ji, spec) in specs.into_iter().enumerate() {
         let id = spec.id;

@@ -1,0 +1,44 @@
+//! The event-driven engine is a pure performance optimisation: for
+//! every figure scheduler it must reproduce the naive reference
+//! engine's `RunMetrics` **bit for bit** — same completions, same
+//! accuracies, same bandwidth, same per-round telemetry counters —
+//! on both deterministic figure configurations (the Fig. 4 testbed
+//! trace and the Fig. 5 Philly-scale simulation). The in-crate sim
+//! tests cover randomized small workloads (proptest) plus straggler
+//! and fault configs; this test pins the ten published schedulers on
+//! the exact experiment setups the figures use.
+
+use baselines::FIGURE_SCHEDULERS;
+use mlfs_sim::engine::EngineMode;
+use mlfs_sim::experiments::Experiment;
+
+fn run_once(e: &Experiment, name: &str, engine: EngineMode) -> String {
+    let mut e = e.clone();
+    e.sim.engine = engine;
+    let mut scheduler = e.scheduler(name, 7);
+    let mut m = e.run(scheduler.as_mut());
+    m.clear_wall_clock();
+    serde_json::to_string(&m).expect("serializable metrics")
+}
+
+fn assert_engines_agree(mut e: Experiment, jobs: usize, label: &str) {
+    e.trace.jobs = jobs; // cheap: determinism, not statistics, is the point
+    for name in FIGURE_SCHEDULERS {
+        let naive = run_once(&e, name, EngineMode::Naive);
+        let event = run_once(&e, name, EngineMode::EventDriven);
+        assert_eq!(
+            naive, event,
+            "{label}/{name}: event engine diverged from the naive reference"
+        );
+    }
+}
+
+#[test]
+fn all_schedulers_bit_identical_on_fig4() {
+    assert_engines_agree(mlfs_sim::experiments::fig4(0.25, 64.0, 7), 8, "fig4");
+}
+
+#[test]
+fn all_schedulers_bit_identical_on_fig5() {
+    assert_engines_agree(mlfs_sim::experiments::fig5(1.0, 0.02, 40.0, 7), 10, "fig5");
+}

@@ -156,15 +156,15 @@ impl Server {
         self.utilization().norm()
     }
 
-    /// Compute load on GPU `g`.
+    /// Compute load on GPU `g` (0 for an out-of-range index).
     pub fn gpu_load(&self, g: usize) -> f64 {
-        self.gpu_load[g]
+        self.gpu_load.get(g).copied().unwrap_or(0.0)
     }
 
     /// Utilization of GPU `g`.
     pub fn gpu_utilization(&self, g: usize) -> f64 {
         if self.gpu_capacity > 0.0 {
-            self.gpu_load[g] / self.gpu_capacity
+            self.gpu_load(g) / self.gpu_capacity
         } else {
             0.0
         }
@@ -175,9 +175,11 @@ impl Server {
     /// GPU in the selected server".
     pub fn least_loaded_gpu(&self) -> usize {
         let mut best = 0;
-        for g in 1..self.gpu_load.len() {
-            if self.gpu_load[g] < self.gpu_load[best] {
+        let mut best_load = f64::INFINITY;
+        for (g, &load) in self.gpu_load.iter().enumerate() {
+            if load < best_load {
                 best = g;
+                best_load = load;
             }
         }
         best
@@ -233,7 +235,7 @@ impl Server {
             return false;
         }
         let g = self.least_loaded_gpu();
-        self.gpu_load[g] + gpu_share <= self.gpu_capacity * h_r + 1e-9
+        self.gpu_load(g) + gpu_share <= self.gpu_capacity * h_r + 1e-9
     }
 
     /// Place `task` on the least-loaded GPU. Returns the chosen GPU.
@@ -262,7 +264,9 @@ impl Server {
         );
         assert!(prev.is_none(), "task {task} placed twice on {}", self.id);
         self.load += demand;
-        self.gpu_load[gpu] += gpu_share;
+        if let Some(load) = self.gpu_load.get_mut(gpu) {
+            *load += gpu_share;
+        }
         self.refresh_util_cache();
     }
 
@@ -278,9 +282,8 @@ impl Server {
         self.load -= p.demand;
         self.load += demand;
         self.load.clamp_non_negative();
-        self.gpu_load[p.gpu] += gpu_share - p.gpu_share;
-        if self.gpu_load[p.gpu] < 0.0 {
-            self.gpu_load[p.gpu] = 0.0;
+        if let Some(load) = self.gpu_load.get_mut(p.gpu) {
+            *load = (*load + (gpu_share - p.gpu_share)).max(0.0);
         }
         p.demand = demand;
         p.gpu_share = gpu_share;
@@ -294,9 +297,8 @@ impl Server {
         let p = self.tasks.remove(&task)?;
         self.load -= p.demand;
         self.load.clamp_non_negative();
-        self.gpu_load[p.gpu] -= p.gpu_share;
-        if self.gpu_load[p.gpu] < 0.0 {
-            self.gpu_load[p.gpu] = 0.0;
+        if let Some(load) = self.gpu_load.get_mut(p.gpu) {
+            *load = (*load - p.gpu_share).max(0.0);
         }
         self.refresh_util_cache();
         Some(p)
@@ -340,7 +342,7 @@ impl Server {
     /// or under capacity, otherwise `capacity / load` (< 1). Tasks on a
     /// 2×-oversubscribed GPU run at half speed.
     pub fn gpu_speed_factor(&self, g: usize) -> f64 {
-        let load = self.gpu_load[g];
+        let load = self.gpu_load(g);
         if load <= self.gpu_capacity || load <= 0.0 {
             1.0
         } else {

@@ -54,7 +54,7 @@ impl MlfC {
 
     /// Subsampled `(iteration, accuracy)` history for curve fitting.
     fn accuracy_history(job: &JobState) -> Vec<(f64, f64)> {
-        let n = job.loss_history.len();
+        let n = job.recorded_iterations();
         if n == 0 {
             return Vec::new();
         }
@@ -153,6 +153,7 @@ mod tests {
     use simcore::{SimDuration, SimTime};
     use workload::dag::{CommStructure, Dag};
     use workload::job::{JobSpec, TaskSpec};
+    use workload::JobArena;
     use workload::{LearningProfile, MlAlgorithm};
 
     fn cluster() -> Cluster {
@@ -201,7 +202,7 @@ mod tests {
     }
 
     fn ctx<'a>(
-        jobs: &'a BTreeMap<JobId, JobState>,
+        jobs: &'a JobArena,
         cluster: &'a Cluster,
         queue: &'a [TaskId],
     ) -> SchedulerContext<'a> {
@@ -216,7 +217,7 @@ mod tests {
     #[test]
     fn overload_detection_via_queue_and_degree() {
         let c = cluster();
-        let jobs = BTreeMap::new();
+        let jobs = JobArena::new();
         let mlfc = MlfC::new(Params::default());
         let empty: Vec<TaskId> = vec![];
         assert!(!mlfc.system_overloaded(&ctx(&jobs, &c, &empty)));
@@ -243,7 +244,7 @@ mod tests {
         // Run enough iterations that accuracy (→0.81) passes 0.6.
         j.advance(100.0);
         assert!(j.accuracy() >= 0.6);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let jobs: JobArena = [(JobId(1), j)].into();
         let mut mlfc = MlfC::new(Params::default());
         let actions = mlfc.control(&ctx(&jobs, &c, &[]));
         assert!(actions.iter().any(|a| matches!(
@@ -261,7 +262,7 @@ mod tests {
         let mut j = job(2, StopPolicy::OptStop, false, 0.05);
         // k = 0.05 saturates within ~200 iterations of a 2000 budget.
         j.advance(400.0);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(2), j)].into();
+        let jobs: JobArena = [(JobId(2), j)].into();
         let mut mlfc = MlfC::new(Params::default());
         let actions = mlfc.control(&ctx(&jobs, &c, &[]));
         assert!(
@@ -281,7 +282,7 @@ mod tests {
         let c = cluster();
         let mut j = job(3, StopPolicy::OptStop, false, 0.002);
         j.advance(30.0); // far from the ~2300-iteration saturation
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(3), j)].into();
+        let jobs: JobArena = [(JobId(3), j)].into();
         let mut mlfc = MlfC::new(Params::default());
         let actions = mlfc.control(&ctx(&jobs, &c, &[]));
         assert!(
@@ -295,7 +296,7 @@ mod tests {
         let c = cluster();
         let j_allow = job(1, StopPolicy::MaxIterations, true, 0.002);
         let j_deny = job(2, StopPolicy::MaxIterations, false, 0.002);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j_allow), (JobId(2), j_deny)].into();
+        let jobs: JobArena = [(JobId(1), j_allow), (JobId(2), j_deny)].into();
         let mut mlfc = MlfC::new(Params::default());
         // Not overloaded: no demotion.
         let a = mlfc.control(&ctx(&jobs, &c, &[]));
@@ -318,7 +319,7 @@ mod tests {
         let c = cluster();
         let mut j = job(1, StopPolicy::RequiredAccuracy, true, 0.05);
         j.advance(200.0);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let jobs: JobArena = [(JobId(1), j)].into();
         let mut mlfc = MlfC::new(Params {
             use_mlfc: false,
             ..Params::default()
@@ -331,7 +332,7 @@ mod tests {
         let c = cluster();
         let mut j = job(1, StopPolicy::OptStop, false, 0.002);
         j.advance(30.0);
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let jobs: JobArena = [(JobId(1), j)].into();
         let mut mlfc = MlfC::new(Params::default());
         mlfc.control(&ctx(&jobs, &c, &[]));
         // Second call with no progress: the job is skipped (no panic,

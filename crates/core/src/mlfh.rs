@@ -344,7 +344,7 @@ mod tests {
     use simcore::{SimDuration, SimTime};
     use workload::dag::{CommStructure, Dag};
     use workload::job::{JobSpec, StopPolicy, TaskSpec};
-    use workload::{JobState, LearningProfile, MlAlgorithm, TaskRunState};
+    use workload::{JobArena, JobState, LearningProfile, MlAlgorithm, TaskRunState};
 
     fn cluster(servers: usize) -> Cluster {
         Cluster::new(&ClusterConfig {
@@ -393,9 +393,9 @@ mod tests {
         JobState::new(spec, SimTime::ZERO)
     }
 
-    fn ctx_parts(jobs: Vec<JobState>) -> (BTreeMap<JobId, JobState>, Vec<TaskId>) {
+    fn ctx_parts(jobs: Vec<JobState>) -> (JobArena, Vec<TaskId>) {
         let mut queue = Vec::new();
-        let map: BTreeMap<JobId, JobState> = jobs
+        let map: JobArena = jobs
             .into_iter()
             .map(|j| {
                 for (i, st) in j.task_states.iter().enumerate() {
@@ -535,7 +535,7 @@ mod tests {
                 gpu: 0,
             };
         }
-        let mut jobs = BTreeMap::new();
+        let mut jobs = JobArena::new();
         jobs.insert(JobId(1), jj);
         let mut s = MlfH::new(Params {
             use_migration: false,

@@ -677,10 +677,9 @@ mod tests {
     use super::*;
     use cluster::{Cluster, ClusterConfig, JobId, ResourceVec, Topology};
     use simcore::{SimDuration, SimTime};
-    use std::collections::BTreeMap;
     use workload::dag::{CommStructure, Dag};
     use workload::job::{JobSpec, StopPolicy, TaskSpec};
-    use workload::{JobState, LearningProfile, MlAlgorithm};
+    use workload::{JobArena, JobState, LearningProfile, MlAlgorithm};
 
     fn cluster() -> Cluster {
         Cluster::new(&ClusterConfig {
@@ -734,7 +733,7 @@ mod tests {
         let c = cluster();
         let j = job(1, 3);
         let queue: Vec<TaskId> = (0..3).map(|i| TaskId::new(JobId(1), i)).collect();
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let jobs: JobArena = [(JobId(1), j)].into();
         let ctx = SchedulerContext {
             now: SimTime::from_mins(1),
             jobs: &jobs,
@@ -760,7 +759,7 @@ mod tests {
         let c = cluster();
         let j = job(1, 2);
         let queue: Vec<TaskId> = (0..2).map(|i| TaskId::new(JobId(1), i)).collect();
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let jobs: JobArena = [(JobId(1), j)].into();
         let mut rl = MlfRl::new(
             Params::default(),
             MlfRlConfig {
@@ -786,7 +785,7 @@ mod tests {
         let c = cluster();
         let j = job(1, 4);
         let queue: Vec<TaskId> = (0..4).map(|i| TaskId::new(JobId(1), i)).collect();
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let jobs: JobArena = [(JobId(1), j)].into();
         let mut rl = MlfRl::new(
             Params::default(),
             MlfRlConfig {
@@ -826,7 +825,7 @@ mod tests {
         let c = cluster();
         let j = job(1, 2);
         let queue: Vec<TaskId> = (0..2).map(|i| TaskId::new(JobId(1), i)).collect();
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let jobs: JobArena = [(JobId(1), j)].into();
         let mut rl = MlfRl::new(
             Params::default(),
             MlfRlConfig {
@@ -853,7 +852,7 @@ mod tests {
         let c = cluster();
         let j = job(1, 4);
         let queue: Vec<TaskId> = (0..4).map(|i| TaskId::new(JobId(1), i)).collect();
-        let jobs: BTreeMap<JobId, JobState> = [(JobId(1), j)].into();
+        let jobs: JobArena = [(JobId(1), j)].into();
         let mk = || {
             MlfRl::new(
                 Params::default(),

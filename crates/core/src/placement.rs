@@ -16,14 +16,13 @@
 
 use crate::params::Params;
 use crate::priority::PriorityMap;
-use cluster::{ClusterView, JobId, Resource, ServerId, TaskId};
+use cluster::{ClusterView, Resource, ServerId, TaskId};
 use std::cell::RefCell;
 
 /// Weight of the communication-affinity dimension in the host
 /// ideal-point distance (utilization dims weigh 1 each).
 const AFFINITY_WEIGHT: f64 = 6.0;
-use std::collections::BTreeMap;
-use workload::{CommStructure, JobState};
+use workload::{CommStructure, JobArena, JobState};
 
 /// Append the task indices that communicate directly with task `idx`
 /// of `job` (DAG neighbours plus parameter-accumulation links) to
@@ -137,7 +136,7 @@ struct HostScratch {
 /// Returns `None` when no underloaded server can host the task.
 pub fn select_host<V: ClusterView>(
     plan: &V,
-    jobs: &BTreeMap<JobId, JobState>,
+    jobs: &JobArena,
     task: TaskId,
     migration_from: Option<ServerId>,
     p: &Params,
@@ -150,7 +149,7 @@ pub fn select_host<V: ClusterView>(
 /// false everywhere reduces to `select_host` exactly.
 pub fn select_host_filtered<V: ClusterView, F: Fn(ServerId) -> bool>(
     plan: &V,
-    jobs: &BTreeMap<JobId, JobState>,
+    jobs: &JobArena,
     task: TaskId,
     migration_from: Option<ServerId>,
     p: &Params,
@@ -164,7 +163,7 @@ pub fn select_host_filtered<V: ClusterView, F: Fn(ServerId) -> bool>(
 
 fn select_host_inner<V: ClusterView, F: Fn(ServerId) -> bool>(
     plan: &V,
-    jobs: &BTreeMap<JobId, JobState>,
+    jobs: &JobArena,
     task: TaskId,
     migration_from: Option<ServerId>,
     p: &Params,
@@ -308,7 +307,7 @@ struct VictimScratch {
 /// on the server.
 pub fn select_victim<V: ClusterView>(
     plan: &V,
-    jobs: &BTreeMap<JobId, JobState>,
+    jobs: &JobArena,
     server: ServerId,
     priorities: &PriorityMap,
     p: &Params,
@@ -321,7 +320,7 @@ pub fn select_victim<V: ClusterView>(
 
 fn select_victim_inner<V: ClusterView>(
     plan: &V,
-    jobs: &BTreeMap<JobId, JobState>,
+    jobs: &JobArena,
     server: ServerId,
     priorities: &PriorityMap,
     p: &Params,
@@ -415,7 +414,7 @@ pub fn resource_overloaded<V: ClusterView>(plan: &V, s: ServerId, r: Resource, h
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cluster::{Cluster, ClusterConfig, ResourceVec, Topology};
+    use cluster::{Cluster, ClusterConfig, JobId, ResourceVec, Topology};
     use simcore::{SimDuration, SimTime};
     use workload::dag::Dag;
     use workload::job::{JobSpec, StopPolicy, TaskSpec};
@@ -482,7 +481,7 @@ mod tests {
         JobState::new(spec, SimTime::ZERO)
     }
 
-    fn jobs_map(jobs: Vec<JobState>) -> BTreeMap<JobId, JobState> {
+    fn jobs_map(jobs: Vec<JobState>) -> JobArena {
         jobs.into_iter().map(|j| (j.spec.id, j)).collect()
     }
 

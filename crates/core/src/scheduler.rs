@@ -9,16 +9,16 @@
 
 use cluster::{Cluster, JobId, ServerId, TaskId};
 use simcore::SimTime;
-use std::collections::BTreeMap;
-use workload::{JobState, StopPolicy, StopReason};
+use workload::{JobArena, JobState, StopPolicy, StopReason};
 
 /// Read-only view handed to a scheduler each round.
 pub struct SchedulerContext<'a> {
     /// Current simulated time.
     pub now: SimTime,
-    /// All jobs that have arrived and not been garbage-collected,
-    /// keyed by id (deterministic iteration order).
-    pub jobs: &'a BTreeMap<JobId, JobState>,
+    /// All jobs that have arrived and not been garbage-collected, in
+    /// the SoA arena (ascending-id iteration order, same as the
+    /// `BTreeMap` it replaced).
+    pub jobs: &'a JobArena,
     /// The live cluster state.
     pub cluster: &'a Cluster,
     /// Tasks currently waiting in the queue (unordered; schedulers
@@ -148,7 +148,7 @@ mod tests {
             nic_mbps: 1000.0,
             topology: cluster::Topology::default_flat(),
         });
-        let jobs = BTreeMap::new();
+        let jobs = JobArena::new();
         let queue = vec![TaskId::new(JobId(0), 0)];
         let ctx = SchedulerContext {
             now: SimTime::ZERO,

@@ -13,6 +13,34 @@
 //! counted (`RunMetrics::invalid_actions`) and skipped rather than
 //! corrupting state. Scheduler decision time is measured around each
 //! `schedule` call with a monotonic wall clock (Fig. 4h).
+//!
+//! # Two interchangeable engines
+//!
+//! The world-advancement loop exists twice, selected by
+//! [`SimConfig::engine`]:
+//!
+//! * [`EngineMode::Naive`] — the reference implementation: every
+//!   sub-step recomputes every unfinished job's rate and scans every
+//!   job slot. O(jobs) per sub-step, trivially correct, kept verbatim
+//!   as the ground truth the fast engine is checked against.
+//! * [`EngineMode::EventDriven`] (default) — a calendar of
+//!   next-interesting-times. Arrivals come from the sorted pending
+//!   list, deadline crossings from a [`simcore::EventQueue`], and
+//!   completion candidates from an O(running) scan over the set of
+//!   jobs that hold placed tasks, using per-window cached rates
+//!   (invalidated only for jobs co-located with a mid-window
+//!   completion — `job_rate` is a pure function of placements and
+//!   per-server GPU load, so every other cached value is still
+//!   bit-exact). Idle jobs accrue waiting time in one lazy batch per
+//!   window (integer-millisecond addition is associative, so the batch
+//!   telescopes to the very sum the naive loop computes).
+//!
+//! Both engines produce **bit-identical** `RunMetrics` for every
+//! scheduler; `engine_determinism` in the bench suite proves it for
+//! all ten figure schedulers and the in-crate tests cover straggler
+//! and fault configurations. Scheduler invocation stays round-aligned
+//! in both modes — the calendar only accelerates the world *between*
+//! rounds and skips quiescent stretches.
 
 use crate::progress::{job_rate, JobRate, ProgressModel};
 use crate::reward::{components, WindowStats};
@@ -20,10 +48,10 @@ use cluster::{Cluster, ClusterConfig, JobId, ServerId, TaskId};
 use metrics::{FaultRecord, JobRecord, RunMetrics};
 use mlfs::placement::migration_state_mb;
 use mlfs::{Action, Scheduler, SchedulerContext};
-use simcore::{SimDuration, SimRng, SimTime};
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant; // lint:allow(cfg-std-time) reason="wall-time decision-latency metrics only; never feeds simulated time or scheduling state"
-use workload::{JobSpec, JobState, StopReason, TaskRunState};
+use workload::{JobArena, JobSpec, JobState, StopReason, TaskRunState};
 
 /// Straggler injection (the paper's §3.3.3 "future work" extension).
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +103,18 @@ pub struct FaultConfig {
     pub checkpoint_iters: u64,
 }
 
+/// Which world-advancement loop to run (see the module docs). The
+/// two modes are bit-identical in every `RunMetrics` field except the
+/// wall-clock observability ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Reference engine: O(jobs) scans every sub-step and every round.
+    Naive,
+    /// Calendar-driven engine: O(running + changes) per sub-step.
+    #[default]
+    EventDriven,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -115,6 +155,8 @@ pub struct SimConfig {
     /// telemetry counters accumulate either way, so enabling a sink
     /// never changes `RunMetrics` beyond wall-clock fields.
     pub trace: obs::TraceConfig,
+    /// World-advancement engine (default: event-driven).
+    pub engine: EngineMode,
 }
 
 impl Default for SimConfig {
@@ -131,15 +173,27 @@ impl Default for SimConfig {
             seed: 42,
             record_timeline: false,
             trace: obs::TraceConfig::default(),
+            engine: EngineMode::default(),
         }
     }
+}
+
+/// A per-window cached progress rate for one running job (event
+/// engine only). `rate` already folds in any straggler slowdown;
+/// `gpu_share` is the job's total placed GPU share — constant within a
+/// window because placements only change between rounds or when the
+/// job itself completes.
+#[derive(Debug, Clone, Copy)]
+struct CachedRate {
+    rate: JobRate,
+    gpu_share: f64,
 }
 
 /// The live simulation.
 pub struct Simulation {
     cfg: SimConfig,
     cluster: Cluster,
-    jobs: BTreeMap<JobId, JobState>,
+    jobs: JobArena,
     queue: Vec<TaskId>,
     /// Pending arrivals, ascending by arrival time; `next_arrival`
     /// indexes into it.
@@ -151,6 +205,23 @@ pub struct Simulation {
     stragglers: BTreeSet<TaskId>,
     rng: SimRng,
     bandwidth_charged_mb: f64,
+    /// Unfinished jobs, ascending id (mirrors the arena's order).
+    active: BTreeSet<JobId>,
+    /// Jobs holding at least one `Running` task, ascending id.
+    running: BTreeSet<JobId>,
+    /// Event engine: per-window cached rates for the running set.
+    rate_cache: BTreeMap<JobId, CachedRate>,
+    /// Event engine: pending deadline crossings.
+    deadline_cal: EventQueue<JobId>,
+    /// Event engine: servers that lost tasks to a mid-window
+    /// completion; drained to invalidate co-located cached rates.
+    freed_servers: Vec<ServerId>,
+    /// Event engine: placed tasks awaiting one batched queue purge.
+    queue_tombstones: BTreeSet<TaskId>,
+    /// Worker count for the fork-join rate pass (from
+    /// `MLFS_SIM_THREADS` / available parallelism; output is
+    /// thread-count invariant).
+    sim_threads: usize,
     /// Independent RNG stream for fault injection, forked from the
     /// seed so enabling faults never perturbs straggler sampling.
     fault_rng: SimRng,
@@ -166,6 +237,10 @@ pub struct Simulation {
 
 /// Stream label for the fault-injection RNG fork.
 const FAULT_RNG_STREAM: u64 = 0xFA17;
+
+/// Running-set size below which the rate-cache rebuild stays serial
+/// (fork-join setup would cost more than it saves).
+const PAR_RATE_THRESHOLD: usize = 64;
 
 impl Simulation {
     /// Build a simulation over `specs` (any order; sorted internally).
@@ -193,7 +268,7 @@ impl Simulation {
         Simulation {
             cfg,
             cluster,
-            jobs: BTreeMap::new(),
+            jobs: JobArena::new(),
             queue: Vec::new(),
             pending: specs,
             next_arrival: 0,
@@ -203,10 +278,41 @@ impl Simulation {
             stragglers: BTreeSet::new(),
             rng,
             bandwidth_charged_mb: 0.0,
+            active: BTreeSet::new(),
+            running: BTreeSet::new(),
+            rate_cache: BTreeMap::new(),
+            deadline_cal: EventQueue::new(),
+            freed_servers: Vec::new(),
+            queue_tombstones: BTreeSet::new(),
+            sim_threads: simcore::sim_threads(),
             fault_rng,
             next_scheduled_fault: 0,
             recoveries: Vec::new(),
             tracer,
+        }
+    }
+
+    /// Re-derive `id`'s membership in the active/running index sets
+    /// from its current state. Called after every mutation that can
+    /// change placement or finish a job; cheap (two `BTreeSet` probes
+    /// plus an O(tasks) count), and maintained in both engine modes so
+    /// the sets are always trustworthy.
+    fn sync_job_sets(&mut self, id: JobId) {
+        match self.jobs.get(&id) {
+            Some(j) if !j.is_finished() => {
+                self.active.insert(id);
+                if j.running_tasks() > 0 {
+                    self.running.insert(id);
+                } else {
+                    self.running.remove(&id);
+                    self.rate_cache.remove(&id);
+                }
+            }
+            _ => {
+                self.active.remove(&id);
+                self.running.remove(&id);
+                self.rate_cache.remove(&id);
+            }
         }
     }
 
@@ -266,11 +372,17 @@ impl Simulation {
                 }
             }
             if self.cfg.record_timeline {
+                // The index set's cardinality equals the naive scan's
+                // count by the `sync_job_sets` invariant.
+                let active_jobs = match self.cfg.engine {
+                    EngineMode::Naive => self.jobs.values().filter(|j| !j.is_finished()).count(),
+                    EngineMode::EventDriven => self.active.len(),
+                };
                 self.metrics.timeline.push(metrics::TimelinePoint {
                     t_mins: self.now.as_mins_f64(),
                     mean_util: self.cluster.mean_utilization().0,
                     queue_len: self.queue.len(),
-                    active_jobs: self.jobs.values().filter(|j| !j.is_finished()).count(),
+                    active_jobs,
                     overloaded_servers: overloaded,
                 });
             }
@@ -318,7 +430,10 @@ impl Simulation {
             self.inject_stragglers();
 
             // Pick the next round time.
-            let active = self.jobs.values().any(|j| !j.is_finished());
+            let active = match self.cfg.engine {
+                EngineMode::Naive => self.jobs.values().any(|j| !j.is_finished()),
+                EngineMode::EventDriven => !self.active.is_empty(),
+            };
             if !active && self.next_arrival >= self.pending.len() {
                 break;
             }
@@ -340,20 +455,40 @@ impl Simulation {
         self.finalize()
     }
 
-    /// Mean accuracy over active jobs.
+    /// Mean accuracy over active jobs. Both arms visit unfinished jobs
+    /// in ascending id order, so the summation order (and thus the
+    /// floating-point result) is identical.
     fn mean_active_accuracy(&self) -> f64 {
-        let accs: Vec<f64> = self
-            .jobs
-            .values()
-            .filter(|j| !j.is_finished())
-            .map(|j| j.accuracy())
-            .collect();
+        let accs: Vec<f64> = match self.cfg.engine {
+            EngineMode::Naive => self
+                .jobs
+                .values()
+                .filter(|j| !j.is_finished())
+                .map(|j| j.accuracy())
+                .collect(),
+            EngineMode::EventDriven => self
+                .active
+                .iter()
+                .filter_map(|id| self.jobs.get(id))
+                .map(|j| j.accuracy())
+                .collect(),
+        };
         metrics::mean(&accs)
     }
 
     /// Advance the world from `from` to `to`, sub-stepping at arrivals
     /// and completions.
     fn advance(&mut self, from: SimTime, to: SimTime) {
+        match self.cfg.engine {
+            EngineMode::Naive => self.advance_naive(from, to),
+            EngineMode::EventDriven => self.advance_event(from, to),
+        }
+    }
+
+    /// Reference advancement: every sub-step recomputes every
+    /// unfinished job's rate and walks every job slot. Kept verbatim
+    /// as the ground truth for the event engine's determinism tests.
+    fn advance_naive(&mut self, from: SimTime, to: SimTime) {
         let mut t = from;
         // Admit arrivals at exactly `from` first (e.g. the initial jump).
         self.admit_arrivals(t);
@@ -367,12 +502,12 @@ impl Simulation {
                     let mut r = job_rate(j, &self.cluster, self.cfg.progress);
                     if let Some(sc) = self.cfg.straggler {
                         let straggling = (0..j.spec.task_count())
-                            .any(|i| self.stragglers.contains(&TaskId::new(*id, i as u16)));
+                            .any(|i| self.stragglers.contains(&TaskId::new(id, i as u16)));
                         if straggling {
                             r.iters_per_sec *= sc.slowdown;
                         }
                     }
-                    (*id, r)
+                    (id, r)
                 })
                 .collect();
 
@@ -410,7 +545,7 @@ impl Simulation {
                 if j.is_finished() {
                     continue;
                 }
-                let r = rates.get(id).copied().unwrap_or_default();
+                let r = rates.get(&id).copied().unwrap_or_default();
                 // Deadline crossing inside (t, t_next]?
                 let d = j.spec.deadline;
                 if j.accuracy_at_deadline.is_none() && d > t && d <= t_next {
@@ -434,7 +569,7 @@ impl Simulation {
                     self.bandwidth_charged_mb += mb;
                     self.window.transferred_mb += mb;
                     if j.iterations >= j.spec.max_iterations as f64 - 1e-9 {
-                        finished_now.push(*id);
+                        finished_now.push(id);
                     }
                 } else if j.running_tasks() == 0 {
                     // Whole job idle: accrue waiting time.
@@ -449,6 +584,195 @@ impl Simulation {
         }
     }
 
+    /// One running job's cached rate — straggler slowdown folded in,
+    /// exactly as the naive per-sub-step loop computes it — plus its
+    /// total placed GPU share.
+    fn cached_rate_for(&self, id: JobId) -> Option<CachedRate> {
+        let j = self.jobs.get(&id)?;
+        let mut r = job_rate(j, &self.cluster, self.cfg.progress);
+        if let Some(sc) = self.cfg.straggler {
+            let straggling = (0..j.spec.task_count())
+                .any(|i| self.stragglers.contains(&TaskId::new(id, i as u16)));
+            if straggling {
+                r.iters_per_sec *= sc.slowdown;
+            }
+        }
+        let gpu_share: f64 = j
+            .task_states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
+            .map(|(i, _)| j.spec.tasks.get(i).map(|t| t.gpu_share).unwrap_or(0.0))
+            .sum();
+        Some(CachedRate { rate: r, gpu_share })
+    }
+
+    /// (Re)build the per-window rate cache over the running set. The
+    /// per-job computation is pure, so large sets fan out over
+    /// deterministic fork-join cells ([`simcore::par_map`]); results
+    /// merge in the running set's id order regardless of thread count.
+    fn rebuild_rate_cache(&mut self) {
+        let ids: Vec<JobId> = self.running.iter().copied().collect();
+        let threads = if ids.len() >= PAR_RATE_THRESHOLD {
+            self.sim_threads
+        } else {
+            1
+        };
+        let entries = {
+            let this: &Simulation = self;
+            simcore::par_map(&ids, threads, |_, &id| this.cached_rate_for(id))
+        };
+        self.rate_cache.clear();
+        for (id, e) in ids.iter().zip(entries) {
+            if let Some(e) = e {
+                self.rate_cache.insert(*id, e);
+            }
+        }
+    }
+
+    /// Event-driven advancement. Observably identical to
+    /// [`Self::advance_naive`] (bit-for-bit, including every
+    /// floating-point accumulator) but O(running + changes) per
+    /// sub-step instead of O(jobs):
+    ///
+    /// * completion candidates come from the cached rates of the
+    ///   running set — `job_rate` reads only placements and per-server
+    ///   GPU load, both frozen within a window except where a
+    ///   completion frees them;
+    /// * deadline crossings pop from a calendar instead of re-checking
+    ///   every job;
+    /// * idle jobs' `+= 0.0` ledger contributions are skipped (exact
+    ///   floating-point identities) and their waiting time accrues in
+    ///   one integer-exact batch at window end.
+    fn advance_event(&mut self, from: SimTime, to: SimTime) {
+        let mut t = from;
+        self.admit_arrivals(t);
+        self.freed_servers.clear();
+        self.rebuild_rate_cache();
+        while t < to {
+            // Earliest event in (t, to]: completion or arrival.
+            let mut t_next = to;
+            for (id, c) in &self.rate_cache {
+                if c.rate.iters_per_sec <= 0.0 {
+                    continue;
+                }
+                let Some(j) = self.jobs.get(id) else { continue };
+                let remaining = j.spec.max_iterations as f64 - j.iterations;
+                if remaining <= 0.0 {
+                    continue;
+                }
+                let t_c = t + SimDuration::from_secs_f64(remaining / c.rate.iters_per_sec);
+                if t_c < t_next {
+                    t_next = t_c;
+                }
+            }
+            if let Some(a) = self.pending.get(self.next_arrival).map(|s| s.arrival) {
+                if a > t && a < t_next {
+                    t_next = a;
+                }
+            }
+            if t_next <= t {
+                t_next = to; // numerical floor: never stall
+            }
+            let dt_secs = t_next.since(t).as_secs_f64();
+
+            // Deadline crossings in (t, t_next]: freeze by-deadline
+            // accuracy from the job's *pre-advance* iterations, as the
+            // naive per-job pass does. Idle jobs project with rate 0.
+            while self
+                .deadline_cal
+                .peek_time()
+                .map(|at| at <= t_next)
+                .unwrap_or(false)
+            {
+                let Some(entry) = self.deadline_cal.pop() else {
+                    break;
+                };
+                let id = entry.event;
+                let r = self
+                    .rate_cache
+                    .get(&id)
+                    .map(|c| c.rate.iters_per_sec)
+                    .unwrap_or(0.0);
+                if let Some(j) = self.jobs.get_mut(&id) {
+                    let d = j.spec.deadline;
+                    if j.accuracy_at_deadline.is_none() && d > t && d <= t_next {
+                        let at = j.iterations + r * d.since(t).as_secs_f64();
+                        j.accuracy_at_deadline = Some(j.spec.curve.accuracy_at(at));
+                    }
+                }
+            }
+
+            // Progress, GPU-hour and traffic accrual over the running
+            // set, ascending id — the order the naive loop visits
+            // these jobs in (idle jobs contribute exact no-ops there).
+            let mut finished_now: Vec<JobId> = Vec::new();
+            let steps: Vec<(JobId, CachedRate)> =
+                self.rate_cache.iter().map(|(&id, &c)| (id, c)).collect();
+            for (id, c) in steps {
+                self.metrics.gpu_hours_total += c.gpu_share * dt_secs / 3600.0;
+                if c.rate.iters_per_sec > 0.0 {
+                    let Some(j) = self.jobs.get_mut(&id) else {
+                        continue;
+                    };
+                    let delta = c.rate.iters_per_sec * dt_secs;
+                    j.advance(delta);
+                    let mb = c.rate.cross_mb_per_iter * delta;
+                    self.bandwidth_charged_mb += mb;
+                    self.window.transferred_mb += mb;
+                    if j.iterations >= j.spec.max_iterations as f64 - 1e-9 {
+                        finished_now.push(id);
+                    }
+                }
+            }
+            for id in finished_now {
+                self.complete_job(id, t_next, StopReason::MaxIterations);
+            }
+            // Mid-window completions freed GPU share on their servers;
+            // only jobs co-located there can have changed rates
+            // (`job_rate` reads nothing else that moved), so refresh
+            // exactly those cache entries.
+            if !self.freed_servers.is_empty() {
+                let freed = std::mem::take(&mut self.freed_servers);
+                let mut stale: BTreeSet<JobId> = BTreeSet::new();
+                for sid in freed {
+                    for (task, _) in self.cluster.server(sid).tasks() {
+                        stale.insert(task.job);
+                    }
+                }
+                for id in stale {
+                    if self.running.contains(&id) {
+                        if let Some(c) = self.cached_rate_for(id) {
+                            self.rate_cache.insert(id, c);
+                        }
+                    }
+                }
+            }
+            t = t_next;
+            self.admit_arrivals(t);
+        }
+        // Batched waiting time: an idle job stays idle for the whole
+        // rest of the window (placements and evictions only happen
+        // between rounds, and a job with no running task cannot
+        // finish mid-window), so the naive loop's per-sub-step
+        // `waiting += dt` telescopes to one exact integer-millisecond
+        // sum from the later of window start and the job's arrival.
+        let idle: Vec<JobId> = self
+            .active
+            .iter()
+            .filter(|id| !self.running.contains(id))
+            .copied()
+            .collect();
+        for id in idle {
+            if let Some(j) = self.jobs.get_mut(&id) {
+                let start = from.max(j.spec.arrival);
+                if to > start {
+                    j.waiting += to.since(start);
+                }
+            }
+        }
+    }
+
     /// Admit every pending job with `arrival ≤ t`.
     fn admit_arrivals(&mut self, t: SimTime) {
         while self.next_arrival < self.pending.len() && self.pending[self.next_arrival].arrival <= t
@@ -460,8 +784,16 @@ impl Simulation {
             for i in 0..state.spec.task_count() {
                 self.queue.push(TaskId::new(id, i as u16));
             }
-            let prev = self.jobs.insert(id, state);
-            assert!(prev.is_none(), "duplicate job id {id}");
+            assert!(!self.jobs.contains_key(&id), "duplicate job id {id}");
+            if self.cfg.engine == EngineMode::EventDriven && state.spec.deadline > t {
+                // Future deadline: schedule the crossing. A deadline
+                // at or before admission is never frozen by `advance`
+                // in either mode (the naive guard is `d > t`).
+                self.deadline_cal.push(state.spec.deadline, id);
+            }
+            self.jobs.insert(id, state);
+            // Fresh jobs are active and idle (all tasks queued).
+            self.active.insert(id);
         }
     }
 
@@ -475,14 +807,25 @@ impl Simulation {
             return;
         }
         // Free placed tasks.
+        let had_waiting = job.waiting_tasks() > 0;
         for (i, st) in job.task_states.clone().iter().enumerate() {
-            if matches!(st, TaskRunState::Running { .. }) {
+            if let TaskRunState::Running { server, .. } = st {
                 let t = TaskId::new(id, i as u16);
                 self.cluster.remove(t);
                 self.stragglers.remove(&t);
+                if self.cfg.engine == EngineMode::EventDriven {
+                    // Remember where capacity was freed so a mid-window
+                    // completion can invalidate co-located cached rates.
+                    self.freed_servers.push(*server);
+                }
             }
         }
-        self.queue.retain(|t| t.job != id);
+        if had_waiting {
+            // Only purge the queue when the job actually had waiting
+            // tasks — `retain` over an entry-free queue is a no-op,
+            // and most completing jobs are fully placed.
+            self.queue.retain(|t| t.job != id);
+        }
         job.finish(at, reason);
         // By-deadline accuracy freezes at completion if the deadline
         // is still ahead (the job's final accuracy counts).
@@ -496,6 +839,7 @@ impl Simulation {
         if job.met_accuracy() {
             self.window.completed_met_accuracy += 1;
         }
+        self.sync_job_sets(id);
     }
 
     /// Validate and apply a round's actions.
@@ -538,7 +882,18 @@ impl Simulation {
                                 j.task_states[task.idx as usize] =
                                     TaskRunState::Running { server, gpu };
                             }
-                            self.queue.retain(|t| *t != task);
+                            match self.cfg.engine {
+                                EngineMode::Naive => self.queue.retain(|t| *t != task),
+                                // Batch the O(queue) purges: a round
+                                // of k placements costs one pass
+                                // instead of k. `retain` is order-
+                                // preserving either way, so the
+                                // surviving queue is identical.
+                                EngineMode::EventDriven => {
+                                    self.queue_tombstones.insert(task);
+                                }
+                            }
+                            self.sync_job_sets(task.job);
                         }
                         Err(_) => self.metrics.invalid_actions += 1,
                     }
@@ -623,6 +978,12 @@ impl Simulation {
                             }
                         );
                     }
+                    // Settle pending tombstones first: if this very
+                    // task was placed earlier this round its stale
+                    // queue entry must be gone *before* the re-push,
+                    // exactly as the naive per-placement purge leaves
+                    // the queue.
+                    self.flush_queue_tombstones();
                     self.cluster.remove(task);
                     self.stragglers.remove(&task);
                     if let Some(j) = self.jobs.get_mut(&task.job) {
@@ -630,6 +991,7 @@ impl Simulation {
                             TaskRunState::Waiting { since: self.now };
                     }
                     self.queue.push(task);
+                    self.sync_job_sets(task.job);
                 }
                 Action::StopJob { job, reason } => {
                     let active = self
@@ -649,6 +1011,9 @@ impl Simulation {
                             reason: stop_reason_label(reason),
                         }
                     );
+                    // `complete_job` purges the queue by job id; the
+                    // queue must be physically settled first.
+                    self.flush_queue_tombstones();
                     self.complete_job(job, self.now, reason);
                 }
                 Action::SetPolicy { job, policy } => match self.jobs.get_mut(&job) {
@@ -657,6 +1022,19 @@ impl Simulation {
                 },
             }
         }
+        self.flush_queue_tombstones();
+    }
+
+    /// Apply the batched `Place` queue removals (event engine). One
+    /// order-preserving O(queue) pass replaces the naive engine's
+    /// per-placement `retain`; each tombstoned task occurs at most
+    /// once in the queue, so the surviving vector is identical.
+    fn flush_queue_tombstones(&mut self) {
+        if self.queue_tombstones.is_empty() {
+            return;
+        }
+        let tombs = std::mem::take(&mut self.queue_tombstones);
+        self.queue.retain(|t| !tombs.contains(t));
     }
 
     /// Oscillate each placed task's live demand around its mean with a
@@ -668,35 +1046,48 @@ impl Simulation {
             return;
         }
         let t_mins = self.now.as_mins_f64();
-        let updates: Vec<(TaskId, cluster::ResourceVec, f64)> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| !j.is_finished())
-            .flat_map(|(id, j)| {
-                j.task_states
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
-                    .map(move |(i, _)| {
-                        let task = TaskId::new(*id, i as u16);
-                        // Deterministic per-task oscillation: hash the
-                        // id into a phase and a 20–60 min period.
-                        let h = (id.0 as u64)
-                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            .wrapping_add(i as u64 * 0x0010_0000_01B3);
-                        let phase = (h % 1000) as f64 / 1000.0;
-                        let period = 20.0 + (h / 1000 % 41) as f64;
-                        let factor = 1.0
-                            + amp * (2.0 * std::f64::consts::PI * (t_mins / period + phase)).sin();
-                        let spec = &j.spec.tasks[i];
-                        (
-                            task,
-                            spec.demand * factor,
-                            (spec.gpu_share * factor).min(1.0),
-                        )
-                    })
-            })
-            .collect();
+        let per_job = |id: JobId, j: &JobState| {
+            j.task_states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
+                .map(|(i, _)| {
+                    let task = TaskId::new(id, i as u16);
+                    // Deterministic per-task oscillation: hash the
+                    // id into a phase and a 20–60 min period.
+                    let h = (id.0 as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64 * 0x0010_0000_01B3);
+                    let phase = (h % 1000) as f64 / 1000.0;
+                    let period = 20.0 + (h / 1000 % 41) as f64;
+                    let factor =
+                        1.0 + amp * (2.0 * std::f64::consts::PI * (t_mins / period + phase)).sin();
+                    let spec = &j.spec.tasks[i];
+                    (
+                        task,
+                        spec.demand * factor,
+                        (spec.gpu_share * factor).min(1.0),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        // Only jobs holding a `Running` task contribute updates, so
+        // the running set walks the exact same (job, task) sequence
+        // the naive full scan produces.
+        let updates: Vec<(TaskId, cluster::ResourceVec, f64)> = match self.cfg.engine {
+            EngineMode::Naive => self
+                .jobs
+                .iter()
+                .filter(|(_, j)| !j.is_finished())
+                .flat_map(|(id, j)| per_job(id, j))
+                .collect(),
+            EngineMode::EventDriven => self
+                .running
+                .iter()
+                .filter_map(|id| self.jobs.get(id).map(|j| (*id, j)))
+                .flat_map(|(id, j)| per_job(id, j))
+                .collect(),
+        };
         for (task, demand, gpu_share) in updates {
             self.cluster.update_demand(task, demand, gpu_share);
         }
@@ -861,6 +1252,7 @@ impl Simulation {
                     );
                 }
             }
+            self.sync_job_sets(id);
         }
     }
 
@@ -881,18 +1273,31 @@ impl Simulation {
                 self.stragglers.remove(&t);
             }
         }
-        let running: Vec<TaskId> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| !j.is_finished())
-            .flat_map(|(id, j)| {
-                j.task_states
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
-                    .map(move |(i, _)| TaskId::new(*id, i as u16))
-            })
-            .collect();
+        // Same (job, task) sampling sequence either way: only jobs in
+        // the running set own `Running` tasks, so the RNG stream is
+        // consumed identically in both modes.
+        let per_job = |id: JobId, j: &JobState| {
+            j.task_states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
+                .map(|(i, _)| TaskId::new(id, i as u16))
+                .collect::<Vec<_>>()
+        };
+        let running: Vec<TaskId> = match self.cfg.engine {
+            EngineMode::Naive => self
+                .jobs
+                .iter()
+                .filter(|(_, j)| !j.is_finished())
+                .flat_map(|(id, j)| per_job(id, j))
+                .collect(),
+            EngineMode::EventDriven => self
+                .running
+                .iter()
+                .filter_map(|id| self.jobs.get(id).map(|j| (*id, j)))
+                .flat_map(|(id, j)| per_job(id, j))
+                .collect(),
+        };
         for t in running {
             if !self.stragglers.contains(&t) && self.rng.chance(p) {
                 self.stragglers.insert(t);
@@ -904,7 +1309,7 @@ impl Simulation {
     fn finalize(mut self) -> RunMetrics {
         let mut first_arrival = SimTime::MAX;
         let mut last_completion = SimTime::ZERO;
-        for job in self.jobs.values_mut() {
+        for (_, job) in self.jobs.iter_mut() {
             // Freeze any remaining deadline accuracies at end state.
             job.freeze_deadline_accuracy(self.now.max(job.spec.deadline));
             first_arrival = first_arrival.min(job.spec.arrival);
@@ -1332,6 +1737,179 @@ mod tests {
         assert_eq!(base.avg_jct_mins(), inert.avg_jct_mins());
         assert_eq!(base.bandwidth_mb, inert.bandwidth_mb);
         assert_eq!(base.gpu_hours_total, inert.gpu_hours_total);
+    }
+
+    /// Serialized metrics minus the wall-clock observability fields —
+    /// the byte string two bit-identical runs must agree on.
+    fn fingerprint(mut m: RunMetrics) -> String {
+        m.clear_wall_clock();
+        serde_json::to_string(&m).unwrap()
+    }
+
+    /// Run `specs` under MLF-H with both engines, returning the two
+    /// fingerprints.
+    fn run_both_engines(base: SimConfig, specs: Vec<JobSpec>) -> (String, String) {
+        let mk = |engine: EngineMode| {
+            let mut cfg = base.clone();
+            cfg.engine = engine;
+            fingerprint(run(
+                cfg,
+                specs.clone(),
+                &mut mlfs::Mlfs::heuristic(Params::default()),
+            ))
+        };
+        (mk(EngineMode::Naive), mk(EngineMode::EventDriven))
+    }
+
+    #[test]
+    fn event_engine_matches_naive_bit_for_bit() {
+        // Timeline on: the per-round counters (active jobs, queue
+        // length, utilization) must agree round by round, not just in
+        // the final aggregates.
+        let mut cfg = tiny_cfg();
+        cfg.record_timeline = true;
+        let (naive, event) = run_both_engines(cfg, tiny_trace(30.0, 1));
+        assert_eq!(naive, event);
+    }
+
+    #[test]
+    fn event_engine_matches_naive_on_overloaded_cluster() {
+        // Persistent queues exercise the tombstoned queue purge, the
+        // lazy waiting accrual, and deadline freezes on idle jobs.
+        let cfg = SimConfig {
+            cluster: ClusterConfig {
+                servers: 1,
+                gpus_per_server: 2,
+                gpu_capacity: 1.0,
+                cpu_cores: 16.0,
+                memory_gb: 64.0,
+                nic_mbps: 1000.0,
+                topology: cluster::Topology::default_flat(),
+            },
+            max_time: SimDuration::from_hours(48),
+            ..Default::default()
+        };
+        let (naive, event) = run_both_engines(cfg, tiny_trace(25.0, 4));
+        assert_eq!(naive, event);
+    }
+
+    #[test]
+    fn event_engine_matches_naive_under_stragglers() {
+        for replicate in [false, true] {
+            let mut cfg = tiny_cfg();
+            cfg.straggler = Some(StragglerConfig {
+                probability_per_hour: 5.0,
+                slowdown: 0.2,
+                replicate,
+            });
+            let (naive, event) = run_both_engines(cfg, tiny_trace(12.0, 6));
+            assert_eq!(naive, event, "replicate={replicate}");
+        }
+    }
+
+    #[test]
+    fn event_engine_matches_naive_under_faults() {
+        let mut cfg = tiny_cfg();
+        cfg.fault = Some(FaultConfig {
+            mtbf_hours: 1.0,
+            mttr_hours: 0.25,
+            schedule: vec![FaultEvent {
+                at: SimTime::from_mins(30),
+                server: ServerId(0),
+                down_for: SimDuration::from_mins(45),
+            }],
+            checkpoint_iters: 20,
+        });
+        let (naive, event) = run_both_engines(cfg, tiny_trace(12.0, 6));
+        assert_eq!(naive, event);
+    }
+
+    #[test]
+    fn rate_pass_is_thread_count_invariant() {
+        // Enough concurrent jobs to push the running set past
+        // PAR_RATE_THRESHOLD, so the fork-join path actually runs.
+        let cfg = SimConfig {
+            cluster: ClusterConfig {
+                servers: 40,
+                gpus_per_server: 4,
+                gpu_capacity: 1.0,
+                cpu_cores: 32.0,
+                memory_gb: 244.0,
+                nic_mbps: 1250.0,
+                topology: cluster::Topology::default_flat(),
+            },
+            max_time: SimDuration::from_hours(24 * 14),
+            ..Default::default()
+        };
+        let specs = TraceGenerator::new(TraceConfig {
+            jobs: 150,
+            span: SimDuration::from_hours(1),
+            duration_median_mins: 30.0,
+            duration_sigma: 0.8,
+            time_factor: 1.0,
+            gpu_choices: vec![(1, 0.5), (2, 0.3), (4, 0.2)],
+            algorithm_weights: [0.2; 5],
+            param_server_prob: 0.5,
+            previously_run_prob: 0.7,
+            stop_policy: workload::StopPolicy::OptStop,
+            deadline_slack_hours: (0.5, 4.0),
+            seed: 13,
+        })
+        .generate();
+        let mk = |threads: usize| {
+            let mut sim = Simulation::new(cfg.clone(), specs.clone());
+            sim.sim_threads = threads;
+            let mut sched = mlfs::Mlfs::heuristic(Params::default());
+            fingerprint(sim.run(&mut sched))
+        };
+        let serial = mk(1);
+        for threads in [2, 5] {
+            assert_eq!(serial, mk(threads), "threads={threads}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig {
+            cases: 12,
+            ..proptest::ProptestConfig::default()
+        })]
+
+        /// Randomized equivalence: for any small workload — with or
+        /// without straggler and fault injection — the event engine
+        /// reproduces the naive engine bit for bit.
+        #[test]
+        fn event_engine_matches_naive_randomized(
+            jobs in 2u32..16,
+            seed in 0u64..1000,
+            use_straggler in proptest::any::<bool>(),
+            p in 0.5f64..8.0,
+            slow in 0.1f64..0.9,
+            replicate in proptest::any::<bool>(),
+            use_fault in proptest::any::<bool>(),
+            mtbf in 0.5f64..4.0,
+            mttr in 0.0f64..0.5,
+            ckpt in 1u64..60,
+        ) {
+            let mut cfg = tiny_cfg();
+            cfg.max_time = SimDuration::from_hours(48);
+            if use_straggler {
+                cfg.straggler = Some(StragglerConfig {
+                    probability_per_hour: p,
+                    slowdown: slow,
+                    replicate,
+                });
+            }
+            if use_fault {
+                cfg.fault = Some(FaultConfig {
+                    mtbf_hours: mtbf,
+                    mttr_hours: mttr,
+                    schedule: Vec::new(),
+                    checkpoint_iters: ckpt,
+                });
+            }
+            let (naive, event) = run_both_engines(cfg, tiny_trace(jobs as f64, seed));
+            proptest::prop_assert_eq!(naive, event);
+        }
     }
 
     #[test]

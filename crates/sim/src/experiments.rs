@@ -198,6 +198,7 @@ pub fn fig4(x: f64, time_factor: f64, seed: u64) -> Experiment {
             seed,
             record_timeline: false,
             trace: obs::TraceConfig::default(),
+            engine: crate::engine::EngineMode::default(),
         },
         trace,
     }
@@ -231,6 +232,7 @@ pub fn fig5(x: f64, scale: f64, time_factor: f64, seed: u64) -> Experiment {
             seed,
             record_timeline: false,
             trace: obs::TraceConfig::default(),
+            engine: crate::engine::EngineMode::default(),
         },
         trace,
     }

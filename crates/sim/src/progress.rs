@@ -50,8 +50,8 @@ pub struct JobRate {
 
 /// Where task `idx` of `job` is placed, according to the job state.
 fn location(job: &JobState, idx: usize) -> Option<(ServerId, usize)> {
-    match job.task_states[idx] {
-        TaskRunState::Running { server, gpu } => Some((server, gpu)),
+    match job.task_states.get(idx) {
+        Some(TaskRunState::Running { server, gpu }) => Some((*server, *gpu)),
         _ => None,
     }
 }
@@ -67,17 +67,18 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
     // Which tasks are placed?
     let placed: Vec<Option<(ServerId, usize)>> =
         (0..spec.task_count()).map(|i| location(job, i)).collect();
+    let placed_at = |i: usize| placed.get(i).copied().flatten();
 
     // A parameter server is required infrastructure: without it the
     // workers have nowhere to send results.
-    if spec.has_param_server() && placed[n].is_none() {
+    if spec.has_param_server() && placed_at(n).is_none() {
         return JobRate::default();
     }
 
     // Determine the active set.
     let active: Vec<bool> = match model {
         ProgressModel::Gang => {
-            if (0..n).any(|i| placed[i].is_none()) {
+            if (0..n).any(|i| placed_at(i).is_none()) {
                 return JobRate::default();
             }
             vec![true; n]
@@ -89,8 +90,15 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
             let mut active = vec![false; n];
             for &k in order {
                 let k = k as usize;
-                let parents_ok = spec.dag.parents(k).iter().all(|&p| active[p as usize]);
-                active[k] = placed[k].is_some() && parents_ok;
+                let parents_ok = spec
+                    .dag
+                    .parents(k)
+                    .iter()
+                    .all(|&p| active.get(p as usize).copied().unwrap_or(false));
+                let on = placed_at(k).is_some() && parents_ok;
+                if let Some(slot) = active.get_mut(k) {
+                    *slot = on;
+                }
             }
             active
         }
@@ -101,28 +109,32 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
 
     // Critical path over the active subgraph with compute node
     // weights (contention-adjusted) and cross-server edge weights.
+    let is_active = |i: usize| active.get(i).copied().unwrap_or(false);
     let topo = spec.dag.topological_order();
     let mut finish = vec![0.0f64; n];
     let mut cross_mb = 0.0;
     let topology = cluster.topology();
     for &k in topo {
         let k = k as usize;
-        if !active[k] {
+        if !is_active(k) {
             continue;
         }
         // Active implies placed by construction; skip, never panic.
-        let Some((server, gpu)) = placed[k] else {
+        let Some((server, gpu)) = placed_at(k) else {
+            continue;
+        };
+        let Some(task) = spec.tasks.get(k) else {
             continue;
         };
         let speed = cluster.server(server).gpu_speed_factor(gpu);
-        let compute = spec.tasks[k].compute.as_secs_f64() / speed.max(1e-6);
+        let compute = task.compute.as_secs_f64() / speed.max(1e-6);
         let mut start: f64 = 0.0;
         for &p in spec.dag.parents(k) {
             let p = p as usize;
-            if !active[p] {
+            if !is_active(p) {
                 continue;
             }
-            let Some((pserver, _)) = placed[p] else {
+            let Some((pserver, _)) = placed_at(p) else {
                 continue;
             };
             let link = if pserver == server {
@@ -133,9 +145,11 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
                     .transfer_time(pserver, server, spec.comm_mb)
                     .as_secs_f64()
             };
-            start = start.max(finish[p] + link);
+            start = start.max(finish.get(p).copied().unwrap_or(0.0) + link);
         }
-        finish[k] = start + compute;
+        if let Some(slot) = finish.get_mut(k) {
+            *slot = start + compute;
+        }
     }
     let mut path = finish
         .iter()
@@ -150,19 +164,20 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
         .sinks()
         .iter()
         .map(|s| *s as usize)
-        .filter(|&s| active[s])
+        .filter(|&s| is_active(s))
         .collect();
     match spec.comm {
         CommStructure::ParameterServer => {
             // Guarded by the has_param_server early return above.
-            let Some((ps_server, ps_gpu)) = placed[n] else {
+            let (Some((ps_server, ps_gpu)), Some(ps_task)) = (placed_at(n), spec.tasks.get(n))
+            else {
                 return JobRate::default();
             };
             let ps_speed = cluster.server(ps_server).gpu_speed_factor(ps_gpu);
-            let ps_compute = spec.tasks[n].compute.as_secs_f64() / ps_speed.max(1e-6);
+            let ps_compute = ps_task.compute.as_secs_f64() / ps_speed.max(1e-6);
             let mut sync: f64 = 0.0;
             for &s in &sinks {
-                let Some((sserver, _)) = placed[s] else {
+                let Some((sserver, _)) = placed_at(s) else {
                     continue;
                 };
                 if sserver != ps_server {
@@ -181,8 +196,10 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
             let mut sync: f64 = 0.0;
             if sinks.len() > 1 {
                 for w in 0..sinks.len() {
+                    let here = sinks.get(w).copied();
+                    let next = sinks.get((w + 1) % sinks.len()).copied();
                     let (Some((a, _)), Some((b, _))) =
-                        (placed[sinks[w]], placed[sinks[(w + 1) % sinks.len()]])
+                        (here.and_then(&placed_at), next.and_then(&placed_at))
                     else {
                         continue;
                     };
@@ -210,7 +227,7 @@ pub fn job_rate(job: &JobState, cluster: &Cluster, model: ProgressModel) -> JobR
         ProgressModel::Gang => 1.0,
         ProgressModel::Pipelined => {
             let mass: f64 = (0..n)
-                .filter(|&k| active[k])
+                .filter(|&k| is_active(k))
                 .map(|k| spec.normalized_partition(k))
                 .sum();
             mass.clamp(0.0, 1.0)

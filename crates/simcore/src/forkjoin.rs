@@ -1,0 +1,124 @@
+//! Deterministic fork-join parallelism for intra-run phases.
+//!
+//! The engine (and the bench harness) occasionally has a *pure* map to
+//! evaluate over many independent items — per-job progress rates, per-
+//! configuration simulation runs. This module runs such maps on a small
+//! worker pool while keeping the output **bit-identical for every
+//! thread count**:
+//!
+//! * items are partitioned into contiguous *cells* (a few per worker)
+//!   in index order;
+//! * workers claim cells from a shared atomic counter (so scheduling is
+//!   racy and fast) but write each cell's results into that cell's own
+//!   slot (so results never interleave);
+//! * the caller concatenates the slots in fixed cell order.
+//!
+//! As long as the mapped function is pure, the merged output is the
+//! same `Vec` the serial loop would have produced — OS scheduling only
+//! changes *when* a cell is computed, never *what* or *where*. The
+//! `sim` crate's thread-invariance test exercises exactly this
+//! property end to end.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for intra-run parallel phases: `MLFS_SIM_THREADS` when
+/// set (floored at 1), otherwise the machine's available parallelism.
+/// Reading the environment is determinism-safe here because
+/// [`par_map`] produces thread-count-invariant output.
+pub fn sim_threads() -> usize {
+    match std::env::var("MLFS_SIM_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Map `f` over `items` on up to `threads` workers, returning results
+/// in item order regardless of thread count or OS scheduling. `f`
+/// receives each item's index alongside the item. Serial fallback when
+/// `threads <= 1` or there is at most one item.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    // A few cells per worker keeps the tail balanced without making
+    // the per-cell bookkeeping dominate.
+    let cells = (workers * 4).min(items.len());
+    let chunk = items.len().div_ceil(cells);
+    let slots: Vec<Mutex<Vec<R>>> = (0..cells).map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= cells {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(items.len());
+                let out: Vec<R> = items
+                    .get(lo..hi)
+                    .unwrap_or(&[])
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| f(lo + i, t))
+                    .collect();
+                if let Some(slot) = slots.get(c) {
+                    if let Ok(mut guard) = slot.lock() {
+                        *guard = out;
+                    }
+                }
+            });
+        }
+    });
+    let mut merged = Vec::with_capacity(items.len());
+    for slot in slots {
+        match slot.into_inner() {
+            Ok(v) => merged.extend(v),
+            Err(poisoned) => merged.extend(poisoned.into_inner()),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = par_map(&items, 1, |i, x| (i as u64) * 31 + x * x);
+        for threads in [2, 3, 8, 64] {
+            let par = par_map(&items, threads, |i, x| (i as u64) * 31 + x * x);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(&none, 8, |_, x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], 8, |i, x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn indices_are_global() {
+        let items: Vec<u32> = (0..257).collect();
+        let out = par_map(&items, 4, |i, _| i);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sim_threads_is_at_least_one() {
+        assert!(sim_threads() >= 1);
+    }
+}

@@ -1,0 +1,439 @@
+//! Generational job arena with struct-of-arrays hot columns.
+//!
+//! At paper scale the simulator tracks 117k+ jobs (10× runs: over a
+//! million). The seed engine kept them in a `BTreeMap<JobId, JobState>`
+//! — every lookup hops pointer-chased tree nodes and every scan walks
+//! allocator-scattered values. [`JobArena`] replaces it with:
+//!
+//! * **dense slots** — `JobState`s live in one contiguous `Vec`,
+//!   reused through a free list, so full scans are linear memory walks;
+//! * **generational handles** — [`JobSlot`] carries the slot's
+//!   generation; a handle kept across a remove/reinsert of the slot
+//!   goes stale instead of silently reading the new occupant (the
+//!   classic ABA hazard of index reuse);
+//! * **SoA hot columns** — the spec-derived fields the engine's
+//!   calendars and the schedulers' gang-feasibility checks read in
+//!   tight loops (arrival, deadline, urgency, task count, the largest
+//!   single-task GPU share) are mirrored into parallel arrays indexed
+//!   by slot, so those loops touch a few cache lines instead of whole
+//!   `JobState`s.
+//!
+//! Addressing stays [`JobId`]-based for the scheduler-facing API (a
+//! sorted id→slot index gives `O(log n)` lookups and ascending-id
+//! iteration, matching the `BTreeMap` the arena replaced bit-for-bit
+//! in iteration order); [`JobSlot`] handles are for engine-internal
+//! hot paths that want to skip the id lookup.
+//!
+//! The mirrored columns are **spec-derived and immutable**: nothing in
+//! the workspace mutates a `JobSpec` after submission, so the columns
+//! cannot go stale even though `get_mut` hands out `&mut JobState`.
+
+use crate::state::JobState;
+use cluster::JobId;
+use simcore::SimTime;
+
+/// A generational handle to an arena slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobSlot {
+    /// Slot index into the arena's column arrays.
+    pub index: u32,
+    /// Generation the slot had when this handle was issued.
+    pub generation: u32,
+}
+
+/// Spec-derived hot fields of one job, copied out of the SoA columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobHotRow {
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Job deadline.
+    pub deadline: SimTime,
+    /// Urgency coefficient `L_J`.
+    pub urgency: u8,
+    /// Number of tasks including any parameter server.
+    pub task_count: u16,
+    /// Largest single-task GPU share — a lower bound on what any
+    /// server must have free for the job's gang to be placeable.
+    pub max_task_gpu_share: f64,
+}
+
+/// Generational SoA arena of live job state, keyed by [`JobId`].
+#[derive(Debug, Default, Clone)]
+pub struct JobArena {
+    /// Slot storage; `None` marks a free slot.
+    slots: Vec<Option<JobState>>,
+    /// Per-slot generation, bumped on every removal.
+    gens: Vec<u32>,
+    /// Free slot indices, reused LIFO.
+    free: Vec<u32>,
+    /// `(id, slot)` pairs sorted ascending by id: the lookup index and
+    /// the iteration order.
+    by_id: Vec<(JobId, u32)>,
+    // --- SoA hot columns, indexed by slot ---
+    col_arrival: Vec<SimTime>,
+    col_deadline: Vec<SimTime>,
+    col_urgency: Vec<u8>,
+    col_task_count: Vec<u16>,
+    col_max_gpu: Vec<f64>,
+}
+
+impl JobArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena with room for `n` jobs before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        JobArena {
+            slots: Vec::with_capacity(n),
+            gens: Vec::with_capacity(n),
+            free: Vec::new(),
+            by_id: Vec::with_capacity(n),
+            col_arrival: Vec::with_capacity(n),
+            col_deadline: Vec::with_capacity(n),
+            col_urgency: Vec::with_capacity(n),
+            col_task_count: Vec::with_capacity(n),
+            col_max_gpu: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of live jobs.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when no jobs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    fn find(&self, id: &JobId) -> Result<usize, usize> {
+        self.by_id.binary_search_by(|e| e.0.cmp(id))
+    }
+
+    fn fill_columns(&mut self, slot: usize, state: &JobState) {
+        self.col_arrival[slot] = state.spec.arrival;
+        self.col_deadline[slot] = state.spec.deadline;
+        self.col_urgency[slot] = state.spec.urgency;
+        self.col_task_count[slot] = state.spec.task_count() as u16;
+        self.col_max_gpu[slot] = state
+            .spec
+            .tasks
+            .iter()
+            .map(|t| t.gpu_share)
+            .fold(0.0, f64::max);
+    }
+
+    /// Insert `state` under `id`, returning the slot handle. Replaces
+    /// (and generation-bumps) any existing entry with the same id, so
+    /// stale handles to the old entry go invalid.
+    pub fn insert(&mut self, id: JobId, state: JobState) -> JobSlot {
+        debug_assert_eq!(id, state.spec.id, "arena key must match spec id");
+        match self.find(&id) {
+            Ok(pos) => {
+                let slot = self.by_id[pos].1 as usize;
+                self.gens[slot] = self.gens[slot].wrapping_add(1);
+                self.fill_columns(slot, &state);
+                self.slots[slot] = Some(state);
+                JobSlot {
+                    index: slot as u32,
+                    generation: self.gens[slot],
+                }
+            }
+            Err(pos) => {
+                let slot = match self.free.pop() {
+                    Some(s) => s as usize,
+                    None => {
+                        self.slots.push(None);
+                        self.gens.push(0);
+                        self.col_arrival.push(SimTime::ZERO);
+                        self.col_deadline.push(SimTime::ZERO);
+                        self.col_urgency.push(0);
+                        self.col_task_count.push(0);
+                        self.col_max_gpu.push(0.0);
+                        self.slots.len() - 1
+                    }
+                };
+                self.fill_columns(slot, &state);
+                self.slots[slot] = Some(state);
+                self.by_id.insert(pos, (id, slot as u32));
+                JobSlot {
+                    index: slot as u32,
+                    generation: self.gens[slot],
+                }
+            }
+        }
+    }
+
+    /// Remove and return the job stored under `id`. The slot's
+    /// generation is bumped, invalidating outstanding handles, and the
+    /// slot is recycled by later inserts.
+    pub fn remove(&mut self, id: &JobId) -> Option<JobState> {
+        let pos = self.find(id).ok()?;
+        let slot = self.by_id.remove(pos).1 as usize;
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot as u32);
+        self.slots[slot].take()
+    }
+
+    /// True when a job is stored under `id`.
+    pub fn contains_key(&self, id: &JobId) -> bool {
+        self.find(id).is_ok()
+    }
+
+    /// The job stored under `id`.
+    pub fn get(&self, id: &JobId) -> Option<&JobState> {
+        let pos = self.find(id).ok()?;
+        self.slots[self.by_id[pos].1 as usize].as_ref()
+    }
+
+    /// Mutable access to the job stored under `id`.
+    pub fn get_mut(&mut self, id: &JobId) -> Option<&mut JobState> {
+        let pos = self.find(id).ok()?;
+        self.slots[self.by_id[pos].1 as usize].as_mut()
+    }
+
+    /// The current slot handle for `id`, if present.
+    pub fn slot_of(&self, id: &JobId) -> Option<JobSlot> {
+        let pos = self.find(id).ok()?;
+        let slot = self.by_id[pos].1;
+        Some(JobSlot {
+            index: slot,
+            generation: self.gens[slot as usize],
+        })
+    }
+
+    /// Resolve a generational handle. Returns `None` when the handle
+    /// is stale (the slot was removed, and possibly reused, since the
+    /// handle was issued) — never the new occupant.
+    pub fn get_slot(&self, handle: JobSlot) -> Option<&JobState> {
+        let slot = handle.index as usize;
+        if self.gens.get(slot) != Some(&handle.generation) {
+            return None;
+        }
+        self.slots.get(slot)?.as_ref()
+    }
+
+    /// Hot-row column read for `id`: the spec-derived fields without
+    /// touching the full `JobState`.
+    pub fn hot(&self, id: &JobId) -> Option<JobHotRow> {
+        let pos = self.find(id).ok()?;
+        Some(self.hot_at(self.by_id[pos].1 as usize))
+    }
+
+    fn hot_at(&self, slot: usize) -> JobHotRow {
+        JobHotRow {
+            arrival: self.col_arrival[slot],
+            deadline: self.col_deadline[slot],
+            urgency: self.col_urgency[slot],
+            task_count: self.col_task_count[slot],
+            max_task_gpu_share: self.col_max_gpu[slot],
+        }
+    }
+
+    /// Largest single-task GPU share of job `id` (0.0 if absent) — the
+    /// gang-feasibility lower bound, straight from the SoA column.
+    pub fn max_task_gpu_share(&self, id: &JobId) -> f64 {
+        match self.find(id) {
+            Ok(pos) => self.col_max_gpu[self.by_id[pos].1 as usize],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Job ids in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.by_id.iter().map(|&(id, _)| id)
+    }
+
+    /// `(id, job)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, &JobState)> + '_ {
+        self.by_id
+            .iter()
+            .filter_map(move |&(id, s)| self.slots[s as usize].as_ref().map(|j| (id, j)))
+    }
+
+    /// `(id, hot row)` pairs in ascending id order — a pure column
+    /// scan for calendar construction.
+    pub fn iter_hot(&self) -> impl Iterator<Item = (JobId, JobHotRow)> + '_ {
+        self.by_id
+            .iter()
+            .map(move |&(id, s)| (id, self.hot_at(s as usize)))
+    }
+
+    /// Jobs in ascending id order.
+    pub fn values(&self) -> impl Iterator<Item = &JobState> + '_ {
+        self.iter().map(|(_, j)| j)
+    }
+
+    /// Unfinished jobs in ascending id order.
+    pub fn iter_active(&self) -> impl Iterator<Item = (JobId, &JobState)> + '_ {
+        self.iter().filter(|(_, j)| !j.is_finished())
+    }
+
+    /// `(id, &mut job)` pairs in ascending id order.
+    ///
+    /// Implemented by collecting per-slot `&mut` borrows and replaying
+    /// them in id order; each slot index appears at most once in
+    /// `by_id`, so every `take()` yields a distinct borrow. Costs one
+    /// `O(slots)` allocation — fine for the naive reference engine and
+    /// coarse per-round passes, which is all that uses it; event-mode
+    /// hot loops go through `get_mut` on their working sets instead.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (JobId, &mut JobState)> + '_ {
+        let mut refs: Vec<Option<&mut JobState>> =
+            self.slots.iter_mut().map(|s| s.as_mut()).collect();
+        self.by_id
+            .iter()
+            .filter_map(move |&(id, s)| refs.get_mut(s as usize)?.take().map(|j| (id, j)))
+    }
+
+    /// Jobs, mutably, in ascending id order (see [`JobArena::iter_mut`]).
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut JobState> + '_ {
+        self.iter_mut().map(|(_, j)| j)
+    }
+}
+
+impl FromIterator<(JobId, JobState)> for JobArena {
+    fn from_iter<T: IntoIterator<Item = (JobId, JobState)>>(iter: T) -> Self {
+        let mut a = JobArena::new();
+        for (id, j) in iter {
+            a.insert(id, j);
+        }
+        a
+    }
+}
+
+impl<const N: usize> From<[(JobId, JobState); N]> for JobArena {
+    fn from(entries: [(JobId, JobState); N]) -> Self {
+        entries.into_iter().collect()
+    }
+}
+
+impl std::ops::Index<&JobId> for JobArena {
+    type Output = JobState;
+    fn index(&self, id: &JobId) -> &JobState {
+        match self.get(id) {
+            Some(j) => j,
+            None => panic!("no job {id:?} in arena"),
+        }
+    }
+}
+
+impl std::ops::Index<JobId> for JobArena {
+    type Output = JobState;
+    fn index(&self, id: JobId) -> &JobState {
+        &self[&id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::tests::spec_with_id;
+    use simcore::SimDuration;
+
+    fn job(id: u32) -> (JobId, JobState) {
+        (JobId(id), JobState::new(spec_with_id(id), SimTime::ZERO))
+    }
+
+    #[test]
+    fn insert_get_iterates_in_id_order() {
+        let mut a = JobArena::new();
+        for id in [5u32, 1, 9, 3] {
+            let (jid, st) = job(id);
+            a.insert(jid, st);
+        }
+        assert_eq!(a.len(), 4);
+        let ids: Vec<u32> = a.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+        let ids: Vec<u32> = a.keys().map(|id| id.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+        assert!(a.contains_key(&JobId(5)));
+        assert!(!a.contains_key(&JobId(2)));
+        assert_eq!(a[&JobId(9)].spec.id, JobId(9));
+        assert_eq!(a[JobId(9)].spec.id, JobId(9));
+    }
+
+    #[test]
+    fn iter_mut_visits_each_job_once_in_order() {
+        let mut a: JobArena = [job(4), job(2), job(8)].into();
+        let mut seen = Vec::new();
+        for (id, j) in a.iter_mut() {
+            j.advance(1.0);
+            seen.push(id.0);
+        }
+        assert_eq!(seen, vec![2, 4, 8]);
+        assert!(a.values().all(|j| j.iterations == 1.0));
+    }
+
+    #[test]
+    fn hot_columns_mirror_spec() {
+        let mut a = JobArena::new();
+        let (id, st) = job(7);
+        let arrival = st.spec.arrival;
+        let deadline = st.spec.deadline;
+        let max_gpu = st
+            .spec
+            .tasks
+            .iter()
+            .map(|t| t.gpu_share)
+            .fold(0.0, f64::max);
+        a.insert(id, st);
+        let hot = a.hot(&id).expect("present");
+        assert_eq!(hot.arrival, arrival);
+        assert_eq!(hot.deadline, deadline);
+        assert_eq!(hot.task_count, 2);
+        assert_eq!(hot.max_task_gpu_share, max_gpu);
+        assert_eq!(a.max_task_gpu_share(&id), max_gpu);
+        assert_eq!(a.max_task_gpu_share(&JobId(999)), 0.0);
+    }
+
+    #[test]
+    fn remove_recycles_slot_and_invalidates_handles() {
+        let mut a = JobArena::new();
+        let (id1, st1) = job(1);
+        let h1 = a.insert(id1, st1);
+        assert!(a.get_slot(h1).is_some());
+        let removed = a.remove(&id1).expect("was present");
+        assert_eq!(removed.spec.id, id1);
+        assert!(a.get_slot(h1).is_none());
+        assert!(a.is_empty());
+
+        // Reinsert a different job: the slot is recycled...
+        let (id2, st2) = job(2);
+        let h2 = a.insert(id2, st2);
+        assert_eq!(h2.index, h1.index);
+        assert_ne!(h2.generation, h1.generation);
+        // ...and the stale handle must NOT resolve to the new occupant.
+        assert!(a.get_slot(h1).is_none());
+        assert_eq!(a.get_slot(h2).map(|j| j.spec.id), Some(id2));
+        assert_eq!(a.slot_of(&id2), Some(h2));
+    }
+
+    #[test]
+    fn reinsert_same_id_bumps_generation() {
+        let mut a = JobArena::new();
+        let (id, st) = job(3);
+        let h_old = a.insert(id, st.clone());
+        let h_new = a.insert(id, st);
+        assert_eq!(a.len(), 1);
+        assert_eq!(h_new.index, h_old.index);
+        assert!(a.get_slot(h_old).is_none());
+        assert!(a.get_slot(h_new).is_some());
+    }
+
+    #[test]
+    fn iter_active_skips_finished() {
+        let mut a: JobArena = [job(1), job(2), job(3)].into();
+        a.get_mut(&JobId(2))
+            .expect("present")
+            .finish(SimTime::from_secs(1), crate::state::StopReason::OptStop);
+        let ids: Vec<u32> = a.iter_active().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+        // Waiting accounting stays reachable through values_mut.
+        for j in a.values_mut() {
+            j.waiting += SimDuration::from_secs(1);
+        }
+        assert!(a.values().all(|j| j.waiting == SimDuration::from_secs(1)));
+    }
+}

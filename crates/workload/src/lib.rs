@@ -17,8 +17,8 @@
 //!   [`TaskSpec`]) including deadlines, urgency levels, accuracy
 //!   requirements and stop policies (§3.5 options i/ii/iii).
 //! * [`state`] — dynamic per-job runtime state (iterations completed,
-//!   loss history, task placement status, waiting time) that the
-//!   simulator advances and schedulers read.
+//!   task placement status, waiting time) that the simulator advances
+//!   and schedulers read, plus the SoA [`JobArena`] holding all of it.
 //! * [`predict`] — the Optimus-style runtime predictor assumption
 //!   (89% seen / 70% unseen accuracy, §3.1).
 //! * [`trace`] — a synthetic Philly-like trace generator standing in
@@ -45,6 +45,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod algorithms;
+pub mod arena;
 pub mod curves;
 pub mod dag;
 pub mod job;
@@ -53,6 +54,7 @@ pub mod state;
 pub mod trace;
 
 pub use algorithms::{AlgorithmProfile, MlAlgorithm};
+pub use arena::{JobArena, JobHotRow, JobSlot};
 pub use curves::LearningProfile;
 pub use dag::{CommStructure, Dag};
 pub use job::{JobSpec, StopPolicy, TaskSpec};

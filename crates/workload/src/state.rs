@@ -67,10 +67,6 @@ pub struct JobState {
     /// Accuracy measured when the deadline passed (used for the
     /// "accuracy by deadline" metrics once the deadline is behind us).
     pub accuracy_at_deadline: Option<f64>,
-    /// Recorded loss-reduction history: `history[i]` = δl of iteration
-    /// i+1. Kept coarse (per whole iteration) for the RL state and the
-    /// learning-curve predictor.
-    pub loss_history: Vec<f64>,
 }
 
 impl JobState {
@@ -87,7 +83,6 @@ impl JobState {
             stop_reason: None,
             waiting: SimDuration::ZERO,
             accuracy_at_deadline: None,
-            loss_history: Vec::new(),
         }
     }
 
@@ -179,26 +174,32 @@ impl JobState {
         }
     }
 
-    /// Record progress of `delta` iterations ending `now`, appending
-    /// whole-iteration loss deltas to the history.
+    /// Record progress of `delta` iterations.
     pub fn advance(&mut self, delta: f64) {
         assert!(delta >= 0.0 && delta.is_finite(), "bad progress {delta}");
-        let before = self.iterations;
         self.iterations += delta;
-        // Append per-iteration deltas for each whole iteration crossed.
-        let mut i = before.floor() as u64 + 1;
-        while (i as f64) <= self.iterations {
-            let d = self.spec.curve.loss_at(i as f64 - 1.0) - self.spec.curve.loss_at(i as f64);
-            self.loss_history.push(d);
-            i += 1;
-        }
+    }
+
+    /// Number of whole iterations completed — the length of the
+    /// (virtual) loss-reduction history. The history itself is fully
+    /// determined by the learning curve, so it is derived on demand
+    /// via [`JobState::loss_delta`] instead of being stored per job
+    /// (at paper scale a stored `Vec<f64>` of up to `max_iterations`
+    /// entries per job dominated memory).
+    pub fn recorded_iterations(&self) -> usize {
+        self.iterations.floor() as usize
+    }
+
+    /// Loss reduction δl of whole iteration `i` (1-based), as the
+    /// removed per-job history stored it: `loss(i-1) − loss(i)`.
+    pub fn loss_delta(&self, i: usize) -> f64 {
+        self.spec.curve.loss_at(i as f64 - 1.0) - self.spec.curve.loss_at(i as f64)
     }
 
     /// Roll training back to `target` iterations (a checkpoint
-    /// boundary ≤ current progress), truncating the recorded loss
-    /// history to the whole iterations retained. Accuracy is derived
-    /// from `iterations`, so it rolls back with it. Used by fault
-    /// recovery: work past the last checkpoint is lost on a crash.
+    /// boundary ≤ current progress). Accuracy and the derived loss
+    /// history roll back with `iterations`. Used by fault recovery:
+    /// work past the last checkpoint is lost on a crash.
     pub fn rollback_to(&mut self, target: f64) {
         assert!(
             target >= 0.0 && target <= self.iterations + 1e-9,
@@ -206,7 +207,6 @@ impl JobState {
             self.iterations
         );
         self.iterations = target.min(self.iterations);
-        self.loss_history.truncate(self.iterations.floor() as usize);
     }
 
     /// Mark the job finished at `now` for `reason`; all tasks become
@@ -249,7 +249,7 @@ impl JobState {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::algorithms::MlAlgorithm;
     use crate::dag::{CommStructure, Dag};
@@ -257,7 +257,12 @@ mod tests {
     use cluster::{JobId, ResourceVec, TaskId};
 
     fn spec() -> JobSpec {
-        let id = JobId(7);
+        spec_with_id(7)
+    }
+
+    /// A tiny 2-task spec with a chosen id (shared with arena tests).
+    pub(crate) fn spec_with_id(raw: u32) -> JobSpec {
+        let id = JobId(raw);
         JobSpec {
             id,
             algorithm: MlAlgorithm::Svm,
@@ -302,18 +307,18 @@ mod tests {
     }
 
     #[test]
-    fn advance_accumulates_loss_history() {
+    fn advance_accumulates_derived_loss_history() {
         let mut s = JobState::new(spec(), SimTime::ZERO);
         s.advance(0.6);
-        assert!(s.loss_history.is_empty()); // no whole iteration yet
+        assert_eq!(s.recorded_iterations(), 0); // no whole iteration yet
         s.advance(0.6); // crosses iteration 1
-        assert_eq!(s.loss_history.len(), 1);
+        assert_eq!(s.recorded_iterations(), 1);
         s.advance(3.0); // crosses 2, 3, 4
-        assert_eq!(s.loss_history.len(), 4);
+        assert_eq!(s.recorded_iterations(), 4);
         // History deltas shrink (diminishing returns).
-        assert!(s.loss_history[0] > s.loss_history[3]);
+        assert!(s.loss_delta(1) > s.loss_delta(4));
         // History telescopes to cumulative reduction.
-        let sum: f64 = s.loss_history.iter().sum();
+        let sum: f64 = (1..=s.recorded_iterations()).map(|i| s.loss_delta(i)).sum();
         let expect = s.spec.curve.cumulative_loss_reduction(4.0);
         assert!((sum - expect).abs() < 1e-9);
     }
@@ -322,7 +327,7 @@ mod tests {
     fn rollback_truncates_progress_and_history() {
         let mut s = JobState::new(spec(), SimTime::ZERO);
         s.advance(7.4);
-        assert_eq!(s.loss_history.len(), 7);
+        assert_eq!(s.recorded_iterations(), 7);
         let acc_at_5 = {
             let mut probe = JobState::new(spec(), SimTime::ZERO);
             probe.advance(5.0);
@@ -330,13 +335,13 @@ mod tests {
         };
         s.rollback_to(5.0);
         assert_eq!(s.iterations, 5.0);
-        assert_eq!(s.loss_history.len(), 5);
+        assert_eq!(s.recorded_iterations(), 5);
         assert!((s.accuracy() - acc_at_5).abs() < 1e-12);
-        // Advancing again from the checkpoint re-records the same
-        // iterations (history telescopes as before).
+        // Advancing again from the checkpoint re-covers the same
+        // iterations (the derived history telescopes as before).
         s.advance(2.0);
-        assert_eq!(s.loss_history.len(), 7);
-        let sum: f64 = s.loss_history.iter().sum();
+        assert_eq!(s.recorded_iterations(), 7);
+        let sum: f64 = (1..=s.recorded_iterations()).map(|i| s.loss_delta(i)).sum();
         let expect = s.spec.curve.cumulative_loss_reduction(7.0);
         assert!((sum - expect).abs() < 1e-9);
     }
