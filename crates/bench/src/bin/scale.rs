@@ -108,8 +108,16 @@ fn main() {
         parse_points(args.get("points").unwrap_or("0.02:both,1:both,10:event"))
     };
 
+    // The bench measures the working tree: `before_commit` is the
+    // commit the tree is based on; `after_commit` is the commit that
+    // will contain the measured change, stamped once it exists
+    // (`--after-commit <sha>`, or edited post-commit).
     let meta = Value::Map(vec![
-        ("commit".into(), Value::Str(git_commit())),
+        ("before_commit".into(), Value::Str(git_commit())),
+        (
+            "after_commit".into(),
+            Value::Str(args.get("after-commit").unwrap_or("worktree").into()),
+        ),
         ("scheduler".into(), Value::Str("MLF-H".into())),
         ("figure".into(), Value::Str("fig5".into())),
         ("x".into(), Value::F64(x)),

@@ -1,0 +1,265 @@
+//! Closed-loop load generator for the scheduler service: emit
+//! `BENCH_service.json`.
+//!
+//! Drives the `mlfs-service` threaded front-end with the Fig. 4
+//! workload mix in two phases:
+//!
+//! * **throughput** — admission off, generous arrival queue, every
+//!   job retried through backpressure until accepted. Headline:
+//!   sustained decisions/sec (scheduler rounds per wall-second) and
+//!   p50/p99 decision latency from the engine's log₂ histogram.
+//! * **overload** — a deliberately tiny arrival queue and admission
+//!   backlog, jobs offered in one non-retrying burst. Headline: how
+//!   much the service sheds (channel backpressure + admission) and
+//!   the deepest backlog the decision loop ever saw, proving
+//!   overload degrades by shedding instead of stalling.
+//!
+//! ```sh
+//! # Full run (writes BENCH_service.json):
+//! cargo run --release -p mlfs-bench --bin service_load
+//!
+//! # CI smoke: smaller trace, wall-clock ceiling + perf gate; exits
+//! # non-zero when the ceiling, throughput floor, or p99 ceiling is
+//! # violated.
+//! cargo run --release -p mlfs-bench --bin service_load -- --smoke
+//! ```
+//!
+//! Flags: `--scheduler MLF-H`, `--x 1` (Fig. 4 load multiplier),
+//! `--tf 16` (time compression), `--seed 42`, `--queue 1024` (arrival
+//! queue capacity), `--min-dps 2000` (decisions/sec floor),
+//! `--max-p99-ms 1` (p99 decision-latency ceiling), `--ceiling-s 300`
+//! (smoke wall-clock ceiling), `--out BENCH_service.json`.
+
+use mlfs_bench::Args;
+use mlfs_service::{AdmissionPolicy, Service, SubmitError};
+use mlfs_sim::experiments::fig4;
+use serde_json::Value;
+
+/// Current git commit (short), or "unknown" outside a checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Conservative percentile from the log₂ decision-latency histogram:
+/// the upper edge (2^{i+1} ns) of the bucket holding the p-th sample.
+fn hist_percentile_ms(hist: &[u64], p: f64) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &n) in hist.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return 2f64.powi(i as i32 + 1) / 1e6;
+        }
+    }
+    2f64.powi(hist.len() as i32) / 1e6
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let scheduler = args.get("scheduler").unwrap_or("MLF-H").to_string();
+    let x = args.f64("x", if smoke { 0.5 } else { 1.0 });
+    let tf = args.f64("tf", 16.0);
+    let seed = args.u64("seed", 42);
+    let queue_cap = args.u64("queue", 1024) as usize;
+    let min_dps = args.f64("min-dps", 2000.0);
+    let max_p99_ms = args.f64("max-p99-ms", 1.0);
+    let ceiling_s = args.f64("ceiling-s", 300.0);
+    let default_out = if smoke {
+        "target/BENCH_service.smoke.json"
+    } else {
+        "BENCH_service.json"
+    };
+    let out = args.get("out").unwrap_or(default_out).to_string();
+
+    let e = fig4(x, tf, seed);
+    let specs = e.jobs();
+    let jobs = specs.len();
+
+    // The bench measures the working tree: `before_commit` is the
+    // commit the tree is based on; `after_commit` is the commit that
+    // will contain the measured change, stamped once it exists.
+    let meta = Value::Map(vec![
+        ("before_commit".into(), Value::Str(git_commit())),
+        (
+            "after_commit".into(),
+            Value::Str(args.get("after-commit").unwrap_or("worktree").into()),
+        ),
+        ("scheduler".into(), Value::Str(scheduler.clone())),
+        ("figure".into(), Value::Str("fig4".into())),
+        ("x".into(), Value::F64(x)),
+        ("time_factor".into(), Value::F64(tf)),
+        ("seed".into(), Value::U64(seed)),
+        ("jobs".into(), Value::U64(jobs as u64)),
+        ("queue_capacity".into(), Value::U64(queue_cap as u64)),
+    ]);
+    let mut runs: Vec<Value> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    // ---- Phase 1: sustained throughput, nothing shed. -------------
+    eprintln!("[service] throughput phase: {jobs} jobs, scheduler {scheduler}...");
+    let svc = Service::new(
+        e.sim.clone(),
+        e.scheduler(&scheduler, seed.wrapping_add(7)),
+        None,
+    );
+    let tracer = svc.tracer();
+    let handle = svc.spawn(queue_cap);
+    let t0 = std::time::Instant::now();
+    let mut backpressure_retries = 0u64;
+    for spec in specs.clone() {
+        let mut spec = spec;
+        // Closed loop: a full queue means the decision loop owns the
+        // pace; spin-retry until the submission lands.
+        loop {
+            match handle.submit(spec) {
+                Ok(()) => break,
+                Err(SubmitError::Backpressure(s)) => {
+                    backpressure_retries += 1;
+                    spec = s;
+                    std::thread::yield_now();
+                }
+                Err(SubmitError::Closed(_)) => {
+                    eprintln!("[service] worker closed early");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let submit_wall = t0.elapsed().as_secs_f64();
+    let report = handle.finish();
+    let wall = t0.elapsed().as_secs_f64();
+    let hist = tracer.snapshot().decision_ns;
+    let rounds = report.metrics.rounds;
+    let dps = rounds as f64 / wall.max(1e-9);
+    let arrivals_per_sec = report.stats.accepted as f64 / submit_wall.max(1e-9);
+    let p50_ms = hist_percentile_ms(&hist, 50.0);
+    let p99_ms = hist_percentile_ms(&hist, 99.0);
+    eprintln!(
+        "[service]   {wall:.1}s wall, {rounds} rounds, {dps:.0} decisions/s, \
+         p50 {p50_ms:.4} ms, p99 {p99_ms:.4} ms, {arrivals_per_sec:.0} arrivals/s accepted"
+    );
+    if report.worker_panicked {
+        failures.push("throughput worker panicked".into());
+    }
+    runs.push(Value::Map(vec![
+        ("phase".into(), Value::Str("throughput".into())),
+        ("jobs_offered".into(), Value::U64(jobs as u64)),
+        ("jobs_accepted".into(), Value::U64(report.stats.accepted)),
+        ("rounds".into(), Value::U64(rounds)),
+        ("wall_s".into(), Value::F64(wall)),
+        ("decisions_per_sec".into(), Value::F64(dps)),
+        ("arrivals_per_sec".into(), Value::F64(arrivals_per_sec)),
+        ("decision_p50_ms".into(), Value::F64(p50_ms)),
+        ("decision_p99_ms".into(), Value::F64(p99_ms)),
+        ("max_backlog".into(), Value::U64(report.max_backlog as u64)),
+        (
+            "backpressure_retries".into(),
+            Value::U64(backpressure_retries),
+        ),
+        (
+            "jobs_finished".into(),
+            Value::U64(report.metrics.jobs.len() as u64),
+        ),
+    ]));
+
+    // ---- Phase 2: overload, shedding instead of stalling. ---------
+    let overload_queue = 8usize;
+    let policy = AdmissionPolicy {
+        max_backlog: 64,
+        ..AdmissionPolicy::default()
+    };
+    eprintln!(
+        "[service] overload phase: burst of {jobs} jobs into a {overload_queue}-slot queue, \
+         admission backlog {}...",
+        policy.max_backlog
+    );
+    let svc = Service::new(
+        e.sim.clone(),
+        e.scheduler(&scheduler, seed.wrapping_add(7)),
+        Some(policy),
+    );
+    let handle = svc.spawn(overload_queue);
+    let t0 = std::time::Instant::now();
+    let mut backpressure_shed = 0u64;
+    for spec in specs {
+        match handle.submit(spec) {
+            Ok(()) => {}
+            Err(SubmitError::Backpressure(_)) => backpressure_shed += 1,
+            Err(SubmitError::Closed(_)) => {
+                eprintln!("[service] worker closed early");
+                std::process::exit(1);
+            }
+        }
+    }
+    let report = handle.finish();
+    let overload_wall = t0.elapsed().as_secs_f64();
+    let shed_total = backpressure_shed + report.stats.shed;
+    let shed_rate = shed_total as f64 / jobs.max(1) as f64;
+    eprintln!(
+        "[service]   {overload_wall:.1}s wall, {} accepted, {} shed ({} backpressure + {} \
+         admission), shed rate {shed_rate:.2}, max backlog {}",
+        report.stats.accepted, shed_total, backpressure_shed, report.stats.shed, report.max_backlog
+    );
+    if report.worker_panicked {
+        failures.push("overload worker panicked".into());
+    }
+    runs.push(Value::Map(vec![
+        ("phase".into(), Value::Str("overload".into())),
+        ("jobs_offered".into(), Value::U64(jobs as u64)),
+        ("jobs_accepted".into(), Value::U64(report.stats.accepted)),
+        ("shed_backpressure".into(), Value::U64(backpressure_shed)),
+        ("shed_admission".into(), Value::U64(report.stats.shed)),
+        ("shed_rate".into(), Value::F64(shed_rate)),
+        ("queue_capacity".into(), Value::U64(overload_queue as u64)),
+        (
+            "admission_max_backlog".into(),
+            Value::U64(policy.max_backlog as u64),
+        ),
+        ("max_backlog".into(), Value::U64(report.max_backlog as u64)),
+        ("rounds".into(), Value::U64(report.metrics.rounds)),
+        ("wall_s".into(), Value::F64(overload_wall)),
+    ]));
+
+    let root = Value::Map(vec![
+        ("meta".into(), meta),
+        ("runs".into(), Value::Seq(runs)),
+    ]);
+    if let Err(err) = std::fs::write(&out, serde_json::value_to_string_pretty(&root) + "\n") {
+        eprintln!("failed to write {out}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+
+    // ---- Gates. ----------------------------------------------------
+    if dps < min_dps {
+        failures.push(format!("decisions/sec {dps:.0} below floor {min_dps:.0}"));
+    }
+    if p99_ms > max_p99_ms {
+        failures.push(format!(
+            "p99 decision latency {p99_ms:.3} ms over ceiling {max_p99_ms:.3} ms"
+        ));
+    }
+    if smoke && wall + overload_wall > ceiling_s {
+        failures.push(format!(
+            "wall clock {:.1}s over smoke ceiling {ceiling_s:.0}s",
+            wall + overload_wall
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("[service] GATE FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

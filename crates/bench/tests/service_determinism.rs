@@ -1,0 +1,88 @@
+//! The streaming front-end is a pure re-plumbing of the batch
+//! engine: a recorded arrival stream replayed through `mlfs-service`
+//! must reproduce the batch run's `RunMetrics` **bit for bit** for
+//! every figure scheduler, on both deterministic figure
+//! configurations. The driver below submits jobs *just in time* —
+//! each spec enters the service only once the decision loop is about
+//! to need it — so the test exercises real streaming, not a disguised
+//! batch submission.
+
+use baselines::FIGURE_SCHEDULERS;
+use mlfs_service::Service;
+use mlfs_sim::engine::StepOutcome;
+use mlfs_sim::experiments::Experiment;
+
+fn batch(e: &Experiment, name: &str) -> String {
+    let mut scheduler = e.scheduler(name, 7);
+    let mut m = e.run(scheduler.as_mut());
+    m.clear_wall_clock();
+    serde_json::to_string(&m).expect("serializable metrics")
+}
+
+/// Replay the trace through a [`Service`], submitting each job no
+/// earlier than needed. Two invariants keep the stream equivalent to
+/// the batch pending list:
+///
+/// * every spec is in the engine before the round that admits it
+///   (arrival ≤ the upcoming round time);
+/// * the engine always holds at least one future arrival while specs
+///   remain, so its idle-jump target (and drained check) see exactly
+///   what the batch run's pending list would show.
+fn streamed(e: &Experiment, name: &str) -> String {
+    let mut specs = e.jobs();
+    specs.sort_by_key(|s| s.arrival); // stable: tie order matches batch
+    let first_arrival = specs.first().map(|s| s.arrival);
+    let mut svc = Service::new(e.sim.clone(), e.scheduler(name, 7), None);
+    let mut iter = specs.into_iter().peekable();
+    loop {
+        // The time the next round will run at: the first arrival
+        // before `begin`, the engine clock afterwards.
+        let upcoming = if svc.rounds() == 0 {
+            first_arrival.unwrap_or(svc.now())
+        } else {
+            svc.now()
+        };
+        while iter
+            .peek()
+            .is_some_and(|s| s.arrival <= upcoming || svc.pending_arrivals() == 0)
+        {
+            let spec = iter.next().expect("peeked");
+            assert!(
+                svc.submit(spec).accepted(),
+                "no admission control => accepted"
+            );
+        }
+        match svc.tick() {
+            StepOutcome::Continue => {}
+            StepOutcome::Drained | StepOutcome::Horizon => {
+                assert!(iter.peek().is_none(), "engine stopped mid-stream");
+                break;
+            }
+        }
+    }
+    let mut m = svc.finish();
+    m.clear_wall_clock();
+    serde_json::to_string(&m).expect("serializable metrics")
+}
+
+fn assert_service_matches_batch(mut e: Experiment, jobs: usize, label: &str) {
+    e.trace.jobs = jobs; // cheap: determinism, not statistics, is the point
+    for name in FIGURE_SCHEDULERS {
+        let b = batch(&e, name);
+        let s = streamed(&e, name);
+        assert_eq!(
+            b, s,
+            "{label}/{name}: streamed service diverged from the batch engine"
+        );
+    }
+}
+
+#[test]
+fn all_schedulers_bit_identical_streamed_on_fig4() {
+    assert_service_matches_batch(mlfs_sim::experiments::fig4(0.25, 64.0, 7), 8, "fig4");
+}
+
+#[test]
+fn all_schedulers_bit_identical_streamed_on_fig5() {
+    assert_service_matches_batch(mlfs_sim::experiments::fig5(1.0, 0.02, 40.0, 7), 10, "fig5");
+}

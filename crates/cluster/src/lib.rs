@@ -33,6 +33,6 @@ pub mod view;
 pub use ids::{JobId, ServerId, TaskId};
 pub use resources::{Resource, ResourceVec, NUM_RESOURCES};
 pub use server::{HealthState, Server, TaskPlacement};
-pub use state::{Cluster, ClusterConfig, PlaceError, DEFAULT_OVERLOAD_THRESHOLD};
+pub use state::{Cluster, ClusterConfig, ClusterSnapshot, PlaceError, DEFAULT_OVERLOAD_THRESHOLD};
 pub use topology::Topology;
 pub use view::{ClusterOverlay, ClusterView};

@@ -93,6 +93,28 @@ impl std::fmt::Display for PlaceError {
 
 impl std::error::Error for PlaceError {}
 
+/// Full-fidelity snapshot of the mutable cluster state — everything
+/// except the topology, which is static and rebuilt from the
+/// [`ClusterConfig`] on restore. Serializable for crash-safe
+/// scheduler-state checkpointing (`crates/service`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Every server: placements, health, cached loads and peaks.
+    pub servers: Vec<Server>,
+    /// The task → server placement index.
+    pub index: BTreeMap<TaskId, ServerId>,
+    /// Cumulative inter-server traffic ledger, MB.
+    pub transferred_mb: f64,
+    /// Cumulative migration traffic ledger, MB.
+    pub migration_mb: f64,
+    /// Number of migrations performed.
+    pub migrations: u64,
+    /// The tracked overload threshold.
+    pub overload_h_r: f64,
+    /// Servers overloaded at the tracked threshold, in id order.
+    pub overloaded: BTreeSet<ServerId>,
+}
+
 /// The live cluster: servers plus global indices and accounting.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -401,6 +423,32 @@ impl Cluster {
     /// Number of migrations performed.
     pub fn migrations(&self) -> u64 {
         self.migrations
+    }
+
+    /// Export the full mutable state (see [`ClusterSnapshot`]).
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            servers: self.servers.clone(),
+            index: self.index.clone(),
+            transferred_mb: self.transferred_mb,
+            migration_mb: self.migration_mb,
+            migrations: self.migrations,
+            overload_h_r: self.overload_h_r,
+            overloaded: self.overloaded.clone(),
+        }
+    }
+
+    /// Replace the mutable state with a snapshot taken from a cluster
+    /// of the same shape. The topology is kept (it is static and comes
+    /// from the config this cluster was built with).
+    pub fn restore(&mut self, snap: ClusterSnapshot) {
+        self.servers = snap.servers;
+        self.index = snap.index;
+        self.transferred_mb = snap.transferred_mb;
+        self.migration_mb = snap.migration_mb;
+        self.migrations = snap.migrations;
+        self.overload_h_r = snap.overload_h_r;
+        self.overloaded = snap.overloaded;
     }
 
     /// Servers currently overloaded at threshold `h_r`, in id order.

@@ -170,8 +170,8 @@ fn select_host_inner<V: ClusterView, F: Fn(ServerId) -> bool>(
     deny: F,
     s: &mut HostScratch,
 ) -> Option<ServerId> {
-    let job = &jobs[&task.job];
-    let spec = &job.spec.tasks[task.idx as usize];
+    let job = jobs.get(&task.job)?;
+    let spec = job.spec.tasks.get(task.idx as usize)?;
     // Candidates: underloaded servers that stay under h_r with the task.
     s.candidates.clear();
     for i in 0..plan.server_count() {
@@ -246,30 +246,34 @@ fn select_host_inner<V: ClusterView, F: Fn(ServerId) -> bool>(
     // maximum affinity, zero penalty.
     let mut ideal_util = [f64::INFINITY; cluster::NUM_RESOURCES];
     for u in &s.utils {
-        for d in 0..cluster::NUM_RESOURCES {
-            ideal_util[d] = ideal_util[d].min(u[d]);
+        for (ideal, u) in ideal_util.iter_mut().zip(u) {
+            *ideal = ideal.min(*u);
         }
     }
 
     let mut best: Option<(f64, ServerId)> = None;
     for (i, &sid) in s.candidates.iter().enumerate() {
         let mut d2 = 0.0;
-        for (u, ideal) in s.utils[i].iter().zip(&ideal_util) {
-            let diff = u - ideal;
-            d2 += diff * diff;
+        if let Some(util) = s.utils.get(i) {
+            for (u, ideal) in util.iter().zip(&ideal_util) {
+                let diff = u - ideal;
+                d2 += diff * diff;
+            }
         }
         if max_affinity > 0.0 {
-            let diff = s.affinities[i] / max_affinity - 1.0; // ideal = max
-                                                             // Communication locality carries more weight than any
-                                                             // single utilization dimension: a cross-server DAG edge
-                                                             // stretches *every* iteration, while a slightly busier
-                                                             // server only raises contention risk. (The paper weights
-                                                             // all dims equally but also reports bandwidth-aware
-                                                             // placement cutting JCT by 5–15% — this is that lever.)
+            // Communication locality carries more weight than any
+            // single utilization dimension: a cross-server DAG edge
+            // stretches *every* iteration, while a slightly busier
+            // server only raises contention risk. (The paper weights
+            // all dims equally but also reports bandwidth-aware
+            // placement cutting JCT by 5–15% — this is that lever.)
+            let aff = s.affinities.get(i).copied().unwrap_or(0.0);
+            let diff = aff / max_affinity - 1.0; // ideal = max
             d2 += AFFINITY_WEIGHT * diff * diff;
         }
         if max_penalty > 0.0 {
-            let diff = s.penalties[i] / max_penalty; // ideal = 0
+            let q = s.penalties.get(i).copied().unwrap_or(0.0);
+            let diff = q / max_penalty; // ideal = 0
             d2 += diff * diff;
         }
         match best {
@@ -288,7 +292,7 @@ pub fn migration_state_mb(job: &JobState, idx: usize) -> f64 {
     if idx >= spec.dag.len() {
         spec.model_mb
     } else {
-        3.0 * spec.tasks[idx].partition_mb
+        3.0 * spec.tasks.get(idx).map_or(0.0, |t| t.partition_mb)
     }
 }
 
@@ -369,7 +373,9 @@ fn select_victim_inner<V: ClusterView>(
     let mut max_affinity = 0.0f64;
     if p.use_bandwidth {
         for t in &s.candidates {
-            let mb = affinity_mb(&jobs[&t.job], t.idx as usize, server, plan);
+            let mb = jobs
+                .get(&t.job)
+                .map_or(0.0, |job| affinity_mb(job, t.idx as usize, server, plan));
             max_affinity = max_affinity.max(mb);
             s.affinities.push(mb);
         }
@@ -378,9 +384,9 @@ fn select_victim_inner<V: ClusterView>(
     // Ideal virtual task: max utilization on overloaded resources,
     // min on the others, zero co-located communication.
     let mut ideal = [0.0; cluster::NUM_RESOURCES];
-    for d in 0..cluster::NUM_RESOURCES {
-        let col = s.utils.iter().map(|u| u[d]);
-        ideal[d] = if s.over_res.iter().any(|&r| r as usize == d) {
+    for (d, slot) in ideal.iter_mut().enumerate() {
+        let col = s.utils.iter().filter_map(|u| u.get(d)).copied();
+        *slot = if s.over_res.iter().any(|&r| r as usize == d) {
             col.fold(f64::NEG_INFINITY, f64::max)
         } else {
             col.fold(f64::INFINITY, f64::min)
@@ -390,12 +396,15 @@ fn select_victim_inner<V: ClusterView>(
     let mut best: Option<(f64, TaskId)> = None;
     for (i, t) in s.candidates.iter().enumerate() {
         let mut d2 = 0.0;
-        for (u, id_u) in s.utils[i].iter().zip(&ideal) {
-            let diff = u - id_u;
-            d2 += diff * diff;
+        if let Some(util) = s.utils.get(i) {
+            for (u, id_u) in util.iter().zip(&ideal) {
+                let diff = u - id_u;
+                d2 += diff * diff;
+            }
         }
         if max_affinity > 0.0 {
-            let diff = s.affinities[i] / max_affinity; // ideal = 0
+            let aff = s.affinities.get(i).copied().unwrap_or(0.0);
+            let diff = aff / max_affinity; // ideal = 0
             d2 += diff * diff;
         }
         match best {

@@ -95,11 +95,15 @@ pub fn job_task_priorities_into(job: &JobState, now: SimTime, p: &Params, s: &mu
         let k = k as usize;
         let (mut ml_kids, mut c_kids) = (0.0, 0.0);
         for &c in spec.dag.children(k) {
-            ml_kids += ml[c as usize];
-            c_kids += comp[c as usize];
+            ml_kids += ml.get(c as usize).copied().unwrap_or(0.0);
+            c_kids += comp.get(c as usize).copied().unwrap_or(0.0);
         }
-        ml[k] += p.gamma * ml_kids;
-        comp[k] += p.gamma * c_kids;
+        if let Some(v) = ml.get_mut(k) {
+            *v += p.gamma * ml_kids;
+        }
+        if let Some(v) = comp.get_mut(k) {
+            *v += p.gamma * c_kids;
+        }
     }
 
     // ---- blend (Eq. 6) ----
@@ -154,7 +158,8 @@ impl PriorityMap {
         self.entries
             .binary_search_by(|(t, _)| t.cmp(task))
             .ok()
-            .map(|i| self.entries[i].1)
+            .and_then(|i| self.entries.get(i))
+            .map(|&(_, prio)| prio)
     }
 
     /// Number of entries.

@@ -96,12 +96,28 @@ impl RewardComponents {
 }
 
 /// A cluster job scheduler.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so a boxed scheduler can move onto the
+/// service front-end's worker thread (`mlfs-service`); every scheduler
+/// is plain owned data, so the bound costs nothing.
+pub trait Scheduler: Send {
     /// Short display name (used in figure legends).
     fn name(&self) -> &'static str;
 
     /// Produce this round's actions.
     fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action>;
+
+    /// Streaming entry point: produce this round's actions given the
+    /// jobs admitted since the previous round (`arrived`, admission
+    /// order). The engine always calls this form; the default
+    /// delegates to [`Scheduler::schedule`], so batch schedulers are
+    /// bit-identical whether a trace is replayed or streamed in live
+    /// through a front-end (`crates/service`). Schedulers that keep
+    /// per-arrival state (e.g. incremental admission bookkeeping)
+    /// override it.
+    fn schedule_stream(&mut self, ctx: &SchedulerContext<'_>, _arrived: &[JobId]) -> Vec<Action> {
+        self.schedule(ctx)
+    }
 
     /// Objective components earned since the previous round (Eq. 7's
     /// ingredients). Ignored by non-RL schedulers.

@@ -31,10 +31,13 @@ pub const DETERMINISTIC_TIER: &[&str] = &[
     // obs runs inside `schedule()` via the span/event macros; a
     // nondeterministic tracer would leak into decision traces.
     "obs",
+    // The service front-end replays arrival streams bit-identically;
+    // its decision loop must not observe wall clocks or hash order.
+    "service",
 ];
 
 /// Crates in the scheduler hot-path tier.
-pub const HOT_PATH_TIER: &[&str] = &["core", "cluster", "sim", "obs"];
+pub const HOT_PATH_TIER: &[&str] = &["core", "cluster", "sim", "obs", "service"];
 
 /// Rule families that apply to one file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,71 @@
+//! Admission control: when does the service say *no*?
+//!
+//! The policy reuses the two signals MLF-C (§3.3.2) already computes
+//! for its own stop decisions, lifted from per-job policy to
+//! service-level load control:
+//!
+//! * **backlog** — queued tasks plus not-yet-admitted arrivals. A
+//!   deep backlog means admitted jobs would only wait; shedding at
+//!   the door keeps the tail of the waiting-time distribution
+//!   bounded.
+//! * **cluster overload degree** — `O_c^t`, the mean per-server
+//!   overload degree. Above the MLF-C threshold `h_s` the cluster
+//!   cannot absorb new load without slowing every running job.
+//!
+//! Both checks are pure functions of engine state, so shedding is
+//! deterministic: the same arrival stream against the same policy
+//! sheds the same jobs (the `service_backpressure` test pins this).
+
+use serde::{Deserialize, Serialize};
+use workload::JobSpec;
+
+/// Service-level admission thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Shed when `queue_len + pending_arrivals` exceeds this.
+    pub max_backlog: usize,
+    /// Shed while the cluster overload degree `O_c^t` exceeds this
+    /// (same default as MLF-C's `h_s`).
+    pub h_s: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_backlog: 4096,
+            h_s: mlfs::Params::default().h_s,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShedReason {
+    /// Backlog (queued tasks + unadmitted arrivals) over
+    /// [`AdmissionPolicy::max_backlog`].
+    Backlog { backlog: usize },
+    /// Cluster overload degree over [`AdmissionPolicy::h_s`].
+    Overload { degree: f64 },
+    /// A job with this id is already known to the engine.
+    Duplicate,
+}
+
+/// The outcome of one [`crate::Service::submit`] call. The spec is
+/// returned on shed so the caller can retry later.
+// Shed carries the spec by value on purpose: the caller gets their
+// job back without a heap allocation on the (overload-hot) shed path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitOutcome {
+    /// The job entered the pending-arrival list.
+    Accepted,
+    /// The job was refused; nothing about engine state changed.
+    Shed(ShedReason, JobSpec),
+}
+
+impl SubmitOutcome {
+    /// True when the job was admitted.
+    pub fn accepted(&self) -> bool {
+        matches!(self, SubmitOutcome::Accepted)
+    }
+}

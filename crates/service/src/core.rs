@@ -1,0 +1,204 @@
+//! The synchronous service core: admission → injection → rounds.
+//!
+//! [`Service`] owns a [`Simulation`] plus the scheduler it drives.
+//! Nothing here is asynchronous — the threaded front-end in
+//! [`crate::front`] layers a channel on top — so tests can drive the
+//! core round-by-round and compare the result bit-for-bit against the
+//! batch engine.
+
+use crate::admission::{AdmissionPolicy, ShedReason, SubmitOutcome};
+use metrics::RunMetrics;
+use mlfs::Scheduler;
+use mlfs_sim::engine::{SimConfig, SimSnapshot, Simulation, StepOutcome};
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use workload::JobSpec;
+
+/// Long-running scheduler front-end over the simulation engine.
+pub struct Service {
+    sim: Simulation,
+    scheduler: Box<dyn Scheduler>,
+    admission: Option<AdmissionPolicy>,
+    accepted: u64,
+    shed: u64,
+}
+
+/// Submission counters (engine-side; channel backpressure is counted
+/// by the caller, who is the one refused).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Jobs that passed admission and entered the engine.
+    pub accepted: u64,
+    /// Jobs refused by admission control (or duplicate ids).
+    pub shed: u64,
+}
+
+/// Full service state at a round boundary: the engine snapshot plus
+/// the service's own counters. The scheduler and the
+/// [`AdmissionPolicy`] are *not* captured — a restarted service is
+/// handed fresh ones (schedulers rebuild their view from cluster and
+/// queue state, which the engine snapshot carries).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Engine state (jobs, cluster, queue, RNG streams, metrics, …).
+    pub sim: SimSnapshot,
+    /// Submission counters at the snapshot.
+    pub stats: ServiceStats,
+}
+
+impl Service {
+    /// A service over an initially empty engine. `admission: None`
+    /// accepts everything (the replay-determinism configuration);
+    /// `Some(policy)` sheds at the door under overload.
+    pub fn new(
+        cfg: SimConfig,
+        scheduler: Box<dyn Scheduler>,
+        admission: Option<AdmissionPolicy>,
+    ) -> Self {
+        Service {
+            sim: Simulation::new(cfg, Vec::new()),
+            scheduler,
+            admission,
+            accepted: 0,
+            shed: 0,
+        }
+    }
+
+    /// Rebuild a service from a [`ServiceSnapshot`] and the original
+    /// `cfg`. Stepping the restored service yields bit-identical
+    /// decisions to the uninterrupted run (`service_restart` test).
+    pub fn restore(
+        cfg: SimConfig,
+        snap: ServiceSnapshot,
+        scheduler: Box<dyn Scheduler>,
+        admission: Option<AdmissionPolicy>,
+    ) -> Self {
+        Service {
+            sim: Simulation::restore(cfg, snap.sim),
+            scheduler,
+            admission,
+            accepted: snap.stats.accepted,
+            shed: snap.stats.shed,
+        }
+    }
+
+    /// Capture the full service state at the current round boundary.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            sim: self.sim.snapshot(),
+            stats: self.stats(),
+        }
+    }
+
+    /// Submit one job. Runs admission control, then hands the spec to
+    /// the engine's sorted pending list; it is admitted into the
+    /// queue at the first round where `now >= spec.arrival`.
+    pub fn submit(&mut self, spec: JobSpec) -> SubmitOutcome {
+        if let Some(p) = self.admission {
+            let backlog = self.backlog();
+            if backlog > p.max_backlog {
+                self.shed += 1;
+                return SubmitOutcome::Shed(ShedReason::Backlog { backlog }, spec);
+            }
+            let degree = self.sim.cluster_overload_degree();
+            if degree > p.h_s {
+                self.shed += 1;
+                return SubmitOutcome::Shed(ShedReason::Overload { degree }, spec);
+            }
+        }
+        if self.sim.inject_job(spec.clone()) {
+            self.accepted += 1;
+            SubmitOutcome::Accepted
+        } else {
+            self.shed += 1;
+            SubmitOutcome::Shed(ShedReason::Duplicate, spec)
+        }
+    }
+
+    /// Run exactly one scheduler round. The first call jumps the
+    /// clock to the earliest pending arrival (`Simulation::begin`).
+    pub fn tick(&mut self) -> StepOutcome {
+        self.sim.begin(self.scheduler.as_mut());
+        self.sim.step(self.scheduler.as_mut())
+    }
+
+    /// Tick until the engine reports [`StepOutcome::Drained`] (or
+    /// [`StepOutcome::Horizon`]): all accepted work is finished.
+    pub fn run_until_drained(&mut self) -> StepOutcome {
+        loop {
+            match self.tick() {
+                StepOutcome::Continue => {}
+                done => return done,
+            }
+        }
+    }
+
+    /// Finish the run: fold telemetry and return the final metrics,
+    /// stamped with the scheduler's legend name (the same shape the
+    /// batch `mlfs_sim::engine::run` produces).
+    pub fn finish(self) -> RunMetrics {
+        let name = self.scheduler.name().to_string();
+        let mut m = self.sim.into_metrics();
+        m.scheduler = name;
+        m
+    }
+
+    /// Queued tasks plus not-yet-admitted arrivals — the admission
+    /// backlog signal and the load generator's queue-depth sample.
+    pub fn backlog(&self) -> usize {
+        self.sim.queue_len() + self.sim.pending_arrivals()
+    }
+
+    /// True while the engine has work: unfinished jobs or pending
+    /// arrivals. When false, [`Service::tick`] would only burn an
+    /// empty round, so callers should wait for submissions instead.
+    pub fn has_work(&self) -> bool {
+        self.sim.active_jobs() > 0 || self.sim.pending_arrivals() > 0
+    }
+
+    /// Accepted jobs whose arrival time the engine has not reached
+    /// yet. While this is non-zero the engine cannot drain: its idle
+    /// jumps target the earliest of these arrivals.
+    pub fn pending_arrivals(&self) -> usize {
+        self.sim.pending_arrivals()
+    }
+
+    /// Submission counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            accepted: self.accepted,
+            shed: self.shed,
+        }
+    }
+
+    /// Simulated clock.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Scheduler round period.
+    pub fn round_period(&self) -> SimDuration {
+        self.sim.tick()
+    }
+
+    /// Scheduler rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.sim.rounds()
+    }
+
+    /// Unfinished jobs currently in the engine.
+    pub fn active_jobs(&self) -> usize {
+        self.sim.active_jobs()
+    }
+
+    /// Cluster overload degree `O_c^t` (the admission signal).
+    pub fn overload_degree(&self) -> f64 {
+        self.sim.cluster_overload_degree()
+    }
+
+    /// The engine's telemetry hub (decision-latency histogram,
+    /// deterministic counters). Clone before [`Service::finish`].
+    pub fn tracer(&self) -> std::sync::Arc<obs::Tracer> {
+        self.sim.tracer()
+    }
+}

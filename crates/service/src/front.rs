@@ -1,0 +1,147 @@
+//! The threaded front-end: a bounded queue in front of the core.
+//!
+//! [`Service::spawn`] moves the core onto a worker thread behind a
+//! `std::sync::mpsc::sync_channel`. The channel *is* the arrival
+//! queue: its capacity bounds how far producers can run ahead of the
+//! decision loop, and a full channel surfaces as
+//! [`SubmitError::Backpressure`] instead of blocking the caller —
+//! overload degrades by shedding, never by stalling submitters.
+//!
+//! The worker alternates between draining the channel (non-blocking)
+//! and running scheduler rounds; when the engine has no work it
+//! parks on a blocking `recv` so an idle service costs nothing. No
+//! wall clock is read anywhere on this path — the deterministic-tier
+//! lint holds for the whole crate.
+
+use crate::core::{Service, ServiceStats};
+use metrics::RunMetrics;
+use mlfs_sim::engine::StepOutcome;
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
+use workload::JobSpec;
+
+/// Why a non-blocking submission failed. The spec comes back so the
+/// caller can retry, reroute, or count the shed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The arrival queue is full — the decision loop is saturated.
+    Backpressure(JobSpec),
+    /// The worker is gone (finished or panicked).
+    Closed(JobSpec),
+}
+
+/// What the worker thread hands back at shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Final run metrics (same shape as a batch run's).
+    pub metrics: RunMetrics,
+    /// Engine-side submission counters.
+    pub stats: ServiceStats,
+    /// Deepest backlog (queued tasks + unadmitted arrivals) the
+    /// decision loop observed — the queue-depth headline of
+    /// `BENCH_service.json`.
+    pub max_backlog: usize,
+    /// True when the worker thread panicked; `metrics`/`stats` are
+    /// defaults in that case, not measurements.
+    pub worker_panicked: bool,
+}
+
+/// Handle to a running service worker. Dropping the handle (or
+/// calling [`ServiceHandle::finish`]) closes the arrival queue; the
+/// worker then drains remaining work and exits.
+pub struct ServiceHandle {
+    tx: SyncSender<JobSpec>,
+    join: std::thread::JoinHandle<ServiceReport>,
+}
+
+impl Service {
+    /// Move the core onto a worker thread behind a bounded arrival
+    /// queue of `queue_capacity` jobs.
+    pub fn spawn(self, queue_capacity: usize) -> ServiceHandle {
+        let (tx, rx) = std::sync::mpsc::sync_channel(queue_capacity);
+        let join = std::thread::spawn(move || worker_loop(self, rx));
+        ServiceHandle { tx, join }
+    }
+}
+
+impl ServiceHandle {
+    /// Non-blocking submit. `Err(Backpressure)` means the bounded
+    /// queue is full right now; the job was *not* enqueued.
+    // The Err variants hand the spec back by value so a refused
+    // caller can retry without a heap allocation per shed.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, spec: JobSpec) -> Result<(), SubmitError> {
+        match self.tx.try_send(spec) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(s)) => Err(SubmitError::Backpressure(s)),
+            Err(TrySendError::Disconnected(s)) => Err(SubmitError::Closed(s)),
+        }
+    }
+
+    /// Close the arrival queue and wait for the worker to drain all
+    /// accepted work and finish.
+    pub fn finish(self) -> ServiceReport {
+        drop(self.tx);
+        match self.join.join() {
+            Ok(report) => report,
+            Err(_) => ServiceReport {
+                worker_panicked: true,
+                ..ServiceReport::default()
+            },
+        }
+    }
+}
+
+/// The decision loop. Invariants:
+///
+/// * every queued submission is admitted before the next round, so
+///   an arrival's placement latency is at most one round plus the
+///   round's own decision time;
+/// * the engine never runs an empty round — with no work the loop
+///   parks on the channel instead of ticking;
+/// * after [`StepOutcome::Horizon`] the loop stops scheduling (the
+///   horizon advanced the world to `max_time`) and only drains the
+///   channel until the producers hang up.
+fn worker_loop(mut svc: Service, rx: Receiver<JobSpec>) -> ServiceReport {
+    let mut open = true;
+    let mut horizon = false;
+    let mut max_backlog = 0usize;
+    loop {
+        // Drain everything already queued, without blocking.
+        loop {
+            match rx.try_recv() {
+                Ok(spec) => {
+                    svc.submit(spec);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+        max_backlog = max_backlog.max(svc.backlog());
+        if svc.has_work() && !horizon {
+            if svc.tick() == StepOutcome::Horizon {
+                horizon = true;
+            }
+        } else if open {
+            // Idle (or past the horizon): park until the next
+            // submission or hang-up.
+            match rx.recv() {
+                Ok(spec) => {
+                    svc.submit(spec);
+                }
+                Err(_) => open = false,
+            }
+        } else {
+            break;
+        }
+    }
+    let stats = svc.stats();
+    ServiceReport {
+        metrics: svc.finish(),
+        stats,
+        max_backlog,
+        worker_panicked: false,
+    }
+}

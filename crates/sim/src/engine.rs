@@ -48,6 +48,7 @@ use cluster::{Cluster, ClusterConfig, JobId, ServerId, TaskId};
 use metrics::{FaultRecord, JobRecord, RunMetrics};
 use mlfs::placement::migration_state_mb;
 use mlfs::{Action, Scheduler, SchedulerContext};
+use serde::{Deserialize, Serialize};
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant; // lint:allow(cfg-std-time) reason="wall-time decision-latency metrics only; never feeds simulated time or scheduling state"
@@ -113,6 +114,78 @@ pub enum EngineMode {
     /// Calendar-driven engine: O(running + changes) per sub-step.
     #[default]
     EventDriven,
+}
+
+/// What [`Simulation::step`] left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// More rounds are due: active jobs or pending arrivals remain.
+    Continue,
+    /// No active jobs and no pending arrivals. The simulation is
+    /// quiescent, not dead — [`Simulation::inject_job`] followed by
+    /// another `step` resumes it.
+    Drained,
+    /// The `max_time` horizon was crossed; the world was advanced to
+    /// the horizon one last time.
+    Horizon,
+}
+
+/// A serializable image of the full engine state at a round boundary.
+///
+/// Produced by [`Simulation::snapshot`], consumed by
+/// [`Simulation::restore`]. Together with the (non-serialized)
+/// [`SimConfig`] it captures everything a resumed run needs to stay
+/// bit-identical to the uninterrupted one: job states, queue order,
+/// the unadmitted arrival tail, both RNG streams, window/reward
+/// accumulators, fault bookkeeping and the deterministic telemetry
+/// counters. RNG states travel as `Vec<u64>` (fixed-size arrays are
+/// outside the vendored serde subset).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSnapshot {
+    /// Simulated clock at the snapshot.
+    pub now: SimTime,
+    /// Start of the current inter-round window (`last` in the loop).
+    pub last: SimTime,
+    /// Whether [`Simulation::begin`] already ran.
+    pub begun: bool,
+    /// Every job slot, dense-id order.
+    pub jobs: Vec<(JobId, JobState)>,
+    /// The wait queue, in order (order is scheduler-visible).
+    pub queue: Vec<TaskId>,
+    /// Arrivals not yet admitted, still sorted by arrival time.
+    pub pending: Vec<JobSpec>,
+    /// Metrics accumulated so far (wall-clock fields included; strip
+    /// them with `RunMetrics::clear_wall_clock` when comparing runs).
+    pub metrics: RunMetrics,
+    /// Reward-window accumulators.
+    pub window: WindowStats,
+    /// Tasks currently straggling.
+    pub stragglers: BTreeSet<TaskId>,
+    /// Straggler RNG stream (xoshiro256** state words).
+    pub rng: Vec<u64>,
+    /// Fault RNG stream (xoshiro256** state words).
+    pub fault_rng: Vec<u64>,
+    /// Cumulative transfer MB already charged to `window`.
+    pub bandwidth_charged_mb: f64,
+    /// Cursor into the scheduled fault trace.
+    pub next_scheduled_fault: usize,
+    /// Pending server recoveries (time, server).
+    pub recoveries: Vec<(SimTime, ServerId)>,
+    /// Jobs admitted since the last `step` (stream-scheduler input).
+    pub arrived_this_round: Vec<JobId>,
+    /// Full cluster state (placements, load, transfer accounting).
+    pub cluster: cluster::ClusterSnapshot,
+    /// Deterministic telemetry counters, [`obs::Counter::ALL`] order.
+    pub telemetry_counts: Vec<u64>,
+}
+
+/// Defensive `Vec<u64>` → `[u64; 4]` for RNG state restore.
+fn rng_state(words: &[u64]) -> [u64; 4] {
+    let mut s = [0u64; 4];
+    for (slot, w) in s.iter_mut().zip(words) {
+        *slot = *w;
+    }
+    s
 }
 
 /// Engine configuration.
@@ -200,6 +273,17 @@ pub struct Simulation {
     pending: Vec<JobSpec>,
     next_arrival: usize,
     now: SimTime,
+    /// Where the previous round's world advancement stopped — the
+    /// start of the next `advance` window. Maintained by
+    /// [`Simulation::step`].
+    last: SimTime,
+    /// Whether [`Simulation::begin`] ran (clock jumped to the first
+    /// arrival).
+    begun: bool,
+    /// Jobs admitted since the previous scheduling round, in
+    /// admission order; handed to `Scheduler::schedule_stream` and
+    /// cleared each round.
+    arrived_this_round: Vec<JobId>,
     metrics: RunMetrics,
     window: WindowStats,
     stragglers: BTreeSet<TaskId>,
@@ -273,6 +357,9 @@ impl Simulation {
             pending: specs,
             next_arrival: 0,
             now: SimTime::ZERO,
+            last: SimTime::ZERO,
+            begun: false,
+            arrived_this_round: Vec::new(),
             metrics,
             window: WindowStats::default(),
             stragglers: BTreeSet::new(),
@@ -323,136 +410,326 @@ impl Simulation {
         self.tracer.clone()
     }
 
-    /// Run to completion under `scheduler`, returning the metrics.
-    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> RunMetrics {
+    /// Prepare for stepping: hand the scheduler the telemetry hub and
+    /// jump the clock to the first pending arrival. The clock jump
+    /// happens once; re-attaching the tracer is harmless, so calling
+    /// `begin` again (e.g. with a fresh scheduler after
+    /// [`Simulation::restore`]) is safe.
+    pub fn begin(&mut self, scheduler: &mut dyn Scheduler) {
         scheduler.attach_tracer(self.tracer.clone());
+        if self.begun {
+            return;
+        }
+        self.begun = true;
         // Jump to the first arrival.
-        if let Some(first) = self.pending.first() {
+        if let Some(first) = self.pending.get(self.next_arrival) {
             self.now = first.arrival;
         }
-        let mut last = self.now;
-        loop {
-            let tracer = self.tracer.clone();
-            let _round_span = obs::span!(tracer, round);
-            obs::event!(
-                tracer,
-                RoundStart {
-                    round: self.metrics.rounds + 1,
-                    t: self.now.as_mins_f64(),
-                    queued: self.queue.len() as u32,
+        self.last = self.now;
+    }
+
+    /// Execute one scheduling round: advance the world to `now`,
+    /// inject faults, account the reward window, invoke the scheduler
+    /// (streaming entry point), apply its actions, and pick the next
+    /// round time. Returns whether another round is due.
+    ///
+    /// This is the decision core the batch [`Simulation::run`] loop
+    /// and the streaming front-end (`crates/service`) share; a
+    /// [`StepOutcome::Drained`] simulation resumes cleanly if
+    /// [`Simulation::inject_job`] delivers new work later.
+    pub fn step(&mut self, scheduler: &mut dyn Scheduler) -> StepOutcome {
+        let tracer = self.tracer.clone();
+        let _round_span = obs::span!(tracer, round);
+        obs::event!(
+            tracer,
+            RoundStart {
+                round: self.metrics.rounds + 1,
+                t: self.now.as_mins_f64(),
+                queued: self.queue.len() as u32,
+            }
+        );
+        // Advance the world to `now` (arrivals, progress,
+        // completions, deadline freezes).
+        self.advance(self.last, self.now);
+        self.last = self.now;
+
+        // Fault injection (recoveries, then crashes) happens
+        // before the scheduler observes the cluster, so it sees
+        // down servers and evicted tasks the same round.
+        self.inject_faults();
+
+        // Round statistics.
+        self.metrics.rounds += 1;
+        let overloaded = self.cluster.overloaded_count(self.cfg.h_r);
+        self.metrics.overload_occurrences += overloaded as u64;
+        if tracer.is_enabled() && overloaded > 0 {
+            for i in 0..self.cluster.server_count() {
+                let srv = self.cluster.server(ServerId(i as u32));
+                if srv.is_overloaded(self.cfg.h_r) {
+                    obs::event!(
+                        tracer,
+                        Overload {
+                            t: self.now.as_mins_f64(),
+                            server: i as u32,
+                            degree: srv.overload_degree(),
+                        }
+                    );
                 }
-            );
-            // Advance the world to `now` (arrivals, progress,
-            // completions, deadline freezes).
-            self.advance(last, self.now);
-            last = self.now;
-
-            // Fault injection (recoveries, then crashes) happens
-            // before the scheduler observes the cluster, so it sees
-            // down servers and evicted tasks the same round.
-            self.inject_faults();
-
-            // Round statistics.
-            self.metrics.rounds += 1;
-            let overloaded = self.cluster.overloaded_count(self.cfg.h_r);
-            self.metrics.overload_occurrences += overloaded as u64;
-            if tracer.is_enabled() && overloaded > 0 {
-                for i in 0..self.cluster.server_count() {
-                    let srv = self.cluster.server(ServerId(i as u32));
-                    if srv.is_overloaded(self.cfg.h_r) {
-                        obs::event!(
-                            tracer,
-                            Overload {
-                                t: self.now.as_mins_f64(),
-                                server: i as u32,
-                                degree: srv.overload_degree(),
-                            }
-                        );
-                    }
-                }
             }
-            if self.cfg.record_timeline {
-                // The index set's cardinality equals the naive scan's
-                // count by the `sync_job_sets` invariant.
-                let active_jobs = match self.cfg.engine {
-                    EngineMode::Naive => self.jobs.values().filter(|j| !j.is_finished()).count(),
-                    EngineMode::EventDriven => self.active.len(),
-                };
-                self.metrics.timeline.push(metrics::TimelinePoint {
-                    t_mins: self.now.as_mins_f64(),
-                    mean_util: self.cluster.mean_utilization().0,
-                    queue_len: self.queue.len(),
-                    active_jobs,
-                    overloaded_servers: overloaded,
-                });
-            }
-
-            // Reward for the window just closed.
-            self.window.mean_active_accuracy = self.mean_active_accuracy();
-            let reward = components(&self.window);
-            self.window = WindowStats::default();
-            scheduler.observe_reward(&reward);
-
-            // Time-varying utilization: refresh every placed task's
-            // live demand before the scheduler observes the cluster.
-            self.refresh_utilization();
-
-            // Scheduling round (timed).
-            let ctx = SchedulerContext {
-                now: self.now,
-                jobs: &self.jobs,
-                cluster: &self.cluster,
-                queue: &self.queue,
-            };
-            // Wall-clock timing of the scheduler call itself, recorded
-            // as an observability metric (decision_times_ms); it never
-            // influences simulated time or any scheduling decision.
-            let started = Instant::now(); // lint:allow(det-wall-clock) reason="measures real decision latency for BENCH_scheduler.json; scheduler-invisible"
-            let actions = scheduler.schedule(&ctx);
-            let elapsed = started.elapsed();
-            self.metrics
-                .decision_times_ms
-                .push(elapsed.as_secs_f64() * 1000.0);
-            self.tracer.record_decision_ns(elapsed.as_nanos() as u64);
-            let n_actions = actions.len();
-            self.apply_actions(actions);
-            obs::event!(
-                tracer,
-                RoundEnd {
-                    round: self.metrics.rounds,
-                    t: self.now.as_mins_f64(),
-                    actions: n_actions as u32,
-                    decision_ns: elapsed.as_nanos() as u64,
-                }
-            );
-
-            // Straggler injection happens at round granularity.
-            self.inject_stragglers();
-
-            // Pick the next round time.
-            let active = match self.cfg.engine {
-                EngineMode::Naive => self.jobs.values().any(|j| !j.is_finished()),
-                EngineMode::EventDriven => !self.active.is_empty(),
-            };
-            if !active && self.next_arrival >= self.pending.len() {
-                break;
-            }
-            let next = if active || !self.queue.is_empty() {
-                self.now + self.cfg.tick
-            } else {
-                // Idle: jump to the next arrival.
-                self.pending[self.next_arrival]
-                    .arrival
-                    .max(self.now + self.cfg.tick)
-            };
-            if next.since(SimTime::ZERO) > self.cfg.max_time {
-                // Horizon reached: advance once more then stop.
-                self.advance(last, SimTime::ZERO + self.cfg.max_time);
-                break;
-            }
-            self.now = next;
         }
+        if self.cfg.record_timeline {
+            // The index set's cardinality equals the naive scan's
+            // count by the `sync_job_sets` invariant.
+            let active_jobs = match self.cfg.engine {
+                EngineMode::Naive => self.jobs.values().filter(|j| !j.is_finished()).count(),
+                EngineMode::EventDriven => self.active.len(),
+            };
+            self.metrics.timeline.push(metrics::TimelinePoint {
+                t_mins: self.now.as_mins_f64(),
+                mean_util: self.cluster.mean_utilization().0,
+                queue_len: self.queue.len(),
+                active_jobs,
+                overloaded_servers: overloaded,
+            });
+        }
+
+        // Reward for the window just closed.
+        self.window.mean_active_accuracy = self.mean_active_accuracy();
+        let reward = components(&self.window);
+        self.window = WindowStats::default();
+        scheduler.observe_reward(&reward);
+
+        // Time-varying utilization: refresh every placed task's
+        // live demand before the scheduler observes the cluster.
+        self.refresh_utilization();
+
+        // Scheduling round (timed).
+        let arrived = std::mem::take(&mut self.arrived_this_round);
+        let ctx = SchedulerContext {
+            now: self.now,
+            jobs: &self.jobs,
+            cluster: &self.cluster,
+            queue: &self.queue,
+        };
+        // Wall-clock timing of the scheduler call itself, recorded
+        // as an observability metric (decision_times_ms); it never
+        // influences simulated time or any scheduling decision.
+        let started = Instant::now(); // lint:allow(det-wall-clock) reason="measures real decision latency for BENCH_scheduler.json; scheduler-invisible"
+        let actions = scheduler.schedule_stream(&ctx, &arrived);
+        let elapsed = started.elapsed();
+        self.metrics
+            .decision_times_ms
+            .push(elapsed.as_secs_f64() * 1000.0);
+        self.tracer.record_decision_ns(elapsed.as_nanos() as u64);
+        let n_actions = actions.len();
+        self.apply_actions(actions);
+        obs::event!(
+            tracer,
+            RoundEnd {
+                round: self.metrics.rounds,
+                t: self.now.as_mins_f64(),
+                actions: n_actions as u32,
+                decision_ns: elapsed.as_nanos() as u64,
+            }
+        );
+
+        // Straggler injection happens at round granularity.
+        self.inject_stragglers();
+
+        // Pick the next round time.
+        let active = match self.cfg.engine {
+            EngineMode::Naive => self.jobs.values().any(|j| !j.is_finished()),
+            EngineMode::EventDriven => !self.active.is_empty(),
+        };
+        if !active && self.next_arrival >= self.pending.len() {
+            return StepOutcome::Drained;
+        }
+        let next = if active || !self.queue.is_empty() {
+            self.now + self.cfg.tick
+        } else {
+            // Idle: jump to the next arrival.
+            match self.pending.get(self.next_arrival) {
+                Some(next_spec) => next_spec.arrival.max(self.now + self.cfg.tick),
+                // Unreachable: the drained check above covers it.
+                None => self.now + self.cfg.tick,
+            }
+        };
+        if next.since(SimTime::ZERO) > self.cfg.max_time {
+            // Horizon reached: advance once more then stop.
+            self.advance(self.last, SimTime::ZERO + self.cfg.max_time);
+            self.last = SimTime::ZERO + self.cfg.max_time;
+            return StepOutcome::Horizon;
+        }
+        self.now = next;
+        StepOutcome::Continue
+    }
+
+    /// Run to completion under `scheduler`, returning the metrics.
+    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> RunMetrics {
+        self.begin(scheduler);
+        while self.step(scheduler) == StepOutcome::Continue {}
         self.finalize()
+    }
+
+    /// Close the run and return the metrics (streaming front-ends
+    /// call this once the stream of arrivals ends; the batch
+    /// [`Simulation::run`] path does it internally).
+    pub fn into_metrics(self) -> RunMetrics {
+        self.finalize()
+    }
+
+    /// Inject a new arrival into the live simulation (the streaming
+    /// front-end's entry point). The spec lands in the sorted pending
+    /// list no earlier than the admission cursor, so an arrival time
+    /// already in the past is admitted at the next round boundary.
+    /// Returns `false` (dropping the spec) on a duplicate job id.
+    pub fn inject_job(&mut self, spec: JobSpec) -> bool {
+        if self.jobs.contains_key(&spec.id) {
+            return false;
+        }
+        let tail = self.pending.get(self.next_arrival..).unwrap_or_default();
+        if tail.iter().any(|s| s.id == spec.id) {
+            return false;
+        }
+        let idx = self.next_arrival + tail.partition_point(|s| s.arrival <= spec.arrival);
+        self.pending.insert(idx, spec);
+        self.metrics.jobs_submitted += 1;
+        true
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The scheduler round period.
+    pub fn tick(&self) -> SimDuration {
+        self.cfg.tick
+    }
+
+    /// Tasks currently waiting in the scheduler queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Injected arrivals not yet admitted into the job set.
+    pub fn pending_arrivals(&self) -> usize {
+        self.pending.len().saturating_sub(self.next_arrival)
+    }
+
+    /// Unfinished jobs currently in the system.
+    pub fn active_jobs(&self) -> usize {
+        match self.cfg.engine {
+            EngineMode::Naive => self.jobs.values().filter(|j| !j.is_finished()).count(),
+            EngineMode::EventDriven => self.active.len(),
+        }
+    }
+
+    /// Scheduling rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds
+    }
+
+    /// The cluster-wide overload degree `O_c^t` (MLF-C's admission
+    /// signal, exposed for service-level load control).
+    pub fn cluster_overload_degree(&self) -> f64 {
+        self.cluster.cluster_overload_degree()
+    }
+
+    /// Serialize the full engine state at a round boundary (between
+    /// [`Simulation::step`] calls). Transient intra-window caches —
+    /// the rate cache, freed-server list and queue tombstones — are
+    /// empty or rebuilt at round boundaries and are deliberately not
+    /// captured; [`Simulation::restore`] reconstructs the index sets
+    /// and the deadline calendar from the job states.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            now: self.now,
+            last: self.last,
+            begun: self.begun,
+            jobs: self.jobs.iter().map(|(id, j)| (id, j.clone())).collect(),
+            queue: self.queue.clone(),
+            pending: self
+                .pending
+                .get(self.next_arrival..)
+                .unwrap_or_default()
+                .to_vec(),
+            metrics: self.metrics.clone(),
+            window: self.window.clone(),
+            stragglers: self.stragglers.clone(),
+            rng: self.rng.state().to_vec(),
+            fault_rng: self.fault_rng.state().to_vec(),
+            bandwidth_charged_mb: self.bandwidth_charged_mb,
+            next_scheduled_fault: self.next_scheduled_fault,
+            recoveries: self.recoveries.clone(),
+            arrived_this_round: self.arrived_this_round.clone(),
+            cluster: self.cluster.snapshot(),
+            telemetry_counts: self.tracer.snapshot().counts,
+        }
+    }
+
+    /// Rebuild a simulation from a [`SimSnapshot`] and the `cfg` the
+    /// snapshotted run was started with. Stepping the result produces
+    /// bit-identical decisions and metrics to the uninterrupted run
+    /// (the crash-restart tests in `crates/service` prove it), except
+    /// for wall-clock observability fields accrued before the
+    /// snapshot's round (`RunMetrics::clear_wall_clock` strips those).
+    pub fn restore(cfg: SimConfig, snap: SimSnapshot) -> Self {
+        let mut sim = Simulation::new(cfg, Vec::new());
+        sim.cluster.restore(snap.cluster);
+        for (id, j) in snap.jobs {
+            sim.jobs.insert(id, j);
+        }
+        sim.queue = snap.queue;
+        // The snapshot carries only the unadmitted tail, still sorted.
+        sim.pending = snap.pending;
+        sim.next_arrival = 0;
+        sim.now = snap.now;
+        sim.last = snap.last;
+        sim.begun = snap.begun;
+        sim.metrics = snap.metrics;
+        sim.window = snap.window;
+        sim.stragglers = snap.stragglers;
+        sim.rng = SimRng::from_state(rng_state(&snap.rng));
+        sim.fault_rng = SimRng::from_state(rng_state(&snap.fault_rng));
+        sim.bandwidth_charged_mb = snap.bandwidth_charged_mb;
+        sim.next_scheduled_fault = snap.next_scheduled_fault;
+        sim.recoveries = snap.recoveries;
+        sim.arrived_this_round = snap.arrived_this_round;
+        // Rebuild the active/running index sets from the job states.
+        let ids: Vec<JobId> = sim.jobs.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            sim.sync_job_sets(id);
+        }
+        // Rebuild the deadline calendar: windows tile time, so every
+        // deadline at or before `now` was either frozen when its
+        // window passed or is never frozen in either engine (the
+        // freeze guard is `d > t`). Only unfrozen future deadlines of
+        // active jobs can still fire. Entry order within equal
+        // deadlines differs from the original admission-ordered
+        // calendar, but the pop handler touches only its own job, so
+        // the difference is unobservable.
+        if sim.cfg.engine == EngineMode::EventDriven {
+            let due: Vec<(SimTime, JobId)> = sim
+                .active
+                .iter()
+                .filter_map(|id| sim.jobs.get(id).map(|j| (*id, j)))
+                .filter(|(_, j)| j.accuracy_at_deadline.is_none() && j.spec.deadline > sim.now)
+                .map(|(id, j)| (j.spec.deadline, id))
+                .collect();
+            for (at, id) in due {
+                sim.deadline_cal.push(at, id);
+            }
+        }
+        // Reseed the deterministic telemetry counters so the folded
+        // counts at `finalize` match the uninterrupted run's.
+        for (i, c) in obs::Counter::ALL.iter().enumerate() {
+            let n = snap.telemetry_counts.get(i).copied().unwrap_or(0);
+            if n > 0 {
+                sim.tracer.add(*c, n);
+            }
+        }
+        sim
     }
 
     /// Mean accuracy over active jobs. Both arms visit unfinished jobs
@@ -794,6 +1071,7 @@ impl Simulation {
             self.jobs.insert(id, state);
             // Fresh jobs are active and idle (all tasks queued).
             self.active.insert(id);
+            self.arrived_this_round.push(id);
         }
     }
 

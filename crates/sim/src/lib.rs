@@ -55,5 +55,7 @@ pub mod experiments;
 pub mod progress;
 pub mod reward;
 
-pub use engine::{FaultConfig, FaultEvent, SimConfig, Simulation, StragglerConfig};
+pub use engine::{
+    FaultConfig, FaultEvent, SimConfig, SimSnapshot, Simulation, StepOutcome, StragglerConfig,
+};
 pub use progress::ProgressModel;

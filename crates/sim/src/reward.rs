@@ -16,9 +16,10 @@
 //! alone for the JCT-only RL baseline).
 
 use mlfs::RewardComponents;
+use serde::{Deserialize, Serialize};
 
 /// Raw window measurements collected by the engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WindowStats {
     /// JCTs (minutes) of jobs completed in the window.
     pub completed_jct_mins: Vec<f64>,

@@ -50,6 +50,18 @@ impl SimRng {
         SimRng::new(splitmix64(&mut seed))
     }
 
+    /// Export the raw xoshiro256** state (snapshot support). Feeding
+    /// it back through [`SimRng::from_state`] resumes the stream at
+    /// exactly this point.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a previously exported state.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     fn next(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
