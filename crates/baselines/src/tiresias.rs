@@ -16,10 +16,19 @@
 
 use crate::util::{try_gang_place, FULL};
 use cluster::{JobId, TaskId};
-use mlfs::{Action, Scheduler, SchedulerContext};
+use mlfs::{state_from_json, state_to_json, Action, Scheduler, SchedulerContext};
+use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::collections::BTreeMap;
 use workload::{JobState, TaskRunState};
+
+/// Evolving Tiresias state carried across a service restart: the
+/// attained-service ledger that drives every ranking decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TiresiasState {
+    attained: BTreeMap<JobId, f64>,
+    last_round: Option<SimTime>,
+}
 
 /// Attained GPU service per job, maintained across rounds.
 #[derive(Debug, Clone, Default)]
@@ -145,6 +154,24 @@ impl Scheduler for Tiresias {
             }
         }
         actions
+    }
+
+    fn export_state(&self) -> Option<String> {
+        Some(state_to_json(&TiresiasState {
+            attained: self.attained.clone(),
+            last_round: self.last_round,
+        }))
+    }
+
+    fn import_state(&mut self, state: &str) -> bool {
+        match state_from_json::<TiresiasState>(state) {
+            Some(st) => {
+                self.attained = st.attained;
+                self.last_round = st.last_round;
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -1,0 +1,442 @@
+//! Durability benchmark for the scheduler service: emit
+//! `BENCH_recovery.json`.
+//!
+//! Three phases, each gated:
+//!
+//! * **wal_overhead** — the Fig. 4 workload through the threaded
+//!   front-end *with the write-ahead log on* (`fsync: EveryN(32)`)
+//!   and periodic snapshots. Headline: sustained decisions/sec must
+//!   stay above `--min-dps` (default 2000) — durability must not eat
+//!   the PR 7 throughput gate.
+//! * **recovery** — recover the phase-1 directory from disk
+//!   (newest snapshot + WAL replay), timed against
+//!   `--max-recover-s`; the recovered run is then drained and its
+//!   wall-clock-stripped `RunMetrics` must be **bit-identical** to
+//!   the live run's. The recovery trace (WAL truncation, snapshot
+//!   choice, replay count) lands in `target/recovery_trace.jsonl`.
+//! * **chaos** — seeded kill points with post-crash file surgery
+//!   (torn WAL tail, flipped tail byte, damaged newest snapshot),
+//!   recovered and compared bit-for-bit against the uninterrupted
+//!   run. Any divergence fails the bench.
+//!
+//! ```sh
+//! # Full run (writes BENCH_recovery.json):
+//! cargo run --release -p mlfs-bench --bin recovery
+//!
+//! # CI smoke: smaller trace + wall-clock ceiling:
+//! cargo run --release -p mlfs-bench --bin recovery -- --smoke
+//! ```
+//!
+//! Flags: `--scheduler MLF-H`, `--x 1` (Fig. 4 load multiplier),
+//! `--tf 16` (time compression), `--seed 42`, `--queue 1024`,
+//! `--min-dps 2000`, `--trials 3` (throughput trials, gate on the
+//! best), `--max-recover-s 60` (recovery wall-clock ceiling),
+//! `--snapshot-every 200` (rounds), `--fsync-every 32` (appends),
+//! `--ceiling-s 300` (smoke wall-clock ceiling),
+//! `--out BENCH_recovery.json`.
+
+use mlfs_bench::Args;
+use mlfs_service::durability::snapshot::list_snapshots;
+use mlfs_service::{DurabilityConfig, FsyncPolicy, Service, SubmitError};
+use mlfs_sim::engine::StepOutcome;
+use mlfs_sim::experiments::{fig4, Experiment};
+use obs::Counter;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// Current git commit (short), or "unknown" outside a checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn stripped_metrics_json(mut m: metrics::RunMetrics) -> String {
+    m.clear_wall_clock();
+    serde_json::to_string(&m).expect("metrics serialize")
+}
+
+/// Flip one payload byte of the final WAL record (tail damage the
+/// checksum must catch), or truncate mid-record (torn append).
+fn damage_wal_tail(path: &Path, truncate: bool) -> bool {
+    let Ok(bytes) = std::fs::read(path) else {
+        return false;
+    };
+    // Walk the frames to the final record.
+    let mut pos = 8usize;
+    let mut last: Option<(usize, usize)> = None;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let end = pos + 8 + len;
+        if end > bytes.len() {
+            break;
+        }
+        last = Some((pos, end));
+        pos = end;
+    }
+    let Some((start, end)) = last else {
+        return false;
+    };
+    if truncate {
+        let Ok(f) = std::fs::OpenOptions::new().write(true).open(path) else {
+            return false;
+        };
+        f.set_len((start + (end - start) / 2) as u64).is_ok()
+    } else {
+        let mut bytes = bytes;
+        bytes[start + 8 + (end - start - 8) / 2] ^= 0xFF;
+        std::fs::write(path, bytes).is_ok()
+    }
+}
+
+/// Flip a body byte of the newest complete snapshot, if any.
+fn damage_newest_snapshot(dir: &Path) -> bool {
+    let _ = std::fs::write(dir.join("snap-424242.json.tmp"), b"crash mid-snapshot");
+    let Ok(snaps) = list_snapshots(dir) else {
+        return false;
+    };
+    let Some((_, newest)) = snaps.first() else {
+        return false;
+    };
+    let Ok(mut bytes) = std::fs::read(newest) else {
+        return false;
+    };
+    let n = bytes.len();
+    bytes[n - 2] ^= 0xFF;
+    std::fs::write(newest, bytes).is_ok()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from("target").join(format!("bench-recovery-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let scheduler = args.get("scheduler").unwrap_or("MLF-H").to_string();
+    let x = args.f64("x", if smoke { 0.5 } else { 1.0 });
+    let tf = args.f64("tf", 16.0);
+    let seed = args.u64("seed", 42);
+    let queue_cap = args.u64("queue", 1024) as usize;
+    let min_dps = args.f64("min-dps", 2000.0);
+    let max_recover_s = args.f64("max-recover-s", 60.0);
+    let snapshot_every = args.u64("snapshot-every", 200);
+    let fsync_every = args.u64("fsync-every", 32) as u32;
+    let ceiling_s = args.f64("ceiling-s", 300.0);
+    let default_out = if smoke {
+        "target/BENCH_recovery.smoke.json"
+    } else {
+        "BENCH_recovery.json"
+    };
+    let out = args.get("out").unwrap_or(default_out).to_string();
+
+    let e = fig4(x, tf, seed);
+    let specs = e.jobs();
+    let jobs = specs.len();
+    let bench_t0 = std::time::Instant::now();
+
+    let meta = Value::Map(vec![
+        ("before_commit".into(), Value::Str(git_commit())),
+        (
+            "after_commit".into(),
+            Value::Str(args.get("after-commit").unwrap_or("worktree").into()),
+        ),
+        ("scheduler".into(), Value::Str(scheduler.clone())),
+        ("figure".into(), Value::Str("fig4".into())),
+        ("x".into(), Value::F64(x)),
+        ("time_factor".into(), Value::F64(tf)),
+        ("seed".into(), Value::U64(seed)),
+        ("jobs".into(), Value::U64(jobs as u64)),
+        ("fsync_every".into(), Value::U64(fsync_every as u64)),
+        ("snapshot_every_rounds".into(), Value::U64(snapshot_every)),
+    ]);
+    let mut runs: Vec<Value> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    // ---- Phase 1: throughput with the WAL on. ---------------------
+    let dir = fresh_dir("live");
+    let trace_path = PathBuf::from("target").join("recovery_trace.jsonl");
+    let _ = std::fs::remove_file(&trace_path);
+    let mut dcfg = DurabilityConfig::new(&dir);
+    dcfg.fsync = FsyncPolicy::EveryN(fsync_every);
+    dcfg.snapshot_every_rounds = snapshot_every;
+    dcfg.keep_snapshots = 3;
+    dcfg.trace = obs::TraceConfig::Jsonl {
+        path: trace_path.clone(),
+    };
+    let trials = args.u64("trials", 3).max(1);
+    eprintln!(
+        "[recovery] wal_overhead phase: {jobs} jobs, scheduler {scheduler}, \
+         fsync every {fsync_every} appends, snapshot every {snapshot_every} rounds, \
+         best of {trials} trials..."
+    );
+    // The full run lasts well under a second, so one descheduling
+    // blip swings the number — run a few trials and gate on the
+    // best. The last trial's directory feeds the recovery phase.
+    let mut best_dps = 0.0f64;
+    let mut trial_dps: Vec<Value> = Vec::new();
+    let mut last: Option<(mlfs_service::ServiceReport, f64)> = None;
+    for _ in 0..trials {
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = match Service::builder(e.sim.clone())
+            .durability(dcfg.clone())
+            .build(e.scheduler(&scheduler, seed.wrapping_add(7)))
+        {
+            Ok(svc) => svc,
+            Err(err) => {
+                eprintln!("[recovery] durable service failed to open: {err}");
+                std::process::exit(1);
+            }
+        };
+        let handle = svc.spawn(queue_cap);
+        let t0 = std::time::Instant::now();
+        for spec in specs.clone() {
+            let mut spec = spec;
+            loop {
+                match handle.submit(spec) {
+                    Ok(()) => break,
+                    Err(SubmitError::Backpressure(s)) => {
+                        spec = s;
+                        std::thread::yield_now();
+                    }
+                    Err(SubmitError::Closed(_)) => {
+                        eprintln!("[recovery] worker closed early");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        let report = handle.finish();
+        let wall = t0.elapsed().as_secs_f64();
+        if report.worker_panicked {
+            failures.push("wal_overhead worker panicked".into());
+        }
+        if let Some(err) = &report.durability_error {
+            failures.push(format!("durability error during live run: {err}"));
+        }
+        let dps = report.metrics.rounds as f64 / wall.max(1e-9);
+        best_dps = best_dps.max(dps);
+        trial_dps.push(Value::F64(dps));
+        last = Some((report, wall));
+    }
+    let (report, wall) = last.expect("trials >= 1");
+    let rounds = report.metrics.rounds;
+    let dur = report.durability.clone().unwrap_or_default();
+    let wal_appends = dur.count(Counter::WalAppends);
+    let wal_fsyncs = dur.count(Counter::WalFsyncs);
+    let snapshot_writes = dur.count(Counter::SnapshotWrites);
+    let live_metrics = stripped_metrics_json(report.metrics);
+    eprintln!(
+        "[recovery]   {wall:.1}s wall (last trial), {rounds} rounds, best {best_dps:.0} \
+         decisions/s, {wal_appends} WAL appends, {wal_fsyncs} fsyncs, \
+         {snapshot_writes} snapshots"
+    );
+    runs.push(Value::Map(vec![
+        ("phase".into(), Value::Str("wal_overhead".into())),
+        ("jobs_accepted".into(), Value::U64(report.stats.accepted)),
+        ("rounds".into(), Value::U64(rounds)),
+        ("wall_s".into(), Value::F64(wall)),
+        ("decisions_per_sec".into(), Value::F64(best_dps)),
+        ("trial_decisions_per_sec".into(), Value::Seq(trial_dps)),
+        ("wal_appends".into(), Value::U64(wal_appends)),
+        ("wal_fsyncs".into(), Value::U64(wal_fsyncs)),
+        ("snapshot_writes".into(), Value::U64(snapshot_writes)),
+    ]));
+
+    // ---- Phase 2: timed recovery of the full run from disk. -------
+    eprintln!("[recovery] recovery phase: rebuilding the {jobs}-job run from {dir:?}...");
+    // The JSONL sink truncates on open, so the recovery trace gets
+    // its own file — the live run's append/snapshot trace survives.
+    let mut rdcfg = dcfg.clone();
+    rdcfg.trace = obs::TraceConfig::Jsonl {
+        path: PathBuf::from("target").join("recovery_trace.recovered.jsonl"),
+    };
+    let t0 = std::time::Instant::now();
+    let recovered = Service::builder(e.sim.clone())
+        .durability(rdcfg)
+        .recover(e.scheduler(&scheduler, seed.wrapping_add(7)));
+    let (mut svc, rec_report) = match recovered {
+        Ok(pair) => pair,
+        Err(err) => {
+            eprintln!("[recovery] recovery failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let recover_wall = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[recovery]   recovered in {recover_wall:.2}s: snapshot {:?}, {} WAL records replayed, \
+         resumed at round {}",
+        rec_report.snapshot_round, rec_report.wal_records_replayed, rec_report.resumed_round
+    );
+    if recover_wall > max_recover_s {
+        failures.push(format!(
+            "recovery took {recover_wall:.1}s, over the {max_recover_s:.0}s ceiling"
+        ));
+    }
+    // Drain the recovered service: its final metrics must be the
+    // live run's, bit for bit (wall-clock stripped).
+    match svc.run_until_drained() {
+        StepOutcome::Drained | StepOutcome::Horizon => {}
+        StepOutcome::Continue => unreachable!("run_until_drained only stops on Drained/Horizon"),
+    }
+    let recovered_metrics = stripped_metrics_json(svc.finish());
+    let identical = recovered_metrics == live_metrics;
+    if !identical {
+        failures.push("recovered run is NOT bit-identical to the live run".into());
+    }
+    eprintln!("[recovery]   drained after recovery: bit-identical = {identical}");
+    runs.push(Value::Map(vec![
+        ("phase".into(), Value::Str("recovery".into())),
+        ("recover_wall_s".into(), Value::F64(recover_wall)),
+        (
+            "snapshot_round".into(),
+            Value::U64(rec_report.snapshot_round.unwrap_or(0)),
+        ),
+        (
+            "wal_records_replayed".into(),
+            Value::U64(rec_report.wal_records_replayed),
+        ),
+        ("resumed_round".into(), Value::U64(rec_report.resumed_round)),
+        ("bit_identical".into(), Value::Bool(identical)),
+    ]));
+
+    // ---- Phase 3: chaos smoke — kill, damage, recover, compare. ---
+    let chaos_jobs = args.u64("chaos-jobs", 8) as usize;
+    let mut ce = fig4(0.25, 64.0, 7);
+    ce.trace.jobs = chaos_jobs;
+    let chaos_schedulers: &[&str] = if smoke {
+        &["MLF-H"]
+    } else {
+        &["MLF-H", "MLFS", "Tiresias"]
+    };
+    let t0 = std::time::Instant::now();
+    let mut chaos_runs = 0u64;
+    let mut chaos_identical = 0u64;
+    for name in chaos_schedulers {
+        let (want, total_rounds) = chaos_reference(&ce, name);
+        for (i, frac) in [0.2f64, 0.5, 0.8, 0.95].iter().enumerate() {
+            let kill_ticks = ((total_rounds as f64 * frac) as u64).max(1);
+            let got = chaos_run(&ce, name, kill_ticks, i % 3);
+            chaos_runs += 1;
+            if got == want {
+                chaos_identical += 1;
+            } else {
+                failures.push(format!(
+                    "chaos {name} kill@{kill_ticks} surgery {} diverged",
+                    i % 3
+                ));
+            }
+        }
+    }
+    let chaos_wall = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[recovery] chaos phase: {chaos_identical}/{chaos_runs} recoveries bit-identical \
+         in {chaos_wall:.1}s"
+    );
+    runs.push(Value::Map(vec![
+        ("phase".into(), Value::Str("chaos".into())),
+        ("kill_points".into(), Value::U64(chaos_runs)),
+        ("bit_identical".into(), Value::U64(chaos_identical)),
+        ("wall_s".into(), Value::F64(chaos_wall)),
+    ]));
+
+    let root = Value::Map(vec![
+        ("meta".into(), meta),
+        ("runs".into(), Value::Seq(runs)),
+    ]);
+    if let Err(err) = std::fs::write(&out, serde_json::value_to_string_pretty(&root) + "\n") {
+        eprintln!("failed to write {out}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+
+    // ---- Gates. ---------------------------------------------------
+    if best_dps < min_dps {
+        failures.push(format!(
+            "decisions/sec {best_dps:.0} below floor {min_dps:.0} with the WAL on"
+        ));
+    }
+    let total_wall = bench_t0.elapsed().as_secs_f64();
+    if smoke && total_wall > ceiling_s {
+        failures.push(format!(
+            "wall clock {total_wall:.1}s over smoke ceiling {ceiling_s:.0}s"
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("[recovery] GATE FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Uninterrupted sync reference: metrics JSON + total rounds.
+fn chaos_reference(e: &Experiment, name: &str) -> (String, u64) {
+    let mut svc = Service::new(e.sim.clone(), e.scheduler(name, 7), None);
+    for s in e.jobs() {
+        assert!(svc.submit(s).accepted());
+    }
+    let _ = svc.run_until_drained();
+    let rounds = svc.rounds();
+    (stripped_metrics_json(svc.finish()), rounds)
+}
+
+/// Kill a durable run after `kill_ticks` rounds, apply surgery
+/// flavor, recover, resume, return the final metrics JSON.
+fn chaos_run(e: &Experiment, name: &str, kill_ticks: u64, surgery: usize) -> String {
+    let dir = fresh_dir("chaos");
+    let mut dcfg = DurabilityConfig::new(&dir);
+    dcfg.fsync = FsyncPolicy::EveryN(4);
+    dcfg.snapshot_every_rounds = 4;
+    dcfg.keep_snapshots = 2;
+    let mut svc = Service::builder(e.sim.clone())
+        .durability(dcfg.clone())
+        .build(e.scheduler(name, 7))
+        .expect("durable service builds");
+    let specs = e.jobs();
+    for s in specs.clone() {
+        assert!(svc.submit(s).accepted());
+    }
+    for _ in 0..kill_ticks {
+        if svc.tick() != StepOutcome::Continue {
+            break;
+        }
+    }
+    drop(svc); // the crash
+
+    match surgery {
+        0 => {
+            damage_wal_tail(&dir.join("wal.log"), true);
+        }
+        1 => {
+            damage_wal_tail(&dir.join("wal.log"), false);
+        }
+        _ => {
+            damage_newest_snapshot(&dir);
+        }
+    }
+
+    let (mut svc, report) = Service::builder(e.sim.clone())
+        .durability(dcfg)
+        .recover(e.scheduler(name, 7))
+        .expect("recovery succeeds");
+    // Re-submit anything the damaged tail lost (acceptance order ==
+    // submission order).
+    for s in specs
+        .into_iter()
+        .skip(usize::try_from(report.resumed_accepted).expect("fits"))
+    {
+        assert!(svc.submit(s).accepted());
+    }
+    let _ = svc.run_until_drained();
+    let m = stripped_metrics_json(svc.finish());
+    let _ = std::fs::remove_dir_all(&dir);
+    m
+}

@@ -185,7 +185,11 @@ impl Cluster {
 
     /// Re-index one server after its load changed.
     fn sync_overload(&mut self, id: ServerId) {
-        if self.servers[id.0 as usize].is_overloaded(self.overload_h_r) {
+        let overloaded = self
+            .servers
+            .get(id.0 as usize)
+            .is_some_and(|s| s.is_overloaded(self.overload_h_r));
+        if overloaded {
             self.overloaded.insert(id);
         } else {
             self.overloaded.remove(&id);
@@ -350,11 +354,15 @@ impl Cluster {
         server: ServerId,
         until: Option<simcore::SimTime>,
     ) -> Vec<(TaskId, TaskPlacement)> {
-        let s = &mut self.servers[server.0 as usize];
+        let Some(s) = self.servers.get_mut(server.0 as usize) else {
+            return Vec::new();
+        };
         s.set_health(HealthState::Down { until });
         let evicted: Vec<(TaskId, TaskPlacement)> = s.tasks().map(|(t, p)| (*t, *p)).collect();
         for (t, _) in &evicted {
-            self.servers[server.0 as usize].remove(*t);
+            if let Some(s) = self.servers.get_mut(server.0 as usize) {
+                s.remove(*t);
+            }
             self.index.remove(t);
         }
         self.sync_overload(server);
@@ -364,19 +372,26 @@ impl Cluster {
     /// Bring a server back into service. Its load is zero until the
     /// scheduler places something on it again.
     pub fn recover_server(&mut self, server: ServerId) {
-        self.servers[server.0 as usize].set_health(HealthState::Up);
+        if let Some(s) = self.servers.get_mut(server.0 as usize) {
+            s.set_health(HealthState::Up);
+        }
         self.sync_overload(server);
     }
 
     /// Administratively drain a server: existing tasks keep running,
     /// but no new placements are admitted until recovery.
     pub fn drain_server(&mut self, server: ServerId) {
-        self.servers[server.0 as usize].set_health(HealthState::Draining);
+        if let Some(s) = self.servers.get_mut(server.0 as usize) {
+            s.set_health(HealthState::Draining);
+        }
     }
 
-    /// A server's current health.
+    /// A server's current health. An id outside the cluster reads as
+    /// down (it certainly isn't schedulable).
     pub fn server_health(&self, server: ServerId) -> HealthState {
-        self.servers[server.0 as usize].health()
+        self.servers
+            .get(server.0 as usize)
+            .map_or(HealthState::Down { until: None }, Server::health)
     }
 
     /// Number of servers currently `Up`.

@@ -11,11 +11,12 @@
 //! candidate set when every feasible host is banned, so a mostly-dead
 //! cluster still schedules rather than stalling.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use cluster::{ClusterView, HealthState, ServerId};
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 struct Entry {
     /// How many distinct crashes this server has accumulated.
     strikes: u32,
@@ -27,7 +28,10 @@ struct Entry {
 
 /// Tracks crash history per server and answers "should placement
 /// avoid this server right now?".
-#[derive(Debug, Clone)]
+///
+/// Serializable so schedulers can carry crash memory across a service
+/// restart (`Scheduler::export_state`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServerBlacklist {
     /// Backoff after the first crash, in scheduler rounds.
     base_rounds: u64,

@@ -12,11 +12,14 @@
 //! and bench harness treat them uniformly, and threads the ablation
 //! switches in [`crate::Params`] through every component.
 
-use crate::mlfc::MlfC;
-use crate::mlfh::MlfH;
-use crate::mlfrl::{MlfRl, MlfRlConfig};
+use crate::mlfc::{MlfC, MlfCState};
+use crate::mlfh::{MlfH, MlfHState};
+use crate::mlfrl::{MlfRl, MlfRlConfig, MlfRlState};
 use crate::params::Params;
-use crate::scheduler::{Action, RewardComponents, Scheduler, SchedulerContext};
+use crate::scheduler::{
+    state_from_json, state_to_json, Action, RewardComponents, Scheduler, SchedulerContext,
+};
+use serde::{Deserialize, Serialize};
 
 /// Which MLFS configuration to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +51,16 @@ impl Default for MlfsConfig {
             variant: MlfsVariant::Full,
         }
     }
+}
+
+/// Evolving state of the composite: one slot per live component.
+/// A slot's presence must match the variant's wiring for import to
+/// succeed (a mismatch means the state came from a different variant).
+#[derive(Serialize, Deserialize)]
+struct MlfsState {
+    h: Option<MlfHState>,
+    rl: Option<MlfRlState>,
+    c: Option<MlfCState>,
 }
 
 /// The composed MLFS scheduler.
@@ -176,6 +189,38 @@ impl Scheduler for Mlfs {
         if let Some(rl) = &mut self.rl {
             rl.attach_tracer(tracer);
         }
+    }
+
+    fn export_state(&self) -> Option<String> {
+        Some(state_to_json(&MlfsState {
+            h: self.h.as_ref().map(MlfH::state),
+            rl: self.rl.as_ref().map(MlfRl::state),
+            c: self.c.as_ref().map(MlfC::state),
+        }))
+    }
+
+    fn import_state(&mut self, state: &str) -> bool {
+        let Some(st) = state_from_json::<MlfsState>(state) else {
+            return false;
+        };
+        // Component wiring must match the exporting variant; refuse
+        // (without mutating) otherwise.
+        if st.h.is_some() != self.h.is_some()
+            || st.rl.is_some() != self.rl.is_some()
+            || st.c.is_some() != self.c.is_some()
+        {
+            return false;
+        }
+        if let (Some(h), Some(hs)) = (&mut self.h, st.h) {
+            h.restore_state(hs);
+        }
+        if let (Some(rl), Some(rs)) = (&mut self.rl, st.rl) {
+            rl.restore_state(rs);
+        }
+        if let (Some(c), Some(cs)) = (&mut self.c, st.c) {
+            c.restore_state(cs);
+        }
+        true
     }
 }
 

@@ -59,4 +59,6 @@ pub use mlfc::MlfC;
 pub use mlfh::MlfH;
 pub use mlfrl::{MlfRl, MlfRlConfig};
 pub use params::Params;
-pub use scheduler::{Action, RewardComponents, Scheduler, SchedulerContext};
+pub use scheduler::{
+    state_from_json, state_to_json, Action, RewardComponents, Scheduler, SchedulerContext,
+};

@@ -20,11 +20,19 @@ use crate::params::Params;
 use crate::scheduler::{Action, SchedulerContext};
 use cluster::JobId;
 use learncurve::{OptStopDecision, OptStopRule};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use workload::{JobState, StopPolicy, StopReason};
 
 /// Maximum history points offered to the curve-fitting ensemble.
 const MAX_FIT_POINTS: usize = 100;
+
+/// Evolving MLF-C state carried across a service restart: the
+/// examination throttle. (`params` and `rule` are static config.)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct MlfCState {
+    last_checked: BTreeMap<JobId, f64>,
+}
 
 /// The MLF-C load controller.
 #[derive(Debug, Clone)]
@@ -45,6 +53,18 @@ impl MlfC {
             rule: OptStopRule::default(),
             last_checked: BTreeMap::new(),
         }
+    }
+
+    /// Evolving state for `Scheduler::export_state`.
+    pub(crate) fn state(&self) -> MlfCState {
+        MlfCState {
+            last_checked: self.last_checked.clone(),
+        }
+    }
+
+    /// Adopt state captured by [`MlfC::state`].
+    pub(crate) fn restore_state(&mut self, st: MlfCState) {
+        self.last_checked = st.last_checked;
     }
 
     /// Is the cluster overloaded per §3.5?

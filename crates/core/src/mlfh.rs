@@ -20,8 +20,9 @@ use crate::placement::{migration_state_mb, select_host, select_host_filtered, se
 use crate::priority::{
     job_task_priorities, job_task_priorities_into, PriorityMap, PriorityScratch,
 };
-use crate::scheduler::{Action, Scheduler, SchedulerContext};
+use crate::scheduler::{state_from_json, state_to_json, Action, Scheduler, SchedulerContext};
 use cluster::{ClusterOverlay, ClusterView, ServerId, TaskId};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Where a schedulable task currently sits.
@@ -31,6 +32,14 @@ enum Origin {
     Queue,
     /// Running on this (overloaded) server, selected for migration.
     Server(ServerId),
+}
+
+/// Evolving MLF-H state carried across a service restart
+/// (`Scheduler::export_state`): everything but the static `Params`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct MlfHState {
+    last_decisions: Vec<(TaskId, ServerId)>,
+    blacklist: ServerBlacklist,
 }
 
 /// The MLF-H heuristic scheduler.
@@ -57,6 +66,20 @@ impl MlfH {
             blacklist: ServerBlacklist::default(),
             tracer: None,
         }
+    }
+
+    /// Evolving state for `Scheduler::export_state`.
+    pub(crate) fn state(&self) -> MlfHState {
+        MlfHState {
+            last_decisions: self.last_decisions.clone(),
+            blacklist: self.blacklist.clone(),
+        }
+    }
+
+    /// Adopt state captured by [`MlfH::state`].
+    pub(crate) fn restore_state(&mut self, st: MlfHState) {
+        self.last_decisions = st.last_decisions;
+        self.blacklist = st.blacklist;
     }
 
     /// Priorities for every live task, per job (Eqs. 2–6).
@@ -334,6 +357,20 @@ impl Scheduler for MlfH {
 
     fn attach_tracer(&mut self, tracer: std::sync::Arc<obs::Tracer>) {
         self.tracer = Some(tracer);
+    }
+
+    fn export_state(&self) -> Option<String> {
+        Some(state_to_json(&self.state()))
+    }
+
+    fn import_state(&mut self, state: &str) -> bool {
+        match state_from_json::<MlfHState>(state) {
+            Some(st) => {
+                self.restore_state(st);
+                true
+            }
+            None => false,
+        }
     }
 }
 

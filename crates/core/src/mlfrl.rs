@@ -18,12 +18,17 @@
 
 use crate::blacklist::ServerBlacklist;
 use crate::features::{candidate_features_into, FEATURE_DIM};
-use crate::mlfh::MlfH;
+use crate::mlfh::{MlfH, MlfHState};
 use crate::params::Params;
 use crate::placement::{select_host, select_host_filtered, select_victim};
-use crate::scheduler::{Action, RewardComponents, Scheduler, SchedulerContext};
+use crate::scheduler::{
+    state_from_json, state_to_json, Action, RewardComponents, Scheduler, SchedulerContext,
+};
 use cluster::{ClusterOverlay, ClusterView, ServerId, TaskId};
-use rl::{Convergence, FeatureBatch, ReinforceTrainer, ScoringPolicy, Step, TrainerConfig};
+use rl::{
+    Convergence, FeatureBatch, ReinforceTrainer, ScoringPolicy, Step, TrainerConfig, TrainerState,
+};
+use serde::{Deserialize, Serialize};
 use simcore::SimRng;
 
 /// MLF-RL hyperparameters.
@@ -82,6 +87,26 @@ struct RlScratch {
 /// batches far faster than the pool grows, so a small cap suffices.
 const BATCH_POOL_CAP: usize = 64;
 
+/// Evolving MLF-RL state carried across a service restart: the
+/// trained policy and optimizer, the RNG stream, the learning buffers,
+/// and the two config fields mutated at runtime (`set_explore`,
+/// `import_policy`). Scratch buffers are rebuilt on the next round.
+#[derive(Serialize, Deserialize)]
+pub(crate) struct MlfRlState {
+    inner_h: MlfHState,
+    trainer: TrainerState,
+    convergence: Convergence,
+    rng: [u64; 4],
+    rounds: u64,
+    pending: Vec<Step>,
+    episode: Vec<(Step, f64)>,
+    imitation_buffer: Vec<Step>,
+    episodes_trained: u64,
+    blacklist: ServerBlacklist,
+    explore: bool,
+    imitation_rounds: u64,
+}
+
 /// The MLF-RL scheduler.
 pub struct MlfRl {
     /// Tunables shared with MLF-H.
@@ -131,6 +156,42 @@ impl MlfRl {
             tracer: None,
             cfg,
         }
+    }
+
+    /// Evolving state for `Scheduler::export_state`.
+    pub(crate) fn state(&self) -> MlfRlState {
+        MlfRlState {
+            inner_h: self.inner_h.state(),
+            trainer: self.trainer.export_state(),
+            convergence: self.convergence.clone(),
+            rng: self.rng.state(),
+            rounds: self.rounds as u64,
+            pending: self.pending.clone(),
+            episode: self.episode.clone(),
+            imitation_buffer: self.imitation_buffer.clone(),
+            episodes_trained: self.episodes_trained as u64,
+            blacklist: self.blacklist.clone(),
+            explore: self.cfg.explore,
+            imitation_rounds: self.cfg.imitation_rounds as u64,
+        }
+    }
+
+    /// Adopt state captured by [`MlfRl::state`]; the batch pool and
+    /// other scratch reset (they are performance caches, not state).
+    pub(crate) fn restore_state(&mut self, st: MlfRlState) {
+        self.inner_h.restore_state(st.inner_h);
+        self.trainer.import_state(st.trainer);
+        self.convergence = st.convergence;
+        self.rng = SimRng::from_state(st.rng);
+        self.rounds = st.rounds as usize;
+        self.pending = st.pending;
+        self.episode = st.episode;
+        self.imitation_buffer = st.imitation_buffer;
+        self.episodes_trained = st.episodes_trained as usize;
+        self.blacklist = st.blacklist;
+        self.cfg.explore = st.explore;
+        self.cfg.imitation_rounds = st.imitation_rounds as usize;
+        self.scratch = RlScratch::default();
     }
 
     /// Pop a cleared candidate batch from the pool (or allocate the
@@ -669,6 +730,20 @@ impl Scheduler for MlfRl {
         // MLF-H, which then emits the placement/migration events.
         self.inner_h.attach_tracer(tracer.clone());
         self.tracer = Some(tracer);
+    }
+
+    fn export_state(&self) -> Option<String> {
+        Some(state_to_json(&self.state()))
+    }
+
+    fn import_state(&mut self, state: &str) -> bool {
+        match state_from_json::<MlfRlState>(state) {
+            Some(st) => {
+                self.restore_state(st);
+                true
+            }
+            None => false,
+        }
     }
 }
 

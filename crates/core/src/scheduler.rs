@@ -27,9 +27,10 @@ pub struct SchedulerContext<'a> {
 }
 
 impl<'a> SchedulerContext<'a> {
-    /// Look up the job owning `task`.
-    pub fn job_of(&self, task: TaskId) -> &JobState {
-        &self.jobs[&task.job]
+    /// Look up the job owning `task` (`None` once it has been
+    /// garbage-collected from the arena).
+    pub fn job_of(&self, task: TaskId) -> Option<&JobState> {
+        self.jobs.get(&task.job)
     }
 
     /// Jobs with at least one task running or waiting.
@@ -128,6 +129,46 @@ pub trait Scheduler: Send {
     /// emit trace events or bump counters store the handle. Default:
     /// ignore it (baselines are not instrumented).
     fn attach_tracer(&mut self, _tracer: std::sync::Arc<obs::Tracer>) {}
+
+    /// Serialize the scheduler's *evolving* internal state (attained
+    /// service, policy weights, RNG streams, blacklists, …) as an
+    /// opaque JSON string. Static configuration is *not* captured — a
+    /// restarted scheduler is reconstructed with the same constructor
+    /// arguments and then handed this string. `None` (the default)
+    /// means the scheduler is stateless across rounds beyond what the
+    /// engine snapshot already carries, so a fresh instance resumes
+    /// bit-identically on its own.
+    ///
+    /// Together with [`Scheduler::import_state`] this is the seam the
+    /// `mlfs-service` durability layer uses to make crash recovery
+    /// bit-identical for stateful schedulers.
+    fn export_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restore state produced by [`Scheduler::export_state`] on a
+    /// freshly constructed scheduler. Returns `false` when the string
+    /// cannot be parsed (the scheduler must then be left unchanged so
+    /// callers can fall back to an older snapshot). The default
+    /// accepts anything and restores nothing, matching the stateless
+    /// `export_state` default.
+    fn import_state(&mut self, _state: &str) -> bool {
+        true
+    }
+}
+
+/// Render a `serde`-serializable state struct as the JSON string
+/// [`Scheduler::export_state`] returns.
+pub fn state_to_json<T: serde::Serialize>(state: &T) -> String {
+    serde::text::render(&state.serialize_value(), None)
+}
+
+/// Parse a [`Scheduler::export_state`] string back into its state
+/// struct; `None` on malformed input (callers report `false` from
+/// [`Scheduler::import_state`] without mutating anything).
+pub fn state_from_json<T: serde::Deserialize>(s: &str) -> Option<T> {
+    let v = serde::text::parse(s).ok()?;
+    T::deserialize_value(&v).ok()
 }
 
 #[cfg(test)]

@@ -89,6 +89,35 @@ pub enum TraceEvent {
         job: u32,
         reason: &'static str,
     },
+    /// Durability: a submission was appended to the write-ahead log.
+    /// `seq` is the record's 1-based acceptance sequence number,
+    /// `round` the scheduler round it was submitted in, `bytes` the
+    /// encoded record size (header + payload).
+    WalAppend {
+        seq: u64,
+        round: u64,
+        job: u32,
+        bytes: u32,
+    },
+    /// Durability: recovery truncated a torn final WAL record at byte
+    /// offset `at`, dropping `dropped` trailing bytes.
+    WalTruncated { at: u64, dropped: u64 },
+    /// Durability: a service snapshot reached disk (atomic rename).
+    /// `accepted` is the submission count the snapshot covers.
+    SnapshotWrite {
+        round: u64,
+        accepted: u64,
+        bytes: u64,
+    },
+    /// Durability: a crash recovery completed. `snap_round` is the
+    /// round of the snapshot used (0 when recovering from empty
+    /// state), `replayed` the WAL records re-injected, `resumed_round`
+    /// the round the service resumed at.
+    Recovery {
+        snap_round: u64,
+        replayed: u32,
+        resumed_round: u64,
+    },
 }
 
 impl TraceEvent {
@@ -108,6 +137,10 @@ impl TraceEvent {
             TraceEvent::ServerRecovery { .. } => "server_recovery",
             TraceEvent::Overload { .. } => "overload",
             TraceEvent::JobStopped { .. } => "job_stopped",
+            TraceEvent::WalAppend { .. } => "wal_append",
+            TraceEvent::WalTruncated { .. } => "wal_truncated",
+            TraceEvent::SnapshotWrite { .. } => "snapshot_write",
+            TraceEvent::Recovery { .. } => "recovery",
         }
     }
 
@@ -225,6 +258,39 @@ impl TraceEvent {
                 w.num("job", *job as f64);
                 w.str("reason", reason);
             }
+            TraceEvent::WalAppend {
+                seq,
+                round,
+                job,
+                bytes,
+            } => {
+                w.num("seq", *seq as f64);
+                w.num("round", *round as f64);
+                w.num("job", *job as f64);
+                w.num("bytes", *bytes as f64);
+            }
+            TraceEvent::WalTruncated { at, dropped } => {
+                w.num("at", *at as f64);
+                w.num("dropped", *dropped as f64);
+            }
+            TraceEvent::SnapshotWrite {
+                round,
+                accepted,
+                bytes,
+            } => {
+                w.num("round", *round as f64);
+                w.num("accepted", *accepted as f64);
+                w.num("bytes", *bytes as f64);
+            }
+            TraceEvent::Recovery {
+                snap_round,
+                replayed,
+                resumed_round,
+            } => {
+                w.num("snap_round", *snap_round as f64);
+                w.num("replayed", *replayed as f64);
+                w.num("resumed_round", *resumed_round as f64);
+            }
         }
         w.finish()
     }
@@ -327,6 +393,26 @@ impl TraceEvent {
                 t: num("t")?,
                 job: num("job")? as u32,
                 reason: intern_reason(s("reason")?),
+            },
+            "wal_append" => TraceEvent::WalAppend {
+                seq: num("seq")? as u64,
+                round: num("round")? as u64,
+                job: num("job")? as u32,
+                bytes: num("bytes")? as u32,
+            },
+            "wal_truncated" => TraceEvent::WalTruncated {
+                at: num("at")? as u64,
+                dropped: num("dropped")? as u64,
+            },
+            "snapshot_write" => TraceEvent::SnapshotWrite {
+                round: num("round")? as u64,
+                accepted: num("accepted")? as u64,
+                bytes: num("bytes")? as u64,
+            },
+            "recovery" => TraceEvent::Recovery {
+                snap_round: num("snap_round")? as u64,
+                replayed: num("replayed")? as u32,
+                resumed_round: num("resumed_round")? as u64,
             },
             _ => return None,
         })
@@ -600,6 +686,26 @@ mod tests {
                 t: 2.0,
                 job: 7,
                 reason: "accuracy",
+            },
+            TraceEvent::WalAppend {
+                seq: 17,
+                round: 4,
+                job: 9,
+                bytes: 412,
+            },
+            TraceEvent::WalTruncated {
+                at: 8_192,
+                dropped: 37,
+            },
+            TraceEvent::SnapshotWrite {
+                round: 50,
+                accepted: 120,
+                bytes: 65_536,
+            },
+            TraceEvent::Recovery {
+                snap_round: 50,
+                replayed: 14,
+                resumed_round: 61,
             },
         ]
     }

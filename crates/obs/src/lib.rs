@@ -105,17 +105,34 @@ pub enum Counter {
     Requeues = 4,
     /// New crash strikes registered by scheduler blacklists.
     BlacklistStrikes = 5,
+    /// Records appended to a service write-ahead log.
+    WalAppends = 6,
+    /// `fsync` calls issued by a service write-ahead log.
+    WalFsyncs = 7,
+    /// Service snapshots written to disk.
+    SnapshotWrites = 8,
+    /// Crash recoveries completed (snapshot load + WAL replay).
+    Recoveries = 9,
 }
 
 impl Counter {
     /// Every counter, in slot order (for table rendering).
-    pub const ALL: [Counter; 6] = [
+    ///
+    /// Slots 6–9 belong to the `mlfs-service` durability layer, which
+    /// runs its own [`Tracer`]; the engine folds only slots 0–5 into
+    /// `RunMetrics`, so extending this list never perturbs run
+    /// bit-identity.
+    pub const ALL: [Counter; 10] = [
         Counter::CandidatesScored,
         Counter::Placements,
         Counter::Migrations,
         Counter::Evictions,
         Counter::Requeues,
         Counter::BlacklistStrikes,
+        Counter::WalAppends,
+        Counter::WalFsyncs,
+        Counter::SnapshotWrites,
+        Counter::Recoveries,
     ];
 
     /// Human-readable label.
@@ -127,6 +144,10 @@ impl Counter {
             Counter::Evictions => "evictions",
             Counter::Requeues => "requeues",
             Counter::BlacklistStrikes => "blacklist strikes",
+            Counter::WalAppends => "wal appends",
+            Counter::WalFsyncs => "wal fsyncs",
+            Counter::SnapshotWrites => "snapshot writes",
+            Counter::Recoveries => "recoveries",
         }
     }
 }

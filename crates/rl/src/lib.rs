@@ -28,4 +28,4 @@ pub mod trainer;
 
 pub use nn::{FeatureBatch, Workspace};
 pub use policy::ScoringPolicy;
-pub use trainer::{Convergence, ReinforceTrainer, Step, TrainerConfig};
+pub use trainer::{Convergence, ReinforceTrainer, Step, TrainerConfig, TrainerState};

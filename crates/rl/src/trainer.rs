@@ -98,6 +98,26 @@ impl Convergence {
     }
 }
 
+/// The persistent half of a [`ReinforceTrainer`]: policy weights,
+/// optimizer moments, and the reward baseline. The trainer's
+/// [`Workspace`] and scratch buffers are derived state rebuilt on the
+/// next update, so a trainer restored from this state continues
+/// training bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainerState {
+    /// Policy network weights.
+    pub policy: ScoringPolicy,
+    /// Hyperparameters (restored so a resumed trainer cannot drift
+    /// from the run that exported it).
+    pub cfg: TrainerConfig,
+    /// Adam moments and step count.
+    pub optim: Adam,
+    /// EMA reward baseline.
+    pub baseline: f64,
+    /// Whether the baseline has been seeded yet.
+    pub baseline_ready: bool,
+}
+
 /// REINFORCE trainer with an EMA baseline, plus supervised imitation.
 ///
 /// Each recorded step is trained with one batched forward and one
@@ -132,6 +152,31 @@ impl ReinforceTrainer {
             probs: Vec::new(),
             dlogits: Vec::new(),
         }
+    }
+
+    /// Capture the persistent half of the trainer (weights, optimizer
+    /// moments, baseline) for a crash-safe restart.
+    pub fn export_state(&self) -> TrainerState {
+        TrainerState {
+            policy: self.policy.clone(),
+            cfg: self.cfg,
+            optim: self.optim.clone(),
+            baseline: self.baseline,
+            baseline_ready: self.baseline_ready,
+        }
+    }
+
+    /// Adopt state captured by [`ReinforceTrainer::export_state`];
+    /// scratch buffers reset and are rebuilt on the next update.
+    pub fn import_state(&mut self, st: TrainerState) {
+        self.policy = st.policy;
+        self.cfg = st.cfg;
+        self.optim = st.optim;
+        self.baseline = st.baseline;
+        self.baseline_ready = st.baseline_ready;
+        self.ws = Workspace::new();
+        self.probs.clear();
+        self.dlogits.clear();
     }
 
     /// Discounted returns `G_t = Σ_k η^k r_{t+k}` for a reward

@@ -7,6 +7,7 @@
 //! batch engine.
 
 use crate::admission::{AdmissionPolicy, ShedReason, SubmitOutcome};
+use crate::durability::{recovery, Durability, DurabilityConfig, DurabilityError, RecoveryReport};
 use metrics::RunMetrics;
 use mlfs::Scheduler;
 use mlfs_sim::engine::{SimConfig, SimSnapshot, Simulation, StepOutcome};
@@ -21,6 +22,7 @@ pub struct Service {
     admission: Option<AdmissionPolicy>,
     accepted: u64,
     shed: u64,
+    durability: Option<Durability>,
 }
 
 /// Submission counters (engine-side; channel backpressure is counted
@@ -33,17 +35,20 @@ pub struct ServiceStats {
     pub shed: u64,
 }
 
-/// Full service state at a round boundary: the engine snapshot plus
-/// the service's own counters. The scheduler and the
-/// [`AdmissionPolicy`] are *not* captured — a restarted service is
-/// handed fresh ones (schedulers rebuild their view from cluster and
-/// queue state, which the engine snapshot carries).
+/// Full service state at a round boundary: the engine snapshot, the
+/// service's own counters, and the scheduler's evolving state (from
+/// [`mlfs::Scheduler::export_state`]; `None` for stateless
+/// schedulers). The [`AdmissionPolicy`] is *not* captured — it is
+/// static configuration the restarting caller supplies again.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServiceSnapshot {
     /// Engine state (jobs, cluster, queue, RNG streams, metrics, …).
     pub sim: SimSnapshot,
     /// Submission counters at the snapshot.
     pub stats: ServiceStats,
+    /// Scheduler state JSON (attained-service ledgers, RL trainer
+    /// weights, blacklists, …) if the scheduler exports any.
+    pub scheduler_state: Option<String>,
 }
 
 impl Service {
@@ -61,6 +66,18 @@ impl Service {
             admission,
             accepted: 0,
             shed: 0,
+            durability: None,
+        }
+    }
+
+    /// Configure a service incrementally; the builder is how the
+    /// durability layer is attached ([`ServiceBuilder::durability`])
+    /// or resumed from ([`ServiceBuilder::recover`]).
+    pub fn builder(cfg: SimConfig) -> ServiceBuilder {
+        ServiceBuilder {
+            cfg,
+            admission: None,
+            durability: None,
         }
     }
 
@@ -73,12 +90,21 @@ impl Service {
         scheduler: Box<dyn Scheduler>,
         admission: Option<AdmissionPolicy>,
     ) -> Self {
+        let mut scheduler = scheduler;
+        if let Some(state) = &snap.scheduler_state {
+            // Best effort: a scheduler that refuses the state (or a
+            // stateless one) still rebuilds its view from the engine
+            // snapshot. `durability::recovery` imports *before*
+            // restore so it can reject the snapshot instead.
+            let _ = scheduler.import_state(state);
+        }
         Service {
             sim: Simulation::restore(cfg, snap.sim),
             scheduler,
             admission,
             accepted: snap.stats.accepted,
             shed: snap.stats.shed,
+            durability: None,
         }
     }
 
@@ -87,6 +113,7 @@ impl Service {
         ServiceSnapshot {
             sim: self.sim.snapshot(),
             stats: self.stats(),
+            scheduler_state: self.scheduler.export_state(),
         }
     }
 
@@ -108,6 +135,9 @@ impl Service {
         }
         if self.sim.inject_job(spec.clone()) {
             self.accepted += 1;
+            if let Some(d) = &mut self.durability {
+                d.on_accept(self.accepted, self.sim.rounds(), &spec);
+            }
             SubmitOutcome::Accepted
         } else {
             self.shed += 1;
@@ -115,11 +145,50 @@ impl Service {
         }
     }
 
+    /// Re-inject an already-acknowledged job during WAL replay:
+    /// bypasses admission (the job was admitted pre-crash) and the
+    /// WAL (the record is already on disk). Returns false on a
+    /// duplicate id.
+    pub(crate) fn replay_inject(&mut self, spec: JobSpec) -> bool {
+        if self.sim.inject_job(spec) {
+            self.accepted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Attach a durable store (recovery does this after replay so
+    /// replayed ticks don't re-snapshot).
+    pub(crate) fn attach_durability(&mut self, durability: Durability) {
+        self.durability = Some(durability);
+    }
+
     /// Run exactly one scheduler round. The first call jumps the
     /// clock to the earliest pending arrival (`Simulation::begin`).
+    /// With durability attached, round boundaries that cross the
+    /// snapshot period persist a [`ServiceSnapshot`] in-line (the
+    /// threaded front-end makes this a background write from the
+    /// caller's perspective).
     pub fn tick(&mut self) -> StepOutcome {
         self.sim.begin(self.scheduler.as_mut());
-        self.sim.step(self.scheduler.as_mut())
+        let out = self.sim.step(self.scheduler.as_mut());
+        if self
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.snapshot_due(self.sim.rounds()))
+        {
+            let round = self.sim.rounds();
+            let accepted = self.accepted;
+            let body = serde_json::to_string(&self.snapshot());
+            if let Some(d) = &mut self.durability {
+                match body {
+                    Ok(body) => d.on_snapshot(round, accepted, &body),
+                    Err(e) => d.record_error(format!("snapshot serialize (round {round}): {e}")),
+                }
+            }
+        }
+        out
     }
 
     /// Tick until the engine reports [`StepOutcome::Drained`] (or
@@ -200,5 +269,68 @@ impl Service {
     /// deterministic counters). Clone before [`Service::finish`].
     pub fn tracer(&self) -> std::sync::Arc<obs::Tracer> {
         self.sim.tracer()
+    }
+
+    /// The durability layer's own telemetry (WAL appends/fsyncs,
+    /// snapshot writes, recoveries), if durability is attached. Kept
+    /// off the engine tracer so recovered runs stay bit-identical.
+    pub fn durability_telemetry(&self) -> Option<obs::TelemetrySnapshot> {
+        self.durability.as_ref().map(|d| d.tracer().snapshot())
+    }
+
+    /// First durability I/O failure, if persistence has stopped.
+    /// Scheduling continues regardless (availability over
+    /// durability); callers that need hard guarantees poll this.
+    pub fn durability_error(&self) -> Option<String> {
+        self.durability
+            .as_ref()
+            .and_then(|d| d.error().map(str::to_string))
+    }
+}
+
+/// Incremental [`Service`] construction; see [`Service::builder`].
+pub struct ServiceBuilder {
+    cfg: SimConfig,
+    admission: Option<AdmissionPolicy>,
+    durability: Option<DurabilityConfig>,
+}
+
+impl ServiceBuilder {
+    /// Shed at the door under overload (omit to accept everything).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Persist accepted submissions and periodic snapshots under
+    /// `cfg.dir`.
+    pub fn durability(mut self, cfg: DurabilityConfig) -> Self {
+        self.durability = Some(cfg);
+        self
+    }
+
+    /// Build a **fresh** service. With a durability config this
+    /// truncates any durable state already in the directory — use
+    /// [`ServiceBuilder::recover`] to resume from it instead.
+    pub fn build(self, scheduler: Box<dyn Scheduler>) -> Result<Service, DurabilityError> {
+        let mut svc = Service::new(self.cfg, scheduler, self.admission);
+        if let Some(dcfg) = self.durability {
+            svc.durability = Some(Durability::create(dcfg)?);
+        }
+        Ok(svc)
+    }
+
+    /// Rebuild the service from the durable state in the configured
+    /// directory: newest valid snapshot, WAL suffix replay, ticked
+    /// back to the crash round. Errors if no durability config was
+    /// given or the WAL is corrupt before its final record.
+    pub fn recover(
+        self,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Result<(Service, RecoveryReport), DurabilityError> {
+        let Some(dcfg) = self.durability else {
+            return Err(DurabilityError::NotConfigured);
+        };
+        recovery::recover(self.cfg, dcfg, scheduler, self.admission)
     }
 }

@@ -1,0 +1,154 @@
+//! Durable snapshot store: atomically written, checksummed,
+//! retention-pruned `snap-<round>.json` files.
+//!
+//! Each file is two parts separated by the first newline:
+//!
+//! ```text
+//! {"ev":"snap_header","magic":"MLFSSNAP1","round":R,"accepted":A,"len":L,"crc32":C}
+//! <serde_json of ServiceSnapshot, L bytes, CRC-32 C>
+//! ```
+//!
+//! The header reuses the observability layer's flat-JSON schema so
+//! `obs::parse_flat_json` can validate a snapshot without parsing the
+//! (much larger) body. Writes go through `snap-<round>.json.tmp` +
+//! `rename`, so a crash mid-write leaves at worst a garbage `.tmp`
+//! file that recovery ignores; a complete `snap-*.json` is always
+//! internally consistent or provably damaged (checksum mismatch).
+
+use super::wal::crc32;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic string in every snapshot header.
+pub const SNAP_MAGIC: &str = "MLFSSNAP1";
+
+/// A parsed, checksum-validated snapshot file.
+#[derive(Debug)]
+pub struct SnapshotFile {
+    /// Engine round the snapshot was taken at.
+    pub round: u64,
+    /// Accepted-submission count at the snapshot — the WAL replay
+    /// floor (replay records with `seq > accepted`).
+    pub accepted: u64,
+    /// The `ServiceSnapshot` JSON body.
+    pub body: String,
+}
+
+/// File name for a snapshot at `round`.
+pub fn snap_name(round: u64) -> String {
+    format!("snap-{round}.json")
+}
+
+/// Write a snapshot atomically; returns total bytes written.
+pub fn write_snapshot(dir: &Path, round: u64, accepted: u64, body: &str) -> std::io::Result<u64> {
+    let header = format!(
+        "{{\"ev\":\"snap_header\",\"magic\":\"{SNAP_MAGIC}\",\"round\":{round},\
+         \"accepted\":{accepted},\"len\":{},\"crc32\":{}}}\n",
+        body.len(),
+        crc32(body.as_bytes()),
+    );
+    let final_path = dir.join(snap_name(round));
+    let tmp_path = dir.join(format!("snap-{round}.json.tmp"));
+    {
+        let mut f = fs::File::create(&tmp_path)?;
+        f.write_all(header.as_bytes())?;
+        f.write_all(body.as_bytes())?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    Ok((header.len() + body.len()) as u64)
+}
+
+/// Parse and fully validate the snapshot at `path`: magic, body
+/// length, and checksum must all agree with the header. Any failure
+/// returns `None` — the caller falls back to an older snapshot.
+pub fn load_snapshot(path: &Path) -> Option<SnapshotFile> {
+    let content = fs::read_to_string(path).ok()?;
+    let (header, body) = content.split_once('\n')?;
+    let (round, accepted) = parse_header(header, body)?;
+    Some(SnapshotFile {
+        round,
+        accepted,
+        body: body.to_string(),
+    })
+}
+
+/// Read only the validated header of the snapshot at `path`:
+/// `(round, accepted)`. Used to pick the WAL compaction floor without
+/// loading snapshot bodies.
+pub fn read_header(path: &Path) -> Option<(u64, u64)> {
+    let content = fs::read_to_string(path).ok()?;
+    let (header, body) = content.split_once('\n')?;
+    parse_header(header, body)
+}
+
+fn parse_header(header: &str, body: &str) -> Option<(u64, u64)> {
+    let fields = obs::event::parse_flat_json(header)?;
+    let get = |k: &str| {
+        fields.iter().find_map(|(key, v)| match v {
+            obs::event::JsonVal::Num(n) if key == k => Some(*n),
+            _ => None,
+        })
+    };
+    let magic = fields.iter().find_map(|(key, v)| match v {
+        obs::event::JsonVal::Str(s) if key == "magic" => Some(s.as_str()),
+        _ => None,
+    })?;
+    if magic != SNAP_MAGIC {
+        return None;
+    }
+    let round = get("round")? as u64;
+    let accepted = get("accepted")? as u64;
+    let len = get("len")? as u64;
+    let crc = get("crc32")? as u32;
+    if body.len() as u64 != len || crc32(body.as_bytes()) != crc {
+        return None;
+    }
+    Some((round, accepted))
+}
+
+/// All complete snapshots in `dir`, newest round first. `.tmp`
+/// leftovers and unrelated files are skipped; validation happens at
+/// load time, not here.
+pub fn list_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        if let Ok(round) = stem.parse::<u64>() {
+            out.push((round, entry.path()));
+        }
+    }
+    out.sort_by_key(|e| std::cmp::Reverse(e.0));
+    Ok(out)
+}
+
+/// Delete all but the newest `keep` snapshots. Returns the WAL
+/// compaction floor: the `accepted` count of the **oldest retained**
+/// snapshot (not the newest — if the newest file is later found
+/// damaged, recovery falls back to an older one and still needs the
+/// WAL suffix past *that* snapshot's acceptance point).
+pub fn apply_retention(dir: &Path, keep: usize) -> std::io::Result<u64> {
+    let snaps = list_snapshots(dir)?;
+    for (_, path) in snaps.iter().skip(keep.max(1)) {
+        fs::remove_file(path)?;
+    }
+    let oldest_kept = snaps.iter().take(keep.max(1)).next_back();
+    Ok(oldest_kept
+        .and_then(|(_, p)| read_header(p))
+        .map(|(_, accepted)| accepted)
+        .unwrap_or(0))
+}

@@ -1,0 +1,339 @@
+//! Write-ahead submission log.
+//!
+//! Every accepted submission is appended as one length-prefixed,
+//! checksummed record *before* the service acknowledges it, so a crash
+//! never loses an acknowledged job. On-disk layout:
+//!
+//! ```text
+//! ┌──────────────┬──────────────────────────────────────────┬───┐
+//! │ magic (8 B)  │ record 0                                 │ … │
+//! │ "MLFSWAL1"   │ ┌─────────┬─────────┬──────────────────┐ │   │
+//! │              │ │ len u32 │ crc u32 │ payload (len B)  │ │   │
+//! │              │ │ LE      │ LE      │ JSON `WalRecord` │ │   │
+//! │              │ └─────────┴─────────┴──────────────────┘ │   │
+//! └──────────────┴──────────────────────────────────────────┴───┘
+//! ```
+//!
+//! The CRC-32 (IEEE polynomial, table built in a `const fn` — no
+//! external crate) covers the payload bytes only. A record that fails
+//! validation is classified by position: the *final* record is a torn
+//! tail (the crash interrupted the append) and is truncated away; any
+//! earlier record is real corruption and surfaces as
+//! [`WalError::Corrupt`] — silently dropping acknowledged history
+//! would be worse than refusing to start.
+
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use workload::JobSpec;
+
+/// First 8 bytes of every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"MLFSWAL1";
+
+/// Per-record fixed header: `len` + `crc`, both little-endian u32.
+const REC_HEADER: usize = 8;
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        // lint:allow(panic-slice-index) reason="const-fn table build; i ranges over 0..256 by the loop bound"
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &b in bytes {
+        // lint:allow(panic-slice-index) reason="index is masked to 0xFF over a 256-entry table"
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ u32::MAX
+}
+
+/// Little-endian u32 at `at`, if the slice is long enough.
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let s = bytes.get(at..at.checked_add(4)?)?;
+    let mut a = [0u8; 4];
+    for (d, b) in a.iter_mut().zip(s) {
+        *d = *b;
+    }
+    Some(u32::from_le_bytes(a))
+}
+
+/// One logged submission: the accepted sequence number (1-based,
+/// equals the service's `accepted` counter after this submit), the
+/// engine round at submission time, and the full job spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// 1-based acceptance sequence number.
+    pub seq: u64,
+    /// `Service::rounds()` at submission time — replay ticks the
+    /// engine back to this round before re-injecting.
+    pub round: u64,
+    /// The accepted job.
+    pub spec: JobSpec,
+}
+
+/// When appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append. Durable through power loss, but
+    /// each submit pays a device flush.
+    Always,
+    /// `fsync` every `n` appends (and on snapshot). Bounds loss to at
+    /// most `n − 1` acknowledged submissions on power loss; an
+    /// OS-level process crash alone loses nothing (the page cache
+    /// survives).
+    EveryN(u32),
+    /// Never `fsync` explicitly; rely on the OS writeback. Fastest,
+    /// weakest.
+    Never,
+}
+
+/// Why a WAL could not be read.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file exists but does not start with [`WAL_MAGIC`].
+    BadMagic,
+    /// A record *before* the final one failed its checksum or did not
+    /// parse: acknowledged history is damaged and replay cannot be
+    /// trusted. `offset` is the byte position of the bad record.
+    Corrupt { offset: u64 },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::BadMagic => write!(f, "wal file has wrong magic"),
+            WalError::Corrupt { offset } => {
+                write!(f, "wal corrupt mid-log at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Every valid record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (where appends must resume).
+    pub valid_len: u64,
+    /// `Some((at, dropped))` if a torn tail was detected: `dropped`
+    /// trailing bytes starting at offset `at` are not a valid record.
+    pub torn: Option<(u64, u64)>,
+}
+
+/// Scan `path`, validating every record. A missing file yields an
+/// empty scan. A torn tail (short or checksum-failing *final* record)
+/// is reported in [`WalScan::torn`], not an error — the caller
+/// truncates and continues.
+pub fn read_wal(path: &Path) -> Result<WalScan, WalError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan::default());
+        }
+        Err(e) => return Err(WalError::Io(e)),
+    };
+    if bytes.len() < WAL_MAGIC.len() {
+        // File created but the magic itself was torn: everything goes.
+        return Ok(WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            torn: Some((0, bytes.len() as u64)),
+        });
+    }
+    if bytes.get(..WAL_MAGIC.len()) != Some(WAL_MAGIC.as_slice()) {
+        return Err(WalError::BadMagic);
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    let total = bytes.len();
+    while pos < total {
+        let torn = |at: usize| WalScan {
+            records: Vec::new(),
+            valid_len: at as u64,
+            torn: Some((at as u64, (total - at) as u64)),
+        };
+        let (len, crc) = match (le_u32(&bytes, pos), le_u32(&bytes, pos + 4)) {
+            (Some(len), Some(crc)) => (len as usize, crc),
+            // Header itself runs past EOF: the append was interrupted.
+            _ => {
+                let mut scan = torn(pos);
+                scan.records = records;
+                return Ok(scan);
+            }
+        };
+        let start = pos + REC_HEADER;
+        let end = start.saturating_add(len);
+        let Some(payload) = bytes.get(start..end) else {
+            // Payload runs past EOF: the append was interrupted.
+            let mut scan = torn(pos);
+            scan.records = records;
+            return Ok(scan);
+        };
+        let last = end == total;
+        if crc32(payload) != crc {
+            if last {
+                let mut scan = torn(pos);
+                scan.records = records;
+                return Ok(scan);
+            }
+            return Err(WalError::Corrupt { offset: pos as u64 });
+        }
+        let parsed: Option<WalRecord> = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|s| serde_json::from_str(s).ok());
+        match parsed {
+            Some(rec) => records.push(rec),
+            // Checksum valid but unparseable: a writer bug or schema
+            // break, not a crash artifact — never silently truncate.
+            None => return Err(WalError::Corrupt { offset: pos as u64 }),
+        }
+        pos = end;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: pos as u64,
+        torn: None,
+    })
+}
+
+/// Truncate `path` to `valid_len` bytes (drop a torn tail) and sync.
+pub fn truncate_to(path: &Path, valid_len: u64) -> std::io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(valid_len)?;
+    f.sync_data()?;
+    Ok(())
+}
+
+/// Append handle over a WAL file. Writes go straight to the `File`
+/// (no userspace buffering) so a crash can tear at most the final
+/// record — exactly the case the reader repairs.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    unsynced: u32,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL at `path` (truncating any existing file),
+    /// write the magic, and sync it.
+    pub fn create(path: &Path) -> std::io::Result<WalWriter> {
+        let mut file = File::create(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            unsynced: 0,
+        })
+    }
+
+    /// Open an existing WAL for appending at `valid_len` (from a
+    /// prior [`read_wal`] scan; any torn tail must already be
+    /// truncated away by [`truncate_to`]).
+    pub fn open_at(path: &Path, valid_len: u64) -> std::io::Result<WalWriter> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            unsynced: 0,
+        })
+    }
+
+    /// Append one record; returns `(bytes_written, fsynced)`.
+    pub fn append(&mut self, rec: &WalRecord, fsync: FsyncPolicy) -> std::io::Result<(u32, bool)> {
+        let payload =
+            serde_json::to_string(rec).map_err(|e| std::io::Error::other(e.to_string()))?;
+        let payload = payload.as_bytes();
+        let len = payload.len() as u32;
+        let crc = crc32(payload);
+        let mut buf = Vec::with_capacity(REC_HEADER + payload.len());
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.file.write_all(&buf)?;
+        self.unsynced += 1;
+        let do_sync = match fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if do_sync {
+            self.sync()?;
+        }
+        Ok((buf.len() as u32, do_sync))
+    }
+
+    /// Flush OS buffers to the device and reset the unsynced counter.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Drop every record with `seq <= floor` by rewriting the log
+    /// through a temp file and renaming over it (atomic on POSIX).
+    /// Called after snapshot retention: records already covered by the
+    /// *oldest retained* snapshot can never be replayed again.
+    /// Returns the number of records dropped.
+    pub fn compact(&mut self, floor: u64) -> std::io::Result<u64> {
+        if floor == 0 {
+            return Ok(0);
+        }
+        self.sync()?;
+        let scan = read_wal(&self.path).map_err(|e| match e {
+            WalError::Io(io) => io,
+            other => std::io::Error::other(other.to_string()),
+        })?;
+        let keep: Vec<&WalRecord> = scan.records.iter().filter(|r| r.seq > floor).collect();
+        let dropped = (scan.records.len() - keep.len()) as u64;
+        if dropped == 0 {
+            return Ok(0);
+        }
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut w = WalWriter::create(&tmp)?;
+            for rec in keep {
+                w.append(rec, FsyncPolicy::Never)?;
+            }
+            w.sync()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // The old handle still points at the unlinked inode; reopen.
+        let end = std::fs::metadata(&self.path)?.len();
+        *self = WalWriter::open_at(&self.path, end)?;
+        Ok(dropped)
+    }
+}

@@ -43,6 +43,81 @@ pub struct ServiceReport {
     /// True when the worker thread panicked; `metrics`/`stats` are
     /// defaults in that case, not measurements.
     pub worker_panicked: bool,
+    /// Durability-layer telemetry (WAL appends/fsyncs, snapshot
+    /// writes, recoveries) when the service persisted state.
+    pub durability: Option<obs::TelemetrySnapshot>,
+    /// First durability I/O failure, if persistence stopped mid-run.
+    pub durability_error: Option<String>,
+}
+
+/// Deterministic backoff for retrying a backpressured submission:
+/// attempt `k` (1-based) waits `base × 2^(k−1)` units, capped at
+/// `max`, giving up after `attempts` tries. The same doubling shape
+/// (and default cap) as the straggler blacklist's re-admission
+/// backoff; units are thread yields in [`ServiceHandle`], abstract
+/// in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-attempt wait, in yield units.
+    pub base: u32,
+    /// Per-attempt wait ceiling.
+    pub max: u32,
+    /// Total submission attempts before giving up.
+    pub attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: 3,
+            max: 120,
+            attempts: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Wait before attempt `k` (1-based; attempt 1 never waits).
+    pub fn backoff(&self, k: u32) -> u32 {
+        if k <= 1 {
+            return 0;
+        }
+        self.base
+            .saturating_mul(1u32 << (k - 2).min(30))
+            .min(self.max)
+    }
+}
+
+/// Drive `submit` under `policy`, calling `wait(n)` between attempts.
+/// Pure with respect to time — [`ServiceHandle::submit_with_retry`]
+/// passes a thread-yield `wait`; the give-up unit test passes a
+/// counter. Returns the spec's final refusal if every attempt fails.
+#[allow(clippy::result_large_err)]
+fn submit_with_retry_impl<S, W>(
+    policy: RetryPolicy,
+    spec: JobSpec,
+    mut submit: S,
+    mut wait: W,
+) -> Result<(), SubmitError>
+where
+    S: FnMut(JobSpec) -> Result<(), SubmitError>,
+    W: FnMut(u32),
+{
+    let mut spec = spec;
+    let attempts = policy.attempts.max(1);
+    for k in 1..=attempts {
+        let pause = policy.backoff(k);
+        if pause > 0 {
+            wait(pause);
+        }
+        match submit(spec) {
+            Ok(()) => return Ok(()),
+            // Closed never heals: retrying only burns time.
+            Err(SubmitError::Closed(s)) => return Err(SubmitError::Closed(s)),
+            Err(SubmitError::Backpressure(s)) => spec = s,
+        }
+    }
+    Err(SubmitError::Backpressure(spec))
 }
 
 /// Handle to a running service worker. Dropping the handle (or
@@ -75,6 +150,26 @@ impl ServiceHandle {
             Err(TrySendError::Full(s)) => Err(SubmitError::Backpressure(s)),
             Err(TrySendError::Disconnected(s)) => Err(SubmitError::Closed(s)),
         }
+    }
+
+    /// [`ServiceHandle::submit`] with bounded deterministic retries
+    /// on [`SubmitError::Backpressure`]: attempt `k` first yields the
+    /// thread `base × 2^(k−1)` times (capped), giving the decision
+    /// loop a chance to drain, then resubmits. Gives up after
+    /// `policy.attempts` tries, handing the spec back. `Closed` is
+    /// returned immediately — a gone worker never heals.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_with_retry(&self, spec: JobSpec, policy: RetryPolicy) -> Result<(), SubmitError> {
+        submit_with_retry_impl(
+            policy,
+            spec,
+            |s| self.submit(s),
+            |n| {
+                for _ in 0..n {
+                    std::thread::yield_now();
+                }
+            },
+        )
     }
 
     /// Close the arrival queue and wait for the worker to drain all
@@ -138,10 +233,107 @@ fn worker_loop(mut svc: Service, rx: Receiver<JobSpec>) -> ServiceReport {
         }
     }
     let stats = svc.stats();
+    let durability = svc.durability_telemetry();
+    let durability_error = svc.durability_error();
     ServiceReport {
         metrics: svc.finish(),
         stats,
         max_backlog,
         worker_panicked: false,
+        durability,
+        durability_error,
+    }
+}
+
+#[cfg(test)]
+// The test closures return `SubmitError` by design: the real channel
+// hands the full `JobSpec` back on refusal, and the retry loop's
+// contract is exactly that round-trip.
+#[allow(clippy::result_large_err)]
+mod tests {
+    use super::*;
+    use cluster::JobId;
+    use workload::{TraceConfig, TraceGenerator};
+
+    fn spec(id: u32) -> JobSpec {
+        let mut cfg = TraceConfig::paper_sim(0.25, 64.0, 1.0, 7);
+        cfg.jobs = 1;
+        let mut s = TraceGenerator::new(cfg)
+            .generate()
+            .pop()
+            .expect("one-job trace");
+        s.id = JobId(id);
+        s
+    }
+
+    #[test]
+    fn backoff_doubles_from_base_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), 0);
+        assert_eq!(p.backoff(2), 3);
+        assert_eq!(p.backoff(3), 6);
+        assert_eq!(p.backoff(4), 12);
+        // 3·2^6 = 192 > 120 → capped.
+        assert_eq!(p.backoff(8), 120);
+    }
+
+    #[test]
+    fn retry_gives_up_after_bounded_attempts_and_returns_the_job() {
+        let p = RetryPolicy::default();
+        let mut tries = 0u32;
+        let mut waits: Vec<u32> = Vec::new();
+        let out = submit_with_retry_impl(
+            p,
+            spec(7),
+            |s| {
+                tries += 1;
+                Err(SubmitError::Backpressure(s))
+            },
+            |n| waits.push(n),
+        );
+        assert_eq!(tries, 8);
+        assert_eq!(waits, vec![3, 6, 12, 24, 48, 96, 120]);
+        match out {
+            Err(SubmitError::Backpressure(s)) => assert_eq!(s.id, JobId(7)),
+            other => panic!("expected give-up with the spec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_succeeds_once_backpressure_clears() {
+        let p = RetryPolicy::default();
+        let mut tries = 0u32;
+        let out = submit_with_retry_impl(
+            p,
+            spec(1),
+            |s| {
+                tries += 1;
+                if tries < 3 {
+                    Err(SubmitError::Backpressure(s))
+                } else {
+                    Ok(())
+                }
+            },
+            |_| {},
+        );
+        assert_eq!(out, Ok(()));
+        assert_eq!(tries, 3);
+    }
+
+    #[test]
+    fn retry_does_not_retry_closed() {
+        let p = RetryPolicy::default();
+        let mut tries = 0u32;
+        let out = submit_with_retry_impl(
+            p,
+            spec(1),
+            |s| {
+                tries += 1;
+                Err(SubmitError::Closed(s))
+            },
+            |_| {},
+        );
+        assert_eq!(tries, 1);
+        assert!(matches!(out, Err(SubmitError::Closed(_))));
     }
 }

@@ -27,6 +27,12 @@
 //!   the PR 3 job-level checkpointing to the whole scheduler);
 //!   [`Service::restore`] rebuilds a service that continues
 //!   bit-identically to the uninterrupted run.
+//! * [`durability`] — the durable version of the above: a
+//!   write-ahead submission log (checksummed, torn-tail-repairing),
+//!   periodic background snapshots with retention and WAL
+//!   compaction, and [`ServiceBuilder::recover`], which rebuilds a
+//!   crashed service from disk bit-identically (chaos-tested in
+//!   `crates/service/tests/chaos.rs`).
 //!
 //! The load generator (`crates/bench/src/bin/service_load.rs`) drives
 //! the threaded front-end closed-loop and gates throughput and p99
@@ -43,8 +49,12 @@
 
 pub mod admission;
 pub mod core;
+pub mod durability;
 pub mod front;
 
 pub use admission::{AdmissionPolicy, ShedReason, SubmitOutcome};
-pub use core::{Service, ServiceSnapshot, ServiceStats};
+pub use core::{Service, ServiceBuilder, ServiceSnapshot, ServiceStats};
+pub use durability::{
+    DurabilityConfig, DurabilityError, FsyncPolicy, RecoveryReport, WalError, WalRecord,
+};
 pub use front::{ServiceHandle, ServiceReport, SubmitError};

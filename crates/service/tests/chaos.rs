@@ -1,0 +1,319 @@
+//! Chaos-tested crash recovery: kill a durable service at seeded
+//! points, damage its files the way real crashes do, recover from
+//! disk, and demand **bit-identical** final metrics versus the
+//! uninterrupted run.
+//!
+//! The driver is the `service_determinism` just-in-time streamer: it
+//! submits each spec no earlier than the decision loop needs it, so
+//! crashes land between real submissions and real rounds. Every
+//! (submit | tick) is one *op*; a kill point drops the service
+//! before op `k`. Surgery flavors then model the crash tail:
+//!
+//! * `Clean`     — the crash left the files intact (kill between ops);
+//! * `TornTail`  — the final WAL append was cut short (truncate
+//!   mid-record) — the mid-append crash;
+//! * `TailFlip`  — the final record hit the disk with a flipped
+//!   payload byte (checksum catches it, truncation repairs it);
+//! * `SnapCrash` — the crash hit during a snapshot: a garbage
+//!   `.tmp` left behind *and* the newest complete snapshot damaged,
+//!   forcing fallback to an older one (or empty + full replay).
+//!
+//! After recovery the driver resumes from `resumed_accepted` — any
+//! acknowledged-but-lost tail submission is simply re-submitted, and
+//! the recovered timeline must still replay the original decisions
+//! exactly.
+
+use mlfs_service::durability::snapshot::list_snapshots;
+use mlfs_service::durability::wal::WAL_MAGIC;
+use mlfs_service::{DurabilityConfig, FsyncPolicy, RecoveryReport, Service};
+use mlfs_sim::engine::StepOutcome;
+use mlfs_sim::experiments::{fig4, Experiment};
+use std::path::{Path, PathBuf};
+use workload::JobSpec;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Surgery {
+    Clean,
+    TornTail,
+    TailFlip,
+    SnapCrash,
+}
+
+const FLAVORS: [Surgery; 4] = [
+    Surgery::Clean,
+    Surgery::TornTail,
+    Surgery::TailFlip,
+    Surgery::SnapCrash,
+];
+
+fn experiment(jobs: usize) -> Experiment {
+    let mut e = fig4(0.25, 64.0, 7);
+    e.trace.jobs = jobs;
+    e
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlfs-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drive the just-in-time streamer. `cursor` indexes the next spec to
+/// submit; each executed submit or tick increments `ops`. Returns
+/// `None` if the kill point fired (the service must then be dropped
+/// by the caller), `Some(outcome)` when the engine drained.
+fn drive(
+    svc: &mut Service,
+    specs: &[JobSpec],
+    cursor: &mut usize,
+    ops: &mut u64,
+    kill_at: Option<u64>,
+) -> Option<StepOutcome> {
+    let first_arrival = specs.first().map(|s| s.arrival);
+    loop {
+        let upcoming = if svc.rounds() == 0 {
+            first_arrival.unwrap_or_else(|| svc.now())
+        } else {
+            svc.now()
+        };
+        while *cursor < specs.len()
+            && (specs[*cursor].arrival <= upcoming || svc.pending_arrivals() == 0)
+        {
+            if kill_at == Some(*ops) {
+                return None;
+            }
+            *ops += 1;
+            assert!(
+                svc.submit(specs[*cursor].clone()).accepted(),
+                "no admission control => accepted"
+            );
+            *cursor += 1;
+        }
+        if kill_at == Some(*ops) {
+            return None;
+        }
+        *ops += 1;
+        match svc.tick() {
+            StepOutcome::Continue => {}
+            done => {
+                assert_eq!(*cursor, specs.len(), "engine stopped mid-stream");
+                return Some(done);
+            }
+        }
+    }
+}
+
+/// Byte extents of complete WAL records (header included).
+fn record_extents(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let end = pos + 8 + len;
+        if end > bytes.len() {
+            break;
+        }
+        out.push((pos, end));
+        pos = end;
+    }
+    out
+}
+
+/// Post-crash file surgery. Returns true if anything was damaged.
+fn operate(dir: &Path, surgery: Surgery) -> bool {
+    match surgery {
+        Surgery::Clean => false,
+        Surgery::TornTail => {
+            let wal = dir.join("wal.log");
+            let Ok(bytes) = std::fs::read(&wal) else {
+                return false;
+            };
+            let extents = record_extents(&bytes);
+            let Some(&(start, end)) = extents.last() else {
+                return false;
+            };
+            // Cut mid-way through the final record.
+            let cut = start + (end - start) / 2;
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&wal)
+                .expect("wal opens");
+            f.set_len(cut as u64).expect("truncate");
+            true
+        }
+        Surgery::TailFlip => {
+            let wal = dir.join("wal.log");
+            let Ok(mut bytes) = std::fs::read(&wal) else {
+                return false;
+            };
+            let extents = record_extents(&bytes);
+            let Some(&(start, end)) = extents.last() else {
+                return false;
+            };
+            let mid = start + 8 + (end - start - 8) / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&wal, bytes).expect("wal rewrites");
+            true
+        }
+        Surgery::SnapCrash => {
+            std::fs::write(dir.join("snap-424242.json.tmp"), b"crash mid-snapshot")
+                .expect("tmp writes");
+            let Ok(snaps) = list_snapshots(dir) else {
+                return false;
+            };
+            let Some((_, newest)) = snaps.first() else {
+                return false;
+            };
+            let mut bytes = std::fs::read(newest).expect("snapshot reads");
+            let n = bytes.len();
+            bytes[n - 2] ^= 0xFF;
+            std::fs::write(newest, bytes).expect("snapshot rewrites");
+            true
+        }
+    }
+}
+
+/// Uninterrupted streamed run (no durability): the reference
+/// metrics and the total op count the kill points are seeded from.
+fn reference(e: &Experiment, name: &str) -> (String, u64) {
+    let mut svc = Service::new(e.sim.clone(), e.scheduler(name, 7), None);
+    let mut specs = e.jobs();
+    specs.sort_by_key(|s| s.arrival);
+    let mut cursor = 0usize;
+    let mut ops = 0u64;
+    let out = drive(&mut svc, &specs, &mut cursor, &mut ops, None);
+    assert_eq!(out, Some(StepOutcome::Drained));
+    let mut m = svc.finish();
+    m.clear_wall_clock();
+    (serde_json::to_string(&m).expect("metrics json"), ops)
+}
+
+/// One chaos round: run durably, kill at `kill_at`, operate, recover,
+/// resume, finish. Returns the final metrics and the recovery report.
+fn chaos_run(
+    e: &Experiment,
+    name: &str,
+    dcfg: &DurabilityConfig,
+    kill_at: u64,
+    surgery: Surgery,
+) -> (String, RecoveryReport, bool) {
+    let mut specs = e.jobs();
+    specs.sort_by_key(|s| s.arrival);
+
+    let mut svc = Service::builder(e.sim.clone())
+        .durability(dcfg.clone())
+        .build(e.scheduler(name, 7))
+        .expect("durable service builds");
+    let mut cursor = 0usize;
+    let mut ops = 0u64;
+    let killed = drive(&mut svc, &specs, &mut cursor, &mut ops, Some(kill_at));
+    assert_eq!(killed, None, "kill point {kill_at} must fire mid-run");
+    assert_eq!(svc.durability_error(), None, "persistence stayed healthy");
+    drop(svc); // the crash
+
+    let damaged = operate(&dcfg.dir, surgery);
+
+    let (mut svc, report) = Service::builder(e.sim.clone())
+        .durability(dcfg.clone())
+        .recover(e.scheduler(name, 7))
+        .expect("recovery succeeds");
+    // Resume exactly where the durable state left off: specs are
+    // submitted in acceptance order, so the cursor *is* the count.
+    let mut cursor = usize::try_from(report.resumed_accepted).expect("cursor fits");
+    let mut ops = 0u64;
+    let out = drive(&mut svc, &specs, &mut cursor, &mut ops, None);
+    assert_eq!(out, Some(StepOutcome::Drained));
+    assert_eq!(svc.durability_error(), None, "persistence stayed healthy");
+    let mut m = svc.finish();
+    m.clear_wall_clock();
+    (
+        serde_json::to_string(&m).expect("metrics json"),
+        report,
+        damaged,
+    )
+}
+
+/// ≥ 8 seeded kill points spread across the run, cycling through all
+/// four surgery flavors (each flavor hit ≥ 2×).
+fn kill_points(total_ops: u64) -> Vec<u64> {
+    assert!(total_ops >= 20, "run too short to chaos-test: {total_ops}");
+    [1, 8, 12, 20, 40, 55, 70, 85, 95]
+        .iter()
+        .map(|pct_or_op| {
+            if *pct_or_op <= 1 {
+                1 // immediately after the very first submission
+            } else {
+                (total_ops * pct_or_op / 100).max(2)
+            }
+        })
+        .collect()
+}
+
+fn chaos_scheduler(name: &str) {
+    let e = experiment(8);
+    let (want, total_ops) = reference(&e, name);
+
+    let dir = tmpdir(name);
+    let mut dcfg = DurabilityConfig::new(&dir);
+    dcfg.snapshot_every_rounds = 4;
+    dcfg.keep_snapshots = 2;
+    dcfg.fsync = FsyncPolicy::EveryN(4);
+
+    let kills = kill_points(total_ops);
+    assert!(kills.len() >= 8, "need ≥8 kill points, got {}", kills.len());
+    let mut truncations = 0usize;
+    let mut snapshot_fallbacks = 0usize;
+    let mut snapshot_recoveries = 0usize;
+    for (i, &kill_at) in kills.iter().enumerate() {
+        let surgery = FLAVORS[i % FLAVORS.len()];
+        let (got, report, damaged) = chaos_run(&e, name, &dcfg, kill_at, surgery);
+        assert_eq!(
+            want, got,
+            "{name}: kill@{kill_at} {surgery:?} diverged from the uninterrupted run"
+        );
+        if report.wal_truncated_bytes.is_some() {
+            truncations += 1;
+        }
+        if report.snapshots_rejected > 0 {
+            snapshot_fallbacks += 1;
+        }
+        if report.snapshot_round.is_some() {
+            snapshot_recoveries += 1;
+        }
+        if damaged && matches!(surgery, Surgery::TornTail | Surgery::TailFlip) {
+            assert!(
+                report.wal_truncated_bytes.is_some(),
+                "{name}: kill@{kill_at} {surgery:?} damaged the tail but nothing was truncated"
+            );
+        }
+    }
+    assert!(
+        truncations >= 2,
+        "{name}: the mid-append path was never exercised"
+    );
+    assert!(
+        snapshot_fallbacks >= 1,
+        "{name}: the mid-snapshot fallback path was never exercised"
+    );
+    assert!(
+        snapshot_recoveries >= 1,
+        "{name}: no kill point recovered from a snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_recovery_is_bit_identical_mlf_h() {
+    chaos_scheduler("MLF-H");
+}
+
+#[test]
+fn chaos_recovery_is_bit_identical_mlfs() {
+    chaos_scheduler("MLFS");
+}
+
+#[test]
+fn chaos_recovery_is_bit_identical_tiresias() {
+    chaos_scheduler("Tiresias");
+}

@@ -88,6 +88,100 @@ fn overload_sheds_deterministically() {
 }
 
 #[test]
+fn overload_threshold_is_strict_at_the_boundary() {
+    // An empty cluster has overload degree exactly 0.0. The paper's
+    // shed rule is strict (`O_c^t > h_s`), so `h_s = 0.0` sits right
+    // on the boundary and must still admit...
+    let e = small_fig4(2);
+    let at_boundary = AdmissionPolicy {
+        h_s: 0.0,
+        ..AdmissionPolicy::default()
+    };
+    let mut svc = Service::new(e.sim.clone(), mlfh(&e), Some(at_boundary));
+    assert_eq!(svc.overload_degree(), 0.0);
+    assert!(svc.submit(e.jobs().remove(0)).accepted());
+
+    // ...while any threshold *below* the current degree sheds.
+    let below = AdmissionPolicy {
+        h_s: -1.0,
+        ..AdmissionPolicy::default()
+    };
+    let mut svc = Service::new(e.sim.clone(), mlfh(&e), Some(below));
+    match svc.submit(e.jobs().remove(0)) {
+        SubmitOutcome::Shed(ShedReason::Overload { degree }, _) => assert_eq!(degree, 0.0),
+        other => panic!("expected overload shed, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_backlog_policy_admits_one_then_sheds() {
+    // `max_backlog = 0` is the degenerate-but-legal config: a job is
+    // admitted only when the service is completely empty (the check
+    // is strict, and the backlog is sampled *before* the submit).
+    let e = small_fig4(4);
+    let policy = AdmissionPolicy {
+        max_backlog: 0,
+        ..AdmissionPolicy::default()
+    };
+    let mut svc = Service::new(e.sim.clone(), mlfh(&e), Some(policy));
+    let mut jobs = e.jobs().into_iter();
+    assert!(svc.submit(jobs.next().expect("job 0")).accepted());
+    match svc.submit(jobs.next().expect("job 1")) {
+        SubmitOutcome::Shed(ShedReason::Backlog { backlog: 1 }, _) => {}
+        other => panic!("expected backlog shed at depth 1, got {other:?}"),
+    }
+    // Draining empties the backlog and reopens the door.
+    svc.run_until_drained();
+    assert!(svc.submit(jobs.next().expect("job 2")).accepted());
+}
+
+#[test]
+fn snapshot_mid_burst_preserves_shed_and_accept_decisions() {
+    // Crash in the middle of an overload burst: the restored service
+    // must shed/accept the rest of the burst exactly as the
+    // uninterrupted service would — admission reads backlog and
+    // overload degree, both of which the snapshot carries.
+    let e = small_fig4(30);
+    let policy = AdmissionPolicy {
+        max_backlog: 5,
+        ..AdmissionPolicy::default()
+    };
+    let offered = e.jobs();
+    let split = 10;
+
+    let mut reference = Service::new(e.sim.clone(), mlfh(&e), Some(policy));
+    let want: Vec<SubmitOutcome> = offered
+        .iter()
+        .cloned()
+        .map(|s| reference.submit(s))
+        .collect();
+
+    let mut svc = Service::new(e.sim.clone(), mlfh(&e), Some(policy));
+    let head: Vec<SubmitOutcome> = offered
+        .iter()
+        .take(split)
+        .cloned()
+        .map(|s| svc.submit(s))
+        .collect();
+    assert_eq!(head, want[..split], "pre-crash burst must match");
+    let snap = svc.snapshot();
+    drop(svc); // the crash, mid-burst, with arrivals still pending
+    let restored_snap =
+        serde_json::from_str(&serde_json::to_string(&snap).expect("snapshot serializes"))
+            .expect("snapshot deserializes");
+    let mut svc = Service::restore(e.sim.clone(), restored_snap, mlfh(&e), Some(policy));
+    assert!(svc.pending_arrivals() > 0, "burst snapshot holds arrivals");
+    let tail: Vec<SubmitOutcome> = offered
+        .iter()
+        .skip(split)
+        .cloned()
+        .map(|s| svc.submit(s))
+        .collect();
+    assert_eq!(tail, want[split..], "post-restore burst must match");
+    assert_eq!(svc.stats().accepted, 6, "same accepts as the one-shot run");
+}
+
+#[test]
 fn duplicate_ids_are_shed() {
     let e = small_fig4(4);
     let mut svc = Service::new(e.sim.clone(), mlfh(&e), None);
