@@ -208,7 +208,12 @@ impl Cluster {
     }
 
     /// Immutable access to a server.
+    ///
+    /// Panics on a foreign id: `ServerId`s are minted by this
+    /// `Cluster` (dense `0..server_count()`), so an out-of-range id is
+    /// a cross-cluster mixup that must not be silently masked.
     pub fn server(&self, id: ServerId) -> &Server {
+        // lint:allow(panic-slice-index, deep-panic-path) reason="ServerIds are minted dense by this Cluster; an out-of-range id is a cross-cluster bug that must fail loudly, not read a wrong server"
         &self.servers[id.0 as usize]
     }
 

@@ -1,0 +1,260 @@
+//! Workspace call graph over [`crate::parse`] items, with name-based
+//! resolution and multi-source shortest-path search.
+//!
+//! Resolution is deliberately over-approximate — there is no type
+//! inference, so:
+//!
+//! * `helper(..)` / `module::helper(..)` resolves to every free fn
+//!   named `helper` plus, for qualified paths, `Owner::helper` where
+//!   the last-but-one segment names a workspace type;
+//! * `recv.helper(..)` resolves to **all** owner-having fns named
+//!   `helper` in the workspace;
+//! * `Self::helper(..)` resolves via the calling fn's owner.
+//!
+//! Over-approximation errs toward *more* findings, which is the safe
+//! direction for an analyzer whose steady state is zero findings: a
+//! spurious edge shows up as a finding to triage once, not as a
+//! silently missed panic path. Std/vendored methods simply resolve to
+//! nothing (their names don't exist in the workspace index).
+
+use crate::parse::{FnItem, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Graph node id: index into [`Graph::fns`].
+pub type FnId = usize;
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All parsed fns, in (file, line) order — deterministic.
+    pub fns: Vec<Node>,
+    /// Adjacency: caller → sorted, deduped callees.
+    pub edges: Vec<Vec<FnId>>,
+}
+
+/// One fn in the graph, with its provenance.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub file: String,
+    pub item: FnItem,
+}
+
+impl Node {
+    /// `Owner::name` or `name`, for diagnostics.
+    pub fn qualified(&self) -> String {
+        match &self.item.owner {
+            Some(o) => format!("{o}::{}", self.item.name),
+            None => self.item.name.clone(),
+        }
+    }
+}
+
+impl Graph {
+    /// Build the graph from parsed files. Files are processed in the
+    /// order given (callers should pass a sorted list); fns keep file
+    /// order so ids — and therefore all downstream reports — are
+    /// stable across runs.
+    pub fn build(files: &[ParsedFile]) -> Graph {
+        let mut g = Graph::default();
+        for pf in files {
+            for item in &pf.fns {
+                g.fns.push(Node {
+                    file: pf.file.clone(),
+                    item: item.clone(),
+                });
+            }
+        }
+
+        // Name indexes. `by_name` holds every fn; `by_owner_name`
+        // resolves qualified and `Self::` calls precisely.
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut by_owner_name: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut owners: BTreeSet<&str> = BTreeSet::new();
+        for (id, n) in g.fns.iter().enumerate() {
+            by_name.entry(&n.item.name).or_default().push(id);
+            if let Some(o) = &n.item.owner {
+                owners.insert(o);
+                by_owner_name.entry((o, &n.item.name)).or_default().push(id);
+                methods.entry(&n.item.name).or_default().push(id);
+            }
+        }
+
+        for (id, n) in g.fns.iter().enumerate() {
+            let mut out: BTreeSet<FnId> = BTreeSet::new();
+            for call in &n.item.calls {
+                let name = call.path.last().map(String::as_str).unwrap_or_default();
+                if call.method {
+                    // `recv.helper(..)`: any owner-having fn named
+                    // `helper`.
+                    if let Some(ids) = methods.get(name) {
+                        out.extend(ids.iter().copied());
+                    }
+                    continue;
+                }
+                match call.path.len() {
+                    1 => {
+                        // Unqualified: free fns and same-owner methods
+                        // share scope inside an impl, so take all.
+                        if let Some(ids) = by_name.get(name) {
+                            out.extend(ids.iter().copied());
+                        }
+                    }
+                    _ => {
+                        let qual = call.path[call.path.len() - 2].as_str();
+                        let owner = if qual == "Self" {
+                            n.item.owner.as_deref()
+                        } else {
+                            Some(qual)
+                        };
+                        match owner {
+                            Some(o) if owners.contains(o) => {
+                                if let Some(ids) = by_owner_name.get(&(o, name)) {
+                                    out.extend(ids.iter().copied());
+                                }
+                            }
+                            _ => {
+                                // `module::helper(..)` — the qualifier
+                                // is a module path, not a type: fall
+                                // back to free fns of that name.
+                                if let Some(ids) = by_name.get(name) {
+                                    out.extend(
+                                        ids.iter()
+                                            .copied()
+                                            .filter(|&i| g.fns[i].item.owner.is_none()),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out.remove(&id); // direct self-recursion adds nothing
+            g.edges.push(out.into_iter().collect());
+        }
+        g
+    }
+
+    /// Multi-source BFS from `entries`. Returns, per fn, the BFS
+    /// parent (`usize::MAX` for unreached / entry roots) and the entry
+    /// each fn was first reached from. Entry order breaks ties, so
+    /// witness chains are deterministic.
+    pub fn reach_from(&self, entries: &[FnId]) -> Reachability {
+        let mut parent = vec![usize::MAX; self.fns.len()];
+        let mut entry_of = vec![usize::MAX; self.fns.len()];
+        let mut seen = vec![false; self.fns.len()];
+        let mut q = VecDeque::new();
+        for &e in entries {
+            if !seen[e] {
+                seen[e] = true;
+                entry_of[e] = e;
+                q.push_back(e);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            for &v in &self.edges[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = u;
+                    entry_of[v] = entry_of[u];
+                    q.push_back(v);
+                }
+            }
+        }
+        Reachability {
+            parent,
+            entry_of,
+            seen,
+        }
+    }
+
+    /// Shortest witness chain entry → … → `target`, as qualified
+    /// names, using a [`Reachability`] from [`Graph::reach_from`].
+    pub fn witness(&self, r: &Reachability, target: FnId) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut cur = target;
+        loop {
+            chain.push(self.fns[cur].qualified());
+            if r.parent[cur] == usize::MAX {
+                break;
+            }
+            cur = r.parent[cur];
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Result of a multi-source BFS.
+#[derive(Debug)]
+pub struct Reachability {
+    pub parent: Vec<usize>,
+    pub entry_of: Vec<usize>,
+    pub seen: Vec<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn graph(srcs: &[(&str, &str)]) -> Graph {
+        let files: Vec<ParsedFile> = srcs.iter().map(|(f, s)| parse_file(f, s)).collect();
+        Graph::build(&files)
+    }
+
+    fn id(g: &Graph, qualified: &str) -> FnId {
+        g.fns
+            .iter()
+            .position(|n| n.qualified() == qualified)
+            .unwrap_or_else(|| panic!("no fn {qualified}"))
+    }
+
+    #[test]
+    fn free_and_qualified_calls_resolve() {
+        let g = graph(&[
+            (
+                "a.rs",
+                "fn top() { helper(); util::leaf(); }\nfn helper() { leaf(); }\n",
+            ),
+            ("b.rs", "fn leaf() {}\n"),
+        ]);
+        let top = id(&g, "top");
+        assert_eq!(g.edges[top], vec![id(&g, "helper"), id(&g, "leaf")]);
+    }
+
+    #[test]
+    fn method_calls_over_approximate() {
+        let g = graph(&[
+            (
+                "a.rs",
+                "impl Foo { fn step(&self) {} }\nimpl Bar { fn step(&self) {} }\n",
+            ),
+            ("b.rs", "fn driver(x: &Foo) { x.step(); }\n"),
+        ]);
+        let d = id(&g, "driver");
+        assert_eq!(g.edges[d].len(), 2); // both Foo::step and Bar::step
+    }
+
+    #[test]
+    fn self_calls_resolve_via_owner() {
+        let g = graph(&[(
+            "a.rs",
+            "impl Foo { fn a(&self) { Self::b(); } fn b() {} }\nimpl Bar { fn b() {} }\n",
+        )]);
+        let a = id(&g, "Foo::a");
+        assert_eq!(g.edges[a], vec![id(&g, "Foo::b")]);
+    }
+
+    #[test]
+    fn bfs_finds_shortest_witness() {
+        let g = graph(&[(
+            "a.rs",
+            "fn entry() { mid(); deep1(); }\nfn mid() { tail(); }\n\
+             fn deep1() { deep2(); }\nfn deep2() { tail(); }\nfn tail() {}\n",
+        )]);
+        let r = g.reach_from(&[id(&g, "entry")]);
+        let w = g.witness(&r, id(&g, "tail"));
+        assert_eq!(w, vec!["entry", "mid", "tail"]);
+    }
+}

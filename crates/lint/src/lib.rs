@@ -24,6 +24,9 @@
 //! immediately.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod deep;
+pub mod parse;
 pub mod policy;
 pub mod report;
 pub mod rules;
@@ -31,7 +34,9 @@ pub mod tokenizer;
 pub mod workspace;
 
 pub use baseline::Baseline;
+pub use deep::{analyze, DeepReport};
+pub use parse::{parse_file, ParsedFile};
 pub use policy::{FilePolicy, Tier};
 pub use report::{render_json, render_text};
 pub use rules::{scan_source, Finding, ScanStats};
-pub use workspace::{scan_workspace, WorkspaceReport};
+pub use workspace::{scan_workspace, scan_workspace_deep, WorkspaceReport};

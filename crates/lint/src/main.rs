@@ -1,14 +1,19 @@
 //! `mlfs-lint` CLI.
 //!
 //! ```text
-//! cargo run -p mlfs-lint --release [-- [--json] [--root DIR]
-//!     [--baseline FILE] [--write-baseline] [--strict]]
+//! cargo run -p mlfs-lint --release [-- [--json] [--deep] [--root DIR]
+//!     [--baseline FILE] [--write-baseline] [--strict] [--budget-ms N]]
 //! ```
 //!
-//! Exit codes: 0 = clean (nothing above baseline), 1 = new violations,
-//! 2 = usage or I/O error.
+//! Exit codes: 0 = clean, 1 = violations (new findings, a re-grown or
+//! stale baseline, or a blown `--budget-ms`), 2 = usage or I/O error.
+//!
+//! The baseline is **retired**: it was burned down to zero and the
+//! ratchet is now strict. Any attempt to re-grow `lint-baseline.toml`
+//! (a non-empty file) fails the run — fix the finding or argue a
+//! `lint:allow` instead.
 
-use mlfs_lint::{render_json, render_text, scan_workspace, Baseline};
+use mlfs_lint::{render_json, render_text, scan_workspace_deep, Baseline};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -20,17 +25,24 @@ struct Opts {
     write_baseline: bool,
     /// Ignore the baseline entirely: report every finding.
     strict: bool,
+    /// Run the interprocedural passes too.
+    deep: bool,
+    /// Fail if the scan takes longer than this many milliseconds.
+    budget_ms: Option<u64>,
 }
 
 fn usage() -> &'static str {
-    "usage: mlfs-lint [--json] [--root DIR] [--baseline FILE] \
-     [--write-baseline] [--strict]\n\
+    "usage: mlfs-lint [--json] [--deep] [--root DIR] [--baseline FILE] \
+     [--write-baseline] [--strict] [--budget-ms N]\n\
      \n\
      --json            emit the machine-readable report on stdout\n\
+     --deep            also run the interprocedural passes (determinism\n\
+                       taint, panic reachability, FP-reduction hazards)\n\
      --root DIR        workspace root (default: auto-detected)\n\
      --baseline FILE   baseline file (default: <root>/lint-baseline.toml)\n\
      --write-baseline  accept all current findings into the baseline\n\
-     --strict          ignore the baseline; report every finding"
+     --strict          ignore the baseline; report every finding\n\
+     --budget-ms N     fail (exit 1) if the scan exceeds N milliseconds"
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -46,6 +58,8 @@ fn parse_opts() -> Result<Opts, String> {
         json: false,
         write_baseline: false,
         strict: false,
+        deep: false,
+        budget_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,6 +67,11 @@ fn parse_opts() -> Result<Opts, String> {
             "--json" => opts.json = true,
             "--write-baseline" => opts.write_baseline = true,
             "--strict" => opts.strict = true,
+            "--deep" => opts.deep = true,
+            "--budget-ms" => {
+                let v = args.next().ok_or("--budget-ms needs a value")?;
+                opts.budget_ms = Some(v.parse().map_err(|_| "--budget-ms needs an integer")?);
+            }
             "--root" => {
                 opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
             }
@@ -83,7 +102,7 @@ fn run() -> Result<bool, String> {
         Baseline::empty()
     };
 
-    let report = scan_workspace(&opts.root, &baseline)
+    let report = scan_workspace_deep(&opts.root, &baseline, opts.deep)
         .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
 
     if opts.write_baseline {
@@ -104,12 +123,42 @@ fn run() -> Result<bool, String> {
     } else {
         print!("{}", render_text(&report));
     }
+
+    // Strict ratchet: the baseline was burned down to zero, so any
+    // committed entry (re-growth) or stale entry fails the run.
+    let mut ok = report.is_clean();
+    if !opts.strict && !baseline.counts.is_empty() {
+        eprintln!(
+            "mlfs-lint: error: the baseline is retired — {} has {} entr(y/ies); \
+             fix the findings or use an argued lint:allow instead of re-growing it",
+            opts.baseline_path.display(),
+            baseline.counts.len()
+        );
+        ok = false;
+    }
+    if !report.stale.is_empty() {
+        eprintln!(
+            "mlfs-lint: error: {} stale baseline entr(y/ies) — regenerate with \
+             --write-baseline",
+            report.stale.len()
+        );
+        ok = false;
+    }
+    let elapsed = started.elapsed();
     eprintln!(
         "mlfs-lint: scanned {} files in {:.0?}",
-        report.files_scanned,
-        started.elapsed()
+        report.files_scanned, elapsed
     );
-    Ok(report.is_clean())
+    if let Some(budget) = opts.budget_ms {
+        if elapsed.as_millis() > u128::from(budget) {
+            eprintln!(
+                "mlfs-lint: error: scan took {:.0?}, over the {budget} ms budget",
+                elapsed
+            );
+            ok = false;
+        }
+    }
+    Ok(ok)
 }
 
 fn main() -> ExitCode {

@@ -32,11 +32,11 @@ pub fn render_text(report: &WorkspaceReport) -> String {
              {found} remain) — regenerate with --write-baseline to ratchet down"
         );
     }
-    for (line, rules) in &report.stats.allows_unused {
+    for (file, line, rules) in &report.stats.allows_unused {
         let _ = writeln!(
             out,
-            "note: unused lint:allow({rules}) at line {line} suppresses nothing \
-             — remove it"
+            "note: unused lint:allow({rules}) at {file}:{line} suppresses \
+             nothing — remove it"
         );
     }
     let allows_fired: usize = report.stats.allows_used.values().sum();
@@ -50,6 +50,18 @@ pub fn render_text(report: &WorkspaceReport) -> String {
         report.stats.allows_total,
         allows_fired,
     );
+    if let Some(deep) = &report.deep {
+        let _ = writeln!(
+            out,
+            "mlfs-lint: deep scan: {} fns, {} edges, {} entry points, \
+             {} finding(s), {} suppressed by lint:allow",
+            deep.fn_count,
+            deep.edge_count,
+            deep.entry_count,
+            deep.findings.len(),
+            deep.suppressed,
+        );
+    }
     if report.is_clean() {
         let _ = writeln!(out, "mlfs-lint: clean (no violations above baseline)");
     }
@@ -90,13 +102,69 @@ pub fn render_json(report: &WorkspaceReport) -> String {
     }
     out.push_str("},\n");
     out.push_str("    \"unused\": [");
-    for (i, (line, rules)) in report.stats.allows_unused.iter().enumerate() {
+    for (i, (file, line, rules)) in report.stats.allows_unused.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
-        let _ = write!(out, "{{\"line\": {line}, \"rules\": {}}}", json_str(rules));
+        let _ = write!(
+            out,
+            "{{\"file\": {}, \"line\": {line}, \"rules\": {}}}",
+            json_str(file),
+            json_str(rules)
+        );
     }
-    out.push_str("]\n  }\n}\n");
+    match &report.deep {
+        None => out.push_str("]\n  }\n}\n"),
+        Some(deep) => {
+            out.push_str("]\n  },\n");
+            out.push_str("  \"deep\": {\n");
+            let _ = writeln!(out, "    \"fns\": {},", deep.fn_count);
+            let _ = writeln!(out, "    \"edges\": {},", deep.edge_count);
+            let _ = writeln!(out, "    \"entries\": {},", deep.entry_count);
+            let _ = writeln!(out, "    \"suppressed\": {},", deep.suppressed);
+            out.push_str("    \"rules\": {\n");
+            // Per-rule arrays, fixed key order — empty arrays are kept
+            // so CI diffs stay structurally stable.
+            const DEEP_RULES: &[&str] = &[
+                "deep-det-taint",
+                "deep-panic-path",
+                "deep-fp-reduction",
+                "lint-seam-unattached",
+            ];
+            for (ri, rule) in DEEP_RULES.iter().enumerate() {
+                let _ = write!(out, "      {}: [", json_str(rule));
+                let mut first = true;
+                for (f, d) in deep.findings.iter().filter(|(f, _)| f.rule == *rule) {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    let _ = write!(
+                        out,
+                        "{{\"file\": {}, \"line\": {}, \"col\": {}, \
+                         \"entry\": {}, \"chain\": [",
+                        json_str(&f.file),
+                        f.line,
+                        f.col,
+                        json_str(&d.entry),
+                    );
+                    for (ci, link) in d.chain.iter().enumerate() {
+                        if ci > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&json_str(link));
+                    }
+                    let _ = write!(out, "], \"message\": {}}}", json_str(&f.message));
+                }
+                out.push_str(if ri + 1 < DEEP_RULES.len() {
+                    "],\n"
+                } else {
+                    "]\n"
+                });
+            }
+            out.push_str("    }\n  }\n}\n");
+        }
+    }
     out
 }
 

@@ -20,9 +20,14 @@ pub const ALL_RULES: &[&str] = &[
     // Config rules.
     "cfg-std-time",
     "cfg-registry-dep",
+    // Interprocedural rules (`--deep` mode; see crate::deep).
+    "deep-det-taint",
+    "deep-panic-path",
+    "deep-fp-reduction",
     // Meta rules (violations of the escape hatch itself).
     "lint-allow-missing-reason",
     "lint-allow-unknown-rule",
+    "lint-seam-unattached",
 ];
 
 /// One diagnostic.
@@ -43,8 +48,12 @@ pub struct ScanStats {
     pub allows_total: usize,
     /// Suppressions that actually fired, per rule.
     pub allows_used: BTreeMap<String, usize>,
-    /// `(line, rule)` of annotations that suppressed nothing.
-    pub allows_unused: Vec<(u32, String)>,
+    /// `(file, line, rules)` of annotations that suppressed nothing.
+    /// The deep pass may still claim one of these (a `lint:allow` on a
+    /// taint source suppresses the interprocedural finding too), so
+    /// the workspace scan — not this per-file pass — has the final
+    /// word on which allows are genuinely dead.
+    pub allows_unused: Vec<(String, u32, String)>,
 }
 
 impl ScanStats {
@@ -58,22 +67,25 @@ impl ScanStats {
     }
 }
 
-struct Allow {
-    rules: Vec<String>,
-    has_reason: bool,
+/// One `lint:allow(..)` or `lint:seam(..)` annotation, resolved to the
+/// code line it targets.
+#[derive(Debug, Clone)]
+pub struct Mark {
+    pub rules: Vec<String>,
+    pub has_reason: bool,
     /// Line the annotation applies to (own line for trailing comments,
     /// next code line for standalone ones).
-    target_line: u32,
+    pub target_line: u32,
     /// Line of the comment itself (for meta diagnostics).
-    at_line: u32,
-    used: bool,
+    pub at_line: u32,
 }
 
 /// Scan one source file under `policy`. Returns diagnostics plus
 /// escape-hatch statistics.
 pub fn scan_source(file: &str, src: &str, policy: FilePolicy) -> (Vec<Finding>, ScanStats) {
     let stream = tokenize(src);
-    let mut allows = collect_allows(&stream.comments, &stream.tokens);
+    let allows = collect_marks(&stream.comments, &stream.tokens, "lint:allow(");
+    let mut used = vec![false; allows.len()];
     let toks = non_test_tokens(&stream.tokens);
     let uses = use_ranges(&toks);
 
@@ -93,9 +105,9 @@ pub fn scan_source(file: &str, src: &str, policy: FilePolicy) -> (Vec<Finding>, 
     };
     for f in raw {
         let mut suppressed = false;
-        for a in allows.iter_mut() {
+        for (a, u) in allows.iter().zip(used.iter_mut()) {
             if a.target_line == f.line && a.rules.iter().any(|r| r == f.rule) {
-                a.used = true;
+                *u = true;
                 *stats.allows_used.entry(f.rule.to_string()).or_insert(0) += 1;
                 suppressed = true;
                 break;
@@ -113,31 +125,39 @@ pub fn scan_source(file: &str, src: &str, policy: FilePolicy) -> (Vec<Finding>, 
     if policy == FilePolicy::NONE {
         return (findings, ScanStats::default());
     }
-    for a in &allows {
-        for r in &a.rules {
-            if !ALL_RULES.contains(&r.as_str()) {
+    let seams = collect_marks(&stream.comments, &stream.tokens, "lint:seam(");
+    for (kind, marks) in [("lint:allow", &allows), ("lint:seam", &seams)] {
+        for a in marks {
+            for r in &a.rules {
+                if !ALL_RULES.contains(&r.as_str()) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: a.at_line,
+                        col: 1,
+                        rule: "lint-allow-unknown-rule",
+                        message: format!("{kind} names unknown rule `{r}`"),
+                    });
+                }
+            }
+            if !a.has_reason {
                 findings.push(Finding {
                     file: file.to_string(),
                     line: a.at_line,
                     col: 1,
-                    rule: "lint-allow-unknown-rule",
-                    message: format!("lint:allow names unknown rule `{r}`"),
+                    rule: "lint-allow-missing-reason",
+                    message: format!(
+                        "{kind} requires reason=\"...\" explaining why the \
+                         exception is sound"
+                    ),
                 });
             }
         }
-        if !a.has_reason {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: a.at_line,
-                col: 1,
-                rule: "lint-allow-missing-reason",
-                message: "lint:allow requires reason=\"...\" explaining why the \
-                          exception is sound"
-                    .to_string(),
-            });
-        }
-        if !a.used {
-            stats.allows_unused.push((a.at_line, a.rules.join(",")));
+    }
+    for (a, u) in allows.iter().zip(&used) {
+        if !u {
+            stats
+                .allows_unused
+                .push((file.to_string(), a.at_line, a.rules.join(",")));
         }
     }
 
@@ -145,15 +165,20 @@ pub fn scan_source(file: &str, src: &str, policy: FilePolicy) -> (Vec<Finding>, 
     (findings, stats)
 }
 
-/// Parse `lint:allow(rule-a, rule-b) reason="..."` annotations out of
-/// comments and resolve the line each one targets.
-fn collect_allows(comments: &[crate::tokenizer::Comment], tokens: &[Tok]) -> Vec<Allow> {
+/// Parse `lint:allow(rule-a, rule-b) reason="..."` (or `lint:seam(..)`)
+/// annotations out of comments and resolve the line each one targets.
+/// `key` is the annotation head including its `(`.
+pub(crate) fn collect_marks(
+    comments: &[crate::tokenizer::Comment],
+    tokens: &[Tok],
+    key: &str,
+) -> Vec<Mark> {
     let mut out = Vec::new();
     for c in comments {
-        let Some(start) = c.text.find("lint:allow(") else {
+        let Some(start) = c.text.find(key) else {
             continue;
         };
-        let after = &c.text[start + "lint:allow(".len()..];
+        let after = &c.text[start + key.len()..];
         let Some(close) = after.find(')') else {
             continue;
         };
@@ -179,22 +204,27 @@ fn collect_allows(comments: &[crate::tokenizer::Comment], tokens: &[Tok]) -> Vec
         } else {
             c.line
         };
-        out.push(Allow {
+        out.push(Mark {
             rules,
             has_reason,
             target_line,
             at_line: c.line,
-            used: false,
         });
     }
     out
+}
+
+/// `lint:seam(<rule>) reason="..."` marks the next `fn` as a sanctioned
+/// boundary for the named deep rules (see [`crate::deep`]).
+pub(crate) fn collect_seams(comments: &[crate::tokenizer::Comment], tokens: &[Tok]) -> Vec<Mark> {
+    collect_marks(comments, tokens, "lint:seam(")
 }
 
 /// Drop tokens belonging to test-only items: any item annotated
 /// `#[test]` or `#[cfg(test)]` (typically the `mod tests { … }`
 /// block). Inner attributes (`#![…]`) and `#[cfg(not(test))]` /
 /// `#[cfg_attr(…)]` do not gate items out.
-fn non_test_tokens(tokens: &[Tok]) -> Vec<Tok> {
+pub(crate) fn non_test_tokens(tokens: &[Tok]) -> Vec<Tok> {
     let mut keep = vec![true; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -326,7 +356,7 @@ fn mk(file: &str, t: &Tok, rule: &'static str, message: String) -> Finding {
     }
 }
 
-const AMBIENT_RNG: &[&str] = &[
+pub(crate) const AMBIENT_RNG: &[&str] = &[
     "thread_rng",
     "ThreadRng",
     "OsRng",
@@ -460,7 +490,7 @@ fn float_ord_finding(file: &str, toks: &[Tok], i: usize) -> Option<Finding> {
 
 /// Rust keywords that can directly precede `[` without forming an
 /// index expression (slice patterns, `for x in [..]`, …).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "break", "continue",
     "while", "loop", "for", "where", "use", "pub", "crate", "dyn", "impl", "fn", "unsafe",
     "static", "const", "enum", "struct", "trait", "type", "mod", "await", "yield", "box", "do",

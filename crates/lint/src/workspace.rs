@@ -2,7 +2,9 @@
 //! the per-file tier policy, and reconcile findings with the baseline.
 
 use crate::baseline::{baseline_key, Baseline};
-use crate::policy::policy_for;
+use crate::deep::{analyze, DeepDetail};
+use crate::parse::parse_file;
+use crate::policy::{policy_for, FilePolicy};
 use crate::rules::{scan_source, Finding, ScanStats};
 use std::collections::BTreeMap;
 use std::fs;
@@ -30,6 +32,23 @@ pub struct WorkspaceReport {
     pub baselined: usize,
     /// Merged `lint:allow` escape-hatch statistics.
     pub stats: ScanStats,
+    /// Present when the scan ran in `--deep` mode.
+    pub deep: Option<DeepSummary>,
+}
+
+/// Interprocedural-pass summary attached to a deep scan. Deep findings
+/// also flow into [`WorkspaceReport::findings`] (and through the same
+/// baseline reconciliation as local findings); this keeps the witness
+/// details for the JSON report.
+#[derive(Debug, Default)]
+pub struct DeepSummary {
+    /// Deep findings paired with their witness chains.
+    pub findings: Vec<(Finding, DeepDetail)>,
+    /// Deep findings suppressed by a seed-line `lint:allow`.
+    pub suppressed: usize,
+    pub fn_count: usize,
+    pub edge_count: usize,
+    pub entry_count: usize,
 }
 
 impl WorkspaceReport {
@@ -41,11 +60,24 @@ impl WorkspaceReport {
 
 /// Scan the workspace rooted at `root` and reconcile with `baseline`.
 pub fn scan_workspace(root: &Path, baseline: &Baseline) -> io::Result<WorkspaceReport> {
+    scan_workspace_deep(root, baseline, false)
+}
+
+/// Like [`scan_workspace`], optionally running the interprocedural
+/// `--deep` passes ([`crate::deep`]) over tier-crate library code.
+/// Deep findings are reconciled against the baseline exactly like
+/// local findings.
+pub fn scan_workspace_deep(
+    root: &Path,
+    baseline: &Baseline,
+    deep: bool,
+) -> io::Result<WorkspaceReport> {
     let mut files = Vec::new();
     collect_files(root, root, &mut files)?;
     files.sort(); // deterministic report order regardless of readdir order
 
     let mut report = WorkspaceReport::default();
+    let mut parsed = Vec::new();
     for rel in &files {
         let text = fs::read_to_string(root.join(rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
@@ -56,7 +88,44 @@ pub fn scan_workspace(root: &Path, baseline: &Baseline) -> io::Result<WorkspaceR
             let (findings, stats) = scan_source(&rel_str, &text, policy_for(&rel_str));
             report.findings.extend(findings);
             report.stats.merge(&stats);
+            // The call graph spans exactly the tier-crate library code
+            // the local rules police — bins/tests/benches and non-tier
+            // crates contribute neither entries nor seeds.
+            if deep && policy_for(&rel_str) != FilePolicy::NONE {
+                parsed.push(parse_file(&rel_str, &text));
+            }
         }
+    }
+
+    if deep {
+        let dr = analyze(&parsed);
+        // A `lint:allow` the deep pass consumed is not unused, even if
+        // no local rule fired on its line; credit it per deep rule.
+        for (file, at_line, rule) in &dr.allows_used {
+            let before = report.stats.allows_unused.len();
+            report
+                .stats
+                .allows_unused
+                .retain(|(f, l, _)| !(f == file && l == at_line));
+            if report.stats.allows_unused.len() < before {
+                *report
+                    .stats
+                    .allows_used
+                    .entry(rule.to_string())
+                    .or_insert(0) += 1;
+            }
+        }
+        report.findings.extend(dr.findings.iter().cloned());
+        report.deep = Some(DeepSummary {
+            findings: dr.findings.into_iter().zip(dr.details).collect(),
+            suppressed: dr.suppressed,
+            fn_count: dr.fn_count,
+            edge_count: dr.edge_count,
+            entry_count: dr.entry_count,
+        });
+        report.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
     }
 
     // Group by (file, rule) and compare counts against the baseline.

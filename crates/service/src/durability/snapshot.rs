@@ -111,6 +111,14 @@ fn parse_header(header: &str, body: &str) -> Option<(u64, u64)> {
 /// All complete snapshots in `dir`, newest round first. `.tmp`
 /// leftovers and unrelated files are skipped; validation happens at
 /// load time, not here.
+///
+/// This is a sanctioned determinism seam: `read_dir` yields entries in
+/// OS-dependent order, but the result is sorted by round (descending,
+/// rounds unique per file name) before returning, so every caller —
+/// recovery's newest-first fallback walk, retention — observes a
+/// fully deterministic sequence. Pinned by
+/// `list_snapshots_order_is_deterministic` in the recovery tests.
+// lint:seam(deep-det-taint) reason="read_dir order is discarded: results are sorted by unique round key before return"
 pub fn list_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
     let entries = match fs::read_dir(dir) {

@@ -246,6 +246,43 @@ fn snapshot_write_load_roundtrip_and_tmp_files_are_ignored() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Pins the `lint:seam(deep-det-taint)` on `list_snapshots`: the fn
+/// reads `fs::read_dir` (OS-dependent iteration order), which the
+/// deep determinism-taint pass would flag on the recovery path — the
+/// seam is sound only because the result is sorted by a unique key
+/// before returning. Create files in several scrambled orders (so the
+/// directory's physical order varies) and assert the listing is
+/// always the same strictly-descending round sequence.
+#[test]
+fn list_snapshots_order_is_deterministic() {
+    let rounds: &[u64] = &[7, 400, 31, 1, 250, 99];
+    let mut expected: Vec<u64> = rounds.to_vec();
+    expected.sort_by_key(|&r| std::cmp::Reverse(r));
+    for (i, perm) in [
+        vec![7u64, 400, 31, 1, 250, 99],
+        vec![99, 250, 1, 31, 400, 7],
+        vec![250, 7, 99, 400, 1, 31],
+    ]
+    .iter()
+    .enumerate()
+    {
+        let dir = tmpdir(&format!("snaporder{i}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for &round in perm {
+            write_snapshot(&dir, round, round, "{}").expect("write");
+        }
+        for _ in 0..3 {
+            let got: Vec<u64> = list_snapshots(&dir)
+                .expect("list")
+                .iter()
+                .map(|(r, _)| *r)
+                .collect();
+            assert_eq!(got, expected, "creation order {perm:?} must not leak");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn snapshot_with_flipped_body_byte_fails_validation() {
     let dir = tmpdir("snapcrc");

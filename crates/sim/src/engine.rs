@@ -794,7 +794,9 @@ impl Simulation {
                 if r.iters_per_sec <= 0.0 {
                     continue;
                 }
-                let j = &self.jobs[id];
+                let Some(j) = self.jobs.get(id) else {
+                    continue;
+                };
                 let remaining = j.spec.max_iterations as f64 - j.iterations;
                 if remaining <= 0.0 {
                     continue;
@@ -804,8 +806,8 @@ impl Simulation {
                     t_next = t_c;
                 }
             }
-            if self.next_arrival < self.pending.len() {
-                let a = self.pending[self.next_arrival].arrival;
+            if let Some(p) = self.pending.get(self.next_arrival) {
+                let a = p.arrival;
                 if a > t && a < t_next {
                     t_next = a;
                 }
@@ -836,7 +838,7 @@ impl Simulation {
                     .iter()
                     .enumerate()
                     .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
-                    .map(|(i, _)| j.spec.tasks[i].gpu_share)
+                    .filter_map(|(i, _)| j.spec.tasks.get(i).map(|t| t.gpu_share))
                     .sum();
                 self.metrics.gpu_hours_total += gpu_share * dt_secs / 3600.0;
                 if r.iters_per_sec > 0.0 {
@@ -1052,9 +1054,11 @@ impl Simulation {
 
     /// Admit every pending job with `arrival ≤ t`.
     fn admit_arrivals(&mut self, t: SimTime) {
-        while self.next_arrival < self.pending.len() && self.pending[self.next_arrival].arrival <= t
-        {
-            let spec = self.pending[self.next_arrival].clone();
+        while let Some(next) = self.pending.get(self.next_arrival) {
+            if next.arrival > t {
+                break;
+            }
+            let spec = next.clone();
             self.next_arrival += 1;
             let id = spec.id;
             let state = JobState::new(spec, t);
@@ -1130,10 +1134,9 @@ impl Simulation {
                         .get(&task.job)
                         .map(|j| {
                             !j.is_finished()
-                                && (task.idx as usize) < j.spec.task_count()
                                 && matches!(
-                                    j.task_states[task.idx as usize],
-                                    TaskRunState::Waiting { .. }
+                                    j.task_states.get(task.idx as usize),
+                                    Some(TaskRunState::Waiting { .. })
                                 )
                         })
                         .unwrap_or(false)
@@ -1156,9 +1159,12 @@ impl Simulation {
                     match self.cluster.place(task, server, demand, gpu_share) {
                         Ok(gpu) => {
                             self.tracer.add(obs::Counter::Placements, 1);
-                            if let Some(j) = self.jobs.get_mut(&task.job) {
-                                j.task_states[task.idx as usize] =
-                                    TaskRunState::Running { server, gpu };
+                            if let Some(st) = self
+                                .jobs
+                                .get_mut(&task.job)
+                                .and_then(|j| j.task_states.get_mut(task.idx as usize))
+                            {
+                                *st = TaskRunState::Running { server, gpu };
                             }
                             match self.cfg.engine {
                                 EngineMode::Naive => self.queue.retain(|t| *t != task),
@@ -1183,8 +1189,8 @@ impl Simulation {
                         .map(|j| {
                             !j.is_finished()
                                 && matches!(
-                                    j.task_states[task.idx as usize],
-                                    TaskRunState::Running { .. }
+                                    j.task_states.get(task.idx as usize),
+                                    Some(TaskRunState::Running { .. })
                                 )
                         })
                         .unwrap_or(false)
@@ -1204,9 +1210,12 @@ impl Simulation {
                     match self.cluster.migrate(task, to, state_mb) {
                         Ok(gpu) => {
                             self.tracer.add(obs::Counter::Migrations, 1);
-                            if let Some(j) = self.jobs.get_mut(&task.job) {
-                                j.task_states[task.idx as usize] =
-                                    TaskRunState::Running { server: to, gpu };
+                            if let Some(st) = self
+                                .jobs
+                                .get_mut(&task.job)
+                                .and_then(|j| j.task_states.get_mut(task.idx as usize))
+                            {
+                                *st = TaskRunState::Running { server: to, gpu };
                             }
                             self.stragglers.remove(&task);
                             if was_remote {
@@ -1223,8 +1232,8 @@ impl Simulation {
                         .map(|j| {
                             !j.is_finished()
                                 && matches!(
-                                    j.task_states[task.idx as usize],
-                                    TaskRunState::Running { .. }
+                                    j.task_states.get(task.idx as usize),
+                                    Some(TaskRunState::Running { .. })
                                 )
                         })
                         .unwrap_or(false);
@@ -1264,9 +1273,12 @@ impl Simulation {
                     self.flush_queue_tombstones();
                     self.cluster.remove(task);
                     self.stragglers.remove(&task);
-                    if let Some(j) = self.jobs.get_mut(&task.job) {
-                        j.task_states[task.idx as usize] =
-                            TaskRunState::Waiting { since: self.now };
+                    if let Some(st) = self
+                        .jobs
+                        .get_mut(&task.job)
+                        .and_then(|j| j.task_states.get_mut(task.idx as usize))
+                    {
+                        *st = TaskRunState::Waiting { since: self.now };
                     }
                     self.queue.push(task);
                     self.sync_job_sets(task.job);
@@ -1329,7 +1341,8 @@ impl Simulation {
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| matches!(s, TaskRunState::Running { .. }))
-                .map(|(i, _)| {
+                .filter_map(|(i, _)| {
+                    let spec = j.spec.tasks.get(i)?;
                     let task = TaskId::new(id, i as u16);
                     // Deterministic per-task oscillation: hash the
                     // id into a phase and a 20–60 min period.
@@ -1340,12 +1353,11 @@ impl Simulation {
                     let period = 20.0 + (h / 1000 % 41) as f64;
                     let factor =
                         1.0 + amp * (2.0 * std::f64::consts::PI * (t_mins / period + phase)).sin();
-                    let spec = &j.spec.tasks[i];
-                    (
+                    Some((
                         task,
                         spec.demand * factor,
                         (spec.gpu_share * factor).min(1.0),
-                    )
+                    ))
                 })
                 .collect::<Vec<_>>()
         };
@@ -1399,10 +1411,10 @@ impl Simulation {
             });
         }
         // Trace-driven crashes due this round.
-        while self.next_scheduled_fault < fc.schedule.len()
-            && fc.schedule[self.next_scheduled_fault].at <= self.now
-        {
-            let ev = fc.schedule[self.next_scheduled_fault];
+        while let Some(&ev) = fc.schedule.get(self.next_scheduled_fault) {
+            if ev.at > self.now {
+                break;
+            }
             self.next_scheduled_fault += 1;
             self.crash_server(ev.server, self.now + ev.down_for, fc.checkpoint_iters);
         }
@@ -1461,7 +1473,9 @@ impl Simulation {
                 continue;
             };
             debug_assert!(!job.is_finished(), "finished job still placed");
-            job.task_states[t.idx as usize] = TaskRunState::Waiting { since: self.now };
+            if let Some(st) = job.task_states.get_mut(t.idx as usize) {
+                *st = TaskRunState::Waiting { since: self.now };
+            }
             self.queue.push(*t);
             self.stragglers.remove(t);
             self.tracer.add(obs::Counter::Requeues, 1);
@@ -1500,7 +1514,9 @@ impl Simulation {
             // (e.g. a worker of an all-reduce gang died), release
             // them to the queue so the scheduler can re-place the
             // gang atomically instead of letting it stall in place.
-            let job = &self.jobs[&id];
+            let Some(job) = self.jobs.get(&id) else {
+                continue;
+            };
             if job.running_tasks() > 0
                 && job_rate(job, &self.cluster, self.cfg.progress).iters_per_sec <= 0.0
             {
@@ -1514,8 +1530,12 @@ impl Simulation {
                 for t in suspend {
                     self.cluster.remove(t);
                     self.stragglers.remove(&t);
-                    if let Some(j) = self.jobs.get_mut(&id) {
-                        j.task_states[t.idx as usize] = TaskRunState::Waiting { since: self.now };
+                    if let Some(st) = self
+                        .jobs
+                        .get_mut(&id)
+                        .and_then(|j| j.task_states.get_mut(t.idx as usize))
+                    {
+                        *st = TaskRunState::Waiting { since: self.now };
                     }
                     self.queue.push(t);
                     self.tracer.add(obs::Counter::Requeues, 1);
