@@ -22,6 +22,12 @@ use workload::JobState;
 /// Dimensionality of a candidate feature vector.
 pub const FEATURE_DIM: usize = 21;
 
+/// Index of the heuristic-pick flag (the dimension marking MLF-H's
+/// RIAL choice). Offline pipelines mask this teacher hint during
+/// pretraining so the student learns the rule, not the answer — see
+/// `rl::PretrainConfig::mask_dims`.
+pub const HEURISTIC_PICK_DIM: usize = 12;
+
 /// Squash a non-negative quantity into [0, 1): `x / (1 + x)`.
 fn squash(x: f64) -> f64 {
     let x = x.max(0.0);

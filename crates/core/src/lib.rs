@@ -57,7 +57,7 @@ pub use blacklist::ServerBlacklist;
 pub use composite::{Mlfs, MlfsConfig, MlfsVariant};
 pub use mlfc::MlfC;
 pub use mlfh::MlfH;
-pub use mlfrl::{MlfRl, MlfRlConfig};
+pub use mlfrl::{DriftRetrainConfig, MlfRl, MlfRlConfig};
 pub use params::Params;
 pub use scheduler::{
     state_from_json, state_to_json, Action, RewardComponents, Scheduler, SchedulerContext,

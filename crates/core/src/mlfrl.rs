@@ -26,10 +26,33 @@ use crate::scheduler::{
 };
 use cluster::{ClusterOverlay, ClusterView, ServerId, TaskId};
 use rl::{
-    Convergence, FeatureBatch, ReinforceTrainer, ScoringPolicy, Step, TrainerConfig, TrainerState,
+    Convergence, DriftConfig, DriftMonitor, FeatureBatch, ReinforceTrainer, ScoringPolicy, Step,
+    TrainerConfig, TrainerState,
 };
 use serde::{Deserialize, Serialize};
 use simcore::SimRng;
+
+/// Continuous-retraining policy: when the [`DriftMonitor`] flags that
+/// online reward has fallen below its long-run level, the scheduler
+/// re-enters an imitation window against its inner MLF-H teacher for
+/// `retrain_rounds` rounds, retraining the policy on the *current*
+/// workload distribution (docs/TRAINING.md).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DriftRetrainConfig {
+    /// Reward-EMA drift detector tuning.
+    pub monitor: DriftConfig,
+    /// Length of the imitation window opened on each trigger.
+    pub retrain_rounds: usize,
+}
+
+impl Default for DriftRetrainConfig {
+    fn default() -> Self {
+        DriftRetrainConfig {
+            monitor: DriftConfig::default(),
+            retrain_rounds: 60,
+        }
+    }
+}
 
 /// MLF-RL hyperparameters.
 #[derive(Debug, Clone)]
@@ -51,6 +74,21 @@ pub struct MlfRlConfig {
     pub explore: bool,
     /// RNG seed for the policy init and sampling.
     pub seed: u64,
+    /// Online learning master switch. `false` freezes the policy
+    /// completely: no REINFORCE updates, no imitation minibatches, no
+    /// drift retraining — the evaluation mode for a warm-started
+    /// policy (`rl::warm_start` + [`MlfRl::import_policy`]).
+    pub online_training: bool,
+    /// Continuous retraining under workload drift (`None` = off, the
+    /// pre-drift behavior, bit-identical to earlier releases).
+    pub drift: Option<DriftRetrainConfig>,
+    /// Convergence detector: relative return-EMA change below this
+    /// tolerance counts as stable (§3.4's "well trained"). Tune to the
+    /// workload's episode-return noise floor — a tolerance below the
+    /// per-episode noise means the detector never fires.
+    pub convergence_tol: f64,
+    /// Consecutive stable episodes required before `is_converged`.
+    pub convergence_window: usize,
 }
 
 impl Default for MlfRlConfig {
@@ -63,6 +101,10 @@ impl Default for MlfRlConfig {
             trainer: TrainerConfig::default(),
             explore: true,
             seed: 0xA11CE,
+            online_training: true,
+            drift: None,
+            convergence_tol: 0.02,
+            convergence_window: 10,
         }
     }
 }
@@ -105,6 +147,11 @@ pub(crate) struct MlfRlState {
     blacklist: ServerBlacklist,
     explore: bool,
     imitation_rounds: u64,
+    /// Drift-retraining state (absent in pre-drift snapshots; the
+    /// vendored serde maps a missing `Option` to `None`).
+    drift_monitor: Option<DriftMonitor>,
+    imitation_until: u64,
+    retrains: u64,
 }
 
 /// The MLF-RL scheduler.
@@ -132,6 +179,14 @@ pub struct MlfRl {
     blacklist: ServerBlacklist,
     /// Telemetry hub (attached by the engine; `None` in bare use).
     tracer: Option<std::sync::Arc<obs::Tracer>>,
+    /// Online reward drift detector (present iff `cfg.drift` is set).
+    drift_monitor: Option<DriftMonitor>,
+    /// Drift retraining keeps imitating until this round (0 = no
+    /// active window; independent of the initial `imitation_rounds`
+    /// budget).
+    imitation_until: usize,
+    /// Completed drift-retraining windows.
+    retrains: usize,
 }
 
 impl MlfRl {
@@ -144,7 +199,7 @@ impl MlfRl {
             params,
             inner_h: MlfH::new(params),
             trainer,
-            convergence: Convergence::new(0.02, 10),
+            convergence: Convergence::new(cfg.convergence_tol, cfg.convergence_window),
             rng,
             rounds: 0,
             pending: Vec::new(),
@@ -154,6 +209,9 @@ impl MlfRl {
             scratch: RlScratch::default(),
             blacklist: ServerBlacklist::default(),
             tracer: None,
+            drift_monitor: cfg.drift.map(|d| DriftMonitor::new(d.monitor)),
+            imitation_until: 0,
+            retrains: 0,
             cfg,
         }
     }
@@ -173,6 +231,9 @@ impl MlfRl {
             blacklist: self.blacklist.clone(),
             explore: self.cfg.explore,
             imitation_rounds: self.cfg.imitation_rounds as u64,
+            drift_monitor: self.drift_monitor.clone(),
+            imitation_until: self.imitation_until as u64,
+            retrains: self.retrains as u64,
         }
     }
 
@@ -191,6 +252,9 @@ impl MlfRl {
         self.blacklist = st.blacklist;
         self.cfg.explore = st.explore;
         self.cfg.imitation_rounds = st.imitation_rounds as usize;
+        self.drift_monitor = st.drift_monitor;
+        self.imitation_until = st.imitation_until as usize;
+        self.retrains = st.retrains as usize;
         self.scratch = RlScratch::default();
     }
 
@@ -211,9 +275,15 @@ impl MlfRl {
         }
     }
 
-    /// Still copying MLF-H?
+    /// Still copying MLF-H? True during the initial imitation budget
+    /// and inside any drift-triggered retraining window.
     pub fn in_imitation_phase(&self) -> bool {
-        self.rounds < self.cfg.imitation_rounds
+        self.rounds < self.cfg.imitation_rounds || self.rounds < self.imitation_until
+    }
+
+    /// Completed drift-retraining windows (0 when drift is off).
+    pub fn retrains(&self) -> usize {
+        self.retrains
     }
 
     /// Snapshot the trained policy (for transfer into an evaluation
@@ -237,6 +307,17 @@ impl MlfRl {
     /// Has the return EMA stabilised (§3.4's "well trained")?
     pub fn is_converged(&self) -> bool {
         self.convergence.is_converged()
+    }
+
+    /// Current return EMA of the convergence detector, if any episode
+    /// has been trained yet (convergence diagnostics for benches).
+    pub fn convergence_ema(&self) -> Option<f64> {
+        self.convergence.ema()
+    }
+
+    /// REINFORCE episodes trained so far.
+    pub fn episodes_trained(&self) -> usize {
+        self.episodes_trained
     }
 
     /// Fraction of buffered MLF-H decisions the current policy would
@@ -371,6 +452,22 @@ impl MlfRl {
             );
             if let Some(t) = self.tracer.as_deref() {
                 t.add(obs::Counter::CandidatesScored, feats.rows() as u64);
+                // The training substrate: every teacher decision goes
+                // to the trace with its full candidate matrix, so an
+                // offline dataset can be replayed from the JSONL file
+                // (rl::DatasetBuilder). Built only when tracing is on.
+                let round = self.rounds as u64;
+                t.emit(|| obs::TraceEvent::DecisionExample {
+                    round,
+                    t: ctx.now.as_mins_f64(),
+                    job: task.job.0,
+                    task: task.idx as u32,
+                    src: "imitation",
+                    action: action_idx as u32,
+                    dim: feats.dim() as u32,
+                    rows: feats.rows() as u32,
+                    feats: rl::encode_feats(&feats),
+                });
             }
             self.imitation_buffer.push(Step {
                 candidates: feats,
@@ -397,7 +494,7 @@ impl MlfRl {
         }
         // Replay minibatches, resampled by index — the `Step`s (and
         // their feature batches) stay in the buffer uncloned.
-        if !self.imitation_buffer.is_empty() {
+        if self.cfg.online_training && !self.imitation_buffer.is_empty() {
             for _ in 0..4 {
                 let n = 64.min(self.imitation_buffer.len());
                 self.scratch.minibatch_idx.clear();
@@ -576,6 +673,18 @@ impl MlfRl {
                             queued: host.is_none(),
                         }
                     );
+                    let round = this.rounds as u64;
+                    t.emit(|| obs::TraceEvent::DecisionExample {
+                        round,
+                        t: ctx.now.as_mins_f64(),
+                        job: task.job.0,
+                        task: task.idx as u32,
+                        src: "rl",
+                        action: choice as u32,
+                        dim: feats.dim() as u32,
+                        rows: feats.rows() as u32,
+                        feats: rl::encode_feats(&feats),
+                    });
                 }
                 servers.clear();
                 this.scratch.servers = servers;
@@ -708,6 +817,14 @@ impl Scheduler for MlfRl {
     fn observe_reward(&mut self, reward: &RewardComponents) {
         // Eq. 7: weighted sum of the five objective components.
         let r = reward.weighted(&self.params.beta);
+        if !self.cfg.online_training {
+            // Frozen evaluation: close out the round's steps without
+            // learning from them.
+            while let Some(s) = self.pending.pop() {
+                self.recycle_batch(s.candidates);
+            }
+            return;
+        }
         // Close out the previous round's steps with this reward.
         for s in self.pending.drain(..) {
             self.episode.push((s, r));
@@ -721,6 +838,40 @@ impl Scheduler for MlfRl {
             self.episodes_trained += 1;
             while let Some((s, _)) = self.episode.pop() {
                 self.recycle_batch(s.candidates);
+            }
+        }
+        // Continuous retraining: watch the online reward outside
+        // imitation windows (the teacher's rounds would skew the fast
+        // EMA) and open a fresh imitation window on drift.
+        let imitating = self.in_imitation_phase();
+        let mut trigger = None;
+        if let Some(m) = self.drift_monitor.as_mut() {
+            if !imitating && m.observe(r) {
+                trigger = Some((m.short().unwrap_or(r), m.long().unwrap_or(r)));
+            }
+        }
+        if let (Some((short, long)), Some(dcfg)) = (trigger, self.cfg.drift) {
+            self.imitation_until = self.rounds + dcfg.retrain_rounds;
+            self.retrains += 1;
+            // The buffered teacher examples and the in-flight episode
+            // predate the drift — training on them would pull the
+            // policy back toward the old distribution.
+            let stale: Vec<Step> = self.imitation_buffer.drain(..).collect();
+            for s in stale {
+                self.recycle_batch(s.candidates);
+            }
+            while let Some((s, _)) = self.episode.pop() {
+                self.recycle_batch(s.candidates);
+            }
+            if let Some(t) = self.tracer.clone() {
+                obs::event!(
+                    t,
+                    DriftRetrain {
+                        round: self.rounds as u64,
+                        short: short,
+                        long: long,
+                    }
+                );
             }
         }
     }
@@ -920,6 +1071,138 @@ mod tests {
             rl.observe_reward(&RewardComponents { g: [0.5; 5] });
         }
         assert!(rl.episodes_trained >= 2, "{}", rl.episodes_trained);
+    }
+
+    #[test]
+    fn frozen_policy_never_trains() {
+        let c = cluster();
+        let j = job(1, 2);
+        let queue: Vec<TaskId> = (0..2).map(|i| TaskId::new(JobId(1), i)).collect();
+        let jobs: JobArena = [(JobId(1), j)].into();
+        let mut rl = MlfRl::new(
+            Params::default(),
+            MlfRlConfig {
+                imitation_rounds: 0,
+                train_interval: 2,
+                online_training: false,
+                explore: false,
+                ..Default::default()
+            },
+        );
+        for round in 0..12 {
+            let ctx = SchedulerContext {
+                now: SimTime::from_mins(round + 1),
+                jobs: &jobs,
+                cluster: &c,
+                queue: &queue,
+            };
+            rl.schedule(&ctx);
+            rl.observe_reward(&RewardComponents { g: [0.5; 5] });
+        }
+        assert_eq!(rl.episodes_trained, 0);
+        assert!(rl.pending.is_empty(), "pending steps must still drain");
+    }
+
+    #[test]
+    fn drift_opens_a_retraining_window() {
+        let c = cluster();
+        let j = job(1, 2);
+        let queue: Vec<TaskId> = (0..2).map(|i| TaskId::new(JobId(1), i)).collect();
+        let jobs: JobArena = [(JobId(1), j)].into();
+        let mut rl = MlfRl::new(
+            Params::default(),
+            MlfRlConfig {
+                imitation_rounds: 0,
+                drift: Some(DriftRetrainConfig {
+                    monitor: rl::DriftConfig {
+                        short_decay: 0.5,
+                        long_decay: 0.98,
+                        threshold: 0.2,
+                        warmup: 8,
+                        cooldown: 50,
+                    },
+                    retrain_rounds: 10,
+                }),
+                ..Default::default()
+            },
+        );
+        let drive = |rl: &mut MlfRl, rounds: u64, reward: f64, from: u64| {
+            for round in 0..rounds {
+                let ctx = SchedulerContext {
+                    now: SimTime::from_mins(from + round + 1),
+                    jobs: &jobs,
+                    cluster: &c,
+                    queue: &queue,
+                };
+                rl.schedule(&ctx);
+                rl.observe_reward(&RewardComponents { g: [reward; 5] });
+            }
+        };
+        drive(&mut rl, 40, 1.0, 0);
+        assert_eq!(rl.retrains(), 0);
+        assert!(!rl.in_imitation_phase());
+        // Reward collapse → drift → a bounded imitation window opens.
+        drive(&mut rl, 10, -1.0, 40);
+        assert_eq!(rl.retrains(), 1);
+        assert!(rl.in_imitation_phase());
+        // The window closes again after retrain_rounds.
+        drive(&mut rl, 15, 1.0, 50);
+        assert!(!rl.in_imitation_phase());
+    }
+
+    #[test]
+    fn traced_rounds_emit_decision_examples() {
+        let c = cluster();
+        let j = job(1, 2);
+        let queue: Vec<TaskId> = (0..2).map(|i| TaskId::new(JobId(1), i)).collect();
+        let jobs: JobArena = [(JobId(1), j)].into();
+        let tracer = std::sync::Arc::new(
+            obs::Tracer::from_config(&obs::TraceConfig::Ring { capacity: 256 }).unwrap(),
+        );
+        // One imitation round + one RL round, both traced.
+        let mut rl = MlfRl::new(
+            Params::default(),
+            MlfRlConfig {
+                imitation_rounds: 1,
+                explore: false,
+                ..Default::default()
+            },
+        );
+        rl.attach_tracer(tracer.clone());
+        for round in 0..2 {
+            let ctx = SchedulerContext {
+                now: SimTime::from_mins(round + 1),
+                jobs: &jobs,
+                cluster: &c,
+                queue: &queue,
+            };
+            rl.schedule(&ctx);
+            rl.observe_reward(&RewardComponents { g: [1.0; 5] });
+        }
+        let buffered = tracer.buffered();
+        let mut srcs: Vec<&str> = buffered
+            .iter()
+            .filter_map(|e| match e {
+                obs::TraceEvent::DecisionExample {
+                    src,
+                    dim,
+                    rows,
+                    feats,
+                    action,
+                    ..
+                } => {
+                    // Every example is internally consistent and replayable.
+                    let batch = rl::decode_feats(feats, *dim as usize, *rows as usize)
+                        .expect("feats decode");
+                    assert_eq!(batch.dim(), FEATURE_DIM);
+                    assert!((*action as usize) < *rows as usize);
+                    Some(*src)
+                }
+                _ => None,
+            })
+            .collect();
+        srcs.dedup();
+        assert_eq!(srcs, vec!["imitation", "rl"], "one phase each: {srcs:?}");
     }
 
     #[test]

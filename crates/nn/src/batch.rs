@@ -95,6 +95,12 @@ impl FeatureBatch {
         &self.data[r * self.dim..(r + 1) * self.dim]
     }
 
+    /// Row `r` as a mutable slice (in-place feature edits, e.g.
+    /// masking dimensions before offline training).
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.dim..(r + 1) * self.dim]
+    }
+
     /// The whole batch, row-major.
     pub fn as_slice(&self) -> &[f64] {
         &self.data

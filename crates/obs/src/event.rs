@@ -118,6 +118,28 @@ pub enum TraceEvent {
         replayed: u32,
         resumed_round: u64,
     },
+    /// Training substrate: one supervised example — the candidate
+    /// feature matrix the policy saw and the action index it (or its
+    /// MLF-H teacher) chose. `src` is `"imitation"` (teacher decision)
+    /// or `"rl"` (the policy's own pick); `feats` is the `rows × dim`
+    /// matrix flattened row-major into space-separated `f64`s (Rust's
+    /// shortest-round-trip `Display`, so parsing recovers the exact
+    /// bits). This is the event `mlfs-rl`'s dataset builder consumes.
+    DecisionExample {
+        round: u64,
+        t: f64,
+        job: u32,
+        task: u32,
+        src: &'static str,
+        action: u32,
+        dim: u32,
+        rows: u32,
+        feats: String,
+    },
+    /// Training substrate: the online drift monitor triggered a
+    /// retraining window. `short`/`long` are the short- and long-term
+    /// reward EMAs at the trigger point.
+    DriftRetrain { round: u64, short: f64, long: f64 },
 }
 
 impl TraceEvent {
@@ -141,6 +163,42 @@ impl TraceEvent {
             TraceEvent::WalTruncated { .. } => "wal_truncated",
             TraceEvent::SnapshotWrite { .. } => "snapshot_write",
             TraceEvent::Recovery { .. } => "recovery",
+            TraceEvent::DecisionExample { .. } => "decision_example",
+            TraceEvent::DriftRetrain { .. } => "drift_retrain",
+        }
+    }
+
+    /// Simulated time of the event in minutes, for variants that carry
+    /// one (`None` for wall-clock spans and durability bookkeeping).
+    pub fn time(&self) -> Option<f64> {
+        match self {
+            TraceEvent::RoundStart { t, .. }
+            | TraceEvent::RoundEnd { t, .. }
+            | TraceEvent::Placement { t, .. }
+            | TraceEvent::Migration { t, .. }
+            | TraceEvent::Eviction { t, .. }
+            | TraceEvent::Requeue { t, .. }
+            | TraceEvent::PolicyDecision { t, .. }
+            | TraceEvent::BlacklistStrike { t, .. }
+            | TraceEvent::ServerCrash { t, .. }
+            | TraceEvent::ServerRecovery { t, .. }
+            | TraceEvent::Overload { t, .. }
+            | TraceEvent::JobStopped { t, .. }
+            | TraceEvent::DecisionExample { t, .. } => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Scheduler round of the event, for variants that carry one.
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            TraceEvent::RoundStart { round, .. }
+            | TraceEvent::RoundEnd { round, .. }
+            | TraceEvent::WalAppend { round, .. }
+            | TraceEvent::SnapshotWrite { round, .. }
+            | TraceEvent::DecisionExample { round, .. }
+            | TraceEvent::DriftRetrain { round, .. } => Some(*round),
+            _ => None,
         }
     }
 
@@ -291,6 +349,32 @@ impl TraceEvent {
                 w.num("replayed", *replayed as f64);
                 w.num("resumed_round", *resumed_round as f64);
             }
+            TraceEvent::DecisionExample {
+                round,
+                t,
+                job,
+                task,
+                src,
+                action,
+                dim,
+                rows,
+                feats,
+            } => {
+                w.num("round", *round as f64);
+                w.num("t", *t);
+                w.num("job", *job as f64);
+                w.num("task", *task as f64);
+                w.str("src", src);
+                w.num("action", *action as f64);
+                w.num("dim", *dim as f64);
+                w.num("rows", *rows as f64);
+                w.str("feats", feats);
+            }
+            TraceEvent::DriftRetrain { round, short, long } => {
+                w.num("round", *round as f64);
+                w.num("short", *short);
+                w.num("long", *long);
+            }
         }
         w.finish()
     }
@@ -414,6 +498,22 @@ impl TraceEvent {
                 replayed: num("replayed")? as u32,
                 resumed_round: num("resumed_round")? as u64,
             },
+            "decision_example" => TraceEvent::DecisionExample {
+                round: num("round")? as u64,
+                t: num("t")?,
+                job: num("job")? as u32,
+                task: num("task")? as u32,
+                src: intern_reason(s("src")?),
+                action: num("action")? as u32,
+                dim: num("dim")? as u32,
+                rows: num("rows")? as u32,
+                feats: s("feats")?.to_string(),
+            },
+            "drift_retrain" => TraceEvent::DriftRetrain {
+                round: num("round")? as u64,
+                short: num("short")?,
+                long: num("long")?,
+            },
             _ => return None,
         })
     }
@@ -442,6 +542,8 @@ pub fn intern_reason(s: &str) -> &'static str {
         "deadline",
         "accuracy",
         "budget",
+        "imitation",
+        "rl",
     ];
     KNOWN.iter().find(|k| **k == s).copied().unwrap_or("other")
 }
@@ -706,6 +808,22 @@ mod tests {
                 snap_round: 50,
                 replayed: 14,
                 resumed_round: 61,
+            },
+            TraceEvent::DecisionExample {
+                round: 12,
+                t: 3.25,
+                job: 7,
+                task: 1,
+                src: "imitation",
+                action: 2,
+                dim: 3,
+                rows: 2,
+                feats: "0.5 -1.25 0.3333333333333333 1 0 2e-9".to_string(),
+            },
+            TraceEvent::DriftRetrain {
+                round: 90,
+                short: -0.75,
+                long: -0.25,
             },
         ]
     }

@@ -44,9 +44,11 @@
 //! and the profiling walkthrough.
 
 pub mod event;
+pub mod replay;
 pub mod sink;
 
 pub use event::{parse_flat_json, JsonVal, TraceEvent};
+pub use replay::{read_filtered, ReplayFilter, TraceReader};
 pub use sink::{JsonlSink, NoopSink, RingSink, TraceSink};
 
 use std::collections::BTreeMap;

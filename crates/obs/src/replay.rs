@@ -1,0 +1,302 @@
+//! Trace replay: stream [`TraceEvent`]s back out of a JSONL file.
+//!
+//! This is the read half of the observability loop — the piece that
+//! turns a recorded trace from a debugging artifact into training
+//! input. A [`TraceReader`] wraps any `BufRead` source and yields
+//! events in file order; malformed or unknown lines are skipped (and
+//! counted) rather than aborting the stream, matching the forward
+//! compatibility contract of [`TraceEvent::from_json_line`].
+//!
+//! Replay is **deterministic**: the same bytes always yield the same
+//! event sequence, in the same order, with no wall-clock or ambient
+//! RNG involvement — the property the byte-identical-dataset test in
+//! `mlfs-rl` pins.
+//!
+//! Filtering and windowing compose on top of the raw stream through
+//! [`ReplayFilter`], which selects by `"ev"` tag, simulated-time
+//! window, and round window — the three axes a dataset builder needs
+//! to carve a training slice out of a long production trace.
+
+use crate::event::TraceEvent;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// Streaming reader over one JSONL trace.
+///
+/// Iterates [`TraceEvent`]s in file order. Lines that fail to parse
+/// are skipped and tallied in [`TraceReader::skipped`]; I/O errors end
+/// the stream (the error is surfaced via [`TraceReader::io_error`]).
+pub struct TraceReader<R> {
+    src: R,
+    line: String,
+    skipped: u64,
+    io_error: Option<io::Error>,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Open a JSONL trace file for replay.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(TraceReader::from_reader(BufReader::new(File::open(path)?)))
+    }
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Replay from any buffered source (in-memory traces in tests).
+    pub fn from_reader(src: R) -> Self {
+        TraceReader {
+            src,
+            line: String::new(),
+            skipped: 0,
+            io_error: None,
+        }
+    }
+
+    /// Lines that were present but did not parse as a known event.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The I/O error that terminated the stream, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.io_error.as_ref()
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        loop {
+            self.line.clear();
+            match self.src.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.io_error = Some(e);
+                    return None;
+                }
+            }
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match TraceEvent::from_json_line(trimmed) {
+                Some(ev) => return Some(ev),
+                None => self.skipped += 1,
+            }
+        }
+    }
+}
+
+/// Deterministic event selector: tag set ∧ time window ∧ round window.
+///
+/// All constraints default to "accept everything"; each builder call
+/// narrows one axis. Windows are half-open (`lo ≤ x < hi`) so adjacent
+/// windows partition a trace without overlap.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayFilter {
+    tags: Vec<&'static str>,
+    time: Option<(f64, f64)>,
+    rounds: Option<(u64, u64)>,
+}
+
+impl ReplayFilter {
+    /// Accept every event (identity filter).
+    pub fn new() -> Self {
+        ReplayFilter::default()
+    }
+
+    /// Keep only events whose [`TraceEvent::tag`] is in `tags`.
+    pub fn tags(mut self, tags: &[&'static str]) -> Self {
+        self.tags = tags.to_vec();
+        self
+    }
+
+    /// Keep only events with simulated time in `[lo, hi)`. Events
+    /// that carry no time (spans, durability records) are rejected.
+    pub fn time_window(mut self, lo: f64, hi: f64) -> Self {
+        self.time = Some((lo, hi));
+        self
+    }
+
+    /// Keep only events with round in `[lo, hi)`. Events that carry
+    /// no round are rejected.
+    pub fn round_window(mut self, lo: u64, hi: u64) -> Self {
+        self.rounds = Some((lo, hi));
+        self
+    }
+
+    /// Does `ev` pass every active constraint?
+    pub fn accepts(&self, ev: &TraceEvent) -> bool {
+        if !self.tags.is_empty() && !self.tags.contains(&ev.tag()) {
+            return false;
+        }
+        if let Some((lo, hi)) = self.time {
+            match ev.time() {
+                Some(t) if t >= lo && t < hi => {}
+                _ => return false,
+            }
+        }
+        if let Some((lo, hi)) = self.rounds {
+            match ev.round() {
+                Some(r) if r >= lo && r < hi => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Apply the filter to an event stream.
+    pub fn apply<I: Iterator<Item = TraceEvent>>(self, it: I) -> impl Iterator<Item = TraceEvent> {
+        it.filter(move |ev| self.accepts(ev))
+    }
+}
+
+/// Read an entire trace file through a filter into memory.
+///
+/// Convenience for dataset-sized traces; for very long traces compose
+/// [`TraceReader`] with [`ReplayFilter::apply`] and stream instead.
+pub fn read_filtered(path: &Path, filter: ReplayFilter) -> io::Result<Vec<TraceEvent>> {
+    let mut reader = TraceReader::open(path)?;
+    let mut out = Vec::new();
+    for ev in reader.by_ref() {
+        if filter.accepts(&ev) {
+            out.push(ev);
+        }
+    }
+    if let Some(e) = reader.io_error.take() {
+        return Err(e);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_trace() -> String {
+        let evs = [
+            TraceEvent::RoundStart {
+                round: 0,
+                t: 0.0,
+                queued: 4,
+            },
+            TraceEvent::PolicyDecision {
+                t: 0.5,
+                job: 1,
+                task: 0,
+                candidates: 5,
+                chosen: 2,
+                queued: false,
+            },
+            TraceEvent::DecisionExample {
+                round: 1,
+                t: 1.0,
+                job: 1,
+                task: 0,
+                src: "imitation",
+                action: 1,
+                dim: 2,
+                rows: 2,
+                feats: "0.5 1 -0.25 0.125".to_string(),
+            },
+            TraceEvent::RoundStart {
+                round: 1,
+                t: 1.0,
+                queued: 3,
+            },
+            TraceEvent::DecisionExample {
+                round: 7,
+                t: 7.0,
+                job: 2,
+                task: 1,
+                src: "rl",
+                action: 0,
+                dim: 2,
+                rows: 2,
+                feats: "1 2 3 4".to_string(),
+            },
+        ];
+        let mut s = String::new();
+        for ev in &evs {
+            s.push_str(&ev.to_json_line());
+            s.push('\n');
+        }
+        s
+    }
+
+    #[test]
+    fn reader_streams_events_in_file_order() {
+        let text = sample_trace();
+        let events: Vec<_> = TraceReader::from_reader(Cursor::new(text.as_bytes())).collect();
+        assert_eq!(events.len(), 5);
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::RoundStart { round: 0, .. })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::DecisionExample { round: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_and_counted() {
+        let text = format!(
+            "garbage\n{}\n\n{{\"ev\":\"martian\"}}\n",
+            TraceEvent::ServerRecovery { t: 1.0, server: 2 }.to_json_line()
+        );
+        let mut reader = TraceReader::from_reader(Cursor::new(text.into_bytes()));
+        let events: Vec<_> = reader.by_ref().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(reader.skipped(), 2); // blank line is not counted
+        assert!(reader.io_error().is_none());
+    }
+
+    #[test]
+    fn filter_selects_by_tag_time_and_round() {
+        let text = sample_trace();
+        let by_tag: Vec<_> = ReplayFilter::new()
+            .tags(&["decision_example"])
+            .apply(TraceReader::from_reader(Cursor::new(text.as_bytes())))
+            .collect();
+        assert_eq!(by_tag.len(), 2);
+
+        let by_time: Vec<_> = ReplayFilter::new()
+            .time_window(0.0, 1.0)
+            .apply(TraceReader::from_reader(Cursor::new(text.as_bytes())))
+            .collect();
+        // half-open: the two t=1.0 events fall outside [0, 1)
+        assert_eq!(by_time.len(), 2);
+
+        let by_round: Vec<_> = ReplayFilter::new()
+            .tags(&["decision_example"])
+            .round_window(0, 2)
+            .apply(TraceReader::from_reader(Cursor::new(text.as_bytes())))
+            .collect();
+        assert_eq!(by_round.len(), 1);
+        assert!(matches!(
+            by_round.first(),
+            Some(TraceEvent::DecisionExample { round: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_reads() {
+        let text = sample_trace();
+        let a: Vec<_> = TraceReader::from_reader(Cursor::new(text.as_bytes())).collect();
+        let b: Vec<_> = TraceReader::from_reader(Cursor::new(text.as_bytes())).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_filtered_round_trips_a_file() {
+        let path = std::env::temp_dir().join("obs_replay_test.jsonl");
+        std::fs::write(&path, sample_trace()).unwrap();
+        let evs = read_filtered(&path, ReplayFilter::new().tags(&["decision_example"])).unwrap();
+        assert_eq!(evs.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

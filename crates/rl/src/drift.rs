@@ -1,0 +1,185 @@
+//! Workload-drift detection for continuous retraining.
+//!
+//! A warm-started policy is only as good as the workload it was
+//! trained on; when the job mix shifts (new model families, different
+//! GPU demands, changed arrival pattern), its decisions degrade.
+//! Following the continuous/transfer-retraining argument of Sliwko &
+//! Mizera-Pietraszko, [`DriftMonitor`] watches the online reward
+//! stream with two exponential moving averages — a fast one tracking
+//! recent reward and a slow one tracking the long-run level — and
+//! flags drift when the fast average falls measurably below the slow
+//! one. The scheduler reacts by re-entering an imitation window
+//! against its heuristic teacher (see `mlfs::MlfRl`), which retrains
+//! the policy on the *current* workload distribution.
+//!
+//! The monitor is pure arithmetic over the observed rewards: no
+//! clocks, no RNG, fully serializable — so drift detection is as
+//! deterministic as the rest of the pipeline and survives
+//! snapshot/restore.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Decay of the fast (recent-reward) EMA.
+    pub short_decay: f64,
+    /// Decay of the slow (long-run) EMA.
+    pub long_decay: f64,
+    /// Relative shortfall that counts as drift: trigger when
+    /// `short < long − threshold·max(|long|, 1e-9)`.
+    pub threshold: f64,
+    /// Observations before the monitor may trigger (lets both EMAs
+    /// seed).
+    pub warmup: u64,
+    /// Observations to ignore after a trigger (gives retraining time
+    /// to take effect before re-evaluating).
+    pub cooldown: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            short_decay: 0.80,
+            long_decay: 0.99,
+            threshold: 0.15,
+            warmup: 32,
+            cooldown: 64,
+        }
+    }
+}
+
+/// Dual-EMA reward monitor; [`DriftMonitor::observe`] returns `true`
+/// exactly when a retraining window should open.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    short: Option<f64>,
+    long: Option<f64>,
+    observed: u64,
+    cooldown_left: u64,
+    triggers: u64,
+}
+
+impl DriftMonitor {
+    /// New monitor with the given config.
+    pub fn new(cfg: DriftConfig) -> Self {
+        DriftMonitor {
+            cfg,
+            short: None,
+            long: None,
+            observed: 0,
+            cooldown_left: 0,
+            triggers: 0,
+        }
+    }
+
+    /// Feed one online reward observation. Returns `true` when drift
+    /// is detected (at most once per cooldown window).
+    pub fn observe(&mut self, reward: f64) -> bool {
+        self.observed += 1;
+        let short = match self.short {
+            None => reward,
+            Some(s) => self.cfg.short_decay * s + (1.0 - self.cfg.short_decay) * reward,
+        };
+        let long = match self.long {
+            None => reward,
+            Some(l) => self.cfg.long_decay * l + (1.0 - self.cfg.long_decay) * reward,
+        };
+        self.short = Some(short);
+        self.long = Some(long);
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return false;
+        }
+        if self.observed < self.cfg.warmup {
+            return false;
+        }
+        let drifted = short < long - self.cfg.threshold * long.abs().max(1e-9);
+        if drifted {
+            self.triggers += 1;
+            self.cooldown_left = self.cfg.cooldown;
+            // Re-anchor the fast EMA so post-retrain evaluation starts
+            // fresh instead of re-reporting the same shortfall.
+            self.short = Some(long);
+        }
+        drifted
+    }
+
+    /// Fast (recent) reward EMA.
+    pub fn short(&self) -> Option<f64> {
+        self.short
+    }
+
+    /// Slow (long-run) reward EMA.
+    pub fn long(&self) -> Option<f64> {
+        self.long
+    }
+
+    /// How many times drift has been flagged.
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DriftConfig {
+        DriftConfig {
+            short_decay: 0.5,
+            long_decay: 0.98,
+            threshold: 0.2,
+            warmup: 10,
+            cooldown: 20,
+        }
+    }
+
+    #[test]
+    fn stable_reward_never_triggers() {
+        let mut m = DriftMonitor::new(cfg());
+        for _ in 0..500 {
+            assert!(!m.observe(1.0));
+        }
+        assert_eq!(m.triggers(), 0);
+    }
+
+    #[test]
+    fn reward_collapse_triggers_once_per_cooldown() {
+        let mut m = DriftMonitor::new(cfg());
+        for _ in 0..100 {
+            m.observe(1.0);
+        }
+        let mut fired = 0;
+        for _ in 0..10 {
+            if m.observe(-1.0) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "drift should fire once, then cool down");
+        assert_eq!(m.triggers(), 1);
+    }
+
+    #[test]
+    fn warmup_suppresses_early_noise() {
+        let mut m = DriftMonitor::new(cfg());
+        for i in 0..9 {
+            assert!(!m.observe(if i % 2 == 0 { 1.0 } else { -1.0 }));
+        }
+    }
+
+    #[test]
+    fn monitor_is_deterministic_and_serializable() {
+        let run = || {
+            let mut m = DriftMonitor::new(cfg());
+            let mut events = Vec::new();
+            for i in 0..200u64 {
+                let r = if i < 100 { 1.0 } else { -0.5 };
+                events.push(m.observe(r));
+            }
+            (events, m.short(), m.long(), m.triggers())
+        };
+        assert_eq!(run(), run());
+    }
+}

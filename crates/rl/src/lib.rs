@@ -23,9 +23,16 @@
 // non-test code only) and structurally by `cargo run -p mlfs-lint`.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod dataset;
+pub mod drift;
 pub mod policy;
 pub mod trainer;
 
+pub use dataset::{
+    decode_feats, encode_feats, warm_start, Dataset, DatasetBuilder, DatasetRecord, PretrainConfig,
+    PretrainReport,
+};
+pub use drift::{DriftConfig, DriftMonitor};
 pub use nn::{FeatureBatch, Workspace};
 pub use policy::ScoringPolicy;
 pub use trainer::{Convergence, ReinforceTrainer, Step, TrainerConfig, TrainerState};

@@ -246,6 +246,77 @@ pub fn ablation(name: &str, x: f64, time_factor: f64, seed: u64) -> Experiment {
     e
 }
 
+/// Phase 1 of the [`drift`] workload: Fig. 4's testbed, but the job
+/// mix narrowed to small jobs (1–2 GPUs, lightweight algorithms).
+/// This is the distribution the offline dataset is recorded on — its
+/// narrowness is the point: a policy warm-started here has never seen
+/// wide distributed jobs, so phase 2's fan-out is genuinely
+/// out-of-distribution for it.
+pub fn drift_phase1(x: f64, time_factor: f64, seed: u64) -> Experiment {
+    let mut e = fig4(x, time_factor, seed);
+    e.name = format!("drift-p1-x{x}");
+    e.trace.gpu_choices = vec![(1, 0.55), (2, 0.45)];
+    e.trace.algorithm_weights = [0.35, 0.30, 0.20, 0.10, 0.05];
+    e.sim.max_time = horizon(&e.trace);
+    e
+}
+
+/// A drifting workload (training-loop experiment, docs/TRAINING.md):
+/// phase 1 is [`drift_phase1`]'s narrow small-job mix, then the
+/// distribution *shifts* — the cluster fills with short, wide,
+/// communication-heavy distributed jobs (8–32 GPU fan-out, the
+/// algorithm mix inverted toward the heavyweight end, tighter
+/// deadlines). Phase 2's volume is cut to a quarter so the shift
+/// stays *unsaturated*: with free capacity throughout, mean JCT is
+/// governed by placement quality (co-location vs cross-server links,
+/// GPU contention) rather than by queue ordering. Returns the
+/// experiment (cluster/engine config with a horizon covering both
+/// phases) and the merged job list; `phase_boundary` is the simulated
+/// time where phase 2's arrivals begin. A policy warm-started on a
+/// phase-1 trace sees its training distribution vanish mid-run — the
+/// scenario continuous retraining exists for.
+pub fn drift(x: f64, time_factor: f64, seed: u64) -> (Experiment, Vec<JobSpec>, SimDuration) {
+    let mut e = drift_phase1(x, time_factor, seed);
+    e.name = format!("drift-x{x}");
+    let phase1 = e.jobs();
+    let boundary = e.trace.effective_span();
+
+    // Phase 2: a quarter of the arrival volume, wide fan-out.
+    let mut t2 = e.trace.clone();
+    t2.seed = seed.wrapping_add(0xD21F_7001);
+    t2.jobs = (t2.jobs / 4).max(1);
+    // Invert the mix toward the heavyweight (comm-hungry) end of the
+    // algorithm set…
+    t2.algorithm_weights = [0.05, 0.10, 0.15, 0.30, 0.40];
+    // …with wide distributed jobs (many tasks → many DAG edges whose
+    // placement matters)…
+    t2.gpu_choices = vec![(8, 0.45), (16, 0.35), (32, 0.20)];
+    // …but short and deadline-tight, so overall load stays below
+    // saturation.
+    t2.duration_median_mins *= 0.5;
+    t2.deadline_slack_hours = (0.25, 4.0);
+    let phase2_raw = TraceGenerator::new(t2).generate();
+
+    // Merge: phase-2 jobs re-identified after phase 1 and shifted past
+    // the boundary (ids must stay unique; tasks carry their job id).
+    let base = phase1.len() as u32;
+    let mut jobs = phase1;
+    for (i, mut job) in phase2_raw.into_iter().enumerate() {
+        let jid = cluster::JobId(base + i as u32);
+        job.id = jid;
+        for (k, task) in job.tasks.iter_mut().enumerate() {
+            task.id = cluster::TaskId::new(jid, k as u16);
+        }
+        job.arrival += boundary;
+        job.deadline += boundary;
+        jobs.push(job);
+    }
+
+    // Horizon: both phases plus drain-out.
+    e.sim.max_time = boundary.mul_f64(2.0) + horizon(&e.trace);
+    (e, jobs, boundary)
+}
+
 /// Schedulers compared in the fault sweep (robustness study): the
 /// full MLFS pipeline against the strongest preemptive baseline and
 /// the no-frills queue.
@@ -310,6 +381,43 @@ mod tests {
     #[should_panic(expected = "unknown scheduler")]
     fn unknown_scheduler_panics() {
         fig4(0.25, 8.0, 1).scheduler("what", 0);
+    }
+
+    #[test]
+    fn drift_workload_shifts_distribution_at_the_boundary() {
+        let (e, jobs, boundary) = drift(0.25, 8.0, 7);
+        // Phase 1 plus a quarter-volume phase 2, unique ids.
+        assert_eq!(jobs.len(), 155 + 38);
+        let mut seen = std::collections::BTreeSet::new();
+        for j in &jobs {
+            assert!(seen.insert(j.id), "duplicate job id {:?}", j.id);
+            for (k, t) in j.tasks.iter().enumerate() {
+                assert_eq!(t.id, cluster::TaskId::new(j.id, k as u16));
+            }
+        }
+        let (p1, p2): (Vec<_>, Vec<_>) = jobs
+            .iter()
+            .partition(|j| j.arrival < simcore::SimTime::ZERO + boundary);
+        assert_eq!(p1.len(), 155);
+        assert_eq!(p2.len(), 38);
+        // The shifted phase really is wider: more tasks per job
+        // (distributed-scale fan-out the phase-1 student never saw).
+        let mean_tasks =
+            |v: &[&JobSpec]| v.iter().map(|j| j.tasks.len()).sum::<usize>() as f64 / v.len() as f64;
+        assert!(
+            mean_tasks(&p2) > mean_tasks(&p1) * 1.3,
+            "phase2 {} vs phase1 {}",
+            mean_tasks(&p2),
+            mean_tasks(&p1)
+        );
+        assert!(e.sim.max_time > boundary.mul_f64(2.0));
+        // Deterministic: same seed, same workload.
+        let (_, jobs2, _) = drift(0.25, 8.0, 7);
+        assert_eq!(jobs.len(), jobs2.len());
+        assert!(jobs
+            .iter()
+            .zip(&jobs2)
+            .all(|(a, b)| a.id == b.id && a.arrival == b.arrival));
     }
 
     #[test]

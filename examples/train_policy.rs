@@ -1,0 +1,118 @@
+//! The offline learning loop, end to end: record a decision trace,
+//! replay it into a supervised dataset, pretrain a warm-start policy,
+//! checkpoint it to disk, and evaluate the reloaded checkpoint against
+//! MLF-H on an unseen trace (docs/TRAINING.md).
+//!
+//! ```sh
+//! cargo run --release --example train_policy
+//! # or via the wrapper (flags: --x, --tf, --seed, --epochs, --out):
+//! scripts/train.sh --out target/policy.json
+//! ```
+
+use mlfs::features::FEATURE_DIM;
+use mlfs::{MlfRlConfig, Mlfs, Params};
+use mlfs_sim::experiments::fig4;
+
+/// `--name value` flag lookup over `std::env::args`.
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let x: f64 = flag("x").and_then(|v| v.parse().ok()).unwrap_or(0.25);
+    let tf: f64 = flag("tf").and_then(|v| v.parse().ok()).unwrap_or(16.0);
+    let seed: u64 = flag("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let epochs: usize = flag("epochs").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let out = flag("out").unwrap_or_else(|| "target/policy.json".to_string());
+    let trace_path = flag("trace").unwrap_or_else(|| "target/train_policy_trace.jsonl".to_string());
+
+    // 1. Record: MLF-RL in full-imitation mode schedules exactly like
+    //    MLF-H while the tracer writes one decision_example per
+    //    teacher decision.
+    let mut exp = fig4(x, tf, seed);
+    exp.sim.trace = obs::TraceConfig::Jsonl {
+        path: std::path::PathBuf::from(&trace_path),
+    };
+    let mut teacher = Mlfs::rl(
+        Params::default(),
+        MlfRlConfig {
+            imitation_rounds: usize::MAX / 2,
+            explore: false,
+            seed,
+            ..Default::default()
+        },
+    );
+    let m_teacher = exp.run(&mut teacher);
+    println!(
+        "recorded {} rounds of MLF-H decisions to {trace_path}",
+        m_teacher.rounds
+    );
+
+    // 2. Replay: filter the trace down to imitation decisions and
+    //    rebuild the (candidate features, chosen index) pairs.
+    let reader = obs::TraceReader::open(std::path::Path::new(&trace_path))
+        .expect("recorded trace should exist");
+    let mut builder = rl::DatasetBuilder::new(FEATURE_DIM).source("imitation");
+    builder.ingest_all(reader);
+    let dataset = builder.finish();
+    println!(
+        "replayed {} examples (fingerprint {:016x})",
+        dataset.len(),
+        dataset.fingerprint()
+    );
+
+    // 3. Pretrain: supervised imitation with the batched nn passes.
+    let cfg = rl::PretrainConfig {
+        epochs,
+        seed,
+        ..Default::default()
+    };
+    let (policy, report) = rl::warm_start(&dataset, &cfg);
+    println!(
+        "pretrained {} epochs: loss {:.3} -> {:.3}, agreement {:.3}",
+        report.epoch_losses.len(),
+        report.epoch_losses.first().unwrap_or(&0.0),
+        report.epoch_losses.last().unwrap_or(&0.0),
+        report.final_agreement
+    );
+
+    // 4. Checkpoint: the policy serializes to JSON; reloading it gives
+    //    back bit-identical weights.
+    let json = serde_json::to_string(&policy).expect("policy serializes");
+    std::fs::write(&out, &json).expect("checkpoint written");
+    let reloaded: rl::ScoringPolicy = serde_json::from_str(&json).expect("checkpoint parses");
+    println!("checkpoint: {out} ({} bytes)", json.len());
+
+    // 5. Evaluate: warm-start a frozen scheduler from the reloaded
+    //    checkpoint on an unseen trace and compare with MLF-H.
+    let mut eval_exp = fig4(x, tf, seed);
+    eval_exp.trace.seed = seed.wrapping_add(1234);
+    let mut warm = Mlfs::rl(
+        Params::default(),
+        MlfRlConfig {
+            explore: false,
+            online_training: false,
+            seed,
+            ..Default::default()
+        },
+    );
+    warm.rl_mut()
+        .expect("RL variant has an RL component")
+        .import_policy(reloaded);
+    let m_warm = eval_exp.run(&mut warm);
+    let m_h = eval_exp.run(&mut Mlfs::heuristic(Params::default()));
+    println!("\nunseen trace (same distribution):");
+    println!(
+        "  warm-started MLF-RL (frozen): avg JCT {:.1} min, deadlines {:.1} %",
+        m_warm.avg_jct_mins(),
+        100.0 * m_warm.deadline_ratio()
+    );
+    println!(
+        "  MLF-H                       : avg JCT {:.1} min, deadlines {:.1} %",
+        m_h.avg_jct_mins(),
+        100.0 * m_h.deadline_ratio()
+    );
+}

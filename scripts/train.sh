@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# One-command offline training (docs/TRAINING.md): record an MLF-H
+# decision trace, replay it into a supervised dataset, pretrain a
+# warm-start policy, and write the checkpoint.
+#
+#   scripts/train.sh                          # target/policy.json
+#   scripts/train.sh --out my_policy.json     # custom checkpoint path
+#   scripts/train.sh --x 1.0 --tf 8 --epochs 16 --seed 7
+#
+# Flags pass straight through to examples/train_policy.rs:
+#   --x       workload load multiplier   (default 0.25)
+#   --tf      time-compression factor    (default 16)
+#   --seed    trace + pretraining seed   (default 42)
+#   --epochs  pretraining epochs         (default 8)
+#   --out     checkpoint path            (default target/policy.json)
+#   --trace   recorded-trace path        (default target/train_policy_trace.jsonl)
+#
+# The checkpoint is a serialized rl::ScoringPolicy; load it with
+# serde_json and hand it to MlfRl::import_policy (examples/
+# train_policy.rs shows the full round trip, including a frozen
+# evaluation against MLF-H on an unseen trace).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --example train_policy -- "$@"
